@@ -1,0 +1,75 @@
+//! Regenerates the paper's **Figure 4**: SPEC CPU 2006 performance
+//! overhead of NOP insertion, per benchmark, for the five configurations
+//! `pNOP = 50%`, `25–50%`, `10–50%`, `30%`, `0–30%` (ranges are
+//! profile-guided with the log curve), plus the geometric mean.
+//!
+//! Methodology mirrors §5.1: profiles come from the *train* inputs,
+//! overhead is measured on *ref*; several differently-seeded versions per
+//! configuration are averaged (`PGSD_SEEDS`, default 5). The emulator is
+//! deterministic, so repeated runs of one version are unnecessary.
+
+use pgsd_bench::{geomean_pct, perf_seeds, prepare, row, selected_suite, write_csv, ProgressTimer};
+use pgsd_core::driver::{run_input, DEFAULT_GAS};
+use pgsd_core::Strategy;
+
+fn main() {
+    let configs = Strategy::paper_configs();
+    let seeds = perf_seeds();
+    let t = ProgressTimer::start(format!(
+        "figure 4: {} benchmarks × {} configs × {seeds} seeds",
+        selected_suite().len(),
+        configs.len()
+    ));
+
+    let mut widths = vec![16usize, 12];
+    widths.extend(std::iter::repeat(12).take(configs.len()));
+    let mut header = vec!["benchmark".to_string(), "base Mcyc".to_string()];
+    header.extend(configs.iter().map(|(l, _)| l.to_string()));
+    println!("{}", row(&header, &widths));
+
+    let mut csv = Vec::new();
+    let mut per_config: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    for w in selected_suite() {
+        let name = w.name;
+        let p = prepare(w);
+        let (exit, stats) = run_input(&p.baseline, &p.workload.reference, DEFAULT_GAS);
+        let expected = exit.status().unwrap_or_else(|| panic!("{name} baseline failed: {exit:?}"));
+        let base_cycles = stats.cycles as f64;
+
+        let mut cells = vec![name.to_string(), format!("{:.1}", base_cycles / 1e6)];
+        let mut csv_row = vec![name.to_string(), format!("{base_cycles}")];
+        for (ci, (_, strat)) in configs.iter().enumerate() {
+            let mut total = 0f64;
+            for seed in 0..seeds {
+                let image = p.diversified(*strat, seed);
+                total += p.ref_cycles(&image, Some(expected)) as f64;
+            }
+            let overhead = (total / seeds as f64 / base_cycles - 1.0) * 100.0;
+            per_config[ci].push(overhead);
+            cells.push(format!("{overhead:.2}%"));
+            csv_row.push(format!("{overhead:.4}"));
+        }
+        println!("{}", row(&cells, &widths));
+        csv.push(csv_row.join(","));
+    }
+
+    let mut cells = vec!["geometric mean".to_string(), String::new()];
+    let mut csv_row = vec!["geomean".to_string(), String::new()];
+    for values in &per_config {
+        let g = geomean_pct(values);
+        cells.push(format!("{g:.2}%"));
+        csv_row.push(format!("{g:.4}"));
+    }
+    println!("{}", row(&cells, &widths));
+    csv.push(csv_row.join(","));
+
+    let mut header_csv = vec!["benchmark".to_string(), "base_cycles".to_string()];
+    header_csv.extend(configs.iter().map(|(l, _)| l.replace(',', ";").to_string()));
+    let path = write_csv("fig4_overhead.csv", &header_csv.join(","), &csv);
+    t.done();
+    println!("\npaper shape checks:");
+    println!("  • profile-guided ranges sit well below their uniform upper bounds");
+    println!("  • 0–30% lands near zero (paper: ≈1%); 50% is the costliest");
+    println!("  • memory-bound kernels (lbm, mcf) show the smallest overheads");
+    println!("csv: {}", path.display());
+}

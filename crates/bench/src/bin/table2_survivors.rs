@@ -1,0 +1,95 @@
+//! Regenerates the paper's **Table 2**: surviving gadgets on the
+//! benchmark binaries — for each benchmark and NOP-insertion strategy, the
+//! average number of gadgets that remain *functionally equivalent at the
+//! same offset* across `PGSD_VERSIONS` (default 25) diversified versions,
+//! as measured by the Survivor algorithm (§5.2).
+//!
+//! Matches the paper's derived columns: `Extra%` (surviving gadgets of
+//! `pNOP=0–30%` relative to `pNOP=50%`, best-to-worst) and `Surviving%`
+//! (survivors of `0–30%` as a fraction of the baseline gadget count).
+//! Benchmarks print sorted by baseline gadget count, as in the paper.
+
+use pgsd_bench::{prepare, row, selected_suite, versions, write_csv, ProgressTimer};
+use pgsd_core::Strategy;
+use pgsd_gadget::{find_gadgets, survivor, ScanConfig};
+use pgsd_x86::nop::NopTable;
+
+fn main() {
+    let configs = Strategy::paper_configs();
+    let n_versions = versions();
+    let t = ProgressTimer::start(format!(
+        "table 2: {} benchmarks × {} strategies × {n_versions} versions",
+        selected_suite().len(),
+        configs.len()
+    ));
+    let cfg = ScanConfig::default();
+    let table = NopTable::new();
+
+    struct Row {
+        name: &'static str,
+        baseline: usize,
+        avg: Vec<f64>,
+    }
+    let mut rows = Vec::new();
+    for w in selected_suite() {
+        let name = w.name;
+        let p = prepare(w);
+        let baseline = find_gadgets(&p.baseline.text, &cfg).len();
+        let mut avg = Vec::new();
+        for (_, strat) in &configs {
+            let total: usize = (0..n_versions as u64)
+                .map(|seed| {
+                    let image = p.diversified(*strat, seed);
+                    survivor(&p.baseline.text, &image.text, &table, &cfg).count()
+                })
+                .sum();
+            avg.push(total as f64 / n_versions as f64);
+        }
+        eprintln!("[pgsd-bench]   {name}: baseline {baseline} gadgets");
+        rows.push(Row { name, baseline, avg });
+    }
+    rows.sort_by_key(|r| r.baseline);
+
+    let mut widths = vec![16usize, 10];
+    widths.extend(std::iter::repeat(10).take(configs.len()));
+    widths.extend([8usize, 11]);
+    let mut header = vec!["benchmark".to_string(), "baseline".to_string()];
+    header.extend(configs.iter().map(|(l, _)| l.replace("pNOP=", "")));
+    header.push("extra%".into());
+    header.push("surviving%".into());
+    println!("{}", row(&header, &widths));
+
+    let mut csv = Vec::new();
+    // Column order in `avg` follows paper_configs(): 50%, 25-50%, 10-50%,
+    // 30%, 0-30%. Extra% compares 0-30% (index 4) against 50% (index 0).
+    for r in &rows {
+        let extra = if r.avg[0] > 0.0 { (r.avg[4] / r.avg[0] - 1.0) * 100.0 } else { 0.0 };
+        let surviving = if r.baseline > 0 {
+            r.avg[4] / r.baseline as f64 * 100.0
+        } else {
+            0.0
+        };
+        let mut cells = vec![r.name.to_string(), r.baseline.to_string()];
+        cells.extend(r.avg.iter().map(|a| format!("{a:.2}")));
+        cells.push(format!("{extra:.0}%"));
+        cells.push(format!("{surviving:.2}%"));
+        println!("{}", row(&cells, &widths));
+        csv.push(format!(
+            "{},{},{},{extra:.2},{surviving:.4}",
+            r.name,
+            r.baseline,
+            r.avg.iter().map(|a| format!("{a:.3}")).collect::<Vec<_>>().join(","),
+        ));
+    }
+    let path = write_csv(
+        "table2_survivors.csv",
+        "benchmark,baseline,p50,p25_50,p10_50,p30,p0_30,extra_pct,surviving_pct",
+        &csv,
+    );
+    t.done();
+    println!("\npaper shape checks:");
+    println!("  • absolute survivors stay near the undiversified-runtime tail for every strategy");
+    println!("  • Surviving% falls as binaries grow (randomization is MORE effective on large code)");
+    println!("  • the profile-guided strategies cost only a small Extra% over pNOP=50%");
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,90 @@
+//! Regenerates the paper's **Table 3**: gadgets surviving *across the
+//! diversified population itself* — how many `(offset, content)` gadgets
+//! appear identically in at least 2, 5 and 12 of the `PGSD_VERSIONS`
+//! (default 25) versions, per benchmark and strategy. This models an
+//! attacker content with compromising a subset of targets (§5.2).
+
+use pgsd_bench::{prepare, row, selected_suite, versions, write_csv, ProgressTimer};
+use pgsd_core::Strategy;
+use pgsd_gadget::{find_gadgets, population_survival, ScanConfig};
+use pgsd_x86::nop::NopTable;
+
+fn main() {
+    let configs = Strategy::paper_configs();
+    let n_versions = versions();
+    // Paper thresholds 2/5/12 are ~10%/20%/50% of 25; scale for smaller
+    // populations so quick runs stay meaningful.
+    let ks = if n_versions == 25 {
+        vec![2usize, 5, 12]
+    } else {
+        vec![
+            (n_versions / 10).max(2),
+            (n_versions / 5).max(2),
+            n_versions.div_ceil(2),
+        ]
+    };
+    let t = ProgressTimer::start(format!(
+        "table 3: {} benchmarks × {} strategies × {n_versions} versions (k = {ks:?})",
+        selected_suite().len(),
+        configs.len()
+    ));
+    let cfg = ScanConfig::default();
+    let table = NopTable::new();
+
+    struct Row {
+        name: &'static str,
+        baseline: usize,
+        counts: Vec<Vec<usize>>, // [config][threshold]
+    }
+    let mut rows = Vec::new();
+    for w in selected_suite() {
+        let name = w.name;
+        let p = prepare(w);
+        let baseline = find_gadgets(&p.baseline.text, &cfg).len();
+        let mut counts = Vec::new();
+        for (_, strat) in &configs {
+            let texts = p.population_texts(*strat, n_versions);
+            let report = population_survival(&texts, &table, &cfg);
+            counts.push(report.thresholds(&ks));
+        }
+        eprintln!("[pgsd-bench]   {name} done");
+        rows.push(Row { name, baseline, counts });
+    }
+    rows.sort_by_key(|r| r.baseline);
+
+    for (ti, k) in ks.iter().enumerate() {
+        println!("\ngadgets surviving in at least {k} of {n_versions} versions:");
+        let mut widths = vec![16usize];
+        widths.extend(std::iter::repeat(10).take(configs.len()));
+        let mut header = vec!["benchmark".to_string()];
+        header.extend(configs.iter().map(|(l, _)| l.replace("pNOP=", "")));
+        println!("{}", row(&header, &widths));
+        for r in &rows {
+            let mut cells = vec![r.name.to_string()];
+            cells.extend(r.counts.iter().map(|c| c[ti].to_string()));
+            println!("{}", row(&cells, &widths));
+        }
+    }
+
+    let mut csv = Vec::new();
+    for r in &rows {
+        for (ci, (label, _)) in configs.iter().enumerate() {
+            for (ti, k) in ks.iter().enumerate() {
+                csv.push(format!(
+                    "{},{},{},{}",
+                    r.name,
+                    label.replace("pNOP=", ""),
+                    k,
+                    r.counts[ci][ti]
+                ));
+            }
+        }
+    }
+    let path = write_csv("table3_population.csv", "benchmark,strategy,at_least_k,gadgets", &csv);
+    t.done();
+    println!("\npaper shape checks:");
+    println!("  • the ≥{} column is essentially constant — the undiversified runtime tail", ks[2]);
+    println!("  • counts at ≥{} can exceed the baseline (one gadget, several offsets)", ks[0]);
+    println!("  • higher pNOP ranges shrink the shared sets");
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,209 @@
+//! # pgsd-bench — experiment harnesses
+//!
+//! Shared plumbing for the binaries that regenerate every table and figure
+//! of the paper (see DESIGN.md's experiment index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1_nops` | Table 1 (NOP candidates and second-byte decodings) |
+//! | `fig2_displacement` | Figure 2 (NOP insertion destroying a gadget) |
+//! | `stats_profiles` | §3.1 execution-count statistics |
+//! | `fig4_overhead` | Figure 4 (SPEC overhead per strategy) |
+//! | `table2_survivors` | Table 2 (surviving gadgets vs. the original) |
+//! | `table3_population` | Table 3 (gadgets shared across 25 versions) |
+//! | `php_casestudy` | §5.2 concrete-attack experiment |
+//! | `ablation_curves` | §3.1 linear-vs-log heuristic comparison |
+//! | `ablation_shift` | §6 basic-block shifting extension |
+//!
+//! Environment knobs: `PGSD_VERSIONS` (population size, default 25),
+//! `PGSD_SEEDS` (performance seeds per configuration, default 5),
+//! `PGSD_BENCH` (comma-separated benchmark substring filter).
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use pgsd_cc::driver::frontend;
+use pgsd_cc::emit::Image;
+use pgsd_cc::ir::Module;
+use pgsd_core::driver::{build, run_input, train, BuildConfig, DEFAULT_GAS};
+use pgsd_core::Strategy;
+use pgsd_profile::Profile;
+use pgsd_workloads::Workload;
+
+/// Number of diversified versions per population (paper: 25).
+pub fn versions() -> usize {
+    env_usize("PGSD_VERSIONS", 25)
+}
+
+/// Number of seeds per performance measurement (paper: 5 versions × 3
+/// runs; our emulator is deterministic, so one run per seed suffices).
+pub fn perf_seeds() -> u64 {
+    env_usize("PGSD_SEEDS", 5) as u64
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// The benchmark list, optionally filtered by `PGSD_BENCH`.
+pub fn selected_suite() -> Vec<Workload> {
+    let all = pgsd_workloads::spec_suite();
+    match std::env::var("PGSD_BENCH") {
+        Ok(filter) if !filter.trim().is_empty() => {
+            let pats: Vec<String> =
+                filter.split(',').map(|s| s.trim().to_lowercase()).collect();
+            all.into_iter()
+                .filter(|w| pats.iter().any(|p| w.name.to_lowercase().contains(p)))
+                .collect()
+        }
+        _ => all,
+    }
+}
+
+/// A workload compiled and profiled, ready for experiments.
+pub struct Prepared {
+    /// The workload definition.
+    pub workload: Workload,
+    /// Optimized IR.
+    pub module: Module,
+    /// Training profile (from the workload's train inputs).
+    pub profile: Profile,
+    /// Undiversified baseline image.
+    pub baseline: Image,
+}
+
+/// Compiles and trains one workload.
+///
+/// # Panics
+///
+/// Panics on compilation or training failure — experiment inputs are
+/// fixed, so failure is a bug worth a loud stop.
+pub fn prepare(workload: Workload) -> Prepared {
+    let module = frontend(workload.name, &workload.source)
+        .unwrap_or_else(|e| panic!("{} does not compile: {e}", workload.name));
+    let profile = train(&module, &workload.train, DEFAULT_GAS)
+        .unwrap_or_else(|e| panic!("{} does not train: {e}", workload.name));
+    let baseline = build(&module, None, &BuildConfig::baseline())
+        .unwrap_or_else(|e| panic!("{} baseline build failed: {e}", workload.name));
+    Prepared { workload, module, profile, baseline }
+}
+
+impl Prepared {
+    /// Builds one diversified version.
+    pub fn diversified(&self, strategy: Strategy, seed: u64) -> Image {
+        build(&self.module, Some(&self.profile), &BuildConfig::diversified(strategy, seed))
+            .unwrap_or_else(|e| panic!("{} diversified build failed: {e}", self.workload.name))
+    }
+
+    /// Builds a population of diversified text sections.
+    pub fn population_texts(&self, strategy: Strategy, n: usize) -> Vec<Vec<u8>> {
+        (0..n as u64).map(|s| self.diversified(strategy, s).text).collect()
+    }
+
+    /// Runs an image on the reference input, asserting it matches the
+    /// baseline's behaviour, and returns its cycle count.
+    pub fn ref_cycles(&self, image: &Image, expected: Option<i32>) -> u64 {
+        let (exit, stats) = run_input(image, &self.workload.reference, DEFAULT_GAS);
+        let status = exit.status().unwrap_or_else(|| {
+            panic!("{}: diversified run failed: {exit:?}", self.workload.name)
+        });
+        if let Some(e) = expected {
+            assert_eq!(status, e, "{}: diversified output diverged", self.workload.name);
+        }
+        stats.cycles
+    }
+}
+
+/// Geometric mean of `1 + x/100` slowdowns, returned as a percentage.
+pub fn geomean_pct(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| (1.0 + v / 100.0).ln()).sum();
+    ((log_sum / values.len() as f64).exp() - 1.0) * 100.0
+}
+
+/// The output directory for CSV artifacts (`results/`).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    fs::create_dir_all(&dir).expect("can create results directory");
+    dir
+}
+
+/// Writes a CSV file under `results/` and returns its path.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut f = fs::File::create(&path).expect("can create csv");
+    writeln!(f, "{header}").expect("csv write");
+    for r in rows {
+        writeln!(f, "{r}").expect("csv write");
+    }
+    path
+}
+
+/// A coarse progress reporter for long experiments.
+pub struct ProgressTimer {
+    started: Instant,
+    label: String,
+}
+
+impl ProgressTimer {
+    /// Starts timing a phase, announcing it on stderr.
+    pub fn start(label: impl Into<String>) -> ProgressTimer {
+        let label = label.into();
+        eprintln!("[pgsd-bench] {label}…");
+        ProgressTimer { started: Instant::now(), label }
+    }
+
+    /// Finishes the phase, reporting elapsed time.
+    pub fn done(self) {
+        eprintln!("[pgsd-bench] {} done in {:.1?}", self.label, self.started.elapsed());
+    }
+}
+
+/// Formats a table row with right-aligned fixed-width cells.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    let mut out = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        let w = widths.get(i).copied().unwrap_or(12);
+        out.push_str(&format!("{c:>w$}  "));
+    }
+    out.trim_end().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        // slowdowns of 10% and 21%: geomean = sqrt(1.1 · 1.21) − 1 ≈ 15.4%.
+        let g = geomean_pct(&[10.0, 21.0]);
+        assert!((g - 15.36).abs() < 0.1, "{g}");
+        assert_eq!(geomean_pct(&[]), 0.0);
+    }
+
+    #[test]
+    fn env_knobs_have_defaults() {
+        assert!(versions() >= 1);
+        assert!(perf_seeds() >= 1);
+    }
+
+    #[test]
+    fn row_formats_fixed_width() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+
+    #[test]
+    fn prepare_builds_a_small_workload() {
+        let w = pgsd_workloads::by_name("470.lbm").expect("lbm exists");
+        let p = prepare(w);
+        assert!(p.profile.max_count() > 0);
+        assert!(!p.baseline.text.is_empty());
+        let d = p.diversified(Strategy::uniform(0.3), 1);
+        assert_ne!(d.text, p.baseline.text);
+    }
+}

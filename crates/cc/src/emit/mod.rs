@@ -1,0 +1,408 @@
+//! Byte emission and image layout.
+//!
+//! Turns fully lowered [`MFunction`]s into an executable [`Image`]:
+//! a text section at [`IMAGE_BASE`] (the classic Linux ELF load address the
+//! paper mentions for non-ASLR binaries), a data section at a *fixed*
+//! [`DATA_BASE`] so that global addresses embedded in code do not vary
+//! between diversified versions (sections have fixed virtual addresses, as
+//! on the paper's testbed), and symbol/layout metadata for the emulator,
+//! the profiler, and the gadget scanner.
+
+pub mod runtime;
+
+use pgsd_x86::{encode, AluOp, Inst, Mem, Reg};
+
+use crate::error::{CompileError, Result};
+use crate::ir;
+use crate::lir::{Disp, MAddr, MFunction, MInst, MRhs, MTerm, ShiftCount};
+
+/// Load address of the text section (`0x8048000`, as cited in paper §2.2
+/// for non-PIE Linux binaries).
+pub const IMAGE_BASE: u32 = 0x0804_8000;
+
+/// Fixed load address of the data section. Chosen far above any plausible
+/// text size so diversified text growth never collides with it.
+pub const DATA_BASE: u32 = 0x0810_0000;
+
+/// Initial stack pointer used by the emulator.
+pub const STACK_TOP: u32 = 0x0BF0_0000;
+
+/// Per-function layout information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncLayout {
+    /// Function name.
+    pub name: String,
+    /// Address of the first byte.
+    pub start: u32,
+    /// Address one past the last byte.
+    pub end: u32,
+    /// Address of each machine block, in block order.
+    pub block_addrs: Vec<u32>,
+    /// Whether the diversity pass was allowed to touch this function.
+    pub diversified: bool,
+}
+
+/// A named data-section symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataSymbol {
+    /// Global variable name.
+    pub name: String,
+    /// Virtual address.
+    pub addr: u32,
+    /// Size in 32-bit words.
+    pub words: u32,
+}
+
+/// A linked, loadable program image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Text section load address.
+    pub base: u32,
+    /// Text section bytes.
+    pub text: Vec<u8>,
+    /// Data section load address.
+    pub data_base: u32,
+    /// Initialized data section bytes (globals then counters, zero-filled
+    /// where uninitialized).
+    pub data: Vec<u8>,
+    /// Address of `main`.
+    pub main_addr: u32,
+    /// Address of the `__exit` stub (the loader pushes this as `main`'s
+    /// return address).
+    pub exit_addr: u32,
+    /// Per-function layout, in emission order.
+    pub funcs: Vec<FuncLayout>,
+    /// Global variable symbols.
+    pub globals: Vec<DataSymbol>,
+    /// Address of profiling counter 0.
+    pub counter_base: u32,
+    /// Number of profiling counters.
+    pub num_counters: u32,
+}
+
+impl Image {
+    /// Address of global variable `name`, if present.
+    pub fn global_addr(&self, name: &str) -> Option<u32> {
+        self.globals.iter().find(|g| g.name == name).map(|g| g.addr)
+    }
+
+    /// Address of profiling counter `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_counters`.
+    pub fn counter_addr(&self, i: u32) -> u32 {
+        assert!(i < self.num_counters, "counter {i} out of range");
+        self.counter_base + 4 * i
+    }
+
+    /// Layout record of function `name`, if present.
+    pub fn func(&self, name: &str) -> Option<&FuncLayout> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// The text bytes of function `name`, if present.
+    pub fn func_bytes(&self, name: &str) -> Option<&[u8]> {
+        let f = self.func(name)?;
+        let s = (f.start - self.base) as usize;
+        let e = (f.end - self.base) as usize;
+        Some(&self.text[s..e])
+    }
+}
+
+/// Where a rel32 patch must point.
+#[derive(Debug, Clone, Copy)]
+enum FixTarget {
+    Func(usize),
+    Block(usize, usize),
+}
+
+/// Emits a linked image from fully lowered functions.
+///
+/// `funcs` must be in final layout order (runtime stubs and filler first,
+/// then user functions); `module` supplies globals and the counter count;
+/// `main` names the entry function.
+///
+/// # Errors
+///
+/// Returns an error if `main` is missing, a function still contains
+/// virtual registers or unresolved slots, or an instruction cannot be
+/// encoded.
+pub fn emit(funcs: &[MFunction], module: &ir::Module, main: &str) -> Result<Image> {
+    // Data layout: globals in order, then counters.
+    let mut globals = Vec::with_capacity(module.globals.len());
+    let mut word_off = 0u32;
+    for g in &module.globals {
+        globals.push(DataSymbol { name: g.name.clone(), addr: DATA_BASE + 4 * word_off, words: g.words });
+        word_off += g.words;
+    }
+    let counter_base = DATA_BASE + 4 * word_off;
+    let data_words = word_off + module.num_counters;
+    let mut data = vec![0u8; 4 * data_words as usize];
+    let mut w = 0usize;
+    for g in &module.globals {
+        for (i, &v) in g.init.iter().enumerate() {
+            let at = (w + i) * 4;
+            data[at..at + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        w += g.words as usize;
+    }
+
+    let resolve_global = |id: u32, offset: i32| -> Result<i32> {
+        let g = globals
+            .get(id as usize)
+            .ok_or_else(|| CompileError::new(format!("global g{id} out of range")))?;
+        Ok((g.addr as i32).wrapping_add(offset))
+    };
+
+    // Emission with fixups.
+    let mut text = Vec::new();
+    let mut layouts = Vec::with_capacity(funcs.len());
+    let mut fixups: Vec<(usize, FixTarget)> = Vec::new();
+    let mut block_offsets: Vec<Vec<usize>> = Vec::with_capacity(funcs.len());
+
+    for (fi, func) in funcs.iter().enumerate() {
+        let start = text.len();
+        let mut blocks = Vec::with_capacity(func.blocks.len());
+        for (bi, block) in func.blocks.iter().enumerate() {
+            blocks.push(text.len());
+            for inst in &block.instrs {
+                let x = translate(inst, &resolve_global, counter_base)?;
+                match x {
+                    Translated::Plain(i) => {
+                        encode(&i, &mut text).map_err(encode_err)?;
+                    }
+                    Translated::Call(target) => {
+                        encode(&Inst::CallRel(0), &mut text).map_err(encode_err)?;
+                        fixups.push((text.len() - 4, FixTarget::Func(target)));
+                    }
+                }
+            }
+            // Terminator.
+            match block.term {
+                MTerm::Ret => {
+                    encode(&Inst::Ret, &mut text).map_err(encode_err)?;
+                }
+                MTerm::Jmp(t) => {
+                    let t = t.m() as usize;
+                    if t != bi + 1 {
+                        encode(&Inst::JmpRel(0), &mut text).map_err(encode_err)?;
+                        fixups.push((text.len() - 4, FixTarget::Block(fi, t)));
+                    }
+                }
+                MTerm::JCond { cc, t, f } => {
+                    let (t, f) = (t.m() as usize, f.m() as usize);
+                    if f == bi + 1 {
+                        encode(&Inst::Jcc(cc, 0), &mut text).map_err(encode_err)?;
+                        fixups.push((text.len() - 4, FixTarget::Block(fi, t)));
+                    } else if t == bi + 1 {
+                        encode(&Inst::Jcc(cc.negated(), 0), &mut text).map_err(encode_err)?;
+                        fixups.push((text.len() - 4, FixTarget::Block(fi, f)));
+                    } else {
+                        encode(&Inst::Jcc(cc, 0), &mut text).map_err(encode_err)?;
+                        fixups.push((text.len() - 4, FixTarget::Block(fi, t)));
+                        encode(&Inst::JmpRel(0), &mut text).map_err(encode_err)?;
+                        fixups.push((text.len() - 4, FixTarget::Block(fi, f)));
+                    }
+                }
+            }
+        }
+        block_offsets.push(blocks.clone());
+        layouts.push(FuncLayout {
+            name: func.name.clone(),
+            start: IMAGE_BASE + start as u32,
+            end: 0, // patched below
+            block_addrs: blocks.iter().map(|&o| IMAGE_BASE + o as u32).collect(),
+            diversified: func.diversify,
+        });
+        let end = text.len();
+        layouts.last_mut().expect("just pushed").end = IMAGE_BASE + end as u32;
+    }
+
+    // Patch fixups.
+    for (site, target) in fixups {
+        let dest = match target {
+            FixTarget::Func(fi) => {
+                (layouts
+                    .get(fi)
+                    .ok_or_else(|| CompileError::new(format!("call target {fi} out of range")))?
+                    .start
+                    - IMAGE_BASE) as usize
+            }
+            FixTarget::Block(fi, bi) => *block_offsets[fi]
+                .get(bi)
+                .ok_or_else(|| CompileError::new(format!("branch target {fi}:{bi} missing")))?,
+        };
+        let rel = dest as i64 - (site as i64 + 4);
+        let rel = i32::try_from(rel)
+            .map_err(|_| CompileError::new("relative branch out of range".to_string()))?;
+        text[site..site + 4].copy_from_slice(&rel.to_le_bytes());
+    }
+
+    let main_layout = layouts
+        .iter()
+        .find(|l| l.name == main)
+        .ok_or_else(|| CompileError::new(format!("entry function `{main}` not found")))?;
+    let exit_layout = layouts
+        .iter()
+        .find(|l| l.name == "__exit")
+        .ok_or_else(|| CompileError::new("runtime `__exit` stub missing".to_string()))?;
+
+    Ok(Image {
+        base: IMAGE_BASE,
+        main_addr: main_layout.start,
+        exit_addr: exit_layout.start,
+        text,
+        data_base: DATA_BASE,
+        data,
+        funcs: layouts,
+        globals,
+        counter_base,
+        num_counters: module.num_counters,
+    })
+}
+
+fn encode_err(e: pgsd_x86::EncodeError) -> CompileError {
+    CompileError::new(format!("encoding failed: {e}"))
+}
+
+enum Translated {
+    Plain(Inst),
+    Call(usize),
+}
+
+fn translate(
+    inst: &MInst,
+    resolve_global: &impl Fn(u32, i32) -> Result<i32>,
+    counter_base: u32,
+) -> Result<Translated> {
+    let mem = |a: &MAddr| -> Result<Mem> {
+        let disp = match a.disp {
+            Disp::Imm(v) => v,
+            Disp::Global { id, offset } => resolve_global(id, offset)?,
+            Disp::Counter(id) => (counter_base + 4 * id) as i32,
+            Disp::Slot { id, .. } => {
+                return Err(CompileError::new(format!(
+                    "slot {id} not resolved by frame lowering"
+                )))
+            }
+        };
+        Ok(Mem {
+            base: a.base.map(|r| r.phys()),
+            index: a.index.map(|(r, s)| (r.phys(), s)),
+            disp,
+        })
+    };
+    let rhs_inst = |dst: Reg, rhs: &MRhs, op: AluOp| -> Result<Inst> {
+        Ok(match rhs {
+            MRhs::Reg(r) => Inst::AluRR(op, dst, r.phys()),
+            MRhs::Imm(v) => Inst::AluRI(op, dst, *v),
+            MRhs::Mem(m) => Inst::AluRM(op, dst, mem(m)?),
+        })
+    };
+    let out = match inst {
+        MInst::MovRI { dst, imm } => Inst::MovRI(dst.phys(), *imm),
+        MInst::MovRR { dst, src } => Inst::MovRR(dst.phys(), src.phys()),
+        MInst::Load { dst, addr } => Inst::MovRM(dst.phys(), mem(addr)?),
+        MInst::Store { addr, src } => Inst::MovMR(mem(addr)?, src.phys()),
+        MInst::StoreImm { addr, imm } => Inst::MovMI(mem(addr)?, *imm),
+        MInst::Alu { op, dst, rhs } => rhs_inst(dst.phys(), rhs, *op)?,
+        MInst::AluMem { op, addr, imm } => Inst::AluMI(*op, mem(addr)?, *imm),
+        MInst::Cmp { lhs, rhs } => rhs_inst(lhs.phys(), rhs, AluOp::Cmp)?,
+        MInst::Test { a, b } => Inst::TestRR(a.phys(), b.phys()),
+        MInst::Imul { dst, rhs } => match rhs {
+            MRhs::Reg(r) => Inst::ImulRR(dst.phys(), r.phys()),
+            MRhs::Imm(v) => Inst::ImulRRI(dst.phys(), dst.phys(), *v),
+            MRhs::Mem(m) => Inst::ImulRM(dst.phys(), mem(m)?),
+        },
+        MInst::ImulImm { dst, src, imm } => Inst::ImulRRI(dst.phys(), src.phys(), *imm),
+        MInst::IncDec { dst, inc: true } => Inst::IncR(dst.phys()),
+        MInst::IncDec { dst, inc: false } => Inst::DecR(dst.phys()),
+        MInst::Cdq => Inst::Cdq,
+        MInst::Idiv { divisor } => Inst::IdivR(divisor.phys()),
+        MInst::Neg { dst } => Inst::NegR(dst.phys()),
+        MInst::Not { dst } => Inst::NotR(dst.phys()),
+        MInst::Shift { op, dst, count } => match count {
+            ShiftCount::Imm(n) => Inst::ShiftRI(*op, dst.phys(), *n),
+            ShiftCount::Cl => Inst::ShiftRCl(*op, dst.phys()),
+        },
+        MInst::Push { rhs } => match rhs {
+            MRhs::Reg(r) => Inst::PushR(r.phys()),
+            MRhs::Imm(v) => Inst::PushI(*v),
+            MRhs::Mem(m) => Inst::PushM(mem(m)?),
+        },
+        MInst::Pop { dst } => Inst::PopR(dst.phys()),
+        MInst::Lea { dst, addr } => Inst::Lea(dst.phys(), mem(addr)?),
+        MInst::Call { target } => return Ok(Translated::Call(target.0 as usize)),
+        MInst::Int { n } => Inst::Int(*n),
+        MInst::Nop { kind } => Inst::Nop(*kind),
+    };
+    Ok(Translated::Plain(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver;
+    use pgsd_x86::decode_all;
+
+    fn image(src: &str) -> Image {
+        driver::compile("t", src).expect("compiles")
+    }
+
+    #[test]
+    fn image_has_runtime_then_user_code() {
+        let img = image("int main() { return 42; }");
+        assert_eq!(img.funcs[0].name, "__exit");
+        assert_eq!(img.funcs[1].name, "__print");
+        let main = img.func("main").expect("main present");
+        assert!(main.start > img.funcs[1].end - 1);
+        assert_eq!(img.main_addr, main.start);
+        assert_eq!(img.exit_addr, img.base);
+    }
+
+    #[test]
+    fn text_disassembles_cleanly() {
+        let img = image(
+            "int g; int a[4];
+             int add(int x, int y) { return x + y; }
+             int main() { g = add(2, 3); a[1] = g * 7; print(a[1]); return g; }",
+        );
+        // Linear sweep over the whole text must decode with no leftovers.
+        let insts = decode_all(&img.text);
+        let covered: usize = insts.iter().map(|(_, d)| d.len).sum();
+        assert_eq!(covered, img.text.len(), "undecodable bytes in text");
+    }
+
+    #[test]
+    fn globals_have_fixed_addresses_and_init() {
+        let img = image("int x = 7; int buf[3]; int y = -1; int main() { return x; }");
+        assert_eq!(img.global_addr("x"), Some(DATA_BASE));
+        assert_eq!(img.global_addr("buf"), Some(DATA_BASE + 4));
+        assert_eq!(img.global_addr("y"), Some(DATA_BASE + 16));
+        assert_eq!(&img.data[0..4], &7i32.to_le_bytes());
+        assert_eq!(&img.data[16..20], &(-1i32).to_le_bytes());
+        assert_eq!(&img.data[4..16], &[0u8; 12]);
+    }
+
+    #[test]
+    fn missing_main_is_an_error() {
+        assert!(driver::compile("t", "int f() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn branch_fixups_resolve() {
+        let img = image(
+            "int main() {
+                int s = 0;
+                for (int i = 0; i < 10; i++) { if (i % 2 == 0) { s += i; } else { s -= 1; } }
+                return s;
+             }",
+        );
+        // Every rel32 branch target must land inside the text section on
+        // an instruction boundary (checked roughly: within bounds).
+        let insts = decode_all(&img.text);
+        let covered: usize = insts.iter().map(|(_, d)| d.len).sum();
+        assert_eq!(covered, img.text.len());
+    }
+}

@@ -1,0 +1,160 @@
+//! Abstract syntax tree for MiniC.
+//!
+//! MiniC is a deliberately small C subset: every value is a 32-bit signed
+//! integer, aggregates are one-dimensional `int` arrays (global or local),
+//! and the only side-effecting builtin is `print(x)`.
+
+use crate::error::Pos;
+
+/// Binary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Short-circuit `&&`.
+    LogAnd,
+    /// Short-circuit `||`.
+    LogOr,
+}
+
+/// Unary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Bitwise complement `~x`.
+    BitNot,
+    /// Logical not `!x` (yields 0 or 1).
+    LogNot,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int { value: i32, pos: Pos },
+    /// Variable reference.
+    Var { name: String, pos: Pos },
+    /// Array element read `a[i]`.
+    Index { name: String, index: Box<Expr>, pos: Pos },
+    /// Function call `f(a, b)`.
+    Call { name: String, args: Vec<Expr>, pos: Pos },
+    /// Binary operation.
+    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr>, pos: Pos },
+    /// Unary operation.
+    Un { op: UnOp, operand: Box<Expr>, pos: Pos },
+}
+
+impl Expr {
+    /// The source position of the expression's head token.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Int { pos, .. }
+            | Expr::Var { pos, .. }
+            | Expr::Index { pos, .. }
+            | Expr::Call { pos, .. }
+            | Expr::Bin { pos, .. }
+            | Expr::Un { pos, .. } => *pos,
+        }
+    }
+}
+
+/// An assignment target: a scalar variable or an array element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LValue {
+    /// `x = …`
+    Var { name: String, pos: Pos },
+    /// `a[i] = …`
+    Index { name: String, index: Box<Expr>, pos: Pos },
+}
+
+impl LValue {
+    /// The source position of the target.
+    pub fn pos(&self) -> Pos {
+        match self {
+            LValue::Var { pos, .. } | LValue::Index { pos, .. } => *pos,
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `int x;` or `int x = e;`
+    DeclScalar { name: String, init: Option<Expr>, pos: Pos },
+    /// `int a[N];`
+    DeclArray { name: String, len: u32, pos: Pos },
+    /// `lv = e;` (also produced by desugaring `+=`, `++` etc.).
+    Assign { target: LValue, value: Expr, pos: Pos },
+    /// Expression statement (only calls are useful).
+    Expr { value: Expr, pos: Pos },
+    /// `if (c) { … } else { … }`
+    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>, pos: Pos },
+    /// `while (c) { … }`
+    While { cond: Expr, body: Vec<Stmt>, pos: Pos },
+    /// `do { … } while (c);`
+    DoWhile { body: Vec<Stmt>, cond: Expr, pos: Pos },
+    /// `for (init; cond; step) { … }` — init/step are desugared statements.
+    For {
+        init: Vec<Stmt>,
+        cond: Option<Expr>,
+        step: Vec<Stmt>,
+        body: Vec<Stmt>,
+        pos: Pos,
+    },
+    /// `return;` / `return e;`
+    Return { value: Option<Expr>, pos: Pos },
+    /// `break;`
+    Break { pos: Pos },
+    /// `continue;`
+    Continue { pos: Pos },
+}
+
+/// A global variable: scalar (`len == None`) or array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalDecl {
+    /// Variable name.
+    pub name: String,
+    /// Array length, or `None` for a scalar.
+    pub len: Option<u32>,
+    /// Initial value for scalars (arrays are zero-initialized).
+    pub init: i32,
+    /// Declaration position.
+    pub pos: Pos,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameter names (all `int`).
+    pub params: Vec<String>,
+    /// Function body.
+    pub body: Vec<Stmt>,
+    /// Definition position.
+    pub pos: Pos,
+}
+
+/// A complete MiniC translation unit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Global variable declarations, in source order.
+    pub globals: Vec<GlobalDecl>,
+    /// Function definitions, in source order.
+    pub funcs: Vec<FuncDecl>,
+}

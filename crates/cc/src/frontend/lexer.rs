@@ -1,0 +1,387 @@
+//! Hand-written lexer for MiniC.
+
+use crate::error::{CompileError, Pos, Result};
+
+use super::token::{Token, TokenKind};
+
+/// Tokenizes MiniC source text.
+///
+/// Supports `//` line comments and `/* */` block comments, decimal and
+/// hexadecimal integer literals, and the full operator set of
+/// [`TokenKind`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on unterminated block comments, malformed
+/// numbers, out-of-range literals and unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn here(&self) -> Pos {
+        Pos { line: self.line, col: self.col }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let pos = self.here();
+            let Some(b) = self.peek() else {
+                out.push(Token { kind: TokenKind::Eof, pos });
+                return Ok(out);
+            };
+            let kind = match b {
+                b'0'..=b'9' => self.number(pos)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(),
+                _ => self.operator(pos)?,
+            };
+            out.push(Token { kind, pos });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.here();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(CompileError::at(start, "unterminated block comment"))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self, pos: Pos) -> Result<TokenKind> {
+        let mut value: i64 = 0;
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.bump();
+            self.bump();
+            let mut any = false;
+            while let Some(b) = self.peek() {
+                let digit = match b {
+                    b'0'..=b'9' => i64::from(b - b'0'),
+                    b'a'..=b'f' => i64::from(b - b'a' + 10),
+                    b'A'..=b'F' => i64::from(b - b'A' + 10),
+                    _ => break,
+                };
+                any = true;
+                value = value
+                    .checked_mul(16)
+                    .and_then(|v| v.checked_add(digit))
+                    .ok_or_else(|| CompileError::at(pos, "integer literal overflows"))?;
+                self.bump();
+            }
+            if !any {
+                return Err(CompileError::at(pos, "expected hex digits after `0x`"));
+            }
+        } else {
+            while let Some(b @ b'0'..=b'9') = self.peek() {
+                value = value
+                    .checked_mul(10)
+                    .and_then(|v| v.checked_add(i64::from(b - b'0')))
+                    .ok_or_else(|| CompileError::at(pos, "integer literal overflows"))?;
+                self.bump();
+            }
+        }
+        // Allow up to u32::MAX so `0xFFFFFFFF` works; it wraps to -1.
+        if value > i64::from(u32::MAX) {
+            return Err(CompileError::at(pos, "integer literal does not fit in 32 bits"));
+        }
+        Ok(TokenKind::Int(value))
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii identifier");
+        match text {
+            "int" => TokenKind::KwInt,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "for" => TokenKind::KwFor,
+            "do" => TokenKind::KwDo,
+            "return" => TokenKind::KwReturn,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            _ => TokenKind::Ident(text.to_owned()),
+        }
+    }
+
+    fn operator(&mut self, pos: Pos) -> Result<TokenKind> {
+        let b = self.bump().expect("caller checked non-empty");
+        let kind = match b {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b',' => TokenKind::Comma,
+            b';' => TokenKind::Semi,
+            b'+' => {
+                if self.eat(b'+') {
+                    TokenKind::PlusPlus
+                } else if self.eat(b'=') {
+                    TokenKind::PlusAssign
+                } else {
+                    TokenKind::Plus
+                }
+            }
+            b'-' => {
+                if self.eat(b'-') {
+                    TokenKind::MinusMinus
+                } else if self.eat(b'=') {
+                    TokenKind::MinusAssign
+                } else {
+                    TokenKind::Minus
+                }
+            }
+            b'*' => {
+                if self.eat(b'=') {
+                    TokenKind::StarAssign
+                } else {
+                    TokenKind::Star
+                }
+            }
+            b'/' => {
+                if self.eat(b'=') {
+                    TokenKind::SlashAssign
+                } else {
+                    TokenKind::Slash
+                }
+            }
+            b'%' => {
+                if self.eat(b'=') {
+                    TokenKind::PercentAssign
+                } else {
+                    TokenKind::Percent
+                }
+            }
+            b'=' => {
+                if self.eat(b'=') {
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            b'!' => {
+                if self.eat(b'=') {
+                    TokenKind::NotEq
+                } else {
+                    TokenKind::Not
+                }
+            }
+            b'<' => {
+                if self.eat(b'=') {
+                    TokenKind::Le
+                } else if self.eat(b'<') {
+                    if self.eat(b'=') {
+                        TokenKind::ShlAssign
+                    } else {
+                        TokenKind::Shl
+                    }
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            b'>' => {
+                if self.eat(b'=') {
+                    TokenKind::Ge
+                } else if self.eat(b'>') {
+                    if self.eat(b'=') {
+                        TokenKind::ShrAssign
+                    } else {
+                        TokenKind::Shr
+                    }
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'&' => {
+                if self.eat(b'&') {
+                    TokenKind::AndAnd
+                } else if self.eat(b'=') {
+                    TokenKind::AmpAssign
+                } else {
+                    TokenKind::Amp
+                }
+            }
+            b'|' => {
+                if self.eat(b'|') {
+                    TokenKind::OrOr
+                } else if self.eat(b'=') {
+                    TokenKind::PipeAssign
+                } else {
+                    TokenKind::Pipe
+                }
+            }
+            b'^' => {
+                if self.eat(b'=') {
+                    TokenKind::CaretAssign
+                } else {
+                    TokenKind::Caret
+                }
+            }
+            b'~' => TokenKind::Tilde,
+            _ => {
+                return Err(CompileError::at(
+                    pos,
+                    format!("unexpected character `{}`", b as char),
+                ))
+            }
+        };
+        Ok(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).expect("lexes").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("int x while whale"),
+            vec![
+                TokenKind::KwInt,
+                TokenKind::Ident("x".into()),
+                TokenKind::KwWhile,
+                TokenKind::Ident("whale".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("0 42 0x10"), vec![
+            TokenKind::Int(0),
+            TokenKind::Int(42),
+            TokenKind::Int(16),
+            TokenKind::Eof
+        ]);
+        assert!(lex("0x").is_err());
+        assert!(lex("4294967296").is_err());
+        assert_eq!(kinds("4294967295")[0], TokenKind::Int(4294967295));
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(kinds("<<=  <= < == = != ! ++ +="), vec![
+            TokenKind::ShlAssign,
+            TokenKind::Le,
+            TokenKind::Lt,
+            TokenKind::EqEq,
+            TokenKind::Assign,
+            TokenKind::NotEq,
+            TokenKind::Not,
+            TokenKind::PlusPlus,
+            TokenKind::PlusAssign,
+            TokenKind::Eof
+        ]);
+    }
+
+    #[test]
+    fn comments() {
+        assert_eq!(kinds("1 // two\n3 /* four \n five */ 6"), vec![
+            TokenKind::Int(1),
+            TokenKind::Int(3),
+            TokenKind::Int(6),
+            TokenKind::Eof
+        ]);
+        assert!(lex("/* never ends").is_err());
+    }
+
+    #[test]
+    fn positions() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("int $x;").is_err());
+        assert!(lex("a @ b").is_err());
+    }
+}

@@ -1,0 +1,9 @@
+//! MiniC frontend: lexer, parser and AST.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use lexer::lex;
+pub use parser::parse;

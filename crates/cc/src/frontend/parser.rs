@@ -1,0 +1,662 @@
+//! Recursive-descent parser for MiniC.
+
+use crate::error::{CompileError, Pos, Result};
+
+use super::ast::*;
+use super::token::{Token, TokenKind};
+
+/// Parses a token stream into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first syntax error encountered, with its source position.
+pub fn parse(tokens: Vec<Token>) -> Result<Program> {
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        let i = (self.pos + 1).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn here(&self) -> Pos {
+        self.tokens[self.pos].pos
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token> {
+        if self.peek() == kind {
+            Ok(self.bump())
+        } else {
+            Err(CompileError::at(
+                self.here(),
+                format!("expected {kind}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Pos)> {
+        let pos = self.here();
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok((name, pos))
+            }
+            other => Err(CompileError::at(pos, format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn int_lit(&mut self) -> Result<(i64, Pos)> {
+        let pos = self.here();
+        match *self.peek() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok((v, pos))
+            }
+            ref other => {
+                Err(CompileError::at(pos, format!("expected integer literal, found {other}")))
+            }
+        }
+    }
+
+    fn program(mut self) -> Result<Program> {
+        let mut prog = Program::default();
+        while *self.peek() != TokenKind::Eof {
+            let pos = self.here();
+            self.expect(&TokenKind::KwInt)?;
+            let (name, _) = self.ident()?;
+            if *self.peek() == TokenKind::LParen {
+                prog.funcs.push(self.func_rest(name, pos)?);
+            } else {
+                prog.globals.push(self.global_rest(name, pos)?);
+            }
+        }
+        Ok(prog)
+    }
+
+    fn global_rest(&mut self, name: String, pos: Pos) -> Result<GlobalDecl> {
+        let mut len = None;
+        let mut init = 0;
+        if self.eat(&TokenKind::LBracket) {
+            let (n, npos) = self.int_lit()?;
+            if n <= 0 || n > 1 << 24 {
+                return Err(CompileError::at(npos, "array length out of range"));
+            }
+            len = Some(n as u32);
+            self.expect(&TokenKind::RBracket)?;
+        } else if self.eat(&TokenKind::Assign) {
+            let neg = self.eat(&TokenKind::Minus);
+            let (v, _) = self.int_lit()?;
+            let v = if neg { -v } else { v };
+            init = v as i32;
+        }
+        self.expect(&TokenKind::Semi)?;
+        Ok(GlobalDecl { name, len, init, pos })
+    }
+
+    fn func_rest(&mut self, name: String, pos: Pos) -> Result<FuncDecl> {
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                self.expect(&TokenKind::KwInt)?;
+                let (p, _) = self.ident()?;
+                params.push(p);
+                if self.eat(&TokenKind::RParen) {
+                    break;
+                }
+                self.expect(&TokenKind::Comma)?;
+            }
+        }
+        let body = self.block()?;
+        Ok(FuncDecl { name, params, body, pos })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    /// A block, or a single statement promoted to a one-statement block.
+    fn block_or_stmt(&mut self) -> Result<Vec<Stmt>> {
+        if *self.peek() == TokenKind::LBrace {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        let pos = self.here();
+        match self.peek().clone() {
+            TokenKind::KwInt => {
+                self.bump();
+                let (name, _) = self.ident()?;
+                if self.eat(&TokenKind::LBracket) {
+                    let (n, npos) = self.int_lit()?;
+                    if n <= 0 || n > 1 << 20 {
+                        return Err(CompileError::at(npos, "array length out of range"));
+                    }
+                    self.expect(&TokenKind::RBracket)?;
+                    self.expect(&TokenKind::Semi)?;
+                    Ok(Stmt::DeclArray { name, len: n as u32, pos })
+                } else {
+                    let init = if self.eat(&TokenKind::Assign) {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
+                    self.expect(&TokenKind::Semi)?;
+                    Ok(Stmt::DeclScalar { name, init, pos })
+                }
+            }
+            TokenKind::KwIf => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let then_body = self.block_or_stmt()?;
+                let else_body = if self.eat(&TokenKind::KwElse) {
+                    self.block_or_stmt()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then_body, else_body, pos })
+            }
+            TokenKind::KwWhile => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = self.block_or_stmt()?;
+                Ok(Stmt::While { cond, body, pos })
+            }
+            TokenKind::KwDo => {
+                self.bump();
+                let body = self.block_or_stmt()?;
+                self.expect(&TokenKind::KwWhile)?;
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::DoWhile { body, cond, pos })
+            }
+            TokenKind::KwFor => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let init = if *self.peek() == TokenKind::Semi {
+                    self.bump();
+                    Vec::new()
+                } else if *self.peek() == TokenKind::KwInt {
+                    vec![self.stmt()?] // consumes the `;`
+                } else {
+                    let s = self.simple_stmt()?;
+                    self.expect(&TokenKind::Semi)?;
+                    vec![s]
+                };
+                let cond = if *self.peek() == TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&TokenKind::Semi)?;
+                let step = if *self.peek() == TokenKind::RParen {
+                    Vec::new()
+                } else {
+                    vec![self.simple_stmt()?]
+                };
+                self.expect(&TokenKind::RParen)?;
+                let body = self.block_or_stmt()?;
+                Ok(Stmt::For { init, cond, step, body, pos })
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                let value = if *self.peek() == TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Return { value, pos })
+            }
+            TokenKind::KwBreak => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Break { pos })
+            }
+            TokenKind::KwContinue => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Continue { pos })
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// An assignment, compound assignment, `++`/`--`, or expression
+    /// statement, without the trailing semicolon (shared by `for` headers).
+    fn simple_stmt(&mut self) -> Result<Stmt> {
+        let pos = self.here();
+        // Prefix increment/decrement.
+        if matches!(self.peek(), TokenKind::PlusPlus | TokenKind::MinusMinus) {
+            let op = self.bump().kind;
+            let target = self.lvalue()?;
+            return Ok(self.incdec(target, op == TokenKind::PlusPlus, pos));
+        }
+        if let TokenKind::Ident(_) = self.peek() {
+            // Look ahead to distinguish assignments from expression
+            // statements.
+            let is_assign_head = matches!(
+                self.peek2(),
+                TokenKind::Assign
+                    | TokenKind::PlusAssign
+                    | TokenKind::MinusAssign
+                    | TokenKind::StarAssign
+                    | TokenKind::SlashAssign
+                    | TokenKind::PercentAssign
+                    | TokenKind::AmpAssign
+                    | TokenKind::PipeAssign
+                    | TokenKind::CaretAssign
+                    | TokenKind::ShlAssign
+                    | TokenKind::ShrAssign
+                    | TokenKind::PlusPlus
+                    | TokenKind::MinusMinus
+                    | TokenKind::LBracket
+            );
+            if is_assign_head {
+                let save = self.pos;
+                let target = self.lvalue()?;
+                match self.peek().clone() {
+                    TokenKind::Assign => {
+                        self.bump();
+                        let value = self.expr()?;
+                        return Ok(Stmt::Assign { target, value, pos });
+                    }
+                    k @ (TokenKind::PlusAssign
+                    | TokenKind::MinusAssign
+                    | TokenKind::StarAssign
+                    | TokenKind::SlashAssign
+                    | TokenKind::PercentAssign
+                    | TokenKind::AmpAssign
+                    | TokenKind::PipeAssign
+                    | TokenKind::CaretAssign
+                    | TokenKind::ShlAssign
+                    | TokenKind::ShrAssign) => {
+                        self.bump();
+                        let rhs = self.expr()?;
+                        let op = match k {
+                            TokenKind::PlusAssign => BinOp::Add,
+                            TokenKind::MinusAssign => BinOp::Sub,
+                            TokenKind::StarAssign => BinOp::Mul,
+                            TokenKind::SlashAssign => BinOp::Div,
+                            TokenKind::AmpAssign => BinOp::BitAnd,
+                            TokenKind::PipeAssign => BinOp::BitOr,
+                            TokenKind::CaretAssign => BinOp::BitXor,
+                            TokenKind::ShlAssign => BinOp::Shl,
+                            TokenKind::ShrAssign => BinOp::Shr,
+                            _ => BinOp::Rem,
+                        };
+                        let value = Expr::Bin {
+                            op,
+                            lhs: Box::new(lvalue_to_expr(&target)),
+                            rhs: Box::new(rhs),
+                            pos,
+                        };
+                        return Ok(Stmt::Assign { target, value, pos });
+                    }
+                    TokenKind::PlusPlus => {
+                        self.bump();
+                        return Ok(self.incdec(target, true, pos));
+                    }
+                    TokenKind::MinusMinus => {
+                        self.bump();
+                        return Ok(self.incdec(target, false, pos));
+                    }
+                    _ => {
+                        // `a[i]` followed by something else: it was an
+                        // expression after all; rewind.
+                        self.pos = save;
+                    }
+                }
+            }
+        }
+        let value = self.expr()?;
+        Ok(Stmt::Expr { value, pos })
+    }
+
+    fn incdec(&mut self, target: LValue, inc: bool, pos: Pos) -> Stmt {
+        let value = Expr::Bin {
+            op: if inc { BinOp::Add } else { BinOp::Sub },
+            lhs: Box::new(lvalue_to_expr(&target)),
+            rhs: Box::new(Expr::Int { value: 1, pos }),
+            pos,
+        };
+        Stmt::Assign { target, value, pos }
+    }
+
+    fn lvalue(&mut self) -> Result<LValue> {
+        let (name, pos) = self.ident()?;
+        if self.eat(&TokenKind::LBracket) {
+            let index = self.expr()?;
+            self.expect(&TokenKind::RBracket)?;
+            Ok(LValue::Index { name, index: Box::new(index), pos })
+        } else {
+            Ok(LValue::Var { name, pos })
+        }
+    }
+
+    // Expression precedence climbing.
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.logic_or()
+    }
+
+    fn logic_or(&mut self) -> Result<Expr> {
+        let mut lhs = self.logic_and()?;
+        while *self.peek() == TokenKind::OrOr {
+            let pos = self.here();
+            self.bump();
+            let rhs = self.logic_and()?;
+            lhs = Expr::Bin { op: BinOp::LogOr, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+        }
+        Ok(lhs)
+    }
+
+    fn logic_and(&mut self) -> Result<Expr> {
+        let mut lhs = self.bit_or()?;
+        while *self.peek() == TokenKind::AndAnd {
+            let pos = self.here();
+            self.bump();
+            let rhs = self.bit_or()?;
+            lhs = Expr::Bin { op: BinOp::LogAnd, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+        }
+        Ok(lhs)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr> {
+        let mut lhs = self.bit_xor()?;
+        while *self.peek() == TokenKind::Pipe {
+            let pos = self.here();
+            self.bump();
+            let rhs = self.bit_xor()?;
+            lhs = Expr::Bin { op: BinOp::BitOr, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+        }
+        Ok(lhs)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr> {
+        let mut lhs = self.bit_and()?;
+        while *self.peek() == TokenKind::Caret {
+            let pos = self.here();
+            self.bump();
+            let rhs = self.bit_and()?;
+            lhs = Expr::Bin { op: BinOp::BitXor, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+        }
+        Ok(lhs)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr> {
+        let mut lhs = self.equality()?;
+        while *self.peek() == TokenKind::Amp {
+            let pos = self.here();
+            self.bump();
+            let rhs = self.equality()?;
+            lhs = Expr::Bin { op: BinOp::BitAnd, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::EqEq => BinOp::Eq,
+                TokenKind::NotEq => BinOp::Ne,
+                _ => return Ok(lhs),
+            };
+            let pos = self.here();
+            self.bump();
+            let rhs = self.relational()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+        }
+    }
+
+    fn relational(&mut self) -> Result<Expr> {
+        let mut lhs = self.shift()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => return Ok(lhs),
+            };
+            let pos = self.here();
+            self.bump();
+            let rhs = self.shift()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+        }
+    }
+
+    fn shift(&mut self) -> Result<Expr> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Shl => BinOp::Shl,
+                TokenKind::Shr => BinOp::Shr,
+                _ => return Ok(lhs),
+            };
+            let pos = self.here();
+            self.bump();
+            let rhs = self.additive()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            let pos = self.here();
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            let pos = self.here();
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        let pos = self.here();
+        let op = match self.peek() {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Tilde => Some(UnOp::BitNot),
+            TokenKind::Not => Some(UnOp::LogNot),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary()?;
+            return Ok(Expr::Un { op, operand: Box::new(operand), pos });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        let pos = self.here();
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int { value: v as i32, pos })
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&TokenKind::RParen) {
+                                break;
+                            }
+                            self.expect(&TokenKind::Comma)?;
+                        }
+                    }
+                    Ok(Expr::Call { name, args, pos })
+                } else if self.eat(&TokenKind::LBracket) {
+                    let index = self.expr()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    Ok(Expr::Index { name, index: Box::new(index), pos })
+                } else {
+                    Ok(Expr::Var { name, pos })
+                }
+            }
+            other => Err(CompileError::at(pos, format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+fn lvalue_to_expr(lv: &LValue) -> Expr {
+    match lv {
+        LValue::Var { name, pos } => Expr::Var { name: name.clone(), pos: *pos },
+        LValue::Index { name, index, pos } => {
+            Expr::Index { name: name.clone(), index: index.clone(), pos: *pos }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lexer::lex;
+    use super::*;
+
+    fn p(src: &str) -> Program {
+        parse(lex(src).expect("lexes")).expect("parses")
+    }
+
+    #[test]
+    fn globals_and_funcs() {
+        let prog = p("int g; int arr[10]; int neg = -5;\nint main() { return g; }");
+        assert_eq!(prog.globals.len(), 3);
+        assert_eq!(prog.globals[1].len, Some(10));
+        assert_eq!(prog.globals[2].init, -5);
+        assert_eq!(prog.funcs.len(), 1);
+        assert_eq!(prog.funcs[0].name, "main");
+    }
+
+    #[test]
+    fn precedence() {
+        let prog = p("int f() { return 1 + 2 * 3 < 4 && 5 | 6; }");
+        let Stmt::Return { value: Some(e), .. } = &prog.funcs[0].body[0] else {
+            panic!("expected return");
+        };
+        // Top must be &&.
+        let Expr::Bin { op: BinOp::LogAnd, lhs, .. } = e else {
+            panic!("expected &&, got {e:?}");
+        };
+        let Expr::Bin { op: BinOp::Lt, .. } = **lhs else {
+            panic!("expected < on lhs");
+        };
+    }
+
+    #[test]
+    fn compound_assignment_desugars() {
+        let prog = p("int f(int x) { x += 2; x++; --x; a[x] -= 1; return x; }");
+        let Stmt::Assign { value: Expr::Bin { op: BinOp::Add, .. }, .. } = &prog.funcs[0].body[0]
+        else {
+            panic!("+= must desugar to add");
+        };
+        assert!(matches!(&prog.funcs[0].body[3], Stmt::Assign { target: LValue::Index { .. }, .. }));
+    }
+
+    #[test]
+    fn for_and_while() {
+        let prog = p("int f() { for (int i = 0; i < 10; i++) { print(i); } while (1) break; return 0; }");
+        assert!(matches!(prog.funcs[0].body[0], Stmt::For { .. }));
+        assert!(matches!(prog.funcs[0].body[1], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn dangling_else_binds_inner() {
+        let prog = p("int f(int x) { if (x) if (x) return 1; else return 2; return 3; }");
+        let Stmt::If { else_body, then_body, .. } = &prog.funcs[0].body[0] else {
+            panic!()
+        };
+        assert!(else_body.is_empty());
+        let Stmt::If { else_body: inner_else, .. } = &then_body[0] else { panic!() };
+        assert_eq!(inner_else.len(), 1);
+    }
+
+    #[test]
+    fn array_read_statement_is_expr() {
+        // `a[i];` is a (useless) expression statement, not an assignment.
+        let prog = p("int f() { a[3]; return 0; }");
+        assert!(matches!(prog.funcs[0].body[0], Stmt::Expr { .. }));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(lex("int f( { }").unwrap()).is_err());
+        assert!(parse(lex("int f() { return 1 }").unwrap()).is_err());
+        assert!(parse(lex("int a[0];").unwrap()).is_err());
+        assert!(parse(lex("float f() {}").unwrap()).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Token definitions for the MiniC lexer.
+
+use std::fmt;
+
+use crate::error::Pos;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Integer literal (decimal or `0x` hexadecimal).
+    Int(i64),
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// `int`
+    KwInt,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `for`
+    KwFor,
+    /// `do`
+    KwDo,
+    /// `return`
+    KwReturn,
+    /// `break`
+    KwBreak,
+    /// `continue`
+    KwContinue,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    /// `=`
+    Assign,
+    /// `+=`, `-=`, `*=`, `/=`, `%=` — represented by the underlying op.
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TokenKind::Int(v) => return write!(f, "integer literal {v}"),
+            TokenKind::Ident(s) => return write!(f, "identifier `{s}`"),
+            TokenKind::KwInt => "`int`",
+            TokenKind::KwIf => "`if`",
+            TokenKind::KwElse => "`else`",
+            TokenKind::KwWhile => "`while`",
+            TokenKind::KwFor => "`for`",
+            TokenKind::KwDo => "`do`",
+            TokenKind::KwReturn => "`return`",
+            TokenKind::KwBreak => "`break`",
+            TokenKind::KwContinue => "`continue`",
+            TokenKind::LParen => "`(`",
+            TokenKind::RParen => "`)`",
+            TokenKind::LBrace => "`{`",
+            TokenKind::RBrace => "`}`",
+            TokenKind::LBracket => "`[`",
+            TokenKind::RBracket => "`]`",
+            TokenKind::Comma => "`,`",
+            TokenKind::Semi => "`;`",
+            TokenKind::Assign => "`=`",
+            TokenKind::PlusAssign => "`+=`",
+            TokenKind::MinusAssign => "`-=`",
+            TokenKind::StarAssign => "`*=`",
+            TokenKind::SlashAssign => "`/=`",
+            TokenKind::PercentAssign => "`%=`",
+            TokenKind::AmpAssign => "`&=`",
+            TokenKind::PipeAssign => "`|=`",
+            TokenKind::CaretAssign => "`^=`",
+            TokenKind::ShlAssign => "`<<=`",
+            TokenKind::ShrAssign => "`>>=`",
+            TokenKind::Plus => "`+`",
+            TokenKind::Minus => "`-`",
+            TokenKind::Star => "`*`",
+            TokenKind::Slash => "`/`",
+            TokenKind::Percent => "`%`",
+            TokenKind::EqEq => "`==`",
+            TokenKind::NotEq => "`!=`",
+            TokenKind::Lt => "`<`",
+            TokenKind::Le => "`<=`",
+            TokenKind::Gt => "`>`",
+            TokenKind::Ge => "`>=`",
+            TokenKind::AndAnd => "`&&`",
+            TokenKind::OrOr => "`||`",
+            TokenKind::Not => "`!`",
+            TokenKind::Amp => "`&`",
+            TokenKind::Pipe => "`|`",
+            TokenKind::Caret => "`^`",
+            TokenKind::Tilde => "`~`",
+            TokenKind::Shl => "`<<`",
+            TokenKind::Shr => "`>>`",
+            TokenKind::PlusPlus => "`++`",
+            TokenKind::MinusMinus => "`--`",
+            TokenKind::Eof => "end of input",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Position of the token's first character.
+    pub pos: Pos,
+}

@@ -1,0 +1,670 @@
+//! Lowers the MiniC AST into IR, performing name resolution and semantic
+//! checks (duplicate definitions, arity mismatches, array/scalar misuse,
+//! `break`/`continue` placement) along the way.
+
+use std::collections::HashMap;
+
+use crate::error::{CompileError, Pos, Result};
+use crate::frontend::ast::{self, Expr, FuncDecl, LValue, Program, Stmt};
+
+use super::{
+    BinOp, BlockId, CmpOp, FuncId, Function, Global, GlobalId, Instr, Module, Operand, SlotId,
+    Term, UnOp, ValueId,
+};
+
+/// Lowers a parsed [`Program`] to an IR [`Module`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for semantic errors: duplicate or undefined
+/// names, calling a variable, indexing a scalar, assigning to an array
+/// without an index, wrong argument counts, or `break`/`continue` outside a
+/// loop.
+pub fn build(name: &str, prog: &Program) -> Result<Module> {
+    let mut module = Module { name: name.to_owned(), ..Module::default() };
+    let mut globals: HashMap<String, (GlobalId, bool)> = HashMap::new();
+    for g in &prog.globals {
+        if globals.contains_key(&g.name) {
+            return Err(CompileError::at(g.pos, format!("duplicate global `{}`", g.name)));
+        }
+        let id = GlobalId(module.globals.len() as u32);
+        globals.insert(g.name.clone(), (id, g.len.is_some()));
+        module.globals.push(Global {
+            name: g.name.clone(),
+            words: g.len.unwrap_or(1),
+            init: if g.len.is_some() { Vec::new() } else { vec![g.init] },
+        });
+    }
+
+    let mut funcs: HashMap<String, (FuncId, usize)> = HashMap::new();
+    for (i, f) in prog.funcs.iter().enumerate() {
+        if funcs.contains_key(&f.name) {
+            return Err(CompileError::at(f.pos, format!("duplicate function `{}`", f.name)));
+        }
+        if globals.contains_key(&f.name) {
+            return Err(CompileError::at(
+                f.pos,
+                format!("`{}` is defined as both a global and a function", f.name),
+            ));
+        }
+        if f.name == "print" {
+            return Err(CompileError::at(f.pos, "`print` is a reserved builtin"));
+        }
+        funcs.insert(f.name.clone(), (FuncId(i as u32), f.params.len()));
+    }
+
+    for f in &prog.funcs {
+        let lowered = FnBuilder::new(f, &globals, &funcs).run()?;
+        module.funcs.push(lowered);
+    }
+    Ok(module)
+}
+
+/// What a name refers to inside a function body.
+#[derive(Clone, Copy)]
+enum Binding {
+    /// A scalar local or parameter, held in a virtual value.
+    Local(ValueId),
+    /// A local array in a stack slot.
+    Array(SlotId),
+    /// A global scalar.
+    GlobalScalar(GlobalId),
+    /// A global array.
+    GlobalArray(GlobalId),
+}
+
+struct FnBuilder<'a> {
+    decl: &'a FuncDecl,
+    globals: &'a HashMap<String, (GlobalId, bool)>,
+    funcs: &'a HashMap<String, (FuncId, usize)>,
+    func: Function,
+    /// Lexical scope stack; inner scopes shadow outer ones.
+    scopes: Vec<HashMap<String, Binding>>,
+    /// Current insertion block.
+    cur: BlockId,
+    /// (continue target, break target) stack.
+    loops: Vec<(BlockId, BlockId)>,
+    /// `true` once the current block has been terminated.
+    done: bool,
+}
+
+impl<'a> FnBuilder<'a> {
+    fn new(
+        decl: &'a FuncDecl,
+        globals: &'a HashMap<String, (GlobalId, bool)>,
+        funcs: &'a HashMap<String, (FuncId, usize)>,
+    ) -> FnBuilder<'a> {
+        let func = Function {
+            name: decl.name.clone(),
+            params: decl.params.len() as u32,
+            num_values: 0,
+            blocks: Vec::new(),
+            slots: Vec::new(),
+        };
+        FnBuilder {
+            decl,
+            globals,
+            funcs,
+            func,
+            scopes: Vec::new(),
+            cur: BlockId(0),
+            loops: Vec::new(),
+            done: false,
+        }
+    }
+
+    fn run(mut self) -> Result<Function> {
+        let entry = self.func.new_block();
+        self.cur = entry;
+        let mut top = HashMap::new();
+        for (i, p) in self.decl.params.iter().enumerate() {
+            if top.contains_key(p) {
+                return Err(CompileError::at(
+                    self.decl.pos,
+                    format!("duplicate parameter `{p}`"),
+                ));
+            }
+            let v = self.func.new_value();
+            debug_assert_eq!(v.0, i as u32);
+            top.insert(p.clone(), Binding::Local(v));
+        }
+        self.scopes.push(top);
+        self.stmts(&self.decl.body.to_vec())?;
+        if !self.done {
+            // Implicit `return 0`.
+            self.func.block_mut(self.cur).term = Term::Ret(Some(Operand::Const(0)));
+        }
+        Ok(self.func)
+    }
+
+    fn emit(&mut self, i: Instr) {
+        if !self.done {
+            self.func.block_mut(self.cur).instrs.push(i);
+        }
+    }
+
+    fn terminate(&mut self, t: Term) {
+        if !self.done {
+            self.func.block_mut(self.cur).term = t;
+            self.done = true;
+        }
+    }
+
+    /// Starts inserting into `b` (a fresh, unterminated block).
+    fn seal_to(&mut self, b: BlockId) {
+        self.cur = b;
+        self.done = false;
+    }
+
+    fn lookup(&self, name: &str, pos: Pos) -> Result<Binding> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(b) = scope.get(name) {
+                return Ok(*b);
+            }
+        }
+        if let Some(&(id, is_array)) = self.globals.get(name) {
+            return Ok(if is_array {
+                Binding::GlobalArray(id)
+            } else {
+                Binding::GlobalScalar(id)
+            });
+        }
+        Err(CompileError::at(pos, format!("undefined variable `{name}`")))
+    }
+
+    fn declare(&mut self, name: &str, binding: Binding, pos: Pos) -> Result<()> {
+        let scope = self.scopes.last_mut().expect("scope stack is never empty");
+        if scope.contains_key(name) {
+            return Err(CompileError::at(pos, format!("duplicate declaration of `{name}`")));
+        }
+        scope.insert(name.to_owned(), binding);
+        Ok(())
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) -> Result<()> {
+        self.scopes.push(HashMap::new());
+        for s in body {
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<()> {
+        match s {
+            Stmt::DeclScalar { name, init, pos } => {
+                let v = self.func.new_value();
+                let src = match init {
+                    Some(e) => self.expr(e)?,
+                    None => Operand::Const(0),
+                };
+                self.emit(Instr::Copy { dst: v, src });
+                self.declare(name, Binding::Local(v), *pos)
+            }
+            Stmt::DeclArray { name, len, pos } => {
+                let slot = SlotId(self.func.slots.len() as u32);
+                self.func.slots.push(*len);
+                self.declare(name, Binding::Array(slot), *pos)
+            }
+            Stmt::Assign { target, value, .. } => {
+                let src = self.expr(value)?;
+                self.assign(target, src)
+            }
+            Stmt::Expr { value, .. } => {
+                self.expr(value)?;
+                Ok(())
+            }
+            Stmt::If { cond, then_body, else_body, .. } => {
+                let then_b = self.func.new_block();
+                let else_b = self.func.new_block();
+                let join = self.func.new_block();
+                self.cond_branch(cond, then_b, else_b)?;
+                self.seal_to(then_b);
+                self.stmts(then_body)?;
+                self.terminate(Term::Br(join));
+                self.seal_to(else_b);
+                self.stmts(else_body)?;
+                self.terminate(Term::Br(join));
+                self.seal_to(join);
+                Ok(())
+            }
+            Stmt::While { cond, body, .. } => {
+                let head = self.func.new_block();
+                let body_b = self.func.new_block();
+                let exit = self.func.new_block();
+                self.terminate(Term::Br(head));
+                self.seal_to(head);
+                self.cond_branch(cond, body_b, exit)?;
+                self.seal_to(body_b);
+                self.loops.push((head, exit));
+                self.stmts(body)?;
+                self.loops.pop();
+                self.terminate(Term::Br(head));
+                self.seal_to(exit);
+                Ok(())
+            }
+            Stmt::DoWhile { body, cond, .. } => {
+                let body_b = self.func.new_block();
+                let head = self.func.new_block(); // condition re-check
+                let exit = self.func.new_block();
+                self.terminate(Term::Br(body_b));
+                self.seal_to(body_b);
+                self.loops.push((head, exit));
+                self.stmts(body)?;
+                self.loops.pop();
+                self.terminate(Term::Br(head));
+                self.seal_to(head);
+                self.cond_branch(cond, body_b, exit)?;
+                self.seal_to(exit);
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                self.scopes.push(HashMap::new()); // `for (int i = …)` scope
+                for s in init {
+                    self.stmt(s)?;
+                }
+                let head = self.func.new_block();
+                let body_b = self.func.new_block();
+                let step_b = self.func.new_block();
+                let exit = self.func.new_block();
+                self.terminate(Term::Br(head));
+                self.seal_to(head);
+                match cond {
+                    Some(c) => self.cond_branch(c, body_b, exit)?,
+                    None => self.terminate(Term::Br(body_b)),
+                }
+                self.seal_to(body_b);
+                self.loops.push((step_b, exit));
+                self.stmts(body)?;
+                self.loops.pop();
+                self.terminate(Term::Br(step_b));
+                self.seal_to(step_b);
+                for s in step {
+                    self.stmt(s)?;
+                }
+                self.terminate(Term::Br(head));
+                self.seal_to(exit);
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Return { value, .. } => {
+                let op = match value {
+                    Some(e) => Some(self.expr(e)?),
+                    None => Some(Operand::Const(0)),
+                };
+                self.terminate(Term::Ret(op));
+                // Subsequent statements in this block are unreachable; give
+                // them a fresh (orphan) block so building can continue.
+                let orphan = self.func.new_block();
+                self.seal_to(orphan);
+                self.done = false;
+                Ok(())
+            }
+            Stmt::Break { pos } => {
+                let (_, exit) = *self
+                    .loops
+                    .last()
+                    .ok_or_else(|| CompileError::at(*pos, "`break` outside of a loop"))?;
+                self.terminate(Term::Br(exit));
+                let orphan = self.func.new_block();
+                self.seal_to(orphan);
+                Ok(())
+            }
+            Stmt::Continue { pos } => {
+                let (cont, _) = *self
+                    .loops
+                    .last()
+                    .ok_or_else(|| CompileError::at(*pos, "`continue` outside of a loop"))?;
+                self.terminate(Term::Br(cont));
+                let orphan = self.func.new_block();
+                self.seal_to(orphan);
+                Ok(())
+            }
+        }
+    }
+
+    fn assign(&mut self, target: &LValue, src: Operand) -> Result<()> {
+        match target {
+            LValue::Var { name, pos } => match self.lookup(name, *pos)? {
+                Binding::Local(v) => {
+                    self.emit(Instr::Copy { dst: v, src });
+                    Ok(())
+                }
+                Binding::GlobalScalar(g) => {
+                    self.emit(Instr::StoreG { global: g, index: None, src });
+                    Ok(())
+                }
+                Binding::Array(_) | Binding::GlobalArray(_) => Err(CompileError::at(
+                    *pos,
+                    format!("cannot assign to array `{name}` without an index"),
+                )),
+            },
+            LValue::Index { name, index, pos } => {
+                let idx = self.expr(index)?;
+                match self.lookup(name, *pos)? {
+                    Binding::Array(slot) => {
+                        self.emit(Instr::StoreA { slot, index: idx, src });
+                        Ok(())
+                    }
+                    Binding::GlobalArray(g) => {
+                        self.emit(Instr::StoreG { global: g, index: Some(idx), src });
+                        Ok(())
+                    }
+                    Binding::Local(_) | Binding::GlobalScalar(_) => {
+                        Err(CompileError::at(*pos, format!("`{name}` is not an array")))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lowers `cond` directly into control flow (short-circuit aware).
+    fn cond_branch(&mut self, cond: &Expr, t: BlockId, f: BlockId) -> Result<()> {
+        match cond {
+            Expr::Bin { op: ast::BinOp::LogAnd, lhs, rhs, .. } => {
+                let mid = self.func.new_block();
+                self.cond_branch(lhs, mid, f)?;
+                self.seal_to(mid);
+                self.cond_branch(rhs, t, f)
+            }
+            Expr::Bin { op: ast::BinOp::LogOr, lhs, rhs, .. } => {
+                let mid = self.func.new_block();
+                self.cond_branch(lhs, t, mid)?;
+                self.seal_to(mid);
+                self.cond_branch(rhs, t, f)
+            }
+            Expr::Un { op: ast::UnOp::LogNot, operand, .. } => self.cond_branch(operand, f, t),
+            Expr::Bin { op, lhs, rhs, pos } => {
+                if let Some(cmp) = ast_cmp(*op) {
+                    let l = self.expr(lhs)?;
+                    let r = self.expr(rhs)?;
+                    let dst = self.func.new_value();
+                    self.emit(Instr::Cmp { dst, op: cmp, lhs: l, rhs: r });
+                    self.terminate(Term::CondBr { cond: dst.into(), t, f });
+                    return Ok(());
+                }
+                let v = self.expr(&Expr::Bin {
+                    op: *op,
+                    lhs: lhs.clone(),
+                    rhs: rhs.clone(),
+                    pos: *pos,
+                })?;
+                self.terminate(Term::CondBr { cond: v, t, f });
+                Ok(())
+            }
+            other => {
+                let v = self.expr(other)?;
+                self.terminate(Term::CondBr { cond: v, t, f });
+                Ok(())
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Operand> {
+        match e {
+            Expr::Int { value, .. } => Ok(Operand::Const(*value)),
+            Expr::Var { name, pos } => match self.lookup(name, *pos)? {
+                Binding::Local(v) => Ok(v.into()),
+                Binding::GlobalScalar(g) => {
+                    let dst = self.func.new_value();
+                    self.emit(Instr::LoadG { dst, global: g, index: None });
+                    Ok(dst.into())
+                }
+                Binding::Array(_) | Binding::GlobalArray(_) => Err(CompileError::at(
+                    *pos,
+                    format!("array `{name}` cannot be used as a value"),
+                )),
+            },
+            Expr::Index { name, index, pos } => {
+                let idx = self.expr(index)?;
+                match self.lookup(name, *pos)? {
+                    Binding::Array(slot) => {
+                        let dst = self.func.new_value();
+                        self.emit(Instr::LoadA { dst, slot, index: idx });
+                        Ok(dst.into())
+                    }
+                    Binding::GlobalArray(g) => {
+                        let dst = self.func.new_value();
+                        self.emit(Instr::LoadG { dst, global: g, index: Some(idx) });
+                        Ok(dst.into())
+                    }
+                    _ => Err(CompileError::at(*pos, format!("`{name}` is not an array"))),
+                }
+            }
+            Expr::Call { name, args, pos } => {
+                if name == "print" {
+                    if args.len() != 1 {
+                        return Err(CompileError::at(*pos, "`print` takes exactly one argument"));
+                    }
+                    let src = self.expr(&args[0])?;
+                    self.emit(Instr::Print { src });
+                    return Ok(Operand::Const(0));
+                }
+                let &(func, arity) = self.funcs.get(name).ok_or_else(|| {
+                    CompileError::at(*pos, format!("undefined function `{name}`"))
+                })?;
+                if args.len() != arity {
+                    return Err(CompileError::at(
+                        *pos,
+                        format!("`{name}` expects {arity} argument(s), got {}", args.len()),
+                    ));
+                }
+                let mut ops = Vec::with_capacity(args.len());
+                for a in args {
+                    ops.push(self.expr(a)?);
+                }
+                let dst = self.func.new_value();
+                self.emit(Instr::Call { dst, func, args: ops });
+                Ok(dst.into())
+            }
+            Expr::Bin { op, lhs, rhs, .. } => match op {
+                ast::BinOp::LogAnd | ast::BinOp::LogOr => self.materialize_bool(e),
+                _ => {
+                    if let Some(cmp) = ast_cmp(*op) {
+                        let l = self.expr(lhs)?;
+                        let r = self.expr(rhs)?;
+                        let dst = self.func.new_value();
+                        self.emit(Instr::Cmp { dst, op: cmp, lhs: l, rhs: r });
+                        return Ok(dst.into());
+                    }
+                    let bop = ast_bin(*op).expect("cmp and logic handled above");
+                    let l = self.expr(lhs)?;
+                    let r = self.expr(rhs)?;
+                    let dst = self.func.new_value();
+                    self.emit(Instr::Bin { dst, op: bop, lhs: l, rhs: r });
+                    Ok(dst.into())
+                }
+            },
+            Expr::Un { op, operand, .. } => match op {
+                ast::UnOp::Neg => {
+                    let src = self.expr(operand)?;
+                    let dst = self.func.new_value();
+                    self.emit(Instr::Un { dst, op: UnOp::Neg, src });
+                    Ok(dst.into())
+                }
+                ast::UnOp::BitNot => {
+                    let src = self.expr(operand)?;
+                    let dst = self.func.new_value();
+                    self.emit(Instr::Un { dst, op: UnOp::BitNot, src });
+                    Ok(dst.into())
+                }
+                ast::UnOp::LogNot => {
+                    let src = self.expr(operand)?;
+                    let dst = self.func.new_value();
+                    self.emit(Instr::Cmp { dst, op: CmpOp::Eq, lhs: src, rhs: Operand::Const(0) });
+                    Ok(dst.into())
+                }
+            },
+        }
+    }
+
+    /// Materializes a short-circuit expression into a 0/1 value via a
+    /// control-flow diamond.
+    fn materialize_bool(&mut self, e: &Expr) -> Result<Operand> {
+        let dst = self.func.new_value();
+        let t = self.func.new_block();
+        let f = self.func.new_block();
+        let join = self.func.new_block();
+        self.cond_branch(e, t, f)?;
+        self.seal_to(t);
+        self.emit(Instr::Copy { dst, src: Operand::Const(1) });
+        self.terminate(Term::Br(join));
+        self.seal_to(f);
+        self.emit(Instr::Copy { dst, src: Operand::Const(0) });
+        self.terminate(Term::Br(join));
+        self.seal_to(join);
+        Ok(dst.into())
+    }
+}
+
+fn ast_bin(op: ast::BinOp) -> Option<BinOp> {
+    Some(match op {
+        ast::BinOp::Add => BinOp::Add,
+        ast::BinOp::Sub => BinOp::Sub,
+        ast::BinOp::Mul => BinOp::Mul,
+        ast::BinOp::Div => BinOp::Div,
+        ast::BinOp::Rem => BinOp::Rem,
+        ast::BinOp::BitAnd => BinOp::And,
+        ast::BinOp::BitOr => BinOp::Or,
+        ast::BinOp::BitXor => BinOp::Xor,
+        ast::BinOp::Shl => BinOp::Shl,
+        ast::BinOp::Shr => BinOp::Shr,
+        _ => return None,
+    })
+}
+
+fn ast_cmp(op: ast::BinOp) -> Option<CmpOp> {
+    Some(match op {
+        ast::BinOp::Eq => CmpOp::Eq,
+        ast::BinOp::Ne => CmpOp::Ne,
+        ast::BinOp::Lt => CmpOp::Lt,
+        ast::BinOp::Le => CmpOp::Le,
+        ast::BinOp::Gt => CmpOp::Gt,
+        ast::BinOp::Ge => CmpOp::Ge,
+        _ => None?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::{lexer::lex, parser::parse};
+
+    fn ir(src: &str) -> Module {
+        build("test", &parse(lex(src).unwrap()).unwrap()).expect("builds")
+    }
+
+    fn ir_err(src: &str) -> CompileError {
+        build("test", &parse(lex(src).unwrap()).unwrap()).expect_err("should fail")
+    }
+
+    #[test]
+    fn simple_function() {
+        let m = ir("int add(int a, int b) { return a + b; }");
+        let f = &m.funcs[0];
+        assert_eq!(f.params, 2);
+        assert!(matches!(
+            f.block(BlockId(0)).instrs[0],
+            Instr::Bin { op: BinOp::Add, .. }
+        ));
+        assert!(matches!(f.block(BlockId(0)).term, Term::Ret(Some(_))));
+    }
+
+    #[test]
+    fn while_loop_shape() {
+        let m = ir("int f(int n) { int s = 0; while (n > 0) { s = s + n; n = n - 1; } return s; }");
+        let f = &m.funcs[0];
+        // entry + head + body + exit (at least).
+        assert!(f.blocks.len() >= 4);
+        // Exactly one CondBr.
+        let conds = f
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Term::CondBr { .. }))
+            .count();
+        assert_eq!(conds, 1);
+    }
+
+    #[test]
+    fn short_circuit_creates_diamond() {
+        let m = ir("int f(int a, int b) { if (a && b) { return 1; } return 0; }");
+        let f = &m.funcs[0];
+        let conds = f
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Term::CondBr { .. }))
+            .count();
+        assert_eq!(conds, 2, "&& should produce two conditional branches");
+    }
+
+    #[test]
+    fn globals_and_arrays() {
+        let m = ir("int g = 3; int a[8]; int f(int i) { a[i] = g; return a[i]; }");
+        assert_eq!(m.globals[0].init, vec![3]);
+        assert_eq!(m.globals[1].words, 8);
+        let f = &m.funcs[0];
+        assert!(f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i, Instr::StoreG { index: Some(_), .. })));
+    }
+
+    #[test]
+    fn local_arrays_use_slots() {
+        let m = ir("int f() { int buf[16]; buf[0] = 1; return buf[0]; }");
+        assert_eq!(m.funcs[0].slots, vec![16]);
+    }
+
+    #[test]
+    fn print_builtin() {
+        let m = ir("int main() { print(42); return 0; }");
+        assert!(m.funcs[0]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i, Instr::Print { .. })));
+    }
+
+    #[test]
+    fn semantic_errors() {
+        assert!(ir_err("int f() { return x; }").message.contains("undefined variable"));
+        assert!(ir_err("int f() { break; }").message.contains("outside of a loop"));
+        assert!(ir_err("int g; int g; int f() { return 0; }")
+            .message
+            .contains("duplicate global"));
+        assert!(ir_err("int f(int a, int a) { return 0; }")
+            .message
+            .contains("duplicate parameter"));
+        assert!(ir_err("int a[4]; int f() { return a; }")
+            .message
+            .contains("cannot be used as a value"));
+        assert!(ir_err("int x; int f() { return x[0]; }").message.contains("not an array"));
+        assert!(ir_err("int f(int a) { return f(); }").message.contains("expects 1 argument"));
+        assert!(ir_err("int f() { return g(); }").message.contains("undefined function"));
+        assert!(ir_err("int a[4]; int f() { a = 1; return 0; }")
+            .message
+            .contains("without an index"));
+        assert!(ir_err("int print() { return 0; }").message.contains("reserved"));
+    }
+
+    #[test]
+    fn shadowing_in_inner_scope() {
+        let m = ir("int f(int x) { int y = x; if (x) { int y = 2; x = y; } return y; }");
+        assert_eq!(m.funcs.len(), 1);
+    }
+
+    #[test]
+    fn statements_after_return_are_orphaned() {
+        let m = ir("int f() { return 1; print(2); return 3; }");
+        // Must build without error; orphan blocks are cleaned by simplifycfg.
+        assert!(m.funcs[0].blocks.len() >= 2);
+    }
+
+    #[test]
+    fn for_loop_with_decl() {
+        let m = ir("int f() { int s = 0; for (int i = 0; i < 4; i++) s += i; return s; }");
+        let f = &m.funcs[0];
+        assert!(f.blocks.len() >= 5);
+    }
+}

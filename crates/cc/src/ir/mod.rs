@@ -1,0 +1,696 @@
+//! Mid-level intermediate representation (IR).
+//!
+//! A [`Module`] holds globals and functions; a [`Function`] is a
+//! control-flow graph of [`Block`]s containing three-address [`Instr`]s over
+//! an unbounded set of virtual values ([`ValueId`]). The IR is *not* SSA —
+//! named MiniC locals map to fixed values that are re-assigned — which keeps
+//! the builder and register allocation simple while still supporting the
+//! optimizations the pipeline needs (LLVM 3.1's backend, which the paper
+//! builds on, similarly operates on non-SSA machine IR at the NOP-insertion
+//! point).
+
+pub mod builder;
+pub mod passes;
+pub mod verify;
+
+use std::fmt;
+
+/// Identifies a virtual value within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ValueId(pub u32);
+
+/// Identifies a basic block within a function. Block 0 is the entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+/// Identifies a function within a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+/// Identifies a global variable within a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalId(pub u32);
+
+/// Identifies a stack slot (local array) within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotId(pub u32);
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// An instruction operand: a virtual value or an immediate constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A virtual value.
+    Value(ValueId),
+    /// An immediate 32-bit constant.
+    Const(i32),
+}
+
+impl Operand {
+    /// The value id, if this operand is a value.
+    pub fn value(self) -> Option<ValueId> {
+        match self {
+            Operand::Value(v) => Some(v),
+            Operand::Const(_) => None,
+        }
+    }
+
+    /// The constant, if this operand is an immediate.
+    pub fn constant(self) -> Option<i32> {
+        match self {
+            Operand::Value(_) => None,
+            Operand::Const(c) => Some(c),
+        }
+    }
+}
+
+impl From<ValueId> for Operand {
+    fn from(v: ValueId) -> Operand {
+        Operand::Value(v)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(c: i32) -> Operand {
+        Operand::Const(c)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Value(v) => v.fmt(f),
+            Operand::Const(c) => c.fmt(f),
+        }
+    }
+}
+
+/// Arithmetic and bitwise binary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    /// Signed division (C semantics: truncation toward zero).
+    Div,
+    /// Signed remainder.
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    /// Arithmetic (sign-preserving) right shift.
+    Shr,
+}
+
+impl BinOp {
+    /// Constant-folds `lhs op rhs` with 32-bit wrapping semantics.
+    ///
+    /// Returns `None` for division or remainder by zero (left to trap at
+    /// run time) and for shift counts outside `0..32`.
+    pub fn eval(self, lhs: i32, rhs: i32) -> Option<i32> {
+        Some(match self {
+            BinOp::Add => lhs.wrapping_add(rhs),
+            BinOp::Sub => lhs.wrapping_sub(rhs),
+            BinOp::Mul => lhs.wrapping_mul(rhs),
+            BinOp::Div => {
+                if rhs == 0 || (lhs == i32::MIN && rhs == -1) {
+                    return None;
+                }
+                lhs.wrapping_div(rhs)
+            }
+            BinOp::Rem => {
+                if rhs == 0 || (lhs == i32::MIN && rhs == -1) {
+                    return None;
+                }
+                lhs.wrapping_rem(rhs)
+            }
+            BinOp::And => lhs & rhs,
+            BinOp::Or => lhs | rhs,
+            BinOp::Xor => lhs ^ rhs,
+            BinOp::Shl => {
+                if !(0..32).contains(&rhs) {
+                    return None;
+                }
+                lhs.wrapping_shl(rhs as u32)
+            }
+            BinOp::Shr => {
+                if !(0..32).contains(&rhs) {
+                    return None;
+                }
+                lhs.wrapping_shr(rhs as u32)
+            }
+        })
+    }
+
+    /// `true` if `a op b == b op a`.
+    pub fn commutes(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor)
+    }
+
+    /// The lowercase mnemonic used by the IR printer.
+    pub fn name(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Unary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise complement.
+    BitNot,
+}
+
+impl UnOp {
+    /// Constant-folds `op src` with wrapping semantics.
+    pub fn eval(self, src: i32) -> i32 {
+        match self {
+            UnOp::Neg => src.wrapping_neg(),
+            UnOp::BitNot => !src,
+        }
+    }
+
+    /// The lowercase mnemonic used by the IR printer.
+    pub fn name(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::BitNot => "not",
+        }
+    }
+}
+
+/// Signed integer comparisons producing 0 or 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Constant-folds the comparison.
+    pub fn eval(self, lhs: i32, rhs: i32) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+
+    /// The logically negated comparison.
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// The comparison after swapping operands.
+    pub fn swapped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The lowercase mnemonic used by the IR printer.
+    pub fn name(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        }
+    }
+}
+
+/// A three-address IR instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// `dst = src`
+    Copy { dst: ValueId, src: Operand },
+    /// `dst = lhs op rhs`
+    Bin { dst: ValueId, op: BinOp, lhs: Operand, rhs: Operand },
+    /// `dst = op src`
+    Un { dst: ValueId, op: UnOp, src: Operand },
+    /// `dst = (lhs op rhs) ? 1 : 0`
+    Cmp { dst: ValueId, op: CmpOp, lhs: Operand, rhs: Operand },
+    /// `dst = global` or `dst = global[index]`
+    LoadG { dst: ValueId, global: GlobalId, index: Option<Operand> },
+    /// `global = src` or `global[index] = src`
+    StoreG { global: GlobalId, index: Option<Operand>, src: Operand },
+    /// `dst = slot[index]` — local array read.
+    LoadA { dst: ValueId, slot: SlotId, index: Operand },
+    /// `slot[index] = src` — local array write.
+    StoreA { slot: SlotId, index: Operand, src: Operand },
+    /// `dst = call func(args…)`
+    Call { dst: ValueId, func: FuncId, args: Vec<Operand> },
+    /// `print src` — lowered to a runtime call.
+    Print { src: Operand },
+    /// Increment edge-profiling counter `id` (inserted by instrumentation).
+    ProfCtr { id: u32 },
+}
+
+impl Instr {
+    /// The value this instruction defines, if any.
+    pub fn dst(&self) -> Option<ValueId> {
+        match self {
+            Instr::Copy { dst, .. }
+            | Instr::Bin { dst, .. }
+            | Instr::Un { dst, .. }
+            | Instr::Cmp { dst, .. }
+            | Instr::LoadG { dst, .. }
+            | Instr::LoadA { dst, .. }
+            | Instr::Call { dst, .. } => Some(*dst),
+            Instr::StoreG { .. } | Instr::StoreA { .. } | Instr::Print { .. }
+            | Instr::ProfCtr { .. } => None,
+        }
+    }
+
+    /// `true` if removing this instruction (when its result is unused)
+    /// cannot change observable behaviour.
+    ///
+    /// Division is treated as pure: MiniC leaves division-by-zero to trap
+    /// at run time, but a *dead* division cannot affect a well-defined
+    /// program's output.
+    pub fn is_pure(&self) -> bool {
+        matches!(
+            self,
+            Instr::Copy { .. }
+                | Instr::Bin { .. }
+                | Instr::Un { .. }
+                | Instr::Cmp { .. }
+                | Instr::LoadG { .. }
+                | Instr::LoadA { .. }
+        )
+    }
+
+    /// Invokes `f` for each operand read by this instruction.
+    pub fn for_each_use(&self, mut f: impl FnMut(&Operand)) {
+        match self {
+            Instr::Copy { src, .. } => f(src),
+            Instr::Bin { lhs, rhs, .. } | Instr::Cmp { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            Instr::Un { src, .. } => f(src),
+            Instr::LoadG { index, .. } => {
+                if let Some(i) = index {
+                    f(i);
+                }
+            }
+            Instr::StoreG { index, src, .. } => {
+                if let Some(i) = index {
+                    f(i);
+                }
+                f(src);
+            }
+            Instr::LoadA { index, .. } => f(index),
+            Instr::StoreA { index, src, .. } => {
+                f(index);
+                f(src);
+            }
+            Instr::Call { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            Instr::Print { src } => f(src),
+            Instr::ProfCtr { .. } => {}
+        }
+    }
+
+    /// Invokes `f` for each operand read by this instruction, mutably
+    /// (used by copy/constant propagation to rewrite uses in place).
+    pub fn for_each_use_mut(&mut self, mut f: impl FnMut(&mut Operand)) {
+        match self {
+            Instr::Copy { src, .. } => f(src),
+            Instr::Bin { lhs, rhs, .. } | Instr::Cmp { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            Instr::Un { src, .. } => f(src),
+            Instr::LoadG { index, .. } => {
+                if let Some(i) = index {
+                    f(i);
+                }
+            }
+            Instr::StoreG { index, src, .. } => {
+                if let Some(i) = index {
+                    f(i);
+                }
+                f(src);
+            }
+            Instr::LoadA { index, .. } => f(index),
+            Instr::StoreA { index, src, .. } => {
+                f(index);
+                f(src);
+            }
+            Instr::Call { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            Instr::Print { src } => f(src),
+            Instr::ProfCtr { .. } => {}
+        }
+    }
+}
+
+/// A basic-block terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Term {
+    /// Return from the function.
+    Ret(Option<Operand>),
+    /// Unconditional branch.
+    Br(BlockId),
+    /// Two-way conditional branch: to `t` if `cond != 0`, else to `f`.
+    CondBr { cond: Operand, t: BlockId, f: BlockId },
+}
+
+impl Term {
+    /// The successor blocks of this terminator (0, 1 or 2).
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Term::Ret(_) => Vec::new(),
+            Term::Br(b) => vec![*b],
+            Term::CondBr { t, f, .. } => vec![*t, *f],
+        }
+    }
+
+    /// Rewrites every successor equal to `from` into `to`.
+    pub fn replace_successor(&mut self, from: BlockId, to: BlockId) {
+        match self {
+            Term::Ret(_) => {}
+            Term::Br(b) => {
+                if *b == from {
+                    *b = to;
+                }
+            }
+            Term::CondBr { t, f, .. } => {
+                if *t == from {
+                    *t = to;
+                }
+                if *f == from {
+                    *f = to;
+                }
+            }
+        }
+    }
+}
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The block body in execution order.
+    pub instrs: Vec<Instr>,
+    /// The terminator.
+    pub term: Term,
+}
+
+/// A function: a CFG over blocks, with `params` leading values
+/// (`v0..v{params}`) bound to the arguments on entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name (unique within the module).
+    pub name: String,
+    /// Number of parameters; parameter `i` is value `v{i}`.
+    pub params: u32,
+    /// Number of virtual values allocated.
+    pub num_values: u32,
+    /// Basic blocks; index = `BlockId.0`; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Local array slots, in words (4 bytes each).
+    pub slots: Vec<u32>,
+}
+
+impl Function {
+    /// Allocates a fresh virtual value.
+    pub fn new_value(&mut self) -> ValueId {
+        let v = ValueId(self.num_values);
+        self.num_values += 1;
+        v
+    }
+
+    /// Appends a new block (with a placeholder `ret` terminator) and
+    /// returns its id.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block { instrs: Vec::new(), term: Term::Ret(None) });
+        id
+    }
+
+    /// The block with id `id`.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Mutable access to the block with id `id`.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.0 as usize]
+    }
+
+    /// All `(from, to)` control-flow edges, in block order.
+    pub fn edges(&self) -> Vec<(BlockId, BlockId)> {
+        let mut out = Vec::new();
+        for (i, b) in self.blocks.iter().enumerate() {
+            for s in b.term.successors() {
+                out.push((BlockId(i as u32), s));
+            }
+        }
+        out
+    }
+
+    /// Predecessor lists indexed by block id.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (from, to) in self.edges() {
+            preds[to.0 as usize].push(from);
+        }
+        preds
+    }
+
+    /// Splits the control-flow edge `from → to` by inserting a fresh empty
+    /// block between the two, and returns the new block's id.
+    ///
+    /// Used by edge-profiling instrumentation to give every instrumented
+    /// edge its own counter site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no `from → to` edge.
+    pub fn split_edge(&mut self, from: BlockId, to: BlockId) -> BlockId {
+        assert!(
+            self.block(from).term.successors().contains(&to),
+            "no edge {from} -> {to}"
+        );
+        let mid = self.new_block();
+        self.block_mut(mid).term = Term::Br(to);
+        self.block_mut(from).term.replace_successor(to, mid);
+        mid
+    }
+
+    /// Blocks reachable from the entry, as a boolean vector.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        if self.blocks.is_empty() {
+            return seen;
+        }
+        let mut stack = vec![BlockId(0)];
+        seen[0] = true;
+        while let Some(b) = stack.pop() {
+            for s in self.block(b).term.successors() {
+                if !seen[s.0 as usize] {
+                    seen[s.0 as usize] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// A global variable (scalar = 1 word, array = `words` words).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Global {
+    /// Name (unique within the module).
+    pub name: String,
+    /// Size in 32-bit words.
+    pub words: u32,
+    /// Initial words; shorter than `words` means the rest is zero.
+    pub init: Vec<i32>,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Module {
+    /// Module (program) name.
+    pub name: String,
+    /// Global variables.
+    pub globals: Vec<Global>,
+    /// Functions; index = `FuncId.0`.
+    pub funcs: Vec<Function>,
+    /// Number of profiling counters referenced by `ProfCtr` instructions.
+    pub num_counters: u32,
+}
+
+impl Module {
+    /// Finds a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<(FuncId, &Function)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for g in &self.globals {
+            writeln!(f, "global {} [{} words]", g.name, g.words)?;
+        }
+        for func in &self.funcs {
+            func.fmt(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "func {}({} params) {{", self.name, self.params)?;
+        for (i, b) in self.blocks.iter().enumerate() {
+            writeln!(f, "{}:", BlockId(i as u32))?;
+            for ins in &b.instrs {
+                writeln!(f, "  {ins:?}")?;
+            }
+            writeln!(f, "  {:?}", b.term)?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_block_fn() -> Function {
+        let mut f = Function {
+            name: "t".into(),
+            params: 0,
+            num_values: 0,
+            blocks: Vec::new(),
+            slots: Vec::new(),
+        };
+        let b0 = f.new_block();
+        let b1 = f.new_block();
+        let v = f.new_value();
+        f.block_mut(b0).instrs.push(Instr::Copy { dst: v, src: Operand::Const(1) });
+        f.block_mut(b0).term = Term::CondBr { cond: v.into(), t: b1, f: b0 };
+        f.block_mut(b1).term = Term::Ret(Some(v.into()));
+        f
+    }
+
+    #[test]
+    fn edges_and_preds() {
+        let f = two_block_fn();
+        assert_eq!(f.edges(), vec![(BlockId(0), BlockId(1)), (BlockId(0), BlockId(0))]);
+        let preds = f.predecessors();
+        assert_eq!(preds[0], vec![BlockId(0)]);
+        assert_eq!(preds[1], vec![BlockId(0)]);
+    }
+
+    #[test]
+    fn split_edge_preserves_paths() {
+        let mut f = two_block_fn();
+        let mid = f.split_edge(BlockId(0), BlockId(1));
+        assert_eq!(f.block(mid).term, Term::Br(BlockId(1)));
+        let succs = f.block(BlockId(0)).term.successors();
+        assert!(succs.contains(&mid));
+        assert!(!succs.contains(&BlockId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no edge")]
+    fn split_missing_edge_panics() {
+        let mut f = two_block_fn();
+        f.split_edge(BlockId(1), BlockId(0));
+    }
+
+    #[test]
+    fn binop_eval_edge_cases() {
+        assert_eq!(BinOp::Div.eval(7, 2), Some(3));
+        assert_eq!(BinOp::Div.eval(-7, 2), Some(-3)); // trunc toward zero
+        assert_eq!(BinOp::Div.eval(1, 0), None);
+        assert_eq!(BinOp::Div.eval(i32::MIN, -1), None);
+        assert_eq!(BinOp::Rem.eval(-7, 2), Some(-1));
+        assert_eq!(BinOp::Shl.eval(1, 33), None);
+        assert_eq!(BinOp::Shr.eval(-8, 1), Some(-4)); // arithmetic
+        assert_eq!(BinOp::Add.eval(i32::MAX, 1), Some(i32::MIN)); // wrap
+    }
+
+    #[test]
+    fn cmp_negate_and_swap() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            for (a, b) in [(1, 2), (2, 1), (3, 3)] {
+                assert_eq!(op.eval(a, b), !op.negated().eval(a, b));
+                assert_eq!(op.eval(a, b), op.swapped().eval(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn reachable_ignores_orphans() {
+        let mut f = two_block_fn();
+        let orphan = f.new_block();
+        let r = f.reachable();
+        assert!(r[0] && r[1]);
+        assert!(!r[orphan.0 as usize]);
+    }
+}

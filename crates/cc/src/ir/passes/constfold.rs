@@ -1,0 +1,247 @@
+//! Constant folding and algebraic simplification.
+
+use crate::ir::{Function, Instr, Operand, Term};
+
+use super::def_counts;
+
+/// Folds constant expressions and applies algebraic identities.
+///
+/// Because the IR is not SSA, only *single-definition* values participate
+/// in propagation; multi-definition values (reassigned locals) are left to
+/// the CFG-aware passes.
+///
+/// Returns `true` if anything changed.
+pub fn const_fold(func: &mut Function) -> bool {
+    let defs = def_counts(func);
+    let mut known: Vec<Option<i32>> = vec![None; func.num_values as usize];
+    let mut changed = false;
+
+    // Iterate locally until the known-constants map stabilizes. Each round
+    // can reveal new constants (a fold turns `Bin` into `Copy const`).
+    for _ in 0..8 {
+        let mut grew = false;
+        for block in &mut func.blocks {
+            for ins in &mut block.instrs {
+                // First rewrite operands we already know to be constant.
+                ins.for_each_use_mut(|op| {
+                    if let Operand::Value(v) = *op {
+                        if let Some(c) = known[v.0 as usize] {
+                            *op = Operand::Const(c);
+                            changed = true;
+                        }
+                    }
+                });
+                // Then try to fold the instruction itself.
+                if let Some(new) = fold_instr(ins) {
+                    *ins = new;
+                    changed = true;
+                }
+                // Record newly discovered constants.
+                if let Instr::Copy { dst, src: Operand::Const(c) } = *ins {
+                    if defs[dst.0 as usize] == 1 && known[dst.0 as usize].is_none() {
+                        known[dst.0 as usize] = Some(c);
+                        grew = true;
+                    }
+                }
+            }
+            // Operands in terminators.
+            match &mut block.term {
+                Term::Ret(Some(op)) | Term::CondBr { cond: op, .. } => {
+                    if let Operand::Value(v) = *op {
+                        if let Some(c) = known[v.0 as usize] {
+                            *op = Operand::Const(c);
+                            changed = true;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    changed
+}
+
+/// Attempts to simplify one instruction into a cheaper equivalent.
+fn fold_instr(ins: &Instr) -> Option<Instr> {
+    use crate::ir::BinOp::*;
+    match ins {
+        Instr::Bin { dst, op, lhs, rhs } => {
+            let dst = *dst;
+            match (lhs.constant(), rhs.constant()) {
+                (Some(a), Some(b)) => {
+                    let v = op.eval(a, b)?;
+                    Some(Instr::Copy { dst, src: Operand::Const(v) })
+                }
+                (None, Some(b)) => match (op, b) {
+                    (Add | Sub | Or | Xor | Shl | Shr, 0) => {
+                        Some(Instr::Copy { dst, src: *lhs })
+                    }
+                    (Mul | Div, 1) => Some(Instr::Copy { dst, src: *lhs }),
+                    (Mul | And, 0) => Some(Instr::Copy { dst, src: Operand::Const(0) }),
+                    (And, -1) => Some(Instr::Copy { dst, src: *lhs }),
+                    _ => None,
+                },
+                (Some(a), None) => match (op, a) {
+                    (Add | Or | Xor, 0) => Some(Instr::Copy { dst, src: *rhs }),
+                    (Mul, 1) => Some(Instr::Copy { dst, src: *rhs }),
+                    (Mul | And, 0) => Some(Instr::Copy { dst, src: Operand::Const(0) }),
+                    // Normalize constant-first commutative forms so the
+                    // backend sees `x op c`.
+                    _ if op.commutes() => Some(Instr::Bin {
+                        dst,
+                        op: *op,
+                        lhs: *rhs,
+                        rhs: Operand::Const(a),
+                    }),
+                    _ => None,
+                },
+                (None, None) => None,
+            }
+        }
+        Instr::Un { dst, op, src } => {
+            let c = src.constant()?;
+            Some(Instr::Copy { dst: *dst, src: Operand::Const(op.eval(c)) })
+        }
+        Instr::Cmp { dst, op, lhs, rhs } => {
+            let (a, b) = (lhs.constant()?, rhs.constant()?);
+            Some(Instr::Copy { dst: *dst, src: Operand::Const(op.eval(a, b) as i32) })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Block, CmpOp, Function, Term, UnOp, ValueId};
+
+    fn fun(instrs: Vec<Instr>, term: Term, num_values: u32) -> Function {
+        Function {
+            name: "t".into(),
+            params: 0,
+            num_values,
+            blocks: vec![Block { instrs, term }],
+            slots: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn folds_chain() {
+        // v0 = 2; v1 = v0 * 3; v2 = v1 + 4; ret v2  →  ret 10 (after uses
+        // rewritten; DCE removes the rest).
+        let mut f = fun(
+            vec![
+                Instr::Copy { dst: ValueId(0), src: Operand::Const(2) },
+                Instr::Bin {
+                    dst: ValueId(1),
+                    op: BinOp::Mul,
+                    lhs: Operand::Value(ValueId(0)),
+                    rhs: Operand::Const(3),
+                },
+                Instr::Bin {
+                    dst: ValueId(2),
+                    op: BinOp::Add,
+                    lhs: Operand::Value(ValueId(1)),
+                    rhs: Operand::Const(4),
+                },
+            ],
+            Term::Ret(Some(Operand::Value(ValueId(2)))),
+            3,
+        );
+        assert!(const_fold(&mut f));
+        assert_eq!(f.blocks[0].term, Term::Ret(Some(Operand::Const(10))));
+    }
+
+    #[test]
+    fn identities() {
+        let mut f = fun(
+            vec![Instr::Bin {
+                dst: ValueId(1),
+                op: BinOp::Add,
+                lhs: Operand::Value(ValueId(0)),
+                rhs: Operand::Const(0),
+            }],
+            Term::Ret(Some(Operand::Value(ValueId(1)))),
+            2,
+        );
+        assert!(const_fold(&mut f));
+        assert_eq!(
+            f.blocks[0].instrs[0],
+            Instr::Copy { dst: ValueId(1), src: Operand::Value(ValueId(0)) }
+        );
+    }
+
+    #[test]
+    fn commutative_normalization() {
+        // 5 + x  →  x + 5
+        let mut f = fun(
+            vec![Instr::Bin {
+                dst: ValueId(1),
+                op: BinOp::Add,
+                lhs: Operand::Const(5),
+                rhs: Operand::Value(ValueId(0)),
+            }],
+            Term::Ret(Some(Operand::Value(ValueId(1)))),
+            2,
+        );
+        assert!(const_fold(&mut f));
+        match &f.blocks[0].instrs[0] {
+            Instr::Bin { lhs: Operand::Value(_), rhs: Operand::Const(5), .. } => {}
+            other => panic!("not normalized: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn division_by_zero_not_folded() {
+        let mut f = fun(
+            vec![Instr::Bin {
+                dst: ValueId(0),
+                op: BinOp::Div,
+                lhs: Operand::Const(1),
+                rhs: Operand::Const(0),
+            }],
+            Term::Ret(Some(Operand::Value(ValueId(0)))),
+            1,
+        );
+        const_fold(&mut f);
+        assert!(matches!(f.blocks[0].instrs[0], Instr::Bin { .. }));
+    }
+
+    #[test]
+    fn multidef_values_not_propagated() {
+        // v0 defined twice: must not be treated as constant.
+        let mut f = fun(
+            vec![
+                Instr::Copy { dst: ValueId(0), src: Operand::Const(1) },
+                Instr::Copy { dst: ValueId(0), src: Operand::Const(2) },
+            ],
+            Term::Ret(Some(Operand::Value(ValueId(0)))),
+            1,
+        );
+        const_fold(&mut f);
+        assert_eq!(f.blocks[0].term, Term::Ret(Some(Operand::Value(ValueId(0)))));
+    }
+
+    #[test]
+    fn folds_unary_and_cmp() {
+        let mut f = fun(
+            vec![
+                Instr::Un { dst: ValueId(0), op: UnOp::Neg, src: Operand::Const(7) },
+                Instr::Cmp {
+                    dst: ValueId(1),
+                    op: CmpOp::Lt,
+                    lhs: Operand::Const(1),
+                    rhs: Operand::Const(2),
+                },
+            ],
+            Term::Ret(Some(Operand::Value(ValueId(1)))),
+            2,
+        );
+        assert!(const_fold(&mut f));
+        assert_eq!(f.blocks[0].instrs[0], Instr::Copy { dst: ValueId(0), src: Operand::Const(-7) });
+        assert_eq!(f.blocks[0].term, Term::Ret(Some(Operand::Const(1))));
+    }
+}

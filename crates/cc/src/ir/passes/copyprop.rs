@@ -1,0 +1,118 @@
+//! Copy propagation for single-definition values.
+
+use crate::ir::{Function, Operand, Term};
+
+use super::def_counts;
+
+/// Replaces uses of `v` with `s` whenever `v` is defined exactly once as
+/// `v = s` and `s` itself is defined exactly once (so its value can never
+/// differ between the definition of `v` and any use of `v`).
+///
+/// Copy chains (`a = b; c = a; use c`) resolve fully in one run via path
+/// compression.
+///
+/// Returns `true` if anything changed.
+pub fn copy_propagate(func: &mut Function) -> bool {
+    let defs = def_counts(func);
+    let n = func.num_values as usize;
+    // forward[v] = the value v is a single-def copy of.
+    let mut forward: Vec<Option<u32>> = vec![None; n];
+    for block in &func.blocks {
+        for ins in &block.instrs {
+            if let crate::ir::Instr::Copy { dst, src: Operand::Value(s) } = ins {
+                if defs[dst.0 as usize] == 1 && defs[s.0 as usize] == 1 && dst != s {
+                    forward[dst.0 as usize] = Some(s.0);
+                }
+            }
+        }
+    }
+    // Path-compress chains (bounded: chains cannot be longer than n).
+    let resolve = |mut v: u32, forward: &[Option<u32>]| -> u32 {
+        let mut steps = 0;
+        while let Some(next) = forward[v as usize] {
+            v = next;
+            steps += 1;
+            if steps > forward.len() {
+                break; // defensive: cycles are impossible for 1-def values
+            }
+        }
+        v
+    };
+
+    let mut changed = false;
+    let mut rewrite = |op: &mut Operand| {
+        if let Operand::Value(v) = *op {
+            let root = resolve(v.0, &forward);
+            if root != v.0 {
+                *op = Operand::Value(crate::ir::ValueId(root));
+                changed = true;
+            }
+        }
+    };
+    for block in &mut func.blocks {
+        for ins in &mut block.instrs {
+            ins.for_each_use_mut(&mut rewrite);
+        }
+        match &mut block.term {
+            Term::Ret(Some(op)) | Term::CondBr { cond: op, .. } => rewrite(op),
+            _ => {}
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Block, Instr, Operand, Term, ValueId};
+
+    #[test]
+    fn chains_resolve() {
+        // v1 = v0; v2 = v1; v3 = v2 + 1; ret v3 — uses of v2 become v0.
+        let mut f = Function {
+            name: "t".into(),
+            params: 1,
+            num_values: 4,
+            blocks: vec![Block {
+                instrs: vec![
+                    Instr::Copy { dst: ValueId(1), src: Operand::Value(ValueId(0)) },
+                    Instr::Copy { dst: ValueId(2), src: Operand::Value(ValueId(1)) },
+                    Instr::Bin {
+                        dst: ValueId(3),
+                        op: BinOp::Add,
+                        lhs: Operand::Value(ValueId(2)),
+                        rhs: Operand::Const(1),
+                    },
+                ],
+                term: Term::Ret(Some(Operand::Value(ValueId(3)))),
+            }],
+            slots: Vec::new(),
+        };
+        assert!(copy_propagate(&mut f));
+        match &f.blocks[0].instrs[2] {
+            Instr::Bin { lhs: Operand::Value(v), .. } => assert_eq!(*v, ValueId(0)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multidef_source_blocks_propagation() {
+        // v0 reassigned: copies of it must not be propagated.
+        let mut f = Function {
+            name: "t".into(),
+            params: 0,
+            num_values: 2,
+            blocks: vec![Block {
+                instrs: vec![
+                    Instr::Copy { dst: ValueId(0), src: Operand::Const(1) },
+                    Instr::Copy { dst: ValueId(1), src: Operand::Value(ValueId(0)) },
+                    Instr::Copy { dst: ValueId(0), src: Operand::Const(2) },
+                ],
+                term: Term::Ret(Some(Operand::Value(ValueId(1)))),
+            }],
+            slots: Vec::new(),
+        };
+        assert!(!copy_propagate(&mut f));
+        assert_eq!(f.blocks[0].term, Term::Ret(Some(Operand::Value(ValueId(1)))));
+    }
+}

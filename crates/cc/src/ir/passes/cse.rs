@@ -1,0 +1,257 @@
+//! Local (per-block) common-subexpression elimination.
+//!
+//! Within a basic block, a pure computation whose operands are unchanged
+//! since an earlier identical computation is replaced by a copy of the
+//! earlier result. Because the IR is not SSA, availability is tracked
+//! conservatively: redefining any value invalidates every expression that
+//! reads it (and the expression cached *in* it), and any memory write,
+//! call or other side effect invalidates all cached loads.
+
+use std::collections::HashMap;
+
+use crate::ir::{Function, Instr, Operand, ValueId};
+
+/// A hashable key identifying a pure computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ExprKey {
+    Bin(crate::ir::BinOp, Operand, Operand),
+    Cmp(crate::ir::CmpOp, Operand, Operand),
+    Un(crate::ir::UnOp, Operand),
+    LoadG(u32, Option<Operand>),
+    LoadA(u32, Operand),
+}
+
+impl ExprKey {
+    fn of(instr: &Instr) -> Option<ExprKey> {
+        Some(match instr {
+            Instr::Bin { op, lhs, rhs, .. } => ExprKey::Bin(*op, *lhs, *rhs),
+            Instr::Cmp { op, lhs, rhs, .. } => ExprKey::Cmp(*op, *lhs, *rhs),
+            Instr::Un { op, src, .. } => ExprKey::Un(*op, *src),
+            Instr::LoadG { global, index, .. } => ExprKey::LoadG(global.0, *index),
+            Instr::LoadA { slot, index, .. } => ExprKey::LoadA(slot.0, *index),
+            _ => return None,
+        })
+    }
+
+    fn is_load(&self) -> bool {
+        matches!(self, ExprKey::LoadG(..) | ExprKey::LoadA(..))
+    }
+
+    fn uses_value(&self, v: ValueId) -> bool {
+        let op_uses = |o: &Operand| matches!(o, Operand::Value(x) if *x == v);
+        match self {
+            ExprKey::Bin(_, l, r) | ExprKey::Cmp(_, l, r) => op_uses(l) || op_uses(r),
+            ExprKey::Un(_, s) => op_uses(s),
+            ExprKey::LoadG(_, i) => i.as_ref().is_some_and(op_uses),
+            ExprKey::LoadA(_, i) => op_uses(i),
+        }
+    }
+}
+
+/// Runs local CSE on every block of `func`.
+///
+/// Returns `true` if anything changed. Downstream copy propagation and
+/// dead-code elimination clean up the copies this pass introduces.
+pub fn eliminate_common_subexpressions(func: &mut Function) -> bool {
+    let mut changed = false;
+    for block in &mut func.blocks {
+        // expr → value holding its result.
+        let mut available: HashMap<ExprKey, ValueId> = HashMap::new();
+        for instr in &mut block.instrs {
+            // Side effects invalidate cached loads first (a store may
+            // alias any global or slot — MiniC has no alias analysis).
+            let clobbers_memory = matches!(
+                instr,
+                Instr::StoreG { .. } | Instr::StoreA { .. } | Instr::Call { .. }
+                    | Instr::Print { .. }
+            );
+            if clobbers_memory {
+                available.retain(|k, _| !k.is_load());
+            }
+
+            let key = ExprKey::of(instr);
+            let dst = instr.dst();
+            if let (Some(key), Some(dst)) = (key, dst) {
+                if let Some(&prev) = available.get(&key) {
+                    if prev != dst {
+                        *instr = Instr::Copy { dst, src: Operand::Value(prev) };
+                        changed = true;
+                    }
+                }
+            }
+
+            // A (re)definition invalidates expressions reading or cached
+            // in the defined value, then the fresh expression becomes
+            // available.
+            if let Some(d) = instr.dst() {
+                available.retain(|k, v| *v != d && !k.uses_value(d));
+            }
+            if let (Some(key), Some(d)) = (ExprKey::of(instr), instr.dst()) {
+                available.entry(key).or_insert(d);
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Block, GlobalId, Instr, Operand, Term, ValueId};
+
+    fn fun(instrs: Vec<Instr>, num_values: u32) -> Function {
+        Function {
+            name: "t".into(),
+            params: 2,
+            num_values,
+            blocks: vec![Block { instrs, term: Term::Ret(Some(Operand::Const(0))) }],
+            slots: Vec::new(),
+        }
+    }
+
+    fn bin(dst: u32, lhs: u32, rhs: u32) -> Instr {
+        Instr::Bin {
+            dst: ValueId(dst),
+            op: BinOp::Add,
+            lhs: Operand::Value(ValueId(lhs)),
+            rhs: Operand::Value(ValueId(rhs)),
+        }
+    }
+
+    #[test]
+    fn duplicate_computation_becomes_copy() {
+        let mut f = fun(vec![bin(2, 0, 1), bin(3, 0, 1)], 4);
+        assert!(eliminate_common_subexpressions(&mut f));
+        assert_eq!(
+            f.blocks[0].instrs[1],
+            Instr::Copy { dst: ValueId(3), src: Operand::Value(ValueId(2)) }
+        );
+    }
+
+    #[test]
+    fn redefinition_of_operand_invalidates() {
+        // v2 = v0+v1; v0 = v0+v0 (redefines v0); v3 = v0+v1 must stay.
+        let mut f = fun(vec![bin(2, 0, 1), bin(0, 0, 0), bin(3, 0, 1)], 4);
+        eliminate_common_subexpressions(&mut f);
+        assert!(matches!(f.blocks[0].instrs[2], Instr::Bin { .. }));
+    }
+
+    #[test]
+    fn redefinition_of_result_invalidates() {
+        // v2 = v0+v1; v2 = v0+v0; v3 = v0+v1 must NOT copy from v2.
+        let mut f = fun(
+            vec![
+                bin(2, 0, 1),
+                Instr::Bin {
+                    dst: ValueId(2),
+                    op: BinOp::Mul,
+                    lhs: Operand::Value(ValueId(0)),
+                    rhs: Operand::Value(ValueId(0)),
+                },
+                bin(3, 0, 1),
+            ],
+            4,
+        );
+        eliminate_common_subexpressions(&mut f);
+        assert!(matches!(f.blocks[0].instrs[2], Instr::Bin { .. }));
+    }
+
+    #[test]
+    fn stores_invalidate_loads_but_not_arithmetic() {
+        let g = GlobalId(0);
+        let mut f = fun(
+            vec![
+                Instr::LoadG { dst: ValueId(2), global: g, index: None },
+                Instr::StoreG { global: g, index: None, src: Operand::Const(9) },
+                Instr::LoadG { dst: ValueId(3), global: g, index: None },
+                bin(4, 0, 1),
+                bin(5, 0, 1),
+            ],
+            6,
+        );
+        assert!(eliminate_common_subexpressions(&mut f));
+        // Reload after the store must remain a real load.
+        assert!(matches!(f.blocks[0].instrs[2], Instr::LoadG { .. }));
+        // The arithmetic duplicate is still eliminated.
+        assert!(matches!(f.blocks[0].instrs[4], Instr::Copy { .. }));
+    }
+
+    #[test]
+    fn repeated_loads_without_stores_are_merged() {
+        let g = GlobalId(0);
+        let mut f = fun(
+            vec![
+                Instr::LoadG { dst: ValueId(2), global: g, index: None },
+                Instr::LoadG { dst: ValueId(3), global: g, index: None },
+            ],
+            4,
+        );
+        assert!(eliminate_common_subexpressions(&mut f));
+        assert_eq!(
+            f.blocks[0].instrs[1],
+            Instr::Copy { dst: ValueId(3), src: Operand::Value(ValueId(2)) }
+        );
+    }
+
+    #[test]
+    fn end_to_end_through_the_aggressive_pipeline() {
+        use crate::frontend::{lexer::lex, parser::parse};
+        use crate::ir::builder::build;
+        use crate::ir::passes::optimize_function_aggressive;
+        // `(a*b)` computed twice in one expression — after CSE + DCE, one
+        // multiplication remains.
+        let mut m = build(
+            "t",
+            &parse(lex("int f(int a, int b) { return (a * b) + (a * b); }").unwrap()).unwrap(),
+        )
+        .unwrap();
+        optimize_function_aggressive(&mut m.funcs[0]);
+        crate::ir::verify::verify(&m).unwrap();
+        let muls = m.funcs[0]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| matches!(i, Instr::Bin { op: BinOp::Mul, .. }))
+            .count();
+        assert_eq!(muls, 1, "{}", m.funcs[0]);
+    }
+
+    #[test]
+    fn aggressive_pipeline_preserves_semantics_end_to_end() {
+        use crate::driver::{emit_image, frontend, lower_module};
+        // Compile the same program with and without CSE; both must
+        // compute the same result.
+        let src = "int a[8];
+            int f(int i, int j) {
+                a[i + j * 2] = (i * j) + (i * j);
+                return a[i + j * 2] + (i * j);
+            }
+            int main(int x, int y) { return f(x & 3, y & 1); }";
+        let run = |module: &crate::ir::Module| {
+            let funcs = lower_module(module).unwrap();
+            let image = emit_image(&funcs, module).unwrap();
+            let mut emu = pgsd_emu_shim(&image);
+            emu.call_entry(image.main_addr, image.exit_addr, &[5, 3]);
+            emu.run(100_000).status().unwrap()
+        };
+        let default = frontend("t", src).unwrap();
+        let mut aggressive = default.clone();
+        for f in &mut aggressive.funcs {
+            optimize_function_aggressive(f);
+        }
+        crate::ir::verify::verify(&aggressive).unwrap();
+        assert_eq!(run(&default), run(&aggressive));
+    }
+
+    use crate::ir::passes::optimize_function_aggressive;
+
+    fn pgsd_emu_shim(image: &crate::emit::Image) -> pgsd_emu::Emulator {
+        pgsd_emu::Emulator::new(
+            image.base,
+            image.text.clone(),
+            image.data_base,
+            image.data.clone(),
+            crate::emit::STACK_TOP,
+        )
+    }
+}

@@ -1,0 +1,237 @@
+//! Liveness-based dead-code elimination.
+
+use crate::ir::{Function, Operand, Term};
+
+/// Removes pure instructions whose results are never observed.
+///
+/// Liveness is computed with a standard backward dataflow over the CFG
+/// (correct in the presence of loops and the non-SSA reassignments this IR
+/// allows), then each block is swept backwards deleting pure instructions
+/// whose destination is dead at that point.
+///
+/// Returns `true` if anything was removed.
+pub fn eliminate_dead_code(func: &mut Function) -> bool {
+    let nb = func.blocks.len();
+    let nv = func.num_values as usize;
+    if nb == 0 || nv == 0 {
+        return false;
+    }
+
+    // use/def per block (use = read before any write in this block).
+    let mut use_set = vec![bitvec(nv); nb];
+    let mut def_set = vec![bitvec(nv); nb];
+    for (bi, block) in func.blocks.iter().enumerate() {
+        for ins in &block.instrs {
+            ins.for_each_use(|op| {
+                if let Operand::Value(v) = op {
+                    if !def_set[bi][v.0 as usize] {
+                        use_set[bi].set(v.0 as usize);
+                    }
+                }
+            });
+            if let Some(d) = ins.dst() {
+                def_set[bi].set(d.0 as usize);
+            }
+        }
+        match &block.term {
+            Term::Ret(Some(Operand::Value(v))) | Term::CondBr { cond: Operand::Value(v), .. } => {
+                if !def_set[bi][v.0 as usize] {
+                    use_set[bi].set(v.0 as usize);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Backward dataflow: live_out[b] = ∪ live_in[succ];
+    // live_in[b] = use[b] ∪ (live_out[b] ∖ def[b]).
+    let succs: Vec<Vec<usize>> = func
+        .blocks
+        .iter()
+        .map(|b| b.term.successors().iter().map(|s| s.0 as usize).collect())
+        .collect();
+    let mut live_in = vec![bitvec(nv); nb];
+    let mut live_out = vec![bitvec(nv); nb];
+    loop {
+        let mut changed = false;
+        for bi in (0..nb).rev() {
+            let mut out = bitvec(nv);
+            for &s in &succs[bi] {
+                out.union_with(&live_in[s]);
+            }
+            let mut inp = out.clone();
+            inp.subtract(&def_set[bi]);
+            inp.union_with(&use_set[bi]);
+            if out != live_out[bi] || inp != live_in[bi] {
+                live_out[bi] = out;
+                live_in[bi] = inp;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Sweep each block backwards.
+    let mut removed = false;
+    for (bi, block) in func.blocks.iter_mut().enumerate() {
+        let mut live = live_out[bi].clone();
+        match &block.term {
+            Term::Ret(Some(Operand::Value(v))) | Term::CondBr { cond: Operand::Value(v), .. } => {
+                live.set(v.0 as usize);
+            }
+            _ => {}
+        }
+        let mut keep = vec![true; block.instrs.len()];
+        for (ii, ins) in block.instrs.iter().enumerate().rev() {
+            let dead = match ins.dst() {
+                Some(d) => !live[d.0 as usize],
+                None => false,
+            };
+            if dead && ins.is_pure() {
+                keep[ii] = false;
+                removed = true;
+                continue;
+            }
+            if let Some(d) = ins.dst() {
+                live.clear_bit(d.0 as usize);
+            }
+            ins.for_each_use(|op| {
+                if let Operand::Value(v) = op {
+                    live.set(v.0 as usize);
+                }
+            });
+        }
+        let mut it = keep.iter();
+        block.instrs.retain(|_| *it.next().expect("keep mask matches length"));
+    }
+    removed
+}
+
+/// A small dense bit set.
+#[derive(Clone, PartialEq, Eq)]
+pub(crate) struct BitVec {
+    words: Vec<u64>,
+}
+
+pub(crate) fn bitvec(bits: usize) -> BitVec {
+    BitVec { words: vec![0; bits.div_ceil(64)] }
+}
+
+impl BitVec {
+    pub(crate) fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    pub(crate) fn clear_bit(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    pub(crate) fn union_with(&mut self, other: &BitVec) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    pub(crate) fn subtract(&mut self, other: &BitVec) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+}
+
+impl std::ops::Index<usize> for BitVec {
+    type Output = bool;
+
+    fn index(&self, i: usize) -> &bool {
+        if self.words[i / 64] >> (i % 64) & 1 == 1 {
+            &true
+        } else {
+            &false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Block, BlockId, Instr, Operand, Term, ValueId};
+
+    #[test]
+    fn removes_dead_pure_chain() {
+        let mut f = Function {
+            name: "t".into(),
+            params: 0,
+            num_values: 3,
+            blocks: vec![Block {
+                instrs: vec![
+                    Instr::Copy { dst: ValueId(0), src: Operand::Const(1) },
+                    Instr::Bin {
+                        dst: ValueId(1),
+                        op: BinOp::Add,
+                        lhs: Operand::Value(ValueId(0)),
+                        rhs: Operand::Const(2),
+                    },
+                    Instr::Copy { dst: ValueId(2), src: Operand::Const(9) },
+                ],
+                term: Term::Ret(Some(Operand::Value(ValueId(2)))),
+            }],
+            slots: Vec::new(),
+        };
+        assert!(eliminate_dead_code(&mut f));
+        assert_eq!(f.blocks[0].instrs.len(), 1);
+    }
+
+    #[test]
+    fn keeps_impure() {
+        let mut f = Function {
+            name: "t".into(),
+            params: 0,
+            num_values: 1,
+            blocks: vec![Block {
+                instrs: vec![Instr::Print { src: Operand::Const(1) }],
+                term: Term::Ret(Some(Operand::Const(0))),
+            }],
+            slots: Vec::new(),
+        };
+        assert!(!eliminate_dead_code(&mut f));
+        assert_eq!(f.blocks[0].instrs.len(), 1);
+    }
+
+    #[test]
+    fn loop_carried_values_stay_live() {
+        // bb0: v0 = 0; br bb1
+        // bb1: v0 = v0 + 1; condbr v0 bb1 bb2   (v0 live across backedge)
+        // bb2: ret v0
+        let mut f = Function {
+            name: "t".into(),
+            params: 0,
+            num_values: 1,
+            blocks: vec![
+                Block {
+                    instrs: vec![Instr::Copy { dst: ValueId(0), src: Operand::Const(0) }],
+                    term: Term::Br(BlockId(1)),
+                },
+                Block {
+                    instrs: vec![Instr::Bin {
+                        dst: ValueId(0),
+                        op: BinOp::Add,
+                        lhs: Operand::Value(ValueId(0)),
+                        rhs: Operand::Const(1),
+                    }],
+                    term: Term::CondBr {
+                        cond: Operand::Value(ValueId(0)),
+                        t: BlockId(1),
+                        f: BlockId(2),
+                    },
+                },
+                Block { instrs: vec![], term: Term::Ret(Some(Operand::Value(ValueId(0)))) },
+            ],
+            slots: Vec::new(),
+        };
+        assert!(!eliminate_dead_code(&mut f));
+        assert_eq!(f.blocks[0].instrs.len(), 1);
+        assert_eq!(f.blocks[1].instrs.len(), 1);
+    }
+}

@@ -1,0 +1,255 @@
+//! Control-flow graph simplification.
+
+use crate::ir::{BlockId, Function, Operand, Term};
+
+/// Cleans up the CFG:
+///
+/// 1. folds `condbr` with a constant condition (or equal targets) into
+///    `br`;
+/// 2. threads empty forwarding blocks (`bbX: br bbY` with no instructions);
+/// 3. merges a block into its unique successor when that successor has a
+///    unique predecessor;
+/// 4. deletes unreachable blocks and compacts block ids.
+///
+/// Returns `true` if anything changed.
+pub fn simplify_cfg(func: &mut Function) -> bool {
+    let mut changed = false;
+    // A few local rounds: each transformation can expose the next.
+    for _ in 0..4 {
+        let mut round = false;
+        round |= fold_const_branches(func);
+        round |= thread_forwarders(func);
+        round |= merge_linear_pairs(func);
+        if !round {
+            break;
+        }
+        changed = true;
+    }
+    changed |= drop_unreachable(func);
+    changed
+}
+
+fn fold_const_branches(func: &mut Function) -> bool {
+    let mut changed = false;
+    for block in &mut func.blocks {
+        if let Term::CondBr { cond, t, f } = &block.term {
+            if let Operand::Const(c) = cond {
+                block.term = Term::Br(if *c != 0 { *t } else { *f });
+                changed = true;
+            } else if t == f {
+                block.term = Term::Br(*t);
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+fn thread_forwarders(func: &mut Function) -> bool {
+    // target[b] = Some(t) if b is an empty `br t` block (b != t).
+    let targets: Vec<Option<BlockId>> = func
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| match b.term {
+            Term::Br(t) if b.instrs.is_empty() && t.0 != i as u32 => Some(t),
+            _ => None,
+        })
+        .collect();
+    // Resolve forwarding chains with a step bound (cycles of empty blocks
+    // would otherwise loop; a cycle of empty `br` blocks is an infinite
+    // loop in the program and is left alone).
+    let resolve = |mut b: BlockId| -> BlockId {
+        for _ in 0..targets.len() {
+            match targets[b.0 as usize] {
+                Some(next) => b = next,
+                None => break,
+            }
+        }
+        b
+    };
+    let mut changed = false;
+    for block in &mut func.blocks {
+        let mut rewrite = |b: &mut BlockId| {
+            let r = resolve(*b);
+            if r != *b {
+                *b = r;
+                changed = true;
+            }
+        };
+        match &mut block.term {
+            Term::Br(t) => rewrite(t),
+            Term::CondBr { t, f, .. } => {
+                rewrite(t);
+                rewrite(f);
+            }
+            Term::Ret(_) => {}
+        }
+    }
+    changed
+}
+
+fn merge_linear_pairs(func: &mut Function) -> bool {
+    let preds = func.predecessors();
+    let reachable = func.reachable();
+    let mut changed = false;
+    for bi in 0..func.blocks.len() {
+        if !reachable[bi] {
+            continue;
+        }
+        let Term::Br(succ) = func.blocks[bi].term else { continue };
+        let si = succ.0 as usize;
+        if si == bi || si == 0 {
+            continue;
+        }
+        // The successor must have exactly one predecessor *among reachable
+        // blocks* (unreachable predecessors are about to be deleted).
+        let live_preds: Vec<_> =
+            preds[si].iter().filter(|p| reachable[p.0 as usize]).collect();
+        if live_preds.len() != 1 || live_preds[0].0 as usize != bi {
+            continue;
+        }
+        // Move successor body into bi.
+        let succ_block = std::mem::replace(
+            &mut func.blocks[si],
+            crate::ir::Block { instrs: Vec::new(), term: Term::Br(BlockId(si as u32)) },
+        );
+        // The replaced successor becomes a self-loop orphan, removed by
+        // drop_unreachable.
+        let dst = &mut func.blocks[bi];
+        dst.instrs.extend(succ_block.instrs);
+        dst.term = succ_block.term;
+        changed = true;
+        // `preds` is stale now; do one merge per iteration round.
+        break;
+    }
+    changed
+}
+
+fn drop_unreachable(func: &mut Function) -> bool {
+    let reachable = func.reachable();
+    if reachable.iter().all(|&r| r) {
+        return false;
+    }
+    // Compact: old id → new id.
+    let mut remap = vec![None; func.blocks.len()];
+    let mut next = 0u32;
+    for (i, &r) in reachable.iter().enumerate() {
+        if r {
+            remap[i] = Some(BlockId(next));
+            next += 1;
+        }
+    }
+    let mut old_blocks = std::mem::take(&mut func.blocks);
+    for (i, block) in old_blocks.iter_mut().enumerate() {
+        if !reachable[i] {
+            continue;
+        }
+        let fix = |b: &mut BlockId| {
+            *b = remap[b.0 as usize].expect("successor of reachable block is reachable");
+        };
+        match &mut block.term {
+            Term::Br(t) => fix(t),
+            Term::CondBr { t, f, .. } => {
+                fix(t);
+                fix(f);
+            }
+            Term::Ret(_) => {}
+        }
+        func.blocks.push(std::mem::replace(
+            block,
+            crate::ir::Block { instrs: Vec::new(), term: Term::Ret(None) },
+        ));
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Block, Instr, ValueId};
+
+    fn block(instrs: Vec<Instr>, term: Term) -> Block {
+        Block { instrs, term }
+    }
+
+    fn fun(blocks: Vec<Block>) -> Function {
+        Function { name: "t".into(), params: 0, num_values: 8, blocks, slots: Vec::new() }
+    }
+
+    #[test]
+    fn folds_constant_condbr_and_drops_dead_arm() {
+        let mut f = fun(vec![
+            block(vec![], Term::CondBr { cond: Operand::Const(1), t: BlockId(1), f: BlockId(2) }),
+            block(vec![], Term::Ret(Some(Operand::Const(5)))),
+            block(vec![], Term::Ret(Some(Operand::Const(6)))),
+        ]);
+        assert!(simplify_cfg(&mut f));
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.blocks[0].term, Term::Ret(Some(Operand::Const(5))));
+    }
+
+    #[test]
+    fn threads_empty_forwarders() {
+        let mut f = fun(vec![
+            block(vec![], Term::Br(BlockId(1))),
+            block(vec![], Term::Br(BlockId(2))),
+            block(vec![], Term::Br(BlockId(3))),
+            block(vec![], Term::Ret(None)),
+        ]);
+        assert!(simplify_cfg(&mut f));
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.blocks[0].term, Term::Ret(None));
+    }
+
+    #[test]
+    fn merges_linear_chain_with_instrs() {
+        let i = |v| Instr::Copy { dst: ValueId(v), src: Operand::Const(1) };
+        let mut f = fun(vec![
+            block(vec![i(0)], Term::Br(BlockId(1))),
+            block(vec![i(1)], Term::Br(BlockId(2))),
+            block(vec![i(2)], Term::Ret(None)),
+        ]);
+        assert!(simplify_cfg(&mut f));
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.blocks[0].instrs.len(), 3);
+    }
+
+    #[test]
+    fn keeps_loops() {
+        let mut f = fun(vec![
+            block(vec![], Term::Br(BlockId(1))),
+            block(
+                vec![Instr::Print { src: Operand::Const(1) }],
+                Term::CondBr { cond: Operand::Value(ValueId(0)), t: BlockId(1), f: BlockId(2) },
+            ),
+            block(vec![], Term::Ret(None)),
+        ]);
+        simplify_cfg(&mut f);
+        // The loop must survive.
+        assert!(f
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Term::CondBr { .. })));
+    }
+
+    #[test]
+    fn equal_targets_collapse() {
+        let mut f = fun(vec![
+            block(vec![], Term::CondBr { cond: Operand::Value(ValueId(0)), t: BlockId(1), f: BlockId(1) }),
+            block(vec![], Term::Ret(None)),
+        ]);
+        assert!(simplify_cfg(&mut f));
+        assert_eq!(f.blocks.len(), 1);
+    }
+
+    #[test]
+    fn removes_orphans() {
+        let mut f = fun(vec![
+            block(vec![], Term::Ret(None)),
+            block(vec![], Term::Br(BlockId(0))), // unreachable
+        ]);
+        assert!(simplify_cfg(&mut f));
+        assert_eq!(f.blocks.len(), 1);
+    }
+}

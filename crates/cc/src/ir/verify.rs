@@ -1,0 +1,185 @@
+//! IR well-formedness verifier.
+//!
+//! Run after construction and between passes in debug/test builds to catch
+//! pass bugs early — the same role `llvm::verifyModule` plays in the
+//! pipeline the paper builds on.
+
+use crate::error::{CompileError, Result};
+
+use super::{Instr, Module, Operand, Term};
+
+/// Checks structural invariants of `module`.
+///
+/// Verified properties:
+/// * every block terminator targets an existing block;
+/// * every operand references an allocated value;
+/// * every global/slot/function reference is in range;
+/// * call arities match the callee's parameter count;
+/// * profiling counter ids are below `module.num_counters`.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] describing the first violation found.
+pub fn verify(module: &Module) -> Result<()> {
+    for func in &module.funcs {
+        let nblocks = func.blocks.len() as u32;
+        if nblocks == 0 {
+            return Err(err(func, "has no blocks"));
+        }
+        if func.params > func.num_values {
+            return Err(err(func, "params exceed allocated values"));
+        }
+        for (bi, block) in func.blocks.iter().enumerate() {
+            let check_op = |op: &Operand| -> Result<()> {
+                if let Operand::Value(v) = op {
+                    if v.0 >= func.num_values {
+                        return Err(err(func, format!("bb{bi} references unallocated {v}")));
+                    }
+                }
+                Ok(())
+            };
+            for ins in &block.instrs {
+                let mut bad = None;
+                ins.for_each_use(|op| {
+                    if bad.is_none() {
+                        if let Err(e) = check_op(op) {
+                            bad = Some(e);
+                        }
+                    }
+                });
+                if let Some(e) = bad {
+                    return Err(e);
+                }
+                if let Some(d) = ins.dst() {
+                    if d.0 >= func.num_values {
+                        return Err(err(func, format!("bb{bi} defines unallocated {d}")));
+                    }
+                }
+                match ins {
+                    Instr::LoadG { global, .. } | Instr::StoreG { global, .. } => {
+                        if global.0 as usize >= module.globals.len() {
+                            return Err(err(func, format!("bb{bi} references bad global")));
+                        }
+                    }
+                    Instr::LoadA { slot, .. } | Instr::StoreA { slot, .. } => {
+                        if slot.0 as usize >= func.slots.len() {
+                            return Err(err(func, format!("bb{bi} references bad slot")));
+                        }
+                    }
+                    Instr::Call { func: callee, args, .. } => {
+                        let Some(target) = module.funcs.get(callee.0 as usize) else {
+                            return Err(err(func, format!("bb{bi} calls unknown function")));
+                        };
+                        if target.params as usize != args.len() {
+                            return Err(err(
+                                func,
+                                format!(
+                                    "bb{bi} calls `{}` with {} args (expects {})",
+                                    target.name,
+                                    args.len(),
+                                    target.params
+                                ),
+                            ));
+                        }
+                    }
+                    Instr::ProfCtr { id } => {
+                        if *id >= module.num_counters {
+                            return Err(err(func, format!("bb{bi} uses unallocated counter")));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            match &block.term {
+                Term::Ret(op) => {
+                    if let Some(op) = op {
+                        check_op(op)?;
+                    }
+                }
+                Term::Br(t) => {
+                    if t.0 >= nblocks {
+                        return Err(err(func, format!("bb{bi} branches to missing block")));
+                    }
+                }
+                Term::CondBr { cond, t, f } => {
+                    check_op(cond)?;
+                    if t.0 >= nblocks || f.0 >= nblocks {
+                        return Err(err(func, format!("bb{bi} branches to missing block")));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn err(func: &super::Function, msg: impl std::fmt::Display) -> CompileError {
+    CompileError::new(format!("ir verification failed: function `{}` {msg}", func.name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{
+        BinOp, Block, BlockId, FuncId, Function, Instr, Module, Operand, Term, ValueId,
+    };
+    use super::*;
+
+    fn module_with(f: Function) -> Module {
+        Module { name: "t".into(), globals: Vec::new(), funcs: vec![f], num_counters: 0 }
+    }
+
+    fn func() -> Function {
+        Function {
+            name: "f".into(),
+            params: 0,
+            num_values: 1,
+            blocks: vec![Block {
+                instrs: Vec::new(),
+                term: Term::Ret(Some(Operand::Const(0))),
+            }],
+            slots: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn accepts_valid() {
+        assert!(verify(&module_with(func())).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_value() {
+        let mut f = func();
+        f.blocks[0].instrs.push(Instr::Bin {
+            dst: ValueId(0),
+            op: BinOp::Add,
+            lhs: Operand::Value(ValueId(9)),
+            rhs: Operand::Const(1),
+        });
+        assert!(verify(&module_with(f)).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_branch() {
+        let mut f = func();
+        f.blocks[0].term = Term::Br(BlockId(7));
+        assert!(verify(&module_with(f)).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let mut f = func();
+        f.blocks[0].instrs.push(Instr::Call {
+            dst: ValueId(0),
+            func: FuncId(0),
+            args: vec![Operand::Const(1)],
+        });
+        assert!(verify(&module_with(f)).is_err());
+    }
+
+    #[test]
+    fn rejects_unallocated_counter() {
+        let mut f = func();
+        f.blocks[0].instrs.push(Instr::ProfCtr { id: 0 });
+        assert!(verify(&module_with(f)).is_err());
+    }
+}

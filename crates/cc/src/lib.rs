@@ -1,0 +1,31 @@
+//! # pgsd-cc — the MiniC optimizing compiler
+//!
+//! A small C-like language compiled through the pipeline of the paper's
+//! Figure 3: source → AST → IR (+ optimizations) → LIR (instruction
+//! selection, register allocation, frame lowering) → x86-32 machine code
+//! in a loadable [`emit::Image`].
+//!
+//! The stages are public so the companion crates can hook in exactly where
+//! the paper does: `pgsd-profile` instruments the optimized IR;
+//! `pgsd-core` runs its NOP-insertion pass on the lowered LIR just before
+//! emission.
+//!
+//! # Examples
+//!
+//! ```
+//! let image = pgsd_cc::driver::compile(
+//!     "demo",
+//!     "int main() { int s = 0; for (int i = 1; i <= 10; i++) s += i; return s; }",
+//! )?;
+//! assert!(image.func("main").is_some());
+//! # Ok::<(), pgsd_cc::error::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod driver;
+pub mod emit;
+pub mod error;
+pub mod frontend;
+pub mod ir;
+pub mod lir;

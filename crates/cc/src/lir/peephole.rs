@@ -1,0 +1,260 @@
+//! Peephole cleanups on fully lowered LIR.
+//!
+//! Runs after register allocation and frame lowering, where the classic
+//! local redundancies appear: self-moves (two virtual registers assigned
+//! the same physical register), dead double-stores of an immediate, and
+//! store-to-load forwarding through a just-written slot (spill traffic).
+//!
+//! Like [`crate::ir::passes::eliminate_common_subexpressions`], this pass
+//! is *opt-in* (`lower_module` does not run it): the published evaluation
+//! numbers in EXPERIMENTS.md were produced without it, and byte-for-byte
+//! reproducibility of those results wins over the small win. It must in
+//! any case run **before** the diversifying passes — it would happily
+//! delete inserted NOPs (`mov esp, esp` is a self-move) and un-substitute
+//! `push/pop` pairs.
+
+use super::{MAddr, MFunction, MInst, MReg, MRhs};
+
+/// Applies peephole rules to every block of `func` until a fixpoint.
+///
+/// Returns the number of instructions removed or simplified.
+pub fn peephole(func: &mut MFunction) -> usize {
+    if func.raw {
+        return 0;
+    }
+    let mut total = 0;
+    loop {
+        let mut changed = 0;
+        for block in &mut func.blocks {
+            changed += rewrite_block(&mut block.instrs);
+        }
+        if changed == 0 {
+            return total;
+        }
+        total += changed;
+    }
+}
+
+/// Do two addresses refer to the same word, assuming no register in them
+/// was modified in between?
+fn same_addr(a: &MAddr, b: &MAddr) -> bool {
+    a == b
+}
+
+/// `true` if `inst` writes to the physical register `r`.
+fn writes_reg(inst: &MInst, r: MReg) -> bool {
+    let mut hit = false;
+    inst.for_each_reg(|reg, is_def| hit |= is_def && reg == r);
+    // Implicit call clobbers.
+    if let MInst::Call { .. } = inst {
+        if let MReg::P(p) = r {
+            hit |= matches!(p, pgsd_x86::Reg::Eax | pgsd_x86::Reg::Ecx | pgsd_x86::Reg::Edx);
+        }
+    }
+    hit
+}
+
+fn rewrite_block(instrs: &mut Vec<MInst>) -> usize {
+    let mut changed = 0;
+    let mut out: Vec<MInst> = Vec::with_capacity(instrs.len());
+    for inst in instrs.drain(..) {
+        // Rule 1: self-move is a no-op (mov r, r — no flags involved).
+        if let MInst::MovRR { dst, src } = inst {
+            if dst == src {
+                changed += 1;
+                continue;
+            }
+        }
+        match (out.last(), &inst) {
+            // Rule 2: store-to-load forwarding: `mov [A], r; mov r', [A]`
+            // → keep the store, turn the load into a register move.
+            (
+                Some(MInst::Store { addr: a1, src }),
+                MInst::Load { dst, addr: a2 },
+            ) if same_addr(a1, a2) => {
+                let (src, dst) = (*src, *dst);
+                changed += 1;
+                if dst != src {
+                    out.push(MInst::MovRR { dst, src });
+                }
+                continue;
+            }
+            // Rule 3: immediately overwritten immediate store to the same
+            // register: `mov r, imm1; mov r, imm2` → drop the first.
+            (Some(MInst::MovRI { dst: d1, .. }), MInst::MovRI { dst: d2, .. })
+                if d1 == d2 =>
+            {
+                out.pop();
+                changed += 1;
+                out.push(inst);
+                continue;
+            }
+            // Rule 4: a load immediately overwritten by another write to
+            // the same register (common after spill reloads feeding a
+            // two-address op that was later simplified).
+            (Some(MInst::Load { dst, .. }), _)
+                if writes_reg(&inst, *dst) && !reads_reg(&inst, *dst) =>
+            {
+                out.pop();
+                changed += 1;
+                out.push(inst);
+                continue;
+            }
+            _ => {}
+        }
+        out.push(inst);
+    }
+    *instrs = out;
+    changed
+}
+
+/// `true` if `inst` reads the register `r` (including address operands).
+fn reads_reg(inst: &MInst, r: MReg) -> bool {
+    let mut hit = false;
+    inst.for_each_reg(|reg, is_def| hit |= !is_def && reg == r);
+    // Two-address defs also read; for_each_reg reports those as separate
+    // use visits, handled above. `Push`/`Store` of the register:
+    if let MInst::Push { rhs: MRhs::Reg(reg) } = inst {
+        hit |= *reg == r;
+    }
+    hit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{emit_image, frontend, lower_module};
+    use crate::emit::STACK_TOP;
+    use crate::lir::Disp;
+    use pgsd_x86::{AluOp, Reg};
+
+    fn p(r: Reg) -> MReg {
+        MReg::P(r)
+    }
+
+    fn block_of(instrs: Vec<MInst>) -> MFunction {
+        MFunction {
+            name: "t".into(),
+            params: 0,
+            blocks: vec![crate::lir::MBlock {
+                instrs,
+                term: crate::lir::MTerm::Ret,
+                ir_block: None,
+            }],
+            num_vregs: 0,
+            slot_words: vec![],
+            diversify: true,
+            raw: false,
+        }
+    }
+
+    fn slot(off: i32) -> MAddr {
+        MAddr { base: Some(p(Reg::Ebp)), index: None, disp: Disp::Imm(off) }
+    }
+
+    #[test]
+    fn removes_self_moves() {
+        let mut f = block_of(vec![
+            MInst::MovRR { dst: p(Reg::Eax), src: p(Reg::Eax) },
+            MInst::MovRR { dst: p(Reg::Eax), src: p(Reg::Ebx) },
+        ]);
+        assert_eq!(peephole(&mut f), 1);
+        assert_eq!(f.blocks[0].instrs.len(), 1);
+    }
+
+    #[test]
+    fn forwards_store_to_load() {
+        let mut f = block_of(vec![
+            MInst::Store { addr: slot(-16), src: p(Reg::Ebx) },
+            MInst::Load { dst: p(Reg::Esi), addr: slot(-16) },
+        ]);
+        assert!(peephole(&mut f) >= 1);
+        assert_eq!(
+            f.blocks[0].instrs,
+            vec![
+                MInst::Store { addr: slot(-16), src: p(Reg::Ebx) },
+                MInst::MovRR { dst: p(Reg::Esi), src: p(Reg::Ebx) },
+            ]
+        );
+        // Same register: the load disappears entirely.
+        let mut f = block_of(vec![
+            MInst::Store { addr: slot(-16), src: p(Reg::Ebx) },
+            MInst::Load { dst: p(Reg::Ebx), addr: slot(-16) },
+        ]);
+        peephole(&mut f);
+        assert_eq!(f.blocks[0].instrs.len(), 1);
+    }
+
+    #[test]
+    fn different_slots_not_forwarded() {
+        let mut f = block_of(vec![
+            MInst::Store { addr: slot(-16), src: p(Reg::Ebx) },
+            MInst::Load { dst: p(Reg::Esi), addr: slot(-20) },
+        ]);
+        assert_eq!(peephole(&mut f), 0);
+    }
+
+    #[test]
+    fn dead_immediate_write_dropped() {
+        let mut f = block_of(vec![
+            MInst::MovRI { dst: p(Reg::Eax), imm: 1 },
+            MInst::MovRI { dst: p(Reg::Eax), imm: 2 },
+        ]);
+        assert_eq!(peephole(&mut f), 1);
+        assert_eq!(f.blocks[0].instrs, vec![MInst::MovRI { dst: p(Reg::Eax), imm: 2 }]);
+    }
+
+    #[test]
+    fn dead_load_before_redefinition_dropped() {
+        let mut f = block_of(vec![
+            MInst::Load { dst: p(Reg::Ebx), addr: slot(-8) },
+            MInst::MovRI { dst: p(Reg::Ebx), imm: 5 },
+        ]);
+        assert_eq!(peephole(&mut f), 1);
+        // But a load whose value is USED by the next write must stay.
+        let mut f = block_of(vec![
+            MInst::Load { dst: p(Reg::Ebx), addr: slot(-8) },
+            MInst::Alu { op: AluOp::Add, dst: p(Reg::Ebx), rhs: MRhs::Imm(1) },
+        ]);
+        assert_eq!(peephole(&mut f), 0);
+    }
+
+    #[test]
+    fn raw_functions_untouched() {
+        let mut f = block_of(vec![MInst::MovRR { dst: p(Reg::Eax), src: p(Reg::Eax) }]);
+        f.raw = true;
+        assert_eq!(peephole(&mut f), 0);
+    }
+
+    #[test]
+    fn end_to_end_semantics_preserved() {
+        // Compile a spill-heavy program, peephole it, and compare results.
+        let src = "int f(int a) {
+            int v0 = a + 1; int v1 = a + 2; int v2 = a + 3; int v3 = a + 4;
+            int v4 = a + 5; int v5 = a + 6; int v6 = a + 7; int v7 = a + 8;
+            return v0 + v1 * v2 + v3 * v4 + v5 * v6 + v7;
+        }
+        int main(int a) { return f(a); }";
+        let module = frontend("t", src).unwrap();
+        let run = |funcs: &[MFunction]| {
+            let image = emit_image(funcs, &module).unwrap();
+            let mut emu = pgsd_emu::Emulator::new(
+                image.base,
+                image.text.clone(),
+                image.data_base,
+                image.data.clone(),
+                STACK_TOP,
+            );
+            emu.call_entry(image.main_addr, image.exit_addr, &[7]);
+            (emu.run(1_000_000).status().unwrap(), image.text.len())
+        };
+        let plain = lower_module(&module).unwrap();
+        let (want, size_before) = run(&plain);
+        let mut optimized = lower_module(&module).unwrap();
+        let removed: usize = optimized.iter_mut().map(peephole).sum();
+        let (got, size_after) = run(&optimized);
+        assert_eq!(got, want);
+        assert!(removed > 0, "spill traffic should expose forwarding opportunities");
+        assert!(size_after < size_before);
+    }
+}

@@ -1,0 +1,389 @@
+//! High-level diversification driver: the "diversifying compiler" a user
+//! of the paper's system would invoke.
+//!
+//! Ties the whole toolchain together:
+//!
+//! ```text
+//! source ──frontend──► IR ──┬────────────────lower──► LIR ──nop pass──► image   (measurement)
+//!                           └─instrument──► LIR ──► image ──run(train)──► profile
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pgsd_cc::driver::{emit_image, frontend, lower_module, lower_module_seeded};
+use pgsd_cc::emit::{Image, STACK_TOP};
+use pgsd_cc::error::{CompileError, Result};
+use pgsd_cc::ir::Module;
+use pgsd_emu::{Emulator, Exit, RunStats};
+use pgsd_profile::{instrument, reconstruct, Profile};
+use pgsd_x86::nop::NopTable;
+
+use crate::curve::Strategy;
+use crate::nop_pass::insert_nops;
+use crate::shift_pass::shift_blocks;
+use crate::subst_pass::substitute;
+
+/// Default instruction budget for emulated runs (generous for the
+/// synthetic workloads, small enough to catch runaways).
+pub const DEFAULT_GAS: u64 = 500_000_000;
+
+/// Configuration of one diversified build.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildConfig {
+    /// The NOP-insertion strategy, or `None` for a baseline build.
+    pub strategy: Option<Strategy>,
+    /// Include the bus-locking `xchg` candidates in the NOP table
+    /// (paper's compile-time opt-in).
+    pub with_xchg: bool,
+    /// Also apply basic-block shifting (§6) with this maximum pad size.
+    pub shift_max_pad: Option<usize>,
+    /// Also apply equivalent-instruction substitution (§6) with this
+    /// probability strategy.
+    pub substitution: Option<Strategy>,
+    /// Also randomize the register-allocation order per function (§6).
+    pub reg_randomize: bool,
+    /// RNG seed; distinct seeds produce distinct program versions.
+    pub seed: u64,
+}
+
+impl BuildConfig {
+    /// A baseline (undiversified) build.
+    pub fn baseline() -> BuildConfig {
+        BuildConfig {
+            strategy: None,
+            with_xchg: false,
+            shift_max_pad: None,
+            substitution: None,
+            reg_randomize: false,
+            seed: 0,
+        }
+    }
+
+    /// A diversified build with `strategy` and `seed` (NOP insertion
+    /// only — the paper's main configuration).
+    pub fn diversified(strategy: Strategy, seed: u64) -> BuildConfig {
+        BuildConfig { strategy: Some(strategy), seed, ..BuildConfig::baseline() }
+    }
+
+    /// Everything on: NOP insertion plus all three §6 extensions with the
+    /// same probability strategy.
+    pub fn full_diversity(strategy: Strategy, seed: u64) -> BuildConfig {
+        BuildConfig {
+            strategy: Some(strategy),
+            with_xchg: false,
+            shift_max_pad: Some(24),
+            substitution: Some(strategy),
+            reg_randomize: true,
+            seed,
+        }
+    }
+}
+
+impl Default for BuildConfig {
+    fn default() -> BuildConfig {
+        BuildConfig::baseline()
+    }
+}
+
+/// Compiles `module` according to `config`, consulting `profile` for
+/// profile-guided strategies.
+///
+/// # Errors
+///
+/// Propagates compilation errors; fails if a profile-guided strategy is
+/// requested without a profile.
+pub fn build(module: &Module, profile: Option<&Profile>, config: &BuildConfig) -> Result<Image> {
+    for s in config.strategy.iter().chain(config.substitution.iter()) {
+        if s.needs_profile() && profile.is_none() {
+            return Err(CompileError::new(format!(
+                "strategy {s} requires profile data; run training first"
+            )));
+        }
+    }
+    let diversifying = config.strategy.is_some()
+        || config.substitution.is_some()
+        || config.shift_max_pad.is_some()
+        || config.reg_randomize;
+    let reg_seed = if config.reg_randomize { Some(config.seed) } else { None };
+    let mut funcs = if diversifying {
+        lower_module_seeded(module, reg_seed)?
+    } else {
+        lower_module(module)?
+    };
+    if diversifying {
+        let table = if config.with_xchg { NopTable::with_xchg() } else { NopTable::new() };
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        if let Some(max_pad) = config.shift_max_pad {
+            shift_blocks(&mut funcs, max_pad, &table, &mut rng);
+        }
+        if let Some(strategy) = &config.substitution {
+            substitute(&mut funcs, strategy, profile, &mut rng);
+        }
+        if let Some(strategy) = &config.strategy {
+            insert_nops(&mut funcs, strategy, profile, &table, &mut rng);
+        }
+    }
+    emit_image(&funcs, module)
+}
+
+/// A training or measurement input: arguments to `main` plus optional
+/// data-section pokes (written into named globals before the run —
+/// workload data such as the PHP VM's bytecode arrives this way).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Input {
+    /// Arguments passed to `main`.
+    pub args: Vec<i32>,
+    /// `(global name, words)` pairs written before execution.
+    pub pokes: Vec<(String, Vec<i32>)>,
+}
+
+impl Input {
+    /// An input with arguments only.
+    pub fn args(args: &[i32]) -> Input {
+        Input { args: args.to_vec(), pokes: Vec::new() }
+    }
+
+    /// Adds a data poke.
+    pub fn poke(mut self, global: &str, words: &[i32]) -> Input {
+        self.pokes.push((global.to_owned(), words.to_vec()));
+        self
+    }
+}
+
+/// Loads `image` into a fresh emulator.
+pub fn load(image: &Image) -> Emulator {
+    Emulator::new(
+        image.base,
+        image.text.clone(),
+        image.data_base,
+        image.data.clone(),
+        STACK_TOP,
+    )
+}
+
+/// Runs `image` with `args` passed to `main`, up to `gas` instructions.
+///
+/// Returns the exit reason and execution statistics (cycles, instruction
+/// count, printed output).
+pub fn run(image: &Image, args: &[i32], gas: u64) -> (Exit, RunStats) {
+    run_input(image, &Input::args(args), gas)
+}
+
+/// Runs `image` on a full [`Input`] (arguments plus data pokes).
+///
+/// # Panics
+///
+/// Panics if a poke names a global the image does not have — a workload
+/// definition bug.
+pub fn run_input(image: &Image, input: &Input, gas: u64) -> (Exit, RunStats) {
+    let mut emu = load(image);
+    apply_pokes(image, &mut emu, input);
+    emu.call_entry(image.main_addr, image.exit_addr, &input.args);
+    let exit = emu.run(gas);
+    (exit, emu.stats)
+}
+
+fn apply_pokes(image: &Image, emu: &mut Emulator, input: &Input) {
+    for (name, words) in &input.pokes {
+        let addr = image
+            .global_addr(name)
+            .unwrap_or_else(|| panic!("poke target `{name}` is not a global of this image"));
+        let mut bytes = Vec::with_capacity(words.len() * 4);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        emu.mem.write_bytes(addr, &bytes).expect("poke within the data segment");
+    }
+}
+
+/// Compiles an instrumented build of `module`, runs it on each training
+/// input, and reconstructs the profile from the accumulated edge
+/// counters (paper §3.1's training run).
+///
+/// # Errors
+///
+/// Fails if compilation fails or any training run does not exit cleanly.
+pub fn train(module: &Module, train_inputs: &[Input], gas: u64) -> Result<Profile> {
+    let mut instrumented = module.clone();
+    let plan = instrument(&mut instrumented);
+    let funcs = lower_module(&instrumented)?;
+    let image = emit_image(&funcs, &instrumented)?;
+
+    let mut counters = vec![0u64; plan.num_counters as usize];
+    for input in train_inputs {
+        let mut emu = load(&image);
+        apply_pokes(&image, &mut emu, input);
+        emu.call_entry(image.main_addr, image.exit_addr, &input.args);
+        let exit = emu.run(gas);
+        if exit.status().is_none() {
+            return Err(CompileError::new(format!(
+                "training run with args {:?} did not exit cleanly: {exit:?}",
+                input.args
+            )));
+        }
+        for (i, c) in counters.iter_mut().enumerate() {
+            let word = emu
+                .mem
+                .read_u32(image.counter_addr(i as u32))
+                .map_err(|f| CompileError::new(format!("counter readback failed: {f}")))?;
+            *c += u64::from(word);
+        }
+    }
+    Ok(reconstruct(&plan, &counters))
+}
+
+/// End-to-end convenience: compile `source`, train on `train_inputs` when
+/// the strategy needs a profile, and return the diversified image.
+///
+/// # Errors
+///
+/// Propagates failures from any stage.
+pub fn compile_diversified(
+    name: &str,
+    source: &str,
+    config: &BuildConfig,
+    train_inputs: &[Input],
+) -> Result<Image> {
+    let module = frontend(name, source)?;
+    let needs = config.strategy.as_ref().is_some_and(Strategy::needs_profile);
+    let profile = if needs {
+        Some(train(&module, train_inputs, DEFAULT_GAS)?)
+    } else {
+        None
+    };
+    build(&module, profile.as_ref(), config)
+}
+
+/// Builds a population of `n` diversified versions with seeds
+/// `seed_base .. seed_base + n`.
+///
+/// # Errors
+///
+/// Propagates failures from any build.
+pub fn population(
+    module: &Module,
+    profile: Option<&Profile>,
+    strategy: Strategy,
+    seed_base: u64,
+    n: usize,
+) -> Result<Vec<Image>> {
+    (0..n)
+        .map(|i| {
+            let config = BuildConfig::diversified(strategy, seed_base + i as u64);
+            build(module, profile, &config)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "int main(int n) {
+        int s = 0;
+        for (int i = 1; i <= n; i++) { s += i; }
+        return s;
+    }";
+
+    #[test]
+    fn baseline_runs_correctly() {
+        let module = frontend("t", SRC).unwrap();
+        let image = build(&module, None, &BuildConfig::baseline()).unwrap();
+        let (exit, _) = run(&image, &[10], 1_000_000);
+        assert_eq!(exit, Exit::Exited(55));
+    }
+
+    #[test]
+    fn uniform_diversified_builds_preserve_semantics() {
+        let module = frontend("t", SRC).unwrap();
+        for seed in 0..5 {
+            let config = BuildConfig::diversified(Strategy::uniform(0.5), seed);
+            let image = build(&module, None, &config).unwrap();
+            let (exit, _) = run(&image, &[10], 1_000_000);
+            assert_eq!(exit, Exit::Exited(55), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn profiled_strategy_requires_profile() {
+        let module = frontend("t", SRC).unwrap();
+        let config = BuildConfig::diversified(Strategy::range(0.1, 0.5), 1);
+        let err = build(&module, None, &config).unwrap_err();
+        assert!(err.message.contains("requires profile"));
+    }
+
+    #[test]
+    fn training_produces_sane_counts() {
+        let module = frontend("t", SRC).unwrap();
+        let profile = train(&module, &[Input::args(&[100])], DEFAULT_GAS).unwrap();
+        let main = profile.func("main").expect("main profiled");
+        assert_eq!(main.invocations, 1);
+        // The loop body ran 100 times; x_max reflects it.
+        assert!(profile.max_count() >= 100, "{profile}");
+    }
+
+    #[test]
+    fn profile_guided_build_runs_and_is_faster_than_uniform() {
+        let module = frontend("t", SRC).unwrap();
+        let profile = train(&module, &[Input::args(&[50])], DEFAULT_GAS).unwrap();
+
+        let base = build(&module, None, &BuildConfig::baseline()).unwrap();
+        let (e0, s0) = run(&base, &[200], 10_000_000);
+        assert_eq!(e0, Exit::Exited(20100));
+
+        // Average over a few seeds to dodge per-seed luck.
+        let mut uni_cycles = 0u64;
+        let mut pgo_cycles = 0u64;
+        let seeds = 6;
+        for seed in 0..seeds {
+            let uni = build(
+                &module,
+                None,
+                &BuildConfig::diversified(Strategy::uniform(0.5), seed),
+            )
+            .unwrap();
+            let (e1, s1) = run(&uni, &[200], 10_000_000);
+            assert_eq!(e1, Exit::Exited(20100));
+            uni_cycles += s1.cycles;
+
+            let pgo = build(
+                &module,
+                Some(&profile),
+                &BuildConfig::diversified(Strategy::range(0.0, 0.5), seed),
+            )
+            .unwrap();
+            let (e2, s2) = run(&pgo, &[200], 10_000_000);
+            assert_eq!(e2, Exit::Exited(20100));
+            pgo_cycles += s2.cycles;
+        }
+        let base_total = s0.cycles * seeds;
+        assert!(uni_cycles > base_total, "uniform NOPs must cost cycles");
+        assert!(
+            pgo_cycles < uni_cycles,
+            "profile guidance must reduce overhead: pgo={pgo_cycles} uni={uni_cycles}"
+        );
+    }
+
+    #[test]
+    fn population_versions_differ_in_text() {
+        let module = frontend("t", SRC).unwrap();
+        let images = population(&module, None, Strategy::uniform(0.5), 100, 5).unwrap();
+        for w in images.windows(2) {
+            assert_ne!(w[0].text, w[1].text);
+        }
+        // All versions still compute the same result.
+        for img in &images {
+            let (exit, _) = run(img, &[7], 1_000_000);
+            assert_eq!(exit, Exit::Exited(28));
+        }
+    }
+
+    #[test]
+    fn end_to_end_compile_diversified() {
+        let config = BuildConfig::diversified(Strategy::range(0.0, 0.3), 42);
+        let image = compile_diversified("t", SRC, &config, &[Input::args(&[25])]).unwrap();
+        let (exit, _) = run(&image, &[4], 1_000_000);
+        assert_eq!(exit, Exit::Exited(10));
+    }
+}

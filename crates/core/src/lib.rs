@@ -1,0 +1,48 @@
+//! # pgsd-core — profile-guided automated software diversity
+//!
+//! The primary contribution of Homescu et al. (CGO 2013), reproduced: a
+//! diversifying compiler pass that inserts NOP instructions
+//! probabilistically in the low-level representation, with the per-block
+//! insertion probability driven by profiling data so that hot code stays
+//! nearly untouched while cold code is heavily randomized.
+//!
+//! * [`curve`] — the probability strategies (uniform, and the
+//!   linear/logarithmic profile-guided curves of §3.1);
+//! * [`nop_pass`] — Algorithm 1, run on the LIR just before emission (§4);
+//! * [`shift_pass`] — basic-block shifting, the §6 extension;
+//! * [`driver`] — the end-to-end diversifying compiler: train → profile →
+//!   diversify → emit, plus emulator glue for running images.
+//!
+//! # Examples
+//!
+//! Build two diversified versions of a program and check they differ in
+//! code bytes but agree on behaviour:
+//!
+//! ```
+//! use pgsd_core::driver::{build, run, BuildConfig};
+//! use pgsd_core::Strategy;
+//! use pgsd_cc::driver::frontend;
+//!
+//! let module = frontend("demo", "int main(int n) { return n * 2; }")?;
+//! let a = build(&module, None, &BuildConfig::diversified(Strategy::uniform(0.5), 1))?;
+//! let b = build(&module, None, &BuildConfig::diversified(Strategy::uniform(0.5), 2))?;
+//! assert_ne!(a.text, b.text);
+//! assert_eq!(run(&a, &[21], 100_000).0.status(), Some(42));
+//! assert_eq!(run(&b, &[21], 100_000).0.status(), Some(42));
+//! # Ok::<(), pgsd_cc::error::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod curve;
+pub mod driver;
+pub mod nop_pass;
+pub mod shift_pass;
+pub mod subst_pass;
+
+pub use curve::{Curve, Strategy};
+pub use driver::{build, compile_diversified, population, run, run_input, train, BuildConfig, Input};
+pub use nop_pass::{insert_nops, NopReport};
+pub use shift_pass::{shift_blocks, ShiftReport};
+pub use subst_pass::{substitute, SubstReport};

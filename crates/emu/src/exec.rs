@@ -1,0 +1,755 @@
+//! The execution engine.
+//!
+//! A straightforward decode-and-dispatch interpreter over the modeled
+//! instruction subset, with a per-address decode cache (text is
+//! write-protected, so cached decodings can never go stale). Every executed
+//! instruction is charged against the [`CostModel`]; the resulting cycle
+//! count is the substitute for the paper's wall-clock SPEC measurements.
+
+use std::collections::HashMap;
+
+use pgsd_x86::nop::NopKind;
+use pgsd_x86::{decode, AluOp, Body, Inst, Mem, Reg, ShiftOp};
+
+use crate::cost::CostModel;
+use crate::cpu::Cpu;
+use crate::mem::{Fault, Memory};
+
+/// Why execution stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Exit {
+    /// The program exited via the exit syscall.
+    Exited(i32),
+    /// A memory access or W⊕X fault.
+    Fault(Fault),
+    /// Bytes at `addr` do not decode to a valid instruction.
+    InvalidInstruction {
+        /// Faulting instruction address.
+        addr: u32,
+    },
+    /// A valid instruction outside the emulated subset.
+    Unsupported {
+        /// Faulting instruction address.
+        addr: u32,
+        /// Mnemonic of the unsupported instruction.
+        name: &'static str,
+    },
+    /// `idiv` by zero or overflowing quotient (#DE).
+    DivideError {
+        /// Faulting instruction address.
+        addr: u32,
+    },
+    /// The gas limit was reached before the program exited.
+    OutOfGas,
+    /// `hlt` executed.
+    Halted {
+        /// Address of the `hlt`.
+        addr: u32,
+    },
+    /// `int` with an unknown vector or syscall number.
+    BadSyscall {
+        /// Address of the `int`.
+        addr: u32,
+        /// Value of `eax` at the gate.
+        eax: u32,
+    },
+}
+
+impl Exit {
+    /// The exit status, if the program terminated normally.
+    pub fn status(&self) -> Option<i32> {
+        match self {
+            Exit::Exited(s) => Some(*s),
+            _ => None,
+        }
+    }
+}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Modeled cycles consumed.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Diversifying NOP instructions retired (plain `nop` only; the
+    /// two-byte candidates are indistinguishable from real code by
+    /// design).
+    pub nops_retired: u64,
+    /// Data-cache misses.
+    pub dcache_misses: u64,
+    /// Values printed through the print syscall.
+    pub output: Vec<i32>,
+}
+
+/// The emulator: CPU, memory, cost model and statistics.
+#[derive(Debug)]
+pub struct Emulator {
+    /// CPU state.
+    pub cpu: Cpu,
+    /// Address space.
+    pub mem: Memory,
+    /// Cycle cost model.
+    pub cost: CostModel,
+    /// Statistics for the current run.
+    pub stats: RunStats,
+    decode_cache: HashMap<u32, (Inst, u32)>,
+    fetch_accum: u32,
+    slack: u64,
+    /// Direct-mapped L1d tags (index = set, value = tag+1; 0 = empty).
+    dcache: Vec<u32>,
+}
+
+/// Syscall numbers understood by the `int 0x80` gate.
+const SYS_EXIT: u32 = 1;
+const SYS_PRINT: u32 = 4;
+
+impl Emulator {
+    /// Creates an emulator for a loaded program.
+    ///
+    /// `stack_top` is the initial `esp`; the stack segment extends 1 MiB
+    /// below it.
+    pub fn new(text_base: u32, text: Vec<u8>, data_base: u32, data: Vec<u8>, stack_top: u32) -> Emulator {
+        let mem = Memory::new(text_base, text, data_base, data, stack_top);
+        let mut cpu = Cpu::new();
+        cpu.set(Reg::Esp, stack_top);
+        Emulator {
+            cpu,
+            mem,
+            cost: CostModel::default(),
+            stats: RunStats::default(),
+            decode_cache: HashMap::new(),
+            fetch_accum: 0,
+            slack: 0,
+            dcache: Vec::new(),
+        }
+    }
+
+    /// Arranges a call: pushes `args` right-to-left, pushes `ret_addr`,
+    /// and points `eip` at `entry` — exactly what the OS loader plus crt0
+    /// would do before `main`.
+    pub fn call_entry(&mut self, entry: u32, ret_addr: u32, args: &[i32]) {
+        for &a in args.iter().rev() {
+            self.push(a as u32).expect("stack is mapped");
+        }
+        self.push(ret_addr).expect("stack is mapped");
+        self.cpu.eip = entry;
+    }
+
+    /// Pushes a 32-bit value.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the stack is exhausted.
+    pub fn push(&mut self, v: u32) -> Result<(), Fault> {
+        let sp = self.cpu.get(Reg::Esp).wrapping_sub(4);
+        self.mem.write_u32(sp, v)?;
+        self.cpu.set(Reg::Esp, sp);
+        Ok(())
+    }
+
+    /// Pops a 32-bit value.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the stack is unmapped.
+    pub fn pop(&mut self) -> Result<u32, Fault> {
+        let sp = self.cpu.get(Reg::Esp);
+        let v = self.mem.read_u32(sp)?;
+        self.cpu.set(Reg::Esp, sp.wrapping_add(4));
+        Ok(v)
+    }
+
+    /// Runs until exit, fault, or `gas` retired instructions.
+    pub fn run(&mut self, gas: u64) -> Exit {
+        let budget = self.stats.instructions.saturating_add(gas);
+        loop {
+            if self.stats.instructions >= budget {
+                return Exit::OutOfGas;
+            }
+            if let Some(exit) = self.step() {
+                return exit;
+            }
+        }
+    }
+
+    /// Executes one instruction; returns `Some` when execution stops.
+    pub fn step(&mut self) -> Option<Exit> {
+        let addr = self.cpu.eip;
+        let (inst, len) = match self.decode_cache.get(&addr) {
+            Some(&hit) => hit,
+            None => {
+                let bytes = match self.mem.fetch(addr, 16) {
+                    Ok(b) => b,
+                    Err(f) => return Some(Exit::Fault(f)),
+                };
+                match decode(bytes) {
+                    Ok(d) => match d.body {
+                        Body::Known(i) => {
+                            let entry = (i, d.len as u32);
+                            self.decode_cache.insert(addr, entry);
+                            entry
+                        }
+                        Body::Other(o) => {
+                            return Some(Exit::Unsupported { addr, name: o.name })
+                        }
+                    },
+                    Err(_) => return Some(Exit::InvalidInstruction { addr }),
+                }
+            }
+        };
+        self.cpu.eip = addr.wrapping_add(len);
+        self.stats.instructions += 1;
+        // Removable NOPs hide in banked memory-stall slack; everything
+        // else pays full price and long-latency instructions refill the
+        // slack bank.
+        if self.cost.hides_in_slack(&inst) && self.slack > 0 {
+            self.slack -= 1;
+        } else {
+            self.stats.cycles += self.cost.cost(&inst);
+            self.slack =
+                (self.slack + self.cost.slack_produced(&inst)).min(self.cost.slack_window);
+        }
+        self.fetch_accum += len;
+        while self.fetch_accum >= 16 {
+            self.fetch_accum -= 16;
+            self.stats.cycles += self.cost.fetch_window;
+        }
+        match self.exec(addr, &inst) {
+            Ok(None) => None,
+            Ok(Some(exit)) => Some(exit),
+            Err(f) => Some(Exit::Fault(f)),
+        }
+    }
+
+    /// Models one data access through the direct-mapped L1: on a miss,
+    /// charges the miss penalty and banks it as slack.
+    fn touch_data(&mut self, addr: u32) {
+        let sets = 1usize << self.cost.cache_sets_log2;
+        if self.dcache.len() != sets {
+            self.dcache = vec![0; sets];
+        }
+        let line = addr >> 6;
+        let set = (line as usize) & (sets - 1);
+        let tag = (line >> self.cost.cache_sets_log2) + 1;
+        if self.dcache[set] != tag {
+            self.dcache[set] = tag;
+            self.stats.cycles += self.cost.miss_penalty;
+            self.stats.dcache_misses += 1;
+            self.slack = (self.slack + self.cost.miss_penalty).min(self.cost.slack_window);
+        }
+    }
+
+    fn ea(&self, m: &Mem) -> u32 {
+        let mut a = m.disp as u32;
+        if let Some(b) = m.base {
+            a = a.wrapping_add(self.cpu.get(b));
+        }
+        if let Some((i, s)) = m.index {
+            a = a.wrapping_add(self.cpu.get(i).wrapping_mul(s.factor()));
+        }
+        a
+    }
+
+    fn alu(&mut self, op: AluOp, a: u32, b: u32) -> u32 {
+        let f = &mut self.cpu.flags;
+        let cf_in = f.cf;
+        let (res, cf, of) = match op {
+            AluOp::Add => {
+                let (r, c) = a.overflowing_add(b);
+                (r, c, (a as i32).overflowing_add(b as i32).1)
+            }
+            AluOp::Adc => {
+                let (r1, c1) = a.overflowing_add(b);
+                let (r, c2) = r1.overflowing_add(cf_in as u32);
+                let of = ((a ^ r) & (b ^ r) & 0x8000_0000) != 0;
+                (r, c1 || c2, of)
+            }
+            AluOp::Sub | AluOp::Cmp => {
+                let (r, c) = a.overflowing_sub(b);
+                (r, c, (a as i32).overflowing_sub(b as i32).1)
+            }
+            AluOp::Sbb => {
+                let (r1, c1) = a.overflowing_sub(b);
+                let (r, c2) = r1.overflowing_sub(cf_in as u32);
+                let of = ((a ^ b) & (a ^ r) & 0x8000_0000) != 0;
+                (r, c1 || c2, of)
+            }
+            AluOp::And => (a & b, false, false),
+            AluOp::Or => (a | b, false, false),
+            AluOp::Xor => (a ^ b, false, false),
+        };
+        f.cf = cf;
+        f.of = of;
+        f.set_zsp(res);
+        if op == AluOp::Cmp {
+            a
+        } else {
+            res
+        }
+    }
+
+    fn shift(&mut self, op: ShiftOp, val: u32, count: u8) -> Result<u32, &'static str> {
+        let c = u32::from(count) & 31;
+        if c == 0 {
+            return Ok(val);
+        }
+        let f = &mut self.cpu.flags;
+        let res = match op {
+            ShiftOp::Shl => {
+                f.cf = (val >> (32 - c)) & 1 == 1;
+                let r = val.wrapping_shl(c);
+                f.of = ((r >> 31) & 1 == 1) != f.cf;
+                f.set_zsp(r);
+                r
+            }
+            ShiftOp::Shr => {
+                f.cf = (val >> (c - 1)) & 1 == 1;
+                let r = val.wrapping_shr(c);
+                f.of = (val >> 31) & 1 == 1;
+                f.set_zsp(r);
+                r
+            }
+            ShiftOp::Sar => {
+                f.cf = ((val as i32) >> (c - 1)) & 1 == 1;
+                let r = ((val as i32).wrapping_shr(c)) as u32;
+                f.of = false;
+                f.set_zsp(r);
+                r
+            }
+            ShiftOp::Rol => {
+                let r = val.rotate_left(c);
+                f.cf = r & 1 == 1;
+                r
+            }
+            ShiftOp::Ror => {
+                let r = val.rotate_right(c);
+                f.cf = (r >> 31) & 1 == 1;
+                r
+            }
+            ShiftOp::Rcl | ShiftOp::Rcr => return Err("rcl/rcr"),
+        };
+        Ok(res)
+    }
+
+    fn imul_flags(&mut self, a: i32, b: i32) -> u32 {
+        let full = i64::from(a) * i64::from(b);
+        let res = full as i32;
+        let overflow = i64::from(res) != full;
+        self.cpu.flags.cf = overflow;
+        self.cpu.flags.of = overflow;
+        res as u32
+    }
+
+    fn exec(&mut self, addr: u32, inst: &Inst) -> Result<Option<Exit>, Fault> {
+        use Inst::*;
+        match *inst {
+            MovRI(r, v) => self.cpu.set(r, v as u32),
+            MovRR(d, s) => {
+                let v = self.cpu.get(s);
+                self.cpu.set(d, v);
+            }
+            MovRM(d, ref m) => {
+                let a = self.ea(m);
+                self.touch_data(a);
+                let v = self.mem.read_u32(a)?;
+                self.cpu.set(d, v);
+            }
+            MovMR(ref m, s) => {
+                let a = self.ea(m);
+                self.touch_data(a);
+                let v = self.cpu.get(s);
+                self.mem.write_u32(a, v)?;
+            }
+            MovMI(ref m, v) => {
+                let a = self.ea(m);
+                self.touch_data(a);
+                self.mem.write_u32(a, v as u32)?;
+            }
+            AluRR(op, d, s) => {
+                let (a, b) = (self.cpu.get(d), self.cpu.get(s));
+                let r = self.alu(op, a, b);
+                if !op.is_compare() {
+                    self.cpu.set(d, r);
+                }
+            }
+            AluRM(op, d, ref m) => {
+                let ea = self.ea(m);
+                self.touch_data(ea);
+                let a = self.cpu.get(d);
+                let b = self.mem.read_u32(ea)?;
+                let r = self.alu(op, a, b);
+                if !op.is_compare() {
+                    self.cpu.set(d, r);
+                }
+            }
+            AluMR(op, ref m, s) => {
+                let addr = self.ea(m);
+                self.touch_data(addr);
+                let a = self.mem.read_u32(addr)?;
+                let b = self.cpu.get(s);
+                let r = self.alu(op, a, b);
+                if !op.is_compare() {
+                    self.mem.write_u32(addr, r)?;
+                }
+            }
+            AluRI(op, d, v) => {
+                let a = self.cpu.get(d);
+                let r = self.alu(op, a, v as u32);
+                if !op.is_compare() {
+                    self.cpu.set(d, r);
+                }
+            }
+            AluMI(op, ref m, v) => {
+                let addr = self.ea(m);
+                self.touch_data(addr);
+                let a = self.mem.read_u32(addr)?;
+                let r = self.alu(op, a, v as u32);
+                if !op.is_compare() {
+                    self.mem.write_u32(addr, r)?;
+                }
+            }
+            TestRR(a, b) => {
+                let (x, y) = (self.cpu.get(a), self.cpu.get(b));
+                let f = &mut self.cpu.flags;
+                f.cf = false;
+                f.of = false;
+                f.set_zsp(x & y);
+            }
+            ImulRR(d, s) => {
+                let r = self.imul_flags(self.cpu.get(d) as i32, self.cpu.get(s) as i32);
+                self.cpu.set(d, r);
+            }
+            ImulRM(d, ref m) => {
+                let ea = self.ea(m);
+                self.touch_data(ea);
+                let b = self.mem.read_u32(ea)? as i32;
+                let r = self.imul_flags(self.cpu.get(d) as i32, b);
+                self.cpu.set(d, r);
+            }
+            ImulRRI(d, s, imm) => {
+                let r = self.imul_flags(self.cpu.get(s) as i32, imm);
+                self.cpu.set(d, r);
+            }
+            Cdq => {
+                let v = if (self.cpu.get(Reg::Eax) as i32) < 0 { u32::MAX } else { 0 };
+                self.cpu.set(Reg::Edx, v);
+            }
+            IdivR(r) => {
+                let divisor = self.cpu.get(r) as i32 as i64;
+                if divisor == 0 {
+                    return Ok(Some(Exit::DivideError { addr }));
+                }
+                let dividend = ((u64::from(self.cpu.get(Reg::Edx)) << 32)
+                    | u64::from(self.cpu.get(Reg::Eax))) as i64;
+                let q = dividend.wrapping_div(divisor);
+                let rem = dividend.wrapping_rem(divisor);
+                if q > i64::from(i32::MAX) || q < i64::from(i32::MIN) {
+                    return Ok(Some(Exit::DivideError { addr }));
+                }
+                self.cpu.set(Reg::Eax, q as i32 as u32);
+                self.cpu.set(Reg::Edx, rem as i32 as u32);
+            }
+            NegR(r) => {
+                let v = self.cpu.get(r);
+                let res = (v as i32).wrapping_neg() as u32;
+                self.cpu.flags.cf = v != 0;
+                self.cpu.flags.of = v == 0x8000_0000;
+                self.cpu.flags.set_zsp(res);
+                self.cpu.set(r, res);
+            }
+            NotR(r) => {
+                let v = !self.cpu.get(r);
+                self.cpu.set(r, v);
+            }
+            IncR(r) => {
+                let v = self.cpu.get(r).wrapping_add(1);
+                self.cpu.flags.of = v == 0x8000_0000;
+                self.cpu.flags.set_zsp(v);
+                self.cpu.set(r, v);
+            }
+            DecR(r) => {
+                let v = self.cpu.get(r).wrapping_sub(1);
+                self.cpu.flags.of = v == 0x7FFF_FFFF;
+                self.cpu.flags.set_zsp(v);
+                self.cpu.set(r, v);
+            }
+            IncDecM(inc, ref m) => {
+                let a = self.ea(m);
+                self.touch_data(a);
+                let v0 = self.mem.read_u32(a)?;
+                let v = if inc { v0.wrapping_add(1) } else { v0.wrapping_sub(1) };
+                self.cpu.flags.set_zsp(v);
+                self.mem.write_u32(a, v)?;
+            }
+            ShiftRI(op, r, c) => {
+                let v = self.cpu.get(r);
+                match self.shift(op, v, c) {
+                    Ok(res) => self.cpu.set(r, res),
+                    Err(name) => return Ok(Some(Exit::Unsupported { addr, name })),
+                }
+            }
+            ShiftRCl(op, r) => {
+                let v = self.cpu.get(r);
+                let c = self.cpu.get(Reg::Ecx) as u8;
+                match self.shift(op, v, c) {
+                    Ok(res) => self.cpu.set(r, res),
+                    Err(name) => return Ok(Some(Exit::Unsupported { addr, name })),
+                }
+            }
+            PushR(r) => {
+                let v = self.cpu.get(r);
+                self.push(v)?;
+            }
+            PushI(v) => self.push(v as u32)?,
+            PushM(ref m) => {
+                let ea = self.ea(m);
+                self.touch_data(ea);
+                let v = self.mem.read_u32(ea)?;
+                self.push(v)?;
+            }
+            PopR(r) => {
+                let v = self.pop()?;
+                self.cpu.set(r, v);
+            }
+            Lea(r, ref m) => {
+                let a = self.ea(m);
+                self.cpu.set(r, a);
+            }
+            XchgRR(a, b) => {
+                let (x, y) = (self.cpu.get(a), self.cpu.get(b));
+                self.cpu.set(a, y);
+                self.cpu.set(b, x);
+            }
+            CallRel(rel) => {
+                let ret = self.cpu.eip;
+                self.push(ret)?;
+                self.cpu.eip = ret.wrapping_add(rel as u32);
+            }
+            CallR(r) => {
+                let ret = self.cpu.eip;
+                let target = self.cpu.get(r);
+                self.push(ret)?;
+                self.cpu.eip = target;
+            }
+            Ret => {
+                self.cpu.eip = self.pop()?;
+            }
+            RetImm(n) => {
+                self.cpu.eip = self.pop()?;
+                let sp = self.cpu.get(Reg::Esp).wrapping_add(u32::from(n));
+                self.cpu.set(Reg::Esp, sp);
+            }
+            JmpRel(rel) => self.cpu.eip = self.cpu.eip.wrapping_add(rel as u32),
+            JmpRel8(rel) => self.cpu.eip = self.cpu.eip.wrapping_add(rel as i32 as u32),
+            JmpR(r) => self.cpu.eip = self.cpu.get(r),
+            Jcc(cc, rel) => {
+                if self.cpu.flags.cond(cc) {
+                    self.cpu.eip = self.cpu.eip.wrapping_add(rel as u32);
+                    self.stats.cycles += self.cost.branch_taken;
+                } else {
+                    self.stats.cycles += self.cost.branch_not_taken;
+                }
+            }
+            Jcc8(cc, rel) => {
+                if self.cpu.flags.cond(cc) {
+                    self.cpu.eip = self.cpu.eip.wrapping_add(rel as i32 as u32);
+                    self.stats.cycles += self.cost.branch_taken;
+                } else {
+                    self.stats.cycles += self.cost.branch_not_taken;
+                }
+            }
+            Int(0x80) => {
+                let eax = self.cpu.get(Reg::Eax);
+                let ebx = self.cpu.get(Reg::Ebx);
+                match eax {
+                    SYS_EXIT => return Ok(Some(Exit::Exited(ebx as i32))),
+                    SYS_PRINT => {
+                        self.stats.output.push(ebx as i32);
+                        self.cpu.set(Reg::Eax, 0);
+                    }
+                    _ => return Ok(Some(Exit::BadSyscall { addr, eax })),
+                }
+            }
+            Int(_) => {
+                return Ok(Some(Exit::BadSyscall { addr, eax: self.cpu.get(Reg::Eax) }))
+            }
+            Hlt => return Ok(Some(Exit::Halted { addr })),
+            Nop(NopKind::Nop) => self.stats.nops_retired += 1,
+            Nop(_) => {}
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgsd_x86::assemble;
+
+    fn emu(insts: &[Inst]) -> Emulator {
+        let text = assemble(insts).expect("assembles");
+        Emulator::new(0x1000, text, 0x0010_0000, vec![0; 256], 0x0100_0000)
+    }
+
+    fn run_to_exit(insts: &[Inst]) -> (Exit, RunStats) {
+        let mut e = emu(insts);
+        e.cpu.eip = 0x1000;
+        let exit = e.run(100_000);
+        (exit, e.stats.clone())
+    }
+
+    #[test]
+    fn exit_syscall() {
+        let (exit, _) = run_to_exit(&[
+            Inst::MovRI(Reg::Ebx, 42),
+            Inst::MovRI(Reg::Eax, 1),
+            Inst::Int(0x80),
+        ]);
+        assert_eq!(exit, Exit::Exited(42));
+    }
+
+    #[test]
+    fn arithmetic_and_branches() {
+        // Sum 1..=10 with a loop, exit with the sum.
+        let insts = [
+            Inst::MovRI(Reg::Ebx, 0),
+            Inst::MovRI(Reg::Ecx, 10),
+            // loop: add ebx, ecx; dec ecx; jne loop(-5)
+            Inst::AluRR(AluOp::Add, Reg::Ebx, Reg::Ecx), // 2 bytes
+            Inst::DecR(Reg::Ecx),                        // 1 byte
+            Inst::Jcc8(pgsd_x86::Cond::Ne, -5),          // 2 bytes
+            Inst::MovRI(Reg::Eax, 1),
+            Inst::Int(0x80),
+        ];
+        let (exit, stats) = run_to_exit(&insts);
+        assert_eq!(exit, Exit::Exited(55));
+        assert!(stats.instructions > 30);
+    }
+
+    #[test]
+    fn memory_and_stack() {
+        let insts = [
+            Inst::MovRI(Reg::Eax, 7),
+            Inst::MovMR(Mem::abs(0x0010_0010), Reg::Eax),
+            Inst::PushR(Reg::Eax),
+            Inst::PopR(Reg::Ebx),
+            Inst::AluRM(AluOp::Add, Reg::Ebx, Mem::abs(0x0010_0010)),
+            Inst::MovRI(Reg::Eax, 1),
+            Inst::Int(0x80),
+        ];
+        let (exit, _) = run_to_exit(&insts);
+        assert_eq!(exit, Exit::Exited(14));
+    }
+
+    #[test]
+    fn signed_division() {
+        let insts = [
+            Inst::MovRI(Reg::Eax, -7),
+            Inst::Cdq,
+            Inst::MovRI(Reg::Ecx, 2),
+            Inst::IdivR(Reg::Ecx),
+            // quotient -3 in eax → move to ebx for exit
+            Inst::MovRR(Reg::Ebx, Reg::Eax),
+            Inst::MovRI(Reg::Eax, 1),
+            Inst::Int(0x80),
+        ];
+        let (exit, _) = run_to_exit(&insts);
+        assert_eq!(exit, Exit::Exited(-3));
+    }
+
+    #[test]
+    fn divide_by_zero_traps() {
+        let insts = [
+            Inst::MovRI(Reg::Eax, 1),
+            Inst::Cdq,
+            Inst::MovRI(Reg::Ecx, 0),
+            Inst::IdivR(Reg::Ecx),
+        ];
+        let (exit, _) = run_to_exit(&insts);
+        assert!(matches!(exit, Exit::DivideError { .. }));
+    }
+
+    #[test]
+    fn print_syscall_collects_output() {
+        let insts = [
+            Inst::MovRI(Reg::Ebx, 5),
+            Inst::MovRI(Reg::Eax, 4),
+            Inst::Int(0x80),
+            Inst::MovRI(Reg::Ebx, 6),
+            Inst::MovRI(Reg::Eax, 4),
+            Inst::Int(0x80),
+            Inst::MovRI(Reg::Ebx, 0),
+            Inst::MovRI(Reg::Eax, 1),
+            Inst::Int(0x80),
+        ];
+        let (exit, stats) = run_to_exit(&insts);
+        assert_eq!(exit, Exit::Exited(0));
+        assert_eq!(stats.output, vec![5, 6]);
+    }
+
+    #[test]
+    fn nops_cost_cycles_but_change_nothing() {
+        let base = [
+            Inst::MovRI(Reg::Ebx, 3),
+            Inst::MovRI(Reg::Eax, 1),
+            Inst::Int(0x80),
+        ];
+        let mut with_nops = vec![Inst::Nop(NopKind::Nop), Inst::Nop(NopKind::MovEspEsp)];
+        with_nops.extend_from_slice(&base);
+        with_nops.insert(3, Inst::Nop(NopKind::LeaEsiEsi));
+        let (e1, s1) = run_to_exit(&base);
+        let (e2, s2) = run_to_exit(&with_nops);
+        assert_eq!(e1, e2);
+        assert!(s2.cycles > s1.cycles);
+    }
+
+    #[test]
+    fn xchg_nop_costs_more_than_plain_nop() {
+        let tail = [Inst::MovRI(Reg::Ebx, 0), Inst::MovRI(Reg::Eax, 1), Inst::Int(0x80)];
+        let mut plain = vec![Inst::Nop(NopKind::Nop)];
+        plain.extend_from_slice(&tail);
+        let mut locked = vec![Inst::Nop(NopKind::XchgEspEsp)];
+        locked.extend_from_slice(&tail);
+        let (_, s_plain) = run_to_exit(&plain);
+        let (_, s_locked) = run_to_exit(&locked);
+        assert!(s_locked.cycles > s_plain.cycles);
+    }
+
+    #[test]
+    fn gas_limit_stops_infinite_loop() {
+        let (exit, _) = run_to_exit(&[Inst::JmpRel8(-2)]);
+        assert_eq!(exit, Exit::OutOfGas);
+    }
+
+    #[test]
+    fn wxorx_stops_stack_execution() {
+        let mut e = emu(&[Inst::Ret]);
+        // "Inject" code onto the stack and jump to it.
+        let sp = 0x0100_0000 - 64;
+        e.mem.write_bytes(sp, &[0x90, 0xC3]).unwrap();
+        e.cpu.eip = sp;
+        let exit = e.run(10);
+        assert!(matches!(exit, Exit::Fault(Fault::NotExecutable { .. })), "{exit:?}");
+    }
+
+    #[test]
+    fn call_entry_sets_up_cdecl_frame() {
+        // A function that returns its first argument: mov eax, [esp+4]; ret
+        let insts = [
+            Inst::MovRM(Reg::Eax, Mem::base_disp(Reg::Esp, 4)),
+            Inst::Ret,
+            // exit stub at +? — place directly after
+            Inst::MovRR(Reg::Ebx, Reg::Eax),
+            Inst::MovRI(Reg::Eax, 1),
+            Inst::Int(0x80),
+        ];
+        let text = assemble(&insts).unwrap();
+        // Offsets: mov=4 bytes? (8B 44 24 04) then C3 at +4, stub at +5.
+        let stub = 0x1000 + 5;
+        let mut e = Emulator::new(0x1000, text, 0x0010_0000, vec![0; 64], 0x0100_0000);
+        e.call_entry(0x1000, stub, &[99, 1]);
+        let exit = e.run(100);
+        assert_eq!(exit, Exit::Exited(99));
+    }
+}

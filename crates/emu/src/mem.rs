@@ -1,0 +1,249 @@
+//! Flat segmented memory with W⊕X enforcement.
+//!
+//! The address space mirrors the paper's Linux target: an executable,
+//! read-only text segment at the image base; a writable data segment; and a
+//! writable stack below `0x0BF0_0000`. The text segment is never writable
+//! and the data/stack segments are never executable — the W⊕X policy
+//! (paper §2.1) that forces attackers into code reuse in the first place.
+
+use std::error::Error;
+use std::fmt;
+
+/// Size of the stack segment in bytes (1 MiB).
+pub const STACK_SIZE: u32 = 1 << 20;
+
+/// A memory access fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Address not mapped by any segment.
+    Unmapped {
+        /// Faulting address.
+        addr: u32,
+    },
+    /// Write to a non-writable segment (the text section).
+    WriteProtected {
+        /// Faulting address.
+        addr: u32,
+    },
+    /// Execution from a non-executable segment (W⊕X violation).
+    NotExecutable {
+        /// Faulting address.
+        addr: u32,
+    },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Unmapped { addr } => write!(f, "unmapped address {addr:#010x}"),
+            Fault::WriteProtected { addr } => {
+                write!(f, "write to protected address {addr:#010x}")
+            }
+            Fault::NotExecutable { addr } => {
+                write!(f, "execute from non-executable address {addr:#010x}")
+            }
+        }
+    }
+}
+
+impl Error for Fault {}
+
+struct Segment {
+    base: u32,
+    bytes: Vec<u8>,
+    writable: bool,
+    executable: bool,
+}
+
+impl Segment {
+    fn contains(&self, addr: u32, len: u32) -> bool {
+        addr >= self.base && addr.wrapping_add(len) <= self.base + self.bytes.len() as u32
+    }
+}
+
+/// The emulated 32-bit address space.
+pub struct Memory {
+    segments: Vec<Segment>,
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Memory({} segments)", self.segments.len())
+    }
+}
+
+impl Memory {
+    /// Builds the address space for a program image: text (R+X), data
+    /// (R+W, extended by `extra_data` zero bytes of headroom), and a stack
+    /// segment ending at `stack_top` (R+W).
+    pub fn new(
+        text_base: u32,
+        text: Vec<u8>,
+        data_base: u32,
+        mut data: Vec<u8>,
+        stack_top: u32,
+    ) -> Memory {
+        // Give the data segment a little headroom so zero-length data
+        // sections still accept counter-free programs writing globals.
+        if data.is_empty() {
+            data.resize(4, 0);
+        }
+        Memory {
+            segments: vec![
+                Segment { base: text_base, bytes: text, writable: false, executable: true },
+                Segment { base: data_base, bytes: data, writable: true, executable: false },
+                Segment {
+                    base: stack_top - STACK_SIZE,
+                    bytes: vec![0; STACK_SIZE as usize],
+                    writable: true,
+                    executable: false,
+                },
+            ],
+        }
+    }
+
+    fn find(&self, addr: u32, len: u32) -> Option<usize> {
+        self.segments.iter().position(|s| s.contains(addr, len))
+    }
+
+    /// Reads a 32-bit little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the range is unmapped.
+    pub fn read_u32(&self, addr: u32) -> Result<u32, Fault> {
+        let si = self.find(addr, 4).ok_or(Fault::Unmapped { addr })?;
+        let s = &self.segments[si];
+        let off = (addr - s.base) as usize;
+        Ok(u32::from_le_bytes(s.bytes[off..off + 4].try_into().expect("4 bytes")))
+    }
+
+    /// Writes a 32-bit little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the range is unmapped or not writable.
+    pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<(), Fault> {
+        let si = self.find(addr, 4).ok_or(Fault::Unmapped { addr })?;
+        let s = &mut self.segments[si];
+        if !s.writable {
+            return Err(Fault::WriteProtected { addr });
+        }
+        let off = (addr - s.base) as usize;
+        s.bytes[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Returns up to `len` bytes starting at `addr` from an *executable*
+    /// segment, for instruction fetch.
+    ///
+    /// # Errors
+    ///
+    /// Faults if `addr` is unmapped or the segment is not executable
+    /// (W⊕X).
+    pub fn fetch(&self, addr: u32, len: u32) -> Result<&[u8], Fault> {
+        let si = self.find(addr, 1).ok_or(Fault::Unmapped { addr })?;
+        let s = &self.segments[si];
+        if !s.executable {
+            return Err(Fault::NotExecutable { addr });
+        }
+        let off = (addr - s.base) as usize;
+        let end = (off + len as usize).min(s.bytes.len());
+        Ok(&s.bytes[off..end])
+    }
+
+    /// Reads a byte range for inspection (no permission checks).
+    ///
+    /// # Errors
+    ///
+    /// Faults if the range is unmapped.
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Result<&[u8], Fault> {
+        let si = self.find(addr, len).ok_or(Fault::Unmapped { addr })?;
+        let s = &self.segments[si];
+        let off = (addr - s.base) as usize;
+        Ok(&s.bytes[off..off + len as usize])
+    }
+
+    /// Writes raw bytes, honoring write protection.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the range is unmapped or not writable.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), Fault> {
+        let si = self.find(addr, bytes.len() as u32).ok_or(Fault::Unmapped { addr })?;
+        let s = &mut self.segments[si];
+        if !s.writable {
+            return Err(Fault::WriteProtected { addr });
+        }
+        let off = (addr - s.base) as usize;
+        s.bytes[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Writes raw bytes, *bypassing* write protection. Used by attack
+    /// simulations to model a memory-corruption primitive, and by the
+    /// loader.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the range is unmapped.
+    pub fn write_bytes_unchecked(&mut self, addr: u32, bytes: &[u8]) -> Result<(), Fault> {
+        let si = self.find(addr, bytes.len() as u32).ok_or(Fault::Unmapped { addr })?;
+        let s = &mut self.segments[si];
+        let off = (addr - s.base) as usize;
+        s.bytes[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        Memory::new(0x1000, vec![0xC3; 16], 0x8000, vec![0; 64], 0x10_0000)
+    }
+
+    #[test]
+    fn data_round_trip() {
+        let mut m = mem();
+        m.write_u32(0x8000, 0xDEAD_BEEF).unwrap();
+        assert_eq!(m.read_u32(0x8000).unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn stack_is_writable() {
+        let mut m = mem();
+        m.write_u32(0x10_0000 - 4, 7).unwrap();
+        assert_eq!(m.read_u32(0x10_0000 - 4).unwrap(), 7);
+    }
+
+    #[test]
+    fn text_is_write_protected() {
+        let mut m = mem();
+        assert_eq!(m.write_u32(0x1000, 0), Err(Fault::WriteProtected { addr: 0x1000 }));
+        // …but fetchable.
+        assert_eq!(m.fetch(0x1000, 1).unwrap(), &[0xC3]);
+    }
+
+    #[test]
+    fn wxorx_blocks_stack_execution() {
+        let m = mem();
+        let sp = 0x10_0000 - 64;
+        assert_eq!(m.fetch(sp, 1), Err(Fault::NotExecutable { addr: sp }));
+        assert_eq!(m.fetch(0x8000, 1), Err(Fault::NotExecutable { addr: 0x8000 }));
+    }
+
+    #[test]
+    fn unmapped_faults() {
+        let m = mem();
+        assert_eq!(m.read_u32(0x4000_0000), Err(Fault::Unmapped { addr: 0x4000_0000 }));
+    }
+
+    #[test]
+    fn unchecked_write_pierces_protection() {
+        let mut m = mem();
+        m.write_bytes_unchecked(0x1000, &[0x90]).unwrap();
+        assert_eq!(m.fetch(0x1000, 1).unwrap(), &[0x90]);
+    }
+}

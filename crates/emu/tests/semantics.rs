@@ -1,0 +1,284 @@
+//! Architectural-semantics tests for the emulator: flag behaviour and
+//! corner cases of the IA-32 subset, checked against the Intel SDM rules.
+//! These matter because diversified code interleaves NOPs with
+//! flag-dependent sequences, and the equivalent-instruction substitution
+//! pass relies on precise flag definitions.
+
+use pgsd_emu::{Emulator, Exit};
+use pgsd_x86::{assemble, AluOp, Cond, Inst, Reg, ShiftOp};
+
+/// Assembles `insts`, appends an exit stub that returns `ebx`, runs, and
+/// returns the exit status.
+fn run(insts: &[Inst]) -> i32 {
+    let mut program = insts.to_vec();
+    program.extend([Inst::MovRI(Reg::Eax, 1), Inst::Int(0x80)]);
+    let text = assemble(&program).expect("assembles");
+    let mut emu = Emulator::new(0x1000, text, 0x10_0000, vec![0; 4096], 0x100_0000);
+    emu.cpu.eip = 0x1000;
+    match emu.run(100_000) {
+        Exit::Exited(v) => v,
+        other => panic!("program did not exit cleanly: {other:?}"),
+    }
+}
+
+/// Materializes a condition into ebx: ebx = cc ? 1 : 0.
+fn cond_to_ebx(setup: &[Inst], cc: Cond) -> i32 {
+    let mut insts = setup.to_vec();
+    insts.extend([
+        Inst::MovRI(Reg::Ebx, 1),
+        Inst::Jcc8(cc, 5), // skip `mov ebx, 0`
+        Inst::MovRI(Reg::Ebx, 0),
+    ]);
+    run(&insts)
+}
+
+#[test]
+fn adc_and_sbb_propagate_carry() {
+    // 0xFFFFFFFF + 1 sets CF; adc adds it through.
+    let v = run(&[
+        Inst::MovRI(Reg::Eax, -1),
+        Inst::AluRI(AluOp::Add, Reg::Eax, 1), // CF=1, eax=0
+        Inst::MovRI(Reg::Ebx, 10),
+        Inst::AluRI(AluOp::Adc, Reg::Ebx, 5), // ebx = 10 + 5 + CF = 16
+    ]);
+    assert_eq!(v, 16);
+
+    // 0 - 1 borrows; sbb subtracts the borrow through.
+    let v = run(&[
+        Inst::MovRI(Reg::Eax, 0),
+        Inst::AluRI(AluOp::Sub, Reg::Eax, 1), // CF=1
+        Inst::MovRI(Reg::Ebx, 10),
+        Inst::AluRI(AluOp::Sbb, Reg::Ebx, 5), // ebx = 10 - 5 - 1 = 4
+    ]);
+    assert_eq!(v, 4);
+}
+
+#[test]
+fn inc_dec_preserve_carry() {
+    // CF set by add, then `inc` must NOT clear it (Intel SDM), so the
+    // following adc still sees it.
+    let v = run(&[
+        Inst::MovRI(Reg::Eax, -1),
+        Inst::AluRI(AluOp::Add, Reg::Eax, 1), // CF=1
+        Inst::IncR(Reg::Eax),                 // CF preserved
+        Inst::MovRI(Reg::Ebx, 0),
+        Inst::AluRI(AluOp::Adc, Reg::Ebx, 0), // ebx = CF = 1
+    ]);
+    assert_eq!(v, 1);
+    let v = run(&[
+        Inst::MovRI(Reg::Eax, -1),
+        Inst::AluRI(AluOp::Add, Reg::Eax, 1), // CF=1
+        Inst::DecR(Reg::Eax),
+        Inst::MovRI(Reg::Ebx, 0),
+        Inst::AluRI(AluOp::Adc, Reg::Ebx, 0),
+    ]);
+    assert_eq!(v, 1);
+}
+
+#[test]
+fn signed_overflow_flag() {
+    // i32::MAX + 1 overflows: OF set, SF set (result negative).
+    let setup = [Inst::MovRI(Reg::Eax, i32::MAX), Inst::AluRI(AluOp::Add, Reg::Eax, 1)];
+    assert_eq!(cond_to_ebx(&setup, Cond::O), 1);
+    assert_eq!(cond_to_ebx(&setup, Cond::S), 1);
+    // A signed comparison straddling the overflow boundary still orders
+    // correctly: MIN < MAX.
+    let setup = [
+        Inst::MovRI(Reg::Eax, i32::MIN),
+        Inst::MovRI(Reg::Ecx, i32::MAX),
+        Inst::AluRR(AluOp::Cmp, Reg::Eax, Reg::Ecx),
+    ];
+    assert_eq!(cond_to_ebx(&setup, Cond::L), 1);
+    assert_eq!(cond_to_ebx(&setup, Cond::B), 0, "unsigned: MIN > MAX");
+}
+
+#[test]
+fn unsigned_conditions() {
+    let setup = [
+        Inst::MovRI(Reg::Eax, -1), // 0xFFFFFFFF
+        Inst::MovRI(Reg::Ecx, 1),
+        Inst::AluRR(AluOp::Cmp, Reg::Eax, Reg::Ecx),
+    ];
+    assert_eq!(cond_to_ebx(&setup, Cond::A), 1, "0xFFFFFFFF above 1");
+    assert_eq!(cond_to_ebx(&setup, Cond::G), 0, "-1 not greater than 1");
+    assert_eq!(cond_to_ebx(&setup, Cond::Ae), 1);
+    assert_eq!(cond_to_ebx(&setup, Cond::Be), 0);
+}
+
+#[test]
+fn shift_counts_mask_to_five_bits() {
+    // Shifting by 32 (cl = 32 & 31 = 0) leaves the value unchanged.
+    let v = run(&[
+        Inst::MovRI(Reg::Ebx, 0x1234),
+        Inst::MovRI(Reg::Ecx, 32),
+        Inst::ShiftRCl(ShiftOp::Shl, Reg::Ebx),
+    ]);
+    assert_eq!(v, 0x1234);
+    // Count 33 & 31 = 1.
+    let v = run(&[
+        Inst::MovRI(Reg::Ebx, 3),
+        Inst::MovRI(Reg::Ecx, 33),
+        Inst::ShiftRCl(ShiftOp::Shl, Reg::Ebx),
+    ]);
+    assert_eq!(v, 6);
+}
+
+#[test]
+fn sar_vs_shr_on_negative() {
+    let v = run(&[Inst::MovRI(Reg::Ebx, -8), Inst::ShiftRI(ShiftOp::Sar, Reg::Ebx, 1)]);
+    assert_eq!(v, -4);
+    let v = run(&[Inst::MovRI(Reg::Ebx, -8), Inst::ShiftRI(ShiftOp::Shr, Reg::Ebx, 1)]);
+    assert_eq!(v, 0x7FFF_FFFC);
+}
+
+#[test]
+fn shift_carry_feeds_adc() {
+    // shl of 0x80000000 by 1 pushes the top bit into CF.
+    let v = run(&[
+        Inst::MovRI(Reg::Eax, i32::MIN),
+        Inst::ShiftRI(ShiftOp::Shl, Reg::Eax, 1),
+        Inst::MovRI(Reg::Ebx, 0),
+        Inst::AluRI(AluOp::Adc, Reg::Ebx, 0),
+    ]);
+    assert_eq!(v, 1);
+    // shr of 1 by 1 pushes the low bit into CF.
+    let v = run(&[
+        Inst::MovRI(Reg::Eax, 1),
+        Inst::ShiftRI(ShiftOp::Shr, Reg::Eax, 1),
+        Inst::MovRI(Reg::Ebx, 0),
+        Inst::AluRI(AluOp::Adc, Reg::Ebx, 0),
+    ]);
+    assert_eq!(v, 1);
+}
+
+#[test]
+fn rotates_preserve_bits() {
+    let v = run(&[
+        Inst::MovRI(Reg::Ebx, 0x80000001u32 as i32),
+        Inst::ShiftRI(ShiftOp::Rol, Reg::Ebx, 4),
+    ]);
+    assert_eq!(v as u32, 0x0000_0018);
+    let v = run(&[
+        Inst::MovRI(Reg::Ebx, 0x80000001u32 as i32),
+        Inst::ShiftRI(ShiftOp::Ror, Reg::Ebx, 4),
+    ]);
+    assert_eq!(v as u32, 0x1800_0000);
+}
+
+#[test]
+fn neg_sets_carry_unless_zero() {
+    let setup = [Inst::MovRI(Reg::Eax, 5), Inst::NegR(Reg::Eax)];
+    assert_eq!(cond_to_ebx(&setup, Cond::B), 1, "neg of nonzero sets CF");
+    let setup = [Inst::MovRI(Reg::Eax, 0), Inst::NegR(Reg::Eax)];
+    assert_eq!(cond_to_ebx(&setup, Cond::B), 0, "neg of zero clears CF");
+}
+
+#[test]
+fn test_and_logic_ops_clear_carry() {
+    let setup = [
+        Inst::MovRI(Reg::Eax, -1),
+        Inst::AluRI(AluOp::Add, Reg::Eax, 1), // CF=1
+        Inst::MovRI(Reg::Ecx, 7),
+        Inst::TestRR(Reg::Ecx, Reg::Ecx), // CF cleared, ZF=0
+    ];
+    assert_eq!(cond_to_ebx(&setup, Cond::B), 0);
+    assert_eq!(cond_to_ebx(&setup, Cond::Ne), 1);
+}
+
+#[test]
+fn parity_flag_of_low_byte() {
+    // 3 = 0b11 → even parity → PF set.
+    let setup = [Inst::MovRI(Reg::Eax, 0), Inst::AluRI(AluOp::Add, Reg::Eax, 3)];
+    assert_eq!(cond_to_ebx(&setup, Cond::P), 1);
+    // 1 → odd parity.
+    let setup = [Inst::MovRI(Reg::Eax, 0), Inst::AluRI(AluOp::Add, Reg::Eax, 1)];
+    assert_eq!(cond_to_ebx(&setup, Cond::P), 0);
+    // Parity looks at the LOW BYTE only: 0x100 has low byte 0 → even.
+    let setup = [Inst::MovRI(Reg::Eax, 0), Inst::AluRI(AluOp::Add, Reg::Eax, 0x100)];
+    assert_eq!(cond_to_ebx(&setup, Cond::P), 1);
+}
+
+#[test]
+fn imul_overflow_flag() {
+    let setup = [
+        Inst::MovRI(Reg::Eax, 0x10000),
+        Inst::ImulRRI(Reg::Eax, Reg::Eax, 0x10000), // 2^32: overflows
+    ];
+    assert_eq!(cond_to_ebx(&setup, Cond::O), 1);
+    let setup = [
+        Inst::MovRI(Reg::Eax, 1000),
+        Inst::ImulRRI(Reg::Eax, Reg::Eax, 1000), // fits
+    ];
+    assert_eq!(cond_to_ebx(&setup, Cond::O), 0);
+}
+
+#[test]
+fn push_esp_pushes_old_value() {
+    // Intel SDM: PUSH ESP pushes the value before the decrement —
+    // `push esp; pop ebx` therefore equals `mov ebx, esp`. The
+    // substitution pass relies on this.
+    let v = run(&[
+        Inst::MovRR(Reg::Ecx, Reg::Esp), // save expected
+        Inst::PushR(Reg::Esp),
+        Inst::PopR(Reg::Ebx),
+        Inst::AluRR(AluOp::Sub, Reg::Ebx, Reg::Ecx), // must be 0
+    ]);
+    assert_eq!(v, 0);
+}
+
+#[test]
+fn xchg_swaps_without_flags() {
+    let setup = [
+        Inst::MovRI(Reg::Eax, -1),
+        Inst::AluRI(AluOp::Add, Reg::Eax, 1), // CF=1
+        Inst::MovRI(Reg::Ecx, 2),
+        Inst::MovRI(Reg::Edx, 3),
+        Inst::XchgRR(Reg::Ecx, Reg::Edx),
+    ];
+    // CF survives the xchg.
+    assert_eq!(cond_to_ebx(&setup, Cond::B), 1);
+    let v = run(&[
+        Inst::MovRI(Reg::Ecx, 2),
+        Inst::MovRI(Reg::Ebx, 3),
+        Inst::XchgRR(Reg::Ebx, Reg::Ecx),
+    ]);
+    assert_eq!(v, 2);
+}
+
+#[test]
+fn cdq_sign_extends() {
+    let v = run(&[
+        Inst::MovRI(Reg::Eax, -5),
+        Inst::Cdq,
+        Inst::MovRR(Reg::Ebx, Reg::Edx),
+    ]);
+    assert_eq!(v, -1);
+    let v = run(&[
+        Inst::MovRI(Reg::Eax, 5),
+        Inst::Cdq,
+        Inst::MovRR(Reg::Ebx, Reg::Edx),
+    ]);
+    assert_eq!(v, 0);
+}
+
+#[test]
+fn idiv_rounds_toward_zero() {
+    for (a, b, q, r) in [(7, 2, 3, 1), (-7, 2, -3, -1), (7, -2, -3, 1), (-7, -2, 3, -1)] {
+        let quotient = run(&[
+            Inst::MovRI(Reg::Eax, a),
+            Inst::Cdq,
+            Inst::MovRI(Reg::Ecx, b),
+            Inst::IdivR(Reg::Ecx),
+            Inst::MovRR(Reg::Ebx, Reg::Eax),
+        ]);
+        assert_eq!(quotient, q, "{a}/{b}");
+        let remainder = run(&[
+            Inst::MovRI(Reg::Eax, a),
+            Inst::Cdq,
+            Inst::MovRI(Reg::Ecx, b),
+            Inst::IdivR(Reg::Ecx),
+            Inst::MovRR(Reg::Ebx, Reg::Edx),
+        ]);
+        assert_eq!(remainder, r, "{a}%{b}");
+    }
+}

@@ -1,0 +1,435 @@
+//! Attack-feasibility analysis.
+//!
+//! Models what the ROP toolchains of the paper's PHP case study
+//! (ROPgadget and the microgadgets scanner, the paper's refs. 32 and 14)
+//! decide: given the
+//! gadgets available in a binary, can the attack payload be assembled?
+//!
+//! The model is register-aware, because that is what makes real attacks
+//! fail on diversified binaries: an `int 0x80` attack needs
+//! attacker-*controlled* values in specific registers (`eax` = syscall
+//! number, `ebx`/`ecx`/`edx` = arguments), which requires `pop r; ret`
+//! gadgets — or chains of register moves rooted at one. The analysis
+//! computes the closure of controllable registers over `pop` and
+//! `mov`/`xchg` gadgets, then checks the remaining requirements
+//! (memory write, memory read, arithmetic, syscall gate).
+//!
+//! Gadgets that clobber `esp` in unpredictable ways (`lea esp, …`,
+//! `mov esp, …` other than the NOP form) break chain continuity and are
+//! disqualified from providing other operations, exactly as real scanners
+//! treat them — they only count as stack pivots.
+
+use std::collections::HashSet;
+
+use pgsd_x86::{decode, AluOp, Body, CfKind, Class, Inst, Mem, Reg};
+
+use crate::finder::{find_gadgets, Gadget, ScanConfig, TerminatorSet};
+
+/// The primitive operations one gadget can provide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Primitive {
+    /// `pop r; … ret`: loads an attacker constant from the stack into `r`.
+    PopInto(Reg),
+    /// Copies `src` into `dst` (`mov`/`xchg`), preserving chain integrity.
+    Move {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// Register arithmetic/logic.
+    Arith,
+    /// Memory read through a register (`mov r, [r']`).
+    LoadMem,
+    /// Memory write through a register (`mov [r'], r`).
+    StoreMem,
+    /// Ends in a syscall gate (`int 0x80` / `sysenter`).
+    Syscall,
+    /// Overwrites `esp` — a stack pivot.
+    Pivot,
+}
+
+/// What one scanner persona requires to declare an attack feasible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackTemplate {
+    /// Template name (for reports).
+    pub name: &'static str,
+    /// Registers that must be attacker-controllable.
+    pub controlled: Vec<Reg>,
+    /// Non-register primitives that must be present.
+    pub required: Vec<Primitive>,
+}
+
+impl AttackTemplate {
+    /// ROPgadget-style chain for the attack the paper describes (§2.1):
+    /// "call some system function (like mmap), store a payload into a
+    /// memory area and then redirect control flow" — `eax` carries the
+    /// syscall number, `ebx` the first argument (for `old_mmap`, a pointer
+    /// to the argument block, itself staged with the store primitive),
+    /// plus the memory write and the syscall gate.
+    pub fn ropgadget() -> AttackTemplate {
+        AttackTemplate {
+            name: "ROPgadget",
+            controlled: vec![Reg::Eax, Reg::Ebx],
+            required: vec![Primitive::StoreMem, Primitive::Syscall],
+        }
+    }
+
+    /// Microgadgets-style computation set: fewer controlled registers but
+    /// a richer operation mix (arithmetic, loads, stores, syscall).
+    pub fn microgadgets() -> AttackTemplate {
+        AttackTemplate {
+            name: "microgadgets",
+            controlled: vec![Reg::Eax, Reg::Ebx],
+            required: vec![
+                Primitive::Arith,
+                Primitive::LoadMem,
+                Primitive::StoreMem,
+                Primitive::Syscall,
+            ],
+        }
+    }
+}
+
+/// The scan configuration attack scanners use: longer gadgets than
+/// Survivor's (real chains tolerate a few junk instructions) and syscall
+/// terminators.
+pub fn attack_scan_config() -> ScanConfig {
+    ScanConfig {
+        max_insts: 8,
+        max_back: 26,
+        terminators: TerminatorSet::FreeBranchesAndSyscalls,
+    }
+}
+
+/// Extracts the primitives provided by one gadget byte sequence.
+pub fn classify(bytes: &[u8]) -> HashSet<Primitive> {
+    let mut prims = HashSet::new();
+    let mut pivots = false;
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let Ok(d) = decode(&bytes[pos..]) else { break };
+        if let Class::ControlFlow(CfKind::Syscall) = d.class() {
+            prims.insert(Primitive::Syscall);
+        }
+        if let Body::Known(inst) = &d.body {
+            classify_inst(inst, &mut prims, &mut pivots);
+        }
+        pos += d.len;
+    }
+    if pivots {
+        // An esp-clobbering gadget can only be used as a pivot; its other
+        // effects are unreachable in a conventional chain.
+        let mut only = HashSet::new();
+        only.insert(Primitive::Pivot);
+        if prims.contains(&Primitive::Syscall) {
+            // A syscall before the pivot point may still fire.
+            only.insert(Primitive::Syscall);
+        }
+        return only;
+    }
+    prims
+}
+
+fn is_plain_mem(m: &Mem) -> bool {
+    // A usable attacker memory operand dereferences a register the chain
+    // can set (esp-relative operands hit chain data instead).
+    let base_ok = matches!(m.base, Some(b) if b != Reg::Esp);
+    let index_ok = m.index.is_some();
+    base_ok || index_ok
+}
+
+fn classify_inst(inst: &Inst, prims: &mut HashSet<Primitive>, pivots: &mut bool) {
+    match inst {
+        Inst::PopR(Reg::Esp) => *pivots = true,
+        Inst::PopR(r) => {
+            prims.insert(Primitive::PopInto(*r));
+        }
+        Inst::MovRR(d, s) => {
+            if *d == Reg::Esp {
+                if *s != Reg::Esp {
+                    *pivots = true;
+                }
+            } else if d != s {
+                prims.insert(Primitive::Move { dst: *d, src: *s });
+            }
+        }
+        Inst::Lea(d, m) => {
+            if *d == Reg::Esp && !(m.base == Some(Reg::Esp) && m.index.is_none()) {
+                *pivots = true;
+            }
+        }
+        Inst::XchgRR(a, b) => {
+            if a != b {
+                if *a == Reg::Esp || *b == Reg::Esp {
+                    *pivots = true;
+                } else {
+                    prims.insert(Primitive::Move { dst: *a, src: *b });
+                    prims.insert(Primitive::Move { dst: *b, src: *a });
+                }
+            }
+        }
+        Inst::MovRM(d, m) if is_plain_mem(m) && *d != Reg::Esp => {
+            prims.insert(Primitive::LoadMem);
+        }
+        // `mov r, [esp + small]` reads the chain itself: in a ROP chain
+        // the words at small positive esp offsets are attacker data, so
+        // this controls `r` exactly like `pop r` (real scanners use these
+        // as load gadgets; libc syscall wrappers are full of them).
+        Inst::MovRM(d, m)
+            if m.base == Some(Reg::Esp)
+                && m.index.is_none()
+                && (0..=64).contains(&m.disp)
+                && *d != Reg::Esp =>
+        {
+            prims.insert(Primitive::PopInto(*d));
+        }
+        Inst::MovMR(m, _) if is_plain_mem(m) => {
+            prims.insert(Primitive::StoreMem);
+        }
+        // A small upward stack adjustment (`add esp, imm`) is
+        // chain-compatible: the attacker pads the chain with imm/4 junk
+        // words. Function epilogues have exactly this shape.
+        Inst::AluRI(AluOp::Add, Reg::Esp, imm) if (0..=128).contains(imm) => {}
+        Inst::AluRR(_, d, _) | Inst::AluRI(_, d, _) if *d == Reg::Esp => {
+            // Any other esp arithmetic unpredictably moves the chain.
+            *pivots = true;
+        }
+        Inst::AluRR(..)
+        | Inst::AluRI(..)
+        | Inst::ImulRR(..)
+        | Inst::ImulRRI(..)
+        | Inst::NegR(..)
+        | Inst::NotR(..)
+        | Inst::IncR(..)
+        | Inst::DecR(..)
+        | Inst::ShiftRI(..)
+        | Inst::ShiftRCl(..) => {
+            prims.insert(Primitive::Arith);
+        }
+        _ => {}
+    }
+}
+
+/// The union of primitives provided by a gadget set.
+pub fn primitives_of_gadgets(text: &[u8], gadgets: &[Gadget]) -> HashSet<Primitive> {
+    let mut prims = HashSet::new();
+    for g in gadgets {
+        prims.extend(classify(g.bytes(text)));
+    }
+    prims
+}
+
+/// Computes the closure of attacker-controllable registers: a register is
+/// controllable if some gadget pops into it, or some move gadget copies a
+/// controllable register into it.
+pub fn controlled_registers(prims: &HashSet<Primitive>) -> HashSet<Reg> {
+    let mut controlled: HashSet<Reg> = prims
+        .iter()
+        .filter_map(|p| match p {
+            Primitive::PopInto(r) => Some(*r),
+            _ => None,
+        })
+        .collect();
+    loop {
+        let mut grew = false;
+        for p in prims {
+            if let Primitive::Move { dst, src } = p {
+                if controlled.contains(src) && controlled.insert(*dst) {
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            return controlled;
+        }
+    }
+}
+
+/// Verdict of one feasibility check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Feasibility {
+    /// The template checked.
+    pub template: &'static str,
+    /// Registers the attacker can control.
+    pub controlled: Vec<Reg>,
+    /// Required registers that cannot be controlled.
+    pub missing_regs: Vec<Reg>,
+    /// Required primitives that are absent.
+    pub missing_prims: Vec<Primitive>,
+}
+
+impl Feasibility {
+    /// `true` when the attack template is fully covered.
+    pub fn feasible(&self) -> bool {
+        self.missing_regs.is_empty() && self.missing_prims.is_empty()
+    }
+}
+
+/// Checks `template` against an explicit gadget set (e.g. the survivors
+/// of a Survivor comparison).
+pub fn check_attack_on_gadgets(
+    text: &[u8],
+    gadgets: &[Gadget],
+    template: &AttackTemplate,
+) -> Feasibility {
+    let prims = primitives_of_gadgets(text, gadgets);
+    let controlled = controlled_registers(&prims);
+    let mut missing_regs: Vec<Reg> = template
+        .controlled
+        .iter()
+        .copied()
+        .filter(|r| !controlled.contains(r))
+        .collect();
+    missing_regs.sort();
+    let mut missing_prims: Vec<Primitive> = template
+        .required
+        .iter()
+        .copied()
+        .filter(|p| !prims.contains(p))
+        .collect();
+    missing_prims.sort();
+    let mut ctl: Vec<Reg> = controlled.into_iter().collect();
+    ctl.sort();
+    Feasibility { template: template.name, controlled: ctl, missing_regs, missing_prims }
+}
+
+/// Checks whether `template` can be assembled from all gadgets of `text`.
+pub fn check_attack(text: &[u8], template: &AttackTemplate) -> Feasibility {
+    let cfg = attack_scan_config();
+    let gadgets = find_gadgets(text, &cfg);
+    check_attack_on_gadgets(text, &gadgets, template)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgsd_x86::{assemble, AluOp};
+
+    #[test]
+    fn classification_basics() {
+        let pop_ret = assemble(&[Inst::PopR(Reg::Eax), Inst::Ret]).unwrap();
+        assert!(classify(&pop_ret).contains(&Primitive::PopInto(Reg::Eax)));
+
+        let store = assemble(&[Inst::MovMR(Mem::base_disp(Reg::Ecx, 0), Reg::Eax), Inst::Ret])
+            .unwrap();
+        assert!(classify(&store).contains(&Primitive::StoreMem));
+
+        let sys = assemble(&[Inst::Int(0x80)]).unwrap();
+        assert!(classify(&sys).contains(&Primitive::Syscall));
+    }
+
+    #[test]
+    fn esp_clobber_disqualifies_other_effects() {
+        // pop eax inside a gadget that then pivots is unusable as a load.
+        let bytes = assemble(&[
+            Inst::PopR(Reg::Eax),
+            Inst::MovRR(Reg::Esp, Reg::Ebp),
+            Inst::Ret,
+        ])
+        .unwrap();
+        let prims = classify(&bytes);
+        assert!(prims.contains(&Primitive::Pivot));
+        assert!(!prims.contains(&Primitive::PopInto(Reg::Eax)));
+        // The epilogue `lea esp, [ebp-12]` form also pivots.
+        let epi = assemble(&[
+            Inst::MovRR(Reg::Eax, Reg::Ebx),
+            Inst::Lea(Reg::Esp, Mem::base_disp(Reg::Ebp, -12)),
+            Inst::PopR(Reg::Ebp),
+            Inst::Ret,
+        ])
+        .unwrap();
+        let prims = classify(&epi);
+        assert!(prims.contains(&Primitive::Pivot));
+        assert!(!prims.iter().any(|p| matches!(p, Primitive::Move { .. })));
+    }
+
+    #[test]
+    fn esp_relative_memory_is_not_attacker_memory() {
+        let bytes =
+            assemble(&[Inst::MovMR(Mem::base_disp(Reg::Esp, 4), Reg::Eax), Inst::Ret]).unwrap();
+        assert!(!classify(&bytes).contains(&Primitive::StoreMem));
+        let abs = assemble(&[Inst::MovMR(Mem::abs(0x1234), Reg::Eax), Inst::Ret]).unwrap();
+        assert!(!classify(&abs).contains(&Primitive::StoreMem));
+    }
+
+    #[test]
+    fn move_closure_extends_control() {
+        let mut prims = HashSet::new();
+        prims.insert(Primitive::PopInto(Reg::Ebx));
+        prims.insert(Primitive::Move { dst: Reg::Eax, src: Reg::Ebx });
+        prims.insert(Primitive::Move { dst: Reg::Ecx, src: Reg::Eax });
+        prims.insert(Primitive::Move { dst: Reg::Edi, src: Reg::Esi }); // dead
+        let c = controlled_registers(&prims);
+        assert!(c.contains(&Reg::Ebx) && c.contains(&Reg::Eax) && c.contains(&Reg::Ecx));
+        assert!(!c.contains(&Reg::Edi));
+    }
+
+    #[test]
+    fn rich_text_is_attackable_and_poor_text_is_not() {
+        let rich = assemble(&[
+            Inst::PopR(Reg::Eax),
+            Inst::Ret,
+            Inst::PopR(Reg::Ebx),
+            Inst::Ret,
+            Inst::PopR(Reg::Ecx),
+            Inst::Ret,
+            Inst::PopR(Reg::Edx),
+            Inst::Ret,
+            Inst::MovMR(Mem::base_disp(Reg::Ebx, 0), Reg::Eax),
+            Inst::Ret,
+            Inst::MovRM(Reg::Eax, Mem::base_disp(Reg::Ecx, 0)),
+            Inst::Ret,
+            Inst::AluRR(AluOp::Add, Reg::Eax, Reg::Ebx),
+            Inst::Ret,
+            Inst::Int(0x80),
+            Inst::Ret,
+        ])
+        .unwrap();
+        assert!(check_attack(&rich, &AttackTemplate::ropgadget()).feasible());
+        assert!(check_attack(&rich, &AttackTemplate::microgadgets()).feasible());
+
+        // Runtime-like text: registers controllable and a syscall gate,
+        // but no memory-write primitive — the attack cannot stage its
+        // payload.
+        let poor = assemble(&[
+            Inst::PopR(Reg::Ebx),
+            Inst::Ret,
+            Inst::MovRR(Reg::Eax, Reg::Ebx),
+            Inst::Ret,
+            Inst::Int(0x80),
+            Inst::Ret,
+        ])
+        .unwrap();
+        let verdict = check_attack(&poor, &AttackTemplate::ropgadget());
+        assert!(!verdict.feasible());
+        assert!(verdict.missing_prims.contains(&Primitive::StoreMem));
+    }
+
+    #[test]
+    fn stack_adjust_and_esp_loads_are_chain_compatible() {
+        // `mov ecx, [esp+8]; add esp, 16; ret` — a classic libc-style
+        // load gadget: controls ecx, no pivot.
+        let bytes = assemble(&[
+            Inst::MovRM(Reg::Ecx, Mem::base_disp(Reg::Esp, 8)),
+            Inst::AluRI(AluOp::Add, Reg::Esp, 16),
+            Inst::Ret,
+        ])
+        .unwrap();
+        let prims = classify(&bytes);
+        assert!(prims.contains(&Primitive::PopInto(Reg::Ecx)), "{prims:?}");
+        assert!(!prims.contains(&Primitive::Pivot));
+        // A big or negative adjustment is still a pivot.
+        let sub = assemble(&[Inst::AluRI(AluOp::Sub, Reg::Esp, 16), Inst::Ret]).unwrap();
+        assert!(classify(&sub).contains(&Primitive::Pivot));
+    }
+
+    #[test]
+    fn templates_have_distinct_requirements() {
+        let rg = AttackTemplate::ropgadget();
+        let mg = AttackTemplate::microgadgets();
+        assert_eq!(rg.controlled.len(), 2);
+        assert!(mg.required.contains(&Primitive::LoadMem));
+        assert!(!rg.required.contains(&Primitive::LoadMem));
+    }
+}

@@ -1,0 +1,214 @@
+//! The augmented flow graph used for counter placement and count
+//! reconstruction.
+//!
+//! Following the profiling infrastructure the paper builds on (LLVM's
+//! optimal edge profiling, after Knuth and Ball–Larus), the CFG is
+//! augmented with a virtual EXIT node, an edge from every returning block
+//! to EXIT, and a virtual EXIT→entry edge. On the augmented graph every
+//! node satisfies flow conservation (Σin = Σout), so measuring only the
+//! edges *outside* a spanning tree determines every count.
+
+use pgsd_cc::ir::Function;
+
+/// A node: block index, or [`FlowGraph::exit`] for the virtual exit.
+pub type Node = usize;
+
+/// One edge of the augmented flow graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Source node.
+    pub from: Node,
+    /// Destination node.
+    pub to: Node,
+    /// `true` for the virtual edges (`ret → EXIT`, `EXIT → entry`).
+    pub virtual_edge: bool,
+}
+
+/// The augmented flow graph of one function.
+#[derive(Debug, Clone)]
+pub struct FlowGraph {
+    /// Number of real blocks.
+    pub num_blocks: usize,
+    /// All edges; real CFG edges first, then virtual ones.
+    pub edges: Vec<Edge>,
+}
+
+impl FlowGraph {
+    /// Builds the augmented graph of `func`.
+    pub fn build(func: &Function) -> FlowGraph {
+        let num_blocks = func.blocks.len();
+        let exit = num_blocks;
+        let mut edges = Vec::new();
+        for (from, to) in func.edges() {
+            edges.push(Edge {
+                from: from.0 as usize,
+                to: to.0 as usize,
+                virtual_edge: false,
+            });
+        }
+        for (bi, b) in func.blocks.iter().enumerate() {
+            if b.term.successors().is_empty() {
+                edges.push(Edge { from: bi, to: exit, virtual_edge: true });
+            }
+        }
+        edges.push(Edge { from: exit, to: 0, virtual_edge: true });
+        FlowGraph { num_blocks, edges }
+    }
+
+    /// The virtual exit node id.
+    pub fn exit(&self) -> Node {
+        self.num_blocks
+    }
+
+    /// Total node count (blocks + exit).
+    pub fn num_nodes(&self) -> usize {
+        self.num_blocks + 1
+    }
+
+    /// Estimated execution weight of each edge, used to pick the spanning
+    /// tree: virtual edges are forced onto the tree (never instrumented),
+    /// and back edges — detected by a DFS over the real CFG — get a high
+    /// weight so hot loop edges end up uninstrumented, as in Knuth's
+    /// optimal placement.
+    pub fn edge_weights(&self) -> Vec<u64> {
+        let back = self.back_edges();
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                if e.virtual_edge {
+                    u64::MAX
+                } else if back[i] {
+                    1_000
+                } else {
+                    1
+                }
+            })
+            .collect()
+    }
+
+    /// Marks edges whose target is an ancestor in a DFS over real edges
+    /// (loop back edges, approximately).
+    fn back_edges(&self) -> Vec<bool> {
+        let n = self.num_nodes();
+        let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n]; // (edge idx, to)
+        for (i, e) in self.edges.iter().enumerate() {
+            if !e.virtual_edge {
+                adj[e.from].push((i, e.to));
+            }
+        }
+        let mut state = vec![0u8; n]; // 0 = white, 1 = on stack, 2 = done
+        let mut back = vec![false; self.edges.len()];
+        // Iterative DFS from the entry.
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        state[0] = 1;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next < adj[node].len() {
+                let (ei, to) = adj[node][*next];
+                *next += 1;
+                match state[to] {
+                    0 => {
+                        state[to] = 1;
+                        stack.push((to, 0));
+                    }
+                    1 => back[ei] = true,
+                    _ => {}
+                }
+            } else {
+                state[node] = 2;
+                stack.pop();
+            }
+        }
+        back
+    }
+}
+
+/// Computes a maximum-weight spanning tree (forest) over the undirected
+/// view of the graph, returning a boolean per edge. Virtual edges have
+/// maximal weight, so they are on the tree whenever acyclicity allows.
+pub fn max_spanning_tree(graph: &FlowGraph) -> Vec<bool> {
+    let weights = graph.edge_weights();
+    let mut order: Vec<usize> = (0..graph.edges.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
+
+    let mut parent: Vec<usize> = (0..graph.num_nodes()).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut on_tree = vec![false; graph.edges.len()];
+    for i in order {
+        let e = &graph.edges[i];
+        let (a, b) = (find(&mut parent, e.from), find(&mut parent, e.to));
+        if a != b {
+            parent[a] = b;
+            on_tree[i] = true;
+        }
+    }
+    on_tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgsd_cc::driver::frontend;
+
+    fn graph_of(src: &str) -> FlowGraph {
+        let m = frontend("t", src).unwrap();
+        FlowGraph::build(&m.funcs[0])
+    }
+
+    #[test]
+    fn straight_line_function_has_only_virtual_edges() {
+        let g = graph_of("int f() { return 1; }");
+        assert_eq!(g.num_blocks, 1);
+        assert_eq!(g.edges.len(), 2); // ret→EXIT, EXIT→entry
+        assert!(g.edges.iter().all(|e| e.virtual_edge));
+    }
+
+    #[test]
+    fn loop_has_back_edge_with_high_weight() {
+        let g = graph_of("int f(int n) { int s = 0; while (n > 0) { s += n; n -= 1; } return s; }");
+        let w = g.edge_weights();
+        let backs: Vec<_> = g
+            .edges
+            .iter()
+            .zip(&w)
+            .filter(|(e, &w)| !e.virtual_edge && w == 1_000)
+            .collect();
+        assert_eq!(backs.len(), 1, "exactly one back edge expected");
+    }
+
+    #[test]
+    fn spanning_tree_leaves_cyclomatic_number_off_tree() {
+        let g = graph_of(
+            "int f(int n) { int s = 0; while (n > 0) { if (n % 2 == 0) { s += n; } n -= 1; } return s; }",
+        );
+        let tree = max_spanning_tree(&g);
+        let on: usize = tree.iter().filter(|&&t| t).count();
+        // A spanning tree over a connected graph has |V| - 1 edges.
+        assert_eq!(on, g.num_nodes() - 1);
+        // Off-tree (instrumented) edges = |E| - |V| + 1.
+        let off = g.edges.len() - on;
+        assert_eq!(off, g.edges.len() - g.num_nodes() + 1);
+    }
+
+    #[test]
+    fn virtual_edges_prefer_the_tree() {
+        let g = graph_of("int f(int a) { if (a) { return 1; } return 2; }");
+        let tree = max_spanning_tree(&g);
+        // At most one virtual edge can be off-tree (cycles among the
+        // virtual star are rare); in this shape all must be on the tree
+        // except possibly one forming a cycle with the others.
+        let off_virtual = g
+            .edges
+            .iter()
+            .zip(&tree)
+            .filter(|(e, &t)| e.virtual_edge && !t)
+            .count();
+        assert!(off_virtual <= 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Edge-profiling instrumentation.
+//!
+//! For every off-tree edge a counter is placed at the cheapest sound site:
+//! in the source block when it has a single successor, in the destination
+//! block when it has a single predecessor, or in a freshly split edge
+//! block for critical edges. Off-tree *virtual* edges are realized as
+//! block counters (`ret → EXIT` counts the returning block; `EXIT → entry`
+//! counts function invocations at the entry).
+
+use pgsd_cc::ir::{BlockId, Function, Instr, Module};
+
+use crate::graph::{max_spanning_tree, FlowGraph};
+
+/// Where a counter for an edge was physically placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterSite {
+    /// Appended to the source block (single-successor edge or `ret→EXIT`).
+    SourceBlock(u32),
+    /// Prepended to the destination block (single-predecessor edge or
+    /// `EXIT→entry`).
+    DestBlock(u32),
+    /// In a new block splitting the edge.
+    SplitBlock(u32),
+}
+
+/// Instrumentation record for one function.
+#[derive(Debug, Clone)]
+pub struct FuncPlan {
+    /// Function name.
+    pub name: String,
+    /// The augmented flow graph *of the original (pre-instrumentation)
+    /// CFG*; reconstruction runs on this graph.
+    pub graph: FlowGraph,
+    /// For each edge: the global counter id measuring it, if instrumented.
+    pub edge_counter: Vec<Option<u32>>,
+    /// Physical placement of each counter (diagnostics/tests).
+    pub sites: Vec<CounterSite>,
+}
+
+/// Instrumentation record for a whole module.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Per-function plans, in module function order.
+    pub funcs: Vec<FuncPlan>,
+    /// Total number of counters allocated.
+    pub num_counters: u32,
+}
+
+/// Instruments `module` in place with minimal edge counters and returns
+/// the [`Plan`] needed to reconstruct full profiles from raw counter
+/// values.
+///
+/// The caller keeps an *unmodified* copy of the module for the final
+/// (measurement) build; block ids in the plan refer to that copy's CFG.
+pub fn instrument(module: &mut Module) -> Plan {
+    let mut next_counter = 0u32;
+    let mut plans = Vec::with_capacity(module.funcs.len());
+    for func in &mut module.funcs {
+        plans.push(instrument_function(func, &mut next_counter));
+    }
+    module.num_counters = next_counter;
+    Plan { funcs: plans, num_counters: next_counter }
+}
+
+fn instrument_function(func: &mut Function, next_counter: &mut u32) -> FuncPlan {
+    let graph = FlowGraph::build(func);
+    let on_tree = max_spanning_tree(&graph);
+    let preds = func.predecessors();
+    let mut edge_counter = vec![None; graph.edges.len()];
+    let mut sites = Vec::new();
+
+    for (ei, edge) in graph.edges.iter().enumerate() {
+        if on_tree[ei] {
+            continue;
+        }
+        let id = *next_counter;
+        *next_counter += 1;
+        edge_counter[ei] = Some(id);
+        let site = if edge.virtual_edge {
+            if edge.from == graph.exit() {
+                // EXIT → entry: count invocations at function entry.
+                func.block_mut(BlockId(0)).instrs.insert(0, Instr::ProfCtr { id });
+                CounterSite::DestBlock(0)
+            } else {
+                // ret → EXIT: count executions of the returning block.
+                let b = BlockId(edge.from as u32);
+                func.block_mut(b).instrs.push(Instr::ProfCtr { id });
+                CounterSite::SourceBlock(edge.from as u32)
+            }
+        } else {
+            let from = BlockId(edge.from as u32);
+            let to = BlockId(edge.to as u32);
+            let from_succs = func.block(from).term.successors().len();
+            let to_preds = preds[edge.to].len();
+            if from_succs == 1 {
+                func.block_mut(from).instrs.push(Instr::ProfCtr { id });
+                CounterSite::SourceBlock(edge.from as u32)
+            } else if to_preds == 1 {
+                func.block_mut(to).instrs.insert(0, Instr::ProfCtr { id });
+                CounterSite::DestBlock(edge.to as u32)
+            } else {
+                // Critical edge: split it.
+                let mid = func.split_edge(from, to);
+                func.block_mut(mid).instrs.push(Instr::ProfCtr { id });
+                CounterSite::SplitBlock(mid.0)
+            }
+        };
+        sites.push(site);
+    }
+    FuncPlan { name: func.name.clone(), graph, edge_counter, sites }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgsd_cc::driver::frontend;
+    use pgsd_cc::ir::verify::verify;
+
+    fn plan_for(src: &str) -> (Module, Plan) {
+        let mut m = frontend("t", src).unwrap();
+        let p = instrument(&mut m);
+        verify(&m).expect("instrumented module verifies");
+        (m, p)
+    }
+
+    #[test]
+    fn straight_line_gets_one_counter() {
+        // Only the EXIT→entry / ret→EXIT cycle needs one counter.
+        let (m, p) = plan_for("int main() { return 3; }");
+        assert_eq!(p.num_counters, 1);
+        assert_eq!(m.num_counters, 1);
+    }
+
+    #[test]
+    fn counter_count_is_cyclomatic_number() {
+        let (_, p) = plan_for(
+            "int main(int n) {
+                int s = 0;
+                while (n > 0) { if (n % 2 == 0) { s += n; } n -= 1; }
+                return s;
+             }",
+        );
+        let f = &p.funcs[0];
+        // |E| - |V| + 1 counters for a connected augmented graph.
+        let expected = f.graph.edges.len() - f.graph.num_nodes() + 1;
+        let actual = f.edge_counter.iter().flatten().count();
+        assert_eq!(actual, expected);
+        // Far fewer counters than edges (the whole point).
+        assert!(actual < f.graph.edges.len());
+    }
+
+    #[test]
+    fn hot_back_edges_avoid_instrumentation() {
+        let (_, p) = plan_for(
+            "int main(int n) { int s = 0; while (n > 0) { s += n; n -= 1; } return s; }",
+        );
+        let f = &p.funcs[0];
+        let weights = f.graph.edge_weights();
+        for (ei, e) in f.graph.edges.iter().enumerate() {
+            if !e.virtual_edge && weights[ei] == 1_000 {
+                assert!(
+                    f.edge_counter[ei].is_none(),
+                    "back edge should be on the spanning tree"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn instrumented_module_has_profctr_instrs() {
+        let (m, p) = plan_for("int main(int a) { if (a) { return 1; } return 2; }");
+        let ctr_instrs: usize = m.funcs[0]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| matches!(i, Instr::ProfCtr { .. }))
+            .count();
+        assert_eq!(ctr_instrs as u32, p.num_counters);
+    }
+
+    #[test]
+    fn counter_ids_are_globally_unique() {
+        let (_, p) = plan_for(
+            "int f(int a) { if (a) { return 1; } return 0; }
+             int main(int a) { return f(a) + f(a + 1); }",
+        );
+        let mut seen = std::collections::HashSet::new();
+        for fp in &p.funcs {
+            for id in fp.edge_counter.iter().flatten() {
+                assert!(seen.insert(*id), "duplicate counter id {id}");
+            }
+        }
+        assert_eq!(seen.len() as u32, p.num_counters);
+    }
+}

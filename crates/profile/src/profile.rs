@@ -1,0 +1,252 @@
+//! Profile data: per-function, per-basic-block execution counts.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Execution counts of one function.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FuncProfile {
+    /// Execution count per (original-CFG) basic block.
+    pub block_counts: Vec<u64>,
+    /// Number of times the function was invoked.
+    pub invocations: u64,
+}
+
+/// A whole-program profile, keyed by function name.
+///
+/// Blocks are identified by their ids in the *optimized, uninstrumented*
+/// IR, which is the same CFG code generation later lowers — so counts map
+/// one-to-one onto machine blocks (paper §3.1: "we propagate basic-block
+/// execution counts to all instructions").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// Per-function profiles.
+    pub funcs: HashMap<String, FuncProfile>,
+}
+
+impl Profile {
+    /// The profile of function `name`, if present.
+    pub fn func(&self, name: &str) -> Option<&FuncProfile> {
+        self.funcs.get(name)
+    }
+
+    /// The execution count of a block, 0 if unknown.
+    pub fn block_count(&self, func: &str, block: usize) -> u64 {
+        self.funcs
+            .get(func)
+            .and_then(|f| f.block_counts.get(block))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The maximum block execution count across the whole program
+    /// (`x_max` in the paper's probability formulas).
+    pub fn max_count(&self) -> u64 {
+        self.funcs
+            .values()
+            .flat_map(|f| f.block_counts.iter())
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The median of the *executed* (nonzero) block execution counts —
+    /// the statistic the paper quotes for 473.astar in §3.1. Never-executed
+    /// blocks are excluded: large programs carry vast cold regions (error
+    /// paths, unused features) whose zero counts would pin the median to 0
+    /// and say nothing about how the executed counts are distributed,
+    /// which is what the linear-vs-log argument is about.
+    pub fn median_count(&self) -> u64 {
+        let mut all: Vec<u64> = self
+            .funcs
+            .values()
+            .flat_map(|f| f.block_counts.iter())
+            .copied()
+            .filter(|&c| c > 0)
+            .collect();
+        if all.is_empty() {
+            return 0;
+        }
+        all.sort_unstable();
+        all[all.len() / 2]
+    }
+
+    /// Cosine similarity between two profiles over the union of their
+    /// (function, block) keys, using log-scaled counts — the scale on
+    /// which the insertion probability operates, so this is exactly "how
+    /// similar are the NOP-probability assignments the two profiles would
+    /// produce". 1.0 = identical shape; 0.0 = disjoint hot sets.
+    ///
+    /// Used to quantify the paper's §5.1 premise that the *train* inputs
+    /// "provide an accurate profile" of the *ref* behaviour.
+    pub fn similarity(&self, other: &Profile) -> f64 {
+        let mut dot = 0f64;
+        let mut na = 0f64;
+        let mut nb = 0f64;
+        let names: std::collections::BTreeSet<&String> =
+            self.funcs.keys().chain(other.funcs.keys()).collect();
+        for name in names {
+            let empty = FuncProfile::default();
+            let a = self.funcs.get(name.as_str()).unwrap_or(&empty);
+            let b = other.funcs.get(name.as_str()).unwrap_or(&empty);
+            let blocks = a.block_counts.len().max(b.block_counts.len());
+            for i in 0..blocks {
+                let av = (1.0 + *a.block_counts.get(i).unwrap_or(&0) as f64).ln();
+                let bv = (1.0 + *b.block_counts.get(i).unwrap_or(&0) as f64).ln();
+                dot += av * bv;
+                na += av * av;
+                nb += bv * bv;
+            }
+        }
+        if na == 0.0 || nb == 0.0 {
+            return if na == nb { 1.0 } else { 0.0 };
+        }
+        dot / (na.sqrt() * nb.sqrt())
+    }
+
+    /// Serializes to a small line-oriented text format.
+    pub fn to_text(&self) -> String {
+        let mut names: Vec<&String> = self.funcs.keys().collect();
+        names.sort();
+        let mut out = String::new();
+        for name in names {
+            let f = &self.funcs[name];
+            out.push_str(&format!("fn {name} {}\n", f.invocations));
+            for (i, c) in f.block_counts.iter().enumerate() {
+                out.push_str(&format!("  {i} {c}\n"));
+            }
+        }
+        out
+    }
+
+    /// Parses the format produced by [`Profile::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed line.
+    pub fn from_text(text: &str) -> Result<Profile, String> {
+        let mut profile = Profile::default();
+        let mut current: Option<String> = None;
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("fn ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().ok_or_else(|| format!("line {}: missing name", ln + 1))?;
+                let inv: u64 = parts
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing invocation count", ln + 1))?
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", ln + 1))?;
+                profile
+                    .funcs
+                    .insert(name.to_owned(), FuncProfile { block_counts: Vec::new(), invocations: inv });
+                current = Some(name.to_owned());
+            } else {
+                let name = current.clone().ok_or_else(|| format!("line {}: counts before fn", ln + 1))?;
+                let mut parts = line.split_whitespace();
+                let idx: usize = parts
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing index", ln + 1))?
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", ln + 1))?;
+                let count: u64 = parts
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing count", ln + 1))?
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", ln + 1))?;
+                let f = profile.funcs.get_mut(&name).expect("current fn exists");
+                if f.block_counts.len() != idx {
+                    return Err(format!("line {}: non-sequential block index", ln + 1));
+                }
+                f.block_counts.push(count);
+            }
+        }
+        Ok(profile)
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Profile {
+        let mut p = Profile::default();
+        p.funcs.insert(
+            "main".into(),
+            FuncProfile { block_counts: vec![1, 500, 499, 1], invocations: 1 },
+        );
+        p.funcs.insert(
+            "helper".into(),
+            FuncProfile { block_counts: vec![20, 10_000], invocations: 20 },
+        );
+        p
+    }
+
+    #[test]
+    fn stats() {
+        let p = sample();
+        assert_eq!(p.max_count(), 10_000);
+        assert_eq!(p.block_count("main", 1), 500);
+        assert_eq!(p.block_count("missing", 0), 0);
+        assert_eq!(p.block_count("main", 99), 0);
+        // sorted: 1 1 20 499 500 10000 → median idx 3 = 499.
+        assert_eq!(p.median_count(), 499);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let p = sample();
+        let text = p.to_text();
+        let q = Profile::from_text(&text).expect("parses");
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Profile::from_text("  0 5\n").is_err());
+        assert!(Profile::from_text("fn main\n").is_err());
+        assert!(Profile::from_text("fn main 1\n  1 5\n").is_err()); // skips 0
+        assert!(Profile::from_text("fn main 1\n  0 x\n").is_err());
+    }
+
+    #[test]
+    fn similarity_properties() {
+        let p = sample();
+        assert!((p.similarity(&p) - 1.0).abs() < 1e-12, "self-similarity is 1");
+        let empty = Profile::default();
+        assert_eq!(empty.similarity(&empty), 1.0);
+        assert_eq!(p.similarity(&empty), 0.0);
+        // Scaling all counts preserves shape (log-space: approximately).
+        let mut scaled = p.clone();
+        for f in scaled.funcs.values_mut() {
+            for c in &mut f.block_counts {
+                *c *= 100;
+            }
+        }
+        assert!(p.similarity(&scaled) > 0.9, "{}", p.similarity(&scaled));
+        // A profile with an inverted hot set is less similar than the
+        // scaled one.
+        let mut inverted = p.clone();
+        for f in inverted.funcs.values_mut() {
+            f.block_counts.reverse();
+        }
+        assert!(p.similarity(&inverted) < p.similarity(&scaled));
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = Profile::default();
+        assert_eq!(p.max_count(), 0);
+        assert_eq!(p.median_count(), 0);
+        assert_eq!(Profile::from_text("").unwrap(), p);
+    }
+}

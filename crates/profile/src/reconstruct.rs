@@ -1,0 +1,241 @@
+//! Count reconstruction: raw counter values → full edge and block counts.
+//!
+//! Flow conservation on the augmented graph (Σin = Σout at every node)
+//! lets the counts of all spanning-tree edges be solved from the measured
+//! off-tree edges — the inverse of the placement in
+//! [`crate::instrument()`]. The solver iterates two local rules to a
+//! fixpoint:
+//!
+//! 1. a node with all incoming (or all outgoing) edge counts known gets a
+//!    node count;
+//! 2. a node with a known count and exactly one unknown incident edge on
+//!    one side determines that edge.
+
+use crate::instrument::{FuncPlan, Plan};
+use crate::profile::{FuncProfile, Profile};
+
+/// Reconstructs the full profile from raw counter values (indexed by
+/// global counter id, as laid out by [`crate::instrument::instrument`]).
+///
+/// # Panics
+///
+/// Panics if `counters` is shorter than the plan's counter count or if
+/// the flow system cannot be solved (which indicates an instrumentation
+/// bug — the spanning-tree construction guarantees solvability).
+pub fn reconstruct(plan: &Plan, counters: &[u64]) -> Profile {
+    assert!(
+        counters.len() >= plan.num_counters as usize,
+        "expected {} counters, got {}",
+        plan.num_counters,
+        counters.len()
+    );
+    let mut profile = Profile::default();
+    for fp in &plan.funcs {
+        let (blocks, calls) = solve(fp, counters);
+        profile.funcs.insert(
+            fp.name.clone(),
+            FuncProfile { block_counts: blocks, invocations: calls },
+        );
+    }
+    profile
+}
+
+fn solve(fp: &FuncPlan, counters: &[u64]) -> (Vec<u64>, u64) {
+    let g = &fp.graph;
+    let n = g.num_nodes();
+    let ne = g.edges.len();
+    let mut edge_count: Vec<Option<u64>> = fp
+        .edge_counter
+        .iter()
+        .map(|c| c.map(|id| counters[id as usize]))
+        .collect();
+    let mut node_count: Vec<Option<u64>> = vec![None; n];
+
+    // Incidence lists.
+    let mut in_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, e) in g.edges.iter().enumerate() {
+        out_edges[e.from].push(i);
+        in_edges[e.to].push(i);
+    }
+
+    // A spanning tree over a connected graph with m off-tree measured
+    // edges always resolves in at most |V| rounds; 2·|V| + 2 is a safe
+    // bound.
+    for _ in 0..(2 * n + 2) {
+        let mut changed = false;
+        for v in 0..n {
+            // Rule 1: node count from a fully known side.
+            if node_count[v].is_none() {
+                if in_edges[v].iter().all(|&i| edge_count[i].is_some()) {
+                    node_count[v] =
+                        Some(in_edges[v].iter().map(|&i| edge_count[i].unwrap()).sum());
+                    changed = true;
+                } else if out_edges[v].iter().all(|&i| edge_count[i].is_some()) {
+                    node_count[v] =
+                        Some(out_edges[v].iter().map(|&i| edge_count[i].unwrap()).sum());
+                    changed = true;
+                }
+            }
+            // Rule 2: solve a single unknown incident edge.
+            if let Some(total) = node_count[v] {
+                for side in [&in_edges[v], &out_edges[v]] {
+                    let unknown: Vec<usize> =
+                        side.iter().copied().filter(|&i| edge_count[i].is_none()).collect();
+                    if unknown.len() == 1 {
+                        let known: u64 =
+                            side.iter().filter_map(|&i| edge_count[i]).sum();
+                        edge_count[unknown[0]] = Some(total.saturating_sub(known));
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let unsolved = (0..ne).filter(|&i| edge_count[i].is_none()).count();
+    assert_eq!(
+        unsolved, 0,
+        "flow reconstruction failed for `{}`: {unsolved} edges unsolved",
+        fp.name
+    );
+    let blocks: Vec<u64> = (0..g.num_blocks)
+        .map(|b| node_count[b].expect("all node counts solved"))
+        .collect();
+    let calls = node_count[g.exit()].unwrap_or(0);
+    (blocks, calls)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::instrument::instrument;
+    use pgsd_cc::driver::frontend;
+    use pgsd_cc::ir::{Instr, Module, Operand, Term};
+
+    use super::*;
+
+    /// A tiny reference interpreter for instrumented IR: executes `main`
+    /// and returns simulated counter values plus true block counts, so the
+    /// reconstruction can be validated without the whole backend.
+    fn simulate(module: &Module, arg: i64) -> (Vec<u64>, Vec<u64>) {
+        let mut counters = vec![0u64; module.num_counters as usize];
+        let (_, func) = module.func_by_name("main").expect("main exists");
+        let mut true_counts = vec![0u64; func.blocks.len()];
+        let mut values = vec![0i64; func.num_values as usize];
+        if func.params > 0 {
+            values[0] = arg;
+        }
+        let mut block = 0usize;
+        for _step in 0..1_000_000 {
+            true_counts[block] += 1;
+            for ins in &func.blocks[block].instrs {
+                let get = |op: &Operand, values: &[i64]| match op {
+                    Operand::Const(c) => i64::from(*c),
+                    Operand::Value(v) => values[v.0 as usize],
+                };
+                match ins {
+                    Instr::ProfCtr { id } => counters[*id as usize] += 1,
+                    Instr::Copy { dst, src } => values[dst.0 as usize] = get(src, &values),
+                    Instr::Bin { dst, op, lhs, rhs } => {
+                        let r = op
+                            .eval(get(lhs, &values) as i32, get(rhs, &values) as i32)
+                            .unwrap_or(0);
+                        values[dst.0 as usize] = i64::from(r);
+                    }
+                    Instr::Cmp { dst, op, lhs, rhs } => {
+                        let r = op.eval(get(lhs, &values) as i32, get(rhs, &values) as i32);
+                        values[dst.0 as usize] = i64::from(r);
+                    }
+                    Instr::Un { dst, op, src } => {
+                        values[dst.0 as usize] = i64::from(op.eval(get(src, &values) as i32));
+                    }
+                    other => panic!("unsupported instr in test program: {other:?}"),
+                }
+            }
+            match &func.blocks[block].term {
+                Term::Ret(_) => return (counters, true_counts),
+                Term::Br(b) => block = b.0 as usize,
+                Term::CondBr { cond, t, f } => {
+                    let c = match cond {
+                        Operand::Const(c) => i64::from(*c),
+                        Operand::Value(v) => values[v.0 as usize],
+                    };
+                    block = if c != 0 { t.0 as usize } else { f.0 as usize };
+                }
+            }
+        }
+        panic!("test program did not terminate");
+    }
+
+    fn check(src: &str, arg: i64) {
+        let mut m = frontend("t", src).unwrap();
+        let plan = instrument(&mut m);
+        let (counters, true_counts) = simulate(&m, arg);
+        let profile = reconstruct(&plan, &counters);
+        let fp = profile.func("main").expect("profiled");
+        // The instrumented CFG gained split blocks; only compare the
+        // original blocks (the plan's graph size).
+        let orig = plan.funcs.iter().find(|f| f.name == "main").unwrap().graph.num_blocks;
+        assert_eq!(&fp.block_counts[..], &true_counts[..orig], "src: {src}");
+        assert_eq!(fp.invocations, 1);
+    }
+
+    #[test]
+    fn straight_line() {
+        check("int main() { return 1; }", 0);
+    }
+
+    #[test]
+    fn diamond_both_arms() {
+        check("int main(int a) { int r; if (a > 0) { r = 1; } else { r = 2; } return r; }", 5);
+        check("int main(int a) { int r; if (a > 0) { r = 1; } else { r = 2; } return r; }", -5);
+    }
+
+    #[test]
+    fn counted_loop() {
+        check(
+            "int main(int n) { int s = 0; int i = 0; while (i < n) { s = s + i; i = i + 1; } return s; }",
+            37,
+        );
+    }
+
+    #[test]
+    fn nested_loops_product_counts() {
+        check(
+            "int main(int n) {
+                int s = 0; int i = 0;
+                while (i < n) {
+                    int j = 0;
+                    while (j < n) { s = s + 1; j = j + 1; }
+                    i = i + 1;
+                }
+                return s;
+             }",
+            12,
+        );
+    }
+
+    #[test]
+    fn loop_with_conditional_body() {
+        check(
+            "int main(int n) {
+                int s = 0; int i = 0;
+                while (i < n) {
+                    if (i % 3 == 0) { s = s + i; } else { s = s - 1; }
+                    i = i + 1;
+                }
+                return s;
+             }",
+            25,
+        );
+    }
+
+    #[test]
+    fn early_return_path() {
+        check("int main(int a) { if (a > 100) { return 1; } int s = a * 2; return s; }", 7);
+        check("int main(int a) { if (a > 100) { return 1; } int s = a * 2; return s; }", 101);
+    }
+}

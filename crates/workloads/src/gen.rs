@@ -1,0 +1,237 @@
+//! Deterministic MiniC program generator.
+//!
+//! Several SPEC CPU 2006 programs are enormous (403.gcc, 483.xalancbmk,
+//! 445.gobmk, …): their *code size* — hundreds of thousands of gadgets in
+//! the paper's Table 2 — matters as much as their execution profile. The
+//! generator manufactures programs with a controllable number of distinct
+//! functions drawn from a set of realistic body templates (arithmetic
+//! chains, table scans, branchy selectors, small loops), plus a `main`
+//! that drives a configurable subset of them, giving a flat profile for
+//! gcc-like suites or a hot-kernel profile when combined with a
+//! hand-written core.
+
+/// A tiny deterministic LCG so generation needs no external crates and is
+/// reproducible byte-for-byte.
+#[derive(Debug, Clone)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Lcg {
+        Lcg { state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1 }
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        // Numerical Recipes LCG constants.
+        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.state
+    }
+
+    /// Uniform value in `0..n`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        (self.next_u64() >> 16) % n.max(1)
+    }
+
+    /// Uniform `i32` in `lo..hi`.
+    pub fn range(&mut self, lo: i32, hi: i32) -> i32 {
+        lo + self.below((hi - lo).max(1) as u64) as i32
+    }
+}
+
+/// Configuration for a generated program.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Number of generated helper functions.
+    pub functions: usize,
+    /// RNG seed (fixed per workload so sources are stable).
+    pub seed: u64,
+    /// How many helper functions `main` exercises per outer iteration.
+    pub active_per_iter: usize,
+}
+
+/// Generates a complete program: `functions` helpers plus a `main(n)`
+/// driver that loops `n` times over a rotating subset of helpers and
+/// accumulates their results.
+pub fn generate_program(cfg: &GenConfig) -> String {
+    let mut rng = Lcg::new(cfg.seed);
+    let mut out = String::new();
+    out.push_str("int acc_g;\nint tab[16384];\n");
+    for i in 0..cfg.functions {
+        out.push_str(&gen_function("gen", "tab", i, cfg.functions, &mut rng));
+    }
+    // main: rotate through helpers.
+    out.push_str("int main(int n) {\n  int total = 0;\n  int t = 0;\n");
+    out.push_str("  for (int i = 0; i < 16384; i++) { tab[i] = i * 17 + 3; }\n");
+    out.push_str("  for (int it = 0; it < n; it++) {\n");
+    let active = cfg.active_per_iter.min(cfg.functions).max(1);
+    for k in 0..active {
+        let f = rng.below(cfg.functions as u64) as usize;
+        out.push_str(&format!("    total += gen_{f}(it + {k}, total & 1023);\n"));
+    }
+    out.push_str("    t = t + 1;\n  }\n  acc_g = t;\n  return total & 0x7fffffff;\n}\n");
+    out
+}
+
+/// Generates a *cold support layer*: `functions` helpers in the `sup_`
+/// namespace that are never called at run time. Appended to hand-written
+/// kernels, this models the large bodies of rarely executed code real
+/// programs carry (startup, error paths, unused library features) — the
+/// code whose gadgets diversification destroys most cheaply, and the bulk
+/// behind the paper's per-benchmark baseline gadget counts.
+pub fn support_layer(functions: usize, seed: u64) -> String {
+    let mut rng = Lcg::new(seed ^ 0x5057_0000);
+    let mut out = String::from("int sup_acc;\nint sup_tab[2048];\n");
+    for i in 0..functions {
+        out.push_str(&gen_function("sup", "sup_tab", i, functions, &mut rng));
+    }
+    // An uncalled gateway keeps every helper reachable for a linker that
+    // would otherwise drop them (ours keeps everything, as real linkers
+    // keep whole object files).
+    out.push_str("int sup_gate(int n) {\n  int total = 0;\n");
+    let calls = functions.min(12);
+    for k in 0..calls {
+        let f = rng.below(functions as u64) as usize;
+        out.push_str(&format!("  total += sup_{f}(n + {k}, total & 255);\n"));
+    }
+    out.push_str("  sup_acc = total;\n  return total;\n}\n");
+    out
+}
+
+fn gen_function(prefix: &str, tab: &str, idx: usize, total: usize, rng: &mut Lcg) -> String {
+    let template = rng.below(6);
+    let mut body = String::new();
+    match template {
+        // Arithmetic chain.
+        0 => {
+            body.push_str("  int x = a * 3 + b;\n");
+            for _ in 0..rng.below(6) + 2 {
+                let c = rng.range(1, 97);
+                match rng.below(4) {
+                    0 => body.push_str(&format!("  x = x * {c} + a;\n")),
+                    1 => body.push_str(&format!("  x = (x ^ {c}) + (b >> 1);\n")),
+                    2 => body.push_str(&format!("  x += (a & {c}) - (x >> 3);\n")),
+                    _ => body.push_str(&format!("  x = x - b + {c};\n")),
+                }
+            }
+            body.push_str("  return x;\n");
+        }
+        // Branchy selector.
+        1 => {
+            body.push_str("  int x = a - b;\n");
+            let arms = rng.below(4) + 2;
+            for k in 0..arms {
+                let c = rng.range(2, 30);
+                if k == 0 {
+                    body.push_str(&format!("  if (x > {c}) {{ x -= {c}; }}\n"));
+                } else {
+                    body.push_str(&format!(
+                        "  else if (x > {v}) {{ x = x * {m} + b; }}\n",
+                        v = c - 31,
+                        m = rng.range(2, 9)
+                    ));
+                }
+            }
+            body.push_str("  else { x = b - a; }\n  return x;\n");
+        }
+        // Small counted loop.
+        2 => {
+            let bound = rng.range(3, 17);
+            body.push_str(&format!(
+                "  int s = b;\n  for (int i = 0; i < {bound}; i++) {{ s += (a + i) * {m}; }}\n",
+                m = rng.range(2, 7)
+            ));
+            body.push_str("  return s;\n");
+        }
+        // Strided scan over the shared global table: large-footprint
+        // memory traffic (the cache-missing component of big codes).
+        3 => {
+            let count = rng.range(6, 20);
+            let stride = rng.range(17, 61);
+            let mask = if tab == "tab" { 16383 } else { 2047 };
+            body.push_str(&format!("  int s = 0;\n  int i = (a * 61) & {mask};\n"));
+            body.push_str(&format!(
+                "  for (int k = 0; k < {count}; k++) {{ s += {tab}[(i + k * {stride}) & {mask}]; }}\n"
+            ));
+            body.push_str("  return s + b;\n");
+        }
+        // Local buffer shuffle.
+        4 => {
+            body.push_str("  int buf[16];\n");
+            body.push_str("  for (int i = 0; i < 16; i++) { buf[i] = a + i * b; }\n");
+            body.push_str(&format!(
+                "  for (int i = 0; i < 15; i++) {{ if (buf[i] > buf[i + 1]) {{ int t = buf[i]; buf[i] = buf[i + 1]; buf[i + 1] = t + {c}; }} }}\n",
+                c = rng.range(0, 5)
+            ));
+            body.push_str("  return buf[0] + buf[15];\n");
+        }
+        // Division/remainder helper with a call to an earlier function.
+        _ => {
+            let d = rng.range(3, 31);
+            body.push_str(&format!("  int q = a / {d};\n  int r = a % {d};\n"));
+            if idx > 0 && total > 1 {
+                let callee = rng.below(idx as u64) as usize;
+                body.push_str(&format!("  if (r > b) {{ return {prefix}_{callee}(q, r); }}\n"));
+            }
+            body.push_str("  return q * 31 + r;\n");
+        }
+    }
+    format!("int {prefix}_{idx}(int a, int b) {{\n{body}}}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgsd_cc::driver::compile;
+    use pgsd_core::driver::run;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig { functions: 20, seed: 7, active_per_iter: 4 };
+        assert_eq!(generate_program(&cfg), generate_program(&cfg));
+        let other = GenConfig { seed: 8, ..cfg };
+        assert_ne!(generate_program(&cfg), generate_program(&other));
+    }
+
+    #[test]
+    fn generated_programs_compile_and_run() {
+        for (funcs, seed) in [(5usize, 1u64), (40, 2), (120, 3)] {
+            let cfg = GenConfig { functions: funcs, seed, active_per_iter: 6 };
+            let src = generate_program(&cfg);
+            let image = compile("gen", &src).unwrap_or_else(|e| {
+                panic!("generated program failed to compile: {e}\n{src}")
+            });
+            let (exit, _) = run(&image, &[5], 50_000_000);
+            assert!(exit.status().is_some(), "{exit:?} (funcs={funcs})");
+        }
+    }
+
+    #[test]
+    fn function_count_scales_code_size() {
+        let small = compile(
+            "s",
+            &generate_program(&GenConfig { functions: 10, seed: 9, active_per_iter: 4 }),
+        )
+        .unwrap();
+        let large = compile(
+            "l",
+            &generate_program(&GenConfig { functions: 150, seed: 9, active_per_iter: 4 }),
+        )
+        .unwrap();
+        assert!(large.text.len() > small.text.len() * 4);
+    }
+
+    #[test]
+    fn lcg_is_uniform_enough() {
+        let mut rng = Lcg::new(42);
+        let mut buckets = [0u32; 8];
+        for _ in 0..8000 {
+            buckets[rng.below(8) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((700..1300).contains(&b), "{buckets:?}");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # pgsd-workloads — synthetic evaluation programs
+//!
+//! The benchmark substrate standing in for the paper's SPEC CPU 2006 suite
+//! and PHP 5.3.16 case study (the substitutions are itemized in
+//! DESIGN.md):
+//!
+//! * [`suite`] — 19 MiniC workloads, one per SPEC benchmark in Figure 4,
+//!   each reproducing its namesake's code-size class and hot/cold profile
+//!   shape, with distinct *train* and *ref* inputs;
+//! * [`gen`] — the deterministic program generator used to give the large
+//!   benchmarks (403.gcc, 483.xalancbmk, …) their bulk;
+//! * [`phpvm`] — a bytecode interpreter written in MiniC (the "PHP"
+//!   binary) plus seven Computer Language Benchmarks Game programs in its
+//!   bytecode, used as profiling inputs for the concrete-attack
+//!   experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod phpvm;
+pub mod suite;
+
+pub use phpvm::{clbg_programs, php_source, php_workload, BytecodeProgram};
+pub use suite::{by_name, spec_suite, Workload};

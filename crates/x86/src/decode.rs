@@ -1,0 +1,1089 @@
+//! General IA-32 instruction decoder.
+//!
+//! Unlike the encoder, which only produces the compiler's instruction
+//! subset, the decoder accepts the *full one-byte opcode map* plus the
+//! commonly used two-byte (`0F`) opcodes. This is required by the gadget
+//! scanner, which must decode arbitrary byte sequences at arbitrary offsets
+//! and decide whether they form valid x86 code (paper §5.2), and by the
+//! emulator, which re-decodes the bytes it executes.
+//!
+//! Instructions inside the modeled subset decode to a structured
+//! [`crate::Inst`]; everything else decodes to an [`OtherInst`] that
+//! carries the mnemonic and a coarse [`Class`] sufficient for gadget
+//! classification and cost modeling.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::inst::{AluOp, Inst, Mem, Scale, ShiftOp};
+use crate::nop::NopKind;
+use crate::{Cond, Reg};
+
+/// Maximum legal instruction length, including prefixes (Intel SDM).
+pub const MAX_INST_LEN: usize = 15;
+
+/// Why a byte sequence failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// More bytes are needed to finish decoding.
+    Truncated,
+    /// The bytes do not form a valid instruction (undefined opcode,
+    /// undefined group extension, register operand where memory is
+    /// required, or more than [`MAX_INST_LEN`] bytes of prefixes).
+    Invalid,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "instruction is truncated"),
+            DecodeError::Invalid => write!(f, "invalid instruction encoding"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Control-flow categorization of a decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CfKind {
+    /// `ret` / `ret imm16` — a free branch.
+    RetNear,
+    /// `retf` / `retf imm16` / `iret` — also counted as free.
+    RetFar,
+    /// Direct relative jump.
+    JmpRel,
+    /// Indirect jump through register or memory — a free branch.
+    JmpInd,
+    /// Far direct jump.
+    JmpFar,
+    /// Direct relative call.
+    CallRel,
+    /// Indirect call through register or memory — a free branch.
+    CallInd,
+    /// Far direct call.
+    CallFar,
+    /// Conditional relative jump (`jcc`, `loop*`, `jecxz`).
+    CondJmp,
+    /// Software interrupt (`int n`, `int3`, `into`) or `sysenter`.
+    Syscall,
+    /// `hlt`.
+    Halt,
+}
+
+impl CfKind {
+    /// `true` for the free branches a ROP gadget may end in (paper §5.2):
+    /// returns, indirect calls and indirect jumps.
+    pub fn is_free_branch(self) -> bool {
+        matches!(self, CfKind::RetNear | CfKind::RetFar | CfKind::JmpInd | CfKind::CallInd)
+    }
+}
+
+/// Coarse classification of a decoded instruction, used by the gadget
+/// scanner and the emulator's cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// Ordinary user-mode data instruction.
+    Normal,
+    /// String instruction (`movs`, `stos`, …) — possibly `rep`-prefixed.
+    String,
+    /// x87 floating-point instruction.
+    Fpu,
+    /// I/O or privileged instruction; faults in user mode (paper §3 notes
+    /// this makes `in` harmless as a NOP second byte).
+    PrivilegedOrIo,
+    /// Control flow of the given kind.
+    ControlFlow(CfKind),
+}
+
+impl Class {
+    /// `true` if this instruction may redirect execution.
+    pub fn is_control_flow(self) -> bool {
+        matches!(self, Class::ControlFlow(_))
+    }
+
+    /// `true` if this is a gadget-terminating free branch.
+    pub fn is_free_branch(self) -> bool {
+        matches!(self, Class::ControlFlow(k) if k.is_free_branch())
+    }
+}
+
+/// An instruction outside the modeled subset: mnemonic plus classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OtherInst {
+    /// Lowercase mnemonic (without operands).
+    pub name: &'static str,
+    /// Coarse class.
+    pub class: Class,
+}
+
+impl fmt::Display for OtherInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+/// The payload of a successfully decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Body {
+    /// An instruction of the modeled subset.
+    Known(Inst),
+    /// Any other valid instruction.
+    Other(OtherInst),
+}
+
+/// A successfully decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decoded {
+    /// Total encoded length in bytes, including prefixes.
+    pub len: usize,
+    /// The decoded instruction.
+    pub body: Body,
+    /// Number of leading prefix bytes consumed.
+    pub prefix_len: usize,
+}
+
+impl Decoded {
+    /// The coarse class of the instruction.
+    pub fn class(&self) -> Class {
+        match &self.body {
+            Body::Known(i) => known_class(i),
+            Body::Other(o) => o.class,
+        }
+    }
+
+    /// `true` if this instruction may transfer control.
+    pub fn is_control_flow(&self) -> bool {
+        self.class().is_control_flow()
+    }
+
+    /// `true` for gadget-terminating free branches (returns, indirect
+    /// jumps/calls).
+    pub fn is_free_branch(&self) -> bool {
+        self.class().is_free_branch()
+    }
+
+    /// The structured instruction, if inside the modeled subset.
+    pub fn known(&self) -> Option<&Inst> {
+        match &self.body {
+            Body::Known(i) => Some(i),
+            Body::Other(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Decoded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.body {
+            Body::Known(i) => i.fmt(f),
+            Body::Other(o) => o.fmt(f),
+        }
+    }
+}
+
+fn known_class(i: &Inst) -> Class {
+    match i {
+        Inst::CallRel(_) => Class::ControlFlow(CfKind::CallRel),
+        Inst::CallR(_) => Class::ControlFlow(CfKind::CallInd),
+        Inst::Ret | Inst::RetImm(_) => Class::ControlFlow(CfKind::RetNear),
+        Inst::JmpRel(_) | Inst::JmpRel8(_) => Class::ControlFlow(CfKind::JmpRel),
+        Inst::JmpR(_) => Class::ControlFlow(CfKind::JmpInd),
+        Inst::Jcc(..) | Inst::Jcc8(..) => Class::ControlFlow(CfKind::CondJmp),
+        Inst::Int(_) => Class::ControlFlow(CfKind::Syscall),
+        Inst::Hlt => Class::ControlFlow(CfKind::Halt),
+        _ => Class::Normal,
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.bytes.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn i8(&mut self) -> Result<i8, DecodeError> {
+        Ok(self.u8()? as i8)
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        let lo = self.u8()?;
+        let hi = self.u8()?;
+        Ok(u16::from_le_bytes([lo, hi]))
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        let mut b = [0u8; 4];
+        for slot in &mut b {
+            *slot = self.u8()?;
+        }
+        Ok(i32::from_le_bytes(b))
+    }
+
+    /// Immediate of "operand size" width: 32-bit, or 16-bit under the 0x66
+    /// prefix (sign-extended).
+    fn imm_z(&mut self, opsize16: bool) -> Result<i32, DecodeError> {
+        if opsize16 {
+            Ok(i32::from(self.u16()? as i16))
+        } else {
+            self.i32()
+        }
+    }
+
+    fn skip(&mut self, n: usize) -> Result<(), DecodeError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(DecodeError::Truncated);
+        }
+        self.pos += n;
+        Ok(())
+    }
+}
+
+/// Result of parsing a ModRM byte (plus SIB/displacement).
+#[derive(Debug, Clone, Copy)]
+enum Rm {
+    Reg(Reg),
+    Mem(Mem),
+}
+
+/// Parses ModRM with 32-bit addressing. Returns (reg field, rm operand).
+fn parse_modrm32(c: &mut Cursor<'_>) -> Result<(u8, Rm), DecodeError> {
+    let modrm = c.u8()?;
+    let md = modrm >> 6;
+    let reg = (modrm >> 3) & 7;
+    let rm = modrm & 7;
+    if md == 3 {
+        return Ok((reg, Rm::Reg(Reg::from_number(rm).expect("3-bit register"))));
+    }
+    let mut mem = Mem { base: None, index: None, disp: 0 };
+    let mut disp_size = match md {
+        0 => 0usize,
+        1 => 1,
+        _ => 4,
+    };
+    if rm == 4 {
+        // SIB byte.
+        let sib = c.u8()?;
+        let ss = sib >> 6;
+        let idx = (sib >> 3) & 7;
+        let base = sib & 7;
+        if idx != 4 {
+            mem.index = Some((Reg::from_number(idx).expect("3-bit register"), Scale::from_bits(ss)));
+        }
+        if base == 5 && md == 0 {
+            disp_size = 4;
+        } else {
+            mem.base = Some(Reg::from_number(base).expect("3-bit register"));
+        }
+    } else if rm == 5 && md == 0 {
+        disp_size = 4;
+    } else {
+        mem.base = Some(Reg::from_number(rm).expect("3-bit register"));
+    }
+    mem.disp = match disp_size {
+        0 => 0,
+        1 => i32::from(c.i8()?),
+        _ => c.i32()?,
+    };
+    Ok((reg, Rm::Mem(mem)))
+}
+
+/// Parses ModRM with 16-bit addressing (under the 0x67 prefix). The memory
+/// operand is reported with a best-effort translation into the 32-bit
+/// [`Mem`] model; the gadget scanner only needs validity and length.
+fn parse_modrm16(c: &mut Cursor<'_>) -> Result<(u8, Rm), DecodeError> {
+    let modrm = c.u8()?;
+    let md = modrm >> 6;
+    let reg = (modrm >> 3) & 7;
+    let rm = modrm & 7;
+    if md == 3 {
+        return Ok((reg, Rm::Reg(Reg::from_number(rm).expect("3-bit register"))));
+    }
+    let disp_size = match (md, rm) {
+        (0, 6) => 2usize,
+        (0, _) => 0,
+        (1, _) => 1,
+        _ => 2,
+    };
+    let disp = match disp_size {
+        0 => 0,
+        1 => i32::from(c.i8()?),
+        _ => i32::from(c.u16()? as i16),
+    };
+    let (base, index) = match rm {
+        0 => (Some(Reg::Ebx), Some((Reg::Esi, Scale::S1))),
+        1 => (Some(Reg::Ebx), Some((Reg::Edi, Scale::S1))),
+        2 => (Some(Reg::Ebp), Some((Reg::Esi, Scale::S1))),
+        3 => (Some(Reg::Ebp), Some((Reg::Edi, Scale::S1))),
+        4 => (Some(Reg::Esi), None),
+        5 => (Some(Reg::Edi), None),
+        6 if md == 0 => (None, None),
+        6 => (Some(Reg::Ebp), None),
+        _ => (Some(Reg::Ebx), None),
+    };
+    Ok((reg, Rm::Mem(Mem { base, index, disp })))
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Prefixes {
+    opsize16: bool,
+    addr16: bool,
+    rep: bool,
+    lock: bool,
+    count: usize,
+}
+
+fn parse_prefixes(c: &mut Cursor<'_>) -> Result<Prefixes, DecodeError> {
+    let mut p = Prefixes::default();
+    loop {
+        if p.count >= MAX_INST_LEN {
+            return Err(DecodeError::Invalid);
+        }
+        let b = *c.bytes.get(c.pos).ok_or(DecodeError::Truncated)?;
+        match b {
+            0x66 => p.opsize16 = true,
+            0x67 => p.addr16 = true,
+            0xF0 => p.lock = true,
+            0xF2 | 0xF3 => p.rep = true,
+            0x26 | 0x2E | 0x36 | 0x3E | 0x64 | 0x65 => {}
+            _ => return Ok(p),
+        }
+        c.pos += 1;
+        p.count += 1;
+    }
+}
+
+fn other(name: &'static str, class: Class) -> Body {
+    Body::Other(OtherInst { name, class })
+}
+
+/// Decodes one instruction from the start of `bytes`.
+///
+/// # Errors
+///
+/// * [`DecodeError::Truncated`] if `bytes` ends mid-instruction.
+/// * [`DecodeError::Invalid`] if the bytes are not a valid IA-32
+///   instruction.
+///
+/// # Examples
+///
+/// ```
+/// use pgsd_x86::{decode, Body, Inst};
+/// let d = decode(&[0xC3])?;
+/// assert_eq!(d.len, 1);
+/// assert_eq!(d.body, Body::Known(Inst::Ret));
+/// assert!(d.is_free_branch());
+/// # Ok::<(), pgsd_x86::DecodeError>(())
+/// ```
+pub fn decode(bytes: &[u8]) -> Result<Decoded, DecodeError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    let prefixes = parse_prefixes(&mut c)?;
+    let prefix_len = c.pos;
+    let body = decode_opcode(&mut c, prefixes)?;
+    if c.pos > MAX_INST_LEN {
+        return Err(DecodeError::Invalid);
+    }
+    Ok(Decoded { len: c.pos, body, prefix_len })
+}
+
+fn modrm(c: &mut Cursor<'_>, p: Prefixes) -> Result<(u8, Rm), DecodeError> {
+    if p.addr16 {
+        parse_modrm16(c)
+    } else {
+        parse_modrm32(c)
+    }
+}
+
+/// Skips a ModRM operand without caring about the fields.
+fn skip_modrm(c: &mut Cursor<'_>, p: Prefixes) -> Result<(), DecodeError> {
+    modrm(c, p).map(|_| ())
+}
+
+fn decode_opcode(c: &mut Cursor<'_>, p: Prefixes) -> Result<Body, DecodeError> {
+    let op = c.u8()?;
+    // The 0x00–0x3F block: ALU rows with interleaved one-byte specials.
+    if op < 0x40 {
+        return decode_low_block(c, p, op);
+    }
+    match op {
+        0x40..=0x47 => Ok(Body::Known(Inst::IncR(Reg::from_number(op - 0x40).unwrap()))),
+        0x48..=0x4F => Ok(Body::Known(Inst::DecR(Reg::from_number(op - 0x48).unwrap()))),
+        0x50..=0x57 => Ok(Body::Known(Inst::PushR(Reg::from_number(op - 0x50).unwrap()))),
+        0x58..=0x5F => Ok(Body::Known(Inst::PopR(Reg::from_number(op - 0x58).unwrap()))),
+        0x60 => Ok(other("pusha", Class::Normal)),
+        0x61 => Ok(other("popa", Class::Normal)),
+        0x62 => {
+            // BOUND requires a memory operand.
+            match modrm(c, p)? {
+                (_, Rm::Mem(_)) => Ok(other("bound", Class::Normal)),
+                _ => Err(DecodeError::Invalid),
+            }
+        }
+        0x63 => {
+            skip_modrm(c, p)?;
+            Ok(other("arpl", Class::PrivilegedOrIo))
+        }
+        0x68 => {
+            let imm = c.imm_z(p.opsize16)?;
+            Ok(Body::Known(Inst::PushI(imm)))
+        }
+        0x69 => {
+            let (reg, rm) = modrm(c, p)?;
+            let imm = c.imm_z(p.opsize16)?;
+            match rm {
+                Rm::Reg(r) => {
+                    Ok(Body::Known(Inst::ImulRRI(Reg::from_number(reg).unwrap(), r, imm)))
+                }
+                Rm::Mem(_) => Ok(other("imul", Class::Normal)),
+            }
+        }
+        0x6A => {
+            let imm = i32::from(c.i8()?);
+            Ok(Body::Known(Inst::PushI(imm)))
+        }
+        0x6B => {
+            let (reg, rm) = modrm(c, p)?;
+            let imm = i32::from(c.i8()?);
+            match rm {
+                Rm::Reg(r) => {
+                    Ok(Body::Known(Inst::ImulRRI(Reg::from_number(reg).unwrap(), r, imm)))
+                }
+                Rm::Mem(_) => Ok(other("imul", Class::Normal)),
+            }
+        }
+        0x6C..=0x6F => Ok(other("ins/outs", Class::PrivilegedOrIo)),
+        0x70..=0x7F => {
+            let cc = Cond::from_number(op - 0x70).unwrap();
+            let rel = c.i8()?;
+            Ok(Body::Known(Inst::Jcc8(cc, rel)))
+        }
+        0x80 | 0x82 => {
+            skip_modrm(c, p)?;
+            c.skip(1)?;
+            Ok(other("alu8", Class::Normal))
+        }
+        0x81 => {
+            let (reg, rm) = modrm(c, p)?;
+            let imm = c.imm_z(p.opsize16)?;
+            let alu = AluOp::from_number(reg).unwrap();
+            Ok(Body::Known(match rm {
+                Rm::Reg(r) => Inst::AluRI(alu, r, imm),
+                Rm::Mem(m) => Inst::AluMI(alu, m, imm),
+            }))
+        }
+        0x83 => {
+            let (reg, rm) = modrm(c, p)?;
+            let imm = i32::from(c.i8()?);
+            let alu = AluOp::from_number(reg).unwrap();
+            Ok(Body::Known(match rm {
+                Rm::Reg(r) => Inst::AluRI(alu, r, imm),
+                Rm::Mem(m) => Inst::AluMI(alu, m, imm),
+            }))
+        }
+        0x84 => {
+            skip_modrm(c, p)?;
+            Ok(other("test8", Class::Normal))
+        }
+        0x85 => {
+            let (reg, rm) = modrm(c, p)?;
+            match rm {
+                Rm::Reg(r) => {
+                    Ok(Body::Known(Inst::TestRR(r, Reg::from_number(reg).unwrap())))
+                }
+                Rm::Mem(_) => Ok(other("test", Class::Normal)),
+            }
+        }
+        0x86 => {
+            skip_modrm(c, p)?;
+            Ok(other("xchg8", Class::Normal))
+        }
+        0x87 => {
+            let (reg, rm) = modrm(c, p)?;
+            match rm {
+                Rm::Reg(r) => Ok(Body::Known(Inst::XchgRR(r, Reg::from_number(reg).unwrap()))),
+                Rm::Mem(_) => Ok(other("xchg", Class::Normal)),
+            }
+        }
+        0x88 | 0x8A => {
+            skip_modrm(c, p)?;
+            Ok(other("mov8", Class::Normal))
+        }
+        0x89 => {
+            let (reg, rm) = modrm(c, p)?;
+            let src = Reg::from_number(reg).unwrap();
+            Ok(Body::Known(match rm {
+                Rm::Reg(dst) => Inst::MovRR(dst, src),
+                Rm::Mem(m) => Inst::MovMR(m, src),
+            }))
+        }
+        0x8B => {
+            let (reg, rm) = modrm(c, p)?;
+            let dst = Reg::from_number(reg).unwrap();
+            Ok(Body::Known(match rm {
+                Rm::Reg(src) => Inst::MovRR(dst, src),
+                Rm::Mem(m) => Inst::MovRM(dst, m),
+            }))
+        }
+        0x8C | 0x8E => {
+            skip_modrm(c, p)?;
+            Ok(other("mov sreg", Class::PrivilegedOrIo))
+        }
+        0x8D => {
+            let (reg, rm) = modrm(c, p)?;
+            match rm {
+                // LEA with a register operand is #UD.
+                Rm::Reg(_) => Err(DecodeError::Invalid),
+                Rm::Mem(m) => Ok(Body::Known(Inst::Lea(Reg::from_number(reg).unwrap(), m))),
+            }
+        }
+        0x8F => {
+            let (reg, rm) = modrm(c, p)?;
+            if reg != 0 {
+                return Err(DecodeError::Invalid);
+            }
+            match rm {
+                Rm::Reg(r) => Ok(Body::Known(Inst::PopR(r))),
+                Rm::Mem(_) => Ok(other("pop", Class::Normal)),
+            }
+        }
+        0x90 => Ok(Body::Known(Inst::Nop(NopKind::Nop))),
+        0x91..=0x97 => {
+            Ok(Body::Known(Inst::XchgRR(Reg::Eax, Reg::from_number(op - 0x90).unwrap())))
+        }
+        0x98 => Ok(other("cwde", Class::Normal)),
+        0x99 => Ok(Body::Known(Inst::Cdq)),
+        0x9A => {
+            c.skip(if p.opsize16 { 4 } else { 6 })?;
+            Ok(other("callf", Class::ControlFlow(CfKind::CallFar)))
+        }
+        0x9B => Ok(other("wait", Class::Normal)),
+        0x9C => Ok(other("pushf", Class::Normal)),
+        0x9D => Ok(other("popf", Class::Normal)),
+        0x9E => Ok(other("sahf", Class::Normal)),
+        0x9F => Ok(other("lahf", Class::Normal)),
+        0xA0..=0xA3 => {
+            c.skip(if p.addr16 { 2 } else { 4 })?;
+            Ok(other("mov moffs", Class::Normal))
+        }
+        0xA4..=0xA7 => Ok(other("movs/cmps", Class::String)),
+        0xA8 => {
+            c.skip(1)?;
+            Ok(other("test8", Class::Normal))
+        }
+        0xA9 => {
+            c.imm_z(p.opsize16)?;
+            Ok(other("test", Class::Normal))
+        }
+        0xAA..=0xAF => Ok(other("stos/lods/scas", Class::String)),
+        0xB0..=0xB7 => {
+            c.skip(1)?;
+            Ok(other("mov8", Class::Normal))
+        }
+        0xB8..=0xBF => {
+            let imm = c.imm_z(p.opsize16)?;
+            Ok(Body::Known(Inst::MovRI(Reg::from_number(op - 0xB8).unwrap(), imm)))
+        }
+        0xC0 => {
+            let (reg, _) = modrm(c, p)?;
+            c.skip(1)?;
+            if ShiftOp::from_number(reg).is_none() {
+                return Err(DecodeError::Invalid);
+            }
+            Ok(other("shift8", Class::Normal))
+        }
+        0xC1 => {
+            let (reg, rm) = modrm(c, p)?;
+            let count = c.u8()?;
+            let shop = ShiftOp::from_number(reg).ok_or(DecodeError::Invalid)?;
+            match rm {
+                Rm::Reg(r) if count <= 31 => Ok(Body::Known(Inst::ShiftRI(shop, r, count))),
+                _ => Ok(other(shop.name(), Class::Normal)),
+            }
+        }
+        0xC2 => Ok(Body::Known(Inst::RetImm(c.u16()?))),
+        0xC3 => Ok(Body::Known(Inst::Ret)),
+        0xC4 | 0xC5 => match modrm(c, p)? {
+            (_, Rm::Mem(_)) => Ok(other("les/lds", Class::Normal)),
+            _ => Err(DecodeError::Invalid),
+        },
+        0xC6 => {
+            let (reg, _) = modrm(c, p)?;
+            if reg != 0 {
+                return Err(DecodeError::Invalid);
+            }
+            c.skip(1)?;
+            Ok(other("mov8", Class::Normal))
+        }
+        0xC7 => {
+            let (reg, rm) = modrm(c, p)?;
+            if reg != 0 {
+                return Err(DecodeError::Invalid);
+            }
+            let imm = c.imm_z(p.opsize16)?;
+            Ok(Body::Known(match rm {
+                Rm::Reg(r) => Inst::MovRI(r, imm),
+                Rm::Mem(m) => Inst::MovMI(m, imm),
+            }))
+        }
+        0xC8 => {
+            c.skip(3)?;
+            Ok(other("enter", Class::Normal))
+        }
+        0xC9 => Ok(other("leave", Class::Normal)),
+        0xCA => {
+            c.skip(2)?;
+            Ok(other("retf", Class::ControlFlow(CfKind::RetFar)))
+        }
+        0xCB => Ok(other("retf", Class::ControlFlow(CfKind::RetFar))),
+        0xCC => Ok(other("int3", Class::ControlFlow(CfKind::Syscall))),
+        0xCD => Ok(Body::Known(Inst::Int(c.u8()?))),
+        0xCE => Ok(other("into", Class::ControlFlow(CfKind::Syscall))),
+        0xCF => Ok(other("iret", Class::ControlFlow(CfKind::RetFar))),
+        0xD0 | 0xD2 => {
+            let (reg, _) = modrm(c, p)?;
+            if ShiftOp::from_number(reg).is_none() {
+                return Err(DecodeError::Invalid);
+            }
+            Ok(other("shift8", Class::Normal))
+        }
+        0xD1 => {
+            let (reg, rm) = modrm(c, p)?;
+            let shop = ShiftOp::from_number(reg).ok_or(DecodeError::Invalid)?;
+            match rm {
+                Rm::Reg(r) => Ok(Body::Known(Inst::ShiftRI(shop, r, 1))),
+                Rm::Mem(_) => Ok(other(shop.name(), Class::Normal)),
+            }
+        }
+        0xD3 => {
+            let (reg, rm) = modrm(c, p)?;
+            let shop = ShiftOp::from_number(reg).ok_or(DecodeError::Invalid)?;
+            match rm {
+                Rm::Reg(r) => Ok(Body::Known(Inst::ShiftRCl(shop, r))),
+                Rm::Mem(_) => Ok(other(shop.name(), Class::Normal)),
+            }
+        }
+        0xD4 | 0xD5 => {
+            c.skip(1)?;
+            Ok(other("aam/aad", Class::Normal))
+        }
+        0xD6 => Ok(other("salc", Class::Normal)),
+        0xD7 => Ok(other("xlat", Class::Normal)),
+        0xD8..=0xDF => {
+            skip_modrm(c, p)?;
+            Ok(other("x87", Class::Fpu))
+        }
+        0xE0..=0xE3 => {
+            c.skip(1)?;
+            Ok(other("loop/jecxz", Class::ControlFlow(CfKind::CondJmp)))
+        }
+        0xE4 | 0xE5 | 0xE6 | 0xE7 => {
+            c.skip(1)?;
+            Ok(other("in/out", Class::PrivilegedOrIo))
+        }
+        0xE8 => {
+            let rel = c.imm_z(p.opsize16)?;
+            Ok(Body::Known(Inst::CallRel(rel)))
+        }
+        0xE9 => {
+            let rel = c.imm_z(p.opsize16)?;
+            Ok(Body::Known(Inst::JmpRel(rel)))
+        }
+        0xEA => {
+            c.skip(if p.opsize16 { 4 } else { 6 })?;
+            Ok(other("jmpf", Class::ControlFlow(CfKind::JmpFar)))
+        }
+        0xEB => Ok(Body::Known(Inst::JmpRel8(c.i8()?))),
+        0xEC..=0xEF => Ok(other("in/out", Class::PrivilegedOrIo)),
+        0xF1 => Ok(other("int1", Class::PrivilegedOrIo)),
+        0xF4 => Ok(Body::Known(Inst::Hlt)),
+        0xF5 => Ok(other("cmc", Class::Normal)),
+        0xF6 => {
+            let (reg, _) = modrm(c, p)?;
+            if reg == 0 || reg == 1 {
+                c.skip(1)?;
+            }
+            Ok(other("grp3-8", Class::Normal))
+        }
+        0xF7 => {
+            let (reg, rm) = modrm(c, p)?;
+            match (reg, rm) {
+                (0 | 1, _) => {
+                    c.imm_z(p.opsize16)?;
+                    Ok(other("test", Class::Normal))
+                }
+                (2, Rm::Reg(r)) => Ok(Body::Known(Inst::NotR(r))),
+                (3, Rm::Reg(r)) => Ok(Body::Known(Inst::NegR(r))),
+                (7, Rm::Reg(r)) => Ok(Body::Known(Inst::IdivR(r))),
+                (2, _) => Ok(other("not", Class::Normal)),
+                (3, _) => Ok(other("neg", Class::Normal)),
+                (4, _) => Ok(other("mul", Class::Normal)),
+                (5, _) => Ok(other("imul", Class::Normal)),
+                (6, _) => Ok(other("div", Class::Normal)),
+                (7, _) => Ok(other("idiv", Class::Normal)),
+                _ => Err(DecodeError::Invalid),
+            }
+        }
+        0xF8 | 0xF9 | 0xFC | 0xFD => Ok(other("flag", Class::Normal)),
+        0xFA | 0xFB => Ok(other("cli/sti", Class::PrivilegedOrIo)),
+        0xFE => {
+            let (reg, _) = modrm(c, p)?;
+            if reg > 1 {
+                return Err(DecodeError::Invalid);
+            }
+            Ok(other("inc/dec8", Class::Normal))
+        }
+        0xFF => {
+            let (reg, rm) = modrm(c, p)?;
+            match (reg, rm) {
+                (0, Rm::Reg(r)) => Ok(Body::Known(Inst::IncR(r))),
+                (1, Rm::Reg(r)) => Ok(Body::Known(Inst::DecR(r))),
+                (0, Rm::Mem(m)) => Ok(Body::Known(Inst::IncDecM(true, m))),
+                (1, Rm::Mem(m)) => Ok(Body::Known(Inst::IncDecM(false, m))),
+                (2, Rm::Reg(r)) => Ok(Body::Known(Inst::CallR(r))),
+                (2, Rm::Mem(_)) => Ok(other("call", Class::ControlFlow(CfKind::CallInd))),
+                (3, Rm::Mem(_)) => Ok(other("callf", Class::ControlFlow(CfKind::CallFar))),
+                (4, Rm::Reg(r)) => Ok(Body::Known(Inst::JmpR(r))),
+                (4, Rm::Mem(_)) => Ok(other("jmp", Class::ControlFlow(CfKind::JmpInd))),
+                (5, Rm::Mem(_)) => Ok(other("jmpf", Class::ControlFlow(CfKind::JmpFar))),
+                (6, Rm::Reg(r)) => Ok(Body::Known(Inst::PushR(r))),
+                (6, Rm::Mem(m)) => Ok(Body::Known(Inst::PushM(m))),
+                _ => Err(DecodeError::Invalid),
+            }
+        }
+        0x0F => decode_0f(c, p),
+        // Remaining bytes (0x64..0x67, 0xF0, 0xF2, 0xF3 prefixes) were
+        // consumed by the prefix parser; anything reaching here is invalid.
+        _ => Err(DecodeError::Invalid),
+    }
+}
+
+fn decode_low_block(c: &mut Cursor<'_>, p: Prefixes, op: u8) -> Result<Body, DecodeError> {
+    // Specials interleaved in the 0x00–0x3F block.
+    match op {
+        0x06 => return Ok(other("push es", Class::Normal)),
+        0x07 => return Ok(other("pop es", Class::Normal)),
+        0x0E => return Ok(other("push cs", Class::Normal)),
+        0x0F => return decode_0f(c, p),
+        0x16 => return Ok(other("push ss", Class::Normal)),
+        0x17 => return Ok(other("pop ss", Class::Normal)),
+        0x1E => return Ok(other("push ds", Class::Normal)),
+        0x1F => return Ok(other("pop ds", Class::Normal)),
+        0x27 => return Ok(other("daa", Class::Normal)),
+        0x2F => return Ok(other("das", Class::Normal)),
+        0x37 => return Ok(other("aaa", Class::Normal)),
+        0x3F => return Ok(other("aas", Class::Normal)),
+        _ => {}
+    }
+    let row = op >> 3;
+    let col = op & 7;
+    let alu = AluOp::from_number(row).expect("row < 8");
+    match col {
+        // op r/m8, r8 / op r8, r/m8
+        0 | 2 => {
+            skip_modrm(c, p)?;
+            Ok(other(alu.name(), Class::Normal))
+        }
+        // op r/m32, r32
+        1 => {
+            let (reg, rm) = modrm(c, p)?;
+            let src = Reg::from_number(reg).unwrap();
+            Ok(Body::Known(match rm {
+                Rm::Reg(dst) => Inst::AluRR(alu, dst, src),
+                Rm::Mem(m) => Inst::AluMR(alu, m, src),
+            }))
+        }
+        // op r32, r/m32
+        3 => {
+            let (reg, rm) = modrm(c, p)?;
+            let dst = Reg::from_number(reg).unwrap();
+            Ok(Body::Known(match rm {
+                Rm::Reg(src) => Inst::AluRR(alu, dst, src),
+                Rm::Mem(m) => Inst::AluRM(alu, dst, m),
+            }))
+        }
+        // op al, imm8
+        4 => {
+            c.skip(1)?;
+            Ok(other(alu.name(), Class::Normal))
+        }
+        // op eax, immz
+        5 => {
+            let imm = c.imm_z(p.opsize16)?;
+            Ok(Body::Known(Inst::AluRI(alu, Reg::Eax, imm)))
+        }
+        _ => unreachable!("columns 6 and 7 handled as specials"),
+    }
+}
+
+fn decode_0f(c: &mut Cursor<'_>, p: Prefixes) -> Result<Body, DecodeError> {
+    let op = c.u8()?;
+    match op {
+        0x05 => Err(DecodeError::Invalid), // SYSCALL: not valid on IA-32
+        0x0B => Err(DecodeError::Invalid), // UD2
+        0x1F => {
+            // Multi-byte NOP (0F 1F /0).
+            let (reg, _) = modrm(c, p)?;
+            if reg != 0 {
+                return Err(DecodeError::Invalid);
+            }
+            Ok(other("nopl", Class::Normal))
+        }
+        0x31 => Ok(other("rdtsc", Class::Normal)),
+        0x34 => Ok(other("sysenter", Class::ControlFlow(CfKind::Syscall))),
+        0x35 => Ok(other("sysexit", Class::PrivilegedOrIo)),
+        0x40..=0x4F => {
+            skip_modrm(c, p)?;
+            Ok(other("cmov", Class::Normal))
+        }
+        0x80..=0x8F => {
+            let cc = Cond::from_number(op - 0x80).unwrap();
+            let rel = c.imm_z(p.opsize16)?;
+            Ok(Body::Known(Inst::Jcc(cc, rel)))
+        }
+        0x90..=0x9F => {
+            skip_modrm(c, p)?;
+            Ok(other("setcc", Class::Normal))
+        }
+        0xA0 => Ok(other("push fs", Class::Normal)),
+        0xA1 => Ok(other("pop fs", Class::Normal)),
+        0xA2 => Ok(other("cpuid", Class::Normal)),
+        0xA3 | 0xAB | 0xB3 | 0xBB => {
+            skip_modrm(c, p)?;
+            Ok(other("bt", Class::Normal))
+        }
+        0xA4 | 0xAC => {
+            skip_modrm(c, p)?;
+            c.skip(1)?;
+            Ok(other("shld/shrd", Class::Normal))
+        }
+        0xA5 | 0xAD => {
+            skip_modrm(c, p)?;
+            Ok(other("shld/shrd", Class::Normal))
+        }
+        0xA8 => Ok(other("push gs", Class::Normal)),
+        0xA9 => Ok(other("pop gs", Class::Normal)),
+        0xAF => {
+            let (reg, rm) = modrm(c, p)?;
+            let dst = Reg::from_number(reg).unwrap();
+            Ok(Body::Known(match rm {
+                Rm::Reg(src) => Inst::ImulRR(dst, src),
+                Rm::Mem(m) => Inst::ImulRM(dst, m),
+            }))
+        }
+        0xB6 | 0xB7 | 0xBE | 0xBF => {
+            skip_modrm(c, p)?;
+            Ok(other("movzx/movsx", Class::Normal))
+        }
+        0xBC | 0xBD => {
+            skip_modrm(c, p)?;
+            Ok(other("bsf/bsr", Class::Normal))
+        }
+        0xC0 | 0xC1 => {
+            skip_modrm(c, p)?;
+            Ok(other("xadd", Class::Normal))
+        }
+        0xC8..=0xCF => Ok(other("bswap", Class::Normal)),
+        _ => Err(DecodeError::Invalid),
+    }
+}
+
+/// Linear-sweep disassembly: decodes instructions one after another from
+/// `bytes`, stopping at the first decode failure.
+///
+/// Returns `(offset, decoded)` pairs.
+pub fn decode_all(bytes: &[u8]) -> Vec<(usize, Decoded)> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        match decode(&bytes[pos..]) {
+            Ok(d) => {
+                let len = d.len;
+                out.push((pos, d));
+                pos += len;
+            }
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode;
+
+    fn d(bytes: &[u8]) -> Decoded {
+        decode(bytes).expect("valid")
+    }
+
+    #[test]
+    fn nop_table_second_bytes_decode_as_documented() {
+        // Paper Table 1: the second byte of each two-byte NOP decodes to
+        // `in` (E4/ED), an `ss:` prefix (36) or `aas` (3F).
+        assert_eq!(d(&[0xE4, 0x00]).class(), Class::PrivilegedOrIo); // in al, imm8
+        assert_eq!(d(&[0xED]).class(), Class::PrivilegedOrIo); // in eax, dx
+        assert_eq!(format!("{}", d(&[0x3F])), "aas");
+        // 0x36 alone is a bare prefix: decoding "36 C3" must give `ret`
+        // with one prefix byte.
+        let ss = d(&[0x36, 0xC3]);
+        assert_eq!(ss.prefix_len, 1);
+        assert_eq!(ss.body, Body::Known(Inst::Ret));
+    }
+
+    #[test]
+    fn round_trip_sample() {
+        use crate::inst::{AluOp, Mem, Scale, ShiftOp};
+        let samples = [
+            Inst::MovRI(Reg::Edi, -1),
+            Inst::MovRR(Reg::Esp, Reg::Esp),
+            Inst::MovRM(Reg::Eax, Mem::base_index(Reg::Ebx, Reg::Ecx, Scale::S4, 0x40)),
+            Inst::MovMR(Mem::abs(0x0804_9000), Reg::Edx),
+            Inst::MovMI(Mem::base_disp(Reg::Ebp, -8), 42),
+            Inst::AluRR(AluOp::Xor, Reg::Eax, Reg::Eax),
+            Inst::AluRI(AluOp::Cmp, Reg::Ecx, 1000),
+            Inst::AluMI(AluOp::Add, Mem::abs(0x0805_0000), 1),
+            Inst::TestRR(Reg::Eax, Reg::Eax),
+            Inst::ImulRR(Reg::Eax, Reg::Esi),
+            Inst::ImulRRI(Reg::Eax, Reg::Eax, 100),
+            Inst::Cdq,
+            Inst::IdivR(Reg::Ecx),
+            Inst::NegR(Reg::Ebx),
+            Inst::IncR(Reg::Esi),
+            Inst::DecR(Reg::Edi),
+            Inst::IncDecM(true, Mem::abs(0x0805_1000)),
+            Inst::ShiftRI(ShiftOp::Shl, Reg::Eax, 4),
+            Inst::ShiftRI(ShiftOp::Sar, Reg::Edx, 1),
+            Inst::ShiftRCl(ShiftOp::Shr, Reg::Ebx),
+            Inst::PushR(Reg::Ebp),
+            Inst::PushI(0x1000),
+            Inst::PushM(Mem::base_disp(Reg::Esp, 12)),
+            Inst::PopR(Reg::Ebp),
+            Inst::Lea(Reg::Eax, Mem::base_index(Reg::Eax, Reg::Eax, Scale::S4, 0)),
+            Inst::XchgRR(Reg::Ebp, Reg::Ebp),
+            Inst::CallRel(0x1234),
+            Inst::CallR(Reg::Eax),
+            Inst::Ret,
+            Inst::RetImm(12),
+            Inst::JmpRel(-100),
+            Inst::JmpRel8(5),
+            Inst::JmpR(Reg::Edx),
+            Inst::Jcc(Cond::Le, 0x40),
+            Inst::Jcc8(Cond::O, -9),
+            Inst::Int(0x80),
+            Inst::Hlt,
+        ];
+        for inst in samples {
+            let mut bytes = Vec::new();
+            encode(&inst, &mut bytes).expect("encodable");
+            let dec = decode(&bytes).expect("decodable");
+            assert_eq!(dec.len, bytes.len(), "{inst}");
+            assert_eq!(dec.body, Body::Known(inst), "{inst}");
+        }
+    }
+
+    #[test]
+    fn nop_candidates_round_trip() {
+        for kind in NopKind::ALL {
+            let dec = d(kind.bytes());
+            assert_eq!(dec.len, kind.len());
+            assert_eq!(dec.body, Body::Known(kind.as_inst()), "{kind}");
+        }
+    }
+
+    #[test]
+    fn free_branch_detection() {
+        assert!(d(&[0xC3]).is_free_branch()); // ret
+        assert!(d(&[0xC2, 0x08, 0x00]).is_free_branch()); // ret 8
+        assert!(d(&[0xFF, 0xE0]).is_free_branch()); // jmp eax
+        assert!(d(&[0xFF, 0xD0]).is_free_branch()); // call eax
+        assert!(d(&[0xFF, 0x20]).is_free_branch()); // jmp [eax]
+        assert!(d(&[0xFF, 0x10]).is_free_branch()); // call [eax]
+        assert!(d(&[0xCB]).is_free_branch()); // retf
+        assert!(!d(&[0xE8, 0, 0, 0, 0]).is_free_branch()); // call rel32
+        assert!(!d(&[0xCD, 0x80]).is_free_branch()); // int 0x80
+        assert!(d(&[0xCD, 0x80]).is_control_flow());
+    }
+
+    #[test]
+    fn invalid_opcodes() {
+        assert_eq!(decode(&[0x0F, 0x0B]), Err(DecodeError::Invalid)); // ud2
+        assert_eq!(decode(&[0x0F, 0x05]), Err(DecodeError::Invalid)); // syscall
+        assert_eq!(decode(&[0x8D, 0xC0]), Err(DecodeError::Invalid)); // lea reg,reg
+        assert_eq!(decode(&[0xFF, 0xF8]), Err(DecodeError::Invalid)); // grp5 /7
+        assert_eq!(decode(&[0xC7, 0xC8, 0, 0, 0, 0]), Err(DecodeError::Invalid)); // C7 /1
+    }
+
+    #[test]
+    fn truncation() {
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[0xB8]), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[0xB8, 0x01, 0x02]), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[0x8B, 0x84]), Err(DecodeError::Truncated)); // needs SIB
+        assert_eq!(decode(&[0x0F]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn prefix_handling() {
+        // 66 ops-size: push imm16.
+        let p = d(&[0x66, 0x68, 0x34, 0x12]);
+        assert_eq!(p.len, 4);
+        assert_eq!(p.body, Body::Known(Inst::PushI(0x1234)));
+        // Sign extension of 16-bit immediates.
+        let n = d(&[0x66, 0xB8, 0xFF, 0xFF]);
+        assert_eq!(n.body, Body::Known(Inst::MovRI(Reg::Eax, -1)));
+        // Excessive prefixes are invalid.
+        let long = [0x66u8; 16];
+        assert_eq!(decode(&long), Err(DecodeError::Invalid));
+    }
+
+    #[test]
+    fn addr16_modrm() {
+        // 67 8B 07: mov eax, [bx+si] (16-bit addressing).
+        let m = d(&[0x67, 0x8B, 0x07]);
+        assert_eq!(m.len, 3);
+        // 67 8B 46 08: mov eax, [bp+8].
+        assert_eq!(d(&[0x67, 0x8B, 0x46, 0x08]).len, 4);
+        // 67 8B 06 34 12: mov eax, [0x1234].
+        assert_eq!(d(&[0x67, 0x8B, 0x06, 0x34, 0x12]).len, 5);
+    }
+
+    #[test]
+    fn sib_disp32_no_base() {
+        // 8B 04 8D 10 00 00 00: mov eax, [ecx*4+0x10].
+        let m = d(&[0x8B, 0x04, 0x8D, 0x10, 0, 0, 0]);
+        assert_eq!(m.len, 7);
+        match m.body {
+            Body::Known(Inst::MovRM(Reg::Eax, mem)) => {
+                assert_eq!(mem.base, None);
+                assert_eq!(mem.index, Some((Reg::Ecx, Scale::S4)));
+                assert_eq!(mem.disp, 0x10);
+            }
+            other => panic!("unexpected decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn linear_sweep() {
+        let bytes = [0x55, 0x89, 0xE5, 0x5D, 0xC3]; // push ebp; mov ebp,esp... wait 89 E5
+        let insts = decode_all(&bytes);
+        assert_eq!(insts.len(), 4);
+        assert_eq!(insts[0].1.body, Body::Known(Inst::PushR(Reg::Ebp)));
+        assert_eq!(insts[3].0, 4);
+        assert!(insts[3].1.is_free_branch());
+    }
+
+    #[test]
+    fn alternate_encodings_normalize() {
+        // 8F C0 (pop eax, long form) decodes to the same Inst as 58.
+        assert_eq!(d(&[0x8F, 0xC0]).body, d(&[0x58]).body);
+        // FF C0 (inc eax, long form) decodes like 40.
+        assert_eq!(d(&[0xFF, 0xC0]).body, d(&[0x40]).body);
+        // FF F0 (push eax, long form) decodes like 50.
+        assert_eq!(d(&[0xFF, 0xF0]).body, d(&[0x50]).body);
+    }
+}

@@ -1,0 +1,500 @@
+//! IA-32 machine-code encoder for the modeled instruction subset.
+//!
+//! The encoder is deterministic: each [`Inst`] has exactly one encoding, so
+//! instruction lengths are stable and the backend can lay out branches in a
+//! single relaxation pass. The decoder accepts a superset of what the
+//! encoder produces; the round-trip `decode(encode(i)) == i` holds for every
+//! encodable instruction and is checked by property tests.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::inst::{Inst, Mem};
+use crate::Reg;
+
+/// Error returned when an [`Inst`] cannot be encoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The memory operand uses `esp` as an index register, which the SIB
+    /// byte cannot express.
+    EspIndex,
+    /// A shift count above 31 is meaningless for 32-bit operands.
+    ShiftCountTooLarge(u8),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::EspIndex => write!(f, "esp cannot be used as an index register"),
+            EncodeError::ShiftCountTooLarge(n) => {
+                write!(f, "shift count {n} exceeds 31")
+            }
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+/// Encodes `inst`, appending its bytes to `out`.
+///
+/// Returns the number of bytes written.
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] if the instruction's operands cannot be
+/// expressed in machine code (see the error variants).
+///
+/// # Examples
+///
+/// ```
+/// use pgsd_x86::{encode, Inst, Reg};
+/// let mut buf = Vec::new();
+/// encode(&Inst::Ret, &mut buf)?;
+/// assert_eq!(buf, [0xC3]);
+/// # Ok::<(), pgsd_x86::EncodeError>(())
+/// ```
+pub fn encode(inst: &Inst, out: &mut Vec<u8>) -> Result<usize, EncodeError> {
+    let start = out.len();
+    encode_inner(inst, out)?;
+    Ok(out.len() - start)
+}
+
+/// The encoded length of `inst` in bytes, without materializing the bytes.
+///
+/// # Errors
+///
+/// Fails in exactly the cases [`encode`] fails.
+pub fn encoded_len(inst: &Inst) -> Result<usize, EncodeError> {
+    // Lengths are cheap enough to compute by encoding into a small buffer;
+    // the longest modeled instruction is 11 bytes.
+    let mut buf = Vec::with_capacity(12);
+    encode(inst, &mut buf)
+}
+
+fn imm_fits_i8(v: i32) -> bool {
+    v >= i32::from(i8::MIN) && v <= i32::from(i8::MAX)
+}
+
+/// Emits a ModRM byte plus any SIB/displacement for a register operand in
+/// the `reg` field and a memory operand in the `rm` field.
+fn put_modrm_mem(reg_field: u8, mem: &Mem, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+    if let Some((idx, _)) = mem.index {
+        if idx == Reg::Esp {
+            return Err(EncodeError::EspIndex);
+        }
+    }
+    match (mem.base, mem.index) {
+        (None, None) => {
+            // [disp32]: mod=00, rm=101.
+            out.push(modrm(0, reg_field, 5));
+            out.extend_from_slice(&mem.disp.to_le_bytes());
+        }
+        (Some(base), None) if base != Reg::Esp => {
+            // [base + disp]; EBP with mod=00 means disp32, so EBP always
+            // carries a displacement.
+            let (md, disp_bytes) = disp_mode(mem.disp, base == Reg::Ebp);
+            out.push(modrm(md, reg_field, base.number()));
+            push_disp(disp_bytes, mem.disp, out);
+        }
+        (Some(base), index) => {
+            // SIB form: needed for ESP base or any index.
+            let (md, disp_bytes) = disp_mode(mem.disp, base == Reg::Ebp);
+            out.push(modrm(md, reg_field, 4));
+            out.push(sib_byte(Some(base), index));
+            push_disp(disp_bytes, mem.disp, out);
+        }
+        (None, Some(_)) => {
+            // [index*scale + disp32]: mod=00, rm=100, SIB base=101.
+            out.push(modrm(0, reg_field, 4));
+            out.push(sib_byte(None, mem.index));
+            out.extend_from_slice(&mem.disp.to_le_bytes());
+        }
+    }
+    Ok(())
+}
+
+/// Chooses between no displacement, disp8 and disp32.
+/// `force_disp` handles the `[ebp]` encoding hole (mod=00 rm=101 is
+/// `[disp32]`, so `[ebp]` must be encoded as `[ebp+0x0]`).
+fn disp_mode(disp: i32, force_disp: bool) -> (u8, u8) {
+    if disp == 0 && !force_disp {
+        (0, 0)
+    } else if imm_fits_i8(disp) {
+        (1, 1)
+    } else {
+        (2, 4)
+    }
+}
+
+fn push_disp(n_bytes: u8, disp: i32, out: &mut Vec<u8>) {
+    match n_bytes {
+        0 => {}
+        1 => out.push(disp as i8 as u8),
+        _ => out.extend_from_slice(&disp.to_le_bytes()),
+    }
+}
+
+fn modrm(md: u8, reg: u8, rm: u8) -> u8 {
+    (md << 6) | ((reg & 7) << 3) | (rm & 7)
+}
+
+fn sib_byte(base: Option<Reg>, index: Option<(Reg, crate::Scale)>) -> u8 {
+    let (ss, idx) = match index {
+        Some((r, s)) => (s as u8, r.number()),
+        None => (0, 4), // index=100 means "none"
+    };
+    let base_bits = match base {
+        Some(r) => r.number(),
+        None => 5, // with mod=00: disp32, no base
+    };
+    (ss << 6) | (idx << 3) | base_bits
+}
+
+fn put_modrm_reg(reg_field: u8, rm_reg: Reg, out: &mut Vec<u8>) {
+    out.push(modrm(3, reg_field, rm_reg.number()));
+}
+
+fn encode_inner(inst: &Inst, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+    match *inst {
+        Inst::MovRI(r, imm) => {
+            out.push(0xB8 + r.number());
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Inst::MovRR(dst, src) => {
+            // 89 /r: mov r/m32, r32 — matches the paper's Table 1 encodings
+            // for `mov esp, esp` (89 E4) and `mov ebp, ebp` (89 ED).
+            out.push(0x89);
+            put_modrm_reg(src.number(), dst, out);
+        }
+        Inst::MovRM(dst, ref m) => {
+            out.push(0x8B);
+            put_modrm_mem(dst.number(), m, out)?;
+        }
+        Inst::MovMR(ref m, src) => {
+            out.push(0x89);
+            put_modrm_mem(src.number(), m, out)?;
+        }
+        Inst::MovMI(ref m, imm) => {
+            out.push(0xC7);
+            put_modrm_mem(0, m, out)?;
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Inst::AluRR(op, dst, src) => {
+            // row base + 1: op r/m32, r32.
+            out.push((op as u8) * 8 + 0x01);
+            put_modrm_reg(src.number(), dst, out);
+        }
+        Inst::AluRM(op, dst, ref m) => {
+            // row base + 3: op r32, r/m32.
+            out.push((op as u8) * 8 + 0x03);
+            put_modrm_mem(dst.number(), m, out)?;
+        }
+        Inst::AluMR(op, ref m, src) => {
+            out.push((op as u8) * 8 + 0x01);
+            put_modrm_mem(src.number(), m, out)?;
+        }
+        Inst::AluRI(op, r, imm) => {
+            if imm_fits_i8(imm) {
+                out.push(0x83);
+                put_modrm_reg(op as u8, r, out);
+                out.push(imm as i8 as u8);
+            } else {
+                out.push(0x81);
+                put_modrm_reg(op as u8, r, out);
+                out.extend_from_slice(&imm.to_le_bytes());
+            }
+        }
+        Inst::AluMI(op, ref m, imm) => {
+            if imm_fits_i8(imm) {
+                out.push(0x83);
+                put_modrm_mem(op as u8, m, out)?;
+                out.push(imm as i8 as u8);
+            } else {
+                out.push(0x81);
+                put_modrm_mem(op as u8, m, out)?;
+                out.extend_from_slice(&imm.to_le_bytes());
+            }
+        }
+        Inst::TestRR(a, b) => {
+            out.push(0x85);
+            put_modrm_reg(b.number(), a, out);
+        }
+        Inst::ImulRR(dst, src) => {
+            out.push(0x0F);
+            out.push(0xAF);
+            put_modrm_reg(dst.number(), src, out);
+        }
+        Inst::ImulRM(dst, ref m) => {
+            out.push(0x0F);
+            out.push(0xAF);
+            put_modrm_mem(dst.number(), m, out)?;
+        }
+        Inst::ImulRRI(dst, src, imm) => {
+            if imm_fits_i8(imm) {
+                out.push(0x6B);
+                put_modrm_reg(dst.number(), src, out);
+                out.push(imm as i8 as u8);
+            } else {
+                out.push(0x69);
+                put_modrm_reg(dst.number(), src, out);
+                out.extend_from_slice(&imm.to_le_bytes());
+            }
+        }
+        Inst::Cdq => out.push(0x99),
+        Inst::IdivR(r) => {
+            out.push(0xF7);
+            put_modrm_reg(7, r, out);
+        }
+        Inst::NegR(r) => {
+            out.push(0xF7);
+            put_modrm_reg(3, r, out);
+        }
+        Inst::NotR(r) => {
+            out.push(0xF7);
+            put_modrm_reg(2, r, out);
+        }
+        Inst::IncR(r) => out.push(0x40 + r.number()),
+        Inst::DecR(r) => out.push(0x48 + r.number()),
+        Inst::IncDecM(inc, ref m) => {
+            out.push(0xFF);
+            put_modrm_mem(if inc { 0 } else { 1 }, m, out)?;
+        }
+        Inst::ShiftRI(op, r, count) => {
+            if count > 31 {
+                return Err(EncodeError::ShiftCountTooLarge(count));
+            }
+            if count == 1 {
+                out.push(0xD1);
+                put_modrm_reg(op as u8, r, out);
+            } else {
+                out.push(0xC1);
+                put_modrm_reg(op as u8, r, out);
+                out.push(count);
+            }
+        }
+        Inst::ShiftRCl(op, r) => {
+            out.push(0xD3);
+            put_modrm_reg(op as u8, r, out);
+        }
+        Inst::PushR(r) => out.push(0x50 + r.number()),
+        Inst::PushI(imm) => {
+            if imm_fits_i8(imm) {
+                out.push(0x6A);
+                out.push(imm as i8 as u8);
+            } else {
+                out.push(0x68);
+                out.extend_from_slice(&imm.to_le_bytes());
+            }
+        }
+        Inst::PushM(ref m) => {
+            out.push(0xFF);
+            put_modrm_mem(6, m, out)?;
+        }
+        Inst::PopR(r) => out.push(0x58 + r.number()),
+        Inst::Lea(r, ref m) => {
+            out.push(0x8D);
+            put_modrm_mem(r.number(), m, out)?;
+        }
+        Inst::XchgRR(a, b) => {
+            // Always 87 /r, never the 90+r short forms, so that 0x90 is
+            // unambiguously `nop`.
+            out.push(0x87);
+            put_modrm_reg(b.number(), a, out);
+        }
+        Inst::CallRel(rel) => {
+            out.push(0xE8);
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Inst::CallR(r) => {
+            out.push(0xFF);
+            put_modrm_reg(2, r, out);
+        }
+        Inst::Ret => out.push(0xC3),
+        Inst::RetImm(n) => {
+            out.push(0xC2);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Inst::JmpRel(rel) => {
+            out.push(0xE9);
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Inst::JmpRel8(rel) => {
+            out.push(0xEB);
+            out.push(rel as u8);
+        }
+        Inst::JmpR(r) => {
+            out.push(0xFF);
+            put_modrm_reg(4, r, out);
+        }
+        Inst::Jcc(cc, rel) => {
+            out.push(0x0F);
+            out.push(0x80 + cc.number());
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Inst::Jcc8(cc, rel) => {
+            out.push(0x70 + cc.number());
+            out.push(rel as u8);
+        }
+        Inst::Int(n) => {
+            out.push(0xCD);
+            out.push(n);
+        }
+        Inst::Hlt => out.push(0xF4),
+        Inst::Nop(kind) => out.extend_from_slice(kind.bytes()),
+    }
+    Ok(())
+}
+
+/// Convenience assembler: encodes a whole instruction sequence.
+///
+/// # Errors
+///
+/// Fails on the first instruction [`encode`] rejects.
+///
+/// # Examples
+///
+/// ```
+/// use pgsd_x86::{assemble, Inst, Reg};
+/// let bytes = assemble(&[Inst::PushR(Reg::Ebp), Inst::Ret])?;
+/// assert_eq!(bytes, [0x55, 0xC3]);
+/// # Ok::<(), pgsd_x86::EncodeError>(())
+/// ```
+pub fn assemble(insts: &[Inst]) -> Result<Vec<u8>, EncodeError> {
+    let mut out = Vec::with_capacity(insts.len() * 4);
+    for i in insts {
+        encode(i, &mut out)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{AluOp, Scale, ShiftOp};
+    use crate::nop::NopKind;
+    use crate::Cond;
+
+    fn enc(i: Inst) -> Vec<u8> {
+        let mut v = Vec::new();
+        encode(&i, &mut v).expect("encodable");
+        v
+    }
+
+    #[test]
+    fn mov_forms() {
+        assert_eq!(enc(Inst::MovRI(Reg::Eax, 0x12345678)), [0xB8, 0x78, 0x56, 0x34, 0x12]);
+        assert_eq!(enc(Inst::MovRR(Reg::Esp, Reg::Esp)), [0x89, 0xE4]);
+        assert_eq!(enc(Inst::MovRR(Reg::Ebp, Reg::Ebp)), [0x89, 0xED]);
+        assert_eq!(
+            enc(Inst::MovRM(Reg::Eax, Mem::base_disp(Reg::Ebp, -4))),
+            [0x8B, 0x45, 0xFC]
+        );
+        assert_eq!(
+            enc(Inst::MovMR(Mem::abs(0x0804_A000), Reg::Ecx)),
+            [0x89, 0x0D, 0x00, 0xA0, 0x04, 0x08]
+        );
+    }
+
+    #[test]
+    fn ebp_without_disp_still_gets_disp8() {
+        // [ebp] cannot be encoded with mod=00; must become [ebp+0].
+        assert_eq!(enc(Inst::MovRM(Reg::Eax, Mem::base_disp(Reg::Ebp, 0))), [0x8B, 0x45, 0x00]);
+    }
+
+    #[test]
+    fn esp_base_needs_sib() {
+        assert_eq!(enc(Inst::MovRM(Reg::Eax, Mem::base_disp(Reg::Esp, 0))), [0x8B, 0x04, 0x24]);
+        assert_eq!(
+            enc(Inst::MovRM(Reg::Eax, Mem::base_disp(Reg::Esp, 8))),
+            [0x8B, 0x44, 0x24, 0x08]
+        );
+    }
+
+    #[test]
+    fn sib_scaled_index() {
+        assert_eq!(
+            enc(Inst::MovRM(Reg::Edx, Mem::base_index(Reg::Ebx, Reg::Esi, Scale::S4, 0))),
+            [0x8B, 0x14, 0xB3]
+        );
+        assert_eq!(
+            enc(Inst::Lea(Reg::Eax, Mem::index_disp(Reg::Ecx, Scale::S8, 0x10))),
+            [0x8D, 0x04, 0xCD, 0x10, 0x00, 0x00, 0x00]
+        );
+    }
+
+    #[test]
+    fn esp_index_rejected() {
+        let m = Mem::base_index(Reg::Eax, Reg::Esp, Scale::S1, 0);
+        assert_eq!(encode(&Inst::Lea(Reg::Eax, m), &mut Vec::new()), Err(EncodeError::EspIndex));
+    }
+
+    #[test]
+    fn alu_rows() {
+        assert_eq!(enc(Inst::AluRR(AluOp::Add, Reg::Eax, Reg::Ebx)), [0x01, 0xD8]);
+        assert_eq!(enc(Inst::AluRR(AluOp::Sub, Reg::Ecx, Reg::Edx)), [0x29, 0xD1]);
+        assert_eq!(enc(Inst::AluRR(AluOp::Cmp, Reg::Esi, Reg::Edi)), [0x39, 0xFE]);
+        assert_eq!(enc(Inst::AluRI(AluOp::Add, Reg::Esp, 8)), [0x83, 0xC4, 0x08]);
+        assert_eq!(
+            enc(Inst::AluRI(AluOp::And, Reg::Eax, 0x1234)),
+            [0x81, 0xE0, 0x34, 0x12, 0x00, 0x00]
+        );
+    }
+
+    #[test]
+    fn imm8_selection_boundaries() {
+        assert_eq!(enc(Inst::AluRI(AluOp::Add, Reg::Eax, 127)).len(), 3);
+        assert_eq!(enc(Inst::AluRI(AluOp::Add, Reg::Eax, 128)).len(), 6);
+        assert_eq!(enc(Inst::AluRI(AluOp::Add, Reg::Eax, -128)).len(), 3);
+        assert_eq!(enc(Inst::AluRI(AluOp::Add, Reg::Eax, -129)).len(), 6);
+        assert_eq!(enc(Inst::PushI(-1)), [0x6A, 0xFF]);
+        assert_eq!(enc(Inst::PushI(300)), [0x68, 0x2C, 0x01, 0x00, 0x00]);
+    }
+
+    #[test]
+    fn group3_and_shifts() {
+        assert_eq!(enc(Inst::IdivR(Reg::Ebx)), [0xF7, 0xFB]);
+        assert_eq!(enc(Inst::NegR(Reg::Eax)), [0xF7, 0xD8]);
+        assert_eq!(enc(Inst::NotR(Reg::Edx)), [0xF7, 0xD2]);
+        assert_eq!(enc(Inst::ShiftRI(ShiftOp::Shl, Reg::Eax, 1)), [0xD1, 0xE0]);
+        assert_eq!(enc(Inst::ShiftRI(ShiftOp::Sar, Reg::Eax, 4)), [0xC1, 0xF8, 0x04]);
+        assert_eq!(enc(Inst::ShiftRCl(ShiftOp::Shr, Reg::Ecx)), [0xD3, 0xE9]);
+        assert_eq!(
+            encode(&Inst::ShiftRI(ShiftOp::Shl, Reg::Eax, 32), &mut Vec::new()),
+            Err(EncodeError::ShiftCountTooLarge(32))
+        );
+    }
+
+    #[test]
+    fn control_flow() {
+        assert_eq!(enc(Inst::CallRel(0x10)), [0xE8, 0x10, 0x00, 0x00, 0x00]);
+        assert_eq!(enc(Inst::Ret), [0xC3]);
+        assert_eq!(enc(Inst::RetImm(8)), [0xC2, 0x08, 0x00]);
+        assert_eq!(enc(Inst::JmpRel(-5)), [0xE9, 0xFB, 0xFF, 0xFF, 0xFF]);
+        assert_eq!(enc(Inst::JmpRel8(-2)), [0xEB, 0xFE]);
+        assert_eq!(enc(Inst::Jcc(Cond::E, 0)), [0x0F, 0x84, 0, 0, 0, 0]);
+        assert_eq!(enc(Inst::Jcc8(Cond::Ne, 4)), [0x75, 0x04]);
+        assert_eq!(enc(Inst::CallR(Reg::Eax)), [0xFF, 0xD0]);
+        assert_eq!(enc(Inst::JmpR(Reg::Ebx)), [0xFF, 0xE3]);
+        assert_eq!(enc(Inst::Int(0x80)), [0xCD, 0x80]);
+    }
+
+    #[test]
+    fn nops_match_table1() {
+        for kind in NopKind::ALL {
+            assert_eq!(enc(Inst::Nop(kind)), kind.bytes());
+        }
+    }
+
+    #[test]
+    fn encoded_len_matches_encode() {
+        let samples = [
+            Inst::MovRI(Reg::Eax, 1),
+            Inst::AluRI(AluOp::Sub, Reg::Esp, 0x100),
+            Inst::Jcc(Cond::G, 7),
+            Inst::Lea(Reg::Esi, Mem::base_index(Reg::Eax, Reg::Ebx, Scale::S2, -3)),
+        ];
+        for i in samples {
+            assert_eq!(encoded_len(&i).unwrap(), enc(i).len());
+        }
+    }
+}

@@ -1,0 +1,492 @@
+//! Structured model of the IA-32 instruction subset that the pgsd toolchain
+//! emits, decodes and emulates.
+//!
+//! The same [`Inst`] type is produced by the assembler layer of the compiler
+//! backend and by [`decode`](crate::decode::decode) for bytes inside the
+//! modeled subset, which gives the whole toolchain a single vocabulary and
+//! lets the test suite check `decode(encode(i)) == i`.
+
+use std::fmt;
+
+use crate::{Cond, Reg};
+
+/// Index scale factor of a memory operand (`[base + index*scale + disp]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum Scale {
+    /// `index * 1`
+    #[default]
+    S1 = 0,
+    /// `index * 2`
+    S2 = 1,
+    /// `index * 4`
+    S4 = 2,
+    /// `index * 8`
+    S8 = 3,
+}
+
+impl Scale {
+    /// The multiplication factor (1, 2, 4 or 8).
+    #[inline]
+    pub fn factor(self) -> u32 {
+        1 << (self as u32)
+    }
+
+    /// Looks up a scale by the two-bit SIB `ss` field.
+    #[inline]
+    pub fn from_bits(bits: u8) -> Scale {
+        match bits & 3 {
+            0 => Scale::S1,
+            1 => Scale::S2,
+            2 => Scale::S4,
+            _ => Scale::S8,
+        }
+    }
+}
+
+/// A 32-bit memory operand: `[base + index*scale + disp]`.
+///
+/// Any component may be absent; `Mem::abs(0x0804_9000)` is a bare
+/// absolute address, `Mem::base_disp(Reg::Ebp, -8)` a frame slot.
+///
+/// `index` may not be [`Reg::Esp`] (the SIB encoding reserves index
+/// number 4 to mean "no index"); the encoder validates this.
+///
+/// # Examples
+///
+/// ```
+/// use pgsd_x86::{Mem, Reg, Scale};
+/// let slot = Mem::base_disp(Reg::Ebp, -4);
+/// let elem = Mem::base_index(Reg::Eax, Reg::Ecx, Scale::S4, 0);
+/// assert_eq!(slot.to_string(), "[ebp-0x4]");
+/// assert_eq!(elem.to_string(), "[eax+ecx*4]");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mem {
+    /// Optional base register.
+    pub base: Option<Reg>,
+    /// Optional scaled index register (never `Esp`).
+    pub index: Option<(Reg, Scale)>,
+    /// Signed 32-bit displacement.
+    pub disp: i32,
+}
+
+impl Mem {
+    /// An absolute address operand `[disp]`.
+    pub fn abs(addr: u32) -> Mem {
+        Mem { base: None, index: None, disp: addr as i32 }
+    }
+
+    /// A `[base + disp]` operand.
+    pub fn base_disp(base: Reg, disp: i32) -> Mem {
+        Mem { base: Some(base), index: None, disp }
+    }
+
+    /// A `[base + index*scale + disp]` operand.
+    pub fn base_index(base: Reg, index: Reg, scale: Scale, disp: i32) -> Mem {
+        Mem { base: Some(base), index: Some((index, scale)), disp }
+    }
+
+    /// An `[index*scale + disp]` operand with no base register.
+    pub fn index_disp(index: Reg, scale: Scale, disp: i32) -> Mem {
+        Mem { base: None, index: Some((index, scale)), disp }
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut wrote = false;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            wrote = true;
+        }
+        if let Some((i, s)) = self.index {
+            if wrote {
+                write!(f, "+")?;
+            }
+            write!(f, "{i}")?;
+            if s != Scale::S1 {
+                write!(f, "*{}", s.factor())?;
+            }
+            wrote = true;
+        }
+        if self.disp != 0 || !wrote {
+            if wrote {
+                if self.disp < 0 {
+                    write!(f, "-{:#x}", -(self.disp as i64))?;
+                } else {
+                    write!(f, "+{:#x}", self.disp)?;
+                }
+            } else {
+                write!(f, "{:#x}", self.disp as u32)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// Binary ALU operation selector shared by the `00`–`3B` opcode rows and the
+/// group-1 immediate forms.
+///
+/// The discriminant is the group-1 `/r` extension (and the row number of the
+/// register forms), so it plugs straight into the encoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)] // variants are standard x86 mnemonics
+pub enum AluOp {
+    Add = 0,
+    Or = 1,
+    Adc = 2,
+    Sbb = 3,
+    And = 4,
+    Sub = 5,
+    Xor = 6,
+    Cmp = 7,
+}
+
+impl AluOp {
+    /// All eight ALU operations in encoding order.
+    pub const ALL: [AluOp; 8] = [
+        AluOp::Add,
+        AluOp::Or,
+        AluOp::Adc,
+        AluOp::Sbb,
+        AluOp::And,
+        AluOp::Sub,
+        AluOp::Xor,
+        AluOp::Cmp,
+    ];
+
+    /// Looks up the operation from its group-1 extension number.
+    #[inline]
+    pub fn from_number(n: u8) -> Option<AluOp> {
+        AluOp::ALL.get(usize::from(n)).copied()
+    }
+
+    /// The lowercase mnemonic.
+    pub fn name(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Or => "or",
+            AluOp::Adc => "adc",
+            AluOp::Sbb => "sbb",
+            AluOp::And => "and",
+            AluOp::Sub => "sub",
+            AluOp::Xor => "xor",
+            AluOp::Cmp => "cmp",
+        }
+    }
+
+    /// `true` for `cmp`, which only sets flags and writes no destination.
+    #[inline]
+    pub fn is_compare(self) -> bool {
+        self == AluOp::Cmp
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Shift/rotate operation selector (group-2 `/r` extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)] // variants are standard x86 mnemonics
+pub enum ShiftOp {
+    Rol = 0,
+    Ror = 1,
+    Rcl = 2,
+    Rcr = 3,
+    /// Logical left shift (`shl`/`sal`).
+    Shl = 4,
+    /// Logical right shift.
+    Shr = 5,
+    /// Arithmetic right shift.
+    Sar = 7,
+}
+
+impl ShiftOp {
+    /// Looks up the operation from its group-2 extension number.
+    ///
+    /// Returns `None` for 6, which Intel documents as an alias of `shl`
+    /// that assemblers never emit.
+    #[inline]
+    pub fn from_number(n: u8) -> Option<ShiftOp> {
+        match n {
+            0 => Some(ShiftOp::Rol),
+            1 => Some(ShiftOp::Ror),
+            2 => Some(ShiftOp::Rcl),
+            3 => Some(ShiftOp::Rcr),
+            4 => Some(ShiftOp::Shl),
+            5 => Some(ShiftOp::Shr),
+            7 => Some(ShiftOp::Sar),
+            _ => None,
+        }
+    }
+
+    /// The lowercase mnemonic.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShiftOp::Rol => "rol",
+            ShiftOp::Ror => "ror",
+            ShiftOp::Rcl => "rcl",
+            ShiftOp::Rcr => "rcr",
+            ShiftOp::Shl => "shl",
+            ShiftOp::Shr => "shr",
+            ShiftOp::Sar => "sar",
+        }
+    }
+}
+
+impl fmt::Display for ShiftOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An instruction from the modeled IA-32 subset.
+///
+/// This covers everything the MiniC backend emits (including the
+/// diversifying NOPs of the paper's Table 1) plus the handful of extra forms
+/// the emulator and the gadget classifier care about (`push`/`pop`,
+/// `xchg`, `int`).
+///
+/// Branch targets are stored as *resolved* rel32/rel8 displacements relative
+/// to the end of the instruction, exactly as encoded; layout happens in the
+/// compiler's emitter, which patches these fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `mov r32, imm32` (B8+r).
+    MovRI(Reg, i32),
+    /// `mov r32, r32` (89 /r, register form).
+    MovRR(Reg, Reg),
+    /// `mov r32, m32` (8B /r).
+    MovRM(Reg, Mem),
+    /// `mov m32, r32` (89 /r).
+    MovMR(Mem, Reg),
+    /// `mov m32, imm32` (C7 /0).
+    MovMI(Mem, i32),
+    /// ALU op, register–register (`op r32, r32`).
+    AluRR(AluOp, Reg, Reg),
+    /// ALU op, register–memory (`op r32, m32`).
+    AluRM(AluOp, Reg, Mem),
+    /// ALU op, memory–register (`op m32, r32`).
+    AluMR(AluOp, Mem, Reg),
+    /// ALU op, register–immediate (`op r32, imm`; encoder picks 83/81).
+    AluRI(AluOp, Reg, i32),
+    /// ALU op, memory–immediate (`op m32, imm`).
+    AluMI(AluOp, Mem, i32),
+    /// `test r32, r32` (85 /r).
+    TestRR(Reg, Reg),
+    /// `imul r32, r32` (0F AF /r).
+    ImulRR(Reg, Reg),
+    /// `imul r32, m32` (0F AF /r).
+    ImulRM(Reg, Mem),
+    /// `imul r32, r32, imm32` (69 /r or 6B /r).
+    ImulRRI(Reg, Reg, i32),
+    /// `cdq` (99): sign-extend EAX into EDX:EAX.
+    Cdq,
+    /// `idiv r32` (F7 /7): signed divide EDX:EAX by r32.
+    IdivR(Reg),
+    /// `neg r32` (F7 /3).
+    NegR(Reg),
+    /// `not r32` (F7 /2).
+    NotR(Reg),
+    /// `inc r32` (40+r).
+    IncR(Reg),
+    /// `dec r32` (48+r).
+    DecR(Reg),
+    /// `inc m32` / `dec m32` (FF /0, FF /1); `true` = inc.
+    IncDecM(bool, Mem),
+    /// Shift by immediate (`C1 /r imm8`, or `D1 /r` when the count is 1).
+    ShiftRI(ShiftOp, Reg, u8),
+    /// Shift by CL (`D3 /r`).
+    ShiftRCl(ShiftOp, Reg),
+    /// `push r32` (50+r).
+    PushR(Reg),
+    /// `push imm32` (68).
+    PushI(i32),
+    /// `push m32` (FF /6).
+    PushM(Mem),
+    /// `pop r32` (58+r).
+    PopR(Reg),
+    /// `lea r32, m` (8D /r).
+    Lea(Reg, Mem),
+    /// `xchg r32, r32` (87 /r; 90+r for the EAX forms is *not* used by the
+    /// encoder to keep `nop` unambiguous).
+    XchgRR(Reg, Reg),
+    /// `call rel32` (E8).
+    CallRel(i32),
+    /// `call r32` (FF /2).
+    CallR(Reg),
+    /// `ret` (C3).
+    Ret,
+    /// `ret imm16` (C2).
+    RetImm(u16),
+    /// `jmp rel32` (E9).
+    JmpRel(i32),
+    /// `jmp rel8` (EB).
+    JmpRel8(i8),
+    /// `jmp r32` (FF /4).
+    JmpR(Reg),
+    /// `jcc rel32` (0F 80+cc).
+    Jcc(Cond, i32),
+    /// `jcc rel8` (70+cc).
+    Jcc8(Cond, i8),
+    /// `int imm8` (CD).
+    Int(u8),
+    /// `hlt` (F4) — used as a trap/sentinel in test images.
+    Hlt,
+    /// One of the diversifying no-operation candidates of the paper's
+    /// Table 1.
+    Nop(crate::nop::NopKind),
+}
+
+impl Inst {
+    /// `true` if executing this instruction may transfer control anywhere
+    /// other than the next instruction.
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Inst::CallRel(_)
+                | Inst::CallR(_)
+                | Inst::Ret
+                | Inst::RetImm(_)
+                | Inst::JmpRel(_)
+                | Inst::JmpRel8(_)
+                | Inst::JmpR(_)
+                | Inst::Jcc(..)
+                | Inst::Jcc8(..)
+                | Inst::Int(_)
+                | Inst::Hlt
+        )
+    }
+
+    /// `true` for the *free branches* a return-oriented-programming gadget
+    /// may end in: returns and indirect jumps/calls (paper §5.2).
+    pub fn is_free_branch(&self) -> bool {
+        matches!(self, Inst::Ret | Inst::RetImm(_) | Inst::CallR(_) | Inst::JmpR(_))
+    }
+}
+
+/// Formats a signed displacement as `+0x…`/`-0x…` (hex magnitude with
+/// explicit sign), the conventional disassembly style for relative targets.
+fn fmt_rel(f: &mut fmt::Formatter<'_>, v: i64) -> fmt::Result {
+    if v < 0 {
+        write!(f, "-{:#x}", -v)
+    } else {
+        write!(f, "+{v:#x}")
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::MovRI(r, i) => write!(f, "mov {r}, {i:#x}"),
+            Inst::MovRR(d, s) => write!(f, "mov {d}, {s}"),
+            Inst::MovRM(r, m) => write!(f, "mov {r}, dword {m}"),
+            Inst::MovMR(m, r) => write!(f, "mov dword {m}, {r}"),
+            Inst::MovMI(m, i) => write!(f, "mov dword {m}, {i:#x}"),
+            Inst::AluRR(op, d, s) => write!(f, "{op} {d}, {s}"),
+            Inst::AluRM(op, d, m) => write!(f, "{op} {d}, dword {m}"),
+            Inst::AluMR(op, m, s) => write!(f, "{op} dword {m}, {s}"),
+            Inst::AluRI(op, r, i) => write!(f, "{op} {r}, {i:#x}"),
+            Inst::AluMI(op, m, i) => write!(f, "{op} dword {m}, {i:#x}"),
+            Inst::TestRR(a, b) => write!(f, "test {a}, {b}"),
+            Inst::ImulRR(d, s) => write!(f, "imul {d}, {s}"),
+            Inst::ImulRM(d, m) => write!(f, "imul {d}, dword {m}"),
+            Inst::ImulRRI(d, s, i) => write!(f, "imul {d}, {s}, {i:#x}"),
+            Inst::Cdq => write!(f, "cdq"),
+            Inst::IdivR(r) => write!(f, "idiv {r}"),
+            Inst::NegR(r) => write!(f, "neg {r}"),
+            Inst::NotR(r) => write!(f, "not {r}"),
+            Inst::IncR(r) => write!(f, "inc {r}"),
+            Inst::DecR(r) => write!(f, "dec {r}"),
+            Inst::IncDecM(true, m) => write!(f, "inc dword {m}"),
+            Inst::IncDecM(false, m) => write!(f, "dec dword {m}"),
+            Inst::ShiftRI(op, r, n) => write!(f, "{op} {r}, {n}"),
+            Inst::ShiftRCl(op, r) => write!(f, "{op} {r}, cl"),
+            Inst::PushR(r) => write!(f, "push {r}"),
+            Inst::PushI(i) => write!(f, "push {i:#x}"),
+            Inst::PushM(m) => write!(f, "push dword {m}"),
+            Inst::PopR(r) => write!(f, "pop {r}"),
+            Inst::Lea(r, m) => write!(f, "lea {r}, {m}"),
+            Inst::XchgRR(a, b) => write!(f, "xchg {a}, {b}"),
+            Inst::CallRel(d) => { write!(f, "call ")?; fmt_rel(f, i64::from(*d)) }
+            Inst::CallR(r) => write!(f, "call {r}"),
+            Inst::Ret => write!(f, "ret"),
+            Inst::RetImm(n) => write!(f, "ret {n:#x}"),
+            Inst::JmpRel(d) => { write!(f, "jmp ")?; fmt_rel(f, i64::from(*d)) }
+            Inst::JmpRel8(d) => { write!(f, "jmp short ")?; fmt_rel(f, i64::from(*d)) }
+            Inst::JmpR(r) => write!(f, "jmp {r}"),
+            Inst::Jcc(c, d) => { write!(f, "j{c} ")?; fmt_rel(f, i64::from(*d)) }
+            Inst::Jcc8(c, d) => { write!(f, "j{c} short ")?; fmt_rel(f, i64::from(*d)) }
+            Inst::Int(n) => write!(f, "int {n:#x}"),
+            Inst::Hlt => write!(f, "hlt"),
+            Inst::Nop(k) => write!(f, "{k}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_display_forms() {
+        assert_eq!(Mem::abs(0x0804_9000).to_string(), "[0x8049000]");
+        assert_eq!(Mem::base_disp(Reg::Ebp, -8).to_string(), "[ebp-0x8]");
+        assert_eq!(Mem::base_disp(Reg::Esp, 4).to_string(), "[esp+0x4]");
+        assert_eq!(
+            Mem::base_index(Reg::Ebx, Reg::Esi, Scale::S4, 16).to_string(),
+            "[ebx+esi*4+0x10]"
+        );
+        assert_eq!(Mem::index_disp(Reg::Ecx, Scale::S2, 0).to_string(), "[ecx*2]");
+    }
+
+    #[test]
+    fn scale_factors() {
+        assert_eq!(Scale::S1.factor(), 1);
+        assert_eq!(Scale::S8.factor(), 8);
+        for bits in 0..4 {
+            assert_eq!(Scale::from_bits(bits) as u8, bits);
+        }
+    }
+
+    #[test]
+    fn alu_round_trip() {
+        for op in AluOp::ALL {
+            assert_eq!(AluOp::from_number(op as u8), Some(op));
+        }
+        assert_eq!(AluOp::from_number(8), None);
+    }
+
+    #[test]
+    fn shift_six_is_unused() {
+        assert_eq!(ShiftOp::from_number(6), None);
+        assert_eq!(ShiftOp::from_number(4), Some(ShiftOp::Shl));
+    }
+
+    #[test]
+    fn free_branches_are_control_flow() {
+        let frees = [Inst::Ret, Inst::RetImm(8), Inst::CallR(Reg::Eax), Inst::JmpR(Reg::Ecx)];
+        for i in frees {
+            assert!(i.is_free_branch(), "{i}");
+            assert!(i.is_control_flow(), "{i}");
+        }
+        assert!(!Inst::CallRel(0).is_free_branch());
+        assert!(Inst::CallRel(0).is_control_flow());
+        assert!(!Inst::MovRR(Reg::Eax, Reg::Ebx).is_control_flow());
+    }
+
+    #[test]
+    fn display_smoke() {
+        assert_eq!(Inst::MovRI(Reg::Eax, 5).to_string(), "mov eax, 0x5");
+        assert_eq!(Inst::AluRR(AluOp::Add, Reg::Eax, Reg::Ebx).to_string(), "add eax, ebx");
+        assert_eq!(Inst::Jcc8(Cond::Ne, -2).to_string(), "jne short -0x2");
+        assert_eq!(Inst::ShiftRCl(ShiftOp::Sar, Reg::Edx).to_string(), "sar edx, cl");
+    }
+}

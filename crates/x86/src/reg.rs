@@ -1,0 +1,102 @@
+//! General-purpose 32-bit registers of the IA-32 architecture.
+
+use std::fmt;
+
+/// A 32-bit general-purpose register.
+///
+/// The discriminant is the hardware register number used in ModRM/SIB
+/// encodings, so `reg as u8` is directly usable by the encoder.
+///
+/// # Examples
+///
+/// ```
+/// use pgsd_x86::Reg;
+/// assert_eq!(Reg::Esp.number(), 4);
+/// assert_eq!(Reg::from_number(4), Some(Reg::Esp));
+/// assert_eq!(Reg::Eax.to_string(), "eax");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)] // variants are the standard register names
+pub enum Reg {
+    Eax = 0,
+    Ecx = 1,
+    Edx = 2,
+    Ebx = 3,
+    Esp = 4,
+    Ebp = 5,
+    Esi = 6,
+    Edi = 7,
+}
+
+impl Reg {
+    /// All eight registers in encoding order.
+    pub const ALL: [Reg; 8] = [
+        Reg::Eax,
+        Reg::Ecx,
+        Reg::Edx,
+        Reg::Ebx,
+        Reg::Esp,
+        Reg::Ebp,
+        Reg::Esi,
+        Reg::Edi,
+    ];
+
+    /// The hardware encoding number (0–7) of this register.
+    #[inline]
+    pub fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// Looks up a register by its hardware encoding number.
+    ///
+    /// Returns `None` if `n >= 8`.
+    #[inline]
+    pub fn from_number(n: u8) -> Option<Reg> {
+        Reg::ALL.get(usize::from(n)).copied()
+    }
+
+    /// The canonical lowercase mnemonic, e.g. `"eax"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Reg::Eax => "eax",
+            Reg::Ecx => "ecx",
+            Reg::Edx => "edx",
+            Reg::Ebx => "ebx",
+            Reg::Esp => "esp",
+            Reg::Ebp => "ebp",
+            Reg::Esi => "esi",
+            Reg::Edi => "edi",
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_round_trip() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_number(r.number()), Some(r));
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_none() {
+        assert_eq!(Reg::from_number(8), None);
+        assert_eq!(Reg::from_number(255), None);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Reg::Ebp.to_string(), "ebp");
+        assert_eq!(format!("{}", Reg::Edi), "edi");
+    }
+}

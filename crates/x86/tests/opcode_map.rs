@@ -1,0 +1,214 @@
+//! Table-driven verification of the decoder against the IA-32 opcode map.
+//!
+//! The gadget scanner's validity judgments (and therefore the paper's
+//! Table 2/3 counts) rest on this decoder, so every opcode family gets a
+//! representative encoding checked for length, mnemonic and class — the
+//! facts a disassembler like objdump would report.
+
+use pgsd_x86::{decode, Body, CfKind, Class, DecodeError, Decoded};
+
+fn d(bytes: &[u8]) -> Decoded {
+    decode(bytes).unwrap_or_else(|e| panic!("{bytes:02x?} should decode: {e}"))
+}
+
+fn name(dec: &Decoded) -> String {
+    match &dec.body {
+        Body::Known(i) => format!("{i}"),
+        Body::Other(o) => o.name.to_string(),
+    }
+}
+
+/// (encoding, expected length, substring of the rendered mnemonic).
+const CASES: &[(&[u8], usize, &str)] = &[
+    // ALU rows, all forms.
+    (&[0x00, 0xC1], 2, "add"),                          // add r/m8, r8
+    (&[0x01, 0xC1], 2, "add ecx, eax"),                 // add r/m32, r32
+    (&[0x02, 0x01], 2, "add"),                          // add r8, [ecx]
+    (&[0x03, 0x04, 0x8D, 0, 0, 0, 0], 7, "add eax"),    // SIB, no base
+    (&[0x04, 0x7F], 2, "add"),                          // add al, imm8
+    (&[0x05, 1, 0, 0, 0], 5, "add eax, 0x1"),           // add eax, imm32
+    (&[0x29, 0xD8], 2, "sub eax, ebx"),
+    (&[0x31, 0xC0], 2, "xor eax, eax"),
+    (&[0x39, 0xCB], 2, "cmp ebx, ecx"),
+    (&[0x3D, 0x10, 0, 0, 0], 5, "cmp eax"),
+    // Segment push/pop and BCD exotica.
+    (&[0x06], 1, "push es"),
+    (&[0x1F], 1, "pop ds"),
+    (&[0x27], 1, "daa"),
+    (&[0x37], 1, "aaa"),
+    (&[0x3F], 1, "aas"),
+    // inc/dec/push/pop register rows.
+    (&[0x47], 1, "inc edi"),
+    (&[0x4B], 1, "dec ebx"),
+    (&[0x55], 1, "push ebp"),
+    (&[0x5D], 1, "pop ebp"),
+    // 0x60 block.
+    (&[0x60], 1, "pusha"),
+    (&[0x61], 1, "popa"),
+    (&[0x68, 1, 2, 3, 4], 5, "push"),
+    (&[0x69, 0xC0, 1, 0, 0, 0], 6, "imul eax, eax"),
+    (&[0x6A, 0x80], 2, "push"),
+    (&[0x6B, 0xD9, 3], 3, "imul ebx, ecx"),
+    // Conditional jumps, short.
+    (&[0x74, 0x00], 2, "je"),
+    (&[0x7F, 0xFE], 2, "jg"),
+    // Group 1 immediates.
+    (&[0x80, 0xC0, 5], 3, "alu8"),
+    (&[0x81, 0xC3, 1, 0, 0, 0], 6, "add ebx"),
+    (&[0x83, 0xEC, 8], 3, "sub esp"),
+    // test/xchg/mov.
+    (&[0x85, 0xC0], 2, "test eax, eax"),
+    (&[0x87, 0xD9], 2, "xchg ecx, ebx"),
+    (&[0x89, 0x45, 0xFC], 3, "mov dword [ebp-0x4], eax"),
+    (&[0x8B, 0x04, 0x24], 3, "mov eax, dword [esp]"),
+    (&[0x8D, 0x44, 0x24, 0x08], 4, "lea eax, [esp+0x8]"),
+    (&[0x8F, 0x00], 2, "pop"),
+    // 0x90 row.
+    (&[0x90], 1, "nop"),
+    (&[0x93], 1, "xchg eax, ebx"),
+    (&[0x99], 1, "cdq"),
+    (&[0x9C], 1, "pushf"),
+    // moffs + string ops.
+    (&[0xA1, 0, 0, 0x10, 0], 5, "mov moffs"),
+    (&[0xA5], 1, "movs"),
+    (&[0xAB], 1, "stos"),
+    (&[0xA8, 0x01], 2, "test8"),
+    // mov immediate rows.
+    (&[0xB0, 0x41], 2, "mov8"),
+    (&[0xBF, 1, 2, 3, 4], 5, "mov edi"),
+    // Group 2 shifts.
+    (&[0xC0, 0xE0, 3], 3, "shift8"),
+    (&[0xC1, 0xE0, 4], 3, "shl eax, 4"),
+    (&[0xD1, 0xF8], 2, "sar eax, 1"),
+    (&[0xD3, 0xE2], 2, "shl edx, cl"),
+    // Returns and calls.
+    (&[0xC2, 8, 0], 3, "ret 0x8"),
+    (&[0xC3], 1, "ret"),
+    (&[0xC9], 1, "leave"),
+    (&[0xCA, 4, 0], 3, "retf"),
+    (&[0xCC], 1, "int3"),
+    (&[0xCD, 0x80], 2, "int 0x80"),
+    (&[0xCF], 1, "iret"),
+    (&[0xC6, 0x00, 7], 3, "mov8"),
+    (&[0xC7, 0x00, 1, 0, 0, 0], 6, "mov dword [eax], 0x1"),
+    (&[0xC8, 0x10, 0, 0], 4, "enter"),
+    // BCD/misc.
+    (&[0xD4, 0x0A], 2, "aam"),
+    (&[0xD7], 1, "xlat"),
+    (&[0xD9, 0xC0], 2, "x87"),
+    (&[0xDD, 0x05, 0, 0, 0, 0x10], 6, "x87"),
+    // Loops, I/O, near branches.
+    (&[0xE2, 0xFB], 2, "loop"),
+    (&[0xE4, 0x60], 2, "in/out"),
+    (&[0xE8, 0, 0, 0, 0], 5, "call"),
+    (&[0xE9, 0, 0, 0, 0], 5, "jmp"),
+    (&[0xEB, 0x10], 2, "jmp short"),
+    (&[0xEE], 1, "in/out"),
+    // Group 3/4/5 and flags.
+    (&[0xF5], 1, "cmc"),
+    (&[0xF6, 0xC0, 1], 3, "grp3-8"),
+    (&[0xF7, 0xD8], 2, "neg eax"),
+    (&[0xF7, 0xD2], 2, "not edx"),
+    (&[0xF7, 0xF9], 2, "idiv ecx"),
+    (&[0xF7, 0xE3], 2, "mul"),
+    (&[0xF8], 1, "flag"),
+    (&[0xFB], 1, "cli/sti"),
+    (&[0xFE, 0xC0], 2, "inc/dec8"),
+    (&[0xFF, 0x30], 2, "push dword [eax]"),
+    // Two-byte opcodes.
+    (&[0x0F, 0x1F, 0x40, 0x00], 4, "nopl"),
+    (&[0x0F, 0x31], 2, "rdtsc"),
+    (&[0x0F, 0x44, 0xC8], 3, "cmov"),
+    (&[0x0F, 0x84, 0, 0, 0, 0], 6, "je"),
+    (&[0x0F, 0x94, 0xC0], 3, "setcc"),
+    (&[0x0F, 0xA2], 2, "cpuid"),
+    (&[0x0F, 0xA4, 0xC8, 3], 4, "shld"),
+    (&[0x0F, 0xAF, 0xC3], 3, "imul eax, ebx"),
+    (&[0x0F, 0xB6, 0xC0], 3, "movzx"),
+    (&[0x0F, 0xBD, 0xC8], 3, "bsf/bsr"),
+    (&[0x0F, 0xC1, 0xC8], 3, "xadd"),
+    (&[0x0F, 0xC9], 2, "bswap"),
+];
+
+#[test]
+fn opcode_map_lengths_and_mnemonics() {
+    for (bytes, len, needle) in CASES {
+        let dec = d(bytes);
+        assert_eq!(dec.len, *len, "length of {bytes:02x?} ({})", name(&dec));
+        let n = name(&dec);
+        assert!(
+            n.contains(needle),
+            "{bytes:02x?} decoded to `{n}`, expected to contain `{needle}`"
+        );
+    }
+}
+
+#[test]
+fn control_flow_classes() {
+    let free: &[&[u8]] = &[
+        &[0xC3],
+        &[0xC2, 0, 0],
+        &[0xCB],
+        &[0xCF],
+        &[0xFF, 0xE3],
+        &[0xFF, 0x10],
+        &[0xFF, 0x64, 0x24, 0x04],
+    ];
+    for bytes in free {
+        assert!(d(bytes).is_free_branch(), "{bytes:02x?}");
+    }
+    let cf_not_free: &[&[u8]] = &[
+        &[0xE8, 0, 0, 0, 0],       // call rel32
+        &[0xE9, 0, 0, 0, 0],       // jmp rel32
+        &[0x74, 0],                // je
+        &[0xE2, 0],                // loop
+        &[0xCD, 0x80],             // int
+        &[0x0F, 0x34],             // sysenter
+        &[0x9A, 0, 0, 0, 0, 0, 0], // callf
+    ];
+    for bytes in cf_not_free {
+        let dec = d(bytes);
+        assert!(dec.is_control_flow(), "{bytes:02x?}");
+        assert!(!dec.is_free_branch(), "{bytes:02x?}");
+    }
+    // The syscall gates get the Syscall kind (the attack scanner's
+    // terminator extension keys on it).
+    assert_eq!(d(&[0xCD, 0x80]).class(), Class::ControlFlow(CfKind::Syscall));
+    assert_eq!(d(&[0x0F, 0x34]).class(), Class::ControlFlow(CfKind::Syscall));
+}
+
+#[test]
+fn invalid_encodings_rejected() {
+    let invalid: &[&[u8]] = &[
+        &[0x0F, 0x0B],             // ud2
+        &[0x0F, 0x05],             // syscall (not IA-32)
+        &[0x0F, 0xFF, 0x00],       // undefined two-byte
+        &[0x8D, 0xC0],             // lea with register operand
+        &[0x8F, 0x48, 0x00],       // pop r/m with /1
+        &[0xC6, 0x48, 0, 0],       // mov imm8 with /1
+        &[0xC7, 0xC8, 0, 0, 0, 0], // mov imm32 with /1
+        &[0xFE, 0xF8],             // grp4 /7
+        &[0xFF, 0xF8],             // grp5 /7
+        &[0xC0, 0xF0, 1],          // shift group /6
+    ];
+    for bytes in invalid {
+        match decode(bytes) {
+            Err(DecodeError::Invalid) => {}
+            other => panic!("{bytes:02x?} should be invalid, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn prefixes_compose() {
+    // 66: operand size (imm shrinks to 16 bits).
+    assert_eq!(d(&[0x66, 0x05, 0x34, 0x12]).len, 4);
+    // 67: address size (16-bit ModRM).
+    assert_eq!(d(&[0x67, 0x8B, 0x00]).len, 3);
+    // F3 (rep) + string op.
+    assert_eq!(d(&[0xF3, 0xA4]).len, 2);
+    // Segment override + ordinary instruction.
+    assert_eq!(d(&[0x64, 0x8B, 0x00]).len, 3);
+    // Stacked prefixes.
+    assert_eq!(d(&[0x66, 0x2E, 0x05, 0x01, 0x00]).len, 5);
+}

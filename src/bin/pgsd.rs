@@ -1,0 +1,300 @@
+//! `pgsd` — command-line front door to the diversifying toolchain.
+//!
+//! ```text
+//! pgsd run <file.mc> [args…]                      compile and execute
+//! pgsd diversify <file.mc> [options] [args…]      diversified build + run
+//! pgsd gadgets <file.mc> [--seed N] [--pnop SPEC] gadget / Survivor report
+//! pgsd disasm <file.mc> [--func NAME]             disassemble the image
+//!
+//! diversify options:
+//!   --pnop SPEC      uniform `0.5` or profile-guided range `0.0-0.3`
+//!                    (default 0.0-0.3, the paper's cheapest setting)
+//!   --seed N         RNG seed (default 1)
+//!   --train LIST     comma-separated ints for the training run
+//!                    (default: the program's run arguments)
+//!   --shift          also apply basic-block shifting (§6)
+//!   --subst          also apply equivalent-instruction substitution (§6)
+//!   --regrand        also randomize register allocation (§6)
+//! ```
+
+use std::process::ExitCode;
+
+use pgsd::cc::driver::frontend;
+use pgsd::cc::emit::Image;
+use pgsd::core::driver::{build, run, train, BuildConfig, Input, DEFAULT_GAS};
+use pgsd::core::Strategy;
+use pgsd::gadget::{find_gadgets, survivor, ScanConfig};
+use pgsd::x86::decode;
+use pgsd::x86::nop::NopTable;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("pgsd: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("usage: pgsd <run|diversify|gadgets|disasm> <file.mc> …  (see --help)".into());
+    };
+    if cmd == "--help" || cmd == "-h" || cmd == "help" {
+        print!("{}", HELP);
+        return Ok(());
+    }
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "run" => cmd_run(rest),
+        "diversify" => cmd_diversify(rest),
+        "gadgets" => cmd_gadgets(rest),
+        "disasm" => cmd_disasm(rest),
+        other => Err(format!("unknown command `{other}` (try --help)")),
+    }
+}
+
+const HELP: &str = "\
+pgsd — profile-guided software diversity toolchain (CGO 2013 reproduction)
+
+  pgsd run <file.mc> [args…]
+  pgsd diversify <file.mc> [--pnop SPEC] [--seed N] [--train LIST]
+                           [--shift] [--subst] [--regrand] [args…]
+  pgsd gadgets <file.mc> [--pnop SPEC] [--seed N]
+  pgsd disasm <file.mc> [--func NAME]
+
+SPEC is a probability (`0.5`) for uniform insertion or a range (`0.0-0.3`)
+for the profile-guided strategy; ranges trigger a training run.
+";
+
+struct Parsed {
+    source_name: String,
+    source: String,
+    run_args: Vec<i32>,
+    pnop: Strategy,
+    seed: u64,
+    train_args: Option<Vec<i32>>,
+    shift: bool,
+    subst: bool,
+    regrand: bool,
+    func: Option<String>,
+}
+
+fn parse(rest: &[String]) -> Result<Parsed, String> {
+    let Some(path) = rest.first() else {
+        return Err("missing source file".into());
+    };
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let mut parsed = Parsed {
+        source_name: path.clone(),
+        source,
+        run_args: Vec::new(),
+        pnop: Strategy::range(0.0, 0.30),
+        seed: 1,
+        train_args: None,
+        shift: false,
+        subst: false,
+        regrand: false,
+        func: None,
+    };
+    let mut it = rest[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--pnop" => {
+                let spec = it.next().ok_or("--pnop needs a value")?;
+                parsed.pnop = parse_strategy(spec)?;
+            }
+            "--seed" => {
+                parsed.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--train" => {
+                let list = it.next().ok_or("--train needs a value")?;
+                parsed.train_args = Some(parse_ints(list)?);
+            }
+            "--func" => parsed.func = Some(it.next().ok_or("--func needs a value")?.clone()),
+            "--shift" => parsed.shift = true,
+            "--subst" => parsed.subst = true,
+            "--regrand" => parsed.regrand = true,
+            other => {
+                let v: i32 = other
+                    .parse()
+                    .map_err(|_| format!("unexpected argument `{other}`"))?;
+                parsed.run_args.push(v);
+            }
+        }
+    }
+    Ok(parsed)
+}
+
+fn parse_strategy(spec: &str) -> Result<Strategy, String> {
+    let parse_p = |s: &str| -> Result<f64, String> {
+        let v: f64 = s.parse().map_err(|e| format!("bad probability `{s}`: {e}"))?;
+        if !(0.0..=1.0).contains(&v) {
+            return Err(format!("probability {v} outside [0, 1]"));
+        }
+        Ok(v)
+    };
+    match spec.split_once('-') {
+        Some((lo, hi)) => {
+            let (lo, hi) = (parse_p(lo)?, parse_p(hi)?);
+            if lo > hi {
+                return Err(format!("range {lo}-{hi} is inverted"));
+            }
+            Ok(Strategy::range(lo, hi))
+        }
+        None => Ok(Strategy::uniform(parse_p(spec)?)),
+    }
+}
+
+fn parse_ints(list: &str) -> Result<Vec<i32>, String> {
+    list.split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| s.trim().parse().map_err(|e| format!("bad integer `{s}`: {e}")))
+        .collect()
+}
+
+fn compile_baseline(p: &Parsed) -> Result<(pgsd::cc::ir::Module, Image), String> {
+    let module = frontend(&p.source_name, &p.source).map_err(|e| e.to_string())?;
+    let image = build(&module, None, &BuildConfig::baseline()).map_err(|e| e.to_string())?;
+    Ok((module, image))
+}
+
+fn report_run(image: &Image, args: &[i32]) -> u64 {
+    let (exit, stats) = run(image, args, DEFAULT_GAS);
+    for v in &stats.output {
+        println!("{v}");
+    }
+    match exit.status() {
+        Some(s) => println!(
+            "exit {s}   ({} instructions, {} cycles, {} d-cache misses)",
+            stats.instructions, stats.cycles, stats.dcache_misses
+        ),
+        None => println!("abnormal exit: {exit:?}"),
+    }
+    stats.cycles
+}
+
+fn cmd_run(rest: &[String]) -> Result<(), String> {
+    let p = parse(rest)?;
+    let (_, image) = compile_baseline(&p)?;
+    println!(
+        "compiled `{}`: {} bytes of text, {} functions",
+        p.source_name,
+        image.text.len(),
+        image.funcs.len()
+    );
+    report_run(&image, &p.run_args);
+    Ok(())
+}
+
+fn build_diversified(
+    p: &Parsed,
+    module: &pgsd::cc::ir::Module,
+) -> Result<Image, String> {
+    let profile = if p.pnop.needs_profile() || p.subst {
+        let t_args = p.train_args.clone().unwrap_or_else(|| p.run_args.clone());
+        Some(
+            train(module, &[Input::args(&t_args)], DEFAULT_GAS)
+                .map_err(|e| format!("training failed: {e}"))?,
+        )
+    } else {
+        None
+    };
+    let config = BuildConfig {
+        strategy: Some(p.pnop),
+        with_xchg: false,
+        shift_max_pad: if p.shift { Some(24) } else { None },
+        substitution: if p.subst { Some(p.pnop) } else { None },
+        reg_randomize: p.regrand,
+        seed: p.seed,
+    };
+    build(module, profile.as_ref(), &config).map_err(|e| e.to_string())
+}
+
+fn cmd_diversify(rest: &[String]) -> Result<(), String> {
+    let p = parse(rest)?;
+    let (module, baseline) = compile_baseline(&p)?;
+    let image = build_diversified(&p, &module)?;
+    println!(
+        "diversified `{}` with {} (seed {}): text {} → {} bytes",
+        p.source_name,
+        p.pnop,
+        p.seed,
+        baseline.text.len(),
+        image.text.len()
+    );
+    println!("— baseline:");
+    let base_cycles = report_run(&baseline, &p.run_args);
+    println!("— diversified:");
+    let div_cycles = report_run(&image, &p.run_args);
+    if base_cycles > 0 {
+        println!(
+            "overhead: {:+.2}%",
+            (div_cycles as f64 / base_cycles as f64 - 1.0) * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_gadgets(rest: &[String]) -> Result<(), String> {
+    let p = parse(rest)?;
+    let (module, baseline) = compile_baseline(&p)?;
+    let cfg = ScanConfig::default();
+    let gadgets = find_gadgets(&baseline.text, &cfg);
+    println!(
+        "`{}`: {} gadgets in {} bytes of text",
+        p.source_name,
+        gadgets.len(),
+        baseline.text.len()
+    );
+    let image = build_diversified(&p, &module)?;
+    let rep = survivor(&baseline.text, &image.text, &NopTable::new(), &cfg);
+    println!(
+        "after diversification ({}, seed {}): {} survive ({:.2}%)",
+        p.pnop,
+        p.seed,
+        rep.count(),
+        100.0 * rep.surviving_fraction()
+    );
+    Ok(())
+}
+
+fn cmd_disasm(rest: &[String]) -> Result<(), String> {
+    let p = parse(rest)?;
+    let (_, image) = compile_baseline(&p)?;
+    for f in &image.funcs {
+        if let Some(filter) = &p.func {
+            if &f.name != filter {
+                continue;
+            }
+        }
+        println!("\n{}:  ; {:#010x}..{:#010x}{}", f.name, f.start, f.end, if f.diversified { "" } else { "  (runtime, undiversified)" });
+        let mut off = (f.start - image.base) as usize;
+        let end = (f.end - image.base) as usize;
+        while off < end {
+            match decode(&image.text[off..]) {
+                Ok(d) => {
+                    let bytes: Vec<String> = image.text[off..off + d.len]
+                        .iter()
+                        .map(|b| format!("{b:02x}"))
+                        .collect();
+                    println!(
+                        "  {:#010x}:  {:<24} {d}",
+                        image.base as usize + off,
+                        bytes.join(" ")
+                    );
+                    off += d.len;
+                }
+                Err(e) => return Err(format!("disassembly failed at {off:#x}: {e}")),
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! # pgsd — profile-guided automated software diversity
+//!
+//! Umbrella crate of the reproduction of Homescu, Neisius, Larsen,
+//! Brunthaler & Franz, *"Profile-guided Automated Software Diversity"*
+//! (CGO 2013). Re-exports every subsystem:
+//!
+//! * [`x86`] — IA-32 instruction model, encoder, decoder, NOP table;
+//! * [`cc`] — the MiniC optimizing compiler (frontend → IR → LIR → image);
+//! * [`profile`] — spanning-tree edge profiling and count reconstruction;
+//! * [`emu`] — deterministic x86-32 emulator with a cycle cost model;
+//! * [`core`] — **the paper's contribution**: profile-guided NOP insertion;
+//! * [`gadget`] — gadget scanning, the Survivor comparison, attack
+//!   feasibility;
+//! * [`workloads`] — the synthetic SPEC CPU 2006 suite and the PHP-like VM.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! # Examples
+//!
+//! ```
+//! use pgsd::core::driver::{build, run, BuildConfig};
+//! use pgsd::core::Strategy;
+//!
+//! let module = pgsd::cc::driver::frontend("demo", "int main(int n) { return n + 1; }")?;
+//! let image = build(&module, None, &BuildConfig::diversified(Strategy::uniform(0.5), 7))?;
+//! assert_eq!(run(&image, &[41], 100_000).0.status(), Some(42));
+//! # Ok::<(), pgsd::cc::error::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use pgsd_cc as cc;
+pub use pgsd_core as core;
+pub use pgsd_emu as emu;
+pub use pgsd_gadget as gadget;
+pub use pgsd_profile as profile;
+pub use pgsd_workloads as workloads;
+pub use pgsd_x86 as x86;

@@ -1,0 +1,199 @@
+//! Property tests on the machine-code layer: every instruction the
+//! encoder can produce must decode back to itself, with the correct
+//! length, and the Survivor NOP normalization must behave like a
+//! projection (idempotent, order-insensitive to NOP insertion).
+
+use proptest::prelude::*;
+
+use pgsd::x86::nop::{NopKind, NopTable};
+use pgsd::x86::{decode, encode, AluOp, Body, Cond, Inst, Mem, Reg, Scale, ShiftOp};
+
+fn reg() -> impl Strategy<Value = Reg> {
+    prop::sample::select(Reg::ALL.to_vec())
+}
+
+fn non_esp_reg() -> impl Strategy<Value = Reg> {
+    prop::sample::select(vec![
+        Reg::Eax,
+        Reg::Ecx,
+        Reg::Edx,
+        Reg::Ebx,
+        Reg::Ebp,
+        Reg::Esi,
+        Reg::Edi,
+    ])
+}
+
+fn scale() -> impl Strategy<Value = Scale> {
+    prop::sample::select(vec![Scale::S1, Scale::S2, Scale::S4, Scale::S8])
+}
+
+fn mem() -> impl Strategy<Value = Mem> {
+    (
+        prop::option::of(reg()),
+        prop::option::of((non_esp_reg(), scale())),
+        any::<i32>(),
+    )
+        .prop_map(|(base, index, disp)| Mem { base, index, disp })
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(AluOp::ALL.to_vec())
+}
+
+fn shift_op() -> impl Strategy<Value = ShiftOp> {
+    prop::sample::select(vec![
+        ShiftOp::Rol,
+        ShiftOp::Ror,
+        ShiftOp::Shl,
+        ShiftOp::Shr,
+        ShiftOp::Sar,
+    ])
+}
+
+fn cond() -> impl Strategy<Value = Cond> {
+    prop::sample::select(Cond::ALL.to_vec())
+}
+
+fn nop_kind() -> impl Strategy<Value = NopKind> {
+    prop::sample::select(NopKind::ALL.to_vec())
+}
+
+fn inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (reg(), any::<i32>()).prop_map(|(r, i)| Inst::MovRI(r, i)),
+        (reg(), reg()).prop_map(|(a, b)| Inst::MovRR(a, b)),
+        (reg(), mem()).prop_map(|(r, m)| Inst::MovRM(r, m)),
+        (mem(), reg()).prop_map(|(m, r)| Inst::MovMR(m, r)),
+        (mem(), any::<i32>()).prop_map(|(m, i)| Inst::MovMI(m, i)),
+        (alu_op(), reg(), reg()).prop_map(|(o, a, b)| Inst::AluRR(o, a, b)),
+        (alu_op(), reg(), mem()).prop_map(|(o, r, m)| Inst::AluRM(o, r, m)),
+        (alu_op(), mem(), reg()).prop_map(|(o, m, r)| Inst::AluMR(o, m, r)),
+        (alu_op(), reg(), any::<i32>()).prop_map(|(o, r, i)| Inst::AluRI(o, r, i)),
+        (alu_op(), mem(), any::<i32>()).prop_map(|(o, m, i)| Inst::AluMI(o, m, i)),
+        (reg(), reg()).prop_map(|(a, b)| Inst::TestRR(a, b)),
+        (reg(), reg()).prop_map(|(a, b)| Inst::ImulRR(a, b)),
+        (reg(), mem()).prop_map(|(r, m)| Inst::ImulRM(r, m)),
+        (reg(), reg(), any::<i32>()).prop_map(|(a, b, i)| Inst::ImulRRI(a, b, i)),
+        Just(Inst::Cdq),
+        reg().prop_map(Inst::IdivR),
+        reg().prop_map(Inst::NegR),
+        reg().prop_map(Inst::NotR),
+        reg().prop_map(Inst::IncR),
+        reg().prop_map(Inst::DecR),
+        (any::<bool>(), mem()).prop_map(|(inc, m)| Inst::IncDecM(inc, m)),
+        (shift_op(), reg(), 0u8..=31).prop_map(|(o, r, c)| Inst::ShiftRI(o, r, c)),
+        (shift_op(), reg()).prop_map(|(o, r)| Inst::ShiftRCl(o, r)),
+        reg().prop_map(Inst::PushR),
+        any::<i32>().prop_map(Inst::PushI),
+        mem().prop_map(Inst::PushM),
+        reg().prop_map(Inst::PopR),
+        (reg(), mem()).prop_map(|(r, m)| Inst::Lea(r, m)),
+        (reg(), reg()).prop_map(|(a, b)| Inst::XchgRR(a, b)),
+        any::<i32>().prop_map(Inst::CallRel),
+        reg().prop_map(Inst::CallR),
+        Just(Inst::Ret),
+        any::<u16>().prop_map(Inst::RetImm),
+        any::<i32>().prop_map(Inst::JmpRel),
+        any::<i8>().prop_map(Inst::JmpRel8),
+        reg().prop_map(Inst::JmpR),
+        (cond(), any::<i32>()).prop_map(|(c, r)| Inst::Jcc(c, r)),
+        (cond(), any::<i8>()).prop_map(|(c, r)| Inst::Jcc8(c, r)),
+        any::<u8>().prop_map(Inst::Int),
+        Just(Inst::Hlt),
+        nop_kind().prop_map(Inst::Nop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// decode(encode(i)) == i with the exact encoded length. The one
+    /// intended exception: the two-byte diversifying NOPs are encodings of
+    /// ordinary instructions (`mov esp, esp`, …), so the decoder reports
+    /// their architectural identity — `NopKind::as_inst` — rather than the
+    /// inserter's intent.
+    #[test]
+    fn encode_decode_round_trip(i in inst()) {
+        let mut bytes = Vec::new();
+        encode(&i, &mut bytes).expect("generated instructions are encodable");
+        let d = decode(&bytes).expect("encoder output must decode");
+        prop_assert_eq!(d.len, bytes.len());
+        let expected = match i {
+            Inst::Nop(k) => k.as_inst(),
+            other => other,
+        };
+        prop_assert_eq!(d.body, Body::Known(expected));
+    }
+
+    /// Decoding never reads past the declared length, so any byte suffix
+    /// after a valid instruction cannot change its decoding.
+    #[test]
+    fn decode_is_prefix_stable(i in inst(), suffix in prop::collection::vec(any::<u8>(), 0..8)) {
+        let mut bytes = Vec::new();
+        encode(&i, &mut bytes).unwrap();
+        let clean = decode(&bytes).unwrap();
+        bytes.extend_from_slice(&suffix);
+        let padded = decode(&bytes).unwrap();
+        prop_assert_eq!(clean.len, padded.len);
+        prop_assert_eq!(clean.body, padded.body);
+    }
+
+    /// The decoder never panics and never claims more bytes than it got.
+    #[test]
+    fn decode_arbitrary_bytes_is_total(bytes in prop::collection::vec(any::<u8>(), 1..24)) {
+        if let Ok(d) = decode(&bytes) {
+            prop_assert!(d.len <= bytes.len());
+            prop_assert!(d.len >= 1);
+        }
+    }
+
+    /// Stripping undoes what the NOP pass does. The pass inserts whole
+    /// candidates at instruction boundaries of the original stream in a
+    /// single pass (inserted NOPs are never split apart), so a single
+    /// strip must recover the stripped original exactly. This holds
+    /// because no candidate *starts* with a byte that could complete a
+    /// two-byte candidate begun by a payload byte (candidates start with
+    /// 90/89/8D/87 but complete with E4/ED/36/3F).
+    #[test]
+    fn nop_strip_undoes_boundary_insertion(
+        payload in prop::collection::vec(any::<u8>(), 0..24),
+        nops in prop::collection::vec((0usize..7, 0usize..25), 0..8),
+    ) {
+        let table = NopTable::with_xchg();
+        let base = table.strip(&payload);
+
+        // One-pass insertion at positions of the *base* stream, left to
+        // right (mirroring the pass, which walks the instruction list
+        // once).
+        let mut positions: Vec<(usize, usize)> =
+            nops.iter().map(|&(k, p)| (p.min(base.len()), k)).collect();
+        positions.sort_by_key(|&(p, _)| p);
+        let mut interleaved = Vec::with_capacity(base.len() + 16);
+        let mut cursor = 0;
+        for &(pos, kind_idx) in &positions {
+            interleaved.extend_from_slice(&base[cursor..pos]);
+            interleaved.extend_from_slice(NopKind::ALL[kind_idx].bytes());
+            cursor = pos;
+        }
+        interleaved.extend_from_slice(&base[cursor..]);
+
+        let stripped = table.strip(&interleaved);
+        prop_assert_eq!(stripped.as_slice(), base.as_slice());
+    }
+
+    /// Stripping only ever removes bytes, and the removed bytes are
+    /// candidate encodings (conservativeness: it can make two sequences
+    /// more similar, never less).
+    #[test]
+    fn nop_strip_is_monotone(payload in prop::collection::vec(any::<u8>(), 0..32)) {
+        let table = NopTable::new();
+        let once = table.strip(&payload);
+        prop_assert!(once.len() <= payload.len());
+        // The residue is a subsequence of the input.
+        let mut it = payload.iter();
+        for b in &once {
+            prop_assert!(it.any(|x| x == b), "strip produced bytes not in the input");
+        }
+    }
+}
