@@ -1,0 +1,152 @@
+//! Analysis diagnostics.
+//!
+//! Rendered in the same terse `location: message` style as the compiler's
+//! `CompileError` (`cc/src/error.rs`), with machine-code locations —
+//! function, block, instruction index, and the instruction's address when
+//! the diagnostic refers to emitted bytes.
+
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not provably wrong (analysis imprecision possible).
+    Warning,
+    /// Provably wrong, or a validation failure.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Where in a function a diagnostic points.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Loc {
+    /// Function name.
+    pub func: String,
+    /// Machine block index, if the diagnostic is block-scoped.
+    pub block: Option<usize>,
+    /// Instruction index within the block, if instruction-scoped.
+    pub inst: Option<usize>,
+    /// Absolute address of emitted bytes, if the diagnostic refers to a
+    /// decoded image rather than LIR.
+    pub addr: Option<u32>,
+}
+
+impl Loc {
+    /// A function-scoped location.
+    pub fn func(name: impl Into<String>) -> Loc {
+        Loc {
+            func: name.into(),
+            ..Loc::default()
+        }
+    }
+
+    /// An instruction-scoped LIR location.
+    pub fn inst(name: impl Into<String>, block: usize, inst: usize) -> Loc {
+        Loc {
+            func: name.into(),
+            block: Some(block),
+            inst: Some(inst),
+            addr: None,
+        }
+    }
+
+    /// An address-scoped machine-code location.
+    pub fn addr(name: impl Into<String>, addr: u32) -> Loc {
+        Loc {
+            func: name.into(),
+            block: None,
+            inst: None,
+            addr: Some(addr),
+        }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.func)?;
+        if let Some(b) = self.block {
+            write!(f, ":.L{b}")?;
+        }
+        if let Some(i) = self.inst {
+            write!(f, ":{i}")?;
+        }
+        if let Some(a) = self.addr {
+            write!(f, "@{a:#x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One finding from a dataflow lint or from the variant validator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisDiag {
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Location, when one is known.
+    pub loc: Option<Loc>,
+    /// Human-readable description (lowercase, no trailing period).
+    pub message: String,
+}
+
+impl AnalysisDiag {
+    /// Creates an error finding at `loc`.
+    pub fn error(loc: Loc, message: impl Into<String>) -> AnalysisDiag {
+        AnalysisDiag {
+            severity: Severity::Error,
+            loc: Some(loc),
+            message: message.into(),
+        }
+    }
+
+    /// Creates a warning finding at `loc`.
+    pub fn warning(loc: Loc, message: impl Into<String>) -> AnalysisDiag {
+        AnalysisDiag {
+            severity: Severity::Warning,
+            loc: Some(loc),
+            message: message.into(),
+        }
+    }
+
+    /// Creates a finding with no location (whole-image checks).
+    pub fn global(severity: Severity, message: impl Into<String>) -> AnalysisDiag {
+        AnalysisDiag {
+            severity,
+            loc: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for AnalysisDiag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.loc {
+            Some(loc) => write!(f, "{loc}: {}: {}", self.severity, self.message),
+            None => write!(f, "{}: {}", self.severity, self.message),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisDiag {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_compiler_style() {
+        let d = AnalysisDiag::error(Loc::inst("fib", 2, 5), "stack depth negative");
+        assert_eq!(d.to_string(), "fib:.L2:5: error: stack depth negative");
+        let d = AnalysisDiag::warning(Loc::addr("main", 0x1000), "unmatched instruction");
+        assert_eq!(d.to_string(), "main@0x1000: warning: unmatched instruction");
+        let d = AnalysisDiag::global(Severity::Error, "function count differs");
+        assert_eq!(d.to_string(), "error: function count differs");
+    }
+}

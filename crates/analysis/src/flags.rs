@@ -1,0 +1,191 @@
+//! EFLAGS liveness over a machine function.
+//!
+//! A single boolean fact — "may the arithmetic flags be read before they
+//! are fully redefined?" — flowing backward. This is the generalized form
+//! of the analysis `subst_pass` originally carried privately: because both
+//! formulations compute the least fixpoint of the same monotone equations
+//! (initialized to `false`, joined with `∨`), the result here is
+//! bit-identical to the old two-pass version, and the substitution pass
+//! now calls [`flags_live_after`] instead.
+
+use pgsd_cc::lir::{MFunction, MInst, MTerm};
+
+use crate::dataflow::{solve, Analysis, Direction};
+
+/// Backward EFLAGS liveness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlagsLiveness;
+
+impl Analysis for FlagsLiveness {
+    type Fact = bool;
+    const DIRECTION: Direction = Direction::Backward;
+
+    fn bottom(&self) -> bool {
+        false
+    }
+
+    /// Flags are dead at `ret`: the ABI makes no promises about EFLAGS.
+    fn boundary(&self, _func: &MFunction) -> bool {
+        false
+    }
+
+    fn join(&self, into: &mut bool, other: &bool) {
+        *into = *into || *other;
+    }
+
+    fn transfer_inst(&self, inst: &MInst, live: &mut bool) {
+        if inst.reads_eflags() {
+            *live = true;
+        } else if inst.defines_all_eflags() {
+            *live = false;
+        }
+    }
+
+    /// A conditional branch is the canonical flags reader.
+    fn transfer_term(&self, term: &MTerm, live: &mut bool) {
+        if matches!(term, MTerm::JCond { .. }) {
+            *live = true;
+        }
+    }
+}
+
+/// Per-instruction flags liveness for `func`: `live[b][i]` is `true` when
+/// the flags may be read after instruction `i` of block `b` executes (so a
+/// flag-changing rewrite of instruction `i` is unsafe).
+pub fn flags_live_after(func: &MFunction) -> Vec<Vec<bool>> {
+    let a = FlagsLiveness;
+    let facts = solve(&a, func);
+    (0..func.blocks.len())
+        .map(|b| facts.per_inst(&a, func, b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgsd_cc::lir::{MBlock, MReg, MRhs, MTarget};
+    use pgsd_x86::{AluOp, Cond, Reg};
+
+    fn func(blocks: Vec<MBlock>) -> MFunction {
+        MFunction {
+            name: "t".into(),
+            params: 0,
+            blocks,
+            num_vregs: 0,
+            slot_words: Vec::new(),
+            diversify: true,
+            raw: false,
+        }
+    }
+
+    fn p(r: Reg) -> MReg {
+        MReg::P(r)
+    }
+
+    #[test]
+    fn jcond_keeps_flags_live_back_through_block() {
+        // .L0: cmp eax, 0 ; mov ecx, 1 ; jcond E -> .L1 else .L2
+        // .L1: ret   .L2: ret
+        let f = func(vec![
+            MBlock {
+                instrs: vec![
+                    MInst::Cmp {
+                        lhs: p(Reg::Eax),
+                        rhs: MRhs::Imm(0),
+                    },
+                    MInst::MovRI {
+                        dst: p(Reg::Ecx),
+                        imm: 1,
+                    },
+                ],
+                term: MTerm::JCond {
+                    cc: Cond::E,
+                    t: MTarget::M(1),
+                    f: MTarget::M(2),
+                },
+                ir_block: None,
+            },
+            MBlock {
+                instrs: vec![],
+                term: MTerm::Ret,
+                ir_block: None,
+            },
+            MBlock {
+                instrs: vec![],
+                term: MTerm::Ret,
+                ir_block: None,
+            },
+        ]);
+        let live = flags_live_after(&f);
+        // After the cmp the flags are live (the mov does not define them);
+        // after the mov they are still live (the jcond reads them).
+        assert_eq!(live[0], vec![true, true]);
+    }
+
+    #[test]
+    fn full_definition_kills_liveness() {
+        // .L0: cmp ; add (defines all flags) ; jcond
+        let f = func(vec![
+            MBlock {
+                instrs: vec![
+                    MInst::Cmp {
+                        lhs: p(Reg::Eax),
+                        rhs: MRhs::Imm(0),
+                    },
+                    MInst::Alu {
+                        op: AluOp::Add,
+                        dst: p(Reg::Ecx),
+                        rhs: MRhs::Imm(1),
+                    },
+                ],
+                term: MTerm::JCond {
+                    cc: Cond::E,
+                    t: MTarget::M(1),
+                    f: MTarget::M(1),
+                },
+                ir_block: None,
+            },
+            MBlock {
+                instrs: vec![],
+                term: MTerm::Ret,
+                ir_block: None,
+            },
+        ]);
+        let live = flags_live_after(&f);
+        // After the cmp the add will redefine flags before the jcond reads
+        // them, so the cmp's flags are dead; after the add they are live.
+        assert_eq!(live[0], vec![false, true]);
+    }
+
+    #[test]
+    fn liveness_crosses_loop_edges() {
+        // .L0: cmp -> .L1
+        // .L1: (empty) jcond -> .L1 / .L2 — flags live around the loop.
+        let f = func(vec![
+            MBlock {
+                instrs: vec![MInst::Cmp {
+                    lhs: p(Reg::Eax),
+                    rhs: MRhs::Imm(0),
+                }],
+                term: MTerm::Jmp(MTarget::M(1)),
+                ir_block: None,
+            },
+            MBlock {
+                instrs: vec![],
+                term: MTerm::JCond {
+                    cc: Cond::E,
+                    t: MTarget::M(1),
+                    f: MTarget::M(2),
+                },
+                ir_block: None,
+            },
+            MBlock {
+                instrs: vec![],
+                term: MTerm::Ret,
+                ir_block: None,
+            },
+        ]);
+        let live = flags_live_after(&f);
+        assert_eq!(live[0], vec![true]);
+    }
+}

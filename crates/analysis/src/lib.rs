@@ -1,0 +1,56 @@
+//! # pgsd-analysis — machine-code dataflow and translation validation
+//!
+//! Static-analysis layer of the *profile-guided automated software
+//! diversity* reproduction (Homescu et al., CGO 2013). Two layers:
+//!
+//! 1. **A dataflow framework over LIR** ([`dataflow`]): a generic
+//!    worklist solver over machine CFGs with three concrete analyses —
+//!    register liveness ([`liveness`]), EFLAGS liveness ([`flags`], the
+//!    generalized form of the analysis the substitution pass used to
+//!    carry privately), and stack-depth tracking ([`stack`]) — plus a
+//!    lint driver ([`lint`]) that reports findings as [`AnalysisDiag`]s.
+//!
+//! 2. **A variant validator** ([`divcheck`]): given a baseline image and
+//!    a diversified image, statically prove they are equivalent modulo
+//!    the declared transforms — inserted bytes decode to NOP-table
+//!    identities, substitutions stay inside the known equivalence
+//!    classes, block shifting is one jump over dead padding, register
+//!    randomization is a clean bijection, and every branch lands on the
+//!    image of its baseline target.
+//!
+//! The paper argues diversified binaries are safe because each transform
+//! is semantics-preserving by construction; `divcheck` turns that
+//! argument into a machine-checked one per build, in the spirit of
+//! translation validation.
+//!
+//! # Examples
+//!
+//! Running the flags analysis over a lowered function:
+//!
+//! ```
+//! use pgsd_analysis::flags::flags_live_after;
+//! use pgsd_cc::driver::{frontend, lower_module};
+//!
+//! let module = frontend("t", "int main() { return 4 / 2; }")?;
+//! let funcs = lower_module(&module)?;
+//! for f in &funcs {
+//!     let live = flags_live_after(f);
+//!     assert_eq!(live.len(), f.blocks.len());
+//! }
+//! # Ok::<(), pgsd_cc::error::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataflow;
+pub mod diag;
+pub mod divcheck;
+pub mod flags;
+pub mod lint;
+pub mod liveness;
+pub mod stack;
+
+pub use dataflow::{solve, Analysis, BlockFacts, Direction};
+pub use diag::{AnalysisDiag, Loc, Severity};
+pub use divcheck::{check_images, CheckReport, Transforms};

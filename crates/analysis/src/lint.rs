@@ -1,0 +1,241 @@
+//! Dataflow-backed lints over lowered machine functions.
+//!
+//! Runs the stack-depth and flags analyses over each function and reports
+//! structural problems as [`AnalysisDiag`]s: unbalanced stacks at `ret`,
+//! depths that dip below the caller's frame, conditional branches whose
+//! flags may come from before function entry, leftover virtual registers,
+//! and branch targets outside the function.
+
+use pgsd_cc::lir::{MFunction, MReg, MTerm};
+
+use crate::diag::{AnalysisDiag, Loc};
+use crate::flags::FlagsLiveness;
+use crate::stack::{stack_depth, StackDepth, StackFact};
+
+/// Lints one machine function. `raw` runtime stubs are skipped: they use
+/// `int` gates and hand-managed frames the analyses cannot model.
+pub fn lint_function(func: &MFunction) -> Vec<AnalysisDiag> {
+    let mut out = Vec::new();
+    if func.raw {
+        return out;
+    }
+
+    // Leftover virtual registers mean register allocation never ran (or
+    // missed an operand) — the emitter would reject them anyway, but the
+    // lint localizes the failure.
+    for (bi, block) in func.blocks.iter().enumerate() {
+        for (ii, inst) in block.instrs.iter().enumerate() {
+            let mut vreg = None;
+            inst.for_each_reg(|r, _| {
+                if let MReg::V(v) = r {
+                    vreg = Some(v);
+                }
+            });
+            if let Some(v) = vreg {
+                out.push(AnalysisDiag::error(
+                    Loc::inst(&func.name, bi, ii),
+                    format!("virtual register v{v} survives register allocation"),
+                ));
+            }
+        }
+    }
+
+    // Branch targets must stay inside the function.
+    let nb = func.blocks.len();
+    for (bi, block) in func.blocks.iter().enumerate() {
+        for s in block.term.successors() {
+            if s as usize >= nb {
+                out.push(AnalysisDiag::error(
+                    Loc {
+                        func: func.name.clone(),
+                        block: Some(bi),
+                        inst: None,
+                        addr: None,
+                    },
+                    format!("terminator targets nonexistent block .L{s}"),
+                ));
+            }
+        }
+    }
+    if out.iter().any(|d| d.message.contains("nonexistent block")) {
+        // The CFG is malformed; the dataflow solver would index out of
+        // bounds, so stop here.
+        return out;
+    }
+
+    // Stack balance.
+    let depths = stack_depth(func);
+    for (bi, block) in func.blocks.iter().enumerate() {
+        let per = depths.per_inst(&StackDepth, func, bi);
+        for (ii, fact) in per.iter().enumerate() {
+            if let StackFact::Depth(d) = fact {
+                if *d < 0 {
+                    out.push(AnalysisDiag::error(
+                        Loc::inst(&func.name, bi, ii),
+                        format!("stack depth {d} dips below the caller frame"),
+                    ));
+                }
+            }
+        }
+        match (&block.term, depths.exit[bi]) {
+            (MTerm::Ret, StackFact::Depth(d)) if d != 0 => {
+                out.push(AnalysisDiag::error(
+                    Loc {
+                        func: func.name.clone(),
+                        block: Some(bi),
+                        inst: None,
+                        addr: None,
+                    },
+                    format!("ret with {d} bytes still pushed"),
+                ));
+            }
+            (MTerm::Ret, StackFact::Conflict) => {
+                out.push(AnalysisDiag::warning(
+                    Loc {
+                        func: func.name.clone(),
+                        block: Some(bi),
+                        inst: None,
+                        addr: None,
+                    },
+                    "ret reached with untrackable stack depth".to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    // A conditional branch whose flags may originate before function
+    // entry reads undefined flags.
+    let flags = crate::dataflow::solve(&FlagsLiveness, func);
+    if nb > 0 && flags.entry[0] {
+        out.push(AnalysisDiag::warning(
+            Loc::func(&func.name),
+            "arithmetic flags are live at function entry (conditional branch may read \
+             undefined flags)",
+        ));
+    }
+
+    out
+}
+
+/// Lints every function of a lowered module.
+pub fn lint_functions(funcs: &[MFunction]) -> Vec<AnalysisDiag> {
+    funcs.iter().flat_map(lint_function).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgsd_cc::lir::{MBlock, MInst, MRhs, MTarget};
+    use pgsd_x86::Reg;
+
+    fn func(blocks: Vec<MBlock>) -> MFunction {
+        MFunction {
+            name: "t".into(),
+            params: 0,
+            blocks,
+            num_vregs: 0,
+            slot_words: Vec::new(),
+            diversify: true,
+            raw: false,
+        }
+    }
+
+    #[test]
+    fn balanced_function_is_clean() {
+        let f = func(vec![MBlock {
+            instrs: vec![
+                MInst::Push {
+                    rhs: MRhs::Reg(MReg::P(Reg::Ebp)),
+                },
+                MInst::Pop {
+                    dst: MReg::P(Reg::Ebp),
+                },
+            ],
+            term: MTerm::Ret,
+            ir_block: None,
+        }]);
+        assert!(lint_function(&f).is_empty());
+    }
+
+    #[test]
+    fn unbalanced_ret_is_flagged() {
+        let f = func(vec![MBlock {
+            instrs: vec![MInst::Push { rhs: MRhs::Imm(7) }],
+            term: MTerm::Ret,
+            ir_block: None,
+        }]);
+        let diags = lint_function(&f);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("4 bytes still pushed")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn underflow_is_flagged() {
+        let f = func(vec![MBlock {
+            instrs: vec![
+                MInst::Pop {
+                    dst: MReg::P(Reg::Eax),
+                },
+                MInst::Push { rhs: MRhs::Imm(0) },
+            ],
+            term: MTerm::Ret,
+            ir_block: None,
+        }]);
+        let diags = lint_function(&f);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("below the caller frame")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn leftover_vreg_is_flagged() {
+        let f = func(vec![MBlock {
+            instrs: vec![MInst::MovRI {
+                dst: MReg::V(3),
+                imm: 0,
+            }],
+            term: MTerm::Ret,
+            ir_block: None,
+        }]);
+        let diags = lint_function(&f);
+        assert!(
+            diags.iter().any(|d| d.message.contains("v3 survives")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn entry_flags_read_is_flagged() {
+        let f = func(vec![
+            MBlock {
+                instrs: vec![],
+                term: MTerm::JCond {
+                    cc: pgsd_x86::Cond::E,
+                    t: MTarget::M(1),
+                    f: MTarget::M(1),
+                },
+                ir_block: None,
+            },
+            MBlock {
+                instrs: vec![],
+                term: MTerm::Ret,
+                ir_block: None,
+            },
+        ]);
+        let diags = lint_function(&f);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("live at function entry")),
+            "{diags:?}"
+        );
+    }
+}

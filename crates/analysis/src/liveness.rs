@@ -1,0 +1,184 @@
+//! Physical-register liveness over a machine function.
+//!
+//! Runs backward over allocated LIR (post register allocation, pre or post
+//! frame lowering). Virtual registers are ignored — the lint driver flags
+//! them separately — and implicit operands that `MInst::for_each_reg`
+//! deliberately omits (stack traffic of `push`/`pop`, caller-saved
+//! clobbers of `call`, the syscall register file of `int`) are added here,
+//! because an analysis of machine state must see machine effects.
+
+use pgsd_cc::lir::{MFunction, MInst, MTerm};
+use pgsd_x86::{Reg, RegSet};
+
+use crate::dataflow::{solve, Analysis, BlockFacts, Direction};
+
+/// Backward physical-register liveness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegLiveness;
+
+/// The registers a `ret` hands back to the caller: the return value plus
+/// the callee-saved set and the stack pointer the epilogue restored.
+pub fn live_at_ret() -> RegSet {
+    RegSet::of(&[Reg::Eax, Reg::Esp, Reg::Ebp, Reg::Ebx, Reg::Esi, Reg::Edi])
+}
+
+/// Def/use sets of one instruction at the physical-register level.
+pub fn inst_defs_uses(inst: &MInst) -> (RegSet, RegSet) {
+    let mut defs = RegSet::EMPTY;
+    let mut uses = RegSet::EMPTY;
+    inst.for_each_reg(|r, is_def| {
+        if let pgsd_cc::lir::MReg::P(p) = r {
+            if is_def {
+                defs.insert(p);
+            } else {
+                uses.insert(p);
+            }
+        }
+    });
+    match inst {
+        MInst::Push { .. } => {
+            uses.insert(Reg::Esp);
+            defs.insert(Reg::Esp);
+        }
+        MInst::Pop { .. } => {
+            uses.insert(Reg::Esp);
+            defs.insert(Reg::Esp);
+        }
+        MInst::Call { .. } => {
+            // Arguments travel on the stack; eax/ecx/edx are clobbered.
+            uses.insert(Reg::Esp);
+            defs.insert(Reg::Esp);
+            defs.insert(Reg::Eax);
+            defs.insert(Reg::Ecx);
+            defs.insert(Reg::Edx);
+        }
+        MInst::Int { .. } => {
+            // Syscall gate: conservatively reads the whole register file
+            // and defines nothing (keeping everything live across it).
+            uses = RegSet::of(&Reg::ALL);
+        }
+        _ => {}
+    }
+    (defs, uses)
+}
+
+impl Analysis for RegLiveness {
+    type Fact = RegSet;
+    const DIRECTION: Direction = Direction::Backward;
+
+    fn bottom(&self) -> RegSet {
+        RegSet::EMPTY
+    }
+
+    fn boundary(&self, _func: &MFunction) -> RegSet {
+        live_at_ret()
+    }
+
+    fn join(&self, into: &mut RegSet, other: &RegSet) {
+        *into = into.union(*other);
+    }
+
+    fn transfer_inst(&self, inst: &MInst, live: &mut RegSet) {
+        let (defs, uses) = inst_defs_uses(inst);
+        *live = live.minus(defs).union(uses);
+    }
+
+    fn transfer_term(&self, _term: &MTerm, _live: &mut RegSet) {
+        // Jumps read no registers in this machine model (no indirect
+        // branches in LIR); `JCond` reads EFLAGS, which the flags
+        // analysis tracks.
+    }
+}
+
+/// Convenience: solved block facts for `func`.
+pub fn reg_liveness(func: &MFunction) -> BlockFacts<RegSet> {
+    solve(&RegLiveness, func)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgsd_cc::lir::{MBlock, MReg, MRhs, MTarget};
+    use pgsd_x86::AluOp;
+
+    fn p(r: Reg) -> MReg {
+        MReg::P(r)
+    }
+
+    fn func(blocks: Vec<MBlock>) -> MFunction {
+        MFunction {
+            name: "t".into(),
+            params: 0,
+            blocks,
+            num_vregs: 0,
+            slot_words: Vec::new(),
+            diversify: true,
+            raw: false,
+        }
+    }
+
+    #[test]
+    fn straight_line_liveness() {
+        // mov ebx, 1 ; add eax, ebx ; ret
+        let f = func(vec![MBlock {
+            instrs: vec![
+                MInst::MovRI {
+                    dst: p(Reg::Ebx),
+                    imm: 1,
+                },
+                MInst::Alu {
+                    op: AluOp::Add,
+                    dst: p(Reg::Eax),
+                    rhs: MRhs::Reg(p(Reg::Ebx)),
+                },
+            ],
+            term: MTerm::Ret,
+            ir_block: None,
+        }]);
+        let facts = reg_liveness(&f);
+        let per = facts.per_inst(&RegLiveness, &f, 0);
+        // After the mov: eax (still to be added), ebx (operand) both live.
+        assert!(per[0].contains(Reg::Eax) && per[0].contains(Reg::Ebx));
+        // Before the mov (block entry): ebx is dead — the mov defines it.
+        assert!(!facts.entry[0].contains(Reg::Ebx));
+        assert!(facts.entry[0].contains(Reg::Eax));
+    }
+
+    #[test]
+    fn call_clobbers_and_loop_join() {
+        // .L0: call f -> .L1 ; .L1: add eax, esi ; jcond -> .L1 / .L2 ; .L2: ret
+        let f = func(vec![
+            MBlock {
+                instrs: vec![MInst::Call {
+                    target: pgsd_cc::lir::CallTarget(0),
+                }],
+                term: MTerm::Jmp(MTarget::M(1)),
+                ir_block: None,
+            },
+            MBlock {
+                instrs: vec![MInst::Alu {
+                    op: AluOp::Add,
+                    dst: p(Reg::Eax),
+                    rhs: MRhs::Reg(p(Reg::Esi)),
+                }],
+                term: MTerm::JCond {
+                    cc: pgsd_x86::Cond::E,
+                    t: MTarget::M(1),
+                    f: MTarget::M(2),
+                },
+                ir_block: None,
+            },
+            MBlock {
+                instrs: vec![],
+                term: MTerm::Ret,
+                ir_block: None,
+            },
+        ]);
+        let facts = reg_liveness(&f);
+        // esi is live around the loop and across the call into the entry.
+        assert!(facts.entry[1].contains(Reg::Esi));
+        assert!(facts.entry[0].contains(Reg::Esi));
+        // eax is defined by the call, so it is dead at function entry.
+        assert!(!facts.entry[0].contains(Reg::Eax));
+    }
+}

@@ -1,0 +1,203 @@
+//! Forward stack-depth tracking.
+//!
+//! Computes, at every program point, how many bytes the function has
+//! pushed relative to its entry `esp` (entry depth 0; a `push` adds 4).
+//! Join of two different known depths is [`StackFact::Conflict`]; writes
+//! to `esp` the transfer function cannot model (`mov esp, r`,
+//! `lea esp, …`, `pop esp`, non-immediate ALU) also conflict. The lint
+//! driver turns a negative depth or an unbalanced `ret` into diagnostics.
+
+use pgsd_cc::lir::{MFunction, MInst, MReg, MRhs, MTerm};
+use pgsd_x86::{AluOp, Reg};
+
+use crate::dataflow::{solve, Analysis, BlockFacts, Direction};
+
+/// Lattice for the stack-depth analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackFact {
+    /// Not yet reached (lattice bottom).
+    Unreached,
+    /// Exactly `bytes` pushed relative to the entry `esp`.
+    Depth(i64),
+    /// Reached with inconsistent or untrackable depths (lattice top).
+    Conflict,
+}
+
+impl StackFact {
+    fn bump(&mut self, delta: i64) {
+        if let StackFact::Depth(d) = self {
+            *d += delta;
+        }
+    }
+}
+
+fn is_esp(r: &MReg) -> bool {
+    matches!(r, MReg::P(Reg::Esp))
+}
+
+/// Forward stack-depth analysis.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StackDepth;
+
+impl Analysis for StackDepth {
+    type Fact = StackFact;
+    const DIRECTION: Direction = Direction::Forward;
+
+    fn bottom(&self) -> StackFact {
+        StackFact::Unreached
+    }
+
+    fn boundary(&self, _func: &MFunction) -> StackFact {
+        StackFact::Depth(0)
+    }
+
+    fn join(&self, into: &mut StackFact, other: &StackFact) {
+        *into = match (*into, *other) {
+            (StackFact::Unreached, x) | (x, StackFact::Unreached) => x,
+            (StackFact::Depth(a), StackFact::Depth(b)) if a == b => StackFact::Depth(a),
+            _ => StackFact::Conflict,
+        };
+    }
+
+    fn transfer_inst(&self, inst: &MInst, fact: &mut StackFact) {
+        match inst {
+            MInst::Push { .. } => fact.bump(4),
+            MInst::Pop { dst } if is_esp(dst) => *fact = StackFact::Conflict,
+            MInst::Pop { .. } => fact.bump(-4),
+            MInst::Alu {
+                op: AluOp::Sub,
+                dst,
+                rhs: MRhs::Imm(n),
+            } if is_esp(dst) => {
+                fact.bump(i64::from(*n));
+            }
+            MInst::Alu {
+                op: AluOp::Add,
+                dst,
+                rhs: MRhs::Imm(n),
+            } if is_esp(dst) => {
+                fact.bump(-i64::from(*n));
+            }
+            // A call's push of the return address is popped by the
+            // matching ret, and callees preserve esp: net zero.
+            MInst::Call { .. } => {}
+            // Any other way of writing esp is untrackable.
+            _ => {
+                let mut clobbers_esp = false;
+                inst.for_each_reg(|r, is_def| {
+                    if is_def && matches!(r, MReg::P(Reg::Esp)) {
+                        clobbers_esp = true;
+                    }
+                });
+                if clobbers_esp {
+                    *fact = StackFact::Conflict;
+                }
+            }
+        }
+    }
+
+    fn transfer_term(&self, _term: &MTerm, _fact: &mut StackFact) {}
+}
+
+/// Convenience: solved block facts for `func`.
+pub fn stack_depth(func: &MFunction) -> BlockFacts<StackFact> {
+    solve(&StackDepth, func)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgsd_cc::lir::{MBlock, MTarget};
+
+    fn p(r: Reg) -> MReg {
+        MReg::P(r)
+    }
+
+    fn func(blocks: Vec<MBlock>) -> MFunction {
+        MFunction {
+            name: "t".into(),
+            params: 0,
+            blocks,
+            num_vregs: 0,
+            slot_words: Vec::new(),
+            diversify: true,
+            raw: false,
+        }
+    }
+
+    #[test]
+    fn prologue_epilogue_balances() {
+        // push ebp ; sub esp, 8 ; add esp, 8 ; pop ebp ; ret
+        let f = func(vec![MBlock {
+            instrs: vec![
+                MInst::Push {
+                    rhs: MRhs::Reg(p(Reg::Ebp)),
+                },
+                MInst::Alu {
+                    op: AluOp::Sub,
+                    dst: p(Reg::Esp),
+                    rhs: MRhs::Imm(8),
+                },
+                MInst::Alu {
+                    op: AluOp::Add,
+                    dst: p(Reg::Esp),
+                    rhs: MRhs::Imm(8),
+                },
+                MInst::Pop { dst: p(Reg::Ebp) },
+            ],
+            term: MTerm::Ret,
+            ir_block: None,
+        }]);
+        let facts = stack_depth(&f);
+        assert_eq!(facts.exit[0], StackFact::Depth(0));
+        let per = facts.per_inst(&StackDepth, &f, 0);
+        assert_eq!(per[1], StackFact::Depth(4)); // before the sub
+        assert_eq!(per[2], StackFact::Depth(12)); // before the add
+    }
+
+    #[test]
+    fn mismatched_join_conflicts() {
+        // .L0: jcond -> .L1 / .L2 ; .L1: push -> .L3 ; .L2: -> .L3 ; .L3: ret
+        let f = func(vec![
+            MBlock {
+                instrs: vec![],
+                term: MTerm::JCond {
+                    cc: pgsd_x86::Cond::E,
+                    t: MTarget::M(1),
+                    f: MTarget::M(2),
+                },
+                ir_block: None,
+            },
+            MBlock {
+                instrs: vec![MInst::Push { rhs: MRhs::Imm(0) }],
+                term: MTerm::Jmp(MTarget::M(3)),
+                ir_block: None,
+            },
+            MBlock {
+                instrs: vec![],
+                term: MTerm::Jmp(MTarget::M(3)),
+                ir_block: None,
+            },
+            MBlock {
+                instrs: vec![],
+                term: MTerm::Ret,
+                ir_block: None,
+            },
+        ]);
+        let facts = stack_depth(&f);
+        assert_eq!(facts.entry[3], StackFact::Conflict);
+    }
+
+    #[test]
+    fn untrackable_esp_write_conflicts() {
+        let f = func(vec![MBlock {
+            instrs: vec![MInst::MovRR {
+                dst: p(Reg::Esp),
+                src: p(Reg::Ebp),
+            }],
+            term: MTerm::Ret,
+            ir_block: None,
+        }]);
+        assert_eq!(stack_depth(&f).exit[0], StackFact::Conflict);
+    }
+}

@@ -41,11 +41,25 @@ fn main() {
     // Probability distribution on the paper's example benchmark.
     let astar = prepare(pgsd_workloads::by_name("473.astar").expect("astar exists"));
     println!("473.astar per-block probability distribution (range 10–50%):");
-    println!("{}", row(&["curve".into(), "10-18".into(), "18-26".into(), "26-34".into(), "34-42".into(), "42-50".into()], &[8, 8, 8, 8, 8, 8]));
+    println!(
+        "{}",
+        row(
+            &[
+                "curve".into(),
+                "10-18".into(),
+                "18-26".into(),
+                "26-34".into(),
+                "34-42".into(),
+                "42-50".into()
+            ],
+            &[8, 8, 8, 8, 8, 8]
+        )
+    );
     for (name, strat) in [("linear", &lin), ("log", &log)] {
         let h = histogram(&astar, strat);
-        let cells: Vec<String> =
-            std::iter::once(name.to_string()).chain(h.iter().map(|c| c.to_string())).collect();
+        let cells: Vec<String> = std::iter::once(name.to_string())
+            .chain(h.iter().map(|c| c.to_string()))
+            .collect();
         println!("{}", row(&cells, &[8, 8, 8, 8, 8, 8]));
     }
     println!("(the linear curve crowds blocks into the hottest or coldest bucket;\n the log curve spreads them — the paper's argument for choosing it)\n");
@@ -67,9 +81,12 @@ fn main() {
         let mut s = [0f64; 2];
         for (ci, strat) in [lin, log].iter().enumerate() {
             for seed in 0..seeds {
-                let image =
-                    build(&p.module, Some(&p.profile), &BuildConfig::diversified(*strat, seed))
-                        .expect("builds");
+                let image = build(
+                    &p.module,
+                    Some(&p.profile),
+                    &BuildConfig::diversified(*strat, seed),
+                )
+                .expect("builds");
                 m[ci] += p.ref_cycles(&image, Some(expected)) as f64 / seeds as f64;
                 s[ci] += survivor(&p.baseline.text, &image.text, &table, &cfg).count() as f64
                     / seeds as f64;
@@ -81,12 +98,23 @@ fn main() {
         ovh.1.push(o_log);
         surv.0 += s[0];
         surv.1 += s[1];
-        csv.push(format!("{name},{o_lin:.3},{o_log:.3},{:.1},{:.1}", s[0], s[1]));
+        csv.push(format!(
+            "{name},{o_lin:.3},{o_log:.3},{:.1},{:.1}",
+            s[0], s[1]
+        ));
     }
     let n = ovh.0.len() as f64;
     println!("suite aggregate for pNOP = 10–50%:");
-    println!("  linear curve: geomean overhead {:.2}%   avg survivors {:.1}", geomean_pct(&ovh.0), surv.0 / n);
-    println!("  log curve:    geomean overhead {:.2}%   avg survivors {:.1}", geomean_pct(&ovh.1), surv.1 / n);
+    println!(
+        "  linear curve: geomean overhead {:.2}%   avg survivors {:.1}",
+        geomean_pct(&ovh.0),
+        surv.0 / n
+    );
+    println!(
+        "  log curve:    geomean overhead {:.2}%   avg survivors {:.1}",
+        geomean_pct(&ovh.1),
+        surv.1 / n
+    );
     println!("\n(the paper's complaint §3.1, measured: execution counts are exponentially");
     println!(" distributed, so under the linear curve every block except the very hottest");
     println!(" sits at ≈p_max — warm code gets stuffed with NOPs and the overhead balloons");

@@ -23,7 +23,8 @@ fn main() {
     let cfg_scan = ScanConfig::default();
     let table = NopTable::new();
 
-    let variants: Vec<(&str, Box<dyn Fn(u64) -> BuildConfig>)> = vec![
+    type ConfigFn = Box<dyn Fn(u64) -> BuildConfig>;
+    let variants: Vec<(&str, ConfigFn)> = vec![
         (
             "nop",
             Box::new(move |seed| BuildConfig::diversified(strategy, seed)),

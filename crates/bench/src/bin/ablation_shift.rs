@@ -52,10 +52,16 @@ fn main() {
             .unwrap_or(0) as usize;
         let early_end = user_start + 1024;
         let early = |offsets: &[usize]| {
-            offsets.iter().filter(|&&o| o >= user_start && o < early_end).count()
+            offsets
+                .iter()
+                .filter(|&&o| o >= user_start && o < early_end)
+                .count()
         };
         let base_early = early(
-            &find_gadgets(&p.baseline.text, &cfg).iter().map(|g| g.offset).collect::<Vec<_>>(),
+            &find_gadgets(&p.baseline.text, &cfg)
+                .iter()
+                .map(|g| g.offset)
+                .collect::<Vec<_>>(),
         );
 
         let (exit, stats) = run_input(&p.baseline, &p.workload.reference, DEFAULT_GAS);

@@ -19,8 +19,10 @@ fn disasm_at(text: &[u8], mut off: usize, end: usize) -> Vec<String> {
     while off < end && off < text.len() {
         match decode(&text[off..]) {
             Ok(d) => {
-                let bytes: Vec<String> =
-                    text[off..off + d.len].iter().map(|b| format!("{b:02x}")).collect();
+                let bytes: Vec<String> = text[off..off + d.len]
+                    .iter()
+                    .map(|b| format!("{b:02x}"))
+                    .collect();
                 out.push(format!("  +{off:#06x}: {:<21} {d}", bytes.join(" ")));
                 off += d.len;
             }
@@ -44,9 +46,11 @@ fn main() {
 
     // (a) displacement accumulates with distance from the image start.
     println!("function displacement through the image (pNOP=50%, one seed):");
-    println!("{:<16} {:>12} {:>12} {:>14}", "function", "base offset", "div offset", "displacement");
-    let mut shown = 0;
-    for (b, d) in base.funcs.iter().zip(div.funcs.iter()) {
+    println!(
+        "{:<16} {:>12} {:>12} {:>14}",
+        "function", "base offset", "div offset", "displacement"
+    );
+    for (shown, (b, d)) in base.funcs.iter().zip(div.funcs.iter()).enumerate() {
         assert_eq!(b.name, d.name);
         let bo = b.start - base.base;
         let do_ = d.start - div.base;
@@ -59,7 +63,6 @@ fn main() {
                 i64::from(do_) - i64::from(bo)
             );
         }
-        shown += 1;
     }
 
     // (b) find an original gadget destroyed at its offset.
@@ -79,8 +82,7 @@ fn main() {
         match gadget_at(&div.text, g.offset, &cfg) {
             None => true,
             Some(len) => {
-                table.strip(g.bytes(&base.text))
-                    != table.strip(&div.text[g.offset..g.offset + len])
+                table.strip(g.bytes(&base.text)) != table.strip(&div.text[g.offset..g.offset + len])
             }
         }
     });

@@ -22,7 +22,7 @@ fn main() {
     ));
 
     let mut widths = vec![16usize, 12];
-    widths.extend(std::iter::repeat(12).take(configs.len()));
+    widths.extend(std::iter::repeat_n(12, configs.len()));
     let mut header = vec!["benchmark".to_string(), "base Mcyc".to_string()];
     header.extend(configs.iter().map(|(l, _)| l.to_string()));
     println!("{}", row(&header, &widths));
@@ -33,7 +33,9 @@ fn main() {
         let name = w.name;
         let p = prepare(w);
         let (exit, stats) = run_input(&p.baseline, &p.workload.reference, DEFAULT_GAS);
-        let expected = exit.status().unwrap_or_else(|| panic!("{name} baseline failed: {exit:?}"));
+        let expected = exit
+            .status()
+            .unwrap_or_else(|| panic!("{name} baseline failed: {exit:?}"));
         let base_cycles = stats.cycles as f64;
 
         let mut cells = vec![name.to_string(), format!("{:.1}", base_cycles / 1e6)];

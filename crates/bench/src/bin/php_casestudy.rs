@@ -17,8 +17,8 @@ use pgsd_cc::driver::frontend;
 use pgsd_core::driver::{build, train, BuildConfig, DEFAULT_GAS};
 use pgsd_core::Strategy;
 use pgsd_gadget::{
-    attack_scan_config, check_attack, check_attack_on_gadgets, find_gadgets, gadget_at, Gadget,
-    AttackTemplate,
+    attack_scan_config, check_attack, check_attack_on_gadgets, find_gadgets, gadget_at,
+    AttackTemplate, Gadget,
 };
 use pgsd_workloads::phpvm::{clbg_programs, php_source};
 use pgsd_x86::nop::NopTable;
@@ -26,11 +26,7 @@ use pgsd_x86::nop::NopTable;
 /// Survivor restricted to the attack scanner's gadget definition: returns
 /// the original gadgets that survive (same offset, NOP-normalized
 /// equality), as `Gadget`s into the *original* text.
-fn surviving_attack_gadgets(
-    original: &[u8],
-    diversified: &[u8],
-    table: &NopTable,
-) -> Vec<Gadget> {
+fn surviving_attack_gadgets(original: &[u8], diversified: &[u8], table: &NopTable) -> Vec<Gadget> {
     let cfg = attack_scan_config();
     find_gadgets(original, &cfg)
         .into_iter()
@@ -60,7 +56,10 @@ fn main() {
     let templates = [AttackTemplate::ropgadget(), AttackTemplate::microgadgets()];
     let table = NopTable::new();
 
-    println!("undiversified PHP-like interpreter ({} bytes of text):", baseline.text.len());
+    println!(
+        "undiversified PHP-like interpreter ({} bytes of text):",
+        baseline.text.len()
+    );
     for tpl in &templates {
         let verdict = check_attack(&baseline.text, tpl);
         println!(
@@ -131,10 +130,14 @@ fn main() {
         println!(
             "RESULT: none of the {total} diversified interpreter builds is attackable by either scanner"
         );
-        println!("        (paper: \"a ROP-based attack was no longer possible\" on all 25 versions");
+        println!(
+            "        (paper: \"a ROP-based attack was no longer possible\" on all 25 versions"
+        );
         println!("         of PHP, for every profile)");
     } else {
-        println!("RESULT: {any_attackable} of {total} checks remained attackable — shape NOT reproduced");
+        println!(
+            "RESULT: {any_attackable} of {total} checks remained attackable — shape NOT reproduced"
+        );
     }
     println!("csv: {}", path.display());
 }

@@ -41,8 +41,12 @@ fn main() {
         // The paper's §5.1 premise: the train profile must be "a proper
         // sample of real-world usage" — measure it by profiling the ref
         // input too and comparing shapes.
-        let ref_profile = train(&p.module, &[p.workload.reference.clone()], DEFAULT_GAS)
-            .expect("ref profiling");
+        let ref_profile = train(
+            &p.module,
+            std::slice::from_ref(&p.workload.reference),
+            DEFAULT_GAS,
+        )
+        .expect("ref profiling");
         let fidelity = p.profile.similarity(&ref_profile);
         println!(
             "{}",
@@ -58,7 +62,9 @@ fn main() {
                 &widths
             )
         );
-        csv.push(format!("{name},{x_max},{median},{p_lin:.2},{p_log:.2},{fidelity:.4}"));
+        csv.push(format!(
+            "{name},{x_max},{median},{p_lin:.2},{p_log:.2},{fidelity:.4}"
+        ));
         maxes.push((name, x_max));
     }
     let path = write_csv(

@@ -33,7 +33,10 @@ fn second_byte_decoding(kind: NopKind) -> String {
 
 fn main() {
     println!("Table 1: NOP insertion candidate instructions");
-    println!("{:<18} {:<10} {:<30} {}", "Instruction", "Encoding", "Second-byte decoding", "In default table?");
+    println!(
+        "{:<18} {:<10} {:<30} In default table?",
+        "Instruction", "Encoding", "Second-byte decoding"
+    );
     println!("{}", "-".repeat(80));
     let default_table = NopTable::new();
     for kind in NopKind::ALL {

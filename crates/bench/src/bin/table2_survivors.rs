@@ -46,12 +46,16 @@ fn main() {
             avg.push(total as f64 / n_versions as f64);
         }
         eprintln!("[pgsd-bench]   {name}: baseline {baseline} gadgets");
-        rows.push(Row { name, baseline, avg });
+        rows.push(Row {
+            name,
+            baseline,
+            avg,
+        });
     }
     rows.sort_by_key(|r| r.baseline);
 
     let mut widths = vec![16usize, 10];
-    widths.extend(std::iter::repeat(10).take(configs.len()));
+    widths.extend(std::iter::repeat_n(10, configs.len()));
     widths.extend([8usize, 11]);
     let mut header = vec!["benchmark".to_string(), "baseline".to_string()];
     header.extend(configs.iter().map(|(l, _)| l.replace("pNOP=", "")));
@@ -63,7 +67,11 @@ fn main() {
     // Column order in `avg` follows paper_configs(): 50%, 25-50%, 10-50%,
     // 30%, 0-30%. Extra% compares 0-30% (index 4) against 50% (index 0).
     for r in &rows {
-        let extra = if r.avg[0] > 0.0 { (r.avg[4] / r.avg[0] - 1.0) * 100.0 } else { 0.0 };
+        let extra = if r.avg[0] > 0.0 {
+            (r.avg[4] / r.avg[0] - 1.0) * 100.0
+        } else {
+            0.0
+        };
         let surviving = if r.baseline > 0 {
             r.avg[4] / r.baseline as f64 * 100.0
         } else {
@@ -78,7 +86,11 @@ fn main() {
             "{},{},{},{extra:.2},{surviving:.4}",
             r.name,
             r.baseline,
-            r.avg.iter().map(|a| format!("{a:.3}")).collect::<Vec<_>>().join(","),
+            r.avg
+                .iter()
+                .map(|a| format!("{a:.3}"))
+                .collect::<Vec<_>>()
+                .join(","),
         ));
     }
     let path = write_csv(
@@ -89,7 +101,9 @@ fn main() {
     t.done();
     println!("\npaper shape checks:");
     println!("  • absolute survivors stay near the undiversified-runtime tail for every strategy");
-    println!("  • Surviving% falls as binaries grow (randomization is MORE effective on large code)");
+    println!(
+        "  • Surviving% falls as binaries grow (randomization is MORE effective on large code)"
+    );
     println!("  • the profile-guided strategies cost only a small Extra% over pNOP=50%");
     println!("csv: {}", path.display());
 }

@@ -48,14 +48,18 @@ fn main() {
             counts.push(report.thresholds(&ks));
         }
         eprintln!("[pgsd-bench]   {name} done");
-        rows.push(Row { name, baseline, counts });
+        rows.push(Row {
+            name,
+            baseline,
+            counts,
+        });
     }
     rows.sort_by_key(|r| r.baseline);
 
     for (ti, k) in ks.iter().enumerate() {
         println!("\ngadgets surviving in at least {k} of {n_versions} versions:");
         let mut widths = vec![16usize];
-        widths.extend(std::iter::repeat(10).take(configs.len()));
+        widths.extend(std::iter::repeat_n(10, configs.len()));
         let mut header = vec!["benchmark".to_string()];
         header.extend(configs.iter().map(|(l, _)| l.replace("pNOP=", "")));
         println!("{}", row(&header, &widths));
@@ -80,11 +84,21 @@ fn main() {
             }
         }
     }
-    let path = write_csv("table3_population.csv", "benchmark,strategy,at_least_k,gadgets", &csv);
+    let path = write_csv(
+        "table3_population.csv",
+        "benchmark,strategy,at_least_k,gadgets",
+        &csv,
+    );
     t.done();
     println!("\npaper shape checks:");
-    println!("  • the ≥{} column is essentially constant — the undiversified runtime tail", ks[2]);
-    println!("  • counts at ≥{} can exceed the baseline (one gadget, several offsets)", ks[0]);
+    println!(
+        "  • the ≥{} column is essentially constant — the undiversified runtime tail",
+        ks[2]
+    );
+    println!(
+        "  • counts at ≥{} can exceed the baseline (one gadget, several offsets)",
+        ks[0]
+    );
     println!("  • higher pNOP ranges shrink the shared sets");
     println!("csv: {}", path.display());
 }

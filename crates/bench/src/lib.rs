@@ -44,7 +44,10 @@ pub fn perf_seeds() -> u64 {
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// The benchmark list, optionally filtered by `PGSD_BENCH`.
@@ -52,8 +55,7 @@ pub fn selected_suite() -> Vec<Workload> {
     let all = pgsd_workloads::spec_suite();
     match std::env::var("PGSD_BENCH") {
         Ok(filter) if !filter.trim().is_empty() => {
-            let pats: Vec<String> =
-                filter.split(',').map(|s| s.trim().to_lowercase()).collect();
+            let pats: Vec<String> = filter.split(',').map(|s| s.trim().to_lowercase()).collect();
             all.into_iter()
                 .filter(|w| pats.iter().any(|p| w.name.to_lowercase().contains(p)))
                 .collect()
@@ -87,30 +89,45 @@ pub fn prepare(workload: Workload) -> Prepared {
         .unwrap_or_else(|e| panic!("{} does not train: {e}", workload.name));
     let baseline = build(&module, None, &BuildConfig::baseline())
         .unwrap_or_else(|e| panic!("{} baseline build failed: {e}", workload.name));
-    Prepared { workload, module, profile, baseline }
+    Prepared {
+        workload,
+        module,
+        profile,
+        baseline,
+    }
 }
 
 impl Prepared {
     /// Builds one diversified version.
     pub fn diversified(&self, strategy: Strategy, seed: u64) -> Image {
-        build(&self.module, Some(&self.profile), &BuildConfig::diversified(strategy, seed))
-            .unwrap_or_else(|e| panic!("{} diversified build failed: {e}", self.workload.name))
+        build(
+            &self.module,
+            Some(&self.profile),
+            &BuildConfig::diversified(strategy, seed),
+        )
+        .unwrap_or_else(|e| panic!("{} diversified build failed: {e}", self.workload.name))
     }
 
     /// Builds a population of diversified text sections.
     pub fn population_texts(&self, strategy: Strategy, n: usize) -> Vec<Vec<u8>> {
-        (0..n as u64).map(|s| self.diversified(strategy, s).text).collect()
+        (0..n as u64)
+            .map(|s| self.diversified(strategy, s).text)
+            .collect()
     }
 
     /// Runs an image on the reference input, asserting it matches the
     /// baseline's behaviour, and returns its cycle count.
     pub fn ref_cycles(&self, image: &Image, expected: Option<i32>) -> u64 {
         let (exit, stats) = run_input(image, &self.workload.reference, DEFAULT_GAS);
-        let status = exit.status().unwrap_or_else(|| {
-            panic!("{}: diversified run failed: {exit:?}", self.workload.name)
-        });
+        let status = exit
+            .status()
+            .unwrap_or_else(|| panic!("{}: diversified run failed: {exit:?}", self.workload.name));
         if let Some(e) = expected {
-            assert_eq!(status, e, "{}: diversified output diverged", self.workload.name);
+            assert_eq!(
+                status, e,
+                "{}: diversified output diverged",
+                self.workload.name
+            );
         }
         stats.cycles
     }
@@ -154,12 +171,19 @@ impl ProgressTimer {
     pub fn start(label: impl Into<String>) -> ProgressTimer {
         let label = label.into();
         eprintln!("[pgsd-bench] {label}…");
-        ProgressTimer { started: Instant::now(), label }
+        ProgressTimer {
+            started: Instant::now(),
+            label,
+        }
     }
 
     /// Finishes the phase, reporting elapsed time.
     pub fn done(self) {
-        eprintln!("[pgsd-bench] {} done in {:.1?}", self.label, self.started.elapsed());
+        eprintln!(
+            "[pgsd-bench] {} done in {:.1?}",
+            self.label,
+            self.started.elapsed()
+        );
     }
 }
 

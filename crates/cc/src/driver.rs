@@ -148,8 +148,11 @@ mod tests {
 
     #[test]
     fn user_funcs_follow_runtime() {
-        let module = frontend("t", "int helper() { return 1; } int main() { return helper(); }")
-            .unwrap();
+        let module = frontend(
+            "t",
+            "int helper() { return 1; } int main() { return helper(); }",
+        )
+        .unwrap();
         let funcs = lower_module(&module).unwrap();
         let base = lower_ctx().user_func_base as usize;
         assert_eq!(funcs[base].name, "helper");

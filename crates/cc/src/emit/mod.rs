@@ -133,7 +133,11 @@ pub fn emit(funcs: &[MFunction], module: &ir::Module, main: &str) -> Result<Imag
     let mut globals = Vec::with_capacity(module.globals.len());
     let mut word_off = 0u32;
     for g in &module.globals {
-        globals.push(DataSymbol { name: g.name.clone(), addr: DATA_BASE + 4 * word_off, words: g.words });
+        globals.push(DataSymbol {
+            name: g.name.clone(),
+            addr: DATA_BASE + 4 * word_off,
+            words: g.words,
+        });
         word_off += g.words;
     }
     let counter_base = DATA_BASE + 4 * word_off;

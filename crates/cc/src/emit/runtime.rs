@@ -103,8 +103,14 @@ fn exit_stub() -> MFunction {
         params: 0,
         blocks: vec![MBlock {
             instrs: vec![
-                MInst::MovRR { dst: MReg::P(Reg::Ebx), src: MReg::P(Reg::Eax) },
-                MInst::MovRI { dst: MReg::P(Reg::Eax), imm: i32::from(SYS_EXIT) },
+                MInst::MovRR {
+                    dst: MReg::P(Reg::Ebx),
+                    src: MReg::P(Reg::Eax),
+                },
+                MInst::MovRI {
+                    dst: MReg::P(Reg::Eax),
+                    imm: i32::from(SYS_EXIT),
+                },
                 MInst::Int { n: SYSCALL_VECTOR },
             ],
             term: MTerm::Ret, // unreachable; keeps the image well-formed
@@ -125,16 +131,23 @@ fn print_stub() -> MFunction {
         params: 1,
         blocks: vec![MBlock {
             instrs: vec![
-                MInst::Push { rhs: MRhs::Reg(MReg::P(Reg::Ebx)) },
+                MInst::Push {
+                    rhs: MRhs::Reg(MReg::P(Reg::Ebx)),
+                },
                 // After the push, the argument sits at [esp + 8]
                 // (saved ebx, return address, arg).
                 MInst::Load {
                     dst: MReg::P(Reg::Ebx),
                     addr: MAddr::base_imm(MReg::P(Reg::Esp), 8),
                 },
-                MInst::MovRI { dst: MReg::P(Reg::Eax), imm: i32::from(SYS_PRINT) },
+                MInst::MovRI {
+                    dst: MReg::P(Reg::Eax),
+                    imm: i32::from(SYS_PRINT),
+                },
                 MInst::Int { n: SYSCALL_VECTOR },
-                MInst::Pop { dst: MReg::P(Reg::Ebx) },
+                MInst::Pop {
+                    dst: MReg::P(Reg::Ebx),
+                },
             ],
             term: MTerm::Ret,
             ir_block: None,
@@ -147,8 +160,8 @@ fn print_stub() -> MFunction {
 }
 
 fn filler_functions() -> Vec<MFunction> {
-    let program = parse(lex(FILLER_SOURCE).expect("runtime filler lexes"))
-        .expect("runtime filler parses");
+    let program =
+        parse(lex(FILLER_SOURCE).expect("runtime filler lexes")).expect("runtime filler parses");
     let mut module = build("__runtime", &program).expect("runtime filler builds");
     assert!(
         module.globals.is_empty(),
@@ -208,6 +221,9 @@ mod tests {
     fn filler_has_substance() {
         let rt = runtime_functions();
         let instrs: usize = rt[2..].iter().map(|f| f.num_instrs()).sum();
-        assert!(instrs > 50, "filler should be dozens of instructions, got {instrs}");
+        assert!(
+            instrs > 50,
+            "filler should be dozens of instructions, got {instrs}"
+        );
     }
 }

@@ -35,12 +35,18 @@ pub struct CompileError {
 impl CompileError {
     /// Creates an error with a source position.
     pub fn at(pos: Pos, message: impl Into<String>) -> CompileError {
-        CompileError { pos: Some(pos), message: message.into() }
+        CompileError {
+            pos: Some(pos),
+            message: message.into(),
+        }
     }
 
     /// Creates an error without a source position (backend errors).
     pub fn new(message: impl Into<String>) -> CompileError {
-        CompileError { pos: None, message: message.into() }
+        CompileError {
+            pos: None,
+            message: message.into(),
+        }
     }
 }
 

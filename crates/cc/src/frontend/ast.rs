@@ -50,13 +50,30 @@ pub enum Expr {
     /// Variable reference.
     Var { name: String, pos: Pos },
     /// Array element read `a[i]`.
-    Index { name: String, index: Box<Expr>, pos: Pos },
+    Index {
+        name: String,
+        index: Box<Expr>,
+        pos: Pos,
+    },
     /// Function call `f(a, b)`.
-    Call { name: String, args: Vec<Expr>, pos: Pos },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+        pos: Pos,
+    },
     /// Binary operation.
-    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr>, pos: Pos },
+    Bin {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        pos: Pos,
+    },
     /// Unary operation.
-    Un { op: UnOp, operand: Box<Expr>, pos: Pos },
+    Un {
+        op: UnOp,
+        operand: Box<Expr>,
+        pos: Pos,
+    },
 }
 
 impl Expr {
@@ -79,7 +96,11 @@ pub enum LValue {
     /// `x = …`
     Var { name: String, pos: Pos },
     /// `a[i] = …`
-    Index { name: String, index: Box<Expr>, pos: Pos },
+    Index {
+        name: String,
+        index: Box<Expr>,
+        pos: Pos,
+    },
 }
 
 impl LValue {
@@ -95,19 +116,40 @@ impl LValue {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Stmt {
     /// `int x;` or `int x = e;`
-    DeclScalar { name: String, init: Option<Expr>, pos: Pos },
+    DeclScalar {
+        name: String,
+        init: Option<Expr>,
+        pos: Pos,
+    },
     /// `int a[N];`
     DeclArray { name: String, len: u32, pos: Pos },
     /// `lv = e;` (also produced by desugaring `+=`, `++` etc.).
-    Assign { target: LValue, value: Expr, pos: Pos },
+    Assign {
+        target: LValue,
+        value: Expr,
+        pos: Pos,
+    },
     /// Expression statement (only calls are useful).
     Expr { value: Expr, pos: Pos },
     /// `if (c) { … } else { … }`
-    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>, pos: Pos },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+        pos: Pos,
+    },
     /// `while (c) { … }`
-    While { cond: Expr, body: Vec<Stmt>, pos: Pos },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+        pos: Pos,
+    },
     /// `do { … } while (c);`
-    DoWhile { body: Vec<Stmt>, cond: Expr, pos: Pos },
+    DoWhile {
+        body: Vec<Stmt>,
+        cond: Expr,
+        pos: Pos,
+    },
     /// `for (init; cond; step) { … }` — init/step are desugared statements.
     For {
         init: Vec<Stmt>,

@@ -27,11 +27,19 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Lexer<'a> {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn here(&self) -> Pos {
-        Pos { line: self.line, col: self.col }
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -69,7 +77,10 @@ impl<'a> Lexer<'a> {
             self.skip_trivia()?;
             let pos = self.here();
             let Some(b) = self.peek() else {
-                out.push(Token { kind: TokenKind::Eof, pos });
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    pos,
+                });
                 return Ok(out);
             };
             let kind = match b {
@@ -154,7 +165,10 @@ impl<'a> Lexer<'a> {
         }
         // Allow up to u32::MAX so `0xFFFFFFFF` works; it wraps to -1.
         if value > i64::from(u32::MAX) {
-            return Err(CompileError::at(pos, "integer literal does not fit in 32 bits"));
+            return Err(CompileError::at(
+                pos,
+                "integer literal does not fit in 32 bits",
+            ));
         }
         Ok(TokenKind::Int(value))
     }
@@ -315,7 +329,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        lex(src).expect("lexes").into_iter().map(|t| t.kind).collect()
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -334,12 +352,15 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(kinds("0 42 0x10"), vec![
-            TokenKind::Int(0),
-            TokenKind::Int(42),
-            TokenKind::Int(16),
-            TokenKind::Eof
-        ]);
+        assert_eq!(
+            kinds("0 42 0x10"),
+            vec![
+                TokenKind::Int(0),
+                TokenKind::Int(42),
+                TokenKind::Int(16),
+                TokenKind::Eof
+            ]
+        );
         assert!(lex("0x").is_err());
         assert!(lex("4294967296").is_err());
         assert_eq!(kinds("4294967295")[0], TokenKind::Int(4294967295));
@@ -347,28 +368,34 @@ mod tests {
 
     #[test]
     fn operators_longest_match() {
-        assert_eq!(kinds("<<=  <= < == = != ! ++ +="), vec![
-            TokenKind::ShlAssign,
-            TokenKind::Le,
-            TokenKind::Lt,
-            TokenKind::EqEq,
-            TokenKind::Assign,
-            TokenKind::NotEq,
-            TokenKind::Not,
-            TokenKind::PlusPlus,
-            TokenKind::PlusAssign,
-            TokenKind::Eof
-        ]);
+        assert_eq!(
+            kinds("<<=  <= < == = != ! ++ +="),
+            vec![
+                TokenKind::ShlAssign,
+                TokenKind::Le,
+                TokenKind::Lt,
+                TokenKind::EqEq,
+                TokenKind::Assign,
+                TokenKind::NotEq,
+                TokenKind::Not,
+                TokenKind::PlusPlus,
+                TokenKind::PlusAssign,
+                TokenKind::Eof
+            ]
+        );
     }
 
     #[test]
     fn comments() {
-        assert_eq!(kinds("1 // two\n3 /* four \n five */ 6"), vec![
-            TokenKind::Int(1),
-            TokenKind::Int(3),
-            TokenKind::Int(6),
-            TokenKind::Eof
-        ]);
+        assert_eq!(
+            kinds("1 // two\n3 /* four \n five */ 6"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Int(3),
+                TokenKind::Int(6),
+                TokenKind::Eof
+            ]
+        );
         assert!(lex("/* never ends").is_err());
     }
 

@@ -68,7 +68,10 @@ impl Parser {
                 self.bump();
                 Ok((name, pos))
             }
-            other => Err(CompileError::at(pos, format!("expected identifier, found {other}"))),
+            other => Err(CompileError::at(
+                pos,
+                format!("expected identifier, found {other}"),
+            )),
         }
     }
 
@@ -79,9 +82,10 @@ impl Parser {
                 self.bump();
                 Ok((v, pos))
             }
-            ref other => {
-                Err(CompileError::at(pos, format!("expected integer literal, found {other}")))
-            }
+            ref other => Err(CompileError::at(
+                pos,
+                format!("expected integer literal, found {other}"),
+            )),
         }
     }
 
@@ -117,7 +121,12 @@ impl Parser {
             init = v as i32;
         }
         self.expect(&TokenKind::Semi)?;
-        Ok(GlobalDecl { name, len, init, pos })
+        Ok(GlobalDecl {
+            name,
+            len,
+            init,
+            pos,
+        })
     }
 
     fn func_rest(&mut self, name: String, pos: Pos) -> Result<FuncDecl> {
@@ -135,7 +144,12 @@ impl Parser {
             }
         }
         let body = self.block()?;
-        Ok(FuncDecl { name, params, body, pos })
+        Ok(FuncDecl {
+            name,
+            params,
+            body,
+            pos,
+        })
     }
 
     fn block(&mut self) -> Result<Vec<Stmt>> {
@@ -169,7 +183,11 @@ impl Parser {
                     }
                     self.expect(&TokenKind::RBracket)?;
                     self.expect(&TokenKind::Semi)?;
-                    Ok(Stmt::DeclArray { name, len: n as u32, pos })
+                    Ok(Stmt::DeclArray {
+                        name,
+                        len: n as u32,
+                        pos,
+                    })
                 } else {
                     let init = if self.eat(&TokenKind::Assign) {
                         Some(self.expr()?)
@@ -191,7 +209,12 @@ impl Parser {
                 } else {
                     Vec::new()
                 };
-                Ok(Stmt::If { cond, then_body, else_body, pos })
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    pos,
+                })
             }
             TokenKind::KwWhile => {
                 self.bump();
@@ -237,7 +260,13 @@ impl Parser {
                 };
                 self.expect(&TokenKind::RParen)?;
                 let body = self.block_or_stmt()?;
-                Ok(Stmt::For { init, cond, step, body, pos })
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    pos,
+                })
             }
             TokenKind::KwReturn => {
                 self.bump();
@@ -373,7 +402,11 @@ impl Parser {
         if self.eat(&TokenKind::LBracket) {
             let index = self.expr()?;
             self.expect(&TokenKind::RBracket)?;
-            Ok(LValue::Index { name, index: Box::new(index), pos })
+            Ok(LValue::Index {
+                name,
+                index: Box::new(index),
+                pos,
+            })
         } else {
             Ok(LValue::Var { name, pos })
         }
@@ -391,7 +424,12 @@ impl Parser {
             let pos = self.here();
             self.bump();
             let rhs = self.logic_and()?;
-            lhs = Expr::Bin { op: BinOp::LogOr, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+            lhs = Expr::Bin {
+                op: BinOp::LogOr,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
         }
         Ok(lhs)
     }
@@ -402,7 +440,12 @@ impl Parser {
             let pos = self.here();
             self.bump();
             let rhs = self.bit_or()?;
-            lhs = Expr::Bin { op: BinOp::LogAnd, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+            lhs = Expr::Bin {
+                op: BinOp::LogAnd,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
         }
         Ok(lhs)
     }
@@ -413,7 +456,12 @@ impl Parser {
             let pos = self.here();
             self.bump();
             let rhs = self.bit_xor()?;
-            lhs = Expr::Bin { op: BinOp::BitOr, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+            lhs = Expr::Bin {
+                op: BinOp::BitOr,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
         }
         Ok(lhs)
     }
@@ -424,7 +472,12 @@ impl Parser {
             let pos = self.here();
             self.bump();
             let rhs = self.bit_and()?;
-            lhs = Expr::Bin { op: BinOp::BitXor, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+            lhs = Expr::Bin {
+                op: BinOp::BitXor,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
         }
         Ok(lhs)
     }
@@ -435,7 +488,12 @@ impl Parser {
             let pos = self.here();
             self.bump();
             let rhs = self.equality()?;
-            lhs = Expr::Bin { op: BinOp::BitAnd, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+            lhs = Expr::Bin {
+                op: BinOp::BitAnd,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
         }
         Ok(lhs)
     }
@@ -451,7 +509,12 @@ impl Parser {
             let pos = self.here();
             self.bump();
             let rhs = self.relational()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
         }
     }
 
@@ -468,7 +531,12 @@ impl Parser {
             let pos = self.here();
             self.bump();
             let rhs = self.shift()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
         }
     }
 
@@ -483,7 +551,12 @@ impl Parser {
             let pos = self.here();
             self.bump();
             let rhs = self.additive()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
         }
     }
 
@@ -498,7 +571,12 @@ impl Parser {
             let pos = self.here();
             self.bump();
             let rhs = self.multiplicative()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
         }
     }
 
@@ -514,7 +592,12 @@ impl Parser {
             let pos = self.here();
             self.bump();
             let rhs = self.unary()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
         }
     }
 
@@ -529,7 +612,11 @@ impl Parser {
         if let Some(op) = op {
             self.bump();
             let operand = self.unary()?;
-            return Ok(Expr::Un { op, operand: Box::new(operand), pos });
+            return Ok(Expr::Un {
+                op,
+                operand: Box::new(operand),
+                pos,
+            });
         }
         self.primary()
     }
@@ -539,7 +626,10 @@ impl Parser {
         match self.peek().clone() {
             TokenKind::Int(v) => {
                 self.bump();
-                Ok(Expr::Int { value: v as i32, pos })
+                Ok(Expr::Int {
+                    value: v as i32,
+                    pos,
+                })
             }
             TokenKind::LParen => {
                 self.bump();
@@ -564,22 +654,34 @@ impl Parser {
                 } else if self.eat(&TokenKind::LBracket) {
                     let index = self.expr()?;
                     self.expect(&TokenKind::RBracket)?;
-                    Ok(Expr::Index { name, index: Box::new(index), pos })
+                    Ok(Expr::Index {
+                        name,
+                        index: Box::new(index),
+                        pos,
+                    })
                 } else {
                     Ok(Expr::Var { name, pos })
                 }
             }
-            other => Err(CompileError::at(pos, format!("expected expression, found {other}"))),
+            other => Err(CompileError::at(
+                pos,
+                format!("expected expression, found {other}"),
+            )),
         }
     }
 }
 
 fn lvalue_to_expr(lv: &LValue) -> Expr {
     match lv {
-        LValue::Var { name, pos } => Expr::Var { name: name.clone(), pos: *pos },
-        LValue::Index { name, index, pos } => {
-            Expr::Index { name: name.clone(), index: index.clone(), pos: *pos }
-        }
+        LValue::Var { name, pos } => Expr::Var {
+            name: name.clone(),
+            pos: *pos,
+        },
+        LValue::Index { name, index, pos } => Expr::Index {
+            name: name.clone(),
+            index: index.clone(),
+            pos: *pos,
+        },
     }
 }
 
@@ -609,7 +711,12 @@ mod tests {
             panic!("expected return");
         };
         // Top must be &&.
-        let Expr::Bin { op: BinOp::LogAnd, lhs, .. } = e else {
+        let Expr::Bin {
+            op: BinOp::LogAnd,
+            lhs,
+            ..
+        } = e
+        else {
             panic!("expected &&, got {e:?}");
         };
         let Expr::Bin { op: BinOp::Lt, .. } = **lhs else {
@@ -620,16 +727,26 @@ mod tests {
     #[test]
     fn compound_assignment_desugars() {
         let prog = p("int f(int x) { x += 2; x++; --x; a[x] -= 1; return x; }");
-        let Stmt::Assign { value: Expr::Bin { op: BinOp::Add, .. }, .. } = &prog.funcs[0].body[0]
+        let Stmt::Assign {
+            value: Expr::Bin { op: BinOp::Add, .. },
+            ..
+        } = &prog.funcs[0].body[0]
         else {
             panic!("+= must desugar to add");
         };
-        assert!(matches!(&prog.funcs[0].body[3], Stmt::Assign { target: LValue::Index { .. }, .. }));
+        assert!(matches!(
+            &prog.funcs[0].body[3],
+            Stmt::Assign {
+                target: LValue::Index { .. },
+                ..
+            }
+        ));
     }
 
     #[test]
     fn for_and_while() {
-        let prog = p("int f() { for (int i = 0; i < 10; i++) { print(i); } while (1) break; return 0; }");
+        let prog =
+            p("int f() { for (int i = 0; i < 10; i++) { print(i); } while (1) break; return 0; }");
         assert!(matches!(prog.funcs[0].body[0], Stmt::For { .. }));
         assert!(matches!(prog.funcs[0].body[1], Stmt::While { .. }));
     }
@@ -637,11 +754,22 @@ mod tests {
     #[test]
     fn dangling_else_binds_inner() {
         let prog = p("int f(int x) { if (x) if (x) return 1; else return 2; return 3; }");
-        let Stmt::If { else_body, then_body, .. } = &prog.funcs[0].body[0] else {
+        let Stmt::If {
+            else_body,
+            then_body,
+            ..
+        } = &prog.funcs[0].body[0]
+        else {
             panic!()
         };
         assert!(else_body.is_empty());
-        let Stmt::If { else_body: inner_else, .. } = &then_body[0] else { panic!() };
+        let Stmt::If {
+            else_body: inner_else,
+            ..
+        } = &then_body[0]
+        else {
+            panic!()
+        };
         assert_eq!(inner_else.len(), 1);
     }
 

@@ -21,25 +21,38 @@ use super::{
 /// without an index, wrong argument counts, or `break`/`continue` outside a
 /// loop.
 pub fn build(name: &str, prog: &Program) -> Result<Module> {
-    let mut module = Module { name: name.to_owned(), ..Module::default() };
+    let mut module = Module {
+        name: name.to_owned(),
+        ..Module::default()
+    };
     let mut globals: HashMap<String, (GlobalId, bool)> = HashMap::new();
     for g in &prog.globals {
         if globals.contains_key(&g.name) {
-            return Err(CompileError::at(g.pos, format!("duplicate global `{}`", g.name)));
+            return Err(CompileError::at(
+                g.pos,
+                format!("duplicate global `{}`", g.name),
+            ));
         }
         let id = GlobalId(module.globals.len() as u32);
         globals.insert(g.name.clone(), (id, g.len.is_some()));
         module.globals.push(Global {
             name: g.name.clone(),
             words: g.len.unwrap_or(1),
-            init: if g.len.is_some() { Vec::new() } else { vec![g.init] },
+            init: if g.len.is_some() {
+                Vec::new()
+            } else {
+                vec![g.init]
+            },
         });
     }
 
     let mut funcs: HashMap<String, (FuncId, usize)> = HashMap::new();
     for (i, f) in prog.funcs.iter().enumerate() {
         if funcs.contains_key(&f.name) {
-            return Err(CompileError::at(f.pos, format!("duplicate function `{}`", f.name)));
+            return Err(CompileError::at(
+                f.pos,
+                format!("duplicate function `{}`", f.name),
+            ));
         }
         if globals.contains_key(&f.name) {
             return Err(CompileError::at(
@@ -169,13 +182,19 @@ impl<'a> FnBuilder<'a> {
                 Binding::GlobalScalar(id)
             });
         }
-        Err(CompileError::at(pos, format!("undefined variable `{name}`")))
+        Err(CompileError::at(
+            pos,
+            format!("undefined variable `{name}`"),
+        ))
     }
 
     fn declare(&mut self, name: &str, binding: Binding, pos: Pos) -> Result<()> {
         let scope = self.scopes.last_mut().expect("scope stack is never empty");
         if scope.contains_key(name) {
-            return Err(CompileError::at(pos, format!("duplicate declaration of `{name}`")));
+            return Err(CompileError::at(
+                pos,
+                format!("duplicate declaration of `{name}`"),
+            ));
         }
         scope.insert(name.to_owned(), binding);
         Ok(())
@@ -214,7 +233,12 @@ impl<'a> FnBuilder<'a> {
                 self.expr(value)?;
                 Ok(())
             }
-            Stmt::If { cond, then_body, else_body, .. } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
                 let then_b = self.func.new_block();
                 let else_b = self.func.new_block();
                 let join = self.func.new_block();
@@ -258,7 +282,13 @@ impl<'a> FnBuilder<'a> {
                 self.seal_to(exit);
                 Ok(())
             }
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 self.scopes.push(HashMap::new()); // `for (int i = …)` scope
                 for s in init {
                     self.stmt(s)?;
@@ -331,7 +361,11 @@ impl<'a> FnBuilder<'a> {
                     Ok(())
                 }
                 Binding::GlobalScalar(g) => {
-                    self.emit(Instr::StoreG { global: g, index: None, src });
+                    self.emit(Instr::StoreG {
+                        global: g,
+                        index: None,
+                        src,
+                    });
                     Ok(())
                 }
                 Binding::Array(_) | Binding::GlobalArray(_) => Err(CompileError::at(
@@ -343,11 +377,19 @@ impl<'a> FnBuilder<'a> {
                 let idx = self.expr(index)?;
                 match self.lookup(name, *pos)? {
                     Binding::Array(slot) => {
-                        self.emit(Instr::StoreA { slot, index: idx, src });
+                        self.emit(Instr::StoreA {
+                            slot,
+                            index: idx,
+                            src,
+                        });
                         Ok(())
                     }
                     Binding::GlobalArray(g) => {
-                        self.emit(Instr::StoreG { global: g, index: Some(idx), src });
+                        self.emit(Instr::StoreG {
+                            global: g,
+                            index: Some(idx),
+                            src,
+                        });
                         Ok(())
                     }
                     Binding::Local(_) | Binding::GlobalScalar(_) => {
@@ -361,26 +403,49 @@ impl<'a> FnBuilder<'a> {
     /// Lowers `cond` directly into control flow (short-circuit aware).
     fn cond_branch(&mut self, cond: &Expr, t: BlockId, f: BlockId) -> Result<()> {
         match cond {
-            Expr::Bin { op: ast::BinOp::LogAnd, lhs, rhs, .. } => {
+            Expr::Bin {
+                op: ast::BinOp::LogAnd,
+                lhs,
+                rhs,
+                ..
+            } => {
                 let mid = self.func.new_block();
                 self.cond_branch(lhs, mid, f)?;
                 self.seal_to(mid);
                 self.cond_branch(rhs, t, f)
             }
-            Expr::Bin { op: ast::BinOp::LogOr, lhs, rhs, .. } => {
+            Expr::Bin {
+                op: ast::BinOp::LogOr,
+                lhs,
+                rhs,
+                ..
+            } => {
                 let mid = self.func.new_block();
                 self.cond_branch(lhs, t, mid)?;
                 self.seal_to(mid);
                 self.cond_branch(rhs, t, f)
             }
-            Expr::Un { op: ast::UnOp::LogNot, operand, .. } => self.cond_branch(operand, f, t),
+            Expr::Un {
+                op: ast::UnOp::LogNot,
+                operand,
+                ..
+            } => self.cond_branch(operand, f, t),
             Expr::Bin { op, lhs, rhs, pos } => {
                 if let Some(cmp) = ast_cmp(*op) {
                     let l = self.expr(lhs)?;
                     let r = self.expr(rhs)?;
                     let dst = self.func.new_value();
-                    self.emit(Instr::Cmp { dst, op: cmp, lhs: l, rhs: r });
-                    self.terminate(Term::CondBr { cond: dst.into(), t, f });
+                    self.emit(Instr::Cmp {
+                        dst,
+                        op: cmp,
+                        lhs: l,
+                        rhs: r,
+                    });
+                    self.terminate(Term::CondBr {
+                        cond: dst.into(),
+                        t,
+                        f,
+                    });
                     return Ok(());
                 }
                 let v = self.expr(&Expr::Bin {
@@ -407,7 +472,11 @@ impl<'a> FnBuilder<'a> {
                 Binding::Local(v) => Ok(v.into()),
                 Binding::GlobalScalar(g) => {
                     let dst = self.func.new_value();
-                    self.emit(Instr::LoadG { dst, global: g, index: None });
+                    self.emit(Instr::LoadG {
+                        dst,
+                        global: g,
+                        index: None,
+                    });
                     Ok(dst.into())
                 }
                 Binding::Array(_) | Binding::GlobalArray(_) => Err(CompileError::at(
@@ -420,12 +489,20 @@ impl<'a> FnBuilder<'a> {
                 match self.lookup(name, *pos)? {
                     Binding::Array(slot) => {
                         let dst = self.func.new_value();
-                        self.emit(Instr::LoadA { dst, slot, index: idx });
+                        self.emit(Instr::LoadA {
+                            dst,
+                            slot,
+                            index: idx,
+                        });
                         Ok(dst.into())
                     }
                     Binding::GlobalArray(g) => {
                         let dst = self.func.new_value();
-                        self.emit(Instr::LoadG { dst, global: g, index: Some(idx) });
+                        self.emit(Instr::LoadG {
+                            dst,
+                            global: g,
+                            index: Some(idx),
+                        });
                         Ok(dst.into())
                     }
                     _ => Err(CompileError::at(*pos, format!("`{name}` is not an array"))),
@@ -454,7 +531,11 @@ impl<'a> FnBuilder<'a> {
                     ops.push(self.expr(a)?);
                 }
                 let dst = self.func.new_value();
-                self.emit(Instr::Call { dst, func, args: ops });
+                self.emit(Instr::Call {
+                    dst,
+                    func,
+                    args: ops,
+                });
                 Ok(dst.into())
             }
             Expr::Bin { op, lhs, rhs, .. } => match op {
@@ -464,14 +545,24 @@ impl<'a> FnBuilder<'a> {
                         let l = self.expr(lhs)?;
                         let r = self.expr(rhs)?;
                         let dst = self.func.new_value();
-                        self.emit(Instr::Cmp { dst, op: cmp, lhs: l, rhs: r });
+                        self.emit(Instr::Cmp {
+                            dst,
+                            op: cmp,
+                            lhs: l,
+                            rhs: r,
+                        });
                         return Ok(dst.into());
                     }
                     let bop = ast_bin(*op).expect("cmp and logic handled above");
                     let l = self.expr(lhs)?;
                     let r = self.expr(rhs)?;
                     let dst = self.func.new_value();
-                    self.emit(Instr::Bin { dst, op: bop, lhs: l, rhs: r });
+                    self.emit(Instr::Bin {
+                        dst,
+                        op: bop,
+                        lhs: l,
+                        rhs: r,
+                    });
                     Ok(dst.into())
                 }
             },
@@ -479,19 +570,32 @@ impl<'a> FnBuilder<'a> {
                 ast::UnOp::Neg => {
                     let src = self.expr(operand)?;
                     let dst = self.func.new_value();
-                    self.emit(Instr::Un { dst, op: UnOp::Neg, src });
+                    self.emit(Instr::Un {
+                        dst,
+                        op: UnOp::Neg,
+                        src,
+                    });
                     Ok(dst.into())
                 }
                 ast::UnOp::BitNot => {
                     let src = self.expr(operand)?;
                     let dst = self.func.new_value();
-                    self.emit(Instr::Un { dst, op: UnOp::BitNot, src });
+                    self.emit(Instr::Un {
+                        dst,
+                        op: UnOp::BitNot,
+                        src,
+                    });
                     Ok(dst.into())
                 }
                 ast::UnOp::LogNot => {
                     let src = self.expr(operand)?;
                     let dst = self.func.new_value();
-                    self.emit(Instr::Cmp { dst, op: CmpOp::Eq, lhs: src, rhs: Operand::Const(0) });
+                    self.emit(Instr::Cmp {
+                        dst,
+                        op: CmpOp::Eq,
+                        lhs: src,
+                        rhs: Operand::Const(0),
+                    });
                     Ok(dst.into())
                 }
             },
@@ -507,10 +611,16 @@ impl<'a> FnBuilder<'a> {
         let join = self.func.new_block();
         self.cond_branch(e, t, f)?;
         self.seal_to(t);
-        self.emit(Instr::Copy { dst, src: Operand::Const(1) });
+        self.emit(Instr::Copy {
+            dst,
+            src: Operand::Const(1),
+        });
         self.terminate(Term::Br(join));
         self.seal_to(f);
-        self.emit(Instr::Copy { dst, src: Operand::Const(0) });
+        self.emit(Instr::Copy {
+            dst,
+            src: Operand::Const(0),
+        });
         self.terminate(Term::Br(join));
         self.seal_to(join);
         Ok(dst.into())
@@ -628,8 +738,12 @@ mod tests {
 
     #[test]
     fn semantic_errors() {
-        assert!(ir_err("int f() { return x; }").message.contains("undefined variable"));
-        assert!(ir_err("int f() { break; }").message.contains("outside of a loop"));
+        assert!(ir_err("int f() { return x; }")
+            .message
+            .contains("undefined variable"));
+        assert!(ir_err("int f() { break; }")
+            .message
+            .contains("outside of a loop"));
         assert!(ir_err("int g; int g; int f() { return 0; }")
             .message
             .contains("duplicate global"));
@@ -639,13 +753,21 @@ mod tests {
         assert!(ir_err("int a[4]; int f() { return a; }")
             .message
             .contains("cannot be used as a value"));
-        assert!(ir_err("int x; int f() { return x[0]; }").message.contains("not an array"));
-        assert!(ir_err("int f(int a) { return f(); }").message.contains("expects 1 argument"));
-        assert!(ir_err("int f() { return g(); }").message.contains("undefined function"));
+        assert!(ir_err("int x; int f() { return x[0]; }")
+            .message
+            .contains("not an array"));
+        assert!(ir_err("int f(int a) { return f(); }")
+            .message
+            .contains("expects 1 argument"));
+        assert!(ir_err("int f() { return g(); }")
+            .message
+            .contains("undefined function"));
         assert!(ir_err("int a[4]; int f() { a = 1; return 0; }")
             .message
             .contains("without an index"));
-        assert!(ir_err("int print() { return 0; }").message.contains("reserved"));
+        assert!(ir_err("int print() { return 0; }")
+            .message
+            .contains("reserved"));
     }
 
     #[test]

@@ -155,7 +155,10 @@ impl BinOp {
 
     /// `true` if `a op b == b op a`.
     pub fn commutes(self) -> bool {
-        matches!(self, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor)
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+        )
     }
 
     /// The lowercase mnemonic used by the IR printer.
@@ -275,21 +278,55 @@ pub enum Instr {
     /// `dst = src`
     Copy { dst: ValueId, src: Operand },
     /// `dst = lhs op rhs`
-    Bin { dst: ValueId, op: BinOp, lhs: Operand, rhs: Operand },
+    Bin {
+        dst: ValueId,
+        op: BinOp,
+        lhs: Operand,
+        rhs: Operand,
+    },
     /// `dst = op src`
-    Un { dst: ValueId, op: UnOp, src: Operand },
+    Un {
+        dst: ValueId,
+        op: UnOp,
+        src: Operand,
+    },
     /// `dst = (lhs op rhs) ? 1 : 0`
-    Cmp { dst: ValueId, op: CmpOp, lhs: Operand, rhs: Operand },
+    Cmp {
+        dst: ValueId,
+        op: CmpOp,
+        lhs: Operand,
+        rhs: Operand,
+    },
     /// `dst = global` or `dst = global[index]`
-    LoadG { dst: ValueId, global: GlobalId, index: Option<Operand> },
+    LoadG {
+        dst: ValueId,
+        global: GlobalId,
+        index: Option<Operand>,
+    },
     /// `global = src` or `global[index] = src`
-    StoreG { global: GlobalId, index: Option<Operand>, src: Operand },
+    StoreG {
+        global: GlobalId,
+        index: Option<Operand>,
+        src: Operand,
+    },
     /// `dst = slot[index]` — local array read.
-    LoadA { dst: ValueId, slot: SlotId, index: Operand },
+    LoadA {
+        dst: ValueId,
+        slot: SlotId,
+        index: Operand,
+    },
     /// `slot[index] = src` — local array write.
-    StoreA { slot: SlotId, index: Operand, src: Operand },
+    StoreA {
+        slot: SlotId,
+        index: Operand,
+        src: Operand,
+    },
     /// `dst = call func(args…)`
-    Call { dst: ValueId, func: FuncId, args: Vec<Operand> },
+    Call {
+        dst: ValueId,
+        func: FuncId,
+        args: Vec<Operand>,
+    },
     /// `print src` — lowered to a runtime call.
     Print { src: Operand },
     /// Increment edge-profiling counter `id` (inserted by instrumentation).
@@ -307,7 +344,9 @@ impl Instr {
             | Instr::LoadG { dst, .. }
             | Instr::LoadA { dst, .. }
             | Instr::Call { dst, .. } => Some(*dst),
-            Instr::StoreG { .. } | Instr::StoreA { .. } | Instr::Print { .. }
+            Instr::StoreG { .. }
+            | Instr::StoreA { .. }
+            | Instr::Print { .. }
             | Instr::ProfCtr { .. } => None,
         }
     }
@@ -410,7 +449,11 @@ pub enum Term {
     /// Unconditional branch.
     Br(BlockId),
     /// Two-way conditional branch: to `t` if `cond != 0`, else to `f`.
-    CondBr { cond: Operand, t: BlockId, f: BlockId },
+    CondBr {
+        cond: Operand,
+        t: BlockId,
+        f: BlockId,
+    },
 }
 
 impl Term {
@@ -481,7 +524,10 @@ impl Function {
     /// returns its id.
     pub fn new_block(&mut self) -> BlockId {
         let id = BlockId(self.blocks.len() as u32);
-        self.blocks.push(Block { instrs: Vec::new(), term: Term::Ret(None) });
+        self.blocks.push(Block {
+            instrs: Vec::new(),
+            term: Term::Ret(None),
+        });
         id
     }
 
@@ -631,8 +677,15 @@ mod tests {
         let b0 = f.new_block();
         let b1 = f.new_block();
         let v = f.new_value();
-        f.block_mut(b0).instrs.push(Instr::Copy { dst: v, src: Operand::Const(1) });
-        f.block_mut(b0).term = Term::CondBr { cond: v.into(), t: b1, f: b0 };
+        f.block_mut(b0).instrs.push(Instr::Copy {
+            dst: v,
+            src: Operand::Const(1),
+        });
+        f.block_mut(b0).term = Term::CondBr {
+            cond: v.into(),
+            t: b1,
+            f: b0,
+        };
         f.block_mut(b1).term = Term::Ret(Some(v.into()));
         f
     }
@@ -640,7 +693,10 @@ mod tests {
     #[test]
     fn edges_and_preds() {
         let f = two_block_fn();
-        assert_eq!(f.edges(), vec![(BlockId(0), BlockId(1)), (BlockId(0), BlockId(0))]);
+        assert_eq!(
+            f.edges(),
+            vec![(BlockId(0), BlockId(1)), (BlockId(0), BlockId(0))]
+        );
         let preds = f.predecessors();
         assert_eq!(preds[0], vec![BlockId(0)]);
         assert_eq!(preds[1], vec![BlockId(0)]);
@@ -677,7 +733,14 @@ mod tests {
 
     #[test]
     fn cmp_negate_and_swap() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             for (a, b) in [(1, 2), (2, 1), (3, 3)] {
                 assert_eq!(op.eval(a, b), !op.negated().eval(a, b));
                 assert_eq!(op.eval(a, b), op.swapped().eval(b, a));

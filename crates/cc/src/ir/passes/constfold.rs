@@ -37,7 +37,11 @@ pub fn const_fold(func: &mut Function) -> bool {
                     changed = true;
                 }
                 // Record newly discovered constants.
-                if let Instr::Copy { dst, src: Operand::Const(c) } = *ins {
+                if let Instr::Copy {
+                    dst,
+                    src: Operand::Const(c),
+                } = *ins
+                {
                     if defs[dst.0 as usize] == 1 && known[dst.0 as usize].is_none() {
                         known[dst.0 as usize] = Some(c);
                         grew = true;
@@ -73,21 +77,28 @@ fn fold_instr(ins: &Instr) -> Option<Instr> {
             match (lhs.constant(), rhs.constant()) {
                 (Some(a), Some(b)) => {
                     let v = op.eval(a, b)?;
-                    Some(Instr::Copy { dst, src: Operand::Const(v) })
+                    Some(Instr::Copy {
+                        dst,
+                        src: Operand::Const(v),
+                    })
                 }
                 (None, Some(b)) => match (op, b) {
-                    (Add | Sub | Or | Xor | Shl | Shr, 0) => {
-                        Some(Instr::Copy { dst, src: *lhs })
-                    }
+                    (Add | Sub | Or | Xor | Shl | Shr, 0) => Some(Instr::Copy { dst, src: *lhs }),
                     (Mul | Div, 1) => Some(Instr::Copy { dst, src: *lhs }),
-                    (Mul | And, 0) => Some(Instr::Copy { dst, src: Operand::Const(0) }),
+                    (Mul | And, 0) => Some(Instr::Copy {
+                        dst,
+                        src: Operand::Const(0),
+                    }),
                     (And, -1) => Some(Instr::Copy { dst, src: *lhs }),
                     _ => None,
                 },
                 (Some(a), None) => match (op, a) {
                     (Add | Or | Xor, 0) => Some(Instr::Copy { dst, src: *rhs }),
                     (Mul, 1) => Some(Instr::Copy { dst, src: *rhs }),
-                    (Mul | And, 0) => Some(Instr::Copy { dst, src: Operand::Const(0) }),
+                    (Mul | And, 0) => Some(Instr::Copy {
+                        dst,
+                        src: Operand::Const(0),
+                    }),
                     // Normalize constant-first commutative forms so the
                     // backend sees `x op c`.
                     _ if op.commutes() => Some(Instr::Bin {
@@ -103,11 +114,17 @@ fn fold_instr(ins: &Instr) -> Option<Instr> {
         }
         Instr::Un { dst, op, src } => {
             let c = src.constant()?;
-            Some(Instr::Copy { dst: *dst, src: Operand::Const(op.eval(c)) })
+            Some(Instr::Copy {
+                dst: *dst,
+                src: Operand::Const(op.eval(c)),
+            })
         }
         Instr::Cmp { dst, op, lhs, rhs } => {
             let (a, b) = (lhs.constant()?, rhs.constant()?);
-            Some(Instr::Copy { dst: *dst, src: Operand::Const(op.eval(a, b) as i32) })
+            Some(Instr::Copy {
+                dst: *dst,
+                src: Operand::Const(op.eval(a, b) as i32),
+            })
         }
         _ => None,
     }
@@ -134,7 +151,10 @@ mod tests {
         // rewritten; DCE removes the rest).
         let mut f = fun(
             vec![
-                Instr::Copy { dst: ValueId(0), src: Operand::Const(2) },
+                Instr::Copy {
+                    dst: ValueId(0),
+                    src: Operand::Const(2),
+                },
                 Instr::Bin {
                     dst: ValueId(1),
                     op: BinOp::Mul,
@@ -170,7 +190,10 @@ mod tests {
         assert!(const_fold(&mut f));
         assert_eq!(
             f.blocks[0].instrs[0],
-            Instr::Copy { dst: ValueId(1), src: Operand::Value(ValueId(0)) }
+            Instr::Copy {
+                dst: ValueId(1),
+                src: Operand::Value(ValueId(0))
+            }
         );
     }
 
@@ -189,7 +212,11 @@ mod tests {
         );
         assert!(const_fold(&mut f));
         match &f.blocks[0].instrs[0] {
-            Instr::Bin { lhs: Operand::Value(_), rhs: Operand::Const(5), .. } => {}
+            Instr::Bin {
+                lhs: Operand::Value(_),
+                rhs: Operand::Const(5),
+                ..
+            } => {}
             other => panic!("not normalized: {other:?}"),
         }
     }
@@ -215,21 +242,34 @@ mod tests {
         // v0 defined twice: must not be treated as constant.
         let mut f = fun(
             vec![
-                Instr::Copy { dst: ValueId(0), src: Operand::Const(1) },
-                Instr::Copy { dst: ValueId(0), src: Operand::Const(2) },
+                Instr::Copy {
+                    dst: ValueId(0),
+                    src: Operand::Const(1),
+                },
+                Instr::Copy {
+                    dst: ValueId(0),
+                    src: Operand::Const(2),
+                },
             ],
             Term::Ret(Some(Operand::Value(ValueId(0)))),
             1,
         );
         const_fold(&mut f);
-        assert_eq!(f.blocks[0].term, Term::Ret(Some(Operand::Value(ValueId(0)))));
+        assert_eq!(
+            f.blocks[0].term,
+            Term::Ret(Some(Operand::Value(ValueId(0))))
+        );
     }
 
     #[test]
     fn folds_unary_and_cmp() {
         let mut f = fun(
             vec![
-                Instr::Un { dst: ValueId(0), op: UnOp::Neg, src: Operand::Const(7) },
+                Instr::Un {
+                    dst: ValueId(0),
+                    op: UnOp::Neg,
+                    src: Operand::Const(7),
+                },
                 Instr::Cmp {
                     dst: ValueId(1),
                     op: CmpOp::Lt,
@@ -241,7 +281,13 @@ mod tests {
             2,
         );
         assert!(const_fold(&mut f));
-        assert_eq!(f.blocks[0].instrs[0], Instr::Copy { dst: ValueId(0), src: Operand::Const(-7) });
+        assert_eq!(
+            f.blocks[0].instrs[0],
+            Instr::Copy {
+                dst: ValueId(0),
+                src: Operand::Const(-7)
+            }
+        );
         assert_eq!(f.blocks[0].term, Term::Ret(Some(Operand::Const(1))));
     }
 }

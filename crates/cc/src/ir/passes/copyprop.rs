@@ -19,7 +19,11 @@ pub fn copy_propagate(func: &mut Function) -> bool {
     let mut forward: Vec<Option<u32>> = vec![None; n];
     for block in &func.blocks {
         for ins in &block.instrs {
-            if let crate::ir::Instr::Copy { dst, src: Operand::Value(s) } = ins {
+            if let crate::ir::Instr::Copy {
+                dst,
+                src: Operand::Value(s),
+            } = ins
+            {
                 if defs[dst.0 as usize] == 1 && defs[s.0 as usize] == 1 && dst != s {
                     forward[dst.0 as usize] = Some(s.0);
                 }
@@ -75,8 +79,14 @@ mod tests {
             num_values: 4,
             blocks: vec![Block {
                 instrs: vec![
-                    Instr::Copy { dst: ValueId(1), src: Operand::Value(ValueId(0)) },
-                    Instr::Copy { dst: ValueId(2), src: Operand::Value(ValueId(1)) },
+                    Instr::Copy {
+                        dst: ValueId(1),
+                        src: Operand::Value(ValueId(0)),
+                    },
+                    Instr::Copy {
+                        dst: ValueId(2),
+                        src: Operand::Value(ValueId(1)),
+                    },
                     Instr::Bin {
                         dst: ValueId(3),
                         op: BinOp::Add,
@@ -90,7 +100,10 @@ mod tests {
         };
         assert!(copy_propagate(&mut f));
         match &f.blocks[0].instrs[2] {
-            Instr::Bin { lhs: Operand::Value(v), .. } => assert_eq!(*v, ValueId(0)),
+            Instr::Bin {
+                lhs: Operand::Value(v),
+                ..
+            } => assert_eq!(*v, ValueId(0)),
             other => panic!("{other:?}"),
         }
     }
@@ -104,15 +117,27 @@ mod tests {
             num_values: 2,
             blocks: vec![Block {
                 instrs: vec![
-                    Instr::Copy { dst: ValueId(0), src: Operand::Const(1) },
-                    Instr::Copy { dst: ValueId(1), src: Operand::Value(ValueId(0)) },
-                    Instr::Copy { dst: ValueId(0), src: Operand::Const(2) },
+                    Instr::Copy {
+                        dst: ValueId(0),
+                        src: Operand::Const(1),
+                    },
+                    Instr::Copy {
+                        dst: ValueId(1),
+                        src: Operand::Value(ValueId(0)),
+                    },
+                    Instr::Copy {
+                        dst: ValueId(0),
+                        src: Operand::Const(2),
+                    },
                 ],
                 term: Term::Ret(Some(Operand::Value(ValueId(1)))),
             }],
             slots: Vec::new(),
         };
         assert!(!copy_propagate(&mut f));
-        assert_eq!(f.blocks[0].term, Term::Ret(Some(Operand::Value(ValueId(1)))));
+        assert_eq!(
+            f.blocks[0].term,
+            Term::Ret(Some(Operand::Value(ValueId(1))))
+        );
     }
 }

@@ -62,7 +62,9 @@ pub fn eliminate_common_subexpressions(func: &mut Function) -> bool {
             // alias any global or slot — MiniC has no alias analysis).
             let clobbers_memory = matches!(
                 instr,
-                Instr::StoreG { .. } | Instr::StoreA { .. } | Instr::Call { .. }
+                Instr::StoreG { .. }
+                    | Instr::StoreA { .. }
+                    | Instr::Call { .. }
                     | Instr::Print { .. }
             );
             if clobbers_memory {
@@ -74,7 +76,10 @@ pub fn eliminate_common_subexpressions(func: &mut Function) -> bool {
             if let (Some(key), Some(dst)) = (key, dst) {
                 if let Some(&prev) = available.get(&key) {
                     if prev != dst {
-                        *instr = Instr::Copy { dst, src: Operand::Value(prev) };
+                        *instr = Instr::Copy {
+                            dst,
+                            src: Operand::Value(prev),
+                        };
                         changed = true;
                     }
                 }
@@ -104,7 +109,10 @@ mod tests {
             name: "t".into(),
             params: 2,
             num_values,
-            blocks: vec![Block { instrs, term: Term::Ret(Some(Operand::Const(0))) }],
+            blocks: vec![Block {
+                instrs,
+                term: Term::Ret(Some(Operand::Const(0))),
+            }],
             slots: Vec::new(),
         }
     }
@@ -124,7 +132,10 @@ mod tests {
         assert!(eliminate_common_subexpressions(&mut f));
         assert_eq!(
             f.blocks[0].instrs[1],
-            Instr::Copy { dst: ValueId(3), src: Operand::Value(ValueId(2)) }
+            Instr::Copy {
+                dst: ValueId(3),
+                src: Operand::Value(ValueId(2))
+            }
         );
     }
 
@@ -161,9 +172,21 @@ mod tests {
         let g = GlobalId(0);
         let mut f = fun(
             vec![
-                Instr::LoadG { dst: ValueId(2), global: g, index: None },
-                Instr::StoreG { global: g, index: None, src: Operand::Const(9) },
-                Instr::LoadG { dst: ValueId(3), global: g, index: None },
+                Instr::LoadG {
+                    dst: ValueId(2),
+                    global: g,
+                    index: None,
+                },
+                Instr::StoreG {
+                    global: g,
+                    index: None,
+                    src: Operand::Const(9),
+                },
+                Instr::LoadG {
+                    dst: ValueId(3),
+                    global: g,
+                    index: None,
+                },
                 bin(4, 0, 1),
                 bin(5, 0, 1),
             ],
@@ -181,15 +204,26 @@ mod tests {
         let g = GlobalId(0);
         let mut f = fun(
             vec![
-                Instr::LoadG { dst: ValueId(2), global: g, index: None },
-                Instr::LoadG { dst: ValueId(3), global: g, index: None },
+                Instr::LoadG {
+                    dst: ValueId(2),
+                    global: g,
+                    index: None,
+                },
+                Instr::LoadG {
+                    dst: ValueId(3),
+                    global: g,
+                    index: None,
+                },
             ],
             4,
         );
         assert!(eliminate_common_subexpressions(&mut f));
         assert_eq!(
             f.blocks[0].instrs[1],
-            Instr::Copy { dst: ValueId(3), src: Operand::Value(ValueId(2)) }
+            Instr::Copy {
+                dst: ValueId(3),
+                src: Operand::Value(ValueId(2))
+            }
         );
     }
 

@@ -34,10 +34,12 @@ pub fn eliminate_dead_code(func: &mut Function) -> bool {
             }
         }
         match &block.term {
-            Term::Ret(Some(Operand::Value(v))) | Term::CondBr { cond: Operand::Value(v), .. } => {
-                if !def_set[bi][v.0 as usize] {
-                    use_set[bi].set(v.0 as usize);
-                }
+            Term::Ret(Some(Operand::Value(v)))
+            | Term::CondBr {
+                cond: Operand::Value(v),
+                ..
+            } if !def_set[bi][v.0 as usize] => {
+                use_set[bi].set(v.0 as usize);
             }
             _ => {}
         }
@@ -78,7 +80,11 @@ pub fn eliminate_dead_code(func: &mut Function) -> bool {
     for (bi, block) in func.blocks.iter_mut().enumerate() {
         let mut live = live_out[bi].clone();
         match &block.term {
-            Term::Ret(Some(Operand::Value(v))) | Term::CondBr { cond: Operand::Value(v), .. } => {
+            Term::Ret(Some(Operand::Value(v)))
+            | Term::CondBr {
+                cond: Operand::Value(v),
+                ..
+            } => {
                 live.set(v.0 as usize);
             }
             _ => {}
@@ -104,7 +110,9 @@ pub fn eliminate_dead_code(func: &mut Function) -> bool {
             });
         }
         let mut it = keep.iter();
-        block.instrs.retain(|_| *it.next().expect("keep mask matches length"));
+        block
+            .instrs
+            .retain(|_| *it.next().expect("keep mask matches length"));
     }
     removed
 }
@@ -116,7 +124,9 @@ pub(crate) struct BitVec {
 }
 
 pub(crate) fn bitvec(bits: usize) -> BitVec {
-    BitVec { words: vec![0; bits.div_ceil(64)] }
+    BitVec {
+        words: vec![0; bits.div_ceil(64)],
+    }
 }
 
 impl BitVec {
@@ -166,14 +176,20 @@ mod tests {
             num_values: 3,
             blocks: vec![Block {
                 instrs: vec![
-                    Instr::Copy { dst: ValueId(0), src: Operand::Const(1) },
+                    Instr::Copy {
+                        dst: ValueId(0),
+                        src: Operand::Const(1),
+                    },
                     Instr::Bin {
                         dst: ValueId(1),
                         op: BinOp::Add,
                         lhs: Operand::Value(ValueId(0)),
                         rhs: Operand::Const(2),
                     },
-                    Instr::Copy { dst: ValueId(2), src: Operand::Const(9) },
+                    Instr::Copy {
+                        dst: ValueId(2),
+                        src: Operand::Const(9),
+                    },
                 ],
                 term: Term::Ret(Some(Operand::Value(ValueId(2)))),
             }],
@@ -190,7 +206,9 @@ mod tests {
             params: 0,
             num_values: 1,
             blocks: vec![Block {
-                instrs: vec![Instr::Print { src: Operand::Const(1) }],
+                instrs: vec![Instr::Print {
+                    src: Operand::Const(1),
+                }],
                 term: Term::Ret(Some(Operand::Const(0))),
             }],
             slots: Vec::new(),
@@ -210,7 +228,10 @@ mod tests {
             num_values: 1,
             blocks: vec![
                 Block {
-                    instrs: vec![Instr::Copy { dst: ValueId(0), src: Operand::Const(0) }],
+                    instrs: vec![Instr::Copy {
+                        dst: ValueId(0),
+                        src: Operand::Const(0),
+                    }],
                     term: Term::Br(BlockId(1)),
                 },
                 Block {
@@ -226,7 +247,10 @@ mod tests {
                         f: BlockId(2),
                     },
                 },
-                Block { instrs: vec![], term: Term::Ret(Some(Operand::Value(ValueId(0)))) },
+                Block {
+                    instrs: vec![],
+                    term: Term::Ret(Some(Operand::Value(ValueId(0)))),
+                },
             ],
             slots: Vec::new(),
         };

@@ -70,7 +70,10 @@ pub fn optimize(module: &mut Module) {
     for f in &mut module.funcs {
         optimize_function(f);
     }
-    debug_assert!(super::verify::verify(module).is_ok(), "pass pipeline broke the IR");
+    debug_assert!(
+        super::verify::verify(module).is_ok(),
+        "pass pipeline broke the IR"
+    );
 }
 
 /// Computes how many times each value is defined (parameters count as one
@@ -134,16 +137,24 @@ mod tests {
             .count();
         assert_eq!(stores, 1);
         // The dead load+add must be gone.
-        assert_eq!(f.blocks.iter().map(|b| b.instrs.len()).sum::<usize>(), 1, "{f}");
+        assert_eq!(
+            f.blocks.iter().map(|b| b.instrs.len()).sum::<usize>(),
+            1,
+            "{f}"
+        );
     }
 
     #[test]
     fn loops_survive_optimization() {
-        let m = optimized(
-            "int f(int n) { int s = 0; while (n > 0) { s += n; n -= 1; } return s; }",
-        );
+        let m =
+            optimized("int f(int n) { int s = 0; while (n > 0) { s += n; n -= 1; } return s; }");
         let f = &m.funcs[0];
-        assert!(f.blocks.iter().any(|b| matches!(b.term, Term::CondBr { .. })), "{f}");
+        assert!(
+            f.blocks
+                .iter()
+                .any(|b| matches!(b.term, Term::CondBr { .. })),
+            "{f}"
+        );
     }
 
     #[test]

@@ -97,22 +97,29 @@ fn merge_linear_pairs(func: &mut Function) -> bool {
         if !reachable[bi] {
             continue;
         }
-        let Term::Br(succ) = func.blocks[bi].term else { continue };
+        let Term::Br(succ) = func.blocks[bi].term else {
+            continue;
+        };
         let si = succ.0 as usize;
         if si == bi || si == 0 {
             continue;
         }
         // The successor must have exactly one predecessor *among reachable
         // blocks* (unreachable predecessors are about to be deleted).
-        let live_preds: Vec<_> =
-            preds[si].iter().filter(|p| reachable[p.0 as usize]).collect();
+        let live_preds: Vec<_> = preds[si]
+            .iter()
+            .filter(|p| reachable[p.0 as usize])
+            .collect();
         if live_preds.len() != 1 || live_preds[0].0 as usize != bi {
             continue;
         }
         // Move successor body into bi.
         let succ_block = std::mem::replace(
             &mut func.blocks[si],
-            crate::ir::Block { instrs: Vec::new(), term: Term::Br(BlockId(si as u32)) },
+            crate::ir::Block {
+                instrs: Vec::new(),
+                term: Term::Br(BlockId(si as u32)),
+            },
         );
         // The replaced successor becomes a self-loop orphan, removed by
         // drop_unreachable.
@@ -158,7 +165,10 @@ fn drop_unreachable(func: &mut Function) -> bool {
         }
         func.blocks.push(std::mem::replace(
             block,
-            crate::ir::Block { instrs: Vec::new(), term: Term::Ret(None) },
+            crate::ir::Block {
+                instrs: Vec::new(),
+                term: Term::Ret(None),
+            },
         ));
     }
     true
@@ -174,13 +184,26 @@ mod tests {
     }
 
     fn fun(blocks: Vec<Block>) -> Function {
-        Function { name: "t".into(), params: 0, num_values: 8, blocks, slots: Vec::new() }
+        Function {
+            name: "t".into(),
+            params: 0,
+            num_values: 8,
+            blocks,
+            slots: Vec::new(),
+        }
     }
 
     #[test]
     fn folds_constant_condbr_and_drops_dead_arm() {
         let mut f = fun(vec![
-            block(vec![], Term::CondBr { cond: Operand::Const(1), t: BlockId(1), f: BlockId(2) }),
+            block(
+                vec![],
+                Term::CondBr {
+                    cond: Operand::Const(1),
+                    t: BlockId(1),
+                    f: BlockId(2),
+                },
+            ),
             block(vec![], Term::Ret(Some(Operand::Const(5)))),
             block(vec![], Term::Ret(Some(Operand::Const(6)))),
         ]);
@@ -204,7 +227,10 @@ mod tests {
 
     #[test]
     fn merges_linear_chain_with_instrs() {
-        let i = |v| Instr::Copy { dst: ValueId(v), src: Operand::Const(1) };
+        let i = |v| Instr::Copy {
+            dst: ValueId(v),
+            src: Operand::Const(1),
+        };
         let mut f = fun(vec![
             block(vec![i(0)], Term::Br(BlockId(1))),
             block(vec![i(1)], Term::Br(BlockId(2))),
@@ -220,8 +246,14 @@ mod tests {
         let mut f = fun(vec![
             block(vec![], Term::Br(BlockId(1))),
             block(
-                vec![Instr::Print { src: Operand::Const(1) }],
-                Term::CondBr { cond: Operand::Value(ValueId(0)), t: BlockId(1), f: BlockId(2) },
+                vec![Instr::Print {
+                    src: Operand::Const(1),
+                }],
+                Term::CondBr {
+                    cond: Operand::Value(ValueId(0)),
+                    t: BlockId(1),
+                    f: BlockId(2),
+                },
             ),
             block(vec![], Term::Ret(None)),
         ]);
@@ -236,7 +268,14 @@ mod tests {
     #[test]
     fn equal_targets_collapse() {
         let mut f = fun(vec![
-            block(vec![], Term::CondBr { cond: Operand::Value(ValueId(0)), t: BlockId(1), f: BlockId(1) }),
+            block(
+                vec![],
+                Term::CondBr {
+                    cond: Operand::Value(ValueId(0)),
+                    t: BlockId(1),
+                    f: BlockId(1),
+                },
+            ),
             block(vec![], Term::Ret(None)),
         ]);
         assert!(simplify_cfg(&mut f));

@@ -56,17 +56,19 @@ pub fn verify(module: &Module) -> Result<()> {
                     }
                 }
                 match ins {
-                    Instr::LoadG { global, .. } | Instr::StoreG { global, .. } => {
-                        if global.0 as usize >= module.globals.len() {
-                            return Err(err(func, format!("bb{bi} references bad global")));
-                        }
+                    Instr::LoadG { global, .. } | Instr::StoreG { global, .. }
+                        if global.0 as usize >= module.globals.len() =>
+                    {
+                        return Err(err(func, format!("bb{bi} references bad global")));
                     }
-                    Instr::LoadA { slot, .. } | Instr::StoreA { slot, .. } => {
-                        if slot.0 as usize >= func.slots.len() {
-                            return Err(err(func, format!("bb{bi} references bad slot")));
-                        }
+                    Instr::LoadA { slot, .. } | Instr::StoreA { slot, .. }
+                        if slot.0 as usize >= func.slots.len() =>
+                    {
+                        return Err(err(func, format!("bb{bi} references bad slot")));
                     }
-                    Instr::Call { func: callee, args, .. } => {
+                    Instr::Call {
+                        func: callee, args, ..
+                    } => {
                         let Some(target) = module.funcs.get(callee.0 as usize) else {
                             return Err(err(func, format!("bb{bi} calls unknown function")));
                         };
@@ -82,10 +84,8 @@ pub fn verify(module: &Module) -> Result<()> {
                             ));
                         }
                     }
-                    Instr::ProfCtr { id } => {
-                        if *id >= module.num_counters {
-                            return Err(err(func, format!("bb{bi} uses unallocated counter")));
-                        }
+                    Instr::ProfCtr { id } if *id >= module.num_counters => {
+                        return Err(err(func, format!("bb{bi} uses unallocated counter")));
                     }
                     _ => {}
                 }
@@ -114,7 +114,10 @@ pub fn verify(module: &Module) -> Result<()> {
 }
 
 fn err(func: &super::Function, msg: impl std::fmt::Display) -> CompileError {
-    CompileError::new(format!("ir verification failed: function `{}` {msg}", func.name))
+    CompileError::new(format!(
+        "ir verification failed: function `{}` {msg}",
+        func.name
+    ))
 }
 
 #[cfg(test)]
@@ -125,7 +128,12 @@ mod tests {
     use super::*;
 
     fn module_with(f: Function) -> Module {
-        Module { name: "t".into(), globals: Vec::new(), funcs: vec![f], num_counters: 0 }
+        Module {
+            name: "t".into(),
+            globals: Vec::new(),
+            funcs: vec![f],
+            num_counters: 0,
+        }
     }
 
     fn func() -> Function {

@@ -66,11 +66,22 @@ pub fn lower_frame(func: &mut MFunction) {
 
     // Prologue.
     let mut prologue = vec![
-        MInst::Push { rhs: MRhs::Reg(MReg::P(Reg::Ebp)) },
-        MInst::MovRR { dst: MReg::P(Reg::Ebp), src: MReg::P(Reg::Esp) },
-        MInst::Push { rhs: MRhs::Reg(MReg::P(Reg::Ebx)) },
-        MInst::Push { rhs: MRhs::Reg(MReg::P(Reg::Esi)) },
-        MInst::Push { rhs: MRhs::Reg(MReg::P(Reg::Edi)) },
+        MInst::Push {
+            rhs: MRhs::Reg(MReg::P(Reg::Ebp)),
+        },
+        MInst::MovRR {
+            dst: MReg::P(Reg::Ebp),
+            src: MReg::P(Reg::Esp),
+        },
+        MInst::Push {
+            rhs: MRhs::Reg(MReg::P(Reg::Ebx)),
+        },
+        MInst::Push {
+            rhs: MRhs::Reg(MReg::P(Reg::Esi)),
+        },
+        MInst::Push {
+            rhs: MRhs::Reg(MReg::P(Reg::Edi)),
+        },
     ];
     if frame_bytes > 0 {
         prologue.push(MInst::Alu {
@@ -97,10 +108,18 @@ pub fn lower_frame(func: &mut MFunction) {
                 });
             }
             block.instrs.extend([
-                MInst::Pop { dst: MReg::P(Reg::Edi) },
-                MInst::Pop { dst: MReg::P(Reg::Esi) },
-                MInst::Pop { dst: MReg::P(Reg::Ebx) },
-                MInst::Pop { dst: MReg::P(Reg::Ebp) },
+                MInst::Pop {
+                    dst: MReg::P(Reg::Edi),
+                },
+                MInst::Pop {
+                    dst: MReg::P(Reg::Esi),
+                },
+                MInst::Pop {
+                    dst: MReg::P(Reg::Ebx),
+                },
+                MInst::Pop {
+                    dst: MReg::P(Reg::Ebp),
+                },
             ]);
         }
     }
@@ -114,9 +133,15 @@ fn for_each_addr(inst: &mut MInst, mut f: impl FnMut(&mut MAddr)) {
         | MInst::StoreImm { addr, .. }
         | MInst::AluMem { addr, .. }
         | MInst::Lea { addr, .. } => f(addr),
-        MInst::Alu { rhs: MRhs::Mem(m), .. }
-        | MInst::Cmp { rhs: MRhs::Mem(m), .. }
-        | MInst::Imul { rhs: MRhs::Mem(m), .. }
+        MInst::Alu {
+            rhs: MRhs::Mem(m), ..
+        }
+        | MInst::Cmp {
+            rhs: MRhs::Mem(m), ..
+        }
+        | MInst::Imul {
+            rhs: MRhs::Mem(m), ..
+        }
         | MInst::Push { rhs: MRhs::Mem(m) } => f(m),
         _ => {}
     }
@@ -134,7 +159,10 @@ mod tests {
     fn full(src: &str) -> Vec<MFunction> {
         let mut m = build("t", &parse(lex(src).unwrap()).unwrap()).unwrap();
         optimize(&mut m);
-        let ctx = LowerCtx { print_index: 1, user_func_base: 2 };
+        let ctx = LowerCtx {
+            print_index: 1,
+            user_func_base: 2,
+        };
         m.funcs
             .iter()
             .map(|f| {
@@ -158,8 +186,18 @@ mod tests {
             .find(|b| matches!(b.term, MTerm::Ret))
             .expect("return block");
         let n = ret_block.instrs.len();
-        assert!(matches!(ret_block.instrs[n - 1], MInst::Pop { dst: MReg::P(Reg::Ebp) }));
-        assert!(matches!(ret_block.instrs[n - 2], MInst::Pop { dst: MReg::P(Reg::Ebx) }));
+        assert!(matches!(
+            ret_block.instrs[n - 1],
+            MInst::Pop {
+                dst: MReg::P(Reg::Ebp)
+            }
+        ));
+        assert!(matches!(
+            ret_block.instrs[n - 2],
+            MInst::Pop {
+                dst: MReg::P(Reg::Ebx)
+            }
+        ));
     }
 
     #[test]
@@ -182,7 +220,11 @@ mod tests {
     fn frame_reserves_array_space() {
         let fs = full("int f() { int a[10]; a[0] = 1; return a[0]; }");
         let sub = fs[0].blocks[0].instrs.iter().find_map(|i| match i {
-            MInst::Alu { op: AluOp::Sub, dst: MReg::P(Reg::Esp), rhs: MRhs::Imm(n) } => Some(*n),
+            MInst::Alu {
+                op: AluOp::Sub,
+                dst: MReg::P(Reg::Esp),
+                rhs: MRhs::Imm(n),
+            } => Some(*n),
             _ => None,
         });
         assert!(sub.expect("stack adjustment") >= 40);
@@ -192,7 +234,14 @@ mod tests {
     fn no_frame_adjustment_without_slots() {
         let fs = full("int f(int a) { return a + 1; }");
         let sub = fs[0].blocks[0].instrs.iter().any(|i| {
-            matches!(i, MInst::Alu { op: AluOp::Sub, dst: MReg::P(Reg::Esp), .. })
+            matches!(
+                i,
+                MInst::Alu {
+                    op: AluOp::Sub,
+                    dst: MReg::P(Reg::Esp),
+                    ..
+                }
+            )
         });
         assert!(!sub);
     }

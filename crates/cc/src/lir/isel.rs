@@ -74,9 +74,11 @@ impl<'a> Lowerer<'a> {
                 }
             }
             match &b.term {
-                Term::Ret(Some(Operand::Value(v))) | Term::CondBr { cond: Operand::Value(v), .. } => {
-                    use_counts[v.0 as usize] += 1
-                }
+                Term::Ret(Some(Operand::Value(v)))
+                | Term::CondBr {
+                    cond: Operand::Value(v),
+                    ..
+                } => use_counts[v.0 as usize] += 1,
                 _ => {}
             }
         }
@@ -139,7 +141,11 @@ impl<'a> Lowerer<'a> {
 
     fn new_block(&mut self, ir_block: Option<u32>) -> u32 {
         let id = self.out.blocks.len() as u32;
-        self.out.blocks.push(MBlock { instrs: Vec::new(), term: MTerm::Ret, ir_block });
+        self.out.blocks.push(MBlock {
+            instrs: Vec::new(),
+            term: MTerm::Ret,
+            ir_block,
+        });
         id
     }
 
@@ -184,19 +190,23 @@ impl<'a> Lowerer<'a> {
     fn lower_block(&mut self, block: &ir::Block) -> Result<()> {
         let n = block.instrs.len();
         // Detect the comparison-fusion pattern.
-        let fused = match (&block.term, block.instrs.last()) {
+        let fused = matches!(
+            (&block.term, block.instrs.last()),
             (
-                Term::CondBr { cond: Operand::Value(cv), .. },
+                Term::CondBr {
+                    cond: Operand::Value(cv),
+                    ..
+                },
                 Some(Instr::Cmp { dst, .. }),
             ) if cv == dst
                 && self.use_counts[cv.0 as usize] == 1
-                && self.def_counts[cv.0 as usize] == 1 =>
-            {
-                true
-            }
-            _ => false,
+                && self.def_counts[cv.0 as usize] == 1
+        );
+        let body = if fused {
+            &block.instrs[..n - 1]
+        } else {
+            &block.instrs[..]
         };
-        let body = if fused { &block.instrs[..n - 1] } else { &block.instrs[..] };
         for ins in body {
             self.lower_instr(ins)?;
         }
@@ -205,7 +215,10 @@ impl<'a> Lowerer<'a> {
                 if let Some(op) = op {
                     self.move_into(MReg::P(Reg::Eax), *op);
                 } else {
-                    self.emit(MInst::MovRI { dst: MReg::P(Reg::Eax), imm: 0 });
+                    self.emit(MInst::MovRI {
+                        dst: MReg::P(Reg::Eax),
+                        imm: 0,
+                    });
                 }
                 self.out.blocks[self.cur].term = MTerm::Ret;
             }
@@ -218,8 +231,11 @@ impl<'a> Lowerer<'a> {
                         unreachable!("fusion checked the last instruction is a cmp");
                     };
                     let cc = self.emit_cmp_flags(*op, *lhs, *rhs);
-                    self.out.blocks[self.cur].term =
-                        MTerm::JCond { cc, t: MTarget::Ir(t.0), f: MTarget::Ir(f.0) };
+                    self.out.blocks[self.cur].term = MTerm::JCond {
+                        cc,
+                        t: MTarget::Ir(t.0),
+                        f: MTarget::Ir(f.0),
+                    };
                 } else {
                     match cond {
                         Operand::Const(c) => {
@@ -227,7 +243,10 @@ impl<'a> Lowerer<'a> {
                             self.out.blocks[self.cur].term = MTerm::Jmp(MTarget::Ir(target.0));
                         }
                         Operand::Value(v) => {
-                            self.emit(MInst::Cmp { lhs: Self::vreg(*v), rhs: MRhs::Imm(0) });
+                            self.emit(MInst::Cmp {
+                                lhs: Self::vreg(*v),
+                                rhs: MRhs::Imm(0),
+                            });
                             self.out.blocks[self.cur].term = MTerm::JCond {
                                 cc: Cond::Ne,
                                 t: MTarget::Ir(t.0),
@@ -257,7 +276,10 @@ impl<'a> Lowerer<'a> {
                 (tmp, Self::rhs(rhs), op)
             }
         };
-        self.emit(MInst::Cmp { lhs: reg_side, rhs: rhs_side });
+        self.emit(MInst::Cmp {
+            lhs: reg_side,
+            rhs: rhs_side,
+        });
         cmp_cond(op)
     }
 
@@ -284,8 +306,11 @@ impl<'a> Lowerer<'a> {
                 let ir_tag = self.out.blocks[self.cur].ir_block;
                 let fix = self.new_block(ir_tag);
                 let cont = self.new_block(ir_tag);
-                self.out.blocks[self.cur].term =
-                    MTerm::JCond { cc, t: MTarget::M(cont), f: MTarget::M(fix) };
+                self.out.blocks[self.cur].term = MTerm::JCond {
+                    cc,
+                    t: MTarget::M(cont),
+                    f: MTarget::M(fix),
+                };
                 self.cur = fix as usize;
                 self.emit(MInst::MovRI { dst: d, imm: 0 });
                 self.out.blocks[self.cur].term = MTerm::Jmp(MTarget::M(cont));
@@ -293,7 +318,10 @@ impl<'a> Lowerer<'a> {
             }
             Instr::LoadG { dst, global, index } => {
                 let addr = self.global_addr(global.0, *index);
-                self.emit(MInst::Load { dst: Self::vreg(*dst), addr });
+                self.emit(MInst::Load {
+                    dst: Self::vreg(*dst),
+                    addr,
+                });
             }
             Instr::StoreG { global, index, src } => {
                 let addr = self.global_addr(global.0, *index);
@@ -301,7 +329,10 @@ impl<'a> Lowerer<'a> {
             }
             Instr::LoadA { dst, slot, index } => {
                 let addr = self.slot_addr(slot.0, *index);
-                self.emit(MInst::Load { dst: Self::vreg(*dst), addr });
+                self.emit(MInst::Load {
+                    dst: Self::vreg(*dst),
+                    addr,
+                });
             }
             Instr::StoreA { slot, index, src } => {
                 let addr = self.slot_addr(slot.0, *index);
@@ -321,11 +352,18 @@ impl<'a> Lowerer<'a> {
                         rhs: MRhs::Imm(4 * args.len() as i32),
                     });
                 }
-                self.emit(MInst::MovRR { dst: Self::vreg(*dst), src: MReg::P(Reg::Eax) });
+                self.emit(MInst::MovRR {
+                    dst: Self::vreg(*dst),
+                    src: MReg::P(Reg::Eax),
+                });
             }
             Instr::Print { src } => {
-                self.emit(MInst::Push { rhs: Self::rhs(*src) });
-                self.emit(MInst::Call { target: CallTarget(self.ctx.print_index) });
+                self.emit(MInst::Push {
+                    rhs: Self::rhs(*src),
+                });
+                self.emit(MInst::Call {
+                    target: CallTarget(self.ctx.print_index),
+                });
                 self.emit(MInst::Alu {
                     op: AluOp::Add,
                     dst: MReg::P(Reg::Esp),
@@ -346,9 +384,10 @@ impl<'a> Lowerer<'a> {
     fn global_addr(&mut self, id: u32, index: Option<Operand>) -> MAddr {
         match index {
             None => MAddr::disp(Disp::Global { id, offset: 0 }),
-            Some(Operand::Const(c)) => {
-                MAddr::disp(Disp::Global { id, offset: c.wrapping_mul(4) })
-            }
+            Some(Operand::Const(c)) => MAddr::disp(Disp::Global {
+                id,
+                offset: c.wrapping_mul(4),
+            }),
             Some(Operand::Value(v)) => MAddr {
                 base: None,
                 index: Some((Self::vreg(v), Scale::S4)),
@@ -359,7 +398,10 @@ impl<'a> Lowerer<'a> {
 
     fn slot_addr(&mut self, id: u32, index: Operand) -> MAddr {
         match index {
-            Operand::Const(c) => MAddr::disp(Disp::Slot { id, offset: c.wrapping_mul(4) }),
+            Operand::Const(c) => MAddr::disp(Disp::Slot {
+                id,
+                offset: c.wrapping_mul(4),
+            }),
             Operand::Value(v) => MAddr {
                 base: None,
                 index: Some((Self::vreg(v), Scale::S4)),
@@ -371,7 +413,10 @@ impl<'a> Lowerer<'a> {
     fn store(&mut self, addr: MAddr, src: Operand) {
         match src {
             Operand::Const(c) => self.emit(MInst::StoreImm { addr, imm: c }),
-            Operand::Value(v) => self.emit(MInst::Store { addr, src: Self::vreg(v) }),
+            Operand::Value(v) => self.emit(MInst::Store {
+                addr,
+                src: Self::vreg(v),
+            }),
         }
     }
 
@@ -401,7 +446,11 @@ impl<'a> Lowerer<'a> {
                         return;
                     }
                     if let Operand::Value(l) = lhs {
-                        self.emit(MInst::ImulImm { dst, src: Self::vreg(l), imm: c });
+                        self.emit(MInst::ImulImm {
+                            dst,
+                            src: Self::vreg(l),
+                            imm: c,
+                        });
                         return;
                     }
                 }
@@ -413,22 +462,36 @@ impl<'a> Lowerer<'a> {
                 let divisor = match rhs {
                     Operand::Value(v) => Self::vreg(v),
                     Operand::Const(c) => {
-                        self.emit(MInst::MovRI { dst: MReg::P(Reg::Ecx), imm: c });
+                        self.emit(MInst::MovRI {
+                            dst: MReg::P(Reg::Ecx),
+                            imm: c,
+                        });
                         MReg::P(Reg::Ecx)
                     }
                 };
                 self.emit(MInst::Idiv { divisor });
                 let result = if op == BinOp::Div { Reg::Eax } else { Reg::Edx };
-                self.emit(MInst::MovRR { dst, src: MReg::P(result) });
+                self.emit(MInst::MovRR {
+                    dst,
+                    src: MReg::P(result),
+                });
             }
             BinOp::Shl | BinOp::Shr => {
-                let shop = if op == BinOp::Shl { ShiftOp::Shl } else { ShiftOp::Sar };
+                let shop = if op == BinOp::Shl {
+                    ShiftOp::Shl
+                } else {
+                    ShiftOp::Sar
+                };
                 match rhs {
                     Operand::Const(c) => {
                         self.move_into(dst, lhs);
                         let count = (c as u32 % 32) as u8;
                         if count != 0 {
-                            self.emit(MInst::Shift { op: shop, dst, count: ShiftCount::Imm(count) });
+                            self.emit(MInst::Shift {
+                                op: shop,
+                                dst,
+                                count: ShiftCount::Imm(count),
+                            });
                         }
                     }
                     Operand::Value(v) => {
@@ -443,8 +506,15 @@ impl<'a> Lowerer<'a> {
                         let count = Self::vreg(v);
                         let target = if count == dst { self.fresh() } else { dst };
                         self.move_into(target, lhs);
-                        self.emit(MInst::MovRR { dst: MReg::P(Reg::Ecx), src: count });
-                        self.emit(MInst::Shift { op: shop, dst: target, count: ShiftCount::Cl });
+                        self.emit(MInst::MovRR {
+                            dst: MReg::P(Reg::Ecx),
+                            src: count,
+                        });
+                        self.emit(MInst::Shift {
+                            op: shop,
+                            dst: target,
+                            count: ShiftCount::Cl,
+                        });
                         if target != dst {
                             self.emit(MInst::MovRR { dst, src: target });
                         }
@@ -456,13 +526,7 @@ impl<'a> Lowerer<'a> {
 
     /// Lowers `dst = lhs op rhs` for a two-address operation, detouring
     /// through a temporary when `rhs` aliases `dst`.
-    fn two_address(
-        &mut self,
-        dst: MReg,
-        lhs: Operand,
-        rhs: Operand,
-        make: impl Fn(MRhs) -> MInst,
-    ) {
+    fn two_address(&mut self, dst: MReg, lhs: Operand, rhs: Operand, make: impl Fn(MRhs) -> MInst) {
         if Self::aliases(rhs, dst) && !Self::aliases(lhs, dst) {
             let tmp = self.fresh();
             self.move_into(tmp, lhs);
@@ -510,7 +574,10 @@ mod tests {
     fn lower(src: &str) -> Vec<MFunction> {
         let mut m = build("t", &parse(lex(src).unwrap()).unwrap()).unwrap();
         optimize(&mut m);
-        let ctx = LowerCtx { print_index: 1, user_func_base: 2 };
+        let ctx = LowerCtx {
+            print_index: 1,
+            user_func_base: 2,
+        };
         m.funcs.iter().map(|f| select(f, &ctx).unwrap()).collect()
     }
 
@@ -552,7 +619,10 @@ mod tests {
     fn division_uses_eax_edx() {
         let fs = lower("int f(int a, int b) { return a / b + a % b; }");
         let f = &fs[0];
-        let cdqs = all_instrs(f).into_iter().filter(|i| matches!(i, MInst::Cdq)).count();
+        let cdqs = all_instrs(f)
+            .into_iter()
+            .filter(|i| matches!(i, MInst::Cdq))
+            .count();
         assert_eq!(cdqs, 2);
     }
 
@@ -561,7 +631,15 @@ mod tests {
         let fs = lower("int f(int a) { return a * 8; }");
         let shifts = all_instrs(&fs[0])
             .into_iter()
-            .filter(|i| matches!(i, MInst::Shift { op: ShiftOp::Shl, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    MInst::Shift {
+                        op: ShiftOp::Shl,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(shifts, 1);
     }
@@ -575,7 +653,11 @@ mod tests {
         let sub = all_instrs(f)
             .into_iter()
             .find_map(|i| match i {
-                MInst::Alu { op: AluOp::Sub, dst, rhs: MRhs::Reg(r) } => Some((*dst, *r)),
+                MInst::Alu {
+                    op: AluOp::Sub,
+                    dst,
+                    rhs: MRhs::Reg(r),
+                } => Some((*dst, *r)),
                 _ => None,
             })
             .expect("sub instruction present");
@@ -588,7 +670,14 @@ mod tests {
         let has_index = all_instrs(&fs[0]).into_iter().any(|i| {
             matches!(
                 i,
-                MInst::Load { addr: MAddr { index: Some((_, Scale::S4)), disp: Disp::Global { .. }, .. }, .. }
+                MInst::Load {
+                    addr: MAddr {
+                        index: Some((_, Scale::S4)),
+                        disp: Disp::Global { .. },
+                        ..
+                    },
+                    ..
+                }
             )
         });
         assert!(has_index);
@@ -624,9 +713,15 @@ mod tests {
     #[test]
     fn shift_by_variable_goes_through_cl() {
         let fs = lower("int f(int a, int n) { return a << n; }");
-        let has_cl = all_instrs(&fs[0])
-            .into_iter()
-            .any(|i| matches!(i, MInst::Shift { count: ShiftCount::Cl, .. }));
+        let has_cl = all_instrs(&fs[0]).into_iter().any(|i| {
+            matches!(
+                i,
+                MInst::Shift {
+                    count: ShiftCount::Cl,
+                    ..
+                }
+            )
+        });
         assert!(has_cl);
     }
 }

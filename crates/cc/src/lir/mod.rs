@@ -102,12 +102,20 @@ pub struct MAddr {
 impl MAddr {
     /// An address that is just a displacement.
     pub fn disp(disp: Disp) -> MAddr {
-        MAddr { base: None, index: None, disp }
+        MAddr {
+            base: None,
+            index: None,
+            disp,
+        }
     }
 
     /// A `[base + imm]` address.
     pub fn base_imm(base: MReg, imm: i32) -> MAddr {
-        MAddr { base: Some(base), index: None, disp: Disp::Imm(imm) }
+        MAddr {
+            base: Some(base),
+            index: None,
+            disp: Disp::Imm(imm),
+        }
     }
 }
 
@@ -216,7 +224,11 @@ pub enum MInst {
     /// `not dst`
     Not { dst: MReg },
     /// Shift `dst` by an immediate or by `cl`.
-    Shift { op: ShiftOp, dst: MReg, count: ShiftCount },
+    Shift {
+        op: ShiftOp,
+        dst: MReg,
+        count: ShiftCount,
+    },
     /// `push rhs`
     Push { rhs: MRhs },
     /// `pop dst`
@@ -328,6 +340,35 @@ pub enum Access {
     UseDef,
 }
 
+impl MInst {
+    /// `true` if the instruction reads the arithmetic flags (only the
+    /// carry-consuming ALU ops `adc`/`sbb` in this machine model).
+    pub fn reads_eflags(&self) -> bool {
+        matches!(
+            self,
+            MInst::Alu {
+                op: AluOp::Adc | AluOp::Sbb,
+                ..
+            }
+        )
+    }
+
+    /// `true` if the instruction defines *all* the flags a later reader
+    /// could consult. Anything that writes only a subset (`inc`, shifts,
+    /// `imul`) deliberately does **not** qualify, so a conservative
+    /// liveness analysis keeps flags live across it.
+    pub fn defines_all_eflags(&self) -> bool {
+        matches!(
+            self,
+            MInst::Alu { .. }
+                | MInst::AluMem { .. }
+                | MInst::Cmp { .. }
+                | MInst::Test { .. }
+                | MInst::Neg { .. }
+        )
+    }
+}
+
 impl Access {
     /// `true` if the operand is read.
     pub fn is_use(self) -> bool {
@@ -356,6 +397,7 @@ impl MInst {
                 f(i, Access::Use);
             }
         };
+        #[allow(clippy::type_complexity)] // nested visitor callbacks
         let rhs = |r: &mut MRhs,
                    addr: &mut dyn FnMut(&mut MAddr, &mut dyn FnMut(&mut MReg, Access)),
                    f: &mut dyn FnMut(&mut MReg, Access)| {
@@ -417,6 +459,7 @@ impl MInst {
     }
 }
 
+#[allow(clippy::type_complexity)] // nested visitor callbacks
 fn rhs_regs(
     rhs: &MRhs,
     addr: &mut dyn FnMut(&MAddr, &mut dyn FnMut(MReg, bool)),
@@ -523,6 +566,22 @@ impl MFunction {
     pub fn num_instrs(&self) -> usize {
         self.blocks.iter().map(|b| b.instrs.len() + 1).sum()
     }
+
+    /// Per-block predecessor lists, derived from the terminators'
+    /// successor edges. `predecessors()[b]` lists every block with an edge
+    /// into `b`, in block order, without duplicates.
+    pub fn predecessors(&self) -> Vec<Vec<u32>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (bi, block) in self.blocks.iter().enumerate() {
+            for s in block.term.successors() {
+                let list = &mut preds[s as usize];
+                if list.last() != Some(&(bi as u32)) && !list.contains(&(bi as u32)) {
+                    list.push(bi as u32);
+                }
+            }
+        }
+        preds
+    }
 }
 
 impl fmt::Display for MFunction {
@@ -570,7 +629,10 @@ mod tests {
     #[test]
     fn idiv_implicit_regs() {
         let mut regs = Vec::new();
-        MInst::Idiv { divisor: MReg::P(Reg::Ecx) }.for_each_reg(|r, d| regs.push((r, d)));
+        MInst::Idiv {
+            divisor: MReg::P(Reg::Ecx),
+        }
+        .for_each_reg(|r, d| regs.push((r, d)));
         assert!(regs.contains(&(MReg::P(Reg::Eax), true)));
         assert!(regs.contains(&(MReg::P(Reg::Edx), true)));
         assert!(regs.contains(&(MReg::P(Reg::Ecx), false)));

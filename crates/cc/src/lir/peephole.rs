@@ -48,7 +48,10 @@ fn writes_reg(inst: &MInst, r: MReg) -> bool {
     // Implicit call clobbers.
     if let MInst::Call { .. } = inst {
         if let MReg::P(p) = r {
-            hit |= matches!(p, pgsd_x86::Reg::Eax | pgsd_x86::Reg::Ecx | pgsd_x86::Reg::Edx);
+            hit |= matches!(
+                p,
+                pgsd_x86::Reg::Eax | pgsd_x86::Reg::Ecx | pgsd_x86::Reg::Edx
+            );
         }
     }
     hit
@@ -68,10 +71,9 @@ fn rewrite_block(instrs: &mut Vec<MInst>) -> usize {
         match (out.last(), &inst) {
             // Rule 2: store-to-load forwarding: `mov [A], r; mov r', [A]`
             // → keep the store, turn the load into a register move.
-            (
-                Some(MInst::Store { addr: a1, src }),
-                MInst::Load { dst, addr: a2 },
-            ) if same_addr(a1, a2) => {
+            (Some(MInst::Store { addr: a1, src }), MInst::Load { dst, addr: a2 })
+                if same_addr(a1, a2) =>
+            {
                 let (src, dst) = (*src, *dst);
                 changed += 1;
                 if dst != src {
@@ -81,9 +83,7 @@ fn rewrite_block(instrs: &mut Vec<MInst>) -> usize {
             }
             // Rule 3: immediately overwritten immediate store to the same
             // register: `mov r, imm1; mov r, imm2` → drop the first.
-            (Some(MInst::MovRI { dst: d1, .. }), MInst::MovRI { dst: d2, .. })
-                if d1 == d2 =>
-            {
+            (Some(MInst::MovRI { dst: d1, .. }), MInst::MovRI { dst: d2, .. }) if d1 == d2 => {
                 out.pop();
                 changed += 1;
                 out.push(inst);
@@ -114,7 +114,10 @@ fn reads_reg(inst: &MInst, r: MReg) -> bool {
     inst.for_each_reg(|reg, is_def| hit |= !is_def && reg == r);
     // Two-address defs also read; for_each_reg reports those as separate
     // use visits, handled above. `Push`/`Store` of the register:
-    if let MInst::Push { rhs: MRhs::Reg(reg) } = inst {
+    if let MInst::Push {
+        rhs: MRhs::Reg(reg),
+    } = inst
+    {
         hit |= *reg == r;
     }
     hit
@@ -149,14 +152,24 @@ mod tests {
     }
 
     fn slot(off: i32) -> MAddr {
-        MAddr { base: Some(p(Reg::Ebp)), index: None, disp: Disp::Imm(off) }
+        MAddr {
+            base: Some(p(Reg::Ebp)),
+            index: None,
+            disp: Disp::Imm(off),
+        }
     }
 
     #[test]
     fn removes_self_moves() {
         let mut f = block_of(vec![
-            MInst::MovRR { dst: p(Reg::Eax), src: p(Reg::Eax) },
-            MInst::MovRR { dst: p(Reg::Eax), src: p(Reg::Ebx) },
+            MInst::MovRR {
+                dst: p(Reg::Eax),
+                src: p(Reg::Eax),
+            },
+            MInst::MovRR {
+                dst: p(Reg::Eax),
+                src: p(Reg::Ebx),
+            },
         ]);
         assert_eq!(peephole(&mut f), 1);
         assert_eq!(f.blocks[0].instrs.len(), 1);
@@ -165,21 +178,39 @@ mod tests {
     #[test]
     fn forwards_store_to_load() {
         let mut f = block_of(vec![
-            MInst::Store { addr: slot(-16), src: p(Reg::Ebx) },
-            MInst::Load { dst: p(Reg::Esi), addr: slot(-16) },
+            MInst::Store {
+                addr: slot(-16),
+                src: p(Reg::Ebx),
+            },
+            MInst::Load {
+                dst: p(Reg::Esi),
+                addr: slot(-16),
+            },
         ]);
         assert!(peephole(&mut f) >= 1);
         assert_eq!(
             f.blocks[0].instrs,
             vec![
-                MInst::Store { addr: slot(-16), src: p(Reg::Ebx) },
-                MInst::MovRR { dst: p(Reg::Esi), src: p(Reg::Ebx) },
+                MInst::Store {
+                    addr: slot(-16),
+                    src: p(Reg::Ebx)
+                },
+                MInst::MovRR {
+                    dst: p(Reg::Esi),
+                    src: p(Reg::Ebx)
+                },
             ]
         );
         // Same register: the load disappears entirely.
         let mut f = block_of(vec![
-            MInst::Store { addr: slot(-16), src: p(Reg::Ebx) },
-            MInst::Load { dst: p(Reg::Ebx), addr: slot(-16) },
+            MInst::Store {
+                addr: slot(-16),
+                src: p(Reg::Ebx),
+            },
+            MInst::Load {
+                dst: p(Reg::Ebx),
+                addr: slot(-16),
+            },
         ]);
         peephole(&mut f);
         assert_eq!(f.blocks[0].instrs.len(), 1);
@@ -188,8 +219,14 @@ mod tests {
     #[test]
     fn different_slots_not_forwarded() {
         let mut f = block_of(vec![
-            MInst::Store { addr: slot(-16), src: p(Reg::Ebx) },
-            MInst::Load { dst: p(Reg::Esi), addr: slot(-20) },
+            MInst::Store {
+                addr: slot(-16),
+                src: p(Reg::Ebx),
+            },
+            MInst::Load {
+                dst: p(Reg::Esi),
+                addr: slot(-20),
+            },
         ]);
         assert_eq!(peephole(&mut f), 0);
     }
@@ -197,31 +234,59 @@ mod tests {
     #[test]
     fn dead_immediate_write_dropped() {
         let mut f = block_of(vec![
-            MInst::MovRI { dst: p(Reg::Eax), imm: 1 },
-            MInst::MovRI { dst: p(Reg::Eax), imm: 2 },
+            MInst::MovRI {
+                dst: p(Reg::Eax),
+                imm: 1,
+            },
+            MInst::MovRI {
+                dst: p(Reg::Eax),
+                imm: 2,
+            },
         ]);
         assert_eq!(peephole(&mut f), 1);
-        assert_eq!(f.blocks[0].instrs, vec![MInst::MovRI { dst: p(Reg::Eax), imm: 2 }]);
+        assert_eq!(
+            f.blocks[0].instrs,
+            vec![MInst::MovRI {
+                dst: p(Reg::Eax),
+                imm: 2
+            }]
+        );
     }
 
     #[test]
     fn dead_load_before_redefinition_dropped() {
         let mut f = block_of(vec![
-            MInst::Load { dst: p(Reg::Ebx), addr: slot(-8) },
-            MInst::MovRI { dst: p(Reg::Ebx), imm: 5 },
+            MInst::Load {
+                dst: p(Reg::Ebx),
+                addr: slot(-8),
+            },
+            MInst::MovRI {
+                dst: p(Reg::Ebx),
+                imm: 5,
+            },
         ]);
         assert_eq!(peephole(&mut f), 1);
         // But a load whose value is USED by the next write must stay.
         let mut f = block_of(vec![
-            MInst::Load { dst: p(Reg::Ebx), addr: slot(-8) },
-            MInst::Alu { op: AluOp::Add, dst: p(Reg::Ebx), rhs: MRhs::Imm(1) },
+            MInst::Load {
+                dst: p(Reg::Ebx),
+                addr: slot(-8),
+            },
+            MInst::Alu {
+                op: AluOp::Add,
+                dst: p(Reg::Ebx),
+                rhs: MRhs::Imm(1),
+            },
         ]);
         assert_eq!(peephole(&mut f), 0);
     }
 
     #[test]
     fn raw_functions_untouched() {
-        let mut f = block_of(vec![MInst::MovRR { dst: p(Reg::Eax), src: p(Reg::Eax) }]);
+        let mut f = block_of(vec![MInst::MovRR {
+            dst: p(Reg::Eax),
+            src: p(Reg::Eax),
+        }]);
         f.raw = true;
         assert_eq!(peephole(&mut f), 0);
     }
@@ -254,7 +319,10 @@ mod tests {
         let removed: usize = optimized.iter_mut().map(peephole).sum();
         let (got, size_after) = run(&optimized);
         assert_eq!(got, want);
-        assert!(removed > 0, "spill traffic should expose forwarding opportunities");
+        assert!(
+            removed > 0,
+            "spill traffic should expose forwarding opportunities"
+        );
         assert!(size_after < size_before);
     }
 }

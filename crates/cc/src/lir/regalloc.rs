@@ -156,20 +156,22 @@ fn build_intervals(func: &MFunction) -> Vec<Interval> {
                 touch(v, block_end[bi], &mut start, &mut end);
             }
         }
-        let mut p = block_start[bi];
-        for i in &b.instrs {
+        for (p, i) in (block_start[bi]..).zip(b.instrs.iter()) {
             i.for_each_reg(|r, _| {
                 if let MReg::V(n) = r {
                     touch(n as usize, p, &mut start, &mut end);
                 }
             });
-            p += 1;
         }
     }
 
     let mut out: Vec<Interval> = (0..nv)
         .filter(|&v| start[v] != u32::MAX)
-        .map(|v| Interval { vreg: v as u32, start: start[v], end: end[v] })
+        .map(|v| Interval {
+            vreg: v as u32,
+            start: start[v],
+            end: end[v],
+        })
         .collect();
     out.sort_by_key(|i| (i.start, i.end));
     out
@@ -237,7 +239,10 @@ fn rewrite(func: &mut MFunction, assignment: &HashMap<u32, Loc>) -> Result<()> {
 }
 
 fn slot_addr(slot: u32) -> MAddr {
-    MAddr::disp(Disp::Slot { id: slot, offset: 0 })
+    MAddr::disp(Disp::Slot {
+        id: slot,
+        offset: 0,
+    })
 }
 
 fn rewrite_inst(
@@ -256,20 +261,38 @@ fn rewrite_inst(
     // Peephole the common single-register move forms so spill code stays
     // compact.
     match inst {
-        MInst::MovRR { dst: MReg::V(d), src } if spilled(assignment, d) => {
+        MInst::MovRR {
+            dst: MReg::V(d),
+            src,
+        } if spilled(assignment, d) => {
             if let Some(src) = resolve_reg(assignment, src) {
-                out.push(MInst::Store { addr: slot_addr(slot_of(assignment, d)), src });
+                out.push(MInst::Store {
+                    addr: slot_addr(slot_of(assignment, d)),
+                    src,
+                });
                 return Ok(());
             }
         }
-        MInst::MovRR { dst, src: MReg::V(s) } if spilled(assignment, s) => {
+        MInst::MovRR {
+            dst,
+            src: MReg::V(s),
+        } if spilled(assignment, s) => {
             if let Some(dst) = resolve_reg(assignment, dst) {
-                out.push(MInst::Load { dst, addr: slot_addr(slot_of(assignment, s)) });
+                out.push(MInst::Load {
+                    dst,
+                    addr: slot_addr(slot_of(assignment, s)),
+                });
                 return Ok(());
             }
         }
-        MInst::MovRI { dst: MReg::V(d), imm } if spilled(assignment, d) => {
-            out.push(MInst::StoreImm { addr: slot_addr(slot_of(assignment, d)), imm });
+        MInst::MovRI {
+            dst: MReg::V(d),
+            imm,
+        } if spilled(assignment, d) => {
+            out.push(MInst::StoreImm {
+                addr: slot_addr(slot_of(assignment, d)),
+                imm,
+            });
             return Ok(());
         }
         _ => {}
@@ -283,8 +306,11 @@ fn rewrite_inst(
             used_phys.push(p);
         }
     });
-    let mut pool: Vec<Reg> =
-        SCRATCH.iter().copied().filter(|r| !used_phys.contains(r)).collect();
+    let mut pool: Vec<Reg> = SCRATCH
+        .iter()
+        .copied()
+        .filter(|r| !used_phys.contains(r))
+        .collect();
 
     // vreg → scratch assignment for this instruction.
     let mut scratch_for: HashMap<u32, (Reg, bool, bool)> = HashMap::new(); // (reg, load, store)
@@ -339,13 +365,19 @@ fn rewrite_inst(
     entries.sort_by_key(|(v, _)| **v);
     for (v, (s, load, _)) in &entries {
         if *load {
-            out.push(MInst::Load { dst: MReg::P(*s), addr: slot_addr(slot_of(assignment, **v)) });
+            out.push(MInst::Load {
+                dst: MReg::P(*s),
+                addr: slot_addr(slot_of(assignment, **v)),
+            });
         }
     }
     out.push(inst);
     for (v, (s, _, store)) in &entries {
         if *store {
-            out.push(MInst::Store { addr: slot_addr(slot_of(assignment, **v)), src: MReg::P(*s) });
+            out.push(MInst::Store {
+                addr: slot_addr(slot_of(assignment, **v)),
+                src: MReg::P(*s),
+            });
         }
     }
     Ok(())
@@ -385,7 +417,10 @@ mod tests {
     fn alloc(src: &str) -> Vec<MFunction> {
         let mut m = build("t", &parse(lex(src).unwrap()).unwrap()).unwrap();
         optimize(&mut m);
-        let ctx = LowerCtx { print_index: 1, user_func_base: 2 };
+        let ctx = LowerCtx {
+            print_index: 1,
+            user_func_base: 2,
+        };
         m.funcs
             .iter()
             .map(|f| {
@@ -400,7 +435,10 @@ mod tests {
         for b in &f.blocks {
             for i in &b.instrs {
                 i.for_each_reg(|r, _| {
-                    assert!(matches!(r, MReg::P(_)), "virtual register left in {i:?} of {f}");
+                    assert!(
+                        matches!(r, MReg::P(_)),
+                        "virtual register left in {i:?} of {f}"
+                    );
                 });
             }
         }
@@ -418,7 +456,10 @@ mod tests {
         let fs = alloc("int f(int a, int b, int c) { return a + b + c; }");
         for b in &fs[0].blocks {
             for i in &b.instrs {
-                if let MInst::Alu { dst: MReg::P(p), .. } = i {
+                if let MInst::Alu {
+                    dst: MReg::P(p), ..
+                } = i
+                {
                     assert!(
                         ALLOCATABLE.contains(p) || SCRATCH.contains(p) || *p == Reg::Esp,
                         "unexpected register {p}"
@@ -457,7 +498,10 @@ mod tests {
         // idiv's divisor must not be eax or edx.
         for b in &fs[0].blocks {
             for i in &b.instrs {
-                if let MInst::Idiv { divisor: MReg::P(p) } = i {
+                if let MInst::Idiv {
+                    divisor: MReg::P(p),
+                } = i
+                {
                     assert!(*p != Reg::Eax && *p != Reg::Edx);
                 }
             }

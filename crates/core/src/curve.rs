@@ -65,7 +65,11 @@ impl Strategy {
         assert!((0.0..=1.0).contains(&p_min), "p_min {p_min} out of range");
         assert!((0.0..=1.0).contains(&p_max), "p_max {p_max} out of range");
         assert!(p_min <= p_max, "p_min must not exceed p_max");
-        Strategy::Profiled { p_min, p_max, curve }
+        Strategy::Profiled {
+            p_min,
+            p_max,
+            curve,
+        }
     }
 
     /// `true` if this strategy needs profile data.
@@ -78,16 +82,18 @@ impl Strategy {
     pub fn probability(&self, count: u64, x_max: u64) -> f64 {
         match *self {
             Strategy::Uniform { p } => p,
-            Strategy::Profiled { p_min, p_max, curve } => {
+            Strategy::Profiled {
+                p_min,
+                p_max,
+                curve,
+            } => {
                 if x_max == 0 {
                     // No profile signal at all: everything is "cold".
                     return p_max;
                 }
                 let frac = match curve {
                     Curve::Linear => count.min(x_max) as f64 / x_max as f64,
-                    Curve::Log => {
-                        ((1.0 + count as f64).ln()) / ((1.0 + x_max as f64).ln())
-                    }
+                    Curve::Log => ((1.0 + count as f64).ln()) / ((1.0 + x_max as f64).ln()),
                 };
                 (p_max - (p_max - p_min) * frac.clamp(0.0, 1.0)).clamp(p_min, p_max)
             }
@@ -112,7 +118,11 @@ impl fmt::Display for Strategy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             Strategy::Uniform { p } => write!(f, "pNOP={:.0}%", p * 100.0),
-            Strategy::Profiled { p_min, p_max, curve } => {
+            Strategy::Profiled {
+                p_min,
+                p_max,
+                curve,
+            } => {
                 write!(f, "pNOP={:.0}-{:.0}%", p_min * 100.0, p_max * 100.0)?;
                 if curve == Curve::Linear {
                     write!(f, " (linear)")?;
@@ -187,14 +197,19 @@ mod tests {
 
     #[test]
     fn display_matches_paper_labels() {
-        let labels: Vec<String> =
-            Strategy::paper_configs().iter().map(|(_, s)| s.to_string()).collect();
-        assert_eq!(labels, vec![
-            "pNOP=50%",
-            "pNOP=25-50%",
-            "pNOP=10-50%",
-            "pNOP=30%",
-            "pNOP=0-30%"
-        ]);
+        let labels: Vec<String> = Strategy::paper_configs()
+            .iter()
+            .map(|(_, s)| s.to_string())
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                "pNOP=50%",
+                "pNOP=25-50%",
+                "pNOP=10-50%",
+                "pNOP=30%",
+                "pNOP=0-30%"
+            ]
+        );
     }
 }

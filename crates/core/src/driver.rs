@@ -11,6 +11,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use pgsd_analysis::divcheck::Transforms;
 use pgsd_cc::driver::{emit_image, frontend, lower_module, lower_module_seeded};
 use pgsd_cc::emit::{Image, STACK_TOP};
 use pgsd_cc::error::{CompileError, Result};
@@ -45,6 +46,10 @@ pub struct BuildConfig {
     pub reg_randomize: bool,
     /// RNG seed; distinct seeds produce distinct program versions.
     pub seed: u64,
+    /// After a diversified build, statically validate the variant against
+    /// a freshly built baseline with `pgsd-analysis`'s `divcheck` and fail
+    /// the build if the proof does not go through.
+    pub validate: bool,
 }
 
 impl BuildConfig {
@@ -57,13 +62,18 @@ impl BuildConfig {
             substitution: None,
             reg_randomize: false,
             seed: 0,
+            validate: false,
         }
     }
 
     /// A diversified build with `strategy` and `seed` (NOP insertion
     /// only — the paper's main configuration).
     pub fn diversified(strategy: Strategy, seed: u64) -> BuildConfig {
-        BuildConfig { strategy: Some(strategy), seed, ..BuildConfig::baseline() }
+        BuildConfig {
+            strategy: Some(strategy),
+            seed,
+            ..BuildConfig::baseline()
+        }
     }
 
     /// Everything on: NOP insertion plus all three §6 extensions with the
@@ -76,6 +86,24 @@ impl BuildConfig {
             substitution: Some(strategy),
             reg_randomize: true,
             seed,
+            validate: false,
+        }
+    }
+
+    /// Returns this configuration with post-build validation enabled.
+    pub fn validated(mut self) -> BuildConfig {
+        self.validate = true;
+        self
+    }
+
+    /// The transform declaration `divcheck` validates against.
+    pub fn transforms(&self) -> Transforms {
+        Transforms {
+            nops: self.strategy.is_some(),
+            shift: self.shift_max_pad.is_some(),
+            subst: self.substitution.is_some(),
+            regrand: self.reg_randomize,
+            with_xchg: self.with_xchg,
         }
     }
 }
@@ -105,14 +133,22 @@ pub fn build(module: &Module, profile: Option<&Profile>, config: &BuildConfig) -
         || config.substitution.is_some()
         || config.shift_max_pad.is_some()
         || config.reg_randomize;
-    let reg_seed = if config.reg_randomize { Some(config.seed) } else { None };
+    let reg_seed = if config.reg_randomize {
+        Some(config.seed)
+    } else {
+        None
+    };
     let mut funcs = if diversifying {
         lower_module_seeded(module, reg_seed)?
     } else {
         lower_module(module)?
     };
     if diversifying {
-        let table = if config.with_xchg { NopTable::with_xchg() } else { NopTable::new() };
+        let table = if config.with_xchg {
+            NopTable::with_xchg()
+        } else {
+            NopTable::new()
+        };
         let mut rng = StdRng::seed_from_u64(config.seed);
         if let Some(max_pad) = config.shift_max_pad {
             shift_blocks(&mut funcs, max_pad, &table, &mut rng);
@@ -124,7 +160,18 @@ pub fn build(module: &Module, profile: Option<&Profile>, config: &BuildConfig) -
             insert_nops(&mut funcs, strategy, profile, &table, &mut rng);
         }
     }
-    emit_image(&funcs, module)
+    let image = emit_image(&funcs, module)?;
+    if config.validate && diversifying {
+        let baseline = emit_image(&lower_module(module)?, module)?;
+        pgsd_analysis::check_images(&baseline, &image, &config.transforms()).map_err(|diags| {
+            let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+            CompileError::new(format!(
+                "variant failed static validation:\n{}",
+                rendered.join("\n")
+            ))
+        })?;
+    }
+    Ok(image)
 }
 
 /// A training or measurement input: arguments to `main` plus optional
@@ -141,7 +188,10 @@ pub struct Input {
 impl Input {
     /// An input with arguments only.
     pub fn args(args: &[i32]) -> Input {
-        Input { args: args.to_vec(), pokes: Vec::new() }
+        Input {
+            args: args.to_vec(),
+            pokes: Vec::new(),
+        }
     }
 
     /// Adds a data poke.
@@ -193,7 +243,9 @@ fn apply_pokes(image: &Image, emu: &mut Emulator, input: &Input) {
         for w in words {
             bytes.extend_from_slice(&w.to_le_bytes());
         }
-        emu.mem.write_bytes(addr, &bytes).expect("poke within the data segment");
+        emu.mem
+            .write_bytes(addr, &bytes)
+            .expect("poke within the data segment");
     }
 }
 
@@ -246,7 +298,10 @@ pub fn compile_diversified(
     train_inputs: &[Input],
 ) -> Result<Image> {
     let module = frontend(name, source)?;
-    let needs = config.strategy.as_ref().is_some_and(Strategy::needs_profile);
+    let needs = config
+        .strategy
+        .as_ref()
+        .is_some_and(Strategy::needs_profile);
     let profile = if needs {
         Some(train(&module, train_inputs, DEFAULT_GAS)?)
     } else {
@@ -377,6 +432,39 @@ mod tests {
             let (exit, _) = run(img, &[7], 1_000_000);
             assert_eq!(exit, Exit::Exited(28));
         }
+    }
+
+    #[test]
+    fn validated_builds_pass_divcheck() {
+        let module = frontend("t", SRC).unwrap();
+        for seed in 0..4 {
+            let nop_only = BuildConfig::diversified(Strategy::uniform(0.5), seed).validated();
+            build(&module, None, &nop_only).unwrap_or_else(|e| {
+                panic!("nop-only seed {seed} failed validation:\n{}", e.message)
+            });
+            let full = BuildConfig::full_diversity(Strategy::uniform(0.5), seed).validated();
+            build(&module, None, &full).unwrap_or_else(|e| {
+                panic!(
+                    "full-diversity seed {seed} failed validation:\n{}",
+                    e.message
+                )
+            });
+        }
+    }
+
+    #[test]
+    fn validation_rejects_undeclared_transforms() {
+        // Build with substitution but validate as if only NOPs were
+        // declared: the checker must refuse the proof.
+        let module = frontend("t", SRC).unwrap();
+        let config = BuildConfig::full_diversity(Strategy::uniform(1.0), 3);
+        let variant = build(&module, None, &config).unwrap();
+        let baseline = build(&module, None, &BuildConfig::baseline()).unwrap();
+        let narrow = pgsd_analysis::Transforms {
+            nops: true,
+            ..pgsd_analysis::Transforms::none()
+        };
+        assert!(pgsd_analysis::check_images(&baseline, &variant, &narrow).is_err());
     }
 
     #[test]

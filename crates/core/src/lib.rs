@@ -42,7 +42,9 @@ pub mod shift_pass;
 pub mod subst_pass;
 
 pub use curve::{Curve, Strategy};
-pub use driver::{build, compile_diversified, population, run, run_input, train, BuildConfig, Input};
+pub use driver::{
+    build, compile_diversified, population, run, run_input, train, BuildConfig, Input,
+};
 pub use nop_pass::{insert_nops, NopReport};
 pub use shift_pass::{shift_blocks, ShiftReport};
 pub use subst_pass::{substitute, SubstReport};

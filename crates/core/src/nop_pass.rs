@@ -84,7 +84,9 @@ fn maybe_insert(
     let roll: f64 = rng.gen();
     if roll < p {
         let idx = rng.gen_range(0..table.len());
-        out.push(MInst::Nop { kind: table.kind(idx) });
+        out.push(MInst::Nop {
+            kind: table.kind(idx),
+        });
         report.inserted += 1;
     }
 }
@@ -166,7 +168,13 @@ mod tests {
     fn runtime_functions_are_never_diversified() {
         let mut funcs = lowered(SRC);
         let mut rng = StdRng::seed_from_u64(1);
-        insert_nops(&mut funcs, &Strategy::uniform(1.0), None, &NopTable::new(), &mut rng);
+        insert_nops(
+            &mut funcs,
+            &Strategy::uniform(1.0),
+            None,
+            &NopTable::new(),
+            &mut rng,
+        );
         for f in funcs.iter().filter(|f| !f.diversify) {
             for b in &f.blocks {
                 assert!(
@@ -183,7 +191,13 @@ mod tests {
         let build = |seed: u64| {
             let mut funcs = lowered(SRC);
             let mut rng = StdRng::seed_from_u64(seed);
-            insert_nops(&mut funcs, &Strategy::uniform(0.5), None, &NopTable::new(), &mut rng);
+            insert_nops(
+                &mut funcs,
+                &Strategy::uniform(0.5),
+                None,
+                &NopTable::new(),
+                &mut rng,
+            );
             funcs
         };
         assert_eq!(build(1), build(1), "same seed must reproduce");
@@ -197,19 +211,17 @@ mod tests {
         // block 0.
         let funcs_probe = lowered(SRC);
         let main = funcs_probe.iter().find(|f| f.name == "main").unwrap();
-        let n_ir_blocks = main
-            .blocks
-            .iter()
-            .filter_map(|b| b.ir_block)
-            .max()
-            .unwrap() as usize
-            + 1;
+        let n_ir_blocks = main.blocks.iter().filter_map(|b| b.ir_block).max().unwrap() as usize + 1;
         let mut counts = vec![1_000_000u64; n_ir_blocks];
         counts[0] = 0;
         let mut profile = Profile::default();
-        profile
-            .funcs
-            .insert("main".into(), FuncProfile { block_counts: counts, invocations: 1 });
+        profile.funcs.insert(
+            "main".into(),
+            FuncProfile {
+                block_counts: counts,
+                invocations: 1,
+            },
+        );
 
         let mut funcs = lowered(SRC);
         let mut rng = StdRng::seed_from_u64(3);
@@ -222,7 +234,11 @@ mod tests {
         );
         let main = funcs.iter().find(|f| f.name == "main").unwrap();
         for block in &main.blocks {
-            let nops = block.instrs.iter().filter(|i| matches!(i, MInst::Nop { .. })).count();
+            let nops = block
+                .instrs
+                .iter()
+                .filter(|i| matches!(i, MInst::Nop { .. }))
+                .count();
             match block.ir_block {
                 Some(0) => assert!(nops > 0, "cold block should be stuffed with NOPs"),
                 Some(_) => assert_eq!(nops, 0, "hot block must stay clean"),

@@ -47,7 +47,9 @@ pub fn shift_blocks(
         let mut pad = Vec::with_capacity(pad_len);
         for _ in 0..pad_len {
             let idx = rng.gen_range(0..table.len());
-            pad.push(MInst::Nop { kind: table.kind(idx) });
+            pad.push(MInst::Nop {
+                kind: table.kind(idx),
+            });
         }
         report.pad_nops += pad_len as u64;
         report.functions += 1;
@@ -58,7 +60,11 @@ pub fn shift_blocks(
             term: MTerm::Jmp(MTarget::M(2)),
             ir_block: func.blocks[0].ir_block,
         };
-        let padding = MBlock { instrs: pad, term: MTerm::Jmp(MTarget::M(2)), ir_block: None };
+        let padding = MBlock {
+            instrs: pad,
+            term: MTerm::Jmp(MTarget::M(2)),
+            ir_block: None,
+        };
         func.blocks.splice(0..0, [jump, padding]);
     }
     report

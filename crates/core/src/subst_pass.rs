@@ -10,15 +10,18 @@
 //! keep their original (often faster) encodings.
 //!
 //! Safety: many substitutions change the arithmetic flags, so the pass
-//! runs a conservative flags-liveness analysis over the machine CFG and
-//! substitutes a flag-affecting pattern only where the flags are provably
-//! dead. `esp`-involving moves keep their original form except for the
+//! consults the shared EFLAGS-liveness analysis from `pgsd-analysis`
+//! (`flags_live_after`, the generalized worklist form of the analysis
+//! this pass originally carried privately) and substitutes a
+//! flag-affecting pattern only where the flags are provably dead.
+//! `esp`-involving moves keep their original form except for the
 //! verified-safe `push src; pop dst` rewrite (Intel pushes the *old* esp).
 
+use pgsd_analysis::flags::flags_live_after;
 use pgsd_x86::{AluOp, Reg, ShiftOp};
 use rand::Rng;
 
-use pgsd_cc::lir::{MAddr, MFunction, MInst, MReg, MRhs, MTerm, ShiftCount};
+use pgsd_cc::lir::{MAddr, MFunction, MInst, MReg, MRhs, ShiftCount};
 use pgsd_profile::Profile;
 
 use crate::curve::Strategy;
@@ -32,78 +35,6 @@ pub struct SubstReport {
     pub substituted: u64,
 }
 
-/// `true` if the instruction reads the arithmetic flags.
-fn reads_flags(inst: &MInst) -> bool {
-    matches!(inst, MInst::Alu { op: AluOp::Adc | AluOp::Sbb, .. })
-}
-
-/// `true` if the instruction defines *all* the flags a later reader could
-/// consult (anything less keeps flags live, conservatively).
-fn defines_all_flags(inst: &MInst) -> bool {
-    matches!(
-        inst,
-        MInst::Alu { .. } | MInst::AluMem { .. } | MInst::Cmp { .. } | MInst::Test { .. }
-            | MInst::Neg { .. }
-    )
-}
-
-/// Per-instruction flags liveness: `live[b][i]` is `true` when the flags
-/// may be read after instruction `i` of block `b` executes (so a
-/// flag-changing substitution of instruction `i` is unsafe).
-fn flags_liveness(func: &MFunction) -> Vec<Vec<bool>> {
-    let nb = func.blocks.len();
-    // Block-level: does the block (or anything it can reach before a full
-    // flags definition) read flags at its entry?
-    let mut live_in = vec![false; nb];
-    loop {
-        let mut changed = false;
-        for (bi, block) in func.blocks.iter().enumerate() {
-            let mut live = match block.term {
-                MTerm::JCond { .. } => true,
-                _ => block
-                    .term
-                    .successors()
-                    .iter()
-                    .any(|&s| live_in[s as usize]),
-            };
-            // Walk backwards through the body.
-            for inst in block.instrs.iter().rev() {
-                if reads_flags(inst) {
-                    live = true;
-                } else if defines_all_flags(inst) {
-                    live = false;
-                }
-            }
-            if live != live_in[bi] {
-                live_in[bi] = live;
-                changed = true;
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
-    // Second pass: per-instruction live-after.
-    let mut out = Vec::with_capacity(nb);
-    for block in &func.blocks {
-        let mut live_after = vec![false; block.instrs.len()];
-        let mut live = match block.term {
-            MTerm::JCond { .. } => true,
-            _ => block.term.successors().iter().any(|&s| live_in[s as usize]),
-        };
-        for (i, inst) in block.instrs.iter().enumerate().rev() {
-            live_after[i] = live;
-            if reads_flags(inst) {
-                live = true;
-            } else if defines_all_flags(inst) {
-                live = false;
-            }
-        }
-        out.push(live_after);
-    }
-    out
-}
-
 fn is_esp(r: MReg) -> bool {
     matches!(r, MReg::P(Reg::Esp))
 }
@@ -114,20 +45,33 @@ fn equivalents(inst: &MInst, flags_dead: bool) -> Vec<Vec<MInst>> {
     let mut out = Vec::new();
     match *inst {
         MInst::MovRI { dst, imm: 0 } if flags_dead && !is_esp(dst) => {
-            out.push(vec![MInst::Alu { op: AluOp::Xor, dst, rhs: MRhs::Reg(dst) }]);
+            out.push(vec![MInst::Alu {
+                op: AluOp::Xor,
+                dst,
+                rhs: MRhs::Reg(dst),
+            }]);
         }
-        MInst::Alu { op: AluOp::Xor, dst, rhs: MRhs::Reg(r) } if r == dst && flags_dead => {
+        MInst::Alu {
+            op: AluOp::Xor,
+            dst,
+            rhs: MRhs::Reg(r),
+        } if r == dst && flags_dead => {
             out.push(vec![MInst::MovRI { dst, imm: 0 }]);
         }
         MInst::MovRR { dst, src } if dst != src && !is_esp(dst) => {
             // mov d, s ≡ lea d, [s]  (no flags — always safe).
             if !is_esp(src) {
-                out.push(vec![MInst::Lea { dst, addr: MAddr::base_imm(src, 0) }]);
+                out.push(vec![MInst::Lea {
+                    dst,
+                    addr: MAddr::base_imm(src, 0),
+                }]);
             }
             // mov d, s ≡ push s; pop d (pushes the pre-decrement esp, so
             // src = esp is fine; Intel SDM PUSH).
             out.push(vec![
-                MInst::Push { rhs: MRhs::Reg(src) },
+                MInst::Push {
+                    rhs: MRhs::Reg(src),
+                },
                 MInst::Pop { dst },
             ]);
         }
@@ -138,23 +82,46 @@ fn equivalents(inst: &MInst, flags_dead: bool) -> Vec<Vec<MInst>> {
                 }
             }
         }
-        MInst::Alu { op: op @ (AluOp::Add | AluOp::Sub), dst, rhs: MRhs::Imm(imm) }
-            if flags_dead && imm != i32::MIN && !is_esp(dst) =>
-        {
-            let flipped = if op == AluOp::Add { AluOp::Sub } else { AluOp::Add };
-            out.push(vec![MInst::Alu { op: flipped, dst, rhs: MRhs::Imm(-imm) }]);
+        MInst::Alu {
+            op: op @ (AluOp::Add | AluOp::Sub),
+            dst,
+            rhs: MRhs::Imm(imm),
+        } if flags_dead && imm != i32::MIN && !is_esp(dst) => {
+            let flipped = if op == AluOp::Add {
+                AluOp::Sub
+            } else {
+                AluOp::Add
+            };
+            out.push(vec![MInst::Alu {
+                op: flipped,
+                dst,
+                rhs: MRhs::Imm(-imm),
+            }]);
             if imm == 1 {
-                out.push(vec![MInst::IncDec { dst, inc: op == AluOp::Add }]);
+                out.push(vec![MInst::IncDec {
+                    dst,
+                    inc: op == AluOp::Add,
+                }]);
             }
         }
         MInst::IncDec { dst, inc } if flags_dead && !is_esp(dst) => {
             let op = if inc { AluOp::Add } else { AluOp::Sub };
-            out.push(vec![MInst::Alu { op, dst, rhs: MRhs::Imm(1) }]);
+            out.push(vec![MInst::Alu {
+                op,
+                dst,
+                rhs: MRhs::Imm(1),
+            }]);
         }
-        MInst::Shift { op: ShiftOp::Shl, dst, count: ShiftCount::Imm(1) }
-            if flags_dead && !is_esp(dst) =>
-        {
-            out.push(vec![MInst::Alu { op: AluOp::Add, dst, rhs: MRhs::Reg(dst) }]);
+        MInst::Shift {
+            op: ShiftOp::Shl,
+            dst,
+            count: ShiftCount::Imm(1),
+        } if flags_dead && !is_esp(dst) => {
+            out.push(vec![MInst::Alu {
+                op: AluOp::Add,
+                dst,
+                rhs: MRhs::Reg(dst),
+            }]);
         }
         _ => {}
     }
@@ -176,7 +143,7 @@ pub fn substitute(
         if !func.diversify {
             continue;
         }
-        let liveness = flags_liveness(func);
+        let liveness = flags_live_after(func);
         for (bi, block) in func.blocks.iter_mut().enumerate() {
             let count = match (profile, block.ir_block) {
                 (Some(p), Some(ir)) => p.block_count(&func.name, ir as usize),
@@ -285,8 +252,7 @@ mod tests {
     fn runtime_functions_untouched() {
         let module = frontend("t", SRC).unwrap();
         let mut funcs = lower_module(&module).unwrap();
-        let before: Vec<_> =
-            funcs.iter().filter(|f| !f.diversify).cloned().collect();
+        let before: Vec<_> = funcs.iter().filter(|f| !f.diversify).cloned().collect();
         let mut rng = StdRng::seed_from_u64(2);
         substitute(&mut funcs, &Strategy::uniform(1.0), None, &mut rng);
         let after: Vec<_> = funcs.iter().filter(|f| !f.diversify).cloned().collect();

@@ -22,7 +22,7 @@ impl Flags {
     pub fn set_zsp(&mut self, result: u32) {
         self.zf = result == 0;
         self.sf = (result as i32) < 0;
-        self.pf = (result as u8).count_ones() % 2 == 0;
+        self.pf = (result as u8).count_ones().is_multiple_of(2);
     }
 
     /// Evaluates a condition code against the current flags.
@@ -98,12 +98,13 @@ mod tests {
 
     #[test]
     fn negated_conditions_are_complements() {
-        let mut f = Flags::default();
-        f.cf = true;
-        f.zf = false;
-        f.sf = true;
-        f.of = false;
-        f.pf = true;
+        let f = Flags {
+            cf: true,
+            zf: false,
+            sf: true,
+            of: false,
+            pf: true,
+        };
         for cc in Cond::ALL {
             assert_eq!(f.cond(cc), !f.cond(cc.negated()), "{cc}");
         }

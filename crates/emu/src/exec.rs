@@ -109,7 +109,13 @@ impl Emulator {
     ///
     /// `stack_top` is the initial `esp`; the stack segment extends 1 MiB
     /// below it.
-    pub fn new(text_base: u32, text: Vec<u8>, data_base: u32, data: Vec<u8>, stack_top: u32) -> Emulator {
+    pub fn new(
+        text_base: u32,
+        text: Vec<u8>,
+        data_base: u32,
+        data: Vec<u8>,
+        stack_top: u32,
+    ) -> Emulator {
         let mem = Memory::new(text_base, text, data_base, data, stack_top);
         let mut cpu = Cpu::new();
         cpu.set(Reg::Esp, stack_top);
@@ -190,9 +196,7 @@ impl Emulator {
                             self.decode_cache.insert(addr, entry);
                             entry
                         }
-                        Body::Other(o) => {
-                            return Some(Exit::Unsupported { addr, name: o.name })
-                        }
+                        Body::Other(o) => return Some(Exit::Unsupported { addr, name: o.name }),
                     },
                     Err(_) => return Some(Exit::InvalidInstruction { addr }),
                 }
@@ -207,8 +211,7 @@ impl Emulator {
             self.slack -= 1;
         } else {
             self.stats.cycles += self.cost.cost(&inst);
-            self.slack =
-                (self.slack + self.cost.slack_produced(&inst)).min(self.cost.slack_window);
+            self.slack = (self.slack + self.cost.slack_produced(&inst)).min(self.cost.slack_window);
         }
         self.fetch_accum += len;
         while self.fetch_accum >= 16 {
@@ -432,7 +435,11 @@ impl Emulator {
                 self.cpu.set(d, r);
             }
             Cdq => {
-                let v = if (self.cpu.get(Reg::Eax) as i32) < 0 { u32::MAX } else { 0 };
+                let v = if (self.cpu.get(Reg::Eax) as i32) < 0 {
+                    u32::MAX
+                } else {
+                    0
+                };
                 self.cpu.set(Reg::Edx, v);
             }
             IdivR(r) => {
@@ -478,7 +485,11 @@ impl Emulator {
                 let a = self.ea(m);
                 self.touch_data(a);
                 let v0 = self.mem.read_u32(a)?;
-                let v = if inc { v0.wrapping_add(1) } else { v0.wrapping_sub(1) };
+                let v = if inc {
+                    v0.wrapping_add(1)
+                } else {
+                    v0.wrapping_sub(1)
+                };
                 self.cpu.flags.set_zsp(v);
                 self.mem.write_u32(a, v)?;
             }
@@ -572,7 +583,10 @@ impl Emulator {
                 }
             }
             Int(_) => {
-                return Ok(Some(Exit::BadSyscall { addr, eax: self.cpu.get(Reg::Eax) }))
+                return Ok(Some(Exit::BadSyscall {
+                    addr,
+                    eax: self.cpu.get(Reg::Eax),
+                }))
             }
             Hlt => return Ok(Some(Exit::Halted { addr })),
             Nop(NopKind::Nop) => self.stats.nops_retired += 1,
@@ -706,7 +720,11 @@ mod tests {
 
     #[test]
     fn xchg_nop_costs_more_than_plain_nop() {
-        let tail = [Inst::MovRI(Reg::Ebx, 0), Inst::MovRI(Reg::Eax, 1), Inst::Int(0x80)];
+        let tail = [
+            Inst::MovRI(Reg::Ebx, 0),
+            Inst::MovRI(Reg::Eax, 1),
+            Inst::Int(0x80),
+        ];
         let mut plain = vec![Inst::Nop(NopKind::Nop)];
         plain.extend_from_slice(&tail);
         let mut locked = vec![Inst::Nop(NopKind::XchgEspEsp)];
@@ -730,7 +748,10 @@ mod tests {
         e.mem.write_bytes(sp, &[0x90, 0xC3]).unwrap();
         e.cpu.eip = sp;
         let exit = e.run(10);
-        assert!(matches!(exit, Exit::Fault(Fault::NotExecutable { .. })), "{exit:?}");
+        assert!(
+            matches!(exit, Exit::Fault(Fault::NotExecutable { .. })),
+            "{exit:?}"
+        );
     }
 
     #[test]

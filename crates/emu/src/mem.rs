@@ -90,8 +90,18 @@ impl Memory {
         }
         Memory {
             segments: vec![
-                Segment { base: text_base, bytes: text, writable: false, executable: true },
-                Segment { base: data_base, bytes: data, writable: true, executable: false },
+                Segment {
+                    base: text_base,
+                    bytes: text,
+                    writable: false,
+                    executable: true,
+                },
+                Segment {
+                    base: data_base,
+                    bytes: data,
+                    writable: true,
+                    executable: false,
+                },
                 Segment {
                     base: stack_top - STACK_SIZE,
                     bytes: vec![0; STACK_SIZE as usize],
@@ -115,7 +125,9 @@ impl Memory {
         let si = self.find(addr, 4).ok_or(Fault::Unmapped { addr })?;
         let s = &self.segments[si];
         let off = (addr - s.base) as usize;
-        Ok(u32::from_le_bytes(s.bytes[off..off + 4].try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            s.bytes[off..off + 4].try_into().expect("4 bytes"),
+        ))
     }
 
     /// Writes a 32-bit little-endian word.
@@ -170,7 +182,9 @@ impl Memory {
     ///
     /// Faults if the range is unmapped or not writable.
     pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), Fault> {
-        let si = self.find(addr, bytes.len() as u32).ok_or(Fault::Unmapped { addr })?;
+        let si = self
+            .find(addr, bytes.len() as u32)
+            .ok_or(Fault::Unmapped { addr })?;
         let s = &mut self.segments[si];
         if !s.writable {
             return Err(Fault::WriteProtected { addr });
@@ -188,7 +202,9 @@ impl Memory {
     ///
     /// Faults if the range is unmapped.
     pub fn write_bytes_unchecked(&mut self, addr: u32, bytes: &[u8]) -> Result<(), Fault> {
-        let si = self.find(addr, bytes.len() as u32).ok_or(Fault::Unmapped { addr })?;
+        let si = self
+            .find(addr, bytes.len() as u32)
+            .ok_or(Fault::Unmapped { addr })?;
         let s = &mut self.segments[si];
         let off = (addr - s.base) as usize;
         s.bytes[off..off + bytes.len()].copy_from_slice(bytes);
@@ -221,7 +237,10 @@ mod tests {
     #[test]
     fn text_is_write_protected() {
         let mut m = mem();
-        assert_eq!(m.write_u32(0x1000, 0), Err(Fault::WriteProtected { addr: 0x1000 }));
+        assert_eq!(
+            m.write_u32(0x1000, 0),
+            Err(Fault::WriteProtected { addr: 0x1000 })
+        );
         // …but fetchable.
         assert_eq!(m.fetch(0x1000, 1).unwrap(), &[0xC3]);
     }
@@ -231,13 +250,19 @@ mod tests {
         let m = mem();
         let sp = 0x10_0000 - 64;
         assert_eq!(m.fetch(sp, 1), Err(Fault::NotExecutable { addr: sp }));
-        assert_eq!(m.fetch(0x8000, 1), Err(Fault::NotExecutable { addr: 0x8000 }));
+        assert_eq!(
+            m.fetch(0x8000, 1),
+            Err(Fault::NotExecutable { addr: 0x8000 })
+        );
     }
 
     #[test]
     fn unmapped_faults() {
         let m = mem();
-        assert_eq!(m.read_u32(0x4000_0000), Err(Fault::Unmapped { addr: 0x4000_0000 }));
+        assert_eq!(
+            m.read_u32(0x4000_0000),
+            Err(Fault::Unmapped { addr: 0x4000_0000 })
+        );
     }
 
     #[test]

@@ -78,7 +78,10 @@ fn inc_dec_preserve_carry() {
 #[test]
 fn signed_overflow_flag() {
     // i32::MAX + 1 overflows: OF set, SF set (result negative).
-    let setup = [Inst::MovRI(Reg::Eax, i32::MAX), Inst::AluRI(AluOp::Add, Reg::Eax, 1)];
+    let setup = [
+        Inst::MovRI(Reg::Eax, i32::MAX),
+        Inst::AluRI(AluOp::Add, Reg::Eax, 1),
+    ];
     assert_eq!(cond_to_ebx(&setup, Cond::O), 1);
     assert_eq!(cond_to_ebx(&setup, Cond::S), 1);
     // A signed comparison straddling the overflow boundary still orders
@@ -125,9 +128,15 @@ fn shift_counts_mask_to_five_bits() {
 
 #[test]
 fn sar_vs_shr_on_negative() {
-    let v = run(&[Inst::MovRI(Reg::Ebx, -8), Inst::ShiftRI(ShiftOp::Sar, Reg::Ebx, 1)]);
+    let v = run(&[
+        Inst::MovRI(Reg::Ebx, -8),
+        Inst::ShiftRI(ShiftOp::Sar, Reg::Ebx, 1),
+    ]);
     assert_eq!(v, -4);
-    let v = run(&[Inst::MovRI(Reg::Ebx, -8), Inst::ShiftRI(ShiftOp::Shr, Reg::Ebx, 1)]);
+    let v = run(&[
+        Inst::MovRI(Reg::Ebx, -8),
+        Inst::ShiftRI(ShiftOp::Shr, Reg::Ebx, 1),
+    ]);
     assert_eq!(v, 0x7FFF_FFFC);
 }
 
@@ -188,13 +197,22 @@ fn test_and_logic_ops_clear_carry() {
 #[test]
 fn parity_flag_of_low_byte() {
     // 3 = 0b11 → even parity → PF set.
-    let setup = [Inst::MovRI(Reg::Eax, 0), Inst::AluRI(AluOp::Add, Reg::Eax, 3)];
+    let setup = [
+        Inst::MovRI(Reg::Eax, 0),
+        Inst::AluRI(AluOp::Add, Reg::Eax, 3),
+    ];
     assert_eq!(cond_to_ebx(&setup, Cond::P), 1);
     // 1 → odd parity.
-    let setup = [Inst::MovRI(Reg::Eax, 0), Inst::AluRI(AluOp::Add, Reg::Eax, 1)];
+    let setup = [
+        Inst::MovRI(Reg::Eax, 0),
+        Inst::AluRI(AluOp::Add, Reg::Eax, 1),
+    ];
     assert_eq!(cond_to_ebx(&setup, Cond::P), 0);
     // Parity looks at the LOW BYTE only: 0x100 has low byte 0 → even.
-    let setup = [Inst::MovRI(Reg::Eax, 0), Inst::AluRI(AluOp::Add, Reg::Eax, 0x100)];
+    let setup = [
+        Inst::MovRI(Reg::Eax, 0),
+        Inst::AluRI(AluOp::Add, Reg::Eax, 0x100),
+    ];
     assert_eq!(cond_to_ebx(&setup, Cond::P), 1);
 }
 
@@ -263,7 +281,12 @@ fn cdq_sign_extends() {
 
 #[test]
 fn idiv_rounds_toward_zero() {
-    for (a, b, q, r) in [(7, 2, 3, 1), (-7, 2, -3, -1), (7, -2, -3, 1), (-7, -2, 3, -1)] {
+    for (a, b, q, r) in [
+        (7, 2, 3, 1),
+        (-7, 2, -3, -1),
+        (7, -2, -3, 1),
+        (-7, -2, 3, -1),
+    ] {
         let quotient = run(&[
             Inst::MovRI(Reg::Eax, a),
             Inst::Cdq,

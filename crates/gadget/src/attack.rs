@@ -154,19 +154,15 @@ fn classify_inst(inst: &Inst, prims: &mut HashSet<Primitive>, pivots: &mut bool)
                 prims.insert(Primitive::Move { dst: *d, src: *s });
             }
         }
-        Inst::Lea(d, m) => {
-            if *d == Reg::Esp && !(m.base == Some(Reg::Esp) && m.index.is_none()) {
-                *pivots = true;
-            }
+        Inst::Lea(d, m) if *d == Reg::Esp && !(m.base == Some(Reg::Esp) && m.index.is_none()) => {
+            *pivots = true;
         }
-        Inst::XchgRR(a, b) => {
-            if a != b {
-                if *a == Reg::Esp || *b == Reg::Esp {
-                    *pivots = true;
-                } else {
-                    prims.insert(Primitive::Move { dst: *a, src: *b });
-                    prims.insert(Primitive::Move { dst: *b, src: *a });
-                }
+        Inst::XchgRR(a, b) if a != b => {
+            if *a == Reg::Esp || *b == Reg::Esp {
+                *pivots = true;
+            } else {
+                prims.insert(Primitive::Move { dst: *a, src: *b });
+                prims.insert(Primitive::Move { dst: *b, src: *a });
             }
         }
         Inst::MovRM(d, m) if is_plain_mem(m) && *d != Reg::Esp => {
@@ -291,7 +287,12 @@ pub fn check_attack_on_gadgets(
     missing_prims.sort();
     let mut ctl: Vec<Reg> = controlled.into_iter().collect();
     ctl.sort();
-    Feasibility { template: template.name, controlled: ctl, missing_regs, missing_prims }
+    Feasibility {
+        template: template.name,
+        controlled: ctl,
+        missing_regs,
+        missing_prims,
+    }
 }
 
 /// Checks whether `template` can be assembled from all gadgets of `text`.
@@ -311,8 +312,11 @@ mod tests {
         let pop_ret = assemble(&[Inst::PopR(Reg::Eax), Inst::Ret]).unwrap();
         assert!(classify(&pop_ret).contains(&Primitive::PopInto(Reg::Eax)));
 
-        let store = assemble(&[Inst::MovMR(Mem::base_disp(Reg::Ecx, 0), Reg::Eax), Inst::Ret])
-            .unwrap();
+        let store = assemble(&[
+            Inst::MovMR(Mem::base_disp(Reg::Ecx, 0), Reg::Eax),
+            Inst::Ret,
+        ])
+        .unwrap();
         assert!(classify(&store).contains(&Primitive::StoreMem));
 
         let sys = assemble(&[Inst::Int(0x80)]).unwrap();
@@ -346,8 +350,11 @@ mod tests {
 
     #[test]
     fn esp_relative_memory_is_not_attacker_memory() {
-        let bytes =
-            assemble(&[Inst::MovMR(Mem::base_disp(Reg::Esp, 4), Reg::Eax), Inst::Ret]).unwrap();
+        let bytes = assemble(&[
+            Inst::MovMR(Mem::base_disp(Reg::Esp, 4), Reg::Eax),
+            Inst::Ret,
+        ])
+        .unwrap();
         assert!(!classify(&bytes).contains(&Primitive::StoreMem));
         let abs = assemble(&[Inst::MovMR(Mem::abs(0x1234), Reg::Eax), Inst::Ret]).unwrap();
         assert!(!classify(&abs).contains(&Primitive::StoreMem));
@@ -357,9 +364,18 @@ mod tests {
     fn move_closure_extends_control() {
         let mut prims = HashSet::new();
         prims.insert(Primitive::PopInto(Reg::Ebx));
-        prims.insert(Primitive::Move { dst: Reg::Eax, src: Reg::Ebx });
-        prims.insert(Primitive::Move { dst: Reg::Ecx, src: Reg::Eax });
-        prims.insert(Primitive::Move { dst: Reg::Edi, src: Reg::Esi }); // dead
+        prims.insert(Primitive::Move {
+            dst: Reg::Eax,
+            src: Reg::Ebx,
+        });
+        prims.insert(Primitive::Move {
+            dst: Reg::Ecx,
+            src: Reg::Eax,
+        });
+        prims.insert(Primitive::Move {
+            dst: Reg::Edi,
+            src: Reg::Esi,
+        }); // dead
         let c = controlled_registers(&prims);
         assert!(c.contains(&Reg::Ebx) && c.contains(&Reg::Eax) && c.contains(&Reg::Ecx));
         assert!(!c.contains(&Reg::Edi));

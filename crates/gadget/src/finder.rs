@@ -33,7 +33,10 @@ impl TerminatorSet {
         }
         matches!(
             (self, d.class()),
-            (TerminatorSet::FreeBranchesAndSyscalls, Class::ControlFlow(CfKind::Syscall))
+            (
+                TerminatorSet::FreeBranchesAndSyscalls,
+                Class::ControlFlow(CfKind::Syscall)
+            )
         )
     }
 }
@@ -52,7 +55,11 @@ pub struct ScanConfig {
 
 impl Default for ScanConfig {
     fn default() -> ScanConfig {
-        ScanConfig { max_insts: 5, max_back: 20, terminators: TerminatorSet::default() }
+        ScanConfig {
+            max_insts: 5,
+            max_back: 20,
+            terminators: TerminatorSet::default(),
+        }
     }
 }
 
@@ -117,7 +124,10 @@ pub fn find_gadgets(text: &[u8], cfg: &ScanConfig) -> Vec<Gadget> {
         let window_end = (start + cfg.max_back + 1).min(text.len());
         // Quick reject: a gadget from `start` must end at some terminator
         // end within the window.
-        if !term_ends[start..=window_end.min(term_ends.len() - 1)].iter().any(|&b| b) {
+        if !term_ends[start..=window_end.min(term_ends.len() - 1)]
+            .iter()
+            .any(|&b| b)
+        {
             continue;
         }
         if let Some(len) = gadget_at(text, start, cfg) {

@@ -20,8 +20,10 @@ pub mod finder;
 pub mod population;
 pub mod survivor;
 
-pub use attack::{attack_scan_config, check_attack, check_attack_on_gadgets, classify,
-    controlled_registers, primitives_of_gadgets, AttackTemplate, Feasibility, Primitive};
+pub use attack::{
+    attack_scan_config, check_attack, check_attack_on_gadgets, classify, controlled_registers,
+    primitives_of_gadgets, AttackTemplate, Feasibility, Primitive,
+};
 pub use finder::{find_gadgets, gadget_at, Gadget, ScanConfig, TerminatorSet};
 pub use population::{population_survival, PopulationReport};
 pub use survivor::{average_survivors, normalized_gadgets, survivor, SurvivorReport};

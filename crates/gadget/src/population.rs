@@ -53,7 +53,10 @@ pub fn population_survival(
             *occurrence.entry(key).or_insert(0) += 1;
         }
     }
-    PopulationReport { versions: versions.len(), occurrence }
+    PopulationReport {
+        versions: versions.len(),
+        occurrence,
+    }
 }
 
 #[cfg(test)]

@@ -61,7 +61,10 @@ pub fn survivor(
             survivors.push(g.offset);
         }
     }
-    SurvivorReport { baseline: base_gadgets.len(), survivors }
+    SurvivorReport {
+        baseline: base_gadgets.len(),
+        survivors,
+    }
 }
 
 /// Convenience: the average survivor count of many diversified versions

@@ -21,11 +21,17 @@ pub fn estimate(module: &Module) -> Profile {
     let mut profile = Profile::default();
     for func in &module.funcs {
         let depths = loop_depths(func);
-        let counts: Vec<u64> =
-            depths.iter().map(|&d| 10u64.pow(d.min(MAX_DEPTH))).collect();
-        profile
-            .funcs
-            .insert(func.name.clone(), FuncProfile { block_counts: counts, invocations: 1 });
+        let counts: Vec<u64> = depths
+            .iter()
+            .map(|&d| 10u64.pow(d.min(MAX_DEPTH)))
+            .collect();
+        profile.funcs.insert(
+            func.name.clone(),
+            FuncProfile {
+                block_counts: counts,
+                invocations: 1,
+            },
+        );
     }
     profile
 }
@@ -125,9 +131,7 @@ mod tests {
 
     #[test]
     fn loop_bodies_are_hotter() {
-        let p = est(
-            "int main(int n) { int s = 0; while (n > 0) { s += n; n -= 1; } return s; }",
-        );
+        let p = est("int main(int n) { int s = 0; while (n > 0) { s += n; n -= 1; } return s; }");
         let f = p.func("main").unwrap();
         let max = *f.block_counts.iter().max().unwrap();
         let min = *f.block_counts.iter().min().unwrap();
@@ -137,15 +141,13 @@ mod tests {
 
     #[test]
     fn nested_loops_multiply() {
-        let p = est(
-            "int main(int n) {
+        let p = est("int main(int n) {
                 int s = 0;
                 for (int i = 0; i < n; i++) {
                     for (int j = 0; j < n; j++) { s += j; }
                 }
                 return s;
-             }",
-        );
+             }");
         assert_eq!(p.max_count(), 100);
     }
 

@@ -48,10 +48,18 @@ impl FlowGraph {
         }
         for (bi, b) in func.blocks.iter().enumerate() {
             if b.term.successors().is_empty() {
-                edges.push(Edge { from: bi, to: exit, virtual_edge: true });
+                edges.push(Edge {
+                    from: bi,
+                    to: exit,
+                    virtual_edge: true,
+                });
             }
         }
-        edges.push(Edge { from: exit, to: 0, virtual_edge: true });
+        edges.push(Edge {
+            from: exit,
+            to: 0,
+            virtual_edge: true,
+        });
         FlowGraph { num_blocks, edges }
     }
 
@@ -132,7 +140,7 @@ pub fn max_spanning_tree(graph: &FlowGraph) -> Vec<bool> {
     order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
 
     let mut parent: Vec<usize> = (0..graph.num_nodes()).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];

@@ -59,7 +59,10 @@ pub fn instrument(module: &mut Module) -> Plan {
         plans.push(instrument_function(func, &mut next_counter));
     }
     module.num_counters = next_counter;
-    Plan { funcs: plans, num_counters: next_counter }
+    Plan {
+        funcs: plans,
+        num_counters: next_counter,
+    }
 }
 
 fn instrument_function(func: &mut Function, next_counter: &mut u32) -> FuncPlan {
@@ -79,7 +82,9 @@ fn instrument_function(func: &mut Function, next_counter: &mut u32) -> FuncPlan 
         let site = if edge.virtual_edge {
             if edge.from == graph.exit() {
                 // EXIT → entry: count invocations at function entry.
-                func.block_mut(BlockId(0)).instrs.insert(0, Instr::ProfCtr { id });
+                func.block_mut(BlockId(0))
+                    .instrs
+                    .insert(0, Instr::ProfCtr { id });
                 CounterSite::DestBlock(0)
             } else {
                 // ret → EXIT: count executions of the returning block.
@@ -107,7 +112,12 @@ fn instrument_function(func: &mut Function, next_counter: &mut u32) -> FuncPlan 
         };
         sites.push(site);
     }
-    FuncPlan { name: func.name.clone(), graph, edge_counter, sites }
+    FuncPlan {
+        name: func.name.clone(),
+        graph,
+        edge_counter,
+        sites,
+    }
 }
 
 #[cfg(test)]
@@ -151,9 +161,8 @@ mod tests {
 
     #[test]
     fn hot_back_edges_avoid_instrumentation() {
-        let (_, p) = plan_for(
-            "int main(int n) { int s = 0; while (n > 0) { s += n; n -= 1; } return s; }",
-        );
+        let (_, p) =
+            plan_for("int main(int n) { int s = 0; while (n > 0) { s += n; n -= 1; } return s; }");
         let f = &p.funcs[0];
         let weights = f.graph.edge_weights();
         for (ei, e) in f.graph.edges.iter().enumerate() {

@@ -134,18 +134,26 @@ impl Profile {
             }
             if let Some(rest) = line.strip_prefix("fn ") {
                 let mut parts = rest.split_whitespace();
-                let name = parts.next().ok_or_else(|| format!("line {}: missing name", ln + 1))?;
+                let name = parts
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing name", ln + 1))?;
                 let inv: u64 = parts
                     .next()
                     .ok_or_else(|| format!("line {}: missing invocation count", ln + 1))?
                     .parse()
                     .map_err(|e| format!("line {}: {e}", ln + 1))?;
-                profile
-                    .funcs
-                    .insert(name.to_owned(), FuncProfile { block_counts: Vec::new(), invocations: inv });
+                profile.funcs.insert(
+                    name.to_owned(),
+                    FuncProfile {
+                        block_counts: Vec::new(),
+                        invocations: inv,
+                    },
+                );
                 current = Some(name.to_owned());
             } else {
-                let name = current.clone().ok_or_else(|| format!("line {}: counts before fn", ln + 1))?;
+                let name = current
+                    .clone()
+                    .ok_or_else(|| format!("line {}: counts before fn", ln + 1))?;
                 let mut parts = line.split_whitespace();
                 let idx: usize = parts
                     .next()
@@ -182,11 +190,17 @@ mod tests {
         let mut p = Profile::default();
         p.funcs.insert(
             "main".into(),
-            FuncProfile { block_counts: vec![1, 500, 499, 1], invocations: 1 },
+            FuncProfile {
+                block_counts: vec![1, 500, 499, 1],
+                invocations: 1,
+            },
         );
         p.funcs.insert(
             "helper".into(),
-            FuncProfile { block_counts: vec![20, 10_000], invocations: 20 },
+            FuncProfile {
+                block_counts: vec![20, 10_000],
+                invocations: 20,
+            },
         );
         p
     }
@@ -221,7 +235,10 @@ mod tests {
     #[test]
     fn similarity_properties() {
         let p = sample();
-        assert!((p.similarity(&p) - 1.0).abs() < 1e-12, "self-similarity is 1");
+        assert!(
+            (p.similarity(&p) - 1.0).abs() < 1e-12,
+            "self-similarity is 1"
+        );
         let empty = Profile::default();
         assert_eq!(empty.similarity(&empty), 1.0);
         assert_eq!(p.similarity(&empty), 0.0);

@@ -34,7 +34,10 @@ pub fn reconstruct(plan: &Plan, counters: &[u64]) -> Profile {
         let (blocks, calls) = solve(fp, counters);
         profile.funcs.insert(
             fp.name.clone(),
-            FuncProfile { block_counts: blocks, invocations: calls },
+            FuncProfile {
+                block_counts: blocks,
+                invocations: calls,
+            },
         );
     }
     profile
@@ -68,8 +71,7 @@ fn solve(fp: &FuncPlan, counters: &[u64]) -> (Vec<u64>, u64) {
             // Rule 1: node count from a fully known side.
             if node_count[v].is_none() {
                 if in_edges[v].iter().all(|&i| edge_count[i].is_some()) {
-                    node_count[v] =
-                        Some(in_edges[v].iter().map(|&i| edge_count[i].unwrap()).sum());
+                    node_count[v] = Some(in_edges[v].iter().map(|&i| edge_count[i].unwrap()).sum());
                     changed = true;
                 } else if out_edges[v].iter().all(|&i| edge_count[i].is_some()) {
                     node_count[v] =
@@ -80,11 +82,13 @@ fn solve(fp: &FuncPlan, counters: &[u64]) -> (Vec<u64>, u64) {
             // Rule 2: solve a single unknown incident edge.
             if let Some(total) = node_count[v] {
                 for side in [&in_edges[v], &out_edges[v]] {
-                    let unknown: Vec<usize> =
-                        side.iter().copied().filter(|&i| edge_count[i].is_none()).collect();
+                    let unknown: Vec<usize> = side
+                        .iter()
+                        .copied()
+                        .filter(|&i| edge_count[i].is_none())
+                        .collect();
                     if unknown.len() == 1 {
-                        let known: u64 =
-                            side.iter().filter_map(|&i| edge_count[i]).sum();
+                        let known: u64 = side.iter().filter_map(|&i| edge_count[i]).sum();
                         edge_count[unknown[0]] = Some(total.saturating_sub(known));
                         changed = true;
                     }
@@ -178,7 +182,13 @@ mod tests {
         let fp = profile.func("main").expect("profiled");
         // The instrumented CFG gained split blocks; only compare the
         // original blocks (the plan's graph size).
-        let orig = plan.funcs.iter().find(|f| f.name == "main").unwrap().graph.num_blocks;
+        let orig = plan
+            .funcs
+            .iter()
+            .find(|f| f.name == "main")
+            .unwrap()
+            .graph
+            .num_blocks;
         assert_eq!(&fp.block_counts[..], &true_counts[..orig], "src: {src}");
         assert_eq!(fp.invocations, 1);
     }
@@ -190,8 +200,14 @@ mod tests {
 
     #[test]
     fn diamond_both_arms() {
-        check("int main(int a) { int r; if (a > 0) { r = 1; } else { r = 2; } return r; }", 5);
-        check("int main(int a) { int r; if (a > 0) { r = 1; } else { r = 2; } return r; }", -5);
+        check(
+            "int main(int a) { int r; if (a > 0) { r = 1; } else { r = 2; } return r; }",
+            5,
+        );
+        check(
+            "int main(int a) { int r; if (a > 0) { r = 1; } else { r = 2; } return r; }",
+            -5,
+        );
     }
 
     #[test]
@@ -235,7 +251,13 @@ mod tests {
 
     #[test]
     fn early_return_path() {
-        check("int main(int a) { if (a > 100) { return 1; } int s = a * 2; return s; }", 7);
-        check("int main(int a) { if (a > 100) { return 1; } int s = a * 2; return s; }", 101);
+        check(
+            "int main(int a) { if (a > 100) { return 1; } int s = a * 2; return s; }",
+            7,
+        );
+        check(
+            "int main(int a) { if (a > 100) { return 1; } int s = a * 2; return s; }",
+            101,
+        );
     }
 }

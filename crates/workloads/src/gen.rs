@@ -20,13 +20,18 @@ pub struct Lcg {
 impl Lcg {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Lcg {
-        Lcg { state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1 }
+        Lcg {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
     }
 
     /// Next raw value.
     pub fn next_u64(&mut self) -> u64 {
         // Numerical Recipes LCG constants.
-        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.state
     }
 
@@ -173,7 +178,9 @@ fn gen_function(prefix: &str, tab: &str, idx: usize, total: usize, rng: &mut Lcg
             body.push_str(&format!("  int q = a / {d};\n  int r = a % {d};\n"));
             if idx > 0 && total > 1 {
                 let callee = rng.below(idx as u64) as usize;
-                body.push_str(&format!("  if (r > b) {{ return {prefix}_{callee}(q, r); }}\n"));
+                body.push_str(&format!(
+                    "  if (r > b) {{ return {prefix}_{callee}(q, r); }}\n"
+                ));
             }
             body.push_str("  return q * 31 + r;\n");
         }
@@ -189,7 +196,11 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = GenConfig { functions: 20, seed: 7, active_per_iter: 4 };
+        let cfg = GenConfig {
+            functions: 20,
+            seed: 7,
+            active_per_iter: 4,
+        };
         assert_eq!(generate_program(&cfg), generate_program(&cfg));
         let other = GenConfig { seed: 8, ..cfg };
         assert_ne!(generate_program(&cfg), generate_program(&other));
@@ -198,11 +209,14 @@ mod tests {
     #[test]
     fn generated_programs_compile_and_run() {
         for (funcs, seed) in [(5usize, 1u64), (40, 2), (120, 3)] {
-            let cfg = GenConfig { functions: funcs, seed, active_per_iter: 6 };
+            let cfg = GenConfig {
+                functions: funcs,
+                seed,
+                active_per_iter: 6,
+            };
             let src = generate_program(&cfg);
-            let image = compile("gen", &src).unwrap_or_else(|e| {
-                panic!("generated program failed to compile: {e}\n{src}")
-            });
+            let image = compile("gen", &src)
+                .unwrap_or_else(|e| panic!("generated program failed to compile: {e}\n{src}"));
             let (exit, _) = run(&image, &[5], 50_000_000);
             assert!(exit.status().is_some(), "{exit:?} (funcs={funcs})");
         }
@@ -212,12 +226,20 @@ mod tests {
     fn function_count_scales_code_size() {
         let small = compile(
             "s",
-            &generate_program(&GenConfig { functions: 10, seed: 9, active_per_iter: 4 }),
+            &generate_program(&GenConfig {
+                functions: 10,
+                seed: 9,
+                active_per_iter: 4,
+            }),
         )
         .unwrap();
         let large = compile(
             "l",
-            &generate_program(&GenConfig { functions: 150, seed: 9, active_per_iter: 4 }),
+            &generate_program(&GenConfig {
+                functions: 150,
+                seed: 9,
+                active_per_iter: 4,
+            }),
         )
         .unwrap();
         assert!(large.text.len() > small.text.len() * 4);

@@ -141,8 +141,15 @@ impl Assembler {
             let target = self.labels[label.0].expect("label bound before finish");
             self.code[site].1 = target as i32;
         }
-        assert!(self.code.len() <= CODE_CAPACITY, "program too long: {}", self.code.len());
-        self.code.into_iter().flat_map(|(op, arg)| [op, arg]).collect()
+        assert!(
+            self.code.len() <= CODE_CAPACITY,
+            "program too long: {}",
+            self.code.len()
+        );
+        self.code
+            .into_iter()
+            .flat_map(|(op, arg)| [op, arg])
+            .collect()
     }
 }
 
@@ -241,10 +248,14 @@ int main(int len, int fuel) {
     // Interpreter binaries are big: emulate PHP's extension surface with a
     // generated layer (never executed by the benchmarks, but very much
     // present in .text — where the attacker hunts for gadgets).
-    let ext = generate_program(&GenConfig { functions: 220, seed: 5316, active_per_iter: 12 })
-        .replace("int main(int n) {", "int php_ext_gate(int n) {")
-        .replace("tab[", "ext_tab[")
-        .replace("acc_g", "ext_acc");
+    let ext = generate_program(&GenConfig {
+        functions: 220,
+        seed: 5316,
+        active_per_iter: 12,
+    })
+    .replace("int main(int n) {", "int php_ext_gate(int n) {")
+    .replace("tab[", "ext_tab[")
+    .replace("acc_g", "ext_acc");
     src.push_str(&ext);
     src
 }
@@ -320,7 +331,11 @@ fn binarytrees() -> BytecodeProgram {
     // while (v1 < 600)
     a.op(Op::LoadV, 1).op(Op::Push, 600).o(Op::Lt).jz(done);
     // heap[v1] = v1*2+1  (build)
-    a.op(Op::LoadV, 1).op(Op::Push, 2).o(Op::Mul).op(Op::Push, 1).o(Op::Add);
+    a.op(Op::LoadV, 1)
+        .op(Op::Push, 2)
+        .o(Op::Mul)
+        .op(Op::Push, 1)
+        .o(Op::Add);
     a.op(Op::LoadV, 1).o(Op::AStore);
     // checksum += heap[v1] ^ heap[v1/2]
     a.op(Op::LoadV, 1).o(Op::ALoad);
@@ -328,12 +343,18 @@ fn binarytrees() -> BytecodeProgram {
     a.o(Op::BXor);
     a.op(Op::LoadV, 2).o(Op::Add).op(Op::StoreV, 2);
     // v1 += 1
-    a.op(Op::LoadV, 1).op(Op::Push, 1).o(Op::Add).op(Op::StoreV, 1);
+    a.op(Op::LoadV, 1)
+        .op(Op::Push, 1)
+        .o(Op::Add)
+        .op(Op::StoreV, 1);
     a.jmp(loop_top);
     a.bind(done);
     a.op(Op::LoadV, 2).op(Op::StoreV, 0);
     a.o(Op::Halt);
-    BytecodeProgram { name: "binarytrees", words: a.finish() }
+    BytecodeProgram {
+        name: "binarytrees",
+        words: a.finish(),
+    }
 }
 
 /// Permutation flipping on an 8-element heap prefix.
@@ -345,17 +366,28 @@ fn fannkuchredux() -> BytecodeProgram {
     let round_top = a.label();
     let rounds_done = a.label();
     a.bind(round_top);
-    a.op(Op::LoadV, 1).op(Op::Push, 120).o(Op::Lt).jz(rounds_done);
+    a.op(Op::LoadV, 1)
+        .op(Op::Push, 120)
+        .o(Op::Lt)
+        .jz(rounds_done);
     // fill: heap[i] = ((i + round) % 8) + 1
     a.op(Op::Push, 0).op(Op::StoreV, 3);
     let fill_top = a.label();
     let fill_done = a.label();
     a.bind(fill_top);
     a.op(Op::LoadV, 3).op(Op::Push, 8).o(Op::Lt).jz(fill_done);
-    a.op(Op::LoadV, 3).op(Op::LoadV, 1).o(Op::Add).op(Op::Push, 8).o(Op::Mod)
-        .op(Op::Push, 1).o(Op::Add);
+    a.op(Op::LoadV, 3)
+        .op(Op::LoadV, 1)
+        .o(Op::Add)
+        .op(Op::Push, 8)
+        .o(Op::Mod)
+        .op(Op::Push, 1)
+        .o(Op::Add);
     a.op(Op::LoadV, 3).o(Op::AStore);
-    a.op(Op::LoadV, 3).op(Op::Push, 1).o(Op::Add).op(Op::StoreV, 3);
+    a.op(Op::LoadV, 3)
+        .op(Op::Push, 1)
+        .o(Op::Add)
+        .op(Op::StoreV, 3);
     a.jmp(fill_top);
     a.bind(fill_done);
     // flip until heap[0] == 1: reverse prefix of length heap[0]
@@ -373,15 +405,24 @@ fn fannkuchredux() -> BytecodeProgram {
     a.op(Op::Push, 0).o(Op::ALoad); // heap[0]
     a.op(Op::LoadV, 4).op(Op::Push, 1).o(Op::Sub).o(Op::AStore); // heap[k-1]=heap[0]
     a.op(Op::Push, 0).o(Op::AStore); // heap[0] = old heap[k-1]
-    a.op(Op::LoadV, 2).op(Op::Push, 1).o(Op::Add).op(Op::StoreV, 2);
+    a.op(Op::LoadV, 2)
+        .op(Op::Push, 1)
+        .o(Op::Add)
+        .op(Op::StoreV, 2);
     a.jmp(flip_top);
     a.bind(flip_done);
-    a.op(Op::LoadV, 1).op(Op::Push, 1).o(Op::Add).op(Op::StoreV, 1);
+    a.op(Op::LoadV, 1)
+        .op(Op::Push, 1)
+        .o(Op::Add)
+        .op(Op::StoreV, 1);
     a.jmp(round_top);
     a.bind(rounds_done);
     a.op(Op::LoadV, 2).op(Op::StoreV, 0);
     a.o(Op::Halt);
-    BytecodeProgram { name: "fannkuchredux", words: a.finish() }
+    BytecodeProgram {
+        name: "fannkuchredux",
+        words: a.finish(),
+    }
 }
 
 /// Fixed-point (scale 64) escape-time iteration over a small grid.
@@ -394,42 +435,91 @@ fn mandelbrot() -> BytecodeProgram {
     a.bind(px_top);
     a.op(Op::LoadV, 1).op(Op::Push, 400).o(Op::Lt).jz(px_done);
     // cx = (pixel % 20) * 12 - 128 ; cy = (pixel / 20) * 12 - 120  (scale 64)
-    a.op(Op::LoadV, 1).op(Op::Push, 20).o(Op::Mod).op(Op::Push, 12).o(Op::Mul)
-        .op(Op::Push, 128).o(Op::Sub).op(Op::StoreV, 2);
-    a.op(Op::LoadV, 1).op(Op::Push, 20).o(Op::Div).op(Op::Push, 12).o(Op::Mul)
-        .op(Op::Push, 120).o(Op::Sub).op(Op::StoreV, 3);
+    a.op(Op::LoadV, 1)
+        .op(Op::Push, 20)
+        .o(Op::Mod)
+        .op(Op::Push, 12)
+        .o(Op::Mul)
+        .op(Op::Push, 128)
+        .o(Op::Sub)
+        .op(Op::StoreV, 2);
+    a.op(Op::LoadV, 1)
+        .op(Op::Push, 20)
+        .o(Op::Div)
+        .op(Op::Push, 12)
+        .o(Op::Mul)
+        .op(Op::Push, 120)
+        .o(Op::Sub)
+        .op(Op::StoreV, 3);
     // z = 0
-    a.op(Op::Push, 0).op(Op::StoreV, 4).op(Op::Push, 0).op(Op::StoreV, 5);
+    a.op(Op::Push, 0)
+        .op(Op::StoreV, 4)
+        .op(Op::Push, 0)
+        .op(Op::StoreV, 5);
     a.op(Op::Push, 0).op(Op::StoreV, 6); // iter
     let it_top = a.label();
     let it_done = a.label();
     a.bind(it_top);
     a.op(Op::LoadV, 6).op(Op::Push, 24).o(Op::Lt).jz(it_done);
     // zx2 = zx*zx/64, zy2 = zy*zy/64; escape if zx2+zy2 > 256
-    a.op(Op::LoadV, 4).op(Op::LoadV, 4).o(Op::Mul).op(Op::Push, 64).o(Op::Div)
+    a.op(Op::LoadV, 4)
+        .op(Op::LoadV, 4)
+        .o(Op::Mul)
+        .op(Op::Push, 64)
+        .o(Op::Div)
         .op(Op::StoreV, 7);
-    a.op(Op::LoadV, 5).op(Op::LoadV, 5).o(Op::Mul).op(Op::Push, 64).o(Op::Div)
+    a.op(Op::LoadV, 5)
+        .op(Op::LoadV, 5)
+        .o(Op::Mul)
+        .op(Op::Push, 64)
+        .o(Op::Div)
         .op(Op::StoreV, 8);
-    a.op(Op::Push, 256).op(Op::LoadV, 7).op(Op::LoadV, 8).o(Op::Add).o(Op::Lt);
+    a.op(Op::Push, 256)
+        .op(Op::LoadV, 7)
+        .op(Op::LoadV, 8)
+        .o(Op::Add)
+        .o(Op::Lt);
     let no_escape = a.label();
     a.jz(no_escape);
     a.jmp(it_done);
     a.bind(no_escape);
     // zy = 2*zx*zy/64 + cy ; zx = zx2 - zy2 + cx
-    a.op(Op::LoadV, 4).op(Op::LoadV, 5).o(Op::Mul).op(Op::Push, 32).o(Op::Div)
-        .op(Op::LoadV, 3).o(Op::Add).op(Op::StoreV, 5);
-    a.op(Op::LoadV, 7).op(Op::LoadV, 8).o(Op::Sub).op(Op::LoadV, 2).o(Op::Add)
+    a.op(Op::LoadV, 4)
+        .op(Op::LoadV, 5)
+        .o(Op::Mul)
+        .op(Op::Push, 32)
+        .o(Op::Div)
+        .op(Op::LoadV, 3)
+        .o(Op::Add)
+        .op(Op::StoreV, 5);
+    a.op(Op::LoadV, 7)
+        .op(Op::LoadV, 8)
+        .o(Op::Sub)
+        .op(Op::LoadV, 2)
+        .o(Op::Add)
         .op(Op::StoreV, 4);
-    a.op(Op::LoadV, 6).op(Op::Push, 1).o(Op::Add).op(Op::StoreV, 6);
+    a.op(Op::LoadV, 6)
+        .op(Op::Push, 1)
+        .o(Op::Add)
+        .op(Op::StoreV, 6);
     a.jmp(it_top);
     a.bind(it_done);
     // count iterations
-    a.op(Op::LoadV, 0).op(Op::LoadV, 6).o(Op::Add).op(Op::StoreV, 0);
-    a.op(Op::LoadV, 1).op(Op::Push, 1).o(Op::Add).op(Op::StoreV, 1);
+    a.op(Op::LoadV, 0)
+        .op(Op::LoadV, 6)
+        .o(Op::Add)
+        .op(Op::StoreV, 0);
+    a.op(Op::LoadV, 1)
+        .op(Op::Push, 1)
+        .o(Op::Add)
+        .op(Op::StoreV, 1);
     a.jmp(px_top);
     a.bind(px_done);
     a.o(Op::Halt);
-    BytecodeProgram { name: "mandelbrot", words: a.finish() }
+    BytecodeProgram {
+        name: "mandelbrot",
+        words: a.finish(),
+    }
 }
 
 /// Two-body fixed-point orbit integration.
@@ -448,28 +538,62 @@ fn nbody() -> BytecodeProgram {
     // r2 = (x*x + y*y)/256 + 16
     a.op(Op::LoadV, 1).op(Op::LoadV, 1).o(Op::Mul);
     a.op(Op::LoadV, 2).op(Op::LoadV, 2).o(Op::Mul);
-    a.o(Op::Add).op(Op::Push, 256).o(Op::Div).op(Op::Push, 16).o(Op::Add)
+    a.o(Op::Add)
+        .op(Op::Push, 256)
+        .o(Op::Div)
+        .op(Op::Push, 16)
+        .o(Op::Add)
         .op(Op::StoreV, 6);
     // vx -= x*3000/r2/16 ; vy -= y*3000/r2/16
-    a.op(Op::LoadV, 1).op(Op::Push, 3000).o(Op::Mul).op(Op::LoadV, 6).o(Op::Div)
-        .op(Op::Push, 16).o(Op::Div);
+    a.op(Op::LoadV, 1)
+        .op(Op::Push, 3000)
+        .o(Op::Mul)
+        .op(Op::LoadV, 6)
+        .o(Op::Div)
+        .op(Op::Push, 16)
+        .o(Op::Div);
     a.op(Op::LoadV, 3).o(Op::Swap).o(Op::Sub).op(Op::StoreV, 3);
-    a.op(Op::LoadV, 2).op(Op::Push, 3000).o(Op::Mul).op(Op::LoadV, 6).o(Op::Div)
-        .op(Op::Push, 16).o(Op::Div);
+    a.op(Op::LoadV, 2)
+        .op(Op::Push, 3000)
+        .o(Op::Mul)
+        .op(Op::LoadV, 6)
+        .o(Op::Div)
+        .op(Op::Push, 16)
+        .o(Op::Div);
     a.op(Op::LoadV, 4).o(Op::Swap).o(Op::Sub).op(Op::StoreV, 4);
     // x += vx/4 ; y += vy/4
-    a.op(Op::LoadV, 1).op(Op::LoadV, 3).op(Op::Push, 4).o(Op::Div).o(Op::Add)
+    a.op(Op::LoadV, 1)
+        .op(Op::LoadV, 3)
+        .op(Op::Push, 4)
+        .o(Op::Div)
+        .o(Op::Add)
         .op(Op::StoreV, 1);
-    a.op(Op::LoadV, 2).op(Op::LoadV, 4).op(Op::Push, 4).o(Op::Div).o(Op::Add)
+    a.op(Op::LoadV, 2)
+        .op(Op::LoadV, 4)
+        .op(Op::Push, 4)
+        .o(Op::Div)
+        .o(Op::Add)
         .op(Op::StoreV, 2);
-    a.op(Op::LoadV, 5).op(Op::Push, 1).o(Op::Add).op(Op::StoreV, 5);
+    a.op(Op::LoadV, 5)
+        .op(Op::Push, 1)
+        .o(Op::Add)
+        .op(Op::StoreV, 5);
     a.jmp(top);
     a.bind(done);
     // energy-ish checksum
-    a.op(Op::LoadV, 1).op(Op::LoadV, 2).o(Op::BXor).op(Op::LoadV, 3).o(Op::Add)
-        .op(Op::LoadV, 4).o(Op::BXor).op(Op::StoreV, 0);
+    a.op(Op::LoadV, 1)
+        .op(Op::LoadV, 2)
+        .o(Op::BXor)
+        .op(Op::LoadV, 3)
+        .o(Op::Add)
+        .op(Op::LoadV, 4)
+        .o(Op::BXor)
+        .op(Op::StoreV, 0);
     a.o(Op::Halt);
-    BytecodeProgram { name: "nbody", words: a.finish() }
+    BytecodeProgram {
+        name: "nbody",
+        words: a.finish(),
+    }
 }
 
 /// Spigot-flavoured digit production with long division chains.
@@ -484,20 +608,50 @@ fn pidigits() -> BytecodeProgram {
     a.bind(top);
     a.op(Op::LoadV, 3).op(Op::Push, 700).o(Op::Lt).jz(done);
     // v1 = v1*10 + v3 ; v2 = v2*3 + 1 ; digit = v1 / v2 % 10
-    a.op(Op::LoadV, 1).op(Op::Push, 10).o(Op::Mul).op(Op::LoadV, 3).o(Op::Add)
-        .op(Op::Push, 99991).o(Op::Mod).op(Op::StoreV, 1);
-    a.op(Op::LoadV, 2).op(Op::Push, 3).o(Op::Mul).op(Op::Push, 1).o(Op::Add)
-        .op(Op::Push, 9973).o(Op::Mod).op(Op::Push, 1).o(Op::Add).op(Op::StoreV, 2);
-    a.op(Op::LoadV, 1).op(Op::LoadV, 2).o(Op::Div).op(Op::Push, 10).o(Op::Mod)
+    a.op(Op::LoadV, 1)
+        .op(Op::Push, 10)
+        .o(Op::Mul)
+        .op(Op::LoadV, 3)
+        .o(Op::Add)
+        .op(Op::Push, 99991)
+        .o(Op::Mod)
+        .op(Op::StoreV, 1);
+    a.op(Op::LoadV, 2)
+        .op(Op::Push, 3)
+        .o(Op::Mul)
+        .op(Op::Push, 1)
+        .o(Op::Add)
+        .op(Op::Push, 9973)
+        .o(Op::Mod)
+        .op(Op::Push, 1)
+        .o(Op::Add)
+        .op(Op::StoreV, 2);
+    a.op(Op::LoadV, 1)
+        .op(Op::LoadV, 2)
+        .o(Op::Div)
+        .op(Op::Push, 10)
+        .o(Op::Mod)
         .op(Op::StoreV, 4);
     // checksum = checksum*10 + digit (mod large)
-    a.op(Op::LoadV, 0).op(Op::Push, 10).o(Op::Mul).op(Op::LoadV, 4).o(Op::Add)
-        .op(Op::Push, 1000000007).o(Op::Mod).op(Op::StoreV, 0);
-    a.op(Op::LoadV, 3).op(Op::Push, 1).o(Op::Add).op(Op::StoreV, 3);
+    a.op(Op::LoadV, 0)
+        .op(Op::Push, 10)
+        .o(Op::Mul)
+        .op(Op::LoadV, 4)
+        .o(Op::Add)
+        .op(Op::Push, 1000000007)
+        .o(Op::Mod)
+        .op(Op::StoreV, 0);
+    a.op(Op::LoadV, 3)
+        .op(Op::Push, 1)
+        .o(Op::Add)
+        .op(Op::StoreV, 3);
     a.jmp(top);
     a.bind(done);
     a.o(Op::Halt);
-    BytecodeProgram { name: "pidigits", words: a.finish() }
+    BytecodeProgram {
+        name: "pidigits",
+        words: a.finish(),
+    }
 }
 
 /// Nested-loop fixed-point matrix-free norm estimation.
@@ -515,20 +669,41 @@ fn spectralnorm() -> BytecodeProgram {
     a.bind(j_top);
     a.op(Op::LoadV, 2).op(Op::Push, 40).o(Op::Lt).jz(j_done);
     // a(i,j) = 65536 / ((i+j)(i+j+1)/2 + i + 1)
-    a.op(Op::LoadV, 1).op(Op::LoadV, 2).o(Op::Add).op(Op::StoreV, 3);
-    a.op(Op::LoadV, 3).op(Op::LoadV, 3).op(Op::Push, 1).o(Op::Add).o(Op::Mul)
-        .op(Op::Push, 2).o(Op::Div).op(Op::LoadV, 1).o(Op::Add).op(Op::Push, 1)
-        .o(Op::Add).op(Op::StoreV, 4);
+    a.op(Op::LoadV, 1)
+        .op(Op::LoadV, 2)
+        .o(Op::Add)
+        .op(Op::StoreV, 3);
+    a.op(Op::LoadV, 3)
+        .op(Op::LoadV, 3)
+        .op(Op::Push, 1)
+        .o(Op::Add)
+        .o(Op::Mul)
+        .op(Op::Push, 2)
+        .o(Op::Div)
+        .op(Op::LoadV, 1)
+        .o(Op::Add)
+        .op(Op::Push, 1)
+        .o(Op::Add)
+        .op(Op::StoreV, 4);
     a.op(Op::Push, 65536).op(Op::LoadV, 4).o(Op::Div);
     a.op(Op::LoadV, 0).o(Op::Add).op(Op::StoreV, 0);
-    a.op(Op::LoadV, 2).op(Op::Push, 1).o(Op::Add).op(Op::StoreV, 2);
+    a.op(Op::LoadV, 2)
+        .op(Op::Push, 1)
+        .o(Op::Add)
+        .op(Op::StoreV, 2);
     a.jmp(j_top);
     a.bind(j_done);
-    a.op(Op::LoadV, 1).op(Op::Push, 1).o(Op::Add).op(Op::StoreV, 1);
+    a.op(Op::LoadV, 1)
+        .op(Op::Push, 1)
+        .o(Op::Add)
+        .op(Op::StoreV, 1);
     a.jmp(i_top);
     a.bind(i_done);
     a.o(Op::Halt);
-    BytecodeProgram { name: "spectralnorm", words: a.finish() }
+    BytecodeProgram {
+        name: "spectralnorm",
+        words: a.finish(),
+    }
 }
 
 /// LCG-driven sequence generation with cumulative-table selection.
@@ -542,9 +717,18 @@ fn fasta() -> BytecodeProgram {
     a.bind(top);
     a.op(Op::LoadV, 2).op(Op::Push, 1500).o(Op::Lt).jz(done);
     // seed = (seed*3877 + 29573) % 139968 ; r = seed % 64
-    a.op(Op::LoadV, 1).op(Op::Push, 3877).o(Op::Mul).op(Op::Push, 29573).o(Op::Add)
-        .op(Op::Push, 139968).o(Op::Mod).op(Op::StoreV, 1);
-    a.op(Op::LoadV, 1).op(Op::Push, 64).o(Op::Mod).op(Op::StoreV, 3);
+    a.op(Op::LoadV, 1)
+        .op(Op::Push, 3877)
+        .o(Op::Mul)
+        .op(Op::Push, 29573)
+        .o(Op::Add)
+        .op(Op::Push, 139968)
+        .o(Op::Mod)
+        .op(Op::StoreV, 1);
+    a.op(Op::LoadV, 1)
+        .op(Op::Push, 64)
+        .o(Op::Mod)
+        .op(Op::StoreV, 3);
     // select symbol: if r < 20 s=1 elif r<40 s=2 elif r<55 s=3 else s=4
     let s2 = a.label();
     let s3 = a.label();
@@ -562,15 +746,32 @@ fn fasta() -> BytecodeProgram {
     a.op(Op::Push, 4).op(Op::StoreV, 4);
     a.bind(sel_done);
     // histogram in heap + rolling checksum
-    a.op(Op::LoadV, 4).o(Op::Dup).o(Op::ALoad).op(Op::Push, 1).o(Op::Add)
-        .o(Op::Swap).o(Op::AStore);
-    a.op(Op::LoadV, 0).op(Op::Push, 31).o(Op::Mul).op(Op::LoadV, 4).o(Op::Add)
-        .op(Op::Push, 1000000007).o(Op::Mod).op(Op::StoreV, 0);
-    a.op(Op::LoadV, 2).op(Op::Push, 1).o(Op::Add).op(Op::StoreV, 2);
+    a.op(Op::LoadV, 4)
+        .o(Op::Dup)
+        .o(Op::ALoad)
+        .op(Op::Push, 1)
+        .o(Op::Add)
+        .o(Op::Swap)
+        .o(Op::AStore);
+    a.op(Op::LoadV, 0)
+        .op(Op::Push, 31)
+        .o(Op::Mul)
+        .op(Op::LoadV, 4)
+        .o(Op::Add)
+        .op(Op::Push, 1000000007)
+        .o(Op::Mod)
+        .op(Op::StoreV, 0);
+    a.op(Op::LoadV, 2)
+        .op(Op::Push, 1)
+        .o(Op::Add)
+        .op(Op::StoreV, 2);
     a.jmp(top);
     a.bind(done);
     a.o(Op::Halt);
-    BytecodeProgram { name: "fasta", words: a.finish() }
+    BytecodeProgram {
+        name: "fasta",
+        words: a.finish(),
+    }
 }
 
 /// Reference interpreter with semantics identical to the MiniC VM, used
@@ -700,7 +901,11 @@ mod tests {
         // Debug-mode emulation is ~50× slower; a reduced step budget still
         // exercises every opcode (the fuel cap is part of the VM
         // semantics, so the oracle agrees at any budget).
-        let fuel = if cfg!(debug_assertions) { 60_000 } else { 2_000_000 };
+        let fuel = if cfg!(debug_assertions) {
+            60_000
+        } else {
+            2_000_000
+        };
         for p in clbg_programs() {
             let (expected, _) = interpret_reference(&p.words, fuel);
             let (exit, _) = run_input(&image, &p.input(fuel), DEFAULT_GAS);
@@ -717,7 +922,10 @@ mod tests {
     fn assembler_labels_resolve() {
         let mut a = Assembler::new();
         let skip = a.label();
-        a.op(Op::Push, 1).jz(skip).op(Op::Push, 99).op(Op::StoreV, 0);
+        a.op(Op::Push, 1)
+            .jz(skip)
+            .op(Op::Push, 99)
+            .op(Op::StoreV, 0);
         a.bind(skip);
         a.o(Op::Halt);
         let words = a.finish();
@@ -739,7 +947,11 @@ mod tests {
     #[test]
     fn php_binary_is_interpreter_sized() {
         let image = compile("php", &php_source()).unwrap();
-        assert!(image.text.len() > 30_000, "text only {} bytes", image.text.len());
+        assert!(
+            image.text.len() > 30_000,
+            "text only {} bytes",
+            image.text.len()
+        );
     }
 
     #[test]
@@ -748,10 +960,7 @@ mod tests {
         let heap_heavy = clbg_by_name("fannkuchredux").unwrap();
         let arith_heavy = clbg_by_name("pidigits").unwrap();
         let count_ops = |p: &BytecodeProgram, ops: &[i32]| {
-            p.words
-                .chunks(2)
-                .filter(|c| ops.contains(&c[0]))
-                .count()
+            p.words.chunks(2).filter(|c| ops.contains(&c[0])).count()
         };
         let aload_astore = [Op::ALoad as i32, Op::AStore as i32];
         assert!(count_ops(&heap_heavy, &aload_astore) > count_ops(&arith_heavy, &aload_astore));

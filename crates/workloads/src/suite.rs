@@ -179,7 +179,11 @@ int main(int n) {
 fn gcc() -> Workload {
     // Many functions, flat profile, lowest x_max among the big codes
     // (paper §3.1: 403.gcc has the smallest maximum count, 14M).
-    let src = generate_program(&GenConfig { functions: 1500, seed: 403, active_per_iter: 24 });
+    let src = generate_program(&GenConfig {
+        functions: 1500,
+        seed: 403,
+        active_per_iter: 24,
+    });
     Workload {
         name: "403.gcc",
         description: "large many-function program with a flat profile (compiler-like)",
@@ -212,8 +216,14 @@ int main(int n) {
     return total & 0xffffff;
 }
 "#;
-    Workload::new("429.mcf", "pointer-chasing network traversal (memory bound)", src, &[&[40000]], &[500000])
-        .with_support(8)
+    Workload::new(
+        "429.mcf",
+        "pointer-chasing network traversal (memory bound)",
+        src,
+        &[&[40000]],
+        &[500000],
+    )
+    .with_support(8)
 }
 
 fn milc() -> Workload {
@@ -243,8 +253,14 @@ int main(int n) {
     return check & 0xfffff;
 }
 "#;
-    Workload::new("433.milc", "12×12 integer matrix products (lattice-QCD-like)", src, &[&[40]], &[450])
-        .with_support(60)
+    Workload::new(
+        "433.milc",
+        "12×12 integer matrix products (lattice-QCD-like)",
+        src,
+        &[&[40]],
+        &[450],
+    )
+    .with_support(60)
 }
 
 fn namd() -> Workload {
@@ -276,12 +292,22 @@ int main(int n) {
     return e & 0xffffff;
 }
 "#;
-    Workload::new("444.namd", "pairwise force kernel (molecular-dynamics-like)", src, &[&[25]], &[220])
-        .with_support(100)
+    Workload::new(
+        "444.namd",
+        "pairwise force kernel (molecular-dynamics-like)",
+        src,
+        &[&[25]],
+        &[220],
+    )
+    .with_support(100)
 }
 
 fn gobmk() -> Workload {
-    let src = generate_program(&GenConfig { functions: 900, seed: 445, active_per_iter: 14 });
+    let src = generate_program(&GenConfig {
+        functions: 900,
+        seed: 445,
+        active_per_iter: 14,
+    });
     Workload {
         name: "445.gobmk",
         description: "many branchy evaluation functions (game-tree evaluation)",
@@ -292,7 +318,11 @@ fn gobmk() -> Workload {
 }
 
 fn dealii() -> Workload {
-    let src = generate_program(&GenConfig { functions: 430, seed: 447, active_per_iter: 8 });
+    let src = generate_program(&GenConfig {
+        functions: 430,
+        seed: 447,
+        active_per_iter: 8,
+    });
     Workload {
         name: "447.dealII",
         description: "medium-sized numerical library shape (finite elements)",
@@ -333,12 +363,22 @@ int main(int n) {
     return obj & 0xffffff;
 }
 "#;
-    Workload::new("450.soplex", "dense tableau pivoting (linear programming)", src, &[&[60]], &[550])
-        .with_support(420)
+    Workload::new(
+        "450.soplex",
+        "dense tableau pivoting (linear programming)",
+        src,
+        &[&[60]],
+        &[550],
+    )
+    .with_support(420)
 }
 
 fn povray() -> Workload {
-    let src = generate_program(&GenConfig { functions: 700, seed: 453, active_per_iter: 10 });
+    let src = generate_program(&GenConfig {
+        functions: 700,
+        seed: 453,
+        active_per_iter: 10,
+    });
     Workload {
         name: "453.povray",
         description: "many mixed-arithmetic functions (ray-tracing shading stack)",
@@ -377,8 +417,14 @@ int main(int n) {
     return score & 0xffffff;
 }
 "#;
-    Workload::new("456.hmmer", "Viterbi dynamic-programming inner loop (highest x_max)", src, &[&[100]], &[200])
-        .with_support(85)
+    Workload::new(
+        "456.hmmer",
+        "Viterbi dynamic-programming inner loop (highest x_max)",
+        src,
+        &[&[100]],
+        &[200],
+    )
+    .with_support(85)
 }
 
 fn sjeng() -> Workload {
@@ -422,8 +468,14 @@ int main(int n) {
     return (total + nodes) & 0xffffff;
 }
 "#;
-    Workload::new("458.sjeng", "recursive alpha-beta game-tree search", src, &[&[18]], &[150])
-        .with_support(65)
+    Workload::new(
+        "458.sjeng",
+        "recursive alpha-beta game-tree search",
+        src,
+        &[&[18]],
+        &[150],
+    )
+    .with_support(65)
 }
 
 fn libquantum() -> Workload {
@@ -446,8 +498,14 @@ int main(int n) {
     return phase & 0xffffff;
 }
 "#;
-    Workload::new("462.libquantum", "quantum-gate bit manipulation sweeps", src, &[&[2]], &[11])
-        .with_support(14)
+    Workload::new(
+        "462.libquantum",
+        "quantum-gate bit manipulation sweeps",
+        src,
+        &[&[2]],
+        &[11],
+    )
+    .with_support(14)
 }
 
 fn h264ref() -> Workload {
@@ -490,8 +548,14 @@ int main(int n) {
     return total & 0xffffff;
 }
 "#;
-    Workload::new("464.h264ref", "SAD block-matching motion estimation", src, &[&[40]], &[330])
-        .with_support(280)
+    Workload::new(
+        "464.h264ref",
+        "SAD block-matching motion estimation",
+        src,
+        &[&[40]],
+        &[330],
+    )
+    .with_support(280)
 }
 
 fn lbm() -> Workload {
@@ -543,14 +607,24 @@ int main(int n) {
     return check & 0xffffff;
 }
 "#;
-    Workload::new("470.lbm", "memory-streaming stencil relaxation (fluid dynamics)", src, &[&[4]], &[30])
-        .with_support(6)
+    Workload::new(
+        "470.lbm",
+        "memory-streaming stencil relaxation (fluid dynamics)",
+        src,
+        &[&[4]],
+        &[30],
+    )
+    .with_support(6)
 }
 
 fn omnetpp() -> Workload {
     // Discrete-event simulation over a binary heap, wrapped in a
     // generated station-handler layer for code size.
-    let mut src = generate_program(&GenConfig { functions: 1100, seed: 471, active_per_iter: 6 });
+    let mut src = generate_program(&GenConfig {
+        functions: 1100,
+        seed: 471,
+        active_per_iter: 6,
+    });
     src.push_str(
         r#"
 int heap[1024];
@@ -604,10 +678,8 @@ int simulate(int events) {
 "#,
     );
     // Replace the generated main with an event-driven one.
-    let src = src.replace(
-        "int main(int n) {",
-        "int unused_main_gate(int n) {",
-    ) + r#"
+    let src = src.replace("int main(int n) {", "int unused_main_gate(int n) {")
+        + r#"
 int main(int n) {
     int total = 0;
     for (int rep = 0; rep < 4; rep++) { total += simulate(n); }
@@ -674,8 +746,14 @@ int main(int n) {
     return found;
 }
 "#;
-    Workload::new("473.astar", "grid pathfinding with an open list (spread-out profile)", src, &[&[16]], &[130])
-        .with_support(30)
+    Workload::new(
+        "473.astar",
+        "grid pathfinding with an open list (spread-out profile)",
+        src,
+        &[&[16]],
+        &[130],
+    )
+    .with_support(30)
 }
 
 fn sphinx3() -> Workload {
@@ -706,12 +784,22 @@ int main(int n) {
     return best & 0xffffff;
 }
 "#;
-    Workload::new("482.sphinx3", "Gaussian-scoring dot products (speech recognition)", src, &[&[24]], &[180])
-        .with_support(120)
+    Workload::new(
+        "482.sphinx3",
+        "Gaussian-scoring dot products (speech recognition)",
+        src,
+        &[&[24]],
+        &[180],
+    )
+    .with_support(120)
 }
 
 fn xalancbmk() -> Workload {
-    let src = generate_program(&GenConfig { functions: 2600, seed: 483, active_per_iter: 30 });
+    let src = generate_program(&GenConfig {
+        functions: 2600,
+        seed: 483,
+        active_per_iter: 30,
+    });
     Workload {
         name: "483.xalancbmk",
         description: "largest code body of the suite (XSLT-processor-like breadth)",
@@ -771,7 +859,10 @@ mod tests {
     /// accidental behavioural drift (any intentional change to one of
     /// those layers must update this table consciously).
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "ref runs are sized for release-mode emulation")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "ref runs are sized for release-mode emulation"
+    )]
     fn reference_runs_match_golden_snapshot() {
         const GOLDEN: &[(&str, i32, u64)] = &[
             ("400.perlbench", 14917, 12359308),
@@ -807,7 +898,10 @@ mod tests {
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "ref runs are sized for release-mode emulation")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "ref runs are sized for release-mode emulation"
+    )]
     fn ref_runs_are_heavier_than_train() {
         for w in spec_suite() {
             let image = compile(w.name, &w.source).unwrap();
@@ -837,6 +931,9 @@ mod tests {
         let lbm = size("470.lbm");
         let gcc = size("403.gcc");
         let xalan = size("483.xalancbmk");
-        assert!(lbm < gcc && gcc < xalan, "lbm={lbm} gcc={gcc} xalan={xalan}");
+        assert!(
+            lbm < gcc && gcc < xalan,
+            "lbm={lbm} gcc={gcc} xalan={xalan}"
+        );
     }
 }

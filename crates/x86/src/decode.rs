@@ -75,7 +75,10 @@ impl CfKind {
     /// `true` for the free branches a ROP gadget may end in (paper §5.2):
     /// returns, indirect calls and indirect jumps.
     pub fn is_free_branch(self) -> bool {
-        matches!(self, CfKind::RetNear | CfKind::RetFar | CfKind::JmpInd | CfKind::CallInd)
+        matches!(
+            self,
+            CfKind::RetNear | CfKind::RetFar | CfKind::JmpInd | CfKind::CallInd
+        )
     }
 }
 
@@ -260,7 +263,11 @@ fn parse_modrm32(c: &mut Cursor<'_>) -> Result<(u8, Rm), DecodeError> {
     if md == 3 {
         return Ok((reg, Rm::Reg(Reg::from_number(rm).expect("3-bit register"))));
     }
-    let mut mem = Mem { base: None, index: None, disp: 0 };
+    let mut mem = Mem {
+        base: None,
+        index: None,
+        disp: 0,
+    };
     let mut disp_size = match md {
         0 => 0usize,
         1 => 1,
@@ -273,7 +280,10 @@ fn parse_modrm32(c: &mut Cursor<'_>) -> Result<(u8, Rm), DecodeError> {
         let idx = (sib >> 3) & 7;
         let base = sib & 7;
         if idx != 4 {
-            mem.index = Some((Reg::from_number(idx).expect("3-bit register"), Scale::from_bits(ss)));
+            mem.index = Some((
+                Reg::from_number(idx).expect("3-bit register"),
+                Scale::from_bits(ss),
+            ));
         }
         if base == 5 && md == 0 {
             disp_size = 4;
@@ -388,7 +398,11 @@ pub fn decode(bytes: &[u8]) -> Result<Decoded, DecodeError> {
     if c.pos > MAX_INST_LEN {
         return Err(DecodeError::Invalid);
     }
-    Ok(Decoded { len: c.pos, body, prefix_len })
+    Ok(Decoded {
+        len: c.pos,
+        body,
+        prefix_len,
+    })
 }
 
 fn modrm(c: &mut Cursor<'_>, p: Prefixes) -> Result<(u8, Rm), DecodeError> {
@@ -411,10 +425,18 @@ fn decode_opcode(c: &mut Cursor<'_>, p: Prefixes) -> Result<Body, DecodeError> {
         return decode_low_block(c, p, op);
     }
     match op {
-        0x40..=0x47 => Ok(Body::Known(Inst::IncR(Reg::from_number(op - 0x40).unwrap()))),
-        0x48..=0x4F => Ok(Body::Known(Inst::DecR(Reg::from_number(op - 0x48).unwrap()))),
-        0x50..=0x57 => Ok(Body::Known(Inst::PushR(Reg::from_number(op - 0x50).unwrap()))),
-        0x58..=0x5F => Ok(Body::Known(Inst::PopR(Reg::from_number(op - 0x58).unwrap()))),
+        0x40..=0x47 => Ok(Body::Known(Inst::IncR(
+            Reg::from_number(op - 0x40).unwrap(),
+        ))),
+        0x48..=0x4F => Ok(Body::Known(Inst::DecR(
+            Reg::from_number(op - 0x48).unwrap(),
+        ))),
+        0x50..=0x57 => Ok(Body::Known(Inst::PushR(
+            Reg::from_number(op - 0x50).unwrap(),
+        ))),
+        0x58..=0x5F => Ok(Body::Known(Inst::PopR(
+            Reg::from_number(op - 0x58).unwrap(),
+        ))),
         0x60 => Ok(other("pusha", Class::Normal)),
         0x61 => Ok(other("popa", Class::Normal)),
         0x62 => {
@@ -436,9 +458,11 @@ fn decode_opcode(c: &mut Cursor<'_>, p: Prefixes) -> Result<Body, DecodeError> {
             let (reg, rm) = modrm(c, p)?;
             let imm = c.imm_z(p.opsize16)?;
             match rm {
-                Rm::Reg(r) => {
-                    Ok(Body::Known(Inst::ImulRRI(Reg::from_number(reg).unwrap(), r, imm)))
-                }
+                Rm::Reg(r) => Ok(Body::Known(Inst::ImulRRI(
+                    Reg::from_number(reg).unwrap(),
+                    r,
+                    imm,
+                ))),
                 Rm::Mem(_) => Ok(other("imul", Class::Normal)),
             }
         }
@@ -450,9 +474,11 @@ fn decode_opcode(c: &mut Cursor<'_>, p: Prefixes) -> Result<Body, DecodeError> {
             let (reg, rm) = modrm(c, p)?;
             let imm = i32::from(c.i8()?);
             match rm {
-                Rm::Reg(r) => {
-                    Ok(Body::Known(Inst::ImulRRI(Reg::from_number(reg).unwrap(), r, imm)))
-                }
+                Rm::Reg(r) => Ok(Body::Known(Inst::ImulRRI(
+                    Reg::from_number(reg).unwrap(),
+                    r,
+                    imm,
+                ))),
                 Rm::Mem(_) => Ok(other("imul", Class::Normal)),
             }
         }
@@ -492,9 +518,7 @@ fn decode_opcode(c: &mut Cursor<'_>, p: Prefixes) -> Result<Body, DecodeError> {
         0x85 => {
             let (reg, rm) = modrm(c, p)?;
             match rm {
-                Rm::Reg(r) => {
-                    Ok(Body::Known(Inst::TestRR(r, Reg::from_number(reg).unwrap())))
-                }
+                Rm::Reg(r) => Ok(Body::Known(Inst::TestRR(r, Reg::from_number(reg).unwrap()))),
                 Rm::Mem(_) => Ok(other("test", Class::Normal)),
             }
         }
@@ -552,9 +576,10 @@ fn decode_opcode(c: &mut Cursor<'_>, p: Prefixes) -> Result<Body, DecodeError> {
             }
         }
         0x90 => Ok(Body::Known(Inst::Nop(NopKind::Nop))),
-        0x91..=0x97 => {
-            Ok(Body::Known(Inst::XchgRR(Reg::Eax, Reg::from_number(op - 0x90).unwrap())))
-        }
+        0x91..=0x97 => Ok(Body::Known(Inst::XchgRR(
+            Reg::Eax,
+            Reg::from_number(op - 0x90).unwrap(),
+        ))),
         0x98 => Ok(other("cwde", Class::Normal)),
         0x99 => Ok(Body::Known(Inst::Cdq)),
         0x9A => {
@@ -586,7 +611,10 @@ fn decode_opcode(c: &mut Cursor<'_>, p: Prefixes) -> Result<Body, DecodeError> {
         }
         0xB8..=0xBF => {
             let imm = c.imm_z(p.opsize16)?;
-            Ok(Body::Known(Inst::MovRI(Reg::from_number(op - 0xB8).unwrap(), imm)))
+            Ok(Body::Known(Inst::MovRI(
+                Reg::from_number(op - 0xB8).unwrap(),
+                imm,
+            )))
         }
         0xC0 => {
             let (reg, _) = modrm(c, p)?;
@@ -681,7 +709,7 @@ fn decode_opcode(c: &mut Cursor<'_>, p: Prefixes) -> Result<Body, DecodeError> {
             c.skip(1)?;
             Ok(other("loop/jecxz", Class::ControlFlow(CfKind::CondJmp)))
         }
-        0xE4 | 0xE5 | 0xE6 | 0xE7 => {
+        0xE4..=0xE7 => {
             c.skip(1)?;
             Ok(other("in/out", Class::PrivilegedOrIo))
         }
@@ -941,7 +969,10 @@ mod tests {
         let samples = [
             Inst::MovRI(Reg::Edi, -1),
             Inst::MovRR(Reg::Esp, Reg::Esp),
-            Inst::MovRM(Reg::Eax, Mem::base_index(Reg::Ebx, Reg::Ecx, Scale::S4, 0x40)),
+            Inst::MovRM(
+                Reg::Eax,
+                Mem::base_index(Reg::Ebx, Reg::Ecx, Scale::S4, 0x40),
+            ),
             Inst::MovMR(Mem::abs(0x0804_9000), Reg::Edx),
             Inst::MovMI(Mem::base_disp(Reg::Ebp, -8), 42),
             Inst::AluRR(AluOp::Xor, Reg::Eax, Reg::Eax),
@@ -1015,7 +1046,8 @@ mod tests {
         assert_eq!(decode(&[0x0F, 0x05]), Err(DecodeError::Invalid)); // syscall
         assert_eq!(decode(&[0x8D, 0xC0]), Err(DecodeError::Invalid)); // lea reg,reg
         assert_eq!(decode(&[0xFF, 0xF8]), Err(DecodeError::Invalid)); // grp5 /7
-        assert_eq!(decode(&[0xC7, 0xC8, 0, 0, 0, 0]), Err(DecodeError::Invalid)); // C7 /1
+        assert_eq!(decode(&[0xC7, 0xC8, 0, 0, 0, 0]), Err(DecodeError::Invalid));
+        // C7 /1
     }
 
     #[test]

@@ -382,7 +382,10 @@ mod tests {
 
     #[test]
     fn mov_forms() {
-        assert_eq!(enc(Inst::MovRI(Reg::Eax, 0x12345678)), [0xB8, 0x78, 0x56, 0x34, 0x12]);
+        assert_eq!(
+            enc(Inst::MovRI(Reg::Eax, 0x12345678)),
+            [0xB8, 0x78, 0x56, 0x34, 0x12]
+        );
         assert_eq!(enc(Inst::MovRR(Reg::Esp, Reg::Esp)), [0x89, 0xE4]);
         assert_eq!(enc(Inst::MovRR(Reg::Ebp, Reg::Ebp)), [0x89, 0xED]);
         assert_eq!(
@@ -398,12 +401,18 @@ mod tests {
     #[test]
     fn ebp_without_disp_still_gets_disp8() {
         // [ebp] cannot be encoded with mod=00; must become [ebp+0].
-        assert_eq!(enc(Inst::MovRM(Reg::Eax, Mem::base_disp(Reg::Ebp, 0))), [0x8B, 0x45, 0x00]);
+        assert_eq!(
+            enc(Inst::MovRM(Reg::Eax, Mem::base_disp(Reg::Ebp, 0))),
+            [0x8B, 0x45, 0x00]
+        );
     }
 
     #[test]
     fn esp_base_needs_sib() {
-        assert_eq!(enc(Inst::MovRM(Reg::Eax, Mem::base_disp(Reg::Esp, 0))), [0x8B, 0x04, 0x24]);
+        assert_eq!(
+            enc(Inst::MovRM(Reg::Eax, Mem::base_disp(Reg::Esp, 0))),
+            [0x8B, 0x04, 0x24]
+        );
         assert_eq!(
             enc(Inst::MovRM(Reg::Eax, Mem::base_disp(Reg::Esp, 8))),
             [0x8B, 0x44, 0x24, 0x08]
@@ -413,11 +422,17 @@ mod tests {
     #[test]
     fn sib_scaled_index() {
         assert_eq!(
-            enc(Inst::MovRM(Reg::Edx, Mem::base_index(Reg::Ebx, Reg::Esi, Scale::S4, 0))),
+            enc(Inst::MovRM(
+                Reg::Edx,
+                Mem::base_index(Reg::Ebx, Reg::Esi, Scale::S4, 0)
+            )),
             [0x8B, 0x14, 0xB3]
         );
         assert_eq!(
-            enc(Inst::Lea(Reg::Eax, Mem::index_disp(Reg::Ecx, Scale::S8, 0x10))),
+            enc(Inst::Lea(
+                Reg::Eax,
+                Mem::index_disp(Reg::Ecx, Scale::S8, 0x10)
+            )),
             [0x8D, 0x04, 0xCD, 0x10, 0x00, 0x00, 0x00]
         );
     }
@@ -425,15 +440,30 @@ mod tests {
     #[test]
     fn esp_index_rejected() {
         let m = Mem::base_index(Reg::Eax, Reg::Esp, Scale::S1, 0);
-        assert_eq!(encode(&Inst::Lea(Reg::Eax, m), &mut Vec::new()), Err(EncodeError::EspIndex));
+        assert_eq!(
+            encode(&Inst::Lea(Reg::Eax, m), &mut Vec::new()),
+            Err(EncodeError::EspIndex)
+        );
     }
 
     #[test]
     fn alu_rows() {
-        assert_eq!(enc(Inst::AluRR(AluOp::Add, Reg::Eax, Reg::Ebx)), [0x01, 0xD8]);
-        assert_eq!(enc(Inst::AluRR(AluOp::Sub, Reg::Ecx, Reg::Edx)), [0x29, 0xD1]);
-        assert_eq!(enc(Inst::AluRR(AluOp::Cmp, Reg::Esi, Reg::Edi)), [0x39, 0xFE]);
-        assert_eq!(enc(Inst::AluRI(AluOp::Add, Reg::Esp, 8)), [0x83, 0xC4, 0x08]);
+        assert_eq!(
+            enc(Inst::AluRR(AluOp::Add, Reg::Eax, Reg::Ebx)),
+            [0x01, 0xD8]
+        );
+        assert_eq!(
+            enc(Inst::AluRR(AluOp::Sub, Reg::Ecx, Reg::Edx)),
+            [0x29, 0xD1]
+        );
+        assert_eq!(
+            enc(Inst::AluRR(AluOp::Cmp, Reg::Esi, Reg::Edi)),
+            [0x39, 0xFE]
+        );
+        assert_eq!(
+            enc(Inst::AluRI(AluOp::Add, Reg::Esp, 8)),
+            [0x83, 0xC4, 0x08]
+        );
         assert_eq!(
             enc(Inst::AluRI(AluOp::And, Reg::Eax, 0x1234)),
             [0x81, 0xE0, 0x34, 0x12, 0x00, 0x00]
@@ -456,7 +486,10 @@ mod tests {
         assert_eq!(enc(Inst::NegR(Reg::Eax)), [0xF7, 0xD8]);
         assert_eq!(enc(Inst::NotR(Reg::Edx)), [0xF7, 0xD2]);
         assert_eq!(enc(Inst::ShiftRI(ShiftOp::Shl, Reg::Eax, 1)), [0xD1, 0xE0]);
-        assert_eq!(enc(Inst::ShiftRI(ShiftOp::Sar, Reg::Eax, 4)), [0xC1, 0xF8, 0x04]);
+        assert_eq!(
+            enc(Inst::ShiftRI(ShiftOp::Sar, Reg::Eax, 4)),
+            [0xC1, 0xF8, 0x04]
+        );
         assert_eq!(enc(Inst::ShiftRCl(ShiftOp::Shr, Reg::Ecx)), [0xD3, 0xE9]);
         assert_eq!(
             encode(&Inst::ShiftRI(ShiftOp::Shl, Reg::Eax, 32), &mut Vec::new()),

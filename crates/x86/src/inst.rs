@@ -74,22 +74,38 @@ pub struct Mem {
 impl Mem {
     /// An absolute address operand `[disp]`.
     pub fn abs(addr: u32) -> Mem {
-        Mem { base: None, index: None, disp: addr as i32 }
+        Mem {
+            base: None,
+            index: None,
+            disp: addr as i32,
+        }
     }
 
     /// A `[base + disp]` operand.
     pub fn base_disp(base: Reg, disp: i32) -> Mem {
-        Mem { base: Some(base), index: None, disp }
+        Mem {
+            base: Some(base),
+            index: None,
+            disp,
+        }
     }
 
     /// A `[base + index*scale + disp]` operand.
     pub fn base_index(base: Reg, index: Reg, scale: Scale, disp: i32) -> Mem {
-        Mem { base: Some(base), index: Some((index, scale)), disp }
+        Mem {
+            base: Some(base),
+            index: Some((index, scale)),
+            disp,
+        }
     }
 
     /// An `[index*scale + disp]` operand with no base register.
     pub fn index_disp(index: Reg, scale: Scale, disp: i32) -> Mem {
-        Mem { base: None, index: Some((index, scale)), disp }
+        Mem {
+            base: None,
+            index: Some((index, scale)),
+            disp,
+        }
     }
 }
 
@@ -368,7 +384,10 @@ impl Inst {
     /// `true` for the *free branches* a return-oriented-programming gadget
     /// may end in: returns and indirect jumps/calls (paper §5.2).
     pub fn is_free_branch(&self) -> bool {
-        matches!(self, Inst::Ret | Inst::RetImm(_) | Inst::CallR(_) | Inst::JmpR(_))
+        matches!(
+            self,
+            Inst::Ret | Inst::RetImm(_) | Inst::CallR(_) | Inst::JmpR(_)
+        )
     }
 }
 
@@ -415,15 +434,30 @@ impl fmt::Display for Inst {
             Inst::PopR(r) => write!(f, "pop {r}"),
             Inst::Lea(r, m) => write!(f, "lea {r}, {m}"),
             Inst::XchgRR(a, b) => write!(f, "xchg {a}, {b}"),
-            Inst::CallRel(d) => { write!(f, "call ")?; fmt_rel(f, i64::from(*d)) }
+            Inst::CallRel(d) => {
+                write!(f, "call ")?;
+                fmt_rel(f, i64::from(*d))
+            }
             Inst::CallR(r) => write!(f, "call {r}"),
             Inst::Ret => write!(f, "ret"),
             Inst::RetImm(n) => write!(f, "ret {n:#x}"),
-            Inst::JmpRel(d) => { write!(f, "jmp ")?; fmt_rel(f, i64::from(*d)) }
-            Inst::JmpRel8(d) => { write!(f, "jmp short ")?; fmt_rel(f, i64::from(*d)) }
+            Inst::JmpRel(d) => {
+                write!(f, "jmp ")?;
+                fmt_rel(f, i64::from(*d))
+            }
+            Inst::JmpRel8(d) => {
+                write!(f, "jmp short ")?;
+                fmt_rel(f, i64::from(*d))
+            }
             Inst::JmpR(r) => write!(f, "jmp {r}"),
-            Inst::Jcc(c, d) => { write!(f, "j{c} ")?; fmt_rel(f, i64::from(*d)) }
-            Inst::Jcc8(c, d) => { write!(f, "j{c} short ")?; fmt_rel(f, i64::from(*d)) }
+            Inst::Jcc(c, d) => {
+                write!(f, "j{c} ")?;
+                fmt_rel(f, i64::from(*d))
+            }
+            Inst::Jcc8(c, d) => {
+                write!(f, "j{c} short ")?;
+                fmt_rel(f, i64::from(*d))
+            }
             Inst::Int(n) => write!(f, "int {n:#x}"),
             Inst::Hlt => write!(f, "hlt"),
             Inst::Nop(k) => write!(f, "{k}"),
@@ -444,7 +478,10 @@ mod tests {
             Mem::base_index(Reg::Ebx, Reg::Esi, Scale::S4, 16).to_string(),
             "[ebx+esi*4+0x10]"
         );
-        assert_eq!(Mem::index_disp(Reg::Ecx, Scale::S2, 0).to_string(), "[ecx*2]");
+        assert_eq!(
+            Mem::index_disp(Reg::Ecx, Scale::S2, 0).to_string(),
+            "[ecx*2]"
+        );
     }
 
     #[test]
@@ -472,7 +509,12 @@ mod tests {
 
     #[test]
     fn free_branches_are_control_flow() {
-        let frees = [Inst::Ret, Inst::RetImm(8), Inst::CallR(Reg::Eax), Inst::JmpR(Reg::Ecx)];
+        let frees = [
+            Inst::Ret,
+            Inst::RetImm(8),
+            Inst::CallR(Reg::Eax),
+            Inst::JmpR(Reg::Ecx),
+        ];
         for i in frees {
             assert!(i.is_free_branch(), "{i}");
             assert!(i.is_control_flow(), "{i}");
@@ -485,8 +527,14 @@ mod tests {
     #[test]
     fn display_smoke() {
         assert_eq!(Inst::MovRI(Reg::Eax, 5).to_string(), "mov eax, 0x5");
-        assert_eq!(Inst::AluRR(AluOp::Add, Reg::Eax, Reg::Ebx).to_string(), "add eax, ebx");
+        assert_eq!(
+            Inst::AluRR(AluOp::Add, Reg::Eax, Reg::Ebx).to_string(),
+            "add eax, ebx"
+        );
         assert_eq!(Inst::Jcc8(Cond::Ne, -2).to_string(), "jne short -0x2");
-        assert_eq!(Inst::ShiftRCl(ShiftOp::Sar, Reg::Edx).to_string(), "sar edx, cl");
+        assert_eq!(
+            Inst::ShiftRCl(ShiftOp::Sar, Reg::Edx).to_string(),
+            "sar edx, cl"
+        );
     }
 }

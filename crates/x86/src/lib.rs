@@ -31,6 +31,7 @@
 
 mod cond;
 pub mod decode;
+mod effects;
 pub mod encode;
 mod inst;
 pub mod nop;
@@ -38,6 +39,7 @@ mod reg;
 
 pub use cond::Cond;
 pub use decode::{decode, decode_all, Body, CfKind, Class, DecodeError, Decoded, OtherInst};
+pub use effects::{Effects, RegSet};
 pub use encode::{assemble, encode, encoded_len, EncodeError};
 pub use inst::{AluOp, Inst, Mem, Scale, ShiftOp};
 pub use reg::Reg;

@@ -61,6 +61,7 @@ impl NopKind {
 
     /// Encoded length in bytes (1 or 2).
     #[inline]
+    #[allow(clippy::len_without_is_empty)] // a NOP always has bytes
     pub fn len(self) -> usize {
         self.bytes().len()
     }
@@ -139,14 +140,20 @@ impl NopTable {
     /// The default table: the five candidates that do not lock the bus.
     pub fn new() -> NopTable {
         NopTable {
-            kinds: NopKind::ALL.iter().copied().filter(|k| !k.locks_bus()).collect(),
+            kinds: NopKind::ALL
+                .iter()
+                .copied()
+                .filter(|k| !k.locks_bus())
+                .collect(),
         }
     }
 
     /// The full seven-candidate table including the `xchg` forms
     /// (the paper's compile-time opt-in for extra diversity).
     pub fn with_xchg() -> NopTable {
-        NopTable { kinds: NopKind::ALL.to_vec() }
+        NopTable {
+            kinds: NopKind::ALL.to_vec(),
+        }
     }
 
     /// Number of candidates.

@@ -21,12 +21,12 @@ fn name(dec: &Decoded) -> String {
 /// (encoding, expected length, substring of the rendered mnemonic).
 const CASES: &[(&[u8], usize, &str)] = &[
     // ALU rows, all forms.
-    (&[0x00, 0xC1], 2, "add"),                          // add r/m8, r8
-    (&[0x01, 0xC1], 2, "add ecx, eax"),                 // add r/m32, r32
-    (&[0x02, 0x01], 2, "add"),                          // add r8, [ecx]
-    (&[0x03, 0x04, 0x8D, 0, 0, 0, 0], 7, "add eax"),    // SIB, no base
-    (&[0x04, 0x7F], 2, "add"),                          // add al, imm8
-    (&[0x05, 1, 0, 0, 0], 5, "add eax, 0x1"),           // add eax, imm32
+    (&[0x00, 0xC1], 2, "add"),                       // add r/m8, r8
+    (&[0x01, 0xC1], 2, "add ecx, eax"),              // add r/m32, r32
+    (&[0x02, 0x01], 2, "add"),                       // add r8, [ecx]
+    (&[0x03, 0x04, 0x8D, 0, 0, 0, 0], 7, "add eax"), // SIB, no base
+    (&[0x04, 0x7F], 2, "add"),                       // add al, imm8
+    (&[0x05, 1, 0, 0, 0], 5, "add eax, 0x1"),        // add eax, imm32
     (&[0x29, 0xD8], 2, "sub eax, ebx"),
     (&[0x31, 0xC0], 2, "xor eax, eax"),
     (&[0x39, 0xCB], 2, "cmp ebx, ecx"),
@@ -173,8 +173,14 @@ fn control_flow_classes() {
     }
     // The syscall gates get the Syscall kind (the attack scanner's
     // terminator extension keys on it).
-    assert_eq!(d(&[0xCD, 0x80]).class(), Class::ControlFlow(CfKind::Syscall));
-    assert_eq!(d(&[0x0F, 0x34]).class(), Class::ControlFlow(CfKind::Syscall));
+    assert_eq!(
+        d(&[0xCD, 0x80]).class(),
+        Class::ControlFlow(CfKind::Syscall)
+    );
+    assert_eq!(
+        d(&[0x0F, 0x34]).class(),
+        Class::ControlFlow(CfKind::Syscall)
+    );
 }
 
 #[test]

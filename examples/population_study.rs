@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The undiversified binary is attackable.
     for tpl in [AttackTemplate::ropgadget(), AttackTemplate::microgadgets()] {
         let v = check_attack(&baseline.text, &tpl);
-        println!("  undiversified {:<13} feasible: {}", v.template, v.feasible());
+        println!(
+            "  undiversified {:<13} feasible: {}",
+            v.template,
+            v.feasible()
+        );
     }
 
     // Build the population (uniform 30% — no profile needed for brevity;

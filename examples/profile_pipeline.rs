@@ -39,7 +39,11 @@ int main(int n) {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Stage 1: frontend (lex → parse → IR → optimizations).
     let module = frontend("histogram", SOURCE)?;
-    println!("IR: {} functions, {} globals", module.funcs.len(), module.globals.len());
+    println!(
+        "IR: {} functions, {} globals",
+        module.funcs.len(),
+        module.globals.len()
+    );
 
     // Stage 2: instrumentation — only the spanning-tree complement gets
     // counters (the paper: "LLVM only inserts counters for the minimal
@@ -60,14 +64,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // minimal counter set by flow conservation.
     let profile = train(&module, &[Input::args(&[2_000])], DEFAULT_GAS)?;
     let x_max = profile.max_count();
-    println!("\ntraining profile: x_max = {x_max}, median = {}", profile.median_count());
+    println!(
+        "\ntraining profile: x_max = {x_max}, median = {}",
+        profile.median_count()
+    );
 
     // Inspect per-block probabilities for `classify`.
     let strategy = Strategy::range(0.10, 0.50);
     let linear = Strategy::with_curve(0.10, 0.50, Curve::Linear);
     let fp = profile.func("classify").expect("classify profiled");
     println!("\nper-block NOP probabilities for `classify` (range 10-50%):");
-    println!("{:>6} {:>12} {:>10} {:>10}", "block", "count", "log", "linear");
+    println!(
+        "{:>6} {:>12} {:>10} {:>10}",
+        "block", "count", "log", "linear"
+    );
     for (b, &count) in fp.block_counts.iter().enumerate() {
         println!(
             "{b:>6} {count:>12} {:>9.1}% {:>9.1}%",
@@ -99,7 +109,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (s.cycles as f64 / base_stats.cycles as f64 - 1.0) * 100.0
         );
     };
-    println!("\noverhead on the reference input (baseline {} cycles):", base_stats.cycles);
+    println!(
+        "\noverhead on the reference input (baseline {} cycles):",
+        base_stats.cycles
+    );
     report("uniform pNOP=50%", Strategy::uniform(0.5), false);
     report("profiled pNOP=10-50%", strategy, true);
     report("profiled pNOP=0-30%", Strategy::range(0.0, 0.30), true);

@@ -50,8 +50,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    build two versions with different seeds.
     let profile = train(&module, &[Input::args(&[500])], DEFAULT_GAS)?;
     let strategy = Strategy::range(0.0, 0.30); // the paper's pNOP = 0-30%
-    let v1 = build(&module, Some(&profile), &BuildConfig::diversified(strategy, 1))?;
-    let v2 = build(&module, Some(&profile), &BuildConfig::diversified(strategy, 2))?;
+    let v1 = build(
+        &module,
+        Some(&profile),
+        &BuildConfig::diversified(strategy, 1),
+    )?;
+    let v2 = build(
+        &module,
+        Some(&profile),
+        &BuildConfig::diversified(strategy, 2),
+    )?;
 
     // 4. Semantics preserved, bytes diversified.
     let (e1, s1) = run(&v1, &[10_000], DEFAULT_GAS);

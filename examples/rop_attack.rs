@@ -118,7 +118,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     emu.cpu.eip = stack_addr;
     let injected = emu.run(100);
     println!("code injection attempt:   {injected:?}  (W⊕X stops it)");
-    assert!(matches!(injected, Exit::Fault(_)), "stack must not be executable");
+    assert!(
+        matches!(injected, Exit::Fault(_)),
+        "stack must not be executable"
+    );
 
     // --- 2. ROP against the undiversified binary. ---------------------
     let gadget1 = find_pop_ebx_gadget(&baseline).expect("epilogue gadget exists");
@@ -142,12 +145,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let image = build(&module, None, &BuildConfig::diversified(strategy, seed))?;
         let outcome = run_with_payload(&image, &payload);
         let pwned = outcome == Exit::Exited(PWNED);
-        println!("  seed {seed}: {outcome:?}{}", if pwned { "  <-- still vulnerable!" } else { "" });
+        println!(
+            "  seed {seed}: {outcome:?}{}",
+            if pwned { "  <-- still vulnerable!" } else { "" }
+        );
         if !pwned {
             defeated += 1;
         }
     }
     println!("\n{defeated}/{n} diversified versions defeat the attack");
-    assert_eq!(defeated, n, "diversification must break the hard-coded chain");
+    assert_eq!(
+        defeated, n,
+        "diversification must break the hard-coded chain"
+    );
     Ok(())
 }

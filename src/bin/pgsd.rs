@@ -3,10 +3,11 @@
 //! ```text
 //! pgsd run <file.mc> [args…]                      compile and execute
 //! pgsd diversify <file.mc> [options] [args…]      diversified build + run
+//! pgsd check <file.mc> [options]                  statically validate a variant
 //! pgsd gadgets <file.mc> [--seed N] [--pnop SPEC] gadget / Survivor report
 //! pgsd disasm <file.mc> [--func NAME]             disassemble the image
 //!
-//! diversify options:
+//! diversify / check options:
 //!   --pnop SPEC      uniform `0.5` or profile-guided range `0.0-0.3`
 //!                    (default 0.0-0.3, the paper's cheapest setting)
 //!   --seed N         RNG seed (default 1)
@@ -15,10 +16,13 @@
 //!   --shift          also apply basic-block shifting (§6)
 //!   --subst          also apply equivalent-instruction substitution (§6)
 //!   --regrand        also randomize register allocation (§6)
+//!   --validate       (diversify only) run the divcheck validator after
+//!                    the build and fail on any finding
 //! ```
 
 use std::process::ExitCode;
 
+use pgsd::analysis::check_images;
 use pgsd::cc::driver::frontend;
 use pgsd::cc::emit::Image;
 use pgsd::core::driver::{build, run, train, BuildConfig, Input, DEFAULT_GAS};
@@ -50,6 +54,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     match cmd.as_str() {
         "run" => cmd_run(rest),
         "diversify" => cmd_diversify(rest),
+        "check" => cmd_check(rest),
         "gadgets" => cmd_gadgets(rest),
         "disasm" => cmd_disasm(rest),
         other => Err(format!("unknown command `{other}` (try --help)")),
@@ -61,12 +66,19 @@ pgsd — profile-guided software diversity toolchain (CGO 2013 reproduction)
 
   pgsd run <file.mc> [args…]
   pgsd diversify <file.mc> [--pnop SPEC] [--seed N] [--train LIST]
-                           [--shift] [--subst] [--regrand] [args…]
+                           [--shift] [--subst] [--regrand] [--validate] [args…]
+  pgsd check <file.mc> [--pnop SPEC] [--seed N] [--shift] [--subst] [--regrand]
   pgsd gadgets <file.mc> [--pnop SPEC] [--seed N]
   pgsd disasm <file.mc> [--func NAME]
 
 SPEC is a probability (`0.5`) for uniform insertion or a range (`0.0-0.3`)
 for the profile-guided strategy; ranges trigger a training run.
+
+`check` builds a baseline and a diversified variant, then statically proves
+the two equivalent modulo the declared transforms (translation validation:
+inserted bytes are NOP-table identities, substitutions stay in the known
+equivalence classes, shifts are a jump over dead padding, register
+randomization is a clean bijection, branches land on mapped targets).
 ";
 
 struct Parsed {
@@ -79,6 +91,7 @@ struct Parsed {
     shift: bool,
     subst: bool,
     regrand: bool,
+    validate: bool,
     func: Option<String>,
 }
 
@@ -86,8 +99,7 @@ fn parse(rest: &[String]) -> Result<Parsed, String> {
     let Some(path) = rest.first() else {
         return Err("missing source file".into());
     };
-    let source = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let mut parsed = Parsed {
         source_name: path.clone(),
         source,
@@ -98,6 +110,7 @@ fn parse(rest: &[String]) -> Result<Parsed, String> {
         shift: false,
         subst: false,
         regrand: false,
+        validate: false,
         func: None,
     };
     let mut it = rest[1..].iter();
@@ -122,6 +135,7 @@ fn parse(rest: &[String]) -> Result<Parsed, String> {
             "--shift" => parsed.shift = true,
             "--subst" => parsed.subst = true,
             "--regrand" => parsed.regrand = true,
+            "--validate" => parsed.validate = true,
             other => {
                 let v: i32 = other
                     .parse()
@@ -135,7 +149,9 @@ fn parse(rest: &[String]) -> Result<Parsed, String> {
 
 fn parse_strategy(spec: &str) -> Result<Strategy, String> {
     let parse_p = |s: &str| -> Result<f64, String> {
-        let v: f64 = s.parse().map_err(|e| format!("bad probability `{s}`: {e}"))?;
+        let v: f64 = s
+            .parse()
+            .map_err(|e| format!("bad probability `{s}`: {e}"))?;
         if !(0.0..=1.0).contains(&v) {
             return Err(format!("probability {v} outside [0, 1]"));
         }
@@ -156,7 +172,11 @@ fn parse_strategy(spec: &str) -> Result<Strategy, String> {
 fn parse_ints(list: &str) -> Result<Vec<i32>, String> {
     list.split(',')
         .filter(|s| !s.trim().is_empty())
-        .map(|s| s.trim().parse().map_err(|e| format!("bad integer `{s}`: {e}")))
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|e| format!("bad integer `{s}`: {e}"))
+        })
         .collect()
 }
 
@@ -194,10 +214,19 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn build_diversified(
-    p: &Parsed,
-    module: &pgsd::cc::ir::Module,
-) -> Result<Image, String> {
+fn config_of(p: &Parsed) -> BuildConfig {
+    BuildConfig {
+        strategy: Some(p.pnop),
+        with_xchg: false,
+        shift_max_pad: if p.shift { Some(24) } else { None },
+        substitution: if p.subst { Some(p.pnop) } else { None },
+        reg_randomize: p.regrand,
+        seed: p.seed,
+        validate: p.validate,
+    }
+}
+
+fn build_diversified(p: &Parsed, module: &pgsd::cc::ir::Module) -> Result<Image, String> {
     let profile = if p.pnop.needs_profile() || p.subst {
         let t_args = p.train_args.clone().unwrap_or_else(|| p.run_args.clone());
         Some(
@@ -207,15 +236,7 @@ fn build_diversified(
     } else {
         None
     };
-    let config = BuildConfig {
-        strategy: Some(p.pnop),
-        with_xchg: false,
-        shift_max_pad: if p.shift { Some(24) } else { None },
-        substitution: if p.subst { Some(p.pnop) } else { None },
-        reg_randomize: p.regrand,
-        seed: p.seed,
-    };
-    build(module, profile.as_ref(), &config).map_err(|e| e.to_string())
+    build(module, profile.as_ref(), &config_of(p)).map_err(|e| e.to_string())
 }
 
 fn cmd_diversify(rest: &[String]) -> Result<(), String> {
@@ -241,6 +262,37 @@ fn cmd_diversify(rest: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+fn cmd_check(rest: &[String]) -> Result<(), String> {
+    let mut p = parse(rest)?;
+    // The checker runs here with its report printed, not inside `build`.
+    p.validate = false;
+    let (module, baseline) = compile_baseline(&p)?;
+    let variant = build_diversified(&p, &module)?;
+    let transforms = config_of(&p).transforms();
+    match check_images(&baseline, &variant, &transforms) {
+        Ok(report) => {
+            println!(
+                "`{}` seed {}: OK — {} functions, {} instructions matched, \
+                 {} inserted NOPs, {} substitutions, {} shift jumps verified",
+                p.source_name,
+                p.seed,
+                report.functions,
+                report.matched,
+                report.inserted_nops,
+                report.substitutions,
+                report.shift_jumps
+            );
+            Ok(())
+        }
+        Err(diags) => {
+            for d in &diags {
+                eprintln!("{d}");
+            }
+            Err(format!("validation failed with {} finding(s)", diags.len()))
+        }
+    }
 }
 
 fn cmd_gadgets(rest: &[String]) -> Result<(), String> {
@@ -275,7 +327,17 @@ fn cmd_disasm(rest: &[String]) -> Result<(), String> {
                 continue;
             }
         }
-        println!("\n{}:  ; {:#010x}..{:#010x}{}", f.name, f.start, f.end, if f.diversified { "" } else { "  (runtime, undiversified)" });
+        println!(
+            "\n{}:  ; {:#010x}..{:#010x}{}",
+            f.name,
+            f.start,
+            f.end,
+            if f.diversified {
+                ""
+            } else {
+                "  (runtime, undiversified)"
+            }
+        );
         let mut off = (f.start - image.base) as usize;
         let end = (f.end - image.base) as usize;
         while off < end {

@@ -6,6 +6,8 @@
 //!
 //! * [`x86`] — IA-32 instruction model, encoder, decoder, NOP table;
 //! * [`cc`] — the MiniC optimizing compiler (frontend → IR → LIR → image);
+//! * [`analysis`] — machine-code dataflow framework and the `divcheck`
+//!   translation validator for diversified variants;
 //! * [`profile`] — spanning-tree edge profiling and count reconstruction;
 //! * [`emu`] — deterministic x86-32 emulator with a cycle cost model;
 //! * [`core`] — **the paper's contribution**: profile-guided NOP insertion;
@@ -30,6 +32,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use pgsd_analysis as analysis;
 pub use pgsd_cc as cc;
 pub use pgsd_core as core;
 pub use pgsd_emu as emu;

@@ -107,17 +107,28 @@ fn expr() -> impl Strategy<Value = Expr> {
     leaf.prop_recursive(5, 48, 3, |inner| {
         let bin = (inner.clone(), inner.clone());
         prop_oneof![
-            bin.clone().prop_map(|(l, r)| Expr::Add(Box::new(l), Box::new(r))),
-            bin.clone().prop_map(|(l, r)| Expr::Sub(Box::new(l), Box::new(r))),
-            bin.clone().prop_map(|(l, r)| Expr::Mul(Box::new(l), Box::new(r))),
-            bin.clone().prop_map(|(l, r)| Expr::Div(Box::new(l), Box::new(r))),
-            bin.clone().prop_map(|(l, r)| Expr::Rem(Box::new(l), Box::new(r))),
-            bin.clone().prop_map(|(l, r)| Expr::And(Box::new(l), Box::new(r))),
-            bin.clone().prop_map(|(l, r)| Expr::Or(Box::new(l), Box::new(r))),
-            bin.clone().prop_map(|(l, r)| Expr::Xor(Box::new(l), Box::new(r))),
-            bin.clone().prop_map(|(l, r)| Expr::Shl(Box::new(l), Box::new(r))),
-            bin.clone().prop_map(|(l, r)| Expr::Shr(Box::new(l), Box::new(r))),
-            bin.clone().prop_map(|(l, r)| Expr::Lt(Box::new(l), Box::new(r))),
+            bin.clone()
+                .prop_map(|(l, r)| Expr::Add(Box::new(l), Box::new(r))),
+            bin.clone()
+                .prop_map(|(l, r)| Expr::Sub(Box::new(l), Box::new(r))),
+            bin.clone()
+                .prop_map(|(l, r)| Expr::Mul(Box::new(l), Box::new(r))),
+            bin.clone()
+                .prop_map(|(l, r)| Expr::Div(Box::new(l), Box::new(r))),
+            bin.clone()
+                .prop_map(|(l, r)| Expr::Rem(Box::new(l), Box::new(r))),
+            bin.clone()
+                .prop_map(|(l, r)| Expr::And(Box::new(l), Box::new(r))),
+            bin.clone()
+                .prop_map(|(l, r)| Expr::Or(Box::new(l), Box::new(r))),
+            bin.clone()
+                .prop_map(|(l, r)| Expr::Xor(Box::new(l), Box::new(r))),
+            bin.clone()
+                .prop_map(|(l, r)| Expr::Shl(Box::new(l), Box::new(r))),
+            bin.clone()
+                .prop_map(|(l, r)| Expr::Shr(Box::new(l), Box::new(r))),
+            bin.clone()
+                .prop_map(|(l, r)| Expr::Lt(Box::new(l), Box::new(r))),
             bin.prop_map(|(l, r)| Expr::Eq(Box::new(l), Box::new(r))),
             inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
             inner.prop_map(|e| Expr::Not(Box::new(e))),

@@ -82,11 +82,9 @@ impl GStmt {
                 format!("{pad}x{} = {};\n", v % nvars.max(1), e.emit(nvars))
             }
             GStmt::StoreGlobal(e) => format!("{pad}g = {};\n", e.emit(nvars)),
-            GStmt::StoreElem(i, e) => format!(
-                "{pad}arr[({}) & 7] = {};\n",
-                i.emit(nvars),
-                e.emit(nvars)
-            ),
+            GStmt::StoreElem(i, e) => {
+                format!("{pad}arr[({}) & 7] = {};\n", i.emit(nvars), e.emit(nvars))
+            }
             GStmt::If(c, t, f) => {
                 let mut s = format!("{pad}if ({}) {{\n", c.emit(nvars));
                 for st in t {
@@ -146,8 +144,10 @@ fn gexpr() -> impl Strategy<Value = GExpr> {
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
             (
-                prop::sample::select(vec!["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
-                                          "<", "<=", ">", ">=", "==", "!=", "&&", "||"]),
+                prop::sample::select(vec![
+                    "+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", "<", "<=", ">", ">=", "==",
+                    "!=", "&&", "||"
+                ]),
                 inner.clone(),
                 inner.clone()
             )
@@ -205,7 +205,11 @@ impl<'a> AstInterp<'a> {
                 },
             );
         }
-        AstInterp { program, globals, steps: 0 }
+        AstInterp {
+            program,
+            globals,
+            steps: 0,
+        }
     }
 
     fn call(&mut self, name: &str, args: &[i32]) -> i32 {
@@ -245,8 +249,17 @@ impl<'a> AstInterp<'a> {
                 Stmt::Expr { value, .. } => {
                     self.eval(value, locals);
                 }
-                Stmt::If { cond, then_body, else_body, .. } => {
-                    let branch = if self.eval(cond, locals) != 0 { then_body } else { else_body };
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    let branch = if self.eval(cond, locals) != 0 {
+                        then_body
+                    } else {
+                        else_body
+                    };
                     if let Flow::Return(v) = self.block(branch, locals) {
                         return Flow::Return(v);
                     }
@@ -266,7 +279,13 @@ impl<'a> AstInterp<'a> {
                         break;
                     }
                 },
-                Stmt::For { init, cond, step, body, .. } => {
+                Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    ..
+                } => {
                     if let Flow::Return(v) = self.block(init, locals) {
                         return Flow::Return(v);
                     }

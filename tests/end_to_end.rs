@@ -172,7 +172,11 @@ fn full_diversity_stack_preserves_semantics() {
 fn register_randomization_alone_diversifies_and_preserves() {
     let module = frontend("sink", KITCHEN_SINK).unwrap();
     let (want, _) = expected_for(9, 2);
-    let cfg = |seed| BuildConfig { reg_randomize: true, seed, ..BuildConfig::baseline() };
+    let cfg = |seed| BuildConfig {
+        reg_randomize: true,
+        seed,
+        ..BuildConfig::baseline()
+    };
     let a = build(&module, None, &cfg(1)).unwrap();
     let b = build(&module, None, &cfg(2)).unwrap();
     let a2 = build(&module, None, &cfg(1)).unwrap();
@@ -259,7 +263,10 @@ fn division_traps_are_observable() {
     let module = frontend("div", src).unwrap();
     let image = build(&module, None, &BuildConfig::baseline()).unwrap();
     assert_eq!(run(&image, &[12, 3], DEFAULT_GAS).0, Exit::Exited(4));
-    assert!(matches!(run(&image, &[12, 0], DEFAULT_GAS).0, Exit::DivideError { .. }));
+    assert!(matches!(
+        run(&image, &[12, 0], DEFAULT_GAS).0,
+        Exit::DivideError { .. }
+    ));
     assert!(matches!(
         run(&image, &[i32::MIN, -1], DEFAULT_GAS).0,
         Exit::DivideError { .. }
@@ -274,9 +281,17 @@ fn profiles_survive_text_round_trip_and_guide_builds() {
     let parsed = pgsd::profile::Profile::from_text(&text).unwrap();
     assert_eq!(parsed, profile);
     // A build guided by the round-tripped profile is byte-identical.
-    let a = build(&module, Some(&profile), &BuildConfig::diversified(Strategy::range(0.0, 0.3), 3))
-        .unwrap();
-    let b = build(&module, Some(&parsed), &BuildConfig::diversified(Strategy::range(0.0, 0.3), 3))
-        .unwrap();
+    let a = build(
+        &module,
+        Some(&profile),
+        &BuildConfig::diversified(Strategy::range(0.0, 0.3), 3),
+    )
+    .unwrap();
+    let b = build(
+        &module,
+        Some(&parsed),
+        &BuildConfig::diversified(Strategy::range(0.0, 0.3), 3),
+    )
+    .unwrap();
     assert_eq!(a.text, b.text);
 }

@@ -66,9 +66,12 @@ fn survivor_is_reflexive_and_anti_monotone_in_pnop() {
     let avg = |p: f64| {
         let total: usize = (0..8u64)
             .map(|seed| {
-                let div =
-                    build(&module, None, &BuildConfig::diversified(Strategy::uniform(p), seed))
-                        .unwrap();
+                let div = build(
+                    &module,
+                    None,
+                    &BuildConfig::diversified(Strategy::uniform(p), seed),
+                )
+                .unwrap();
                 survivor(&image.text, &div.text, &table, &cfg).count()
             })
             .sum();
@@ -138,8 +141,12 @@ fn diversification_reduces_attack_surface_monotonically() {
         .filter(|g| g.offset >= user_start)
         .count();
     assert!(user_baseline > 10);
-    let div =
-        build(&module, None, &BuildConfig::diversified(Strategy::uniform(0.30), 3)).unwrap();
+    let div = build(
+        &module,
+        None,
+        &BuildConfig::diversified(Strategy::uniform(0.30), 3),
+    )
+    .unwrap();
     let rep = survivor(&image.text, &div.text, &table, &cfg);
     let user_survivors = rep.survivors.iter().filter(|&&o| o >= user_start).count();
     assert!(

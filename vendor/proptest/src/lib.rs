@@ -1,0 +1,588 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of proptest it uses: [`strategy::Strategy`] with `prop_map` /
+//! `prop_recursive` / `boxed`, the [`prelude`], `any`, ranges, tuples,
+//! `sample::select`, `option::of`, `collection::vec`, and the `proptest!`,
+//! `prop_oneof!`, `prop_assert!`, `prop_assert_eq!` macros.
+//!
+//! Differences from upstream, deliberate and documented:
+//!
+//! * **No shrinking.** A failing case panics with the generated values in
+//!   the assertion message; the per-test RNG seed is a stable hash of the
+//!   test's path, so failures reproduce exactly on re-run.
+//! * **Deterministic.** There is no OS entropy anywhere; a given binary
+//!   runs the same cases every time. This suits a repo whose own subject
+//!   matter is seeded reproducibility.
+//! * `prop_recursive` pre-expands the recursion to its depth bound
+//!   instead of steering by size; generated trees are depth-limited the
+//!   same way, just with a simpler distribution.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use std::rc::Rc;
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a recursive strategy: `recurse` receives the strategy
+        /// for depth *n* and returns the strategy for depth *n + 1*; the
+        /// result unions all levels up to `depth`. `_desired_size` and
+        /// `_expected_branch_size` are accepted for upstream
+        /// compatibility but unused — depth alone bounds the trees.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let base = self.boxed();
+            let mut level = base.clone();
+            for _ in 0..depth {
+                // Lean toward the recursive arm (2:1) so deep cases stay
+                // common; the base arm guarantees termination.
+                level = Union::new(vec![(1, base.clone()), (2, recurse(level).boxed())]).boxed();
+            }
+            level
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Object-safe core of [`Strategy`], for [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn dyn_new_value(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+            self.new_value(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0.dyn_new_value(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Weighted choice among boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from `(weight, strategy)` arms.
+        ///
+        /// # Panics
+        ///
+        /// Panics if there are no arms or all weights are zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+            let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(
+                total > 0,
+                "prop_oneof! needs at least one arm with nonzero weight"
+            );
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.arms {
+                if pick < u64::from(*w) {
+                    return s.new_value(rng);
+                }
+                pick -= u64::from(*w);
+            }
+            unreachable!("weights sum to total")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, i8, u16, i16, u32, i32, u64, i64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — full-range strategies for primitive types.
+
+    use std::marker::PhantomData;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws a uniform value over the type's whole range.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy over the full range of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod sample {
+    //! `prop::sample::select`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform choice from a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+
+    /// Picks uniformly from `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics at generation time if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from empty list");
+        Select(options)
+    }
+}
+
+pub mod option {
+    //! `prop::option::of`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// `Option` strategy: 3/4 `Some`, 1/4 `None` (upstream's default
+    /// weighting).
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.new_value(rng))
+            }
+        }
+    }
+
+    /// Wraps `inner` values in `Option`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+pub mod collection {
+    //! `prop::collection::vec`.
+
+    use std::ops::{Range, RangeInclusive};
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Acceptable length specifications for [`vec`].
+    pub trait SizeRange {
+        /// Draws a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty length range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            *self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+        }
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        elem: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+
+    /// A `Vec` strategy with lengths drawn from `len`.
+    pub fn vec<S: Strategy, L: SizeRange>(elem: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { elem, len }
+    }
+}
+
+pub mod test_runner {
+    //! Configuration and the deterministic RNG behind every strategy.
+
+    /// Per-`proptest!` configuration. Only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// SplitMix64 generator seeded from the test's path, so every test
+    /// has its own reproducible stream.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates the RNG for the named test (FNV-1a of the name).
+        pub fn for_test(name: &str) -> TestRng {
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..n`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below(0)");
+            ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+        }
+    }
+}
+
+/// Everything a `use proptest::prelude::*;` consumer expects.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Weighted or unweighted choice among strategies with a common value
+/// type. `prop_oneof![a, b, c]` gives equal weights; `prop_oneof![3 => a,
+/// 1 => b]` weights arms explicitly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((($weight) as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Assertion inside a `proptest!` body (no shrinking: maps to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($config) $($rest)*);
+    };
+    (@fns ($config:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let strat = ($($strat,)+);
+                let mut rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for _case in 0..config.cases {
+                    let ($($pat,)+) = $crate::strategy::Strategy::new_value(&strat, &mut rng);
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_select_stay_in_bounds() {
+        let mut rng = TestRng::for_test("bounds");
+        let r = -10i32..10;
+        let s = prop::sample::select(vec!["a", "b"]);
+        for _ in 0..1000 {
+            let v = r.clone().new_value(&mut rng);
+            assert!((-10..10).contains(&v));
+            let c = s.new_value(&mut rng);
+            assert!(c == "a" || c == "b");
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_weight_arms_absence() {
+        let mut rng = TestRng::for_test("union");
+        let u = prop_oneof![3 => Just(1), 1 => Just(2)];
+        let mut ones = 0;
+        for _ in 0..4000 {
+            if u.new_value(&mut rng) == 1 {
+                ones += 1;
+            }
+        }
+        // 3:1 weighting → about 3000 ones.
+        assert!((2600..3400).contains(&ones), "{ones}");
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        enum T {
+            Leaf,
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf => 0,
+                T::Node(l, r) => 1 + depth(l).max(depth(r)),
+            }
+        }
+        let strat = Just(())
+            .prop_map(|_| T::Leaf)
+            .prop_recursive(4, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(l, r)| T::Node(Box::new(l), Box::new(r)))
+            });
+        let mut rng = TestRng::for_test("recursive");
+        for _ in 0..200 {
+            assert!(depth(&strat.new_value(&mut rng)) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn the_macro_itself_works(
+            x in 0u8..=31,
+            v in prop::collection::vec(any::<i32>(), 0..8),
+            o in prop::option::of(0usize..4),
+        ) {
+            prop_assert!(x <= 31);
+            prop_assert!(v.len() < 8);
+            if let Some(i) = o {
+                prop_assert!(i < 4);
+            }
+            prop_assert_eq!(x as u32 + 1, u32::from(x) + 1);
+            prop_assert_ne!(v.len(), 9);
+        }
+    }
+}
