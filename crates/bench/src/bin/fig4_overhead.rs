@@ -8,13 +8,16 @@
 //! configuration are averaged (`PGSD_SEEDS`, default 5). The emulator is
 //! deterministic, so repeated runs of one version are unnecessary.
 
-use pgsd_bench::{geomean_pct, perf_seeds, prepare, row, selected_suite, write_csv, ProgressTimer};
+use pgsd_bench::{
+    geomean_pct, perf_seeds, prepare, row, selected_suite, write_csv, MetricsSink, ProgressTimer,
+};
 use pgsd_core::driver::{run_input, DEFAULT_GAS};
 use pgsd_core::Strategy;
 
 fn main() {
     let configs = Strategy::paper_configs();
     let seeds = perf_seeds();
+    let sink = MetricsSink::new("fig4_overhead");
     let t = ProgressTimer::start(format!(
         "figure 4: {} benchmarks × {} configs × {seeds} seeds",
         selected_suite().len(),
@@ -37,16 +40,24 @@ fn main() {
             .status()
             .unwrap_or_else(|| panic!("{name} baseline failed: {exit:?}"));
         let base_cycles = stats.cycles as f64;
+        sink.count("fig4.benchmarks", 1);
+        sink.gauge_labeled("fig4.base_cycles", &[("benchmark", name)], base_cycles);
 
         let mut cells = vec![name.to_string(), format!("{:.1}", base_cycles / 1e6)];
         let mut csv_row = vec![name.to_string(), format!("{base_cycles}")];
-        for (ci, (_, strat)) in configs.iter().enumerate() {
+        for (ci, (label, strat)) in configs.iter().enumerate() {
             let mut total = 0f64;
             for seed in 0..seeds {
                 let image = p.diversified(*strat, seed);
                 total += p.ref_cycles(&image, Some(expected)) as f64;
+                sink.count("fig4.runs", 1);
             }
             let overhead = (total / seeds as f64 / base_cycles - 1.0) * 100.0;
+            sink.gauge_labeled(
+                "fig4.overhead_pct",
+                &[("benchmark", name), ("config", label)],
+                overhead,
+            );
             per_config[ci].push(overhead);
             cells.push(format!("{overhead:.2}%"));
             csv_row.push(format!("{overhead:.4}"));
@@ -57,8 +68,9 @@ fn main() {
 
     let mut cells = vec!["geometric mean".to_string(), String::new()];
     let mut csv_row = vec!["geomean".to_string(), String::new()];
-    for values in &per_config {
+    for (values, (label, _)) in per_config.iter().zip(configs.iter()) {
         let g = geomean_pct(values);
+        sink.gauge_labeled("fig4.geomean_pct", &[("config", label)], g);
         cells.push(format!("{g:.2}%"));
         csv_row.push(format!("{g:.4}"));
     }
@@ -68,6 +80,7 @@ fn main() {
     let mut header_csv = vec!["benchmark".to_string(), "base_cycles".to_string()];
     header_csv.extend(configs.iter().map(|(l, _)| l.replace(',', ";").to_string()));
     let path = write_csv("fig4_overhead.csv", &header_csv.join(","), &csv);
+    sink.finish();
     t.done();
     println!("\npaper shape checks:");
     println!("  • profile-guided ranges sit well below their uniform upper bounds");

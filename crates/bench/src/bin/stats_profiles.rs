@@ -5,12 +5,13 @@
 //! the log heuristic (403.gcc has the smallest maximum, 456.hmmer the
 //! largest, and 473.astar's median sits far below its maximum).
 
-use pgsd_bench::{prepare, row, selected_suite, write_csv, ProgressTimer};
+use pgsd_bench::{prepare, row, selected_suite, write_csv, MetricsSink, ProgressTimer};
 use pgsd_core::driver::{train, DEFAULT_GAS};
 use pgsd_core::{Curve, Strategy};
 
 fn main() {
     let t = ProgressTimer::start("profiling all benchmarks");
+    let sink = MetricsSink::new("stats_profiles");
     let lin = Strategy::with_curve(0.10, 0.50, Curve::Linear);
     let log = Strategy::range(0.10, 0.50);
 
@@ -48,6 +49,16 @@ fn main() {
         )
         .expect("ref profiling");
         let fidelity = p.profile.similarity(&ref_profile);
+        sink.count("stats.benchmarks", 1);
+        sink.observe("stats.x_max", x_max);
+        sink.gauge_labeled("stats.x_max", &[("benchmark", name)], x_max as f64);
+        sink.gauge_labeled("stats.median", &[("benchmark", name)], median as f64);
+        sink.gauge_labeled("stats.p_log_pct", &[("benchmark", name)], p_log);
+        sink.gauge_labeled(
+            "stats.train_ref_similarity",
+            &[("benchmark", name)],
+            fidelity,
+        );
         println!(
             "{}",
             row(
@@ -72,6 +83,7 @@ fn main() {
         "benchmark,x_max,median,p_linear_pct,p_log_pct,train_ref_similarity",
         &csv,
     );
+    sink.finish();
     t.done();
 
     maxes.sort_by_key(|&(_, x)| x);

@@ -9,7 +9,7 @@
 //! (survivors of `0–30%` as a fraction of the baseline gadget count).
 //! Benchmarks print sorted by baseline gadget count, as in the paper.
 
-use pgsd_bench::{prepare, row, selected_suite, versions, write_csv, ProgressTimer};
+use pgsd_bench::{prepare, row, selected_suite, versions, write_csv, MetricsSink, ProgressTimer};
 use pgsd_core::Strategy;
 use pgsd_gadget::{find_gadgets, survivor, ScanConfig};
 use pgsd_x86::nop::NopTable;
@@ -24,6 +24,7 @@ fn main() {
     ));
     let cfg = ScanConfig::default();
     let table = NopTable::new();
+    let sink = MetricsSink::new("table2_survivors");
 
     struct Row {
         name: &'static str,
@@ -35,15 +36,27 @@ fn main() {
         let name = w.name;
         let p = prepare(w);
         let baseline = find_gadgets(&p.baseline.text, &cfg).len();
+        sink.count("table2.benchmarks", 1);
+        sink.count_labeled(
+            "table2.baseline_gadgets",
+            &[("benchmark", name)],
+            baseline as u64,
+        );
         let mut avg = Vec::new();
-        for (_, strat) in &configs {
+        for (label, strat) in &configs {
             let total: usize = (0..n_versions as u64)
                 .map(|seed| {
                     let image = p.diversified(*strat, seed);
                     survivor(&p.baseline.text, &image.text, &table, &cfg).count()
                 })
                 .sum();
-            avg.push(total as f64 / n_versions as f64);
+            let mean = total as f64 / n_versions as f64;
+            sink.gauge_labeled(
+                "table2.avg_survivors",
+                &[("benchmark", name), ("config", label)],
+                mean,
+            );
+            avg.push(mean);
         }
         eprintln!("[pgsd-bench]   {name}: baseline {baseline} gadgets");
         rows.push(Row {
@@ -77,6 +90,8 @@ fn main() {
         } else {
             0.0
         };
+        sink.gauge_labeled("table2.extra_pct", &[("benchmark", r.name)], extra);
+        sink.gauge_labeled("table2.surviving_pct", &[("benchmark", r.name)], surviving);
         let mut cells = vec![r.name.to_string(), r.baseline.to_string()];
         cells.extend(r.avg.iter().map(|a| format!("{a:.2}")));
         cells.push(format!("{extra:.0}%"));
@@ -98,6 +113,7 @@ fn main() {
         "benchmark,baseline,p50,p25_50,p10_50,p30,p0_30,extra_pct,surviving_pct",
         &csv,
     );
+    sink.finish();
     t.done();
     println!("\npaper shape checks:");
     println!("  • absolute survivors stay near the undiversified-runtime tail for every strategy");

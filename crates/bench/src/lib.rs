@@ -30,6 +30,7 @@ use pgsd_cc::ir::Module;
 use pgsd_core::driver::{build, run_input, train, BuildConfig, DEFAULT_GAS};
 use pgsd_core::Strategy;
 use pgsd_profile::Profile;
+use pgsd_telemetry::Telemetry;
 use pgsd_workloads::Workload;
 
 /// Number of diversified versions per population (paper: 25).
@@ -160,6 +161,66 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
     path
 }
 
+/// A shared metrics sink for the experiment binaries: every harness
+/// records its headline numbers through one armed [`Telemetry`] handle and
+/// [`MetricsSink::finish`] writes them as `results/<name>.metrics.json` —
+/// the same schema the CLI's `--metrics` flag and `pgsd report` use, so
+/// experiment outputs are machine-readable next to their CSVs.
+pub struct MetricsSink {
+    tel: Telemetry,
+    name: String,
+}
+
+impl MetricsSink {
+    /// Creates a sink for the experiment `name` (the output file stem).
+    pub fn new(name: &str) -> MetricsSink {
+        MetricsSink {
+            tel: Telemetry::enabled(),
+            name: name.to_owned(),
+        }
+    }
+
+    /// The underlying handle, for threading into `BuildConfig` or the
+    /// `*_with` drivers.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// Adds `delta` to counter `key`.
+    pub fn count(&self, key: &str, delta: u64) {
+        self.tel.add(key, delta);
+    }
+
+    /// Adds `delta` to a labeled counter.
+    pub fn count_labeled(&self, key: &str, labels: &[(&str, &str)], delta: u64) {
+        self.tel.add_labeled(key, labels, delta);
+    }
+
+    /// Sets gauge `key` (last write wins).
+    pub fn gauge(&self, key: &str, value: f64) {
+        self.tel.set_gauge(key, value);
+    }
+
+    /// Sets a labeled gauge, e.g. `fig4.overhead_pct{benchmark=470.lbm}`.
+    pub fn gauge_labeled(&self, key: &str, labels: &[(&str, &str)], value: f64) {
+        self.tel
+            .set_gauge(&pgsd_telemetry::labeled(key, labels), value);
+    }
+
+    /// Records one histogram observation.
+    pub fn observe(&self, key: &str, value: u64) {
+        self.tel.observe(key, value);
+    }
+
+    /// Writes `results/<name>.metrics.json` and returns its path.
+    pub fn finish(self) -> PathBuf {
+        let path = results_dir().join(format!("{}.metrics.json", self.name));
+        fs::write(&path, self.tel.metrics_json()).expect("can write metrics json");
+        eprintln!("[pgsd-bench] metrics → {}", path.display());
+        path
+    }
+}
+
 /// A coarse progress reporter for long experiments.
 pub struct ProgressTimer {
     started: Instant,
@@ -219,6 +280,24 @@ mod tests {
     fn row_formats_fixed_width() {
         let r = row(&["a".into(), "bb".into()], &[3, 4]);
         assert_eq!(r, "  a    bb");
+    }
+
+    #[test]
+    fn metrics_sink_writes_schema_v1_json() {
+        let dir = std::env::temp_dir().join("pgsd-bench-sink-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let sink = MetricsSink::new("sink_test");
+        sink.count("bench.runs", 3);
+        sink.gauge("bench.overhead_pct", 1.25);
+        sink.observe("bench.cycles", 100);
+        let path = sink.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::env::set_current_dir(old).unwrap();
+        let doc = pgsd_telemetry::MetricsDoc::from_json(&text).unwrap();
+        assert_eq!(doc.counters["bench.runs"], 3);
+        assert_eq!(doc.histograms["bench.cycles"].total(), 1);
     }
 
     #[test]

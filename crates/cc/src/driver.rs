@@ -10,13 +10,14 @@ use crate::emit::{emit, Image};
 use crate::error::Result;
 use crate::frontend::{lex, parse};
 use crate::ir::builder::build;
-use crate::ir::passes::optimize;
+use crate::ir::passes::optimize_with;
 use crate::ir::verify::verify;
 use crate::ir::Module;
 use crate::lir::frame::lower_frame;
 use crate::lir::isel::{select, LowerCtx};
 use crate::lir::regalloc::{allocate_with_order, ALLOCATABLE};
 use crate::lir::MFunction;
+use pgsd_telemetry::Telemetry;
 use pgsd_x86::Reg;
 
 /// Runs the frontend: lex, parse, build IR, verify, optimize.
@@ -29,12 +30,43 @@ use pgsd_x86::Reg;
 ///
 /// Propagates lexical, syntactic and semantic errors.
 pub fn frontend(name: &str, source: &str) -> Result<Module> {
-    let tokens = lex(source)?;
-    let program = parse(tokens)?;
-    let mut module = build(name, &program)?;
-    verify(&module)?;
-    optimize(&mut module);
-    verify(&module)?;
+    frontend_with(name, source, &Telemetry::disabled())
+}
+
+/// Like [`frontend`], recording a span per stage (`lex`, `parse`,
+/// `ir_build`, `verify`, `optimize` with per-pass children) into `tel`.
+///
+/// # Errors
+///
+/// Propagates lexical, syntactic and semantic errors.
+pub fn frontend_with(name: &str, source: &str, tel: &Telemetry) -> Result<Module> {
+    let _span = tel.span("frontend");
+    let tokens = {
+        let _s = tel.span("lex");
+        lex(source)?
+    };
+    let program = {
+        let _s = tel.span("parse");
+        parse(tokens)?
+    };
+    let mut module = {
+        let _s = tel.span("ir_build");
+        build(name, &program)?
+    };
+    {
+        let _s = tel.span("verify");
+        verify(&module)?;
+    }
+    {
+        let _s = tel.span("optimize");
+        optimize_with(&mut module, tel);
+    }
+    {
+        let _s = tel.span("verify");
+        verify(&module)?;
+    }
+    tel.add("cc.source_bytes", source.len() as u64);
+    tel.add("cc.functions", module.funcs.len() as u64);
     Ok(module)
 }
 
@@ -82,10 +114,33 @@ fn permutation(k: u64) -> [Reg; 3] {
 ///
 /// Propagates lowering and allocation failures.
 pub fn lower_module_seeded(module: &Module, reg_seed: Option<u64>) -> Result<Vec<MFunction>> {
+    lower_module_seeded_with(module, reg_seed, &Telemetry::disabled())
+}
+
+/// Like [`lower_module_seeded`], recording a `lower` span with per-user-
+/// function children (`isel`, `regalloc`, `frame`) into `tel`.
+///
+/// # Errors
+///
+/// Propagates lowering and allocation failures.
+pub fn lower_module_seeded_with(
+    module: &Module,
+    reg_seed: Option<u64>,
+    tel: &Telemetry,
+) -> Result<Vec<MFunction>> {
+    let _span = tel.span("lower");
     let ctx = lower_ctx();
     let mut funcs = runtime_functions();
     for (i, f) in module.funcs.iter().enumerate() {
-        let mut mf = select(f, &ctx)?;
+        let _fn_span = if tel.is_enabled() {
+            Some(tel.span(&format!("lower:{}", f.name)))
+        } else {
+            None
+        };
+        let mut mf = {
+            let _s = tel.span("isel");
+            select(f, &ctx)?
+        };
         let order = match reg_seed {
             Some(seed) => {
                 // SplitMix-style hash of (seed, function index).
@@ -97,8 +152,14 @@ pub fn lower_module_seeded(module: &Module, reg_seed: Option<u64>) -> Result<Vec
             }
             None => ALLOCATABLE,
         };
-        allocate_with_order(&mut mf, order)?;
-        lower_frame(&mut mf);
+        {
+            let _s = tel.span("regalloc");
+            allocate_with_order(&mut mf, order)?;
+        }
+        {
+            let _s = tel.span("frame");
+            lower_frame(&mut mf);
+        }
         funcs.push(mf);
     }
     Ok(funcs)
@@ -111,7 +172,22 @@ pub fn lower_module_seeded(module: &Module, reg_seed: Option<u64>) -> Result<Vec
 ///
 /// Propagates emission failures; fails if the module has no `main`.
 pub fn emit_image(funcs: &[MFunction], module: &Module) -> Result<Image> {
-    emit(funcs, module, "main")
+    emit_image_with(funcs, module, &Telemetry::disabled())
+}
+
+/// Like [`emit_image`], recording an `emit` span and the emitted text /
+/// data sizes into `tel`.
+///
+/// # Errors
+///
+/// Propagates emission failures; fails if the module has no `main`.
+pub fn emit_image_with(funcs: &[MFunction], module: &Module, tel: &Telemetry) -> Result<Image> {
+    let _span = tel.span("emit");
+    let image = emit(funcs, module, "main")?;
+    tel.add("emit.functions", funcs.len() as u64);
+    tel.add("emit.text_bytes", image.text.len() as u64);
+    tel.add("emit.data_bytes", image.data.len() as u64);
+    Ok(image)
 }
 
 /// One-call compilation without diversification: the baseline build.

@@ -20,6 +20,7 @@ pub use dce::eliminate_dead_code;
 pub use simplifycfg::simplify_cfg;
 
 use super::{Function, Module};
+use pgsd_telemetry::Telemetry;
 
 /// Maximum number of fixpoint iterations; generous — typical functions
 /// settle in 2–3.
@@ -36,17 +37,38 @@ const MAX_PIPELINE_ITERS: usize = 16;
 ///
 /// Returns the number of iterations performed.
 pub fn optimize_function(func: &mut Function) -> usize {
+    optimize_function_with(func, &Telemetry::disabled())
+}
+
+/// Like [`optimize_function`], with each pass invocation recorded as a
+/// telemetry span (and a `ir.pass_changed{pass=…}` counter when it
+/// changed anything).
+pub fn optimize_function_with(func: &mut Function, tel: &Telemetry) -> usize {
     for iter in 0..MAX_PIPELINE_ITERS {
         let mut changed = false;
-        changed |= const_fold(func);
-        changed |= copy_propagate(func);
-        changed |= eliminate_dead_code(func);
-        changed |= simplify_cfg(func);
+        changed |= run_pass(tel, "constfold", func, const_fold);
+        changed |= run_pass(tel, "copyprop", func, copy_propagate);
+        changed |= run_pass(tel, "dce", func, eliminate_dead_code);
+        changed |= run_pass(tel, "simplifycfg", func, simplify_cfg);
         if !changed {
             return iter + 1;
         }
     }
     MAX_PIPELINE_ITERS
+}
+
+fn run_pass(
+    tel: &Telemetry,
+    name: &str,
+    func: &mut Function,
+    pass: fn(&mut Function) -> bool,
+) -> bool {
+    let _span = tel.span(name);
+    let changed = pass(func);
+    if changed {
+        tel.add_labeled("ir.pass_changed", &[("pass", name)], 1);
+    }
+    changed
 }
 
 /// Like [`optimize_function`] with local CSE included.
@@ -67,8 +89,20 @@ pub fn optimize_function_aggressive(func: &mut Function) -> usize {
 
 /// Runs the optimization pipeline on every function of `module`.
 pub fn optimize(module: &mut Module) {
+    optimize_with(module, &Telemetry::disabled());
+}
+
+/// Like [`optimize`], recording one `optimize:<fn>` span per function and
+/// an `ir.fixpoint_iters` histogram observation.
+pub fn optimize_with(module: &mut Module, tel: &Telemetry) {
     for f in &mut module.funcs {
-        optimize_function(f);
+        if tel.is_enabled() {
+            let _span = tel.span(&format!("optimize:{}", f.name));
+            let iters = optimize_function_with(f, tel);
+            tel.observe("ir.fixpoint_iters", iters as u64);
+        } else {
+            optimize_function(f);
+        }
     }
     debug_assert!(
         super::verify::verify(module).is_ok(),

@@ -12,18 +12,21 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use pgsd_analysis::divcheck::Transforms;
-use pgsd_cc::driver::{emit_image, frontend, lower_module, lower_module_seeded};
+use pgsd_cc::driver::{
+    emit_image, emit_image_with, frontend_with, lower_module, lower_module_seeded_with,
+};
 use pgsd_cc::emit::{Image, STACK_TOP};
 use pgsd_cc::error::{CompileError, Result};
 use pgsd_cc::ir::Module;
-use pgsd_emu::{Emulator, Exit, RunStats};
+use pgsd_emu::{Emulator, Exit, InstClass, RunStats};
 use pgsd_profile::{instrument, reconstruct, Profile};
+use pgsd_telemetry::Telemetry;
 use pgsd_x86::nop::NopTable;
 
 use crate::curve::Strategy;
-use crate::nop_pass::insert_nops;
-use crate::shift_pass::shift_blocks;
-use crate::subst_pass::substitute;
+use crate::nop_pass::insert_nops_with;
+use crate::shift_pass::shift_blocks_with;
+use crate::subst_pass::substitute_with;
 
 /// Default instruction budget for emulated runs (generous for the
 /// synthetic workloads, small enough to catch runaways).
@@ -50,6 +53,9 @@ pub struct BuildConfig {
     /// a freshly built baseline with `pgsd-analysis`'s `divcheck` and fail
     /// the build if the proof does not go through.
     pub validate: bool,
+    /// Telemetry handle: spans and counters for every stage of the build
+    /// are recorded here. Defaults to disabled (no overhead).
+    pub telemetry: Telemetry,
 }
 
 impl BuildConfig {
@@ -63,6 +69,7 @@ impl BuildConfig {
             reg_randomize: false,
             seed: 0,
             validate: false,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -87,12 +94,19 @@ impl BuildConfig {
             reg_randomize: true,
             seed,
             validate: false,
+            telemetry: Telemetry::disabled(),
         }
     }
 
     /// Returns this configuration with post-build validation enabled.
     pub fn validated(mut self) -> BuildConfig {
         self.validate = true;
+        self
+    }
+
+    /// Returns this configuration recording into `tel`.
+    pub fn with_telemetry(mut self, tel: Telemetry) -> BuildConfig {
+        self.telemetry = tel;
         self
     }
 
@@ -122,6 +136,8 @@ impl Default for BuildConfig {
 /// Propagates compilation errors; fails if a profile-guided strategy is
 /// requested without a profile.
 pub fn build(module: &Module, profile: Option<&Profile>, config: &BuildConfig) -> Result<Image> {
+    let tel = &config.telemetry;
+    let _build_span = tel.span("build");
     for s in config.strategy.iter().chain(config.substitution.iter()) {
         if s.needs_profile() && profile.is_none() {
             return Err(CompileError::new(format!(
@@ -138,11 +154,7 @@ pub fn build(module: &Module, profile: Option<&Profile>, config: &BuildConfig) -
     } else {
         None
     };
-    let mut funcs = if diversifying {
-        lower_module_seeded(module, reg_seed)?
-    } else {
-        lower_module(module)?
-    };
+    let mut funcs = lower_module_seeded_with(module, reg_seed, tel)?;
     if diversifying {
         let table = if config.with_xchg {
             NopTable::with_xchg()
@@ -151,25 +163,34 @@ pub fn build(module: &Module, profile: Option<&Profile>, config: &BuildConfig) -
         };
         let mut rng = StdRng::seed_from_u64(config.seed);
         if let Some(max_pad) = config.shift_max_pad {
-            shift_blocks(&mut funcs, max_pad, &table, &mut rng);
+            let _s = tel.span("shift_pass");
+            shift_blocks_with(&mut funcs, max_pad, &table, &mut rng, tel);
         }
         if let Some(strategy) = &config.substitution {
-            substitute(&mut funcs, strategy, profile, &mut rng);
+            let _s = tel.span("subst_pass");
+            substitute_with(&mut funcs, strategy, profile, &mut rng, tel);
         }
         if let Some(strategy) = &config.strategy {
-            insert_nops(&mut funcs, strategy, profile, &table, &mut rng);
+            let _s = tel.span("nop_pass");
+            insert_nops_with(&mut funcs, strategy, profile, &table, &mut rng, tel);
         }
     }
-    let image = emit_image(&funcs, module)?;
+    let image = emit_image_with(&funcs, module, tel)?;
     if config.validate && diversifying {
+        let _s = tel.span("validate");
         let baseline = emit_image(&lower_module(module)?, module)?;
-        pgsd_analysis::check_images(&baseline, &image, &config.transforms()).map_err(|diags| {
-            let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
-            CompileError::new(format!(
-                "variant failed static validation:\n{}",
-                rendered.join("\n")
-            ))
-        })?;
+        match pgsd_analysis::check_images(&baseline, &image, &config.transforms()) {
+            Ok(_) => tel.add("validate.passed", 1),
+            Err(diags) => {
+                tel.add("validate.failed", 1);
+                tel.add("validate.findings", diags.len() as u64);
+                let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+                return Err(CompileError::new(format!(
+                    "variant failed static validation:\n{}",
+                    rendered.join("\n")
+                )));
+            }
+        }
     }
     Ok(image)
 }
@@ -227,11 +248,61 @@ pub fn run(image: &Image, args: &[i32], gas: u64) -> (Exit, RunStats) {
 /// Panics if a poke names a global the image does not have — a workload
 /// definition bug.
 pub fn run_input(image: &Image, input: &Input, gas: u64) -> (Exit, RunStats) {
+    run_input_with(image, input, gas, &Telemetry::disabled(), "run")
+}
+
+/// Like [`run_input`], recording an `execute` span and the run's
+/// statistics (via [`record_run`] under `label`) into `tel`.
+///
+/// # Panics
+///
+/// Panics if a poke names a global the image does not have — a workload
+/// definition bug.
+pub fn run_input_with(
+    image: &Image,
+    input: &Input,
+    gas: u64,
+    tel: &Telemetry,
+    label: &str,
+) -> (Exit, RunStats) {
+    let _span = tel.span("execute");
     let mut emu = load(image);
     apply_pokes(image, &mut emu, input);
     emu.call_entry(image.main_addr, image.exit_addr, &input.args);
     let exit = emu.run(gas);
+    record_run(tel, label, &emu.stats);
     (exit, emu.stats)
+}
+
+/// Records one run's [`RunStats`] as `emu.*` counters labeled
+/// `{run=label}`: cycles, instructions, retired NOPs, the data-cache
+/// hit/miss split, the branch taken/not-taken split, slack-hidden
+/// instructions, and the per-class instruction mix.
+pub fn record_run(tel: &Telemetry, label: &str, stats: &RunStats) {
+    if !tel.is_enabled() {
+        return;
+    }
+    let run = [("run", label)];
+    tel.add_labeled("emu.cycles", &run, stats.cycles);
+    tel.add_labeled("emu.instructions", &run, stats.instructions);
+    tel.add_labeled("emu.nops_retired", &run, stats.nops_retired);
+    tel.add_labeled("emu.dcache_hits", &run, stats.dcache_hits);
+    tel.add_labeled("emu.dcache_misses", &run, stats.dcache_misses);
+    tel.add_labeled("emu.dcache_accesses", &run, stats.dcache_accesses);
+    tel.add_labeled("emu.branch_taken", &run, stats.branch_taken);
+    tel.add_labeled("emu.branch_not_taken", &run, stats.branch_not_taken);
+    tel.add_labeled("emu.slack_hidden", &run, stats.slack_hidden);
+    tel.add_labeled("emu.output_values", &run, stats.output.len() as u64);
+    for class in InstClass::ALL {
+        let n = stats.mix(class);
+        if n > 0 {
+            tel.add_labeled(
+                "emu.inst_mix",
+                &[("run", label), ("class", class.label())],
+                n,
+            );
+        }
+    }
 }
 
 fn apply_pokes(image: &Image, emu: &mut Emulator, input: &Input) {
@@ -257,13 +328,32 @@ fn apply_pokes(image: &Image, emu: &mut Emulator, input: &Input) {
 ///
 /// Fails if compilation fails or any training run does not exit cleanly.
 pub fn train(module: &Module, train_inputs: &[Input], gas: u64) -> Result<Profile> {
+    train_with(module, train_inputs, gas, &Telemetry::disabled())
+}
+
+/// Like [`train`], recording a `train` span (instrumented build plus one
+/// `train_run` child per input) and profile summary counters into `tel`.
+///
+/// # Errors
+///
+/// Fails if compilation fails or any training run does not exit cleanly.
+pub fn train_with(
+    module: &Module,
+    train_inputs: &[Input],
+    gas: u64,
+    tel: &Telemetry,
+) -> Result<Profile> {
+    let _span = tel.span("train");
     let mut instrumented = module.clone();
     let plan = instrument(&mut instrumented);
     let funcs = lower_module(&instrumented)?;
     let image = emit_image(&funcs, &instrumented)?;
 
+    tel.add("train.inputs", train_inputs.len() as u64);
+    tel.add("train.counters", u64::from(plan.num_counters));
     let mut counters = vec![0u64; plan.num_counters as usize];
     for input in train_inputs {
+        let _run_span = tel.span("train_run");
         let mut emu = load(&image);
         apply_pokes(&image, &mut emu, input);
         emu.call_entry(image.main_addr, image.exit_addr, &input.args);
@@ -282,7 +372,10 @@ pub fn train(module: &Module, train_inputs: &[Input], gas: u64) -> Result<Profil
             *c += u64::from(word);
         }
     }
-    Ok(reconstruct(&plan, &counters))
+    let profile = reconstruct(&plan, &counters);
+    #[allow(clippy::cast_precision_loss)]
+    tel.set_gauge("train.x_max", profile.max_count() as f64);
+    Ok(profile)
 }
 
 /// End-to-end convenience: compile `source`, train on `train_inputs` when
@@ -297,13 +390,14 @@ pub fn compile_diversified(
     config: &BuildConfig,
     train_inputs: &[Input],
 ) -> Result<Image> {
-    let module = frontend(name, source)?;
+    let tel = &config.telemetry;
+    let module = frontend_with(name, source, tel)?;
     let needs = config
         .strategy
         .as_ref()
         .is_some_and(Strategy::needs_profile);
     let profile = if needs {
-        Some(train(&module, train_inputs, DEFAULT_GAS)?)
+        Some(train_with(&module, train_inputs, DEFAULT_GAS, tel)?)
     } else {
         None
     };
@@ -334,6 +428,7 @@ pub fn population(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pgsd_cc::driver::frontend;
 
     const SRC: &str = "int main(int n) {
         int s = 0;

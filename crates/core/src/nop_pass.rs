@@ -13,7 +13,8 @@
 //! Functions with `diversify == false` (the runtime library, modeling the
 //! undiversified libc) are skipped.
 
-use pgsd_x86::nop::NopTable;
+use pgsd_telemetry::{HeatBucket, Telemetry};
+use pgsd_x86::nop::{NopKind, NopTable};
 use rand::Rng;
 
 use pgsd_cc::lir::{MFunction, MInst};
@@ -29,6 +30,8 @@ pub struct NopReport {
     pub sites: u64,
     /// NOPs actually inserted.
     pub inserted: u64,
+    /// Code bytes added by the inserted NOPs.
+    pub bytes: u64,
 }
 
 /// Runs NOP insertion over every diversifiable function.
@@ -43,6 +46,20 @@ pub fn insert_nops(
     table: &NopTable,
     rng: &mut impl Rng,
 ) -> NopReport {
+    insert_nops_with(funcs, strategy, profile, table, rng, &Telemetry::disabled())
+}
+
+/// Like [`insert_nops`], recording per-heat-bucket site/insertion/byte
+/// counters, a `nop.p_pct` histogram of the curve's probability
+/// decisions, and per-function insertion counts into `tel`.
+pub fn insert_nops_with(
+    funcs: &mut [MFunction],
+    strategy: &Strategy,
+    profile: Option<&Profile>,
+    table: &NopTable,
+    rng: &mut impl Rng,
+    tel: &Telemetry,
+) -> NopReport {
     assert!(!table.is_empty(), "NOP table must not be empty");
     let x_max = profile.map(|p| p.max_count()).unwrap_or(0);
     let mut report = NopReport::default();
@@ -50,12 +67,19 @@ pub fn insert_nops(
         if !func.diversify {
             continue;
         }
+        let fn_inserted_before = report.inserted;
         for block in &mut func.blocks {
             let count = match (profile, block.ir_block) {
                 (Some(p), Some(ir)) => p.block_count(&func.name, ir as usize),
                 _ => 0,
             };
             let p = strategy.probability(count, x_max);
+            let heat = [("heat", HeatBucket::of(count, x_max).label())];
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            tel.observe("nop.p_pct", (p * 100.0).round() as u64);
+            let block_sites_before = report.sites;
+            let block_inserted_before = report.inserted;
+            let block_bytes_before = report.bytes;
             let old = std::mem::take(&mut block.instrs);
             let mut new = Vec::with_capacity(old.len() + old.len() / 2);
             for inst in old {
@@ -67,8 +91,25 @@ pub fn insert_nops(
             report.sites += 1;
             maybe_insert(&mut new, p, table, rng, &mut report);
             block.instrs = new;
+            tel.add_labeled("nop.sites", &heat, report.sites - block_sites_before);
+            tel.add_labeled(
+                "nop.inserted",
+                &heat,
+                report.inserted - block_inserted_before,
+            );
+            tel.add_labeled("nop.bytes_added", &heat, report.bytes - block_bytes_before);
+        }
+        if tel.is_enabled() {
+            tel.add_labeled(
+                "nop.inserted",
+                &[("fn", &func.name)],
+                report.inserted - fn_inserted_before,
+            );
         }
     }
+    tel.add("nop.sites", report.sites);
+    tel.add("nop.inserted", report.inserted);
+    tel.add("nop.bytes_added", report.bytes);
     report
 }
 
@@ -78,16 +119,19 @@ fn maybe_insert(
     table: &NopTable,
     rng: &mut impl Rng,
     report: &mut NopReport,
-) {
+) -> Option<NopKind> {
     // Algorithm 1: roll ← random(0,1); if roll < pNOP then pick a
     // candidate uniformly.
     let roll: f64 = rng.gen();
     if roll < p {
         let idx = rng.gen_range(0..table.len());
-        out.push(MInst::Nop {
-            kind: table.kind(idx),
-        });
+        let kind = table.kind(idx);
+        out.push(MInst::Nop { kind });
         report.inserted += 1;
+        report.bytes += kind.bytes().len() as u64;
+        Some(kind)
+    } else {
+        None
     }
 }
 

@@ -11,6 +11,7 @@
 //! jumps over a dead padding block filled with a random number of NOPs;
 //! the padding block falls through into the original entry.
 
+use pgsd_telemetry::Telemetry;
 use pgsd_x86::nop::NopTable;
 use rand::Rng;
 
@@ -23,6 +24,8 @@ pub struct ShiftReport {
     pub functions: u64,
     /// Total padding NOPs inserted.
     pub pad_nops: u64,
+    /// Total padding bytes inserted.
+    pub pad_bytes: u64,
 }
 
 /// Applies basic-block shifting to every diversifiable function, with a
@@ -32,6 +35,18 @@ pub fn shift_blocks(
     max_pad: usize,
     table: &NopTable,
     rng: &mut impl Rng,
+) -> ShiftReport {
+    shift_blocks_with(funcs, max_pad, table, rng, &Telemetry::disabled())
+}
+
+/// Like [`shift_blocks`], recording function/pad counters and a
+/// `shift.pad_len` histogram of the drawn shift distances into `tel`.
+pub fn shift_blocks_with(
+    funcs: &mut [MFunction],
+    max_pad: usize,
+    table: &NopTable,
+    rng: &mut impl Rng,
+    tel: &Telemetry,
 ) -> ShiftReport {
     assert!(!table.is_empty(), "NOP table must not be empty");
     let mut report = ShiftReport::default();
@@ -47,10 +62,11 @@ pub fn shift_blocks(
         let mut pad = Vec::with_capacity(pad_len);
         for _ in 0..pad_len {
             let idx = rng.gen_range(0..table.len());
-            pad.push(MInst::Nop {
-                kind: table.kind(idx),
-            });
+            let kind = table.kind(idx);
+            report.pad_bytes += kind.bytes().len() as u64;
+            pad.push(MInst::Nop { kind });
         }
+        tel.observe("shift.pad_len", pad_len as u64);
         report.pad_nops += pad_len as u64;
         report.functions += 1;
         // New block 0: jump over the padding to the original entry (now
@@ -67,6 +83,9 @@ pub fn shift_blocks(
         };
         func.blocks.splice(0..0, [jump, padding]);
     }
+    tel.add("shift.functions", report.functions);
+    tel.add("shift.pad_nops", report.pad_nops);
+    tel.add("shift.pad_bytes", report.pad_bytes);
     report
 }
 

@@ -18,6 +18,7 @@
 //! verified-safe `push src; pop dst` rewrite (Intel pushes the *old* esp).
 
 use pgsd_analysis::flags::flags_live_after;
+use pgsd_telemetry::{HeatBucket, Telemetry};
 use pgsd_x86::{AluOp, Reg, ShiftOp};
 use rand::Rng;
 
@@ -137,6 +138,18 @@ pub fn substitute(
     profile: Option<&Profile>,
     rng: &mut impl Rng,
 ) -> SubstReport {
+    substitute_with(funcs, strategy, profile, rng, &Telemetry::disabled())
+}
+
+/// Like [`substitute`], recording per-heat-bucket candidate/substitution
+/// counters and a `subst.p_pct` probability histogram into `tel`.
+pub fn substitute_with(
+    funcs: &mut [MFunction],
+    strategy: &Strategy,
+    profile: Option<&Profile>,
+    rng: &mut impl Rng,
+    tel: &Telemetry,
+) -> SubstReport {
     let x_max = profile.map(|p| p.max_count()).unwrap_or(0);
     let mut report = SubstReport::default();
     for func in funcs.iter_mut() {
@@ -150,6 +163,11 @@ pub fn substitute(
                 _ => 0,
             };
             let p = strategy.probability(count, x_max);
+            let heat = [("heat", HeatBucket::of(count, x_max).label())];
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            tel.observe("subst.p_pct", (p * 100.0).round() as u64);
+            let cand_before = report.candidates;
+            let subst_before = report.substituted;
             let old = std::mem::take(&mut block.instrs);
             let mut new = Vec::with_capacity(old.len());
             for (ii, inst) in old.into_iter().enumerate() {
@@ -169,8 +187,16 @@ pub fn substitute(
                 }
             }
             block.instrs = new;
+            tel.add_labeled("subst.candidates", &heat, report.candidates - cand_before);
+            tel.add_labeled(
+                "subst.substituted",
+                &heat,
+                report.substituted - subst_before,
+            );
         }
     }
+    tel.add("subst.candidates", report.candidates);
+    tel.add("subst.substituted", report.substituted);
     report
 }
 

@@ -65,6 +65,137 @@ impl Exit {
     }
 }
 
+/// Coarse instruction classes for the retired-instruction mix histogram.
+///
+/// The classes follow the [`CostModel`]'s cost structure, so the mix
+/// explains the cycle count: a run dominated by [`InstClass::Load`] and
+/// [`InstClass::Div`] is memory/latency-bound (and hides inserted NOPs in
+/// slack), one dominated by [`InstClass::Alu`] pays full price for them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum InstClass {
+    /// Register/immediate moves.
+    Mov,
+    /// Memory loads (`mov r, [m]` and ALU-with-memory-source).
+    Load,
+    /// Memory stores.
+    Store,
+    /// Read-modify-write memory operations.
+    Rmw,
+    /// Register ALU work (add/sub/logic/test/neg/not/inc/dec/cdq).
+    Alu,
+    /// Multiplies.
+    Mul,
+    /// Divides.
+    Div,
+    /// Shifts and rotates.
+    Shift,
+    /// `push`/`pop`.
+    Stack,
+    /// `lea`.
+    Lea,
+    /// `xchg` (bus-locking).
+    Xchg,
+    /// `call`.
+    Call,
+    /// `ret`.
+    Ret,
+    /// Unconditional jumps.
+    Jump,
+    /// Conditional branches.
+    CondBranch,
+    /// `int` syscall gates.
+    Syscall,
+    /// Recognized NOP-table forms.
+    Nop,
+    /// Everything else (`hlt`).
+    Other,
+}
+
+impl InstClass {
+    /// Number of classes (length of [`RunStats::inst_mix`]).
+    pub const COUNT: usize = 18;
+
+    /// All classes, in `inst_mix` index order.
+    pub const ALL: [InstClass; InstClass::COUNT] = [
+        InstClass::Mov,
+        InstClass::Load,
+        InstClass::Store,
+        InstClass::Rmw,
+        InstClass::Alu,
+        InstClass::Mul,
+        InstClass::Div,
+        InstClass::Shift,
+        InstClass::Stack,
+        InstClass::Lea,
+        InstClass::Xchg,
+        InstClass::Call,
+        InstClass::Ret,
+        InstClass::Jump,
+        InstClass::CondBranch,
+        InstClass::Syscall,
+        InstClass::Nop,
+        InstClass::Other,
+    ];
+
+    /// The class of a decoded instruction.
+    pub fn of(inst: &Inst) -> InstClass {
+        match inst {
+            Inst::MovRI(..) | Inst::MovRR(..) => InstClass::Mov,
+            Inst::MovRM(..) | Inst::AluRM(..) => InstClass::Load,
+            Inst::MovMR(..) | Inst::MovMI(..) => InstClass::Store,
+            Inst::AluMR(..) | Inst::AluMI(..) | Inst::IncDecM(..) => InstClass::Rmw,
+            Inst::AluRR(..)
+            | Inst::AluRI(..)
+            | Inst::TestRR(..)
+            | Inst::NegR(..)
+            | Inst::NotR(..)
+            | Inst::IncR(..)
+            | Inst::DecR(..)
+            | Inst::Cdq => InstClass::Alu,
+            Inst::ImulRR(..) | Inst::ImulRRI(..) | Inst::ImulRM(..) => InstClass::Mul,
+            Inst::IdivR(..) => InstClass::Div,
+            Inst::ShiftRI(..) | Inst::ShiftRCl(..) => InstClass::Shift,
+            Inst::PushR(..) | Inst::PushI(..) | Inst::PushM(..) | Inst::PopR(..) => {
+                InstClass::Stack
+            }
+            Inst::Lea(..) => InstClass::Lea,
+            Inst::XchgRR(..) => InstClass::Xchg,
+            Inst::CallRel(..) | Inst::CallR(..) => InstClass::Call,
+            Inst::Ret | Inst::RetImm(..) => InstClass::Ret,
+            Inst::JmpRel(..) | Inst::JmpRel8(..) | Inst::JmpR(..) => InstClass::Jump,
+            Inst::Jcc(..) | Inst::Jcc8(..) => InstClass::CondBranch,
+            Inst::Int(..) => InstClass::Syscall,
+            Inst::Nop(..) => InstClass::Nop,
+            Inst::Hlt => InstClass::Other,
+        }
+    }
+
+    /// Stable lowercase label for metrics keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            InstClass::Mov => "mov",
+            InstClass::Load => "load",
+            InstClass::Store => "store",
+            InstClass::Rmw => "rmw",
+            InstClass::Alu => "alu",
+            InstClass::Mul => "mul",
+            InstClass::Div => "div",
+            InstClass::Shift => "shift",
+            InstClass::Stack => "stack",
+            InstClass::Lea => "lea",
+            InstClass::Xchg => "xchg",
+            InstClass::Call => "call",
+            InstClass::Ret => "ret",
+            InstClass::Jump => "jump",
+            InstClass::CondBranch => "cond_branch",
+            InstClass::Syscall => "syscall",
+            InstClass::Nop => "nop",
+            InstClass::Other => "other",
+        }
+    }
+}
+
 /// Execution statistics.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunStats {
@@ -78,8 +209,29 @@ pub struct RunStats {
     pub nops_retired: u64,
     /// Data-cache misses.
     pub dcache_misses: u64,
+    /// Data-cache hits (`dcache_hits + dcache_misses == dcache_accesses`).
+    pub dcache_hits: u64,
+    /// Data accesses sent through the modeled L1d.
+    pub dcache_accesses: u64,
+    /// Retired instructions per [`InstClass`], indexed by class
+    /// discriminant; sums to `instructions`.
+    pub inst_mix: [u64; InstClass::COUNT],
+    /// Conditional branches that were taken.
+    pub branch_taken: u64,
+    /// Conditional branches that fell through.
+    pub branch_not_taken: u64,
+    /// Instructions retired for free inside the banked stall-slack window
+    /// (the mechanism that makes NOPs cheap in memory-bound code).
+    pub slack_hidden: u64,
     /// Values printed through the print syscall.
     pub output: Vec<i32>,
+}
+
+impl RunStats {
+    /// Retired-instruction count for one class.
+    pub fn mix(&self, class: InstClass) -> u64 {
+        self.inst_mix[class as usize]
+    }
 }
 
 /// The emulator: CPU, memory, cost model and statistics.
@@ -204,11 +356,13 @@ impl Emulator {
         };
         self.cpu.eip = addr.wrapping_add(len);
         self.stats.instructions += 1;
+        self.stats.inst_mix[InstClass::of(&inst) as usize] += 1;
         // Removable NOPs hide in banked memory-stall slack; everything
         // else pays full price and long-latency instructions refill the
         // slack bank.
         if self.cost.hides_in_slack(&inst) && self.slack > 0 {
             self.slack -= 1;
+            self.stats.slack_hidden += 1;
         } else {
             self.stats.cycles += self.cost.cost(&inst);
             self.slack = (self.slack + self.cost.slack_produced(&inst)).min(self.cost.slack_window);
@@ -235,11 +389,14 @@ impl Emulator {
         let line = addr >> 6;
         let set = (line as usize) & (sets - 1);
         let tag = (line >> self.cost.cache_sets_log2) + 1;
+        self.stats.dcache_accesses += 1;
         if self.dcache[set] != tag {
             self.dcache[set] = tag;
             self.stats.cycles += self.cost.miss_penalty;
             self.stats.dcache_misses += 1;
             self.slack = (self.slack + self.cost.miss_penalty).min(self.cost.slack_window);
+        } else {
+            self.stats.dcache_hits += 1;
         }
     }
 
@@ -558,16 +715,20 @@ impl Emulator {
                 if self.cpu.flags.cond(cc) {
                     self.cpu.eip = self.cpu.eip.wrapping_add(rel as u32);
                     self.stats.cycles += self.cost.branch_taken;
+                    self.stats.branch_taken += 1;
                 } else {
                     self.stats.cycles += self.cost.branch_not_taken;
+                    self.stats.branch_not_taken += 1;
                 }
             }
             Jcc8(cc, rel) => {
                 if self.cpu.flags.cond(cc) {
                     self.cpu.eip = self.cpu.eip.wrapping_add(rel as i32 as u32);
                     self.stats.cycles += self.cost.branch_taken;
+                    self.stats.branch_taken += 1;
                 } else {
                     self.stats.cycles += self.cost.branch_not_taken;
+                    self.stats.branch_not_taken += 1;
                 }
             }
             Int(0x80) => {

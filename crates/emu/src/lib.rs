@@ -35,5 +35,5 @@ pub mod mem;
 
 pub use cost::CostModel;
 pub use cpu::{Cpu, Flags};
-pub use exec::{Emulator, Exit, RunStats};
+pub use exec::{Emulator, Exit, InstClass, RunStats};
 pub use mem::{Fault, Memory};

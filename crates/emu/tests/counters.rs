@@ -1,0 +1,131 @@
+//! The promoted `RunStats` counters must be internally consistent: the
+//! instruction-mix histogram partitions the retired-instruction count,
+//! cache hits and misses partition the accesses, and the branch
+//! taken/not-taken split partitions the conditional-branch class.
+
+use pgsd_emu::{Emulator, Exit, InstClass, RunStats};
+use pgsd_x86::nop::NopKind;
+use pgsd_x86::{assemble, AluOp, Cond, Inst, Mem, Reg, ShiftOp};
+
+fn run(insts: &[Inst]) -> (Exit, RunStats) {
+    let text = assemble(insts).expect("assembles");
+    let mut emu = Emulator::new(0x1000, text, 0x0010_0000, vec![0; 4096], 0x0100_0000);
+    emu.cpu.eip = 0x1000;
+    let exit = emu.run(1_000_000);
+    (exit, emu.stats.clone())
+}
+
+/// A workload exercising every counter: a 20-trip loop touching memory
+/// (misses on first touch, hits afterwards), arithmetic, shifts, stack
+/// ops, NOPs, a division that banks slack, an `xchg`, and a call/ret/jmp
+/// cluster.
+fn workload() -> Vec<Inst> {
+    // Loop body; the conditional branch displacement is computed from its
+    // assembled size rather than hand-counted bytes.
+    let body = vec![
+        Inst::MovMR(Mem::abs(0x0010_0040), Reg::Ecx), // store
+        Inst::MovRM(Reg::Eax, Mem::abs(0x0010_0040)), // load
+        Inst::AluMI(AluOp::Add, Mem::abs(0x0010_0080), 3), // rmw
+        Inst::AluRR(AluOp::Add, Reg::Esi, Reg::Eax),  // alu
+        Inst::ShiftRI(ShiftOp::Shl, Reg::Eax, 1),     // shift
+        Inst::PushR(Reg::Eax),                        // stack
+        Inst::PopR(Reg::Edx),                         // stack
+        Inst::Nop(NopKind::Nop),                      // nop
+        Inst::Lea(Reg::Edi, Mem::base_disp(Reg::Esi, 4)), // lea
+        Inst::DecR(Reg::Ecx),                         // alu
+    ];
+    let body_len = assemble(&body).expect("assembles").len() as i32;
+    let jcc_len = 2; // Jcc8 encodes to 2 bytes
+
+    let mut insts = vec![Inst::MovRI(Reg::Ecx, 20), Inst::MovRI(Reg::Esi, 0)];
+    insts.extend(body);
+    insts.push(Inst::Jcc8(Cond::Ne, (-(body_len + jcc_len)) as i8));
+    insts.extend([
+        // One division (banks slack so the NOPs right after hide in it).
+        Inst::MovRI(Reg::Eax, 100),
+        Inst::Cdq,
+        Inst::MovRI(Reg::Ecx, 7),
+        Inst::IdivR(Reg::Ecx),
+        Inst::Nop(NopKind::Nop),
+        Inst::Nop(NopKind::MovEspEsp),
+        Inst::XchgRR(Reg::Eax, Reg::Edx), // xchg
+        // call (5 bytes) targets the ret two bytes ahead; the ret returns
+        // to the jmp, which hops over the 1-byte ret to the exit stub.
+        Inst::CallRel(2),
+        Inst::JmpRel8(1),
+        Inst::Ret,
+        Inst::MovRI(Reg::Ebx, 0),
+        Inst::MovRI(Reg::Eax, 1),
+        Inst::Int(0x80),
+    ]);
+    insts
+}
+
+#[test]
+fn inst_mix_partitions_retired_instructions() {
+    let (exit, stats) = run(&workload());
+    assert_eq!(exit, Exit::Exited(0));
+    let mix_total: u64 = stats.inst_mix.iter().sum();
+    assert_eq!(mix_total, stats.instructions);
+    // Every class the workload exercises is nonzero.
+    for class in [
+        InstClass::Mov,
+        InstClass::Load,
+        InstClass::Store,
+        InstClass::Rmw,
+        InstClass::Alu,
+        InstClass::Div,
+        InstClass::Shift,
+        InstClass::Stack,
+        InstClass::Lea,
+        InstClass::Xchg,
+        InstClass::Call,
+        InstClass::Ret,
+        InstClass::Jump,
+        InstClass::CondBranch,
+        InstClass::Syscall,
+        InstClass::Nop,
+    ] {
+        assert!(stats.mix(class) > 0, "class {class:?} not counted");
+    }
+}
+
+#[test]
+fn cache_hits_and_misses_partition_accesses() {
+    let (_, stats) = run(&workload());
+    assert_eq!(
+        stats.dcache_hits + stats.dcache_misses,
+        stats.dcache_accesses
+    );
+    // The loop re-touches two lines 20 times: misses on first touch,
+    // hits afterwards.
+    assert!(stats.dcache_misses > 0);
+    assert!(stats.dcache_hits > stats.dcache_misses);
+}
+
+#[test]
+fn branch_split_partitions_conditional_branches() {
+    let (_, stats) = run(&workload());
+    assert_eq!(
+        stats.branch_taken + stats.branch_not_taken,
+        stats.mix(InstClass::CondBranch)
+    );
+    assert_eq!(stats.branch_taken, 19);
+    assert_eq!(stats.branch_not_taken, 1);
+}
+
+#[test]
+fn slack_hides_nops_after_long_latency_ops() {
+    let (_, stats) = run(&workload());
+    // The division banks slack; the NOPs right after it retire for free.
+    assert!(stats.slack_hidden > 0);
+}
+
+#[test]
+fn class_labels_are_unique_and_cover_all() {
+    let mut labels: Vec<&str> = InstClass::ALL.iter().map(|c| c.label()).collect();
+    assert_eq!(labels.len(), InstClass::COUNT);
+    labels.sort_unstable();
+    labels.dedup();
+    assert_eq!(labels.len(), InstClass::COUNT, "duplicate class label");
+}

@@ -1,0 +1,265 @@
+//! Exporters: Chrome `trace_event` JSON, the flat metrics document, and a
+//! human-readable summary table.
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, Value};
+use crate::metrics::Histogram;
+use crate::span::SpanRecord;
+
+/// Version of the metrics-JSON schema. Bump on any incompatible change to
+/// the document shape; consumers (the `pgsd report` subcommand, the bench
+/// binaries, CI validation) check it before interpreting the rest.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The flat metrics document: everything the collector counted, without
+/// the timeline. Serializes to JSON with a `schema_version` field;
+/// [`MetricsDoc::from_json`] round-trips exactly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsDoc {
+    /// Schema version of the document ([`SCHEMA_VERSION`] when produced
+    /// by this build).
+    pub schema_version: u64,
+    /// Additive counters by key (labels encoded as `name{k=v}`).
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins float gauges (measured ratios, percentages).
+    pub gauges: BTreeMap<String, f64>,
+    /// Exact-value histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsDoc {
+    /// Serializes to the metrics JSON format.
+    pub fn to_json(&self) -> String {
+        let counters = Value::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::u64(*v)))
+                .collect(),
+        );
+        let gauges = Value::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::f64(*v)))
+                .collect(),
+        );
+        let histograms = Value::Obj(
+            self.histograms
+                .iter()
+                .map(|(name, h)| {
+                    let counts = Value::Obj(
+                        h.counts
+                            .iter()
+                            .map(|(v, n)| (v.to_string(), Value::u64(*n)))
+                            .collect(),
+                    );
+                    (
+                        name.clone(),
+                        Value::Obj(vec![("counts".to_owned(), counts)]),
+                    )
+                })
+                .collect(),
+        );
+        let doc = Value::Obj(vec![
+            ("schema_version".to_owned(), Value::u64(self.schema_version)),
+            ("counters".to_owned(), counters),
+            ("gauges".to_owned(), gauges),
+            ("histograms".to_owned(), histograms),
+        ]);
+        let mut out = doc.to_string();
+        out.push('\n');
+        out
+    }
+
+    /// Parses a metrics document produced by [`MetricsDoc::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed JSON, a missing or unsupported `schema_version`,
+    /// and malformed counter/histogram entries.
+    pub fn from_json(text: &str) -> Result<MetricsDoc, String> {
+        let v = json::parse(text)?;
+        let schema_version = v
+            .get("schema_version")
+            .and_then(Value::as_u64)
+            .ok_or("missing schema_version")?;
+        if schema_version > SCHEMA_VERSION {
+            return Err(format!(
+                "metrics schema v{schema_version} is newer than supported v{SCHEMA_VERSION}"
+            ));
+        }
+        let mut doc = MetricsDoc {
+            schema_version,
+            ..MetricsDoc::default()
+        };
+        if let Some(entries) = v.get("counters").and_then(Value::as_obj) {
+            for (k, raw) in entries {
+                let n = raw
+                    .as_u64()
+                    .ok_or_else(|| format!("counter `{k}` is not a u64"))?;
+                doc.counters.insert(k.clone(), n);
+            }
+        }
+        if let Some(entries) = v.get("gauges").and_then(Value::as_obj) {
+            for (k, raw) in entries {
+                let n = raw
+                    .as_f64()
+                    .ok_or_else(|| format!("gauge `{k}` is not a number"))?;
+                doc.gauges.insert(k.clone(), n);
+            }
+        }
+        if let Some(entries) = v.get("histograms").and_then(Value::as_obj) {
+            for (name, h) in entries {
+                let counts = h
+                    .get("counts")
+                    .and_then(Value::as_obj)
+                    .ok_or_else(|| format!("histogram `{name}` missing counts"))?;
+                let mut hist = Histogram::default();
+                for (val, n) in counts {
+                    let val: u64 = val
+                        .parse()
+                        .map_err(|_| format!("histogram `{name}` has non-u64 bucket `{val}`"))?;
+                    let n = n
+                        .as_u64()
+                        .ok_or_else(|| format!("histogram `{name}` has non-u64 count"))?;
+                    hist.counts.insert(val, n);
+                }
+                doc.histograms.insert(name.clone(), hist);
+            }
+        }
+        Ok(doc)
+    }
+
+    /// Renders a human-readable summary (the `pgsd report` output).
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("metrics schema v{}\n", self.schema_version));
+        if !self.counters.is_empty() {
+            let w = self.counters.keys().map(String::len).max().unwrap_or(0);
+            out.push_str(&format!("\ncounters ({}):\n", self.counters.len()));
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k:<w$}  {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            let w = self.gauges.keys().map(String::len).max().unwrap_or(0);
+            out.push_str(&format!("\ngauges ({}):\n", self.gauges.len()));
+            for (k, v) in &self.gauges {
+                out.push_str(&format!("  {k:<w$}  {v:.4}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str(&format!("\nhistograms ({}):\n", self.histograms.len()));
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {name}: n={} sum={} mean={:.2} min={} max={}\n",
+                    h.total(),
+                    h.sum(),
+                    h.mean(),
+                    h.min().unwrap_or(0),
+                    h.max().unwrap_or(0),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Serializes spans to Chrome `trace_event` JSON — an object with a
+/// `traceEvents` array of complete (`"ph":"X"`) events, loadable in
+/// `about:tracing` and Perfetto. Timestamps are microseconds from the
+/// collector's epoch.
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let events: Vec<Value> = spans
+        .iter()
+        .map(|s| {
+            Value::Obj(vec![
+                ("name".to_owned(), Value::Str(s.name.clone())),
+                ("ph".to_owned(), Value::Str("X".to_owned())),
+                ("ts".to_owned(), Value::f64(s.start_ns as f64 / 1000.0)),
+                ("dur".to_owned(), Value::f64(s.dur_ns as f64 / 1000.0)),
+                ("pid".to_owned(), Value::u64(1)),
+                ("tid".to_owned(), Value::u64(1)),
+                (
+                    "args".to_owned(),
+                    Value::Obj(vec![("depth".to_owned(), Value::u64(u64::from(s.depth)))]),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Value::Obj(vec![
+        ("traceEvents".to_owned(), Value::Arr(events)),
+        ("displayTimeUnit".to_owned(), Value::Str("ms".to_owned())),
+    ]);
+    let mut out = doc.to_string();
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsDoc {
+        let mut doc = MetricsDoc {
+            schema_version: SCHEMA_VERSION,
+            ..MetricsDoc::default()
+        };
+        doc.counters.insert("nop.inserted".into(), 42);
+        doc.counters.insert("nop.inserted{heat=cold}".into(), 40);
+        doc.gauges.insert("overhead_pct".into(), 1.25);
+        let mut h = Histogram::default();
+        h.record(3);
+        h.record(3);
+        h.record(9);
+        doc.histograms.insert("shift.pad_len".into(), h);
+        doc
+    }
+
+    #[test]
+    fn metrics_round_trip_identically() {
+        let doc = sample();
+        let text = doc.to_json();
+        let parsed = MetricsDoc::from_json(&text).unwrap();
+        assert_eq!(parsed, doc);
+        // And the re-serialization is byte-identical.
+        assert_eq!(parsed.to_json(), text);
+    }
+
+    #[test]
+    fn schema_version_is_checked() {
+        assert!(MetricsDoc::from_json("{}")
+            .unwrap_err()
+            .contains("schema_version"));
+        let future = r#"{"schema_version":999}"#;
+        assert!(MetricsDoc::from_json(future).unwrap_err().contains("newer"));
+    }
+
+    #[test]
+    fn summary_mentions_everything() {
+        let s = sample().summary_table();
+        assert!(s.contains("nop.inserted{heat=cold}"));
+        assert!(s.contains("overhead_pct"));
+        assert!(s.contains("shift.pad_len: n=3 sum=15"));
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let spans = vec![SpanRecord {
+            name: "build".into(),
+            parent: None,
+            depth: 0,
+            start_ns: 1500,
+            dur_ns: 2_000_000,
+            closed: true,
+        }];
+        let text = chrome_trace(&spans);
+        let v = crate::json::parse(&text).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("name").unwrap().as_str(), Some("build"));
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(events[0].get("ts").unwrap().as_f64(), Some(1.5));
+        assert_eq!(events[0].get("dur").unwrap().as_f64(), Some(2000.0));
+    }
+}

@@ -1,0 +1,328 @@
+//! # pgsd-telemetry — end-to-end observability for the diversifying toolchain
+//!
+//! A lightweight, dependency-free span/metrics layer threaded through the
+//! whole pipeline: compile (lex → parse → IR passes → isel → regalloc →
+//! frame), diversify (shift / subst / NOP passes), emit, validate, and
+//! emulated execution. The paper's argument is quantitative — per-block
+//! NOP probability driven by profile heat, overhead in cycles, security in
+//! surviving gadgets — and this crate is where those quantities become
+//! observable instead of being re-derived ad hoc by every benchmark
+//! binary.
+//!
+//! Three layers:
+//!
+//! * **Spans** ([`span`]): hierarchical timed intervals over pipeline
+//!   phases, exported as Chrome `trace_event` JSON (loadable in
+//!   `about:tracing` / Perfetto) by [`export::chrome_trace`];
+//! * **Metrics** ([`metrics`]): additive counters (labels encoded in the
+//!   key), float gauges, and exact-value histograms, exported as a flat
+//!   JSON document with a `schema_version` field ([`export::MetricsDoc`]);
+//! * **The handle** ([`Telemetry`]): a cheaply cloneable, optionally-armed
+//!   reference threaded through `BuildConfig` and the drivers. A disabled
+//!   handle is a `None` — every recording call is a single branch, so
+//!   telemetry-off builds measure identically to builds that predate this
+//!   crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use pgsd_telemetry::Telemetry;
+//!
+//! let tel = Telemetry::enabled();
+//! {
+//!     let _build = tel.span("build");
+//!     let _pass = tel.span("nop_pass");
+//!     tel.add("nop.inserted", 17);
+//!     tel.observe("nop.p_pct", 30);
+//! }
+//! let doc = tel.snapshot();
+//! assert_eq!(doc.counters["nop.inserted"], 17);
+//! let spans = tel.spans();
+//! assert_eq!(spans[1].parent, Some(0)); // nop_pass nested under build
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+pub use export::{chrome_trace, MetricsDoc, SCHEMA_VERSION};
+pub use metrics::{labeled, HeatBucket, Histogram};
+pub use span::SpanRecord;
+
+use span::SpanTable;
+
+#[derive(Debug, Default)]
+struct Inner {
+    spans: SpanTable,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The recording backend behind an enabled [`Telemetry`] handle.
+#[derive(Debug)]
+pub struct Collector {
+    epoch: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl Collector {
+    fn new() -> Collector {
+        Collector {
+            epoch: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("telemetry collector poisoned")
+    }
+}
+
+/// A cheaply cloneable telemetry handle: either armed (shared
+/// [`Collector`]) or disabled (all recording calls are no-ops costing one
+/// branch).
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    collector: Option<Arc<Collector>>,
+}
+
+impl Telemetry {
+    /// A disabled handle — records nothing.
+    pub fn disabled() -> Telemetry {
+        Telemetry { collector: None }
+    }
+
+    /// An armed handle with a fresh collector.
+    pub fn enabled() -> Telemetry {
+        Telemetry {
+            collector: Some(Arc::new(Collector::new())),
+        }
+    }
+
+    /// `true` if recording is armed. Callers building expensive metric
+    /// keys (formatted names, per-function labels) should gate on this.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.collector.is_some()
+    }
+
+    /// Opens a span named `name`; it closes when the returned guard drops.
+    /// Nesting follows guard lifetimes.
+    pub fn span(&self, name: &str) -> Span {
+        match &self.collector {
+            None => Span { owner: None },
+            Some(c) => {
+                let now = c.now_ns();
+                let idx = c.lock().spans.open(name, now);
+                Span {
+                    owner: Some((Arc::clone(c), idx)),
+                }
+            }
+        }
+    }
+
+    /// Adds `delta` to counter `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        if let Some(c) = &self.collector {
+            *c.lock().counters.entry(name.to_owned()).or_insert(0) += delta;
+        }
+    }
+
+    /// Adds `delta` to a labeled counter (`name{k=v,…}`).
+    pub fn add_labeled(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        if self.is_enabled() {
+            self.add(&labeled(name, labels), delta);
+        }
+    }
+
+    /// Sets gauge `name` to `value` (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        if let Some(c) = &self.collector {
+            c.lock().gauges.insert(name.to_owned(), value);
+        }
+    }
+
+    /// Records one observation of `value` in histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        if let Some(c) = &self.collector {
+            c.lock()
+                .histograms
+                .entry(name.to_owned())
+                .or_default()
+                .record(value);
+        }
+    }
+
+    /// A snapshot of all counters, gauges and histograms as a
+    /// [`MetricsDoc`] (empty when disabled).
+    pub fn snapshot(&self) -> MetricsDoc {
+        let mut doc = MetricsDoc {
+            schema_version: SCHEMA_VERSION,
+            ..MetricsDoc::default()
+        };
+        if let Some(c) = &self.collector {
+            let inner = c.lock();
+            doc.counters = inner.counters.clone();
+            doc.gauges = inner.gauges.clone();
+            doc.histograms = inner.histograms.clone();
+        }
+        doc
+    }
+
+    /// A snapshot of all recorded spans, in start (pre-)order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        match &self.collector {
+            None => Vec::new(),
+            Some(c) => c.lock().spans.spans.clone(),
+        }
+    }
+
+    /// The Chrome `trace_event` JSON for all recorded spans.
+    pub fn trace_json(&self) -> String {
+        chrome_trace(&self.spans())
+    }
+
+    /// The metrics JSON document (counters, gauges, histograms).
+    pub fn metrics_json(&self) -> String {
+        self.snapshot().to_json()
+    }
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.is_enabled() {
+            "Telemetry(enabled)"
+        } else {
+            "Telemetry(disabled)"
+        })
+    }
+}
+
+/// Two handles are equal when they are both disabled or share one
+/// collector — so configuration structs carrying a handle (e.g.
+/// `BuildConfig`) keep a meaningful `PartialEq`.
+impl PartialEq for Telemetry {
+    fn eq(&self, other: &Telemetry) -> bool {
+        match (&self.collector, &other.collector) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+/// RAII guard for an open span; the span closes when this drops.
+#[must_use = "a span closes when its guard drops — bind it to a variable"]
+pub struct Span {
+    owner: Option<(Arc<Collector>, usize)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((c, idx)) = self.owner.take() {
+            let now = c.now_ns();
+            c.lock().spans.close(idx, now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let tel = Telemetry::disabled();
+        let _s = tel.span("build");
+        tel.add("c", 1);
+        tel.observe("h", 1);
+        tel.set_gauge("g", 1.0);
+        assert!(!tel.is_enabled());
+        assert!(tel.spans().is_empty());
+        let doc = tel.snapshot();
+        assert!(doc.counters.is_empty() && doc.histograms.is_empty() && doc.gauges.is_empty());
+    }
+
+    #[test]
+    fn span_nesting_and_ordering() {
+        let tel = Telemetry::enabled();
+        {
+            let _build = tel.span("build");
+            {
+                let _lower = tel.span("lower");
+                let _isel = tel.span("isel");
+            }
+            let _emit = tel.span("emit");
+        }
+        let spans = tel.spans();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        // Start order is pre-order over the tree.
+        assert_eq!(names, ["build", "lower", "isel", "emit"]);
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[2].parent, Some(1));
+        assert_eq!(spans[3].parent, Some(0));
+        assert_eq!(spans[2].depth, 2);
+        assert!(spans.iter().all(|s| s.closed));
+        // A child never starts before or outlives its parent.
+        for s in &spans {
+            if let Some(p) = s.parent {
+                assert!(s.start_ns >= spans[p].start_ns);
+                assert!(s.start_ns + s.dur_ns <= spans[p].start_ns + spans[p].dur_ns);
+            }
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_and_clones_share() {
+        let tel = Telemetry::enabled();
+        let clone = tel.clone();
+        tel.add("nop.inserted", 2);
+        clone.add("nop.inserted", 3);
+        clone.add_labeled("nop.inserted", &[("heat", "cold")], 1);
+        let doc = tel.snapshot();
+        assert_eq!(doc.counters["nop.inserted"], 5);
+        assert_eq!(doc.counters["nop.inserted{heat=cold}"], 1);
+        assert_eq!(tel, clone);
+        assert_ne!(tel, Telemetry::enabled());
+        assert_eq!(Telemetry::disabled(), Telemetry::disabled());
+    }
+
+    #[test]
+    fn metrics_json_round_trips_through_the_parser() {
+        let tel = Telemetry::enabled();
+        tel.add("a", 7);
+        tel.observe("h", 4);
+        tel.observe("h", 4);
+        tel.set_gauge("g", 0.5);
+        let text = tel.metrics_json();
+        let doc = MetricsDoc::from_json(&text).unwrap();
+        assert_eq!(doc, tel.snapshot());
+        assert_eq!(doc.to_json(), text);
+    }
+
+    #[test]
+    fn trace_json_is_loadable() {
+        let tel = Telemetry::enabled();
+        {
+            let _a = tel.span("frontend");
+            let _b = tel.span("lex");
+        }
+        let v = json::parse(&tel.trace_json()).unwrap();
+        assert_eq!(v.get("traceEvents").unwrap().as_arr().unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Typed metrics: counters, sparse value histograms, heat buckets.
+//!
+//! Counters are additive `u64`s keyed by name; labeled variants encode
+//! their labels into the key (`nop.inserted{heat=cold}`), which keeps the
+//! metrics document a flat, diff-friendly map. Histograms count exact
+//! values — every quantity the pipeline observes (pad lengths, probability
+//! percentages, instruction classes) lives in a small discrete domain, so
+//! exact counting round-trips losslessly where bucketed approximations
+//! would not.
+
+use std::collections::BTreeMap;
+
+/// A sparse exact-value histogram over `u64` observations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Observation count per exact value.
+    pub counts: BTreeMap<u64, u64>,
+}
+
+impl Histogram {
+    /// Records one observation of `value`.
+    pub fn record(&mut self, value: u64) {
+        *self.counts.entry(value).or_insert(0) += 1;
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.counts.iter().map(|(v, n)| v * n).sum()
+    }
+
+    /// Mean observed value, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / total as f64
+        }
+    }
+
+    /// Smallest observed value.
+    pub fn min(&self) -> Option<u64> {
+        self.counts.keys().next().copied()
+    }
+
+    /// Largest observed value.
+    pub fn max(&self) -> Option<u64> {
+        self.counts.keys().next_back().copied()
+    }
+}
+
+/// Profile heat classification of a basic block, derived from its
+/// execution count on the same log scale the paper's probability curve
+/// uses (§3.1): `ln(1+count) / ln(1+x_max)` split into quartiles, with
+/// never-executed blocks their own bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HeatBucket {
+    /// Never executed (or no profile at all).
+    Cold,
+    /// Log-ratio in (0, 0.25).
+    Cool,
+    /// Log-ratio in [0.25, 0.5).
+    Warm,
+    /// Log-ratio in [0.5, 0.75).
+    Hot,
+    /// Log-ratio in [0.75, 1] — the hottest quartile, containing `x_max`.
+    Scorching,
+}
+
+impl HeatBucket {
+    /// All buckets, coldest first.
+    pub const ALL: [HeatBucket; 5] = [
+        HeatBucket::Cold,
+        HeatBucket::Cool,
+        HeatBucket::Warm,
+        HeatBucket::Hot,
+        HeatBucket::Scorching,
+    ];
+
+    /// The bucket of a block executed `count` times in a program whose
+    /// hottest block executed `x_max` times.
+    pub fn of(count: u64, x_max: u64) -> HeatBucket {
+        if count == 0 || x_max == 0 {
+            return HeatBucket::Cold;
+        }
+        let ratio = (1.0 + count as f64).ln() / (1.0 + x_max as f64).ln();
+        match ratio {
+            r if r < 0.25 => HeatBucket::Cool,
+            r if r < 0.50 => HeatBucket::Warm,
+            r if r < 0.75 => HeatBucket::Hot,
+            _ => HeatBucket::Scorching,
+        }
+    }
+
+    /// Stable label used in metric keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HeatBucket::Cold => "cold",
+            HeatBucket::Cool => "cool",
+            HeatBucket::Warm => "warm",
+            HeatBucket::Hot => "hot",
+            HeatBucket::Scorching => "scorching",
+        }
+    }
+}
+
+/// Formats a metric key with labels: `labeled("nop.inserted",
+/// &[("heat", "cold")])` → `nop.inserted{heat=cold}`. With no labels the
+/// bare name is returned.
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_owned();
+    }
+    let mut out = String::with_capacity(name.len() + 16);
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::default();
+        for v in [3, 3, 7, 0] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.sum(), 13);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(7));
+        assert!((h.mean() - 3.25).abs() < 1e-12);
+        assert_eq!(Histogram::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn heat_buckets_cover_the_scale() {
+        let x_max = 1_000_000;
+        assert_eq!(HeatBucket::of(0, x_max), HeatBucket::Cold);
+        assert_eq!(HeatBucket::of(x_max, x_max), HeatBucket::Scorching);
+        assert_eq!(HeatBucket::of(5, 0), HeatBucket::Cold);
+        // Monotone: hotter counts never map to colder buckets.
+        let mut last = HeatBucket::Cold;
+        for count in [0u64, 1, 10, 1_000, 50_000, 1_000_000] {
+            let b = HeatBucket::of(count, x_max);
+            assert!(b >= last, "{count} → {b:?} after {last:?}");
+            last = b;
+        }
+    }
+
+    #[test]
+    fn labeled_keys() {
+        assert_eq!(labeled("a.b", &[]), "a.b");
+        assert_eq!(
+            labeled("nop.inserted", &[("heat", "cold"), ("fn", "main")]),
+            "nop.inserted{heat=cold,fn=main}"
+        );
+    }
+}

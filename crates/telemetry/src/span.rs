@@ -1,0 +1,100 @@
+//! Hierarchical timed spans.
+//!
+//! A span is an interval on the pipeline's wall clock with a name, a
+//! parent, and a depth. Spans are recorded into a flat table in *start*
+//! order, so the table is a pre-order traversal of the span tree — the
+//! order assertions in tests and the Chrome-trace exporter both rely on
+//! this.
+
+/// One recorded span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (a pipeline phase: `lex`, `regalloc`, `nop_pass`, …).
+    pub name: String,
+    /// Index of the enclosing span in the span table, if any.
+    pub parent: Option<usize>,
+    /// Nesting depth; root spans have depth 0.
+    pub depth: u32,
+    /// Start time in nanoseconds since the collector's epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (0 until the span closes).
+    pub dur_ns: u64,
+    /// `true` once the span has closed.
+    pub closed: bool,
+}
+
+/// The span table plus the stack of currently open spans.
+#[derive(Debug, Default)]
+pub(crate) struct SpanTable {
+    pub(crate) spans: Vec<SpanRecord>,
+    open: Vec<usize>,
+}
+
+impl SpanTable {
+    /// Opens a span named `name` at `now_ns`, returning its index.
+    pub(crate) fn open(&mut self, name: &str, now_ns: u64) -> usize {
+        let parent = self.open.last().copied();
+        let idx = self.spans.len();
+        self.spans.push(SpanRecord {
+            name: name.to_owned(),
+            parent,
+            depth: parent.map_or(0, |p| self.spans[p].depth + 1),
+            start_ns: now_ns,
+            dur_ns: 0,
+            closed: false,
+        });
+        self.open.push(idx);
+        idx
+    }
+
+    /// Closes span `idx` at `now_ns`. Any still-open descendants (guards
+    /// dropped out of order) are closed at the same instant.
+    pub(crate) fn close(&mut self, idx: usize, now_ns: u64) {
+        while let Some(&top) = self.open.last() {
+            self.open.pop();
+            let span = &mut self.spans[top];
+            span.dur_ns = now_ns.saturating_sub(span.start_ns);
+            span.closed = true;
+            if top == idx {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_is_recorded_in_preorder() {
+        let mut t = SpanTable::default();
+        let a = t.open("a", 0);
+        let b = t.open("b", 10);
+        t.close(b, 30);
+        let c = t.open("c", 40);
+        t.close(c, 50);
+        t.close(a, 60);
+        let names: Vec<&str> = t.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert_eq!(t.spans[0].parent, None);
+        assert_eq!(t.spans[1].parent, Some(a));
+        assert_eq!(t.spans[2].parent, Some(a));
+        assert_eq!(t.spans[0].depth, 0);
+        assert_eq!(t.spans[1].depth, 1);
+        assert_eq!(t.spans[1].dur_ns, 20);
+        assert_eq!(t.spans[0].dur_ns, 60);
+        assert!(t.spans.iter().all(|s| s.closed));
+    }
+
+    #[test]
+    fn out_of_order_drops_close_descendants() {
+        let mut t = SpanTable::default();
+        let a = t.open("a", 0);
+        let _b = t.open("b", 5);
+        // Closing the parent force-closes the still-open child.
+        t.close(a, 20);
+        assert!(t.spans.iter().all(|s| s.closed));
+        assert_eq!(t.spans[1].dur_ns, 15);
+    }
+}

@@ -6,6 +6,7 @@
 //! pgsd check <file.mc> [options]                  statically validate a variant
 //! pgsd gadgets <file.mc> [--seed N] [--pnop SPEC] gadget / Survivor report
 //! pgsd disasm <file.mc> [--func NAME]             disassemble the image
+//! pgsd report <metrics.json>                      summarize a metrics file
 //!
 //! diversify / check options:
 //!   --pnop SPEC      uniform `0.5` or profile-guided range `0.0-0.3`
@@ -18,16 +19,22 @@
 //!   --regrand        also randomize register allocation (§6)
 //!   --validate       (diversify only) run the divcheck validator after
 //!                    the build and fail on any finding
+//!   --trace FILE     write a Chrome trace_event JSON of all phases
+//!   --metrics FILE   write the metrics JSON (counters/gauges/histograms)
 //! ```
+//!
+//! Diagnostics go to stderr; an abnormal program exit (fault, gas
+//! exhaustion, bad syscall) exits nonzero.
 
 use std::process::ExitCode;
 
 use pgsd::analysis::check_images;
-use pgsd::cc::driver::frontend;
+use pgsd::cc::driver::frontend_with;
 use pgsd::cc::emit::Image;
-use pgsd::core::driver::{build, run, train, BuildConfig, Input, DEFAULT_GAS};
+use pgsd::core::driver::{build, run_input_with, train_with, BuildConfig, Input, DEFAULT_GAS};
 use pgsd::core::Strategy;
 use pgsd::gadget::{find_gadgets, survivor, ScanConfig};
+use pgsd::telemetry::{MetricsDoc, Telemetry};
 use pgsd::x86::decode;
 use pgsd::x86::nop::NopTable;
 
@@ -44,7 +51,9 @@ fn main() -> ExitCode {
 
 fn dispatch(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
-        return Err("usage: pgsd <run|diversify|gadgets|disasm> <file.mc> …  (see --help)".into());
+        return Err(
+            "usage: pgsd <run|diversify|check|gadgets|disasm|report> <file> …  (see --help)".into(),
+        );
     };
     if cmd == "--help" || cmd == "-h" || cmd == "help" {
         print!("{}", HELP);
@@ -57,6 +66,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "check" => cmd_check(rest),
         "gadgets" => cmd_gadgets(rest),
         "disasm" => cmd_disasm(rest),
+        "report" => cmd_report(rest),
         other => Err(format!("unknown command `{other}` (try --help)")),
     }
 }
@@ -64,12 +74,16 @@ fn dispatch(args: &[String]) -> Result<(), String> {
 const HELP: &str = "\
 pgsd — profile-guided software diversity toolchain (CGO 2013 reproduction)
 
-  pgsd run <file.mc> [args…]
+  pgsd run <file.mc> [--trace FILE] [--metrics FILE] [args…]
   pgsd diversify <file.mc> [--pnop SPEC] [--seed N] [--train LIST]
-                           [--shift] [--subst] [--regrand] [--validate] [args…]
-  pgsd check <file.mc> [--pnop SPEC] [--seed N] [--shift] [--subst] [--regrand]
-  pgsd gadgets <file.mc> [--pnop SPEC] [--seed N]
+                           [--shift] [--subst] [--regrand] [--validate]
+                           [--trace FILE] [--metrics FILE] [args…]
+  pgsd check <file.mc> [--pnop SPEC] [--seed N] [--train LIST]
+                       [--shift] [--subst] [--regrand]
+                       [--trace FILE] [--metrics FILE]
+  pgsd gadgets <file.mc> [--pnop SPEC] [--seed N] [--train LIST]
   pgsd disasm <file.mc> [--func NAME]
+  pgsd report <metrics.json>
 
 SPEC is a probability (`0.5`) for uniform insertion or a range (`0.0-0.3`)
 for the profile-guided strategy; ranges trigger a training run.
@@ -79,7 +93,81 @@ the two equivalent modulo the declared transforms (translation validation:
 inserted bytes are NOP-table identities, substitutions stay in the known
 equivalence classes, shifts are a jump over dead padding, register
 randomization is a clean bijection, branches land on mapped targets).
+
+`--trace` writes Chrome trace_event JSON (open in Perfetto or
+chrome://tracing) spanning every pipeline phase; `--metrics` writes a flat
+JSON document of counters, gauges and histograms (`pgsd report` renders
+it as a table).
 ";
+
+/// Every flag the parser understands: name, whether it takes a value, and
+/// the subcommands it applies to.
+const FLAGS: &[(&str, bool, &[&str])] = &[
+    ("--pnop", true, &["diversify", "check", "gadgets"]),
+    ("--seed", true, &["diversify", "check", "gadgets"]),
+    ("--train", true, &["diversify", "check", "gadgets"]),
+    ("--shift", false, &["diversify", "check"]),
+    ("--subst", false, &["diversify", "check"]),
+    ("--regrand", false, &["diversify", "check"]),
+    ("--validate", false, &["diversify"]),
+    ("--trace", true, &["run", "diversify", "check"]),
+    ("--metrics", true, &["run", "diversify", "check"]),
+    ("--func", true, &["disasm"]),
+];
+
+fn allowed_flags(cmd: &str) -> Vec<&'static str> {
+    FLAGS
+        .iter()
+        .filter(|(_, _, cmds)| cmds.contains(&cmd))
+        .map(|(f, _, _)| *f)
+        .collect()
+}
+
+/// Classic Levenshtein distance, for "did you mean" suggestions.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+fn flag_error(cmd: &str, flag: &str, allowed: &[&str]) -> String {
+    let mut msg = match FLAGS.iter().find(|(f, _, _)| *f == flag) {
+        Some((_, _, cmds)) => format!(
+            "flag `{flag}` is not valid for `pgsd {cmd}` (only for `pgsd {}`)",
+            cmds.join("`, `pgsd ")
+        ),
+        None => {
+            let mut m = format!("unknown flag `{flag}`");
+            if let Some(best) = allowed
+                .iter()
+                .copied()
+                .min_by_key(|f| edit_distance(flag, f))
+            {
+                if edit_distance(flag, best) <= 2 {
+                    m.push_str(&format!(" — did you mean `{best}`?"));
+                }
+            }
+            m
+        }
+    };
+    if allowed.is_empty() {
+        msg.push_str(&format!("\n`pgsd {cmd}` takes no flags"));
+    } else {
+        msg.push_str(&format!(
+            "\nvalid flags for `pgsd {cmd}`: {}",
+            allowed.join(", ")
+        ));
+    }
+    msg
+}
 
 struct Parsed {
     source_name: String,
@@ -93,9 +181,12 @@ struct Parsed {
     regrand: bool,
     validate: bool,
     func: Option<String>,
+    trace: Option<String>,
+    metrics: Option<String>,
 }
 
-fn parse(rest: &[String]) -> Result<Parsed, String> {
+fn parse(cmd: &str, rest: &[String]) -> Result<Parsed, String> {
+    let allowed = allowed_flags(cmd);
     let Some(path) = rest.first() else {
         return Err("missing source file".into());
     };
@@ -112,10 +203,16 @@ fn parse(rest: &[String]) -> Result<Parsed, String> {
         regrand: false,
         validate: false,
         func: None,
+        trace: None,
+        metrics: None,
     };
     let mut it = rest[1..].iter();
     while let Some(arg) = it.next() {
-        match arg.as_str() {
+        let a = arg.as_str();
+        if a.starts_with("--") && !allowed.contains(&a) {
+            return Err(flag_error(cmd, a, &allowed));
+        }
+        match a {
             "--pnop" => {
                 let spec = it.next().ok_or("--pnop needs a value")?;
                 parsed.pnop = parse_strategy(spec)?;
@@ -132,6 +229,10 @@ fn parse(rest: &[String]) -> Result<Parsed, String> {
                 parsed.train_args = Some(parse_ints(list)?);
             }
             "--func" => parsed.func = Some(it.next().ok_or("--func needs a value")?.clone()),
+            "--trace" => parsed.trace = Some(it.next().ok_or("--trace needs a value")?.clone()),
+            "--metrics" => {
+                parsed.metrics = Some(it.next().ok_or("--metrics needs a value")?.clone());
+            }
             "--shift" => parsed.shift = true,
             "--subst" => parsed.subst = true,
             "--regrand" => parsed.regrand = true,
@@ -180,41 +281,77 @@ fn parse_ints(list: &str) -> Result<Vec<i32>, String> {
         .collect()
 }
 
-fn compile_baseline(p: &Parsed) -> Result<(pgsd::cc::ir::Module, Image), String> {
-    let module = frontend(&p.source_name, &p.source).map_err(|e| e.to_string())?;
-    let image = build(&module, None, &BuildConfig::baseline()).map_err(|e| e.to_string())?;
+/// Arms a collector when `--trace` or `--metrics` was requested.
+fn telemetry_for(p: &Parsed) -> Telemetry {
+    if p.trace.is_some() || p.metrics.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    }
+}
+
+/// Writes the requested trace / metrics files (also on failed runs, so a
+/// crashing program still leaves its telemetry behind).
+fn write_telemetry(p: &Parsed, tel: &Telemetry) -> Result<(), String> {
+    if let Some(path) = &p.trace {
+        std::fs::write(path, tel.trace_json())
+            .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
+        eprintln!("trace written to {path}");
+    }
+    if let Some(path) = &p.metrics {
+        std::fs::write(path, tel.metrics_json())
+            .map_err(|e| format!("cannot write metrics `{path}`: {e}"))?;
+        eprintln!("metrics written to {path}");
+    }
+    Ok(())
+}
+
+fn compile_baseline(p: &Parsed, tel: &Telemetry) -> Result<(pgsd::cc::ir::Module, Image), String> {
+    let module = frontend_with(&p.source_name, &p.source, tel).map_err(|e| e.to_string())?;
+    let config = BuildConfig::baseline().with_telemetry(tel.clone());
+    let image = build(&module, None, &config).map_err(|e| e.to_string())?;
     Ok((module, image))
 }
 
-fn report_run(image: &Image, args: &[i32]) -> u64 {
-    let (exit, stats) = run(image, args, DEFAULT_GAS);
+/// Runs `image`, echoing its printed values to stdout. A normal exit
+/// reports the status and returns the cycle count; an abnormal exit
+/// (fault, gas, bad syscall) is an error — the caller routes it to
+/// stderr and the process exits nonzero.
+fn report_run(image: &Image, args: &[i32], tel: &Telemetry, label: &str) -> Result<u64, String> {
+    let (exit, stats) = run_input_with(image, &Input::args(args), DEFAULT_GAS, tel, label);
     for v in &stats.output {
         println!("{v}");
     }
     match exit.status() {
-        Some(s) => println!(
-            "exit {s}   ({} instructions, {} cycles, {} d-cache misses)",
-            stats.instructions, stats.cycles, stats.dcache_misses
-        ),
-        None => println!("abnormal exit: {exit:?}"),
+        Some(s) => {
+            println!(
+                "exit {s}   ({} instructions, {} cycles, {} d-cache misses)",
+                stats.instructions, stats.cycles, stats.dcache_misses
+            );
+            Ok(stats.cycles)
+        }
+        None => Err(format!("abnormal exit: {exit:?}")),
     }
-    stats.cycles
 }
 
 fn cmd_run(rest: &[String]) -> Result<(), String> {
-    let p = parse(rest)?;
-    let (_, image) = compile_baseline(&p)?;
-    println!(
-        "compiled `{}`: {} bytes of text, {} functions",
-        p.source_name,
-        image.text.len(),
-        image.funcs.len()
-    );
-    report_run(&image, &p.run_args);
-    Ok(())
+    let p = parse("run", rest)?;
+    let tel = telemetry_for(&p);
+    let result = (|| {
+        let (_, image) = compile_baseline(&p, &tel)?;
+        println!(
+            "compiled `{}`: {} bytes of text, {} functions",
+            p.source_name,
+            image.text.len(),
+            image.funcs.len()
+        );
+        report_run(&image, &p.run_args, &tel, "run").map(|_| ())
+    })();
+    write_telemetry(&p, &tel)?;
+    result
 }
 
-fn config_of(p: &Parsed) -> BuildConfig {
+fn config_of(p: &Parsed, tel: &Telemetry) -> BuildConfig {
     BuildConfig {
         strategy: Some(p.pnop),
         with_xchg: false,
@@ -223,81 +360,100 @@ fn config_of(p: &Parsed) -> BuildConfig {
         reg_randomize: p.regrand,
         seed: p.seed,
         validate: p.validate,
+        telemetry: tel.clone(),
     }
 }
 
-fn build_diversified(p: &Parsed, module: &pgsd::cc::ir::Module) -> Result<Image, String> {
+fn build_diversified(
+    p: &Parsed,
+    module: &pgsd::cc::ir::Module,
+    tel: &Telemetry,
+) -> Result<Image, String> {
     let profile = if p.pnop.needs_profile() || p.subst {
         let t_args = p.train_args.clone().unwrap_or_else(|| p.run_args.clone());
         Some(
-            train(module, &[Input::args(&t_args)], DEFAULT_GAS)
+            train_with(module, &[Input::args(&t_args)], DEFAULT_GAS, tel)
                 .map_err(|e| format!("training failed: {e}"))?,
         )
     } else {
         None
     };
-    build(module, profile.as_ref(), &config_of(p)).map_err(|e| e.to_string())
+    build(module, profile.as_ref(), &config_of(p, tel)).map_err(|e| e.to_string())
 }
 
 fn cmd_diversify(rest: &[String]) -> Result<(), String> {
-    let p = parse(rest)?;
-    let (module, baseline) = compile_baseline(&p)?;
-    let image = build_diversified(&p, &module)?;
-    println!(
-        "diversified `{}` with {} (seed {}): text {} → {} bytes",
-        p.source_name,
-        p.pnop,
-        p.seed,
-        baseline.text.len(),
-        image.text.len()
-    );
-    println!("— baseline:");
-    let base_cycles = report_run(&baseline, &p.run_args);
-    println!("— diversified:");
-    let div_cycles = report_run(&image, &p.run_args);
-    if base_cycles > 0 {
+    let p = parse("diversify", rest)?;
+    let tel = telemetry_for(&p);
+    let result = (|| {
+        let (module, baseline) = compile_baseline(&p, &tel)?;
+        let image = build_diversified(&p, &module, &tel)?;
         println!(
-            "overhead: {:+.2}%",
-            (div_cycles as f64 / base_cycles as f64 - 1.0) * 100.0
+            "diversified `{}` with {} (seed {}): text {} → {} bytes",
+            p.source_name,
+            p.pnop,
+            p.seed,
+            baseline.text.len(),
+            image.text.len()
         );
-    }
-    Ok(())
+        println!("— baseline:");
+        let base_cycles = report_run(&baseline, &p.run_args, &tel, "baseline")?;
+        println!("— diversified:");
+        let div_cycles = report_run(&image, &p.run_args, &tel, "diversified")?;
+        if base_cycles > 0 {
+            let overhead = (div_cycles as f64 / base_cycles as f64 - 1.0) * 100.0;
+            tel.set_gauge("run.overhead_pct", overhead);
+            println!("overhead: {overhead:+.2}%");
+        }
+        Ok(())
+    })();
+    write_telemetry(&p, &tel)?;
+    result
 }
 
 fn cmd_check(rest: &[String]) -> Result<(), String> {
-    let mut p = parse(rest)?;
+    let mut p = parse("check", rest)?;
     // The checker runs here with its report printed, not inside `build`.
     p.validate = false;
-    let (module, baseline) = compile_baseline(&p)?;
-    let variant = build_diversified(&p, &module)?;
-    let transforms = config_of(&p).transforms();
-    match check_images(&baseline, &variant, &transforms) {
-        Ok(report) => {
-            println!(
-                "`{}` seed {}: OK — {} functions, {} instructions matched, \
-                 {} inserted NOPs, {} substitutions, {} shift jumps verified",
-                p.source_name,
-                p.seed,
-                report.functions,
-                report.matched,
-                report.inserted_nops,
-                report.substitutions,
-                report.shift_jumps
-            );
-            Ok(())
-        }
-        Err(diags) => {
-            for d in &diags {
-                eprintln!("{d}");
+    let tel = telemetry_for(&p);
+    let result = (|| {
+        let (module, baseline) = compile_baseline(&p, &tel)?;
+        let variant = build_diversified(&p, &module, &tel)?;
+        let transforms = config_of(&p, &tel).transforms();
+        let _span = tel.span("validate");
+        match check_images(&baseline, &variant, &transforms) {
+            Ok(report) => {
+                tel.add("validate.passed", 1);
+                println!(
+                    "`{}` seed {}: OK — {} functions, {} instructions matched, \
+                     {} inserted NOPs, {} substitutions, {} shift jumps verified",
+                    p.source_name,
+                    p.seed,
+                    report.functions,
+                    report.matched,
+                    report.inserted_nops,
+                    report.substitutions,
+                    report.shift_jumps
+                );
+                Ok(())
             }
-            Err(format!("validation failed with {} finding(s)", diags.len()))
+            Err(diags) => {
+                tel.add("validate.failed", 1);
+                tel.add("validate.findings", diags.len() as u64);
+                for d in &diags {
+                    eprintln!("{d}");
+                }
+                Err(format!("validation failed with {} finding(s)", diags.len()))
+            }
         }
-    }
+    })();
+    write_telemetry(&p, &tel)?;
+    result
 }
 
 fn cmd_gadgets(rest: &[String]) -> Result<(), String> {
-    let p = parse(rest)?;
-    let (module, baseline) = compile_baseline(&p)?;
+    let p = parse("gadgets", rest)?;
+    let tel = Telemetry::disabled();
+    let (module, baseline) = compile_baseline(&p, &tel)?;
     let cfg = ScanConfig::default();
     let gadgets = find_gadgets(&baseline.text, &cfg);
     println!(
@@ -306,7 +462,7 @@ fn cmd_gadgets(rest: &[String]) -> Result<(), String> {
         gadgets.len(),
         baseline.text.len()
     );
-    let image = build_diversified(&p, &module)?;
+    let image = build_diversified(&p, &module, &tel)?;
     let rep = survivor(&baseline.text, &image.text, &NopTable::new(), &cfg);
     println!(
         "after diversification ({}, seed {}): {} survive ({:.2}%)",
@@ -319,8 +475,8 @@ fn cmd_gadgets(rest: &[String]) -> Result<(), String> {
 }
 
 fn cmd_disasm(rest: &[String]) -> Result<(), String> {
-    let p = parse(rest)?;
-    let (_, image) = compile_baseline(&p)?;
+    let p = parse("disasm", rest)?;
+    let (_, image) = compile_baseline(&p, &Telemetry::disabled())?;
     for f in &image.funcs {
         if let Some(filter) = &p.func {
             if &f.name != filter {
@@ -358,5 +514,15 @@ fn cmd_disasm(rest: &[String]) -> Result<(), String> {
             }
         }
     }
+    Ok(())
+}
+
+fn cmd_report(rest: &[String]) -> Result<(), String> {
+    let [path] = rest else {
+        return Err("usage: pgsd report <metrics.json>".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let doc = MetricsDoc::from_json(&text).map_err(|e| format!("`{path}`: {e}"))?;
+    print!("{}", doc.summary_table());
     Ok(())
 }

@@ -13,7 +13,9 @@
 //! * [`core`] — **the paper's contribution**: profile-guided NOP insertion;
 //! * [`gadget`] — gadget scanning, the Survivor comparison, attack
 //!   feasibility;
-//! * [`workloads`] — the synthetic SPEC CPU 2006 suite and the PHP-like VM.
+//! * [`workloads`] — the synthetic SPEC CPU 2006 suite and the PHP-like VM;
+//! * [`telemetry`] — spans, metrics and trace export threaded through the
+//!   whole compile → diversify → execute pipeline.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for paper-vs-measured results.
@@ -38,5 +40,6 @@ pub use pgsd_core as core;
 pub use pgsd_emu as emu;
 pub use pgsd_gadget as gadget;
 pub use pgsd_profile as profile;
+pub use pgsd_telemetry as telemetry;
 pub use pgsd_workloads as workloads;
 pub use pgsd_x86 as x86;

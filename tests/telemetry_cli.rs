@@ -1,0 +1,197 @@
+//! CLI-level telemetry tests: drives the `pgsd` binary end-to-end and
+//! checks that `--trace` covers every pipeline phase, that `--metrics` is
+//! deterministic under a fixed seed (including a golden-file comparison),
+//! that `pgsd report` renders a summary, and that the argument-parsing
+//! and exit-code fixes hold.
+//!
+//! Regenerate the golden file after an intentional metrics change with:
+//! `PGSD_BLESS=1 cargo test --test telemetry_cli`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use pgsd::telemetry::MetricsDoc;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Runs the pgsd binary from the repo root with the given arguments.
+fn pgsd(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pgsd"))
+        .args(args)
+        .current_dir(repo_root())
+        .output()
+        .expect("pgsd binary runs")
+}
+
+/// A scratch path under the target temp dir, unique per test.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("pgsd-telemetry-cli");
+    fs::create_dir_all(&dir).expect("can create scratch dir");
+    dir.join(name)
+}
+
+/// The fixed diversify invocation shared by the determinism and golden
+/// tests — any change here must be mirrored in CI's smoke job.
+fn diversify_fixed(trace: Option<&Path>, metrics: &Path) -> Output {
+    let mut args: Vec<String> = [
+        "diversify",
+        "examples/sum.mc",
+        "--pnop",
+        "0.0-0.5",
+        "--train",
+        "10",
+        "--seed",
+        "7",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    if let Some(t) = trace {
+        args.push("--trace".into());
+        args.push(t.display().to_string());
+    }
+    args.push("--metrics".into());
+    args.push(metrics.display().to_string());
+    args.push("10".into());
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    pgsd(&argv)
+}
+
+#[test]
+fn trace_covers_every_pipeline_phase() {
+    let trace = scratch("phases.trace.json");
+    let metrics = scratch("phases.metrics.json");
+    let out = diversify_fixed(Some(&trace), &metrics);
+    assert!(out.status.success(), "diversify failed: {out:?}");
+
+    let text = fs::read_to_string(&trace).expect("trace written");
+    for phase in [
+        "build",
+        "frontend",
+        "lex",
+        "parse",
+        "ir_build",
+        "verify",
+        "optimize",
+        "train",
+        "train_run",
+        "lower",
+        "isel",
+        "regalloc",
+        "frame",
+        "nop_pass",
+        "emit",
+        "execute",
+    ] {
+        assert!(
+            text.contains(&format!("\"name\":\"{phase}\"")),
+            "trace is missing phase {phase}"
+        );
+    }
+    // Chrome trace_event envelope.
+    assert!(text.starts_with("{\"traceEvents\":["));
+    assert!(text.contains("\"ph\":\"X\""));
+
+    let doc = MetricsDoc::from_json(&fs::read_to_string(&metrics).unwrap()).expect("metrics parse");
+    assert!(
+        doc.counters
+            .keys()
+            .any(|k| k.starts_with("nop.inserted{heat=")),
+        "metrics lack per-heat-bucket NOP counters: {:?}",
+        doc.counters.keys().collect::<Vec<_>>()
+    );
+    assert!(
+        doc.counters.contains_key("validate.passed") || doc.counters.contains_key("emit.functions")
+    );
+}
+
+#[test]
+fn fixed_seed_metrics_are_deterministic() {
+    let a = scratch("det_a.metrics.json");
+    let b = scratch("det_b.metrics.json");
+    assert!(diversify_fixed(None, &a).status.success());
+    assert!(diversify_fixed(None, &b).status.success());
+    assert_eq!(
+        fs::read(&a).unwrap(),
+        fs::read(&b).unwrap(),
+        "two fixed-seed diversify runs produced different metrics"
+    );
+}
+
+#[test]
+fn fixed_seed_metrics_match_golden_file() {
+    let metrics = scratch("golden.metrics.json");
+    assert!(diversify_fixed(None, &metrics).status.success());
+    let actual = fs::read_to_string(&metrics).unwrap();
+    let golden_path = repo_root().join("tests/golden/diversify_metrics.json");
+    if std::env::var("PGSD_BLESS").is_ok() {
+        fs::write(&golden_path, &actual).expect("can bless golden file");
+        return;
+    }
+    let golden = fs::read_to_string(&golden_path)
+        .expect("golden file exists (regenerate with PGSD_BLESS=1)");
+    assert_eq!(
+        actual, golden,
+        "metrics drifted from tests/golden/diversify_metrics.json; if the \
+         change is intentional, regenerate with PGSD_BLESS=1"
+    );
+}
+
+#[test]
+fn report_renders_summary_table() {
+    let metrics = scratch("report.metrics.json");
+    assert!(diversify_fixed(None, &metrics).status.success());
+    let out = pgsd(&["report", &metrics.display().to_string()]);
+    assert!(out.status.success(), "report failed: {out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("schema"), "no schema line: {text}");
+    assert!(text.contains("nop.inserted"), "no nop counters: {text}");
+    assert!(
+        text.contains("emu.cycles"),
+        "no emulator histograms: {text}"
+    );
+}
+
+#[test]
+fn abnormal_exit_is_nonzero_and_on_stderr() {
+    let crash = scratch("crash.mc");
+    fs::write(
+        &crash,
+        "int f(int n) { return f(n + 1); }\nint main() { return f(0); }\n",
+    )
+    .unwrap();
+    let out = pgsd(&["run", &crash.display().to_string()]);
+    assert!(!out.status.success(), "crashing program must exit nonzero");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("abnormal exit"), "stderr: {stderr}");
+    assert!(
+        !String::from_utf8(out.stdout).unwrap().contains("abnormal"),
+        "abnormal-exit diagnostics belong on stderr"
+    );
+}
+
+#[test]
+fn unknown_flag_suggests_nearest() {
+    let out = pgsd(&["diversify", "examples/sum.mc", "--sed", "7"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("did you mean `--seed`"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("--pnop"),
+        "should list valid flags: {stderr}"
+    );
+}
+
+#[test]
+fn known_flag_on_wrong_command_names_the_right_one() {
+    let out = pgsd(&["run", "examples/sum.mc", "--validate", "10"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("not valid for `pgsd run`") && stderr.contains("diversify"),
+        "stderr: {stderr}"
+    );
+}
