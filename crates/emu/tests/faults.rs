@@ -1,0 +1,142 @@
+//! Fault-path edge cases: the differential fuzzer compares baseline and
+//! diversified variants by fault *class*, so every abnormal exit must be
+//! (a) the architecturally correct class and (b) bit-for-bit stable
+//! across runs. A fault that drifted between runs — or between variants
+//! executing the same abstract operation — would show up as a spurious
+//! divergence.
+
+use pgsd_emu::{Emulator, Exit, Fault};
+use pgsd_x86::{assemble, Inst, Mem, Reg};
+
+const TEXT_BASE: u32 = 0x1000;
+const DATA_BASE: u32 = 0x10_0000;
+const DATA_LEN: usize = 4096;
+const STACK_TOP: u32 = 0x100_0000;
+const GAS: u64 = 50_000_000;
+
+/// Assembles and runs `insts` (no exit stub appended — these programs are
+/// expected to fault), returning the exit status.
+fn run(insts: &[Inst]) -> Exit {
+    let text = assemble(insts).expect("assembles");
+    let mut emu = Emulator::new(TEXT_BASE, text, DATA_BASE, vec![0; DATA_LEN], STACK_TOP);
+    emu.cpu.eip = TEXT_BASE;
+    emu.run(GAS)
+}
+
+/// Address of instruction `index` within the assembled `insts`.
+fn addr_of(insts: &[Inst], index: usize) -> u32 {
+    let prefix = assemble(&insts[..index]).expect("assembles");
+    TEXT_BASE + prefix.len() as u32
+}
+
+/// Runs twice and asserts the exits are identical — fault codes must be a
+/// pure function of the program.
+fn run_deterministic(insts: &[Inst]) -> Exit {
+    let first = run(insts);
+    let second = run(insts);
+    assert_eq!(first, second, "fault is not deterministic");
+    first
+}
+
+#[test]
+fn division_by_zero_raises_divide_error_at_the_idiv() {
+    let insts = [
+        Inst::MovRI(Reg::Eax, 7),
+        Inst::Cdq,
+        Inst::MovRI(Reg::Ecx, 0),
+        Inst::IdivR(Reg::Ecx),
+    ];
+    let exit = run_deterministic(&insts);
+    assert_eq!(
+        exit,
+        Exit::DivideError {
+            addr: addr_of(&insts, 3)
+        }
+    );
+}
+
+#[test]
+fn int_min_over_minus_one_raises_divide_error_not_wraparound() {
+    // The quotient 2^31 does not fit in i32: #DE, same class as /0.
+    let insts = [
+        Inst::MovRI(Reg::Eax, i32::MIN),
+        Inst::Cdq,
+        Inst::MovRI(Reg::Ecx, -1),
+        Inst::IdivR(Reg::Ecx),
+    ];
+    let exit = run_deterministic(&insts);
+    assert_eq!(
+        exit,
+        Exit::DivideError {
+            addr: addr_of(&insts, 3)
+        }
+    );
+}
+
+#[test]
+fn store_past_the_data_segment_faults_unmapped_at_the_exact_address() {
+    // One element past the end of a DATA_LEN-byte array.
+    let oob = DATA_BASE + DATA_LEN as u32;
+    let insts = [Inst::MovMI(
+        Mem {
+            base: None,
+            index: None,
+            disp: oob as i32,
+        },
+        0x5555_5555,
+    )];
+    let exit = run_deterministic(&insts);
+    assert_eq!(exit, Exit::Fault(Fault::Unmapped { addr: oob }));
+}
+
+#[test]
+fn store_into_the_text_segment_is_write_protected() {
+    let insts = [Inst::MovMI(
+        Mem {
+            base: None,
+            index: None,
+            disp: TEXT_BASE as i32,
+        },
+        0,
+    )];
+    let exit = run_deterministic(&insts);
+    assert_eq!(exit, Exit::Fault(Fault::WriteProtected { addr: TEXT_BASE }));
+}
+
+#[test]
+fn jumping_into_the_data_segment_violates_w_xor_x() {
+    let insts = [
+        Inst::MovRI(Reg::Ecx, DATA_BASE as i32),
+        Inst::JmpR(Reg::Ecx),
+    ];
+    let exit = run_deterministic(&insts);
+    assert_eq!(exit, Exit::Fault(Fault::NotExecutable { addr: DATA_BASE }));
+}
+
+#[test]
+fn unbounded_recursion_exhausts_the_stack_deterministically() {
+    // `call -5` is a one-instruction self-loop: each iteration pushes a
+    // return address and re-enters itself, marching esp down through the
+    // whole 1 MiB stack segment. The first push below the segment base
+    // must fault Unmapped at exactly stack_base - 4 — not overwrite data,
+    // not wrap, not run out of gas first.
+    let stack_base = STACK_TOP - pgsd_emu::mem::STACK_SIZE;
+    let exit = run_deterministic(&[Inst::CallRel(-5)]);
+    assert_eq!(
+        exit,
+        Exit::Fault(Fault::Unmapped {
+            addr: stack_base - 4
+        })
+    );
+}
+
+#[test]
+fn gas_exhaustion_is_reported_as_out_of_gas_not_a_fault() {
+    // The same self-loop under a tiny budget must exit OutOfGas: the
+    // fuzzer's runner distinguishes "still running" from "crashed", and
+    // a gas exit misclassified as a fault would be a false divergence.
+    let text = assemble(&[Inst::CallRel(-5)]).expect("assembles");
+    let mut emu = Emulator::new(TEXT_BASE, text, DATA_BASE, vec![0; DATA_LEN], STACK_TOP);
+    emu.cpu.eip = TEXT_BASE;
+    assert_eq!(emu.run(100), Exit::OutOfGas);
+}

@@ -1,0 +1,320 @@
+//! # pgsd-fuzz — differential fuzzing of diversified variants
+//!
+//! The dynamic half of the correctness story. The static validator
+//! (`pgsd-analysis`'s divcheck) *proves* variant equivalence from the
+//! code bytes; this crate *observes* it, generating random MiniC
+//! programs, diversifying each under many (seed, transform-set) pairs,
+//! and running baseline and variants on the emulator with matched
+//! inputs. The two oracles cross-check each other on every case: a
+//! dynamic divergence the validator accepted, or a validator rejection
+//! of a behaviorally identical variant, are both findings.
+//!
+//! * [`gen`] — seeded, grammar-aware program generator (always
+//!   terminating, always fully initialized);
+//! * [`diff`] — variant builder (with a test-only [`diff::Sabotage`]
+//!   hook), matched-input execution, outcome comparison;
+//! * [`shrink`] — greedy structural minimizer for failing cases;
+//! * [`corpus`] — reproducer and report serialization, corpus replay;
+//! * [`fuzz`] — the top-level loop tying them together.
+//!
+//! # Examples
+//!
+//! A tiny healthy run — no findings, deterministic report:
+//!
+//! ```
+//! use pgsd_fuzz::{fuzz, FuzzConfig};
+//! use pgsd_telemetry::Telemetry;
+//!
+//! let config = FuzzConfig { iters: 2, seed: 1, ..FuzzConfig::default() };
+//! let report = fuzz(&config, None, &Telemetry::disabled()).unwrap();
+//! assert_eq!(report.programs, 2);
+//! assert!(report.findings.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod diff;
+pub mod gen;
+pub mod shrink;
+
+use std::path::Path;
+
+use pgsd_telemetry::Telemetry;
+
+use crate::corpus::{finding_id, Finding, FuzzReport};
+use crate::diff::{inputs_for, run_case, CaseResult, Sabotage, TransformSet};
+use crate::gen::{generate, FuzzProgram, GenOptions};
+use crate::shrink::shrink;
+
+pub use crate::corpus::{replay, ReplayReport};
+pub use crate::diff::Outcome;
+
+/// Configuration of one fuzzing session.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Number of programs to generate.
+    pub iters: u64,
+    /// Base seed; the whole session is a pure function of it.
+    pub seed: u64,
+    /// Transform sets to exercise per program.
+    pub transforms: Vec<TransformSet>,
+    /// Diversified variants per (program, transform set).
+    pub variants_per_set: usize,
+    /// Stop capturing findings after this many (counters keep counting).
+    pub max_findings: usize,
+    /// Shrinker predicate-evaluation budget per finding.
+    pub shrink_budget: usize,
+    /// Test-only fault injection (see [`diff::Sabotage`]).
+    pub sabotage: Option<Sabotage>,
+    /// Program-generator knobs.
+    pub gen: GenOptions,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            iters: 100,
+            seed: 1,
+            transforms: TransformSet::ALL.to_vec(),
+            variants_per_set: 2,
+            max_findings: 8,
+            shrink_budget: 300,
+            sabotage: None,
+            gen: GenOptions::default(),
+        }
+    }
+}
+
+/// The variant seed for iteration `program_seed`, transform-set index
+/// `ti`, variant index `k` — spread so the seed-derived probability tier
+/// (`seed % 3`) varies across a session.
+fn variant_seed_for(program_seed: u64, ti: usize, k: usize) -> u64 {
+    program_seed
+        .wrapping_mul(31)
+        .wrapping_add(97 * ti as u64 + k as u64 + 1)
+}
+
+/// The program seed for iteration `iter` of a session with base `seed`.
+fn program_seed_for(seed: u64, iter: u64) -> u64 {
+    seed.wrapping_mul(1_000_003).wrapping_add(iter)
+}
+
+/// Runs a fuzzing session. When `corpus_dir` is given, every captured
+/// finding is written there as a reproducer and the session summary as
+/// `report.json`.
+///
+/// The session is a pure function of `config`: identical configs produce
+/// identical reports, byte for byte.
+///
+/// # Errors
+///
+/// Returns an error only for corpus filesystem problems; findings (and
+/// even toolchain build errors) are captured in the report instead.
+pub fn fuzz(
+    config: &FuzzConfig,
+    corpus_dir: Option<&Path>,
+    tel: &Telemetry,
+) -> Result<FuzzReport, String> {
+    let _span = tel.span("fuzz");
+    let mut report = FuzzReport {
+        iters: config.iters,
+        seed: config.seed,
+        transforms: config
+            .transforms
+            .iter()
+            .map(|t| t.label().to_owned())
+            .collect(),
+        variants_per_set: config.variants_per_set,
+        ..FuzzReport::default()
+    };
+
+    for iter in 0..config.iters {
+        let program_seed = program_seed_for(config.seed, iter);
+        let program = generate(program_seed, &config.gen);
+        let inputs = inputs_for(program_seed);
+        report.programs += 1;
+        tel.add("fuzz.programs", 1);
+
+        'tsets: for (ti, &tset) in config.transforms.iter().enumerate() {
+            for k in 0..config.variants_per_set {
+                let variant_seed = variant_seed_for(program_seed, ti, k);
+                report.cases += 1;
+                tel.add_labeled("fuzz.cases", &[("transforms", tset.label())], 1);
+                let outcome = run_case(&program, tset, variant_seed, &inputs, config.sabotage);
+                let failed = match &outcome {
+                    Err(_) => {
+                        report.build_errors += 1;
+                        tel.add("fuzz.build_errors", 1);
+                        true
+                    }
+                    Ok(res) if res.baseline_out_of_gas => {
+                        report.skipped_out_of_gas += 1;
+                        tel.add("fuzz.skipped_out_of_gas", 1);
+                        // Gas depends only on the program, not the
+                        // variant: every other case of it would also be
+                        // skipped.
+                        break 'tsets;
+                    }
+                    Ok(res) => {
+                        if res.dynamic_diverged {
+                            report.divergences += 1;
+                            tel.add_labeled("fuzz.divergences", &[("transforms", tset.label())], 1);
+                        }
+                        if res.static_rejected {
+                            report.static_rejections += 1;
+                            tel.add_labeled(
+                                "fuzz.static_rejections",
+                                &[("transforms", tset.label())],
+                                1,
+                            );
+                        }
+                        res.is_failure()
+                    }
+                };
+                if !failed || report.findings.len() >= config.max_findings {
+                    continue;
+                }
+                let finding = capture_finding(
+                    config,
+                    iter,
+                    program_seed,
+                    &program,
+                    tset,
+                    variant_seed,
+                    &inputs,
+                    tel,
+                );
+                if let Some(dir) = corpus_dir {
+                    finding
+                        .write_to(dir)
+                        .map_err(|e| format!("cannot write reproducer: {e}"))?;
+                }
+                report.findings.push(finding);
+                tel.add("fuzz.findings", 1);
+            }
+        }
+    }
+
+    if let Some(dir) = corpus_dir {
+        report
+            .write_to(dir)
+            .map_err(|e| format!("cannot write report: {e}"))?;
+    }
+    Ok(report)
+}
+
+/// Shrinks a failing case and packages it as a [`Finding`].
+#[allow(clippy::too_many_arguments)]
+fn capture_finding(
+    config: &FuzzConfig,
+    iter: u64,
+    program_seed: u64,
+    program: &FuzzProgram,
+    tset: TransformSet,
+    variant_seed: u64,
+    inputs: &[Vec<i32>],
+    tel: &Telemetry,
+) -> Finding {
+    let _span = tel.span("shrink");
+    let still_fails =
+        &mut |p: &FuzzProgram| match run_case(p, tset, variant_seed, inputs, config.sabotage) {
+            Err(_) => true,
+            Ok(res) => !res.baseline_out_of_gas && res.is_failure(),
+        };
+    let (small, stats) = shrink(program, config.shrink_budget, still_fails);
+    tel.add("fuzz.shrink_evals", stats.evals as u64);
+
+    // Re-run the shrunk case once to capture its final verdicts.
+    let (expected, actual, dynamic, rejected, static_findings) =
+        match run_case(&small, tset, variant_seed, inputs, config.sabotage) {
+            Err(e) => (
+                Vec::new(),
+                Vec::new(),
+                false,
+                false,
+                vec![format!("build error: {e}")],
+            ),
+            Ok(CaseResult {
+                expected,
+                actual,
+                dynamic_diverged,
+                static_rejected,
+                static_findings,
+                ..
+            }) => (
+                expected,
+                actual,
+                dynamic_diverged,
+                static_rejected,
+                static_findings,
+            ),
+        };
+
+    let source = small.emit();
+    Finding {
+        id: finding_id(&source, tset, variant_seed, inputs),
+        iter,
+        program_seed,
+        tset,
+        variant_seed,
+        stmts_before: program.num_stmts(),
+        stmts_after: small.num_stmts(),
+        shrink_evals: stats.evals,
+        source,
+        inputs: inputs.to_vec(),
+        expected,
+        actual,
+        dynamic_diverged: dynamic,
+        static_rejected: rejected,
+        static_findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_session_has_no_findings_and_is_deterministic() {
+        let config = FuzzConfig {
+            iters: 4,
+            seed: 1,
+            ..FuzzConfig::default()
+        };
+        let a = fuzz(&config, None, &Telemetry::disabled()).unwrap();
+        let b = fuzz(&config, None, &Telemetry::disabled()).unwrap();
+        assert_eq!(a.divergences, 0, "{:#?}", a.findings);
+        assert_eq!(a.static_rejections, 0);
+        assert_eq!(a.build_errors, 0);
+        assert!(a.findings.is_empty());
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+    }
+
+    #[test]
+    fn sabotaged_session_captures_a_small_reproducer() {
+        let config = FuzzConfig {
+            iters: 6,
+            seed: 1,
+            transforms: vec![TransformSet::Subst],
+            variants_per_set: 1,
+            max_findings: 1,
+            sabotage: Some(Sabotage::BrokenSubst),
+            ..FuzzConfig::default()
+        };
+        let report = fuzz(&config, None, &Telemetry::disabled()).unwrap();
+        assert!(
+            !report.findings.is_empty(),
+            "sabotage produced no findings: {report:?}"
+        );
+        let f = &report.findings[0];
+        assert!(
+            f.stmts_after <= 10,
+            "reproducer not shrunk enough: {} statements\n{}",
+            f.stmts_after,
+            f.source
+        );
+        assert!(f.stmts_after <= f.stmts_before);
+    }
+}

@@ -1,0 +1,476 @@
+//! Greedy structural shrinking of failing fuzz cases.
+//!
+//! Works on the [`FuzzProgram`] tree, never on source text, so every
+//! candidate is a well-formed program by construction. Three families of
+//! edits are tried, largest-stride first:
+//!
+//! 1. **Function deletion** — drop a helper entirely, remapping calls to
+//!    later helpers and replacing calls to the deleted one with `1`;
+//! 2. **Statement deletion and hoisting** — remove a statement, or
+//!    replace an `if`/loop with (one arm of) its body;
+//! 3. **Expression simplification** — replace an expression with one of
+//!    its operands, with `0`/`1`, and shrink edge constants.
+//!
+//! The caller supplies the failure predicate (re-running the differential
+//! case); a candidate is accepted only if it still fails **and** is
+//! strictly smaller under a lexicographic (statements, expression nodes,
+//! constant weight) metric, which makes the greedy loop terminate without
+//! a fuel-per-round bound. The `budget` caps total predicate evaluations
+//! since each one compiles and runs programs.
+
+use crate::gen::{FExpr, FStmt, FuzzFn, FuzzProgram};
+
+/// Statistics from one shrink run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Predicate evaluations spent.
+    pub evals: usize,
+    /// Accepted (strictly smaller, still failing) candidates.
+    pub accepted: usize,
+}
+
+/// The strict-descent size metric: statements, then expression nodes,
+/// then non-trivial-constant weight. Every accepted edit must decrease
+/// this lexicographically.
+fn metric(p: &FuzzProgram) -> (usize, usize, usize) {
+    fn expr_nodes(e: &FExpr) -> usize {
+        match e {
+            FExpr::Const(_) | FExpr::Local(_) | FExpr::Param(_) | FExpr::Global(_) => 1,
+            FExpr::Mem(i) | FExpr::Arr(i) | FExpr::Un(_, i) => 1 + expr_nodes(i),
+            FExpr::Bin(_, l, r) | FExpr::DivRaw(l, r) | FExpr::Call(_, l, r) => {
+                1 + expr_nodes(l) + expr_nodes(r)
+            }
+        }
+    }
+    fn const_weight(e: &FExpr) -> usize {
+        match e {
+            // Variables weigh more than any constant so replacing a
+            // variable read with a literal is strict descent.
+            FExpr::Const(0) => 0,
+            FExpr::Const(1) => 1,
+            FExpr::Const(_) => 2,
+            FExpr::Local(_) | FExpr::Param(_) | FExpr::Global(_) => 3,
+            FExpr::Mem(i) | FExpr::Arr(i) | FExpr::Un(_, i) => const_weight(i),
+            FExpr::Bin(_, l, r) | FExpr::DivRaw(l, r) | FExpr::Call(_, l, r) => {
+                const_weight(l) + const_weight(r)
+            }
+        }
+    }
+    fn stmt_cost(s: &FStmt) -> (usize, usize) {
+        match s {
+            FStmt::Assign(_, e) | FStmt::StoreGlobal(_, e) | FStmt::Print(e) | FStmt::Ret(e) => {
+                (expr_nodes(e), const_weight(e))
+            }
+            FStmt::StoreMem(i, e) | FStmt::StoreArr(i, e) | FStmt::StoreOob(i, e) => (
+                expr_nodes(i) + expr_nodes(e),
+                const_weight(i) + const_weight(e),
+            ),
+            FStmt::If(c, t, f) => {
+                let (mut n, mut w) = (expr_nodes(c), const_weight(c));
+                for s in t.iter().chain(f) {
+                    let (sn, sw) = stmt_cost(s);
+                    n += sn;
+                    w += sw;
+                }
+                (n, w)
+            }
+            FStmt::Loop(b, body) => {
+                let (mut n, mut w) = (expr_nodes(b), const_weight(b));
+                for s in body {
+                    let (sn, sw) = stmt_cost(s);
+                    n += sn;
+                    w += sw;
+                }
+                (n, w)
+            }
+        }
+    }
+    let mut nodes = 0;
+    let mut weight = 0;
+    for s in p.helpers.iter().flat_map(|f| &f.body).chain(&p.main) {
+        let (n, w) = stmt_cost(s);
+        nodes += n;
+        weight += w;
+    }
+    (p.num_stmts(), nodes, weight)
+}
+
+/// One-edit simplifications of `e` (replacement candidates, best first).
+fn expr_variants(e: &FExpr) -> Vec<FExpr> {
+    let mut out = Vec::new();
+    if !matches!(e, FExpr::Const(0)) {
+        out.push(FExpr::Const(0));
+    }
+    match e {
+        FExpr::Const(c) => {
+            if *c != 0 && *c != 1 {
+                out.push(FExpr::Const(1));
+            }
+        }
+        FExpr::Local(_) | FExpr::Param(_) | FExpr::Global(_) => {}
+        FExpr::Mem(i) | FExpr::Arr(i) | FExpr::Un(_, i) => {
+            out.push((**i).clone());
+            for v in expr_variants(i) {
+                out.push(rebuild_unary(e, v));
+            }
+        }
+        FExpr::Bin(_, l, r) | FExpr::DivRaw(l, r) | FExpr::Call(_, l, r) => {
+            out.push((**l).clone());
+            out.push((**r).clone());
+            if matches!(e, FExpr::Call(..)) {
+                out.push(FExpr::Const(1));
+            }
+            for v in expr_variants(l) {
+                out.push(rebuild_binary(e, Some(v), None));
+            }
+            for v in expr_variants(r) {
+                out.push(rebuild_binary(e, None, Some(v)));
+            }
+        }
+    }
+    out
+}
+
+fn rebuild_unary(e: &FExpr, inner: FExpr) -> FExpr {
+    match e {
+        FExpr::Mem(_) => FExpr::Mem(Box::new(inner)),
+        FExpr::Arr(_) => FExpr::Arr(Box::new(inner)),
+        FExpr::Un(op, _) => FExpr::Un(op, Box::new(inner)),
+        _ => unreachable!("rebuild_unary on non-unary"),
+    }
+}
+
+fn rebuild_binary(e: &FExpr, l: Option<FExpr>, r: Option<FExpr>) -> FExpr {
+    let pick = |slot: Option<FExpr>, old: &FExpr| Box::new(slot.unwrap_or_else(|| old.clone()));
+    match e {
+        FExpr::Bin(op, ol, or) => FExpr::Bin(op, pick(l, ol), pick(r, or)),
+        FExpr::DivRaw(ol, or) => FExpr::DivRaw(pick(l, ol), pick(r, or)),
+        FExpr::Call(k, ol, or) => FExpr::Call(*k, pick(l, ol), pick(r, or)),
+        _ => unreachable!("rebuild_binary on non-binary"),
+    }
+}
+
+/// Variants of a single statement with one expression simplified.
+fn stmt_expr_variants(s: &FStmt) -> Vec<FStmt> {
+    let mut out = Vec::new();
+    match s {
+        FStmt::Assign(v, e) => {
+            out.extend(expr_variants(e).into_iter().map(|e| FStmt::Assign(*v, e)));
+        }
+        FStmt::StoreGlobal(g, e) => out.extend(
+            expr_variants(e)
+                .into_iter()
+                .map(|e| FStmt::StoreGlobal(*g, e)),
+        ),
+        FStmt::StoreMem(i, e) => {
+            out.extend(
+                expr_variants(i)
+                    .into_iter()
+                    .map(|i| FStmt::StoreMem(i, e.clone())),
+            );
+            out.extend(
+                expr_variants(e)
+                    .into_iter()
+                    .map(|e| FStmt::StoreMem(i.clone(), e)),
+            );
+        }
+        FStmt::StoreArr(i, e) => {
+            out.extend(
+                expr_variants(i)
+                    .into_iter()
+                    .map(|i| FStmt::StoreArr(i, e.clone())),
+            );
+            out.extend(
+                expr_variants(e)
+                    .into_iter()
+                    .map(|e| FStmt::StoreArr(i.clone(), e)),
+            );
+        }
+        FStmt::StoreOob(i, e) => {
+            out.extend(
+                expr_variants(i)
+                    .into_iter()
+                    .map(|i| FStmt::StoreOob(i, e.clone())),
+            );
+            out.extend(
+                expr_variants(e)
+                    .into_iter()
+                    .map(|e| FStmt::StoreOob(i.clone(), e)),
+            );
+        }
+        FStmt::Print(e) => {
+            out.extend(expr_variants(e).into_iter().map(FStmt::Print));
+        }
+        FStmt::Ret(e) => {
+            out.extend(expr_variants(e).into_iter().map(FStmt::Ret));
+        }
+        FStmt::If(c, t, f) => out.extend(
+            expr_variants(c)
+                .into_iter()
+                .map(|c| FStmt::If(c, t.clone(), f.clone())),
+        ),
+        FStmt::Loop(b, body) => out.extend(
+            expr_variants(b)
+                .into_iter()
+                .map(|b| FStmt::Loop(b, body.clone())),
+        ),
+    }
+    out
+}
+
+/// All one-edit variants of a statement list: deletions, hoists, nested
+/// edits, and expression simplifications.
+fn body_variants(stmts: &[FStmt]) -> Vec<Vec<FStmt>> {
+    let mut out = Vec::new();
+    let splice = |i: usize, replacement: Vec<FStmt>| {
+        let mut v: Vec<FStmt> = stmts.to_vec();
+        v.splice(i..=i, replacement);
+        v
+    };
+    for i in 0..stmts.len() {
+        out.push(splice(i, Vec::new()));
+    }
+    for (i, s) in stmts.iter().enumerate() {
+        match s {
+            FStmt::If(c, t, f) => {
+                out.push(splice(i, t.clone()));
+                out.push(splice(i, f.clone()));
+                for tv in body_variants(t) {
+                    out.push(splice(i, vec![FStmt::If(c.clone(), tv, f.clone())]));
+                }
+                for fv in body_variants(f) {
+                    out.push(splice(i, vec![FStmt::If(c.clone(), t.clone(), fv)]));
+                }
+            }
+            FStmt::Loop(b, body) => {
+                out.push(splice(i, body.clone()));
+                for bv in body_variants(body) {
+                    out.push(splice(i, vec![FStmt::Loop(b.clone(), bv)]));
+                }
+            }
+            _ => {}
+        }
+        for sv in stmt_expr_variants(s) {
+            out.push(splice(i, vec![sv]));
+        }
+    }
+    out
+}
+
+/// Rewrites call indices after helper `k` was deleted: calls to `k`
+/// become the constant `1`, calls past `k` shift down.
+fn remap_calls_expr(e: &FExpr, k: usize) -> FExpr {
+    match e {
+        FExpr::Const(_) | FExpr::Local(_) | FExpr::Param(_) | FExpr::Global(_) => e.clone(),
+        FExpr::Mem(i) => FExpr::Mem(Box::new(remap_calls_expr(i, k))),
+        FExpr::Arr(i) => FExpr::Arr(Box::new(remap_calls_expr(i, k))),
+        FExpr::Un(op, i) => FExpr::Un(op, Box::new(remap_calls_expr(i, k))),
+        FExpr::Bin(op, l, r) => FExpr::Bin(
+            op,
+            Box::new(remap_calls_expr(l, k)),
+            Box::new(remap_calls_expr(r, k)),
+        ),
+        FExpr::DivRaw(l, r) => FExpr::DivRaw(
+            Box::new(remap_calls_expr(l, k)),
+            Box::new(remap_calls_expr(r, k)),
+        ),
+        FExpr::Call(j, l, r) => {
+            if *j == k {
+                FExpr::Const(1)
+            } else {
+                let j = if *j > k { *j - 1 } else { *j };
+                FExpr::Call(
+                    j,
+                    Box::new(remap_calls_expr(l, k)),
+                    Box::new(remap_calls_expr(r, k)),
+                )
+            }
+        }
+    }
+}
+
+fn remap_calls_stmt(s: &FStmt, k: usize) -> FStmt {
+    match s {
+        FStmt::Assign(v, e) => FStmt::Assign(*v, remap_calls_expr(e, k)),
+        FStmt::StoreGlobal(g, e) => FStmt::StoreGlobal(*g, remap_calls_expr(e, k)),
+        FStmt::StoreMem(i, e) => FStmt::StoreMem(remap_calls_expr(i, k), remap_calls_expr(e, k)),
+        FStmt::StoreArr(i, e) => FStmt::StoreArr(remap_calls_expr(i, k), remap_calls_expr(e, k)),
+        FStmt::StoreOob(i, e) => FStmt::StoreOob(remap_calls_expr(i, k), remap_calls_expr(e, k)),
+        FStmt::Print(e) => FStmt::Print(remap_calls_expr(e, k)),
+        FStmt::Ret(e) => FStmt::Ret(remap_calls_expr(e, k)),
+        FStmt::If(c, t, f) => FStmt::If(
+            remap_calls_expr(c, k),
+            t.iter().map(|s| remap_calls_stmt(s, k)).collect(),
+            f.iter().map(|s| remap_calls_stmt(s, k)).collect(),
+        ),
+        FStmt::Loop(b, body) => FStmt::Loop(
+            remap_calls_expr(b, k),
+            body.iter().map(|s| remap_calls_stmt(s, k)).collect(),
+        ),
+    }
+}
+
+fn delete_helper(p: &FuzzProgram, k: usize) -> FuzzProgram {
+    let helpers = p
+        .helpers
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != k)
+        .map(|(_, f)| FuzzFn {
+            body: f.body.iter().map(|s| remap_calls_stmt(s, k)).collect(),
+        })
+        .collect();
+    let main = p.main.iter().map(|s| remap_calls_stmt(s, k)).collect();
+    FuzzProgram { helpers, main }
+}
+
+/// All one-edit candidate programs, largest stride first.
+fn candidates(p: &FuzzProgram) -> Vec<FuzzProgram> {
+    let mut out = Vec::new();
+    for k in (0..p.helpers.len()).rev() {
+        out.push(delete_helper(p, k));
+    }
+    for main in body_variants(&p.main) {
+        out.push(FuzzProgram {
+            helpers: p.helpers.clone(),
+            main,
+        });
+    }
+    for (k, f) in p.helpers.iter().enumerate() {
+        for body in body_variants(&f.body) {
+            let mut helpers = p.helpers.clone();
+            helpers[k] = FuzzFn { body };
+            out.push(FuzzProgram {
+                helpers,
+                main: p.main.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Greedily minimizes `program` while `still_fails` holds, spending at
+/// most `budget` predicate evaluations. Returns the smallest failing
+/// program found and the spend statistics.
+///
+/// The input itself is assumed failing (the caller observed the failure);
+/// if the predicate is flaky, the original is returned unchanged.
+pub fn shrink(
+    program: &FuzzProgram,
+    budget: usize,
+    still_fails: &mut dyn FnMut(&FuzzProgram) -> bool,
+) -> (FuzzProgram, ShrinkStats) {
+    let mut current = program.clone();
+    let mut stats = ShrinkStats::default();
+    loop {
+        let cur_metric = metric(&current);
+        let mut improved = false;
+        for cand in candidates(&current) {
+            if stats.evals >= budget {
+                return (current, stats);
+            }
+            if metric(&cand) >= cur_metric {
+                continue;
+            }
+            stats.evals += 1;
+            if still_fails(&cand) {
+                stats.accepted += 1;
+                current = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return (current, stats);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenOptions};
+
+    #[test]
+    fn shrinks_to_single_statement_under_trivial_predicate() {
+        // Predicate: "program still contains a Print". The shrinker must
+        // strip everything else.
+        let program = FuzzProgram {
+            helpers: vec![FuzzFn {
+                body: vec![FStmt::Assign(0, FExpr::Const(42))],
+            }],
+            main: vec![
+                FStmt::Assign(
+                    1,
+                    FExpr::Bin("+", Box::new(FExpr::Param(0)), Box::new(FExpr::Const(7))),
+                ),
+                FStmt::Print(FExpr::Local(1)),
+                FStmt::Loop(
+                    FExpr::Const(5),
+                    vec![FStmt::StoreGlobal(0, FExpr::Local(1))],
+                ),
+            ],
+        };
+        fn has_print(stmts: &[FStmt]) -> bool {
+            stmts.iter().any(|s| match s {
+                FStmt::Print(_) => true,
+                FStmt::If(_, t, f) => has_print(t) || has_print(f),
+                FStmt::Loop(_, b) => has_print(b),
+                _ => false,
+            })
+        }
+        let (small, stats) = shrink(&program, 10_000, &mut |p| {
+            has_print(&p.main) || p.helpers.iter().any(|f| has_print(&f.body))
+        });
+        assert_eq!(small.num_stmts(), 1, "{small:?}");
+        assert!(small.helpers.is_empty());
+        assert_eq!(small.main, vec![FStmt::Print(FExpr::Const(0))]);
+        assert!(stats.accepted > 0);
+    }
+
+    #[test]
+    fn shrink_terminates_and_shrunk_programs_compile() {
+        for seed in 0..4 {
+            let program = generate(seed, &GenOptions::default());
+            // Predicate accepts everything: the metric descent must still
+            // terminate (at the empty program) without budget exhaustion.
+            let (small, _) = shrink(&program, 100_000, &mut |_| true);
+            assert_eq!(small.num_stmts(), 0);
+            pgsd_cc::driver::compile("shrunk", &small.emit())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn helper_deletion_remaps_call_indices() {
+        let call = |k: usize| FExpr::Call(k, Box::new(FExpr::Const(0)), Box::new(FExpr::Const(0)));
+        let p = FuzzProgram {
+            helpers: vec![
+                FuzzFn { body: vec![] },
+                FuzzFn {
+                    body: vec![FStmt::Assign(0, call(0))],
+                },
+                FuzzFn { body: vec![] },
+            ],
+            main: vec![FStmt::Assign(0, call(1)), FStmt::Assign(1, call(2))],
+        };
+        let q = delete_helper(&p, 1);
+        assert_eq!(q.helpers.len(), 2);
+        // Call(1) (deleted) → Const(1); Call(2) → Call(1).
+        assert_eq!(q.main[0], FStmt::Assign(0, FExpr::Const(1)));
+        assert_eq!(q.main[1], FStmt::Assign(1, call(1)));
+        pgsd_cc::driver::compile("remap", &q.emit()).unwrap();
+    }
+
+    #[test]
+    fn budget_bounds_evaluations() {
+        let program = generate(3, &GenOptions::default());
+        let mut calls = 0usize;
+        let (_, stats) = shrink(&program, 25, &mut |_| {
+            calls += 1;
+            true
+        });
+        assert!(stats.evals <= 25);
+        assert_eq!(calls, stats.evals);
+    }
+}

@@ -1,0 +1,162 @@
+//! Encode→decode→encode roundtrips over the two instruction families the
+//! diversifying passes inject: the full NOP candidate table and every
+//! shape the substitution pass's equivalence classes can emit.
+//!
+//! The diversified-image validator works by decoding variant bytes and
+//! matching them against these families, so each emitted byte sequence
+//! must (a) decode to exactly one instruction, (b) decode to the
+//! *intended* instruction, and (c) re-encode to the identical bytes —
+//! i.e. the encoder must be canonical on this subset. A non-canonical
+//! encoding would make byte-level comparisons (Survivor stripping,
+//! divcheck matching) silently unsound.
+
+use pgsd_x86::nop::{NopKind, NopTable};
+use pgsd_x86::{decode, encode, AluOp, Body, Inst, Mem, Reg, ShiftOp};
+
+/// Asserts `inst` encodes, decodes back to itself, and re-encodes to the
+/// same bytes; returns the canonical encoding.
+fn roundtrip(inst: &Inst) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    encode(inst, &mut bytes).unwrap_or_else(|e| panic!("{inst:?} does not encode: {e}"));
+    let d = decode(&bytes).unwrap_or_else(|e| panic!("{inst:?} bytes do not decode: {e}"));
+    assert_eq!(d.len, bytes.len(), "{inst:?}: length mismatch");
+    assert_eq!(d.body, Body::Known(*inst), "{inst:?}: decode mismatch");
+    let mut again = Vec::new();
+    encode(inst, &mut again).unwrap();
+    assert_eq!(again, bytes, "{inst:?}: encoder is not deterministic");
+    bytes
+}
+
+#[test]
+fn full_nop_table_bytes_decode_to_their_architectural_identity() {
+    for kind in NopKind::ALL {
+        let bytes = kind.bytes();
+        let d = decode(bytes).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        assert_eq!(d.len, bytes.len(), "{kind:?}: trailing bytes");
+        assert_eq!(
+            d.body,
+            Body::Known(kind.as_inst()),
+            "{kind:?}: wrong identity"
+        );
+        // The canonical encoding of the identity is the table's bytes —
+        // encode(decode(bytes)) == bytes.
+        let mut re = Vec::new();
+        encode(&kind.as_inst(), &mut re).unwrap();
+        assert_eq!(re.as_slice(), bytes, "{kind:?}: re-encoding differs");
+    }
+}
+
+#[test]
+fn nop_table_variants_cover_the_kind_list() {
+    // Both table variants must contain only NopKind encodings, and the
+    // xchg table exactly the two extra bus-locking kinds.
+    let plain = NopTable::new();
+    let xchg = NopTable::with_xchg();
+    assert_eq!(plain.len(), 5);
+    assert_eq!(xchg.len(), 7);
+    for kind in NopKind::ALL {
+        assert_eq!(
+            plain.iter().any(|k| k == kind),
+            !kind.locks_bus(),
+            "{kind:?} in default table"
+        );
+        assert!(
+            xchg.iter().any(|k| k == kind),
+            "{kind:?} missing from xchg table"
+        );
+    }
+}
+
+/// Registers the substitution pass may rewrite (it never touches `esp`).
+const SUBST_REGS: [Reg; 7] = [
+    Reg::Eax,
+    Reg::Ecx,
+    Reg::Edx,
+    Reg::Ebx,
+    Reg::Ebp,
+    Reg::Esi,
+    Reg::Edi,
+];
+
+fn reg_direct(base: Reg) -> Mem {
+    Mem {
+        base: Some(base),
+        index: None,
+        disp: 0,
+    }
+}
+
+#[test]
+fn zero_idiom_class_roundtrips() {
+    // mov r, 0  ↔  xor r, r
+    for r in SUBST_REGS {
+        roundtrip(&Inst::MovRI(r, 0));
+        roundtrip(&Inst::AluRR(AluOp::Xor, r, r));
+    }
+}
+
+#[test]
+fn register_move_class_roundtrips() {
+    // mov d, s  ↔  lea d, [s]  ↔  push s; pop d
+    for d in SUBST_REGS {
+        for s in SUBST_REGS {
+            if d == s {
+                continue;
+            }
+            roundtrip(&Inst::MovRR(d, s));
+            roundtrip(&Inst::Lea(d, reg_direct(s)));
+            roundtrip(&Inst::PushR(s));
+            roundtrip(&Inst::PopR(d));
+        }
+    }
+}
+
+#[test]
+fn immediate_add_sub_class_roundtrips() {
+    // add r, i ↔ sub r, −i across the imm8/imm32 encoding boundary, plus
+    // the ±1 ↔ inc/dec corner.
+    for r in SUBST_REGS {
+        for imm in [1, 2, 127, 128, 4096, -1, -127, -128, i32::MAX] {
+            roundtrip(&Inst::AluRI(AluOp::Add, r, imm));
+            roundtrip(&Inst::AluRI(AluOp::Sub, r, imm));
+        }
+        roundtrip(&Inst::IncR(r));
+        roundtrip(&Inst::DecR(r));
+    }
+}
+
+#[test]
+fn shift_double_class_roundtrips() {
+    // shl r, 1  ↔  add r, r
+    for r in SUBST_REGS {
+        roundtrip(&Inst::ShiftRI(ShiftOp::Shl, r, 1));
+        roundtrip(&Inst::AluRR(AluOp::Add, r, r));
+    }
+}
+
+#[test]
+fn class_members_decode_unambiguously() {
+    // No two distinct class-member encodings may share bytes: collect
+    // every canonical encoding above and require uniqueness per inst.
+    let mut seen: Vec<(Vec<u8>, Inst)> = Vec::new();
+    let mut check = |inst: Inst| {
+        let bytes = roundtrip(&inst);
+        if let Some((_, prior)) = seen.iter().find(|(b, _)| *b == bytes) {
+            panic!("{inst:?} and {prior:?} share encoding {bytes:02x?}");
+        }
+        seen.push((bytes, inst));
+    };
+    for r in SUBST_REGS {
+        check(Inst::MovRI(r, 0));
+        check(Inst::AluRR(AluOp::Xor, r, r));
+        check(Inst::IncR(r));
+        check(Inst::DecR(r));
+        check(Inst::ShiftRI(ShiftOp::Shl, r, 1));
+        check(Inst::AluRR(AluOp::Add, r, r));
+        check(Inst::PushR(r));
+        check(Inst::PopR(r));
+    }
+    for kind in NopKind::ALL {
+        check(kind.as_inst());
+    }
+}

@@ -7,6 +7,7 @@
 //! pgsd gadgets <file.mc> [--seed N] [--pnop SPEC] gadget / Survivor report
 //! pgsd disasm <file.mc> [--func NAME]             disassemble the image
 //! pgsd report <metrics.json>                      summarize a metrics file
+//! pgsd fuzz [options]                             differential variant fuzzing
 //!
 //! diversify / check options:
 //!   --pnop SPEC      uniform `0.5` or profile-guided range `0.0-0.3`
@@ -26,6 +27,7 @@
 //! Diagnostics go to stderr; an abnormal program exit (fault, gas
 //! exhaustion, bad syscall) exits nonzero.
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use pgsd::analysis::check_images;
@@ -33,6 +35,8 @@ use pgsd::cc::driver::frontend_with;
 use pgsd::cc::emit::Image;
 use pgsd::core::driver::{build, run_input_with, train_with, BuildConfig, Input, DEFAULT_GAS};
 use pgsd::core::Strategy;
+use pgsd::fuzz::diff::TransformSet;
+use pgsd::fuzz::{fuzz, replay, FuzzConfig};
 use pgsd::gadget::{find_gadgets, survivor, ScanConfig};
 use pgsd::telemetry::{MetricsDoc, Telemetry};
 use pgsd::x86::decode;
@@ -67,6 +71,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "gadgets" => cmd_gadgets(rest),
         "disasm" => cmd_disasm(rest),
         "report" => cmd_report(rest),
+        "fuzz" => cmd_fuzz(rest),
         other => Err(format!("unknown command `{other}` (try --help)")),
     }
 }
@@ -84,6 +89,8 @@ pgsd — profile-guided software diversity toolchain (CGO 2013 reproduction)
   pgsd gadgets <file.mc> [--pnop SPEC] [--seed N] [--train LIST]
   pgsd disasm <file.mc> [--func NAME]
   pgsd report <metrics.json>
+  pgsd fuzz [--iters N] [--seed N] [--transforms LIST] [--corpus DIR]
+            [--variants K] [--replay DIR] [--trace FILE] [--metrics FILE]
 
 SPEC is a probability (`0.5`) for uniform insertion or a range (`0.0-0.3`)
 for the profile-guided strategy; ranges trigger a training run.
@@ -98,21 +105,34 @@ randomization is a clean bijection, branches land on mapped targets).
 chrome://tracing) spanning every pipeline phase; `--metrics` writes a flat
 JSON document of counters, gauges and histograms (`pgsd report` renders
 it as a table).
+
+`fuzz` generates random MiniC programs, diversifies each under several
+seeds per transform set (`--transforms` is a comma list drawn from
+nop,subst,shift,combo; default all four), runs baseline and variants on
+matched inputs, and cross-checks dynamic behaviour against the static
+validator. Failures are shrunk and saved as reproducers under `--corpus`
+(default `corpus/`) next to a deterministic `report.json`; `--replay DIR`
+re-runs every saved reproducer as a regression check instead of fuzzing.
 ";
 
 /// Every flag the parser understands: name, whether it takes a value, and
 /// the subcommands it applies to.
 const FLAGS: &[(&str, bool, &[&str])] = &[
     ("--pnop", true, &["diversify", "check", "gadgets"]),
-    ("--seed", true, &["diversify", "check", "gadgets"]),
+    ("--seed", true, &["diversify", "check", "gadgets", "fuzz"]),
     ("--train", true, &["diversify", "check", "gadgets"]),
     ("--shift", false, &["diversify", "check"]),
     ("--subst", false, &["diversify", "check"]),
     ("--regrand", false, &["diversify", "check"]),
     ("--validate", false, &["diversify"]),
-    ("--trace", true, &["run", "diversify", "check"]),
-    ("--metrics", true, &["run", "diversify", "check"]),
+    ("--trace", true, &["run", "diversify", "check", "fuzz"]),
+    ("--metrics", true, &["run", "diversify", "check", "fuzz"]),
     ("--func", true, &["disasm"]),
+    ("--iters", true, &["fuzz"]),
+    ("--transforms", true, &["fuzz"]),
+    ("--corpus", true, &["fuzz"]),
+    ("--variants", true, &["fuzz"]),
+    ("--replay", true, &["fuzz"]),
 ];
 
 fn allowed_flags(cmd: &str) -> Vec<&'static str> {
@@ -515,6 +535,146 @@ fn cmd_disasm(rest: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn cmd_fuzz(rest: &[String]) -> Result<(), String> {
+    let allowed = allowed_flags("fuzz");
+    let mut config = FuzzConfig::default();
+    let mut corpus = String::from("corpus");
+    let mut replay_dir: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut metrics: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let a = arg.as_str();
+        if !a.starts_with("--") {
+            return Err(format!(
+                "unexpected argument `{a}` — `pgsd fuzz` takes no positional arguments"
+            ));
+        }
+        if !allowed.contains(&a) {
+            return Err(flag_error("fuzz", a, &allowed));
+        }
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a {
+            "--iters" => {
+                config.iters = value(a)?.parse().map_err(|e| format!("bad iters: {e}"))?;
+            }
+            "--seed" => {
+                config.seed = value(a)?.parse().map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--variants" => {
+                config.variants_per_set = value(a)?
+                    .parse()
+                    .map_err(|e| format!("bad variants: {e}"))?;
+            }
+            "--transforms" => {
+                let list = value(a)?;
+                config.transforms = list
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| {
+                        TransformSet::parse(s.trim()).ok_or_else(|| {
+                            format!("bad transform `{s}` (expected nop, subst, shift or combo)")
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                if config.transforms.is_empty() {
+                    return Err("--transforms needs at least one of nop,subst,shift,combo".into());
+                }
+            }
+            "--corpus" => corpus = value(a)?,
+            "--replay" => replay_dir = Some(value(a)?),
+            "--trace" => trace = Some(value(a)?),
+            "--metrics" => metrics = Some(value(a)?),
+            _ => unreachable!("flag table and match arms out of sync"),
+        }
+    }
+
+    if let Some(dir) = replay_dir {
+        let report = replay(Path::new(&dir))?;
+        for case in &report.cases {
+            if case.passing {
+                println!("replay {}: ok", case.id);
+            } else {
+                eprintln!("replay {}: {}", case.id, case.detail);
+            }
+        }
+        println!(
+            "replayed {} reproducer(s): {} passing",
+            report.cases.len(),
+            report.passing()
+        );
+        return if report.all_passing() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} reproducer(s) still failing",
+                report.cases.len() - report.passing()
+            ))
+        };
+    }
+
+    let tel = if trace.is_some() || metrics.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let result = fuzz(&config, Some(Path::new(&corpus)), &tel);
+    if let Some(path) = &trace {
+        std::fs::write(path, tel.trace_json())
+            .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
+        eprintln!("trace written to {path}");
+    }
+    if let Some(path) = &metrics {
+        std::fs::write(path, tel.metrics_json())
+            .map_err(|e| format!("cannot write metrics `{path}`: {e}"))?;
+        eprintln!("metrics written to {path}");
+    }
+    let report = result?;
+    println!(
+        "fuzzed {} programs ({} cases, transforms {}, {} variants each): \
+         {} divergences, {} static rejections, {} build errors, {} skipped (gas)",
+        report.programs,
+        report.cases,
+        report.transforms.join(","),
+        report.variants_per_set,
+        report.divergences,
+        report.static_rejections,
+        report.build_errors,
+        report.skipped_out_of_gas
+    );
+    println!("report written to {corpus}/report.json");
+    if report.findings.is_empty()
+        && report.divergences == 0
+        && report.static_rejections == 0
+        && report.build_errors == 0
+    {
+        Ok(())
+    } else {
+        for f in &report.findings {
+            eprintln!(
+                "finding {}: transforms={} variant_seed={} shrunk {} → {} statements \
+                 (dynamic={}, static={}) — see {corpus}/{}.mc",
+                f.id,
+                f.tset.label(),
+                f.variant_seed,
+                f.stmts_before,
+                f.stmts_after,
+                f.dynamic_diverged,
+                f.static_rejected,
+                f.id
+            );
+        }
+        Err(format!(
+            "{} divergence(s), {} static rejection(s), {} build error(s)",
+            report.divergences, report.static_rejections, report.build_errors
+        ))
+    }
 }
 
 fn cmd_report(rest: &[String]) -> Result<(), String> {

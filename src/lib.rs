@@ -15,7 +15,9 @@
 //!   feasibility;
 //! * [`workloads`] — the synthetic SPEC CPU 2006 suite and the PHP-like VM;
 //! * [`telemetry`] — spans, metrics and trace export threaded through the
-//!   whole compile → diversify → execute pipeline.
+//!   whole compile → diversify → execute pipeline;
+//! * [`fuzz`] — differential fuzzing of diversified variants: program
+//!   generator, dynamic-vs-static oracle cross-check, shrinker, corpus.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for paper-vs-measured results.
@@ -38,6 +40,7 @@ pub use pgsd_analysis as analysis;
 pub use pgsd_cc as cc;
 pub use pgsd_core as core;
 pub use pgsd_emu as emu;
+pub use pgsd_fuzz as fuzz;
 pub use pgsd_gadget as gadget;
 pub use pgsd_profile as profile;
 pub use pgsd_telemetry as telemetry;

@@ -417,6 +417,56 @@ fn cases() -> u32 {
     }
 }
 
+/// One differential case: AST interpretation vs baseline vs one
+/// fully-diversified build. Shared by the property test and the promoted
+/// named regressions below.
+fn assert_case(stmts: &[GStmt], a: i32, b: i32, seed: u64) {
+    let source = emit_program(stmts, 4);
+    let program = parse(lex(&source).expect("lexes")).expect("parses");
+    let expected = AstInterp::new(&program).call("main", &[a, b]);
+
+    let module = frontend("cf", &source).expect("compiles");
+    let baseline = build(&module, None, &BuildConfig::baseline()).unwrap();
+    let (exit, _) = run(&baseline, &[a, b], 50_000_000);
+    assert_eq!(
+        exit.status(),
+        Some(expected),
+        "baseline mismatch (a={a}, b={b}) on\n{source}"
+    );
+
+    let config = BuildConfig::full_diversity(NopStrategy::uniform(0.4), seed);
+    let image = build(&module, None, &config).unwrap();
+    let (exit, _) = run(&image, &[a, b], 50_000_000);
+    assert_eq!(
+        exit.status(),
+        Some(expected),
+        "diversified mismatch (a={a}, b={b}, seed={seed}) on\n{source}"
+    );
+}
+
+/// Promoted from `tests/differential_cf.proptest-regressions` so the case
+/// stays covered even if that file is deleted: proptest shrank a past
+/// failure to `x0 = (x0 << x0) | ((0 + g) / x0)` with `a = 16, b = 0,
+/// seed = 0` — a variable shift count in `cl` clobbered by the spill
+/// rewriter allocating `ecx` for the neighbouring division.
+#[test]
+fn regression_variable_shift_count_feeding_division() {
+    use GExpr::{Bin, Const, Global, Var};
+    let stmts = [GStmt::Assign(
+        0,
+        Bin(
+            "|",
+            Box::new(Bin("<<", Box::new(Var(0)), Box::new(Var(0)))),
+            Box::new(Bin(
+                "/",
+                Box::new(Bin("+", Box::new(Const(0)), Box::new(Global))),
+                Box::new(Var(0)),
+            )),
+        ),
+    )];
+    assert_case(&stmts, 16, 0, 0);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(cases()))]
 
@@ -427,24 +477,6 @@ proptest! {
         b in -1000i32..1000,
         seed in 0u64..3,
     ) {
-        let source = emit_program(&stmts, 4);
-        let program = parse(lex(&source).expect("lexes")).expect("parses");
-        let expected = AstInterp::new(&program).call("main", &[a, b]);
-
-        let module = frontend("cf", &source).expect("compiles");
-        let baseline = build(&module, None, &BuildConfig::baseline()).unwrap();
-        let (exit, _) = run(&baseline, &[a, b], 50_000_000);
-        prop_assert_eq!(
-            exit.status(), Some(expected),
-            "baseline mismatch (a={}, b={}) on\n{}", a, b, source
-        );
-
-        let config = BuildConfig::full_diversity(NopStrategy::uniform(0.4), seed);
-        let image = build(&module, None, &config).unwrap();
-        let (exit, _) = run(&image, &[a, b], 50_000_000);
-        prop_assert_eq!(
-            exit.status(), Some(expected),
-            "diversified mismatch (a={}, b={}) on\n{}", a, b, source
-        );
+        assert_case(&stmts, a, b, seed);
     }
 }

@@ -1,0 +1,94 @@
+//! Workspace acceptance tests for the differential fuzzer: a healthy
+//! toolchain produces a deterministic, finding-free session end to end
+//! (generate → compile → diversify → run → compare → report), and an
+//! injected miscompile is caught, shrunk to a small reproducer, persisted
+//! to a corpus, and picked up again by replay.
+
+use std::fs;
+use std::path::PathBuf;
+
+use pgsd::fuzz::diff::{Sabotage, TransformSet};
+use pgsd::fuzz::{fuzz, replay, FuzzConfig};
+use pgsd::telemetry::Telemetry;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pgsd-fuzz-accept-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn healthy_session_is_clean_deterministic_and_replayable() {
+    let config = FuzzConfig {
+        iters: 8,
+        seed: 1,
+        ..FuzzConfig::default()
+    };
+    let dir = scratch_dir("healthy");
+    let report = fuzz(&config, Some(&dir), &Telemetry::disabled()).unwrap();
+
+    // Zero divergences from either oracle on every transform set.
+    assert_eq!(report.divergences, 0, "{:#?}", report.findings);
+    assert_eq!(report.static_rejections, 0);
+    assert_eq!(report.build_errors, 0);
+    assert!(report.findings.is_empty());
+    assert_eq!(report.cases, 8 * TransformSet::ALL.len() as u64 * 2);
+
+    // The written report is byte-identical across runs (no timestamps,
+    // no paths, no iteration-order dependence).
+    let first = fs::read_to_string(dir.join("report.json")).unwrap();
+    let again = fuzz(&config, None, &Telemetry::disabled()).unwrap();
+    assert_eq!(first, format!("{}\n", again.to_json()));
+
+    // An empty corpus replays as trivially green.
+    let replayed = replay(&dir).unwrap();
+    assert!(replayed.cases.is_empty());
+    assert!(replayed.all_passing());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sabotaged_pipeline_is_caught_shrunk_and_persisted() {
+    let config = FuzzConfig {
+        iters: 6,
+        seed: 1,
+        transforms: vec![TransformSet::Subst],
+        variants_per_set: 1,
+        max_findings: 1,
+        sabotage: Some(Sabotage::BrokenSubst),
+        ..FuzzConfig::default()
+    };
+    let dir = scratch_dir("sabotage");
+    let report = fuzz(&config, Some(&dir), &Telemetry::disabled()).unwrap();
+
+    assert!(
+        !report.findings.is_empty(),
+        "the broken subst rule went undetected: {report:?}"
+    );
+    let f = &report.findings[0];
+    assert!(
+        f.stmts_after <= 10,
+        "reproducer not small enough: {} statements\n{}",
+        f.stmts_after,
+        f.source
+    );
+    assert!(
+        fs::metadata(dir.join(format!("{}.mc", f.id))).is_ok(),
+        "reproducer source not written"
+    );
+    assert!(
+        fs::metadata(dir.join(format!("{}.json", f.id))).is_ok(),
+        "reproducer metadata not written"
+    );
+
+    // Replay re-runs the reproducer through the *production* pipeline
+    // (no sabotage), so the divergence it documents must be absent.
+    let replayed = replay(&dir).unwrap();
+    assert_eq!(replayed.cases.len(), report.findings.len());
+    assert!(
+        replayed.all_passing(),
+        "healthy pipeline failed a sabotage reproducer: {:?}",
+        replayed.cases
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}

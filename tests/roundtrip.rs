@@ -105,25 +105,41 @@ fn inst() -> impl Strategy<Value = Inst> {
     ]
 }
 
+/// decode(encode(i)) must reproduce `i` with the exact encoded length.
+/// The one intended exception: the two-byte diversifying NOPs are
+/// encodings of ordinary instructions (`mov esp, esp`, …), so the decoder
+/// reports their architectural identity — `NopKind::as_inst` — rather
+/// than the inserter's intent.
+fn assert_round_trip(i: &Inst) {
+    let mut bytes = Vec::new();
+    encode(i, &mut bytes).expect("generated instructions are encodable");
+    let d = decode(&bytes).expect("encoder output must decode");
+    assert_eq!(d.len, bytes.len(), "{i:?}");
+    let expected = match i {
+        Inst::Nop(k) => k.as_inst(),
+        other => *other,
+    };
+    assert_eq!(d.body, Body::Known(expected), "{i:?}");
+}
+
+/// Promoted from `tests/roundtrip.proptest-regressions` so the case stays
+/// covered even if that file is deleted: proptest shrank a past failure
+/// to `i = Nop(MovEspEsp)` — a two-byte NOP whose decoding is its
+/// architectural identity, not the `Inst::Nop` the inserter emitted.
+/// Sweeping all kinds keeps the whole family pinned.
+#[test]
+fn regression_two_byte_nops_decode_to_architectural_identity() {
+    for k in NopKind::ALL {
+        assert_round_trip(&Inst::Nop(k));
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(2048))]
 
-    /// decode(encode(i)) == i with the exact encoded length. The one
-    /// intended exception: the two-byte diversifying NOPs are encodings of
-    /// ordinary instructions (`mov esp, esp`, …), so the decoder reports
-    /// their architectural identity — `NopKind::as_inst` — rather than the
-    /// inserter's intent.
     #[test]
     fn encode_decode_round_trip(i in inst()) {
-        let mut bytes = Vec::new();
-        encode(&i, &mut bytes).expect("generated instructions are encodable");
-        let d = decode(&bytes).expect("encoder output must decode");
-        prop_assert_eq!(d.len, bytes.len());
-        let expected = match i {
-            Inst::Nop(k) => k.as_inst(),
-            other => other,
-        };
-        prop_assert_eq!(d.body, Body::Known(expected));
+        assert_round_trip(&i);
     }
 
     /// Decoding never reads past the declared length, so any byte suffix
