@@ -34,7 +34,8 @@ fn histogram(p: &pgsd_bench::Prepared, strategy: &Strategy) -> [usize; 5] {
 }
 
 fn main() {
-    let t = ProgressTimer::start("curve ablation (linear vs log)");
+    let threads = pgsd_bench::threads();
+    let t = ProgressTimer::start(format!("curve ablation (linear vs log, {threads} threads)"));
     let lin = Strategy::with_curve(0.10, 0.50, Curve::Linear);
     let log = Strategy::range(0.10, 0.50);
 
@@ -77,19 +78,30 @@ fn main() {
         let (exit, stats) = run_input(&p.baseline, &p.workload.reference, DEFAULT_GAS);
         let expected = exit.status().expect("baseline runs");
         let base = stats.cycles as f64;
+        // One job per (curve, seed); the per-curve means below accumulate
+        // in the serial (curve, seed) order, so output bytes match the
+        // single-threaded run.
+        let curves = [lin, log];
+        let jobs: Vec<(usize, u64)> = (0..curves.len())
+            .flat_map(|ci| (0..seeds).map(move |seed| (ci, seed)))
+            .collect();
+        let measured = pgsd_exec::map_indexed(threads, &jobs, |_, &(ci, seed)| {
+            let image = build(
+                &p.module,
+                Some(&p.profile),
+                &BuildConfig::diversified(curves[ci], seed),
+            )
+            .expect("builds");
+            let survivors = survivor(&p.baseline.text, &image.text, &table, &cfg).count();
+            (p.ref_cycles(&image, Some(expected)), survivors)
+        });
         let mut m = [0f64; 2];
         let mut s = [0f64; 2];
-        for (ci, strat) in [lin, log].iter().enumerate() {
-            for seed in 0..seeds {
-                let image = build(
-                    &p.module,
-                    Some(&p.profile),
-                    &BuildConfig::diversified(*strat, seed),
-                )
-                .expect("builds");
-                m[ci] += p.ref_cycles(&image, Some(expected)) as f64 / seeds as f64;
-                s[ci] += survivor(&p.baseline.text, &image.text, &table, &cfg).count() as f64
-                    / seeds as f64;
+        for (ci, _) in curves.iter().enumerate() {
+            for seed in 0..seeds as usize {
+                let (cycles, survivors) = measured[ci * seeds as usize + seed];
+                m[ci] += cycles as f64 / seeds as f64;
+                s[ci] += survivors as f64 / seeds as f64;
             }
         }
         let o_lin = (m[0] / base - 1.0) * 100.0;

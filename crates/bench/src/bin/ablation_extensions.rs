@@ -18,12 +18,15 @@ use pgsd_x86::nop::NopTable;
 
 fn main() {
     let n_versions = versions().min(10);
-    let t = ProgressTimer::start(format!("§6 extension ablation ({n_versions} versions)"));
+    let threads = pgsd_bench::threads();
+    let t = ProgressTimer::start(format!(
+        "§6 extension ablation ({n_versions} versions, {threads} threads)"
+    ));
     let strategy = Strategy::range(0.0, 0.30);
     let cfg_scan = ScanConfig::default();
     let table = NopTable::new();
 
-    type ConfigFn = Box<dyn Fn(u64) -> BuildConfig>;
+    type ConfigFn = Box<dyn Fn(u64) -> BuildConfig + Sync>;
     let variants: Vec<(&str, ConfigFn)> = vec![
         (
             "nop",
@@ -68,15 +71,23 @@ fn main() {
         let base_cycles = stats.cycles as f64;
         let mut cells = vec![name.to_string()];
         let mut csv_row = vec![name.to_string()];
-        for (vi, (_, make)) in variants.iter().enumerate() {
+        // One job per (variant, seed); per-variant means accumulate in
+        // serial order below.
+        let jobs: Vec<(usize, u64)> = (0..variants.len())
+            .flat_map(|vi| (0..n_versions as u64).map(move |seed| (vi, seed)))
+            .collect();
+        let measured = pgsd_exec::map_indexed(threads, &jobs, |_, &(vi, seed)| {
+            let image = build(&p.module, Some(&p.profile), &variants[vi].1(seed)).expect("builds");
+            let survivors = survivor(&p.baseline.text, &image.text, &table, &cfg_scan).count();
+            (survivors, p.ref_cycles(&image, Some(expected)))
+        });
+        for (vi, _) in variants.iter().enumerate() {
             let mut survivors = 0f64;
             let mut cycles = 0f64;
-            for seed in 0..n_versions as u64 {
-                let image = build(&p.module, Some(&p.profile), &make(seed)).expect("builds");
-                survivors += survivor(&p.baseline.text, &image.text, &table, &cfg_scan).count()
-                    as f64
-                    / n_versions as f64;
-                cycles += p.ref_cycles(&image, Some(expected)) as f64 / n_versions as f64;
+            for seed in 0..n_versions {
+                let (surv, cyc) = measured[vi * n_versions + seed];
+                survivors += surv as f64 / n_versions as f64;
+                cycles += cyc as f64 / n_versions as f64;
             }
             let ovh = (cycles / base_cycles - 1.0) * 100.0;
             geo[vi].push(ovh);

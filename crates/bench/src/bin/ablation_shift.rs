@@ -15,7 +15,10 @@ use pgsd_x86::nop::NopTable;
 
 fn main() {
     let n_versions = versions().min(10);
-    let t = ProgressTimer::start(format!("block-shifting ablation ({n_versions} versions)"));
+    let threads = pgsd_bench::threads();
+    let t = ProgressTimer::start(format!(
+        "block-shifting ablation ({n_versions} versions, {threads} threads)"
+    ));
     let strategy = Strategy::range(0.0, 0.30);
     let cfg = ScanConfig::default();
     let table = NopTable::new();
@@ -68,20 +71,30 @@ fn main() {
         let expected = exit.status().expect("baseline runs");
         let base_cycles = stats.cycles as f64;
 
+        // One job per (variant, seed), averaged in serial order below so
+        // the CSV is identical at any thread count.
+        let jobs: Vec<(bool, u64)> = [false, true]
+            .into_iter()
+            .flat_map(|ws| (0..n_versions as u64).map(move |seed| (ws, seed)))
+            .collect();
+        let measured = pgsd_exec::map_indexed(threads, &jobs, |_, &(with_shift, seed)| {
+            let config = BuildConfig {
+                strategy: Some(strategy),
+                shift_max_pad: if with_shift { Some(24) } else { None },
+                seed,
+                ..BuildConfig::baseline()
+            };
+            let image = build(&p.module, Some(&p.profile), &config).expect("builds");
+            let rep = survivor(&p.baseline.text, &image.text, &table, &cfg);
+            (early(&rep.survivors), p.ref_cycles(&image, Some(expected)))
+        });
         let mut surv_counts = [0f64; 2];
         let mut cycles = [0f64; 2];
-        for (ci, with_shift) in [false, true].into_iter().enumerate() {
-            for seed in 0..n_versions as u64 {
-                let config = BuildConfig {
-                    strategy: Some(strategy),
-                    shift_max_pad: if with_shift { Some(24) } else { None },
-                    seed,
-                    ..BuildConfig::baseline()
-                };
-                let image = build(&p.module, Some(&p.profile), &config).expect("builds");
-                let rep = survivor(&p.baseline.text, &image.text, &table, &cfg);
-                surv_counts[ci] += early(&rep.survivors) as f64 / n_versions as f64;
-                cycles[ci] += p.ref_cycles(&image, Some(expected)) as f64 / n_versions as f64;
+        for ci in 0..2 {
+            for seed in 0..n_versions {
+                let (early_surv, cyc) = measured[ci * n_versions + seed];
+                surv_counts[ci] += early_surv as f64 / n_versions as f64;
+                cycles[ci] += cyc as f64 / n_versions as f64;
             }
         }
         let ovh = |c: f64| (c / base_cycles - 1.0) * 100.0;

@@ -65,11 +65,13 @@ fn main() {
         }
     }
 
-    // (b) find an original gadget destroyed at its offset.
+    // (b) find an original gadget destroyed at its offset. The per-gadget
+    // predicate is evaluated as parallel jobs; "first destroyed" then
+    // picks by gadget order, so the choice is thread-count invariant.
     let cfg = ScanConfig::default();
     let table = NopTable::new();
     let gadgets = find_gadgets(&base.text, &cfg);
-    let destroyed = gadgets.iter().find(|g| {
+    let destroyed_flags = pgsd_exec::map_indexed(pgsd_bench::threads(), &gadgets, |_, g| {
         // Past the undiversified runtime, with a multi-instruction body.
         let in_user = base.funcs.iter().any(|f| {
             f.diversified
@@ -86,6 +88,11 @@ fn main() {
             }
         }
     });
+    let destroyed = gadgets
+        .iter()
+        .zip(&destroyed_flags)
+        .find(|(_, &flag)| flag)
+        .map(|(g, _)| g);
 
     match destroyed {
         Some(g) => {

@@ -17,9 +17,10 @@ use pgsd_core::Strategy;
 fn main() {
     let configs = Strategy::paper_configs();
     let seeds = perf_seeds();
+    let threads = pgsd_bench::threads();
     let sink = MetricsSink::new("fig4_overhead");
     let t = ProgressTimer::start(format!(
-        "figure 4: {} benchmarks × {} configs × {seeds} seeds",
+        "figure 4: {} benchmarks × {} configs × {seeds} seeds ({threads} threads)",
         selected_suite().len(),
         configs.len()
     ));
@@ -45,11 +46,20 @@ fn main() {
 
         let mut cells = vec![name.to_string(), format!("{:.1}", base_cycles / 1e6)];
         let mut csv_row = vec![name.to_string(), format!("{base_cycles}")];
-        for (ci, (label, strat)) in configs.iter().enumerate() {
+        // Every (config, seed) build-and-measure is an independent job;
+        // aggregation below walks the results in job-index order, so the
+        // CSV is byte-identical at any thread count.
+        let jobs: Vec<(usize, u64)> = (0..configs.len())
+            .flat_map(|ci| (0..seeds).map(move |seed| (ci, seed)))
+            .collect();
+        let cycles = pgsd_exec::map_indexed(threads, &jobs, |_, &(ci, seed)| {
+            let image = p.diversified(configs[ci].1, seed);
+            p.ref_cycles(&image, Some(expected))
+        });
+        for (ci, (label, _)) in configs.iter().enumerate() {
             let mut total = 0f64;
-            for seed in 0..seeds {
-                let image = p.diversified(*strat, seed);
-                total += p.ref_cycles(&image, Some(expected)) as f64;
+            for seed in 0..seeds as usize {
+                total += cycles[ci * seeds as usize + seed] as f64;
                 sink.count("fig4.runs", 1);
             }
             let overhead = (total / seeds as f64 / base_cycles - 1.0) * 100.0;

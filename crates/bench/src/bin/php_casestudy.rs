@@ -47,8 +47,9 @@ fn surviving_attack_gadgets(original: &[u8], diversified: &[u8], table: &NopTabl
 
 fn main() {
     let n_versions = versions();
+    let threads = pgsd_bench::threads();
     let t = ProgressTimer::start(format!(
-        "php case study: 7 profiles × {n_versions} versions at pNOP=0-30%"
+        "php case study: 7 profiles × {n_versions} versions at pNOP=0-30% ({threads} threads)"
     ));
     let source = php_source();
     let module = frontend("php", &source).expect("interpreter compiles");
@@ -84,16 +85,24 @@ fn main() {
         let fuel = 400_000;
         let profile = train(&module, &[program.input(fuel)], DEFAULT_GAS)
             .unwrap_or_else(|e| panic!("training on {} failed: {e}", program.name));
-        let mut feasible_counts = [0usize; 2];
-        let mut survivor_total = 0usize;
-        for seed in 0..n_versions as u64 {
-            let config = BuildConfig::diversified(strategy, seed);
+        // Each seed's build + survivor scan + attack checks is one job;
+        // counts are summed in seed order.
+        let per_seed = pgsd_exec::run_jobs(threads, n_versions, |seed| {
+            let config = BuildConfig::diversified(strategy, seed as u64);
             let image = build(&module, Some(&profile), &config).expect("diversified build");
             let survivors = surviving_attack_gadgets(&baseline.text, &image.text, &table);
-            survivor_total += survivors.len();
-            for (ti, tpl) in templates.iter().enumerate() {
-                let verdict = check_attack_on_gadgets(&baseline.text, &survivors, tpl);
-                if verdict.feasible() {
+            let feasible: Vec<bool> = templates
+                .iter()
+                .map(|tpl| check_attack_on_gadgets(&baseline.text, &survivors, tpl).feasible())
+                .collect();
+            (survivors.len(), feasible)
+        });
+        let mut feasible_counts = [0usize; 2];
+        let mut survivor_total = 0usize;
+        for (count, feasible) in &per_seed {
+            survivor_total += count;
+            for (ti, &f) in feasible.iter().enumerate() {
+                if f {
                     feasible_counts[ti] += 1;
                     any_attackable += 1;
                 }

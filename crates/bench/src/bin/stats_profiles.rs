@@ -10,7 +10,8 @@ use pgsd_core::driver::{train, DEFAULT_GAS};
 use pgsd_core::{Curve, Strategy};
 
 fn main() {
-    let t = ProgressTimer::start("profiling all benchmarks");
+    let threads = pgsd_bench::threads();
+    let t = ProgressTimer::start(format!("profiling all benchmarks ({threads} threads)"));
     let sink = MetricsSink::new("stats_profiles");
     let lin = Strategy::with_curve(0.10, 0.50, Curve::Linear);
     let log = Strategy::range(0.10, 0.50);
@@ -32,13 +33,13 @@ fn main() {
     );
     let mut csv = Vec::new();
     let mut maxes = Vec::new();
-    for w in selected_suite() {
-        let name = w.name;
-        let p = prepare(w);
+    // Each workload's compile + train + ref-train is one job; printing
+    // and metrics recording walk the results in suite order.
+    let suite = selected_suite();
+    let stats = pgsd_exec::map_indexed(threads, &suite, |_, w| {
+        let p = prepare(w.clone());
         let x_max = p.profile.max_count();
         let median = p.profile.median_count();
-        let p_lin = lin.probability(median, x_max) * 100.0;
-        let p_log = log.probability(median, x_max) * 100.0;
         // The paper's §5.1 premise: the train profile must be "a proper
         // sample of real-world usage" — measure it by profiling the ref
         // input too and comparing shapes.
@@ -49,6 +50,12 @@ fn main() {
         )
         .expect("ref profiling");
         let fidelity = p.profile.similarity(&ref_profile);
+        (x_max, median, fidelity)
+    });
+    for (w, &(x_max, median, fidelity)) in suite.iter().zip(&stats) {
+        let name = w.name;
+        let p_lin = lin.probability(median, x_max) * 100.0;
+        let p_log = log.probability(median, x_max) * 100.0;
         sink.count("stats.benchmarks", 1);
         sink.observe("stats.x_max", x_max);
         sink.gauge_labeled("stats.x_max", &[("benchmark", name)], x_max as f64);

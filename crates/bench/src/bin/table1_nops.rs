@@ -39,29 +39,33 @@ fn main() {
     );
     println!("{}", "-".repeat(80));
     let default_table = NopTable::new();
-    for kind in NopKind::ALL {
+    // Each row (decode + cross-check) is one job; printing walks the
+    // results in table order.
+    let rows = pgsd_exec::map_indexed(pgsd_bench::threads(), &NopKind::ALL, |_, &kind| {
         let enc: Vec<String> = kind.bytes().iter().map(|b| format!("{b:02X}")).collect();
         let in_default = default_table.iter().any(|k| k == kind);
-        println!(
-            "{:<18} {:<10} {:<30} {}",
-            kind.asm(),
-            enc.join(" "),
-            second_byte_decoding(kind),
-            if in_default {
-                "yes"
-            } else {
-                "no (bus-locking xchg, compile-time opt-in)"
-            }
-        );
         // Cross-check the static table annotation against the decoder.
-        let documented = kind.second_byte_decoding();
-        if let Some(doc) = documented {
-            let live = second_byte_decoding(kind);
+        let live = second_byte_decoding(kind);
+        if let Some(doc) = kind.second_byte_decoding() {
             assert!(
                 live.starts_with(doc) || live.contains(doc),
                 "documented second-byte decoding {doc:?} disagrees with decoder: {live:?}"
             );
         }
+        format!(
+            "{:<18} {:<10} {:<30} {}",
+            kind.asm(),
+            enc.join(" "),
+            live,
+            if in_default {
+                "yes"
+            } else {
+                "no (bus-locking xchg, compile-time opt-in)"
+            }
+        )
+    });
+    for r in rows {
+        println!("{r}");
     }
     println!();
     println!(

@@ -17,8 +17,9 @@ use pgsd_x86::nop::NopTable;
 fn main() {
     let configs = Strategy::paper_configs();
     let n_versions = versions();
+    let threads = pgsd_bench::threads();
     let t = ProgressTimer::start(format!(
-        "table 2: {} benchmarks × {} strategies × {n_versions} versions",
+        "table 2: {} benchmarks × {} strategies × {n_versions} versions ({threads} threads)",
         selected_suite().len(),
         configs.len()
     ));
@@ -42,13 +43,19 @@ fn main() {
             &[("benchmark", name)],
             baseline as u64,
         );
+        // One job per (config, seed); survivor counts are summed in job
+        // order so the averages match the serial run exactly.
+        let jobs: Vec<(usize, u64)> = (0..configs.len())
+            .flat_map(|ci| (0..n_versions as u64).map(move |seed| (ci, seed)))
+            .collect();
+        let survivors = pgsd_exec::map_indexed(threads, &jobs, |_, &(ci, seed)| {
+            let image = p.diversified(configs[ci].1, seed);
+            survivor(&p.baseline.text, &image.text, &table, &cfg).count()
+        });
         let mut avg = Vec::new();
-        for (label, strat) in &configs {
-            let total: usize = (0..n_versions as u64)
-                .map(|seed| {
-                    let image = p.diversified(*strat, seed);
-                    survivor(&p.baseline.text, &image.text, &table, &cfg).count()
-                })
+        for (ci, (label, _)) in configs.iter().enumerate() {
+            let total: usize = survivors[ci * n_versions..(ci + 1) * n_versions]
+                .iter()
                 .sum();
             let mean = total as f64 / n_versions as f64;
             sink.gauge_labeled(

@@ -12,6 +12,7 @@ use pgsd_x86::nop::NopTable;
 fn main() {
     let configs = Strategy::paper_configs();
     let n_versions = versions();
+    let threads = pgsd_bench::threads();
     // Paper thresholds 2/5/12 are ~10%/20%/50% of 25; scale for smaller
     // populations so quick runs stay meaningful.
     let ks = if n_versions == 25 {
@@ -24,7 +25,7 @@ fn main() {
         ]
     };
     let t = ProgressTimer::start(format!(
-        "table 3: {} benchmarks × {} strategies × {n_versions} versions (k = {ks:?})",
+        "table 3: {} benchmarks × {} strategies × {n_versions} versions (k = {ks:?}, {threads} threads)",
         selected_suite().len(),
         configs.len()
     ));
@@ -43,7 +44,7 @@ fn main() {
         let baseline = find_gadgets(&p.baseline.text, &cfg).len();
         let mut counts = Vec::new();
         for (_, strat) in &configs {
-            let texts = p.population_texts(*strat, n_versions);
+            let texts = p.population_texts(*strat, n_versions, threads);
             let report = population_survival(&texts, &table, &cfg);
             counts.push(report.thresholds(&ks));
         }

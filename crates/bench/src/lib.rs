@@ -17,11 +17,16 @@
 //!
 //! Environment knobs: `PGSD_VERSIONS` (population size, default 25),
 //! `PGSD_SEEDS` (performance seeds per configuration, default 5),
-//! `PGSD_BENCH` (comma-separated benchmark substring filter).
+//! `PGSD_BENCH` (comma-separated benchmark substring filter),
+//! `PGSD_THREADS` / `--threads N` (worker threads; default = available
+//! parallelism). Every harness fans its per-config/per-seed jobs out
+//! through `pgsd_exec` and collects results in job-index order, so CSV
+//! and metrics outputs are byte-identical at any thread count.
 
 use std::fs;
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 use pgsd_cc::driver::frontend;
@@ -49,6 +54,18 @@ fn env_usize(name: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Worker-thread count for an experiment binary: a `--threads N`
+/// argument wins, else `PGSD_THREADS`, else available parallelism.
+pub fn threads() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let requested = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok());
+    pgsd_exec::resolve_threads(requested)
 }
 
 /// The benchmark list, optionally filtered by `PGSD_BENCH`.
@@ -109,11 +126,16 @@ impl Prepared {
         .unwrap_or_else(|e| panic!("{} diversified build failed: {e}", self.workload.name))
     }
 
-    /// Builds a population of diversified text sections.
-    pub fn population_texts(&self, strategy: Strategy, n: usize) -> Vec<Vec<u8>> {
-        (0..n as u64)
-            .map(|s| self.diversified(strategy, s).text)
-            .collect()
+    /// Builds a population of diversified text sections on `threads`
+    /// workers. Seeds are `0..n`, results in seed order regardless of
+    /// thread count.
+    pub fn population_texts(&self, strategy: Strategy, n: usize, threads: usize) -> Vec<Vec<u8>> {
+        pgsd_exec::run_jobs(threads, n, |s| {
+            let text = self.diversified(strategy, s as u64).text;
+            // The image is dropped around its text, so the Arc is unique
+            // and unwrapping it costs nothing.
+            Arc::try_unwrap(text).unwrap_or_else(|shared| (*shared).clone())
+        })
     }
 
     /// Runs an image on the reference input, asserting it matches the
@@ -131,6 +153,67 @@ impl Prepared {
             );
         }
         stats.cycles
+    }
+}
+
+/// Workloads of the fixed `pgsd bench` slice: small enough to finish in
+/// seconds, diverse enough (compute-bound lbm, branchy bzip2) to exercise
+/// the emulator's hot paths.
+pub const BENCH_SLICE_WORKLOADS: [&str; 2] = ["470.lbm", "401.bzip2"];
+
+/// Diversified builds per (workload, config) in the bench slice.
+pub const BENCH_SLICE_SEEDS: u64 = 6;
+
+/// One timed run of the bench slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SliceMeasurement {
+    /// Wall-clock time of the parallel section, in milliseconds.
+    pub wall_ms: f64,
+    /// Total emulated cycles across all runs (thread-count invariant).
+    pub cycles: u64,
+    /// Diversified builds performed.
+    pub builds: u64,
+    /// Emulator runs performed.
+    pub runs: u64,
+}
+
+/// Compiles and trains the bench-slice workloads (untimed setup).
+pub fn prepare_bench_slice() -> Vec<Prepared> {
+    BENCH_SLICE_WORKLOADS
+        .iter()
+        .map(|name| {
+            prepare(pgsd_workloads::by_name(name).unwrap_or_else(|| panic!("{name} in suite")))
+        })
+        .collect()
+}
+
+/// Runs the fixed slice — every (workload, paper config, seed) triple
+/// builds one diversified version and measures it on the reference input
+/// — on `threads` workers, timing only the parallel section. The cycle
+/// total is a pure function of the seeds, so it must be identical at any
+/// thread count (the determinism test asserts this).
+pub fn measure_bench_slice(prepared: &[Prepared], threads: usize) -> SliceMeasurement {
+    let configs = Strategy::paper_configs();
+    let jobs: Vec<(&Prepared, Strategy, u64)> = prepared
+        .iter()
+        .flat_map(|p| {
+            configs.iter().flat_map(move |&(_, strategy)| {
+                (0..BENCH_SLICE_SEEDS).map(move |seed| (p, strategy, seed))
+            })
+        })
+        .collect();
+    let started = Instant::now();
+    let cycles = pgsd_exec::map_indexed(threads, &jobs, |_, &(p, strategy, seed)| {
+        let image = p.diversified(strategy, seed);
+        p.ref_cycles(&image, None)
+    });
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let n = jobs.len() as u64;
+    SliceMeasurement {
+        wall_ms,
+        cycles: cycles.iter().sum(),
+        builds: n,
+        runs: n,
     }
 }
 
@@ -215,9 +298,16 @@ impl MetricsSink {
     /// Writes `results/<name>.metrics.json` and returns its path.
     pub fn finish(self) -> PathBuf {
         let path = results_dir().join(format!("{}.metrics.json", self.name));
-        fs::write(&path, self.tel.metrics_json()).expect("can write metrics json");
+        self.finish_to(&path)
+    }
+
+    /// Writes the collected metrics (same schema-versioned document as
+    /// [`MetricsSink::finish`]) to an explicit path — `pgsd bench` uses
+    /// this for the repo-root `BENCH_pgsd.json`.
+    pub fn finish_to(self, path: &Path) -> PathBuf {
+        fs::write(path, self.tel.metrics_json()).expect("can write metrics json");
         eprintln!("[pgsd-bench] metrics → {}", path.display());
-        path
+        path.to_path_buf()
     }
 }
 

@@ -10,6 +10,8 @@
 
 pub mod runtime;
 
+use std::sync::Arc;
+
 use pgsd_x86::{encode, AluOp, Inst, Mem, Reg};
 
 use crate::error::{CompileError, Result};
@@ -58,13 +60,14 @@ pub struct DataSymbol {
 pub struct Image {
     /// Text section load address.
     pub base: u32,
-    /// Text section bytes.
-    pub text: Vec<u8>,
+    /// Text section bytes, `Arc`-shared so loading a run's address space
+    /// (or cloning the image) never copies the binary.
+    pub text: Arc<Vec<u8>>,
     /// Data section load address.
     pub data_base: u32,
     /// Initialized data section bytes (globals then counters, zero-filled
-    /// where uninitialized).
-    pub data: Vec<u8>,
+    /// where uninitialized), `Arc`-shared like [`Image::text`].
+    pub data: Arc<Vec<u8>>,
     /// Address of `main`.
     pub main_addr: u32,
     /// Address of the `__exit` stub (the loader pushes this as `main`'s
@@ -256,9 +259,9 @@ pub fn emit(funcs: &[MFunction], module: &ir::Module, main: &str) -> Result<Imag
         base: IMAGE_BASE,
         main_addr: main_layout.start,
         exit_addr: exit_layout.start,
-        text,
+        text: Arc::new(text),
         data_base: DATA_BASE,
-        data,
+        data: Arc::new(data),
         funcs: layouts,
         globals,
         counter_base,

@@ -222,13 +222,16 @@ impl Input {
     }
 }
 
-/// Loads `image` into a fresh emulator.
+/// Loads `image` into a fresh emulator. The image's text and data
+/// buffers are `Arc`-shared with the emulator's segments (copy-on-write
+/// in [`pgsd_emu`]'s memory), so repeated loads across seeds or inputs
+/// never copy the binary.
 pub fn load(image: &Image) -> Emulator {
     Emulator::new(
         image.base,
-        image.text.clone(),
+        std::sync::Arc::clone(&image.text),
         image.data_base,
-        image.data.clone(),
+        std::sync::Arc::clone(&image.data),
         STACK_TOP,
     )
 }
@@ -334,9 +337,17 @@ pub fn train(module: &Module, train_inputs: &[Input], gas: u64) -> Result<Profil
 /// Like [`train`], recording a `train` span (instrumented build plus one
 /// `train_run` child per input) and profile summary counters into `tel`.
 ///
+/// Training runs are independent (each gets its own emulator over the
+/// `Arc`-shared instrumented image), so they execute as parallel jobs on
+/// the default worker count; edge counters are summed in input order and
+/// `u64` addition is commutative, so the profile is identical at any
+/// thread count.
+///
 /// # Errors
 ///
-/// Fails if compilation fails or any training run does not exit cleanly.
+/// Fails if compilation fails or any training run does not exit cleanly;
+/// with several failed runs, the earliest input's error wins (matching
+/// the serial loop).
 pub fn train_with(
     module: &Module,
     train_inputs: &[Input],
@@ -351,25 +362,40 @@ pub fn train_with(
 
     tel.add("train.inputs", train_inputs.len() as u64);
     tel.add("train.counters", u64::from(plan.num_counters));
+    let runs = pgsd_exec::map_indexed(
+        pgsd_exec::default_threads(),
+        train_inputs,
+        |_, input| -> Result<(Vec<u64>, Telemetry)> {
+            let child = tel.child();
+            let _run_span = child.span("train_run");
+            let mut emu = load(&image);
+            apply_pokes(&image, &mut emu, input);
+            emu.call_entry(image.main_addr, image.exit_addr, &input.args);
+            let exit = emu.run(gas);
+            if exit.status().is_none() {
+                return Err(CompileError::new(format!(
+                    "training run with args {:?} did not exit cleanly: {exit:?}",
+                    input.args
+                )));
+            }
+            let mut run_counters = vec![0u64; plan.num_counters as usize];
+            for (i, c) in run_counters.iter_mut().enumerate() {
+                let word = emu
+                    .mem
+                    .read_u32(image.counter_addr(i as u32))
+                    .map_err(|f| CompileError::new(format!("counter readback failed: {f}")))?;
+                *c = u64::from(word);
+            }
+            drop(_run_span);
+            Ok((run_counters, child))
+        },
+    );
     let mut counters = vec![0u64; plan.num_counters as usize];
-    for input in train_inputs {
-        let _run_span = tel.span("train_run");
-        let mut emu = load(&image);
-        apply_pokes(&image, &mut emu, input);
-        emu.call_entry(image.main_addr, image.exit_addr, &input.args);
-        let exit = emu.run(gas);
-        if exit.status().is_none() {
-            return Err(CompileError::new(format!(
-                "training run with args {:?} did not exit cleanly: {exit:?}",
-                input.args
-            )));
-        }
-        for (i, c) in counters.iter_mut().enumerate() {
-            let word = emu
-                .mem
-                .read_u32(image.counter_addr(i as u32))
-                .map_err(|f| CompileError::new(format!("counter readback failed: {f}")))?;
-            *c += u64::from(word);
+    for run in runs {
+        let (run_counters, child) = run?;
+        tel.merge_from(&child);
+        for (c, r) in counters.iter_mut().zip(&run_counters) {
+            *c += r;
         }
     }
     let profile = reconstruct(&plan, &counters);
@@ -405,11 +431,15 @@ pub fn compile_diversified(
 }
 
 /// Builds a population of `n` diversified versions with seeds
-/// `seed_base .. seed_base + n`.
+/// `seed_base .. seed_base + n`, in parallel on the default worker count
+/// (`PGSD_THREADS`, else available parallelism). Each version is a pure
+/// function of its seed, so the returned images are identical at any
+/// thread count.
 ///
 /// # Errors
 ///
-/// Propagates failures from any build.
+/// Propagates failures from any build; with several failures, the one
+/// with the lowest seed wins (matching the serial loop).
 pub fn population(
     module: &Module,
     profile: Option<&Profile>,
@@ -417,12 +447,48 @@ pub fn population(
     seed_base: u64,
     n: usize,
 ) -> Result<Vec<Image>> {
-    (0..n)
-        .map(|i| {
-            let config = BuildConfig::diversified(strategy, seed_base + i as u64);
-            build(module, profile, &config)
-        })
-        .collect()
+    population_par(
+        module,
+        profile,
+        strategy,
+        seed_base,
+        n,
+        pgsd_exec::default_threads(),
+        &Telemetry::disabled(),
+    )
+}
+
+/// Like [`population`] with an explicit worker count, recording build
+/// telemetry into `tel`. Every build records into its own child handle;
+/// children are merged in seed order, so the merged metrics document is
+/// byte-identical at any thread count (see [`Telemetry::merge_from`]).
+///
+/// # Errors
+///
+/// Propagates failures from any build; with several failures, the one
+/// with the lowest seed wins (matching the serial loop).
+pub fn population_par(
+    module: &Module,
+    profile: Option<&Profile>,
+    strategy: Strategy,
+    seed_base: u64,
+    n: usize,
+    threads: usize,
+    tel: &Telemetry,
+) -> Result<Vec<Image>> {
+    let _span = tel.span("population");
+    let jobs = pgsd_exec::run_jobs(threads, n, |i| {
+        let child = tel.child();
+        let config =
+            BuildConfig::diversified(strategy, seed_base + i as u64).with_telemetry(child.clone());
+        (build(module, profile, &config), child)
+    });
+    let mut images = Vec::with_capacity(n);
+    for (result, child) in jobs {
+        tel.merge_from(&child);
+        images.push(result?);
+    }
+    Ok(images)
 }
 
 #[cfg(test)]

@@ -43,7 +43,8 @@ pub mod subst_pass;
 
 pub use curve::{Curve, Strategy};
 pub use driver::{
-    build, compile_diversified, population, run, run_input, train, BuildConfig, Input,
+    build, compile_diversified, population, population_par, run, run_input, train, BuildConfig,
+    Input,
 };
 pub use nop_pass::{insert_nops, NopReport};
 pub use shift_pass::{shift_blocks, ShiftReport};

@@ -2,11 +2,21 @@
 //!
 //! A straightforward decode-and-dispatch interpreter over the modeled
 //! instruction subset, with a per-address decode cache (text is
-//! write-protected, so cached decodings can never go stale). Every executed
-//! instruction is charged against the [`CostModel`]; the resulting cycle
-//! count is the substitute for the paper's wall-clock SPEC measurements.
+//! write-protected, so cached decodings can never go stale). The cache is
+//! a flat lazily-filled `Vec<Option<(Inst, u8)>>` indexed by offset from
+//! the text base — a single bounds-checked array access on the hot path
+//! where a `HashMap` lookup used to hash every retired instruction;
+//! addresses outside the text segment fall back to the full
+//! fetch-and-decode path. W⊕X makes the cache sound: text is never
+//! writable, so a cached decoding can only go stale if something pierces
+//! protection with `Memory::write_bytes_unchecked` between executions —
+//! exactly the situation the previous `HashMap` cache (which was also
+//! never invalidated) had, so the staleness contract is unchanged.
+//! Every executed instruction is
+//! charged against the [`CostModel`]; the resulting cycle count is the
+//! substitute for the paper's wall-clock SPEC measurements.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use pgsd_x86::nop::NopKind;
 use pgsd_x86::{decode, AluOp, Body, Inst, Mem, Reg, ShiftOp};
@@ -245,7 +255,10 @@ pub struct Emulator {
     pub cost: CostModel,
     /// Statistics for the current run.
     pub stats: RunStats,
-    decode_cache: HashMap<u32, (Inst, u32)>,
+    /// Flat decode cache: slot `i` holds the decoded instruction at
+    /// `text_base + i`, filled lazily on first execution.
+    decode_cache: Vec<Option<(Inst, u8)>>,
+    text_base: u32,
     fetch_accum: u32,
     slack: u64,
     /// Direct-mapped L1d tags (index = set, value = tag+1; 0 = empty).
@@ -263,12 +276,14 @@ impl Emulator {
     /// below it.
     pub fn new(
         text_base: u32,
-        text: Vec<u8>,
+        text: impl Into<Arc<Vec<u8>>>,
         data_base: u32,
-        data: Vec<u8>,
+        data: impl Into<Arc<Vec<u8>>>,
         stack_top: u32,
     ) -> Emulator {
-        let mem = Memory::new(text_base, text, data_base, data, stack_top);
+        let text = text.into();
+        let text_len = text.len();
+        let mem = Memory::new(text_base, text, data_base, data.into(), stack_top);
         let mut cpu = Cpu::new();
         cpu.set(Reg::Esp, stack_top);
         Emulator {
@@ -276,7 +291,8 @@ impl Emulator {
             mem,
             cost: CostModel::default(),
             stats: RunStats::default(),
-            decode_cache: HashMap::new(),
+            decode_cache: vec![None; text_len],
+            text_base,
             fetch_accum: 0,
             slack: 0,
             dcache: Vec::new(),
@@ -334,8 +350,10 @@ impl Emulator {
     /// Executes one instruction; returns `Some` when execution stops.
     pub fn step(&mut self) -> Option<Exit> {
         let addr = self.cpu.eip;
-        let (inst, len) = match self.decode_cache.get(&addr) {
-            Some(&hit) => hit,
+        let off = addr.wrapping_sub(self.text_base) as usize;
+        let cached = self.decode_cache.get(off).copied().flatten();
+        let (inst, len) = match cached {
+            Some((i, l)) => (i, u32::from(l)),
             None => {
                 let bytes = match self.mem.fetch(addr, 16) {
                     Ok(b) => b,
@@ -344,9 +362,10 @@ impl Emulator {
                 match decode(bytes) {
                     Ok(d) => match d.body {
                         Body::Known(i) => {
-                            let entry = (i, d.len as u32);
-                            self.decode_cache.insert(addr, entry);
-                            entry
+                            if let Some(slot) = self.decode_cache.get_mut(off) {
+                                *slot = Some((i, d.len as u8));
+                            }
+                            (i, d.len as u32)
                         }
                         Body::Other(o) => return Some(Exit::Unsupported { addr, name: o.name }),
                     },

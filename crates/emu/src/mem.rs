@@ -6,8 +6,17 @@
 //! and the data/stack segments are never executable — the W⊕X policy
 //! (paper §2.1) that forces attackers into code reuse in the first place.
 
+//!
+//! Segment contents are `Arc`-shared with copy-on-write semantics: a
+//! fresh address space for a seed run borrows the image's text and data
+//! buffers instead of copying them, and the first write to a segment
+//! (data/stack stores, or an attack simulation's unchecked write into
+//! text) un-shares just that segment via [`Arc::make_mut`]. Reads and
+//! instruction fetches never copy.
+
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Size of the stack segment in bytes (1 MiB).
 pub const STACK_SIZE: u32 = 1 << 20;
@@ -50,7 +59,7 @@ impl Error for Fault {}
 
 struct Segment {
     base: u32,
-    bytes: Vec<u8>,
+    bytes: Arc<Vec<u8>>,
     writable: bool,
     executable: bool,
 }
@@ -78,21 +87,22 @@ impl Memory {
     /// segment ending at `stack_top` (R+W).
     pub fn new(
         text_base: u32,
-        text: Vec<u8>,
+        text: impl Into<Arc<Vec<u8>>>,
         data_base: u32,
-        mut data: Vec<u8>,
+        data: impl Into<Arc<Vec<u8>>>,
         stack_top: u32,
     ) -> Memory {
+        let mut data = data.into();
         // Give the data segment a little headroom so zero-length data
         // sections still accept counter-free programs writing globals.
         if data.is_empty() {
-            data.resize(4, 0);
+            data = Arc::new(vec![0; 4]);
         }
         Memory {
             segments: vec![
                 Segment {
                     base: text_base,
-                    bytes: text,
+                    bytes: text.into(),
                     writable: false,
                     executable: true,
                 },
@@ -104,7 +114,7 @@ impl Memory {
                 },
                 Segment {
                     base: stack_top - STACK_SIZE,
-                    bytes: vec![0; STACK_SIZE as usize],
+                    bytes: Arc::new(vec![0; STACK_SIZE as usize]),
                     writable: true,
                     executable: false,
                 },
@@ -142,7 +152,7 @@ impl Memory {
             return Err(Fault::WriteProtected { addr });
         }
         let off = (addr - s.base) as usize;
-        s.bytes[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        Arc::make_mut(&mut s.bytes)[off..off + 4].copy_from_slice(&value.to_le_bytes());
         Ok(())
     }
 
@@ -190,7 +200,7 @@ impl Memory {
             return Err(Fault::WriteProtected { addr });
         }
         let off = (addr - s.base) as usize;
-        s.bytes[off..off + bytes.len()].copy_from_slice(bytes);
+        Arc::make_mut(&mut s.bytes)[off..off + bytes.len()].copy_from_slice(bytes);
         Ok(())
     }
 
@@ -207,7 +217,7 @@ impl Memory {
             .ok_or(Fault::Unmapped { addr })?;
         let s = &mut self.segments[si];
         let off = (addr - s.base) as usize;
-        s.bytes[off..off + bytes.len()].copy_from_slice(bytes);
+        Arc::make_mut(&mut s.bytes)[off..off + bytes.len()].copy_from_slice(bytes);
         Ok(())
     }
 }
@@ -269,6 +279,34 @@ mod tests {
     fn unchecked_write_pierces_protection() {
         let mut m = mem();
         m.write_bytes_unchecked(0x1000, &[0x90]).unwrap();
+        assert_eq!(m.fetch(0x1000, 1).unwrap(), &[0x90]);
+    }
+
+    #[test]
+    fn shared_segments_copy_on_write() {
+        let text = Arc::new(vec![0xC3; 16]);
+        let data = Arc::new(vec![0u8; 64]);
+        let mut m = Memory::new(
+            0x1000,
+            Arc::clone(&text),
+            0x8000,
+            Arc::clone(&data),
+            0x10_0000,
+        );
+        // Reads and fetches leave the buffers shared with the image.
+        assert_eq!(m.read_u32(0x8000).unwrap(), 0);
+        assert_eq!(m.fetch(0x1000, 1).unwrap(), &[0xC3]);
+        assert_eq!(Arc::strong_count(&text), 2);
+        assert_eq!(Arc::strong_count(&data), 2);
+        // A data store un-shares only the data segment…
+        m.write_u32(0x8000, 7).unwrap();
+        assert_eq!(Arc::strong_count(&data), 1);
+        assert_eq!(Arc::strong_count(&text), 2);
+        assert_eq!(data[0], 0, "the image's buffer must be untouched");
+        // …and an attack-sim write into text un-shares text too.
+        m.write_bytes_unchecked(0x1000, &[0x90]).unwrap();
+        assert_eq!(Arc::strong_count(&text), 1);
+        assert_eq!(text[0], 0xC3, "the image's text must be untouched");
         assert_eq!(m.fetch(0x1000, 1).unwrap(), &[0x90]);
     }
 }

@@ -1,0 +1,214 @@
+//! # pgsd-exec — deterministic parallel job execution
+//!
+//! Every fan-out in this repository — variant populations, `benchmarks ×
+//! configs × seeds` sweeps, differential-fuzzing iterations — is a set of
+//! jobs that are independent by construction: job `i` is a pure function
+//! of its index (builds are seeded, the emulator is deterministic). This
+//! crate runs such job sets on a fixed number of worker threads while
+//! keeping every observable output **byte-identical to the serial run**:
+//!
+//! * Work distribution is an atomic-index chunked queue: workers claim
+//!   contiguous chunks of the index space with a single `fetch_add`, so
+//!   scheduling is dynamic (good load balance for uneven jobs) but the
+//!   *assignment* of work to indices never changes.
+//! * Results are collected **by job index** into a pre-sized slot table,
+//!   so the returned `Vec` is always in index order no matter which
+//!   worker finished first.
+//! * Anything order-sensitive (CSV rows, telemetry merging, error
+//!   propagation, finding capture) is left to the caller, who walks the
+//!   index-ordered results on one thread.
+//!
+//! With `threads <= 1` (or a single job) the queue is bypassed entirely
+//! and jobs run inline on the calling thread — the serial path is not
+//! merely equivalent, it is the same code the tests compare against.
+//!
+//! Thread counts resolve as: explicit request (`--threads N`), else the
+//! `PGSD_THREADS` environment variable, else
+//! [`std::thread::available_parallelism`].
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = pgsd_exec::run_jobs(4, 8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of hardware threads, falling back to 1 when the platform
+/// cannot report it.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Thread count requested via the `PGSD_THREADS` environment variable,
+/// if set to a positive integer.
+pub fn env_threads() -> Option<usize> {
+    std::env::var("PGSD_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+}
+
+/// Resolves an effective worker count: an explicit positive request
+/// wins, else `PGSD_THREADS`, else [`available_threads`].
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    requested
+        .filter(|&t| t >= 1)
+        .or_else(env_threads)
+        .unwrap_or_else(available_threads)
+}
+
+/// The default worker count when no explicit request is made
+/// (`PGSD_THREADS`, else available parallelism).
+pub fn default_threads() -> usize {
+    resolve_threads(None)
+}
+
+/// Chunk width for the atomic index queue: aim for several chunks per
+/// worker so uneven jobs rebalance, while amortizing queue traffic for
+/// very large job counts.
+fn chunk_size(jobs: usize, workers: usize) -> usize {
+    (jobs / (workers * 8)).max(1)
+}
+
+/// Runs `jobs` independent jobs — `job(0)`, …, `job(jobs - 1)` — on up
+/// to `threads` worker threads and returns the results **in job-index
+/// order**, exactly as the serial loop `(0..jobs).map(job).collect()`
+/// would.
+///
+/// `job` must be a pure function of its index for the determinism
+/// guarantee to mean anything; all pgsd jobs are (builds are seeded,
+/// emulation is deterministic). A panic in any job propagates to the
+/// caller once all workers have stopped.
+pub fn run_jobs<R, F>(threads: usize, jobs: usize, job: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 || jobs <= 1 {
+        return (0..jobs).map(job).collect();
+    }
+
+    let chunk = chunk_size(jobs, threads);
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..jobs).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs) {
+            scope.spawn(|| loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= jobs {
+                    break;
+                }
+                let end = (start + chunk).min(jobs);
+                // Run the whole chunk before taking the lock so workers
+                // spend their time in jobs, not contending on slots.
+                let batch: Vec<(usize, R)> = (start..end).map(|i| (i, job(i))).collect();
+                let mut table = slots.lock().expect("worker panicked while storing results");
+                for (i, r) in batch {
+                    table[i] = Some(r);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_inner()
+        .expect("worker panicked while storing results")
+        .into_iter()
+        .map(|slot| slot.expect("job queue left an index unfilled"))
+        .collect()
+}
+
+/// Maps `items` through `f` in parallel, preserving order; `f` also
+/// receives the item index for seed derivation.
+pub fn map_indexed<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_jobs(threads, items.len(), |i| f(i, &items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn results_are_in_index_order_at_any_thread_count() {
+        let serial = run_jobs(1, 100, |i| i * 3 + 1);
+        for threads in [2, 3, 4, 7, 16] {
+            assert_eq!(run_jobs(threads, 100, |i| i * 3 + 1), serial);
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let hits: Vec<AtomicU32> = (0..57).map(|_| AtomicU32::new(0)).collect();
+        run_jobs(4, 57, |i| hits[i].fetch_add(1, Ordering::Relaxed));
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        assert_eq!(run_jobs(16, 3, |i| i), vec![0, 1, 2]);
+        assert_eq!(run_jobs(16, 0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn uneven_job_durations_still_collect_in_order() {
+        let out = run_jobs(4, 40, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_indexed_matches_serial_map() {
+        let items: Vec<u64> = (0..33).map(|i| i * 11).collect();
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + i as u64)
+            .collect();
+        assert_eq!(map_indexed(4, &items, |i, v| v + i as u64), serial);
+    }
+
+    #[test]
+    fn chunking_covers_the_whole_range() {
+        for jobs in [1usize, 2, 9, 64, 1000] {
+            for workers in [2usize, 4, 8] {
+                let c = chunk_size(jobs, workers);
+                assert!(c >= 1);
+                let out = run_jobs(workers, jobs, |i| i);
+                assert_eq!(out.len(), jobs);
+                let distinct: HashSet<usize> = out.into_iter().collect();
+                assert_eq!(distinct.len(), jobs);
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_prefers_explicit_request() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(
+            resolve_threads(Some(0)).max(1),
+            resolve_threads(None).max(1)
+        );
+    }
+}

@@ -15,7 +15,10 @@
 //!   hook), matched-input execution, outcome comparison;
 //! * [`shrink`] — greedy structural minimizer for failing cases;
 //! * [`corpus`] — reproducer and report serialization, corpus replay;
-//! * [`fuzz`] — the top-level loop tying them together.
+//! * [`fuzz`] — the top-level loop tying them together; iterations scan
+//!   and findings shrink as parallel jobs (`FuzzConfig::threads`), with
+//!   results merged in iteration order so the report is byte-identical
+//!   at any thread count.
 //!
 //! # Examples
 //!
@@ -70,6 +73,11 @@ pub struct FuzzConfig {
     pub sabotage: Option<Sabotage>,
     /// Program-generator knobs.
     pub gen: GenOptions,
+    /// Worker threads for the scan and shrink phases (`--threads` /
+    /// `PGSD_THREADS`, default available parallelism). Purely a
+    /// throughput knob: the report and metrics are identical at any
+    /// value, so it is deliberately absent from [`FuzzReport`].
+    pub threads: usize,
 }
 
 impl Default for FuzzConfig {
@@ -83,6 +91,7 @@ impl Default for FuzzConfig {
             shrink_budget: 300,
             sabotage: None,
             gen: GenOptions::default(),
+            threads: pgsd_exec::default_threads(),
         }
     }
 }
@@ -101,12 +110,42 @@ fn program_seed_for(seed: u64, iter: u64) -> u64 {
     seed.wrapping_mul(1_000_003).wrapping_add(iter)
 }
 
+/// Per-transform-set counters from one iteration's scan.
+#[derive(Clone, Default)]
+struct TsetScan {
+    cases: u64,
+    divergences: u64,
+    static_rejections: u64,
+}
+
+/// Everything one iteration's scan phase produces. Scans are computed as
+/// parallel jobs and merged into the report strictly in iteration order.
+struct IterScan {
+    per_tset: Vec<TsetScan>,
+    build_errors: u64,
+    skipped_out_of_gas: bool,
+    /// Failing `(transform-set index, variant seed)` pairs, in scan
+    /// order, i.e. `(ti, k)` ascending.
+    failures: Vec<(usize, u64)>,
+    program_seed: u64,
+    /// Kept only when the iteration has failures (the capture phase
+    /// shrinks it); dropped otherwise to bound session memory.
+    program: Option<FuzzProgram>,
+    inputs: Vec<Vec<i32>>,
+}
+
 /// Runs a fuzzing session. When `corpus_dir` is given, every captured
 /// finding is written there as a reproducer and the session summary as
 /// `report.json`.
 ///
 /// The session is a pure function of `config`: identical configs produce
-/// identical reports, byte for byte.
+/// identical reports, byte for byte. Iterations are scanned as parallel
+/// jobs on `config.threads` workers and merged in iteration order, and
+/// the first `max_findings` failures — ranked by `(iteration,
+/// transform-set, variant)` exactly as the serial loop would meet them —
+/// are then shrunk as a second wave of parallel jobs; `report.json` and
+/// the telemetry metrics are therefore byte-identical at any thread
+/// count.
 ///
 /// # Errors
 ///
@@ -130,28 +169,34 @@ pub fn fuzz(
         ..FuzzReport::default()
     };
 
-    for iter in 0..config.iters {
-        let program_seed = program_seed_for(config.seed, iter);
+    // Phase 1: scan every iteration (generate, build variants, run the
+    // differential cases). One job per iteration; no shared state.
+    let iters = usize::try_from(config.iters).unwrap_or(usize::MAX);
+    let scans = pgsd_exec::run_jobs(config.threads, iters, |i| {
+        let program_seed = program_seed_for(config.seed, i as u64);
         let program = generate(program_seed, &config.gen);
         let inputs = inputs_for(program_seed);
-        report.programs += 1;
-        tel.add("fuzz.programs", 1);
-
+        let mut scan = IterScan {
+            per_tset: vec![TsetScan::default(); config.transforms.len()],
+            build_errors: 0,
+            skipped_out_of_gas: false,
+            failures: Vec::new(),
+            program_seed,
+            program: None,
+            inputs,
+        };
         'tsets: for (ti, &tset) in config.transforms.iter().enumerate() {
             for k in 0..config.variants_per_set {
                 let variant_seed = variant_seed_for(program_seed, ti, k);
-                report.cases += 1;
-                tel.add_labeled("fuzz.cases", &[("transforms", tset.label())], 1);
-                let outcome = run_case(&program, tset, variant_seed, &inputs, config.sabotage);
+                scan.per_tset[ti].cases += 1;
+                let outcome = run_case(&program, tset, variant_seed, &scan.inputs, config.sabotage);
                 let failed = match &outcome {
                     Err(_) => {
-                        report.build_errors += 1;
-                        tel.add("fuzz.build_errors", 1);
+                        scan.build_errors += 1;
                         true
                     }
                     Ok(res) if res.baseline_out_of_gas => {
-                        report.skipped_out_of_gas += 1;
-                        tel.add("fuzz.skipped_out_of_gas", 1);
+                        scan.skipped_out_of_gas = true;
                         // Gas depends only on the program, not the
                         // variant: every other case of it would also be
                         // skipped.
@@ -159,42 +204,100 @@ pub fn fuzz(
                     }
                     Ok(res) => {
                         if res.dynamic_diverged {
-                            report.divergences += 1;
-                            tel.add_labeled("fuzz.divergences", &[("transforms", tset.label())], 1);
+                            scan.per_tset[ti].divergences += 1;
                         }
                         if res.static_rejected {
-                            report.static_rejections += 1;
-                            tel.add_labeled(
-                                "fuzz.static_rejections",
-                                &[("transforms", tset.label())],
-                                1,
-                            );
+                            scan.per_tset[ti].static_rejections += 1;
                         }
                         res.is_failure()
                     }
                 };
-                if !failed || report.findings.len() >= config.max_findings {
-                    continue;
+                if failed {
+                    scan.failures.push((ti, variant_seed));
                 }
-                let finding = capture_finding(
-                    config,
-                    iter,
-                    program_seed,
-                    &program,
-                    tset,
-                    variant_seed,
-                    &inputs,
-                    tel,
-                );
-                if let Some(dir) = corpus_dir {
-                    finding
-                        .write_to(dir)
-                        .map_err(|e| format!("cannot write reproducer: {e}"))?;
-                }
-                report.findings.push(finding);
-                tel.add("fuzz.findings", 1);
             }
         }
+        if !scan.failures.is_empty() {
+            scan.program = Some(program);
+        }
+        scan
+    });
+
+    // Merge scan results into the report and telemetry in iteration
+    // order, and rank failure candidates exactly as the serial loop
+    // would have met them.
+    let mut candidates: Vec<(usize, usize, u64)> = Vec::new();
+    for (si, scan) in scans.iter().enumerate() {
+        report.programs += 1;
+        tel.add("fuzz.programs", 1);
+        for (ti, &tset) in config.transforms.iter().enumerate() {
+            let t = &scan.per_tset[ti];
+            report.cases += t.cases;
+            if t.cases > 0 {
+                tel.add_labeled("fuzz.cases", &[("transforms", tset.label())], t.cases);
+            }
+            if t.divergences > 0 {
+                report.divergences += t.divergences;
+                tel.add_labeled(
+                    "fuzz.divergences",
+                    &[("transforms", tset.label())],
+                    t.divergences,
+                );
+            }
+            if t.static_rejections > 0 {
+                report.static_rejections += t.static_rejections;
+                tel.add_labeled(
+                    "fuzz.static_rejections",
+                    &[("transforms", tset.label())],
+                    t.static_rejections,
+                );
+            }
+        }
+        if scan.build_errors > 0 {
+            report.build_errors += scan.build_errors;
+            tel.add("fuzz.build_errors", scan.build_errors);
+        }
+        if scan.skipped_out_of_gas {
+            report.skipped_out_of_gas += 1;
+            tel.add("fuzz.skipped_out_of_gas", 1);
+        }
+        for &(ti, variant_seed) in &scan.failures {
+            if candidates.len() < config.max_findings {
+                candidates.push((si, ti, variant_seed));
+            }
+        }
+    }
+
+    // Phase 2: shrink the capped candidate list — the expensive part —
+    // as parallel jobs, each recording into its own telemetry child;
+    // children merge in candidate order.
+    let captured =
+        pgsd_exec::map_indexed(config.threads, &candidates, |_, &(si, ti, variant_seed)| {
+            let scan = &scans[si];
+            let child = tel.child();
+            let finding = capture_finding(
+                config,
+                si as u64,
+                scan.program_seed,
+                scan.program
+                    .as_ref()
+                    .expect("failing iteration keeps its program"),
+                config.transforms[ti],
+                variant_seed,
+                &scan.inputs,
+                &child,
+            );
+            (finding, child)
+        });
+    for (finding, child) in captured {
+        tel.merge_from(&child);
+        if let Some(dir) = corpus_dir {
+            finding
+                .write_to(dir)
+                .map_err(|e| format!("cannot write reproducer: {e}"))?;
+        }
+        report.findings.push(finding);
+        tel.add("fuzz.findings", 1);
     }
 
     if let Some(dir) = corpus_dir {

@@ -112,7 +112,7 @@ mod tests {
         )
         .unwrap();
         let images = population(&module, None, Strategy::uniform(0.3), 0, 8).unwrap();
-        let texts: Vec<Vec<u8>> = images.into_iter().map(|i| i.text).collect();
+        let texts: Vec<Vec<u8>> = images.into_iter().map(|i| i.text.to_vec()).collect();
         let rep = population_survival(&texts, &NopTable::new(), &cfg());
         let counts = rep.thresholds(&[1, 2, 4, 8]);
         for w in counts.windows(2) {

@@ -167,6 +167,63 @@ impl Telemetry {
         }
     }
 
+    /// A fresh handle with the same armed/disabled state as `self` but
+    /// its **own** collector. Parallel jobs record into children so
+    /// workers never contend on (or interleave within) the parent's
+    /// collector; the caller merges each child back with [`merge_from`]
+    /// in job-index order, which keeps the merged document byte-identical
+    /// at any thread count.
+    ///
+    /// [`merge_from`]: Telemetry::merge_from
+    pub fn child(&self) -> Telemetry {
+        if self.is_enabled() {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        }
+    }
+
+    /// Merges everything `child` recorded into this handle: counters and
+    /// histograms add (commutative — any merge order matches the serial
+    /// totals), gauges are last-write-wins in *call* order (so merging
+    /// children in job-index order reproduces the serial final value),
+    /// and the child's span tree is grafted under the currently open
+    /// span with timestamps rebased onto this collector's epoch.
+    ///
+    /// No-op when either handle is disabled or both share one collector.
+    pub fn merge_from(&self, child: &Telemetry) {
+        let (Some(dst), Some(src)) = (&self.collector, &child.collector) else {
+            return;
+        };
+        if Arc::ptr_eq(dst, src) {
+            return;
+        }
+        // Copy the child's records out under its lock alone, then merge
+        // under ours alone — the two locks are never held together.
+        let (spans, counters, gauges, histograms) = {
+            let inner = src.lock();
+            (
+                inner.spans.spans.clone(),
+                inner.counters.clone(),
+                inner.gauges.clone(),
+                inner.histograms.clone(),
+            )
+        };
+        let shift_ns = u64::try_from(src.epoch.saturating_duration_since(dst.epoch).as_nanos())
+            .unwrap_or(u64::MAX);
+        let mut inner = dst.lock();
+        inner.spans.absorb(&spans, shift_ns);
+        for (k, v) in counters {
+            *inner.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in gauges {
+            inner.gauges.insert(k, v);
+        }
+        for (k, h) in histograms {
+            inner.histograms.entry(k).or_default().merge(&h);
+        }
+    }
+
     /// A snapshot of all counters, gauges and histograms as a
     /// [`MetricsDoc`] (empty when disabled).
     pub fn snapshot(&self) -> MetricsDoc {
@@ -300,6 +357,79 @@ mod tests {
         assert_eq!(tel, clone);
         assert_ne!(tel, Telemetry::enabled());
         assert_eq!(Telemetry::disabled(), Telemetry::disabled());
+    }
+
+    #[test]
+    fn child_inherits_armed_state_but_not_the_collector() {
+        let on = Telemetry::enabled();
+        assert!(on.child().is_enabled());
+        assert_ne!(on, on.child());
+        assert!(!Telemetry::disabled().child().is_enabled());
+    }
+
+    #[test]
+    fn merge_is_deterministic_and_matches_serial_recording() {
+        let record = |tel: &Telemetry, salt: u64| {
+            let _s = tel.span("build");
+            tel.add("nop.inserted", salt);
+            tel.observe("nop.pad_len", salt);
+            tel.set_gauge("train.x_max", salt as f64);
+        };
+
+        // Serial reference: everything recorded on one collector.
+        let serial = Telemetry::enabled();
+        for salt in 1..=4 {
+            record(&serial, salt);
+        }
+
+        // Parallel shape: each job records into its own child, children
+        // merged in job-index order.
+        let parent = Telemetry::enabled();
+        let children: Vec<Telemetry> = (1..=4)
+            .map(|salt| {
+                let c = parent.child();
+                record(&c, salt);
+                c
+            })
+            .collect();
+        for c in &children {
+            parent.merge_from(c);
+        }
+
+        assert_eq!(parent.metrics_json(), serial.metrics_json());
+        let spans = parent.spans();
+        assert_eq!(spans.len(), 4);
+        assert!(spans.iter().all(|s| s.name == "build" && s.closed));
+    }
+
+    #[test]
+    fn merge_grafts_spans_under_the_open_span() {
+        let parent = Telemetry::enabled();
+        let child = parent.child();
+        {
+            let _inner = child.span("job");
+            child.add("c", 1);
+        }
+        {
+            let _pop = parent.span("population");
+            parent.merge_from(&child);
+        }
+        let spans = parent.spans();
+        assert_eq!(spans[0].name, "population");
+        assert_eq!(spans[1].name, "job");
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(parent.snapshot().counters["c"], 1);
+    }
+
+    #[test]
+    fn merge_with_disabled_handles_is_a_noop() {
+        let on = Telemetry::enabled();
+        on.merge_from(&Telemetry::disabled());
+        Telemetry::disabled().merge_from(&on);
+        on.add("c", 1);
+        on.merge_from(&on.clone()); // shared collector: no double count
+        assert_eq!(on.snapshot().counters["c"], 1);
     }
 
     #[test]

@@ -23,6 +23,15 @@ impl Histogram {
         *self.counts.entry(value).or_insert(0) += 1;
     }
 
+    /// Merges all observations of `other` into `self`. Counts are
+    /// additive, so merging is commutative and associative — per-worker
+    /// histograms merged in any order equal the serial histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&value, &n) in &other.counts {
+            *self.counts.entry(value).or_insert(0) += n;
+        }
+    }
+
     /// Total number of observations.
     pub fn total(&self) -> u64 {
         self.counts.values().sum()

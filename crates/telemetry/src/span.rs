@@ -60,6 +60,26 @@ impl SpanTable {
             }
         }
     }
+
+    /// Appends another table's spans (a parallel job's subtree), fixing
+    /// up parent indices and re-rooting the absorbed roots under the
+    /// currently open span, if any. `shift_ns` rebases the absorbed
+    /// timestamps onto this table's epoch.
+    pub(crate) fn absorb(&mut self, other: &[SpanRecord], shift_ns: u64) {
+        let base = self.spans.len();
+        let graft = self.open.last().copied();
+        let graft_depth = graft.map_or(0, |p| self.spans[p].depth + 1);
+        for s in other {
+            self.spans.push(SpanRecord {
+                name: s.name.clone(),
+                parent: s.parent.map(|p| p + base).or(graft),
+                depth: s.depth + graft_depth,
+                start_ns: s.start_ns.saturating_add(shift_ns),
+                dur_ns: s.dur_ns,
+                closed: s.closed,
+            });
+        }
+    }
 }
 
 #[cfg(test)]

@@ -68,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Cross-population sharing (Table 3's question).
-    let texts: Vec<Vec<u8>> = images.iter().map(|i| i.text.clone()).collect();
+    let texts: Vec<Vec<u8>> = images.iter().map(|i| i.text.to_vec()).collect();
     let report = population_survival(&texts, &table, &cfg);
     for k in [2, n / 2, n] {
         println!(

@@ -8,6 +8,7 @@
 //! pgsd disasm <file.mc> [--func NAME]             disassemble the image
 //! pgsd report <metrics.json>                      summarize a metrics file
 //! pgsd fuzz [options]                             differential variant fuzzing
+//! pgsd bench [--threads N] [--out FILE]           timed slice → BENCH_pgsd.json
 //!
 //! diversify / check options:
 //!   --pnop SPEC      uniform `0.5` or profile-guided range `0.0-0.3`
@@ -72,6 +73,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "disasm" => cmd_disasm(rest),
         "report" => cmd_report(rest),
         "fuzz" => cmd_fuzz(rest),
+        "bench" => cmd_bench(rest),
         other => Err(format!("unknown command `{other}` (try --help)")),
     }
 }
@@ -90,7 +92,9 @@ pgsd — profile-guided software diversity toolchain (CGO 2013 reproduction)
   pgsd disasm <file.mc> [--func NAME]
   pgsd report <metrics.json>
   pgsd fuzz [--iters N] [--seed N] [--transforms LIST] [--corpus DIR]
-            [--variants K] [--replay DIR] [--trace FILE] [--metrics FILE]
+            [--variants K] [--replay DIR] [--threads N]
+            [--trace FILE] [--metrics FILE]
+  pgsd bench [--threads N] [--out FILE]
 
 SPEC is a probability (`0.5`) for uniform insertion or a range (`0.0-0.3`)
 for the profile-guided strategy; ranges trigger a training run.
@@ -113,6 +117,15 @@ matched inputs, and cross-checks dynamic behaviour against the static
 validator. Failures are shrunk and saved as reproducers under `--corpus`
 (default `corpus/`) next to a deterministic `report.json`; `--replay DIR`
 re-runs every saved reproducer as a regression check instead of fuzzing.
+
+`bench` runs a fixed benchmark slice (every paper configuration of
+470.lbm and 401.bzip2, 6 seeds each) once serially and once on
+`--threads` workers (default `PGSD_THREADS`, else available
+parallelism), cross-checks that the emulated cycle totals agree, and
+writes wall-clock, Mcycles and speedup to a schema-versioned metrics
+document (default `BENCH_pgsd.json` at the repo root) for tracking the
+perf trajectory. `--threads` on `fuzz` likewise only changes throughput,
+never the report.
 ";
 
 /// Every flag the parser understands: name, whether it takes a value, and
@@ -133,6 +146,8 @@ const FLAGS: &[(&str, bool, &[&str])] = &[
     ("--corpus", true, &["fuzz"]),
     ("--variants", true, &["fuzz"]),
     ("--replay", true, &["fuzz"]),
+    ("--threads", true, &["fuzz", "bench"]),
+    ("--out", true, &["bench"]),
 ];
 
 fn allowed_flags(cmd: &str) -> Vec<&'static str> {
@@ -587,6 +602,9 @@ fn cmd_fuzz(rest: &[String]) -> Result<(), String> {
                     return Err("--transforms needs at least one of nop,subst,shift,combo".into());
                 }
             }
+            "--threads" => {
+                config.threads = value(a)?.parse().map_err(|e| format!("bad threads: {e}"))?;
+            }
             "--corpus" => corpus = value(a)?,
             "--replay" => replay_dir = Some(value(a)?),
             "--trace" => trace = Some(value(a)?),
@@ -675,6 +693,89 @@ fn cmd_fuzz(rest: &[String]) -> Result<(), String> {
             report.divergences, report.static_rejections, report.build_errors
         ))
     }
+}
+
+fn cmd_bench(rest: &[String]) -> Result<(), String> {
+    let allowed = allowed_flags("bench");
+    let mut requested: Option<usize> = None;
+    let mut out = String::from("BENCH_pgsd.json");
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let a = arg.as_str();
+        if !a.starts_with("--") {
+            return Err(format!(
+                "unexpected argument `{a}` — `pgsd bench` takes no positional arguments"
+            ));
+        }
+        if !allowed.contains(&a) {
+            return Err(flag_error("bench", a, &allowed));
+        }
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a {
+            "--threads" => {
+                requested = Some(value(a)?.parse().map_err(|e| format!("bad threads: {e}"))?);
+            }
+            "--out" => out = value(a)?,
+            _ => unreachable!("flag table and match arms out of sync"),
+        }
+    }
+    let threads = pgsd::exec::resolve_threads(requested);
+
+    eprintln!(
+        "bench slice: {} × {} paper configs × {} seeds, threads 1 then {threads}",
+        pgsd::bench::BENCH_SLICE_WORKLOADS.join(", "),
+        Strategy::paper_configs().len(),
+        pgsd::bench::BENCH_SLICE_SEEDS,
+    );
+    let prepared = pgsd::bench::prepare_bench_slice();
+    let serial = pgsd::bench::measure_bench_slice(&prepared, 1);
+    let parallel = if threads <= 1 {
+        serial
+    } else {
+        pgsd::bench::measure_bench_slice(&prepared, threads)
+    };
+    if parallel.cycles != serial.cycles {
+        return Err(format!(
+            "cycle totals diverged across thread counts: {} at 1 thread, {} at {threads} — \
+             parallel execution is supposed to be deterministic",
+            serial.cycles, parallel.cycles
+        ));
+    }
+    let speedup = serial.wall_ms / parallel.wall_ms;
+
+    let sink = pgsd::bench::MetricsSink::new("bench");
+    sink.gauge("bench.threads", threads as f64);
+    // The speedup only means something relative to the cores actually
+    // present (e.g. 4 threads on a 1-core box is a slowdown).
+    sink.gauge(
+        "bench.host_parallelism",
+        pgsd::exec::available_threads() as f64,
+    );
+    sink.gauge_labeled("bench.wall_ms", &[("threads", "1")], serial.wall_ms);
+    sink.gauge_labeled(
+        "bench.wall_ms",
+        &[("threads", &threads.to_string())],
+        parallel.wall_ms,
+    );
+    sink.gauge("bench.speedup_vs_1thread", speedup);
+    sink.gauge("bench.emulated_mcycles", parallel.cycles as f64 / 1e6);
+    sink.count("bench.builds", parallel.builds);
+    sink.count("bench.runs", parallel.runs);
+    let path = sink.finish_to(Path::new(&out));
+
+    println!(
+        "bench slice: {:.0} ms at 1 thread, {:.0} ms at {threads} threads \
+         ({speedup:.2}× speedup, {:.1} Mcycles emulated per pass)",
+        serial.wall_ms,
+        parallel.wall_ms,
+        parallel.cycles as f64 / 1e6
+    );
+    println!("results written to {}", path.display());
+    Ok(())
 }
 
 fn cmd_report(rest: &[String]) -> Result<(), String> {

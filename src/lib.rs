@@ -17,7 +17,11 @@
 //! * [`telemetry`] — spans, metrics and trace export threaded through the
 //!   whole compile → diversify → execute pipeline;
 //! * [`fuzz`] — differential fuzzing of diversified variants: program
-//!   generator, dynamic-vs-static oracle cross-check, shrinker, corpus.
+//!   generator, dynamic-vs-static oracle cross-check, shrinker, corpus;
+//! * [`exec`] — zero-dependency deterministic parallel job queue used by
+//!   every population / sweep / fuzz fan-out;
+//! * [`bench`] — experiment-harness plumbing shared by the `pgsd bench`
+//!   subcommand and the table/figure binaries.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for paper-vs-measured results.
@@ -37,9 +41,11 @@
 #![forbid(unsafe_code)]
 
 pub use pgsd_analysis as analysis;
+pub use pgsd_bench as bench;
 pub use pgsd_cc as cc;
 pub use pgsd_core as core;
 pub use pgsd_emu as emu;
+pub use pgsd_exec as exec;
 pub use pgsd_fuzz as fuzz;
 pub use pgsd_gadget as gadget;
 pub use pgsd_profile as profile;

@@ -93,7 +93,7 @@ fn runtime_tail_is_constant_across_population() {
     let texts: Vec<Vec<u8>> = population(&module, None, Strategy::uniform(0.5), 0, 9)
         .unwrap()
         .into_iter()
-        .map(|i| i.text)
+        .map(|i| i.text.to_vec())
         .collect();
     let rep = population_survival(&texts, &table, &cfg);
     // The undiversified runtime prefix is identical in every version, so

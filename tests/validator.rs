@@ -102,7 +102,7 @@ fn corrupt_a_nop(img: &mut Image) -> bool {
         while off < end {
             let d = decode(&img.text[off..]).expect("variant text decodes");
             if d.len == 1 && img.text[off] == 0x90 {
-                img.text[off] = 0x40;
+                std::sync::Arc::make_mut(&mut img.text)[off] = 0x40;
                 return true;
             }
             off += d.len;
