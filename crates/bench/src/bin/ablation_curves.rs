@@ -10,7 +10,7 @@
 //! (473.astar) and on the full suite in aggregate.
 
 use pgsd_bench::{geomean_pct, prepare, row, selected_suite, write_csv, ProgressTimer};
-use pgsd_core::driver::{build, run_input, BuildConfig, DEFAULT_GAS};
+use pgsd_core::driver::{BuildConfig, DEFAULT_GAS};
 use pgsd_core::{Curve, Strategy};
 use pgsd_gadget::{survivor, ScanConfig};
 use pgsd_x86::nop::NopTable;
@@ -75,7 +75,9 @@ fn main() {
     for w in selected_suite() {
         let name = w.name;
         let p = prepare(w);
-        let (exit, stats) = run_input(&p.baseline, &p.workload.reference, DEFAULT_GAS);
+        let (exit, stats) =
+            p.session
+                .run_image(&p.baseline, &p.workload.reference, DEFAULT_GAS, "baseline");
         let expected = exit.status().expect("baseline runs");
         let base = stats.cycles as f64;
         // One job per (curve, seed); the per-curve means below accumulate
@@ -86,12 +88,7 @@ fn main() {
             .flat_map(|ci| (0..seeds).map(move |seed| (ci, seed)))
             .collect();
         let measured = pgsd_exec::map_indexed(threads, &jobs, |_, &(ci, seed)| {
-            let image = build(
-                &p.module,
-                Some(&p.profile),
-                &BuildConfig::diversified(curves[ci], seed),
-            )
-            .expect("builds");
+            let image = p.build(&BuildConfig::diversified(curves[ci], seed));
             let survivors = survivor(&p.baseline.text, &image.text, &table, &cfg).count();
             (p.ref_cycles(&image, Some(expected)), survivors)
         });

@@ -11,7 +11,7 @@
 //! stack, profile-guided throughout.
 
 use pgsd_bench::{geomean_pct, prepare, row, selected_suite, versions, write_csv, ProgressTimer};
-use pgsd_core::driver::{build, run_input, BuildConfig, DEFAULT_GAS};
+use pgsd_core::driver::{BuildConfig, DEFAULT_GAS};
 use pgsd_core::Strategy;
 use pgsd_gadget::{survivor, ScanConfig};
 use pgsd_x86::nop::NopTable;
@@ -66,7 +66,9 @@ fn main() {
     for w in selected_suite() {
         let name = w.name;
         let p = prepare(w);
-        let (exit, stats) = run_input(&p.baseline, &p.workload.reference, DEFAULT_GAS);
+        let (exit, stats) =
+            p.session
+                .run_image(&p.baseline, &p.workload.reference, DEFAULT_GAS, "baseline");
         let expected = exit.status().expect("baseline runs");
         let base_cycles = stats.cycles as f64;
         let mut cells = vec![name.to_string()];
@@ -77,7 +79,7 @@ fn main() {
             .flat_map(|vi| (0..n_versions as u64).map(move |seed| (vi, seed)))
             .collect();
         let measured = pgsd_exec::map_indexed(threads, &jobs, |_, &(vi, seed)| {
-            let image = build(&p.module, Some(&p.profile), &variants[vi].1(seed)).expect("builds");
+            let image = p.build(&variants[vi].1(seed));
             let survivors = survivor(&p.baseline.text, &image.text, &table, &cfg_scan).count();
             (survivors, p.ref_cycles(&image, Some(expected)))
         });

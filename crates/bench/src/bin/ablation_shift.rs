@@ -8,7 +8,7 @@
 //! NOP insertion plus shifting, and what the shifting costs at run time.
 
 use pgsd_bench::{prepare, row, selected_suite, versions, write_csv, ProgressTimer};
-use pgsd_core::driver::{build, run_input, BuildConfig, DEFAULT_GAS};
+use pgsd_core::driver::{BuildConfig, DEFAULT_GAS};
 use pgsd_core::Strategy;
 use pgsd_gadget::{find_gadgets, survivor, ScanConfig};
 use pgsd_x86::nop::NopTable;
@@ -67,7 +67,9 @@ fn main() {
                 .collect::<Vec<_>>(),
         );
 
-        let (exit, stats) = run_input(&p.baseline, &p.workload.reference, DEFAULT_GAS);
+        let (exit, stats) =
+            p.session
+                .run_image(&p.baseline, &p.workload.reference, DEFAULT_GAS, "baseline");
         let expected = exit.status().expect("baseline runs");
         let base_cycles = stats.cycles as f64;
 
@@ -84,7 +86,7 @@ fn main() {
                 seed,
                 ..BuildConfig::baseline()
             };
-            let image = build(&p.module, Some(&p.profile), &config).expect("builds");
+            let image = p.build(&config);
             let rep = survivor(&p.baseline.text, &image.text, &table, &cfg);
             (early(&rep.survivors), p.ref_cycles(&image, Some(expected)))
         });

@@ -11,7 +11,7 @@
 use pgsd_bench::{
     geomean_pct, perf_seeds, prepare, row, selected_suite, write_csv, MetricsSink, ProgressTimer,
 };
-use pgsd_core::driver::{run_input, DEFAULT_GAS};
+use pgsd_core::driver::DEFAULT_GAS;
 use pgsd_core::Strategy;
 
 fn main() {
@@ -36,7 +36,9 @@ fn main() {
     for w in selected_suite() {
         let name = w.name;
         let p = prepare(w);
-        let (exit, stats) = run_input(&p.baseline, &p.workload.reference, DEFAULT_GAS);
+        let (exit, stats) =
+            p.session
+                .run_image(&p.baseline, &p.workload.reference, DEFAULT_GAS, "baseline");
         let expected = exit
             .status()
             .unwrap_or_else(|| panic!("{name} baseline failed: {exit:?}"));

@@ -13,9 +13,8 @@
 //! 3. report whether any diversified version remains attackable.
 
 use pgsd_bench::{versions, write_csv, ProgressTimer};
-use pgsd_cc::driver::frontend;
-use pgsd_core::driver::{build, train, BuildConfig, DEFAULT_GAS};
-use pgsd_core::Strategy;
+use pgsd_core::driver::{BuildConfig, DEFAULT_GAS};
+use pgsd_core::{Session, Strategy};
 use pgsd_gadget::{
     attack_scan_config, check_attack, check_attack_on_gadgets, find_gadgets, gadget_at,
     AttackTemplate, Gadget,
@@ -52,8 +51,10 @@ fn main() {
         "php case study: 7 profiles × {n_versions} versions at pNOP=0-30% ({threads} threads)"
     ));
     let source = php_source();
-    let module = frontend("php", &source).expect("interpreter compiles");
-    let baseline = build(&module, None, &BuildConfig::baseline()).expect("baseline builds");
+    let session = Session::from_source("php", &source);
+    let baseline = session
+        .build_with(&BuildConfig::baseline())
+        .expect("baseline builds");
     let templates = [AttackTemplate::ropgadget(), AttackTemplate::microgadgets()];
     let table = NopTable::new();
 
@@ -83,13 +84,14 @@ fn main() {
         // Train on this benchmark, as the paper profiles PHP with each
         // CLBG program separately.
         let fuel = 400_000;
-        let profile = train(&module, &[program.input(fuel)], DEFAULT_GAS)
+        session
+            .train(&[program.input(fuel)], DEFAULT_GAS)
             .unwrap_or_else(|e| panic!("training on {} failed: {e}", program.name));
         // Each seed's build + survivor scan + attack checks is one job;
         // counts are summed in seed order.
         let per_seed = pgsd_exec::run_jobs(threads, n_versions, |seed| {
             let config = BuildConfig::diversified(strategy, seed as u64);
-            let image = build(&module, Some(&profile), &config).expect("diversified build");
+            let image = session.build_with(&config).expect("diversified build");
             let survivors = surviving_attack_gadgets(&baseline.text, &image.text, &table);
             let feasible: Vec<bool> = templates
                 .iter()

@@ -6,8 +6,8 @@
 //! largest, and 473.astar's median sits far below its maximum).
 
 use pgsd_bench::{prepare, row, selected_suite, write_csv, MetricsSink, ProgressTimer};
-use pgsd_core::driver::{train, DEFAULT_GAS};
-use pgsd_core::{Curve, Strategy};
+use pgsd_core::driver::DEFAULT_GAS;
+use pgsd_core::{Curve, Session, Strategy};
 
 fn main() {
     let threads = pgsd_bench::threads();
@@ -42,13 +42,14 @@ fn main() {
         let median = p.profile.median_count();
         // The paper's §5.1 premise: the train profile must be "a proper
         // sample of real-world usage" — measure it by profiling the ref
-        // input too and comparing shapes.
-        let ref_profile = train(
-            &p.module,
-            std::slice::from_ref(&p.workload.reference),
-            DEFAULT_GAS,
-        )
-        .expect("ref profiling");
+        // input too and comparing shapes. A separate session keeps the
+        // train profile active on `p.session`; sharing the cache makes
+        // the recompile a module-cache hit.
+        let ref_session = Session::from_source(p.workload.name, &p.workload.source)
+            .cache(p.session.cache_handle().clone());
+        let ref_profile = ref_session
+            .train(std::slice::from_ref(&p.workload.reference), DEFAULT_GAS)
+            .expect("ref profiling");
         let fidelity = p.profile.similarity(&ref_profile);
         (x_max, median, fidelity)
     });

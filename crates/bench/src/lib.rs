@@ -29,11 +29,10 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
-use pgsd_cc::driver::frontend;
+use pgsd_cache::Cache;
 use pgsd_cc::emit::Image;
-use pgsd_cc::ir::Module;
-use pgsd_core::driver::{build, run_input, train, BuildConfig, DEFAULT_GAS};
-use pgsd_core::Strategy;
+use pgsd_core::driver::{BuildConfig, DEFAULT_GAS};
+use pgsd_core::{Session, Strategy};
 use pgsd_profile::Profile;
 use pgsd_telemetry::Telemetry;
 use pgsd_workloads::Workload;
@@ -86,30 +85,42 @@ pub fn selected_suite() -> Vec<Workload> {
 pub struct Prepared {
     /// The workload definition.
     pub workload: Workload,
-    /// Optimized IR.
-    pub module: Module,
+    /// The session: compiled module, trained profile, artifact cache.
+    pub session: Session,
     /// Training profile (from the workload's train inputs).
-    pub profile: Profile,
+    pub profile: Arc<Profile>,
     /// Undiversified baseline image.
     pub baseline: Image,
 }
 
-/// Compiles and trains one workload.
+/// Compiles and trains one workload (with a fresh in-memory cache).
 ///
 /// # Panics
 ///
 /// Panics on compilation or training failure — experiment inputs are
 /// fixed, so failure is a bug worth a loud stop.
 pub fn prepare(workload: Workload) -> Prepared {
-    let module = frontend(workload.name, &workload.source)
-        .unwrap_or_else(|e| panic!("{} does not compile: {e}", workload.name));
-    let profile = train(&module, &workload.train, DEFAULT_GAS)
+    prepare_with(workload, Cache::in_memory())
+}
+
+/// Compiles and trains one workload, memoizing pipeline artifacts in
+/// `cache` — `pgsd bench` passes the same handle twice to measure the
+/// warm-cache speedup.
+///
+/// # Panics
+///
+/// As [`prepare`].
+pub fn prepare_with(workload: Workload, cache: Cache) -> Prepared {
+    let session = Session::from_source(workload.name, &workload.source).cache(cache);
+    let profile = session
+        .train(&workload.train, DEFAULT_GAS)
         .unwrap_or_else(|e| panic!("{} does not train: {e}", workload.name));
-    let baseline = build(&module, None, &BuildConfig::baseline())
+    let baseline = session
+        .build_with(&BuildConfig::baseline())
         .unwrap_or_else(|e| panic!("{} baseline build failed: {e}", workload.name));
     Prepared {
         workload,
-        module,
+        session,
         profile,
         baseline,
     }
@@ -118,12 +129,19 @@ pub fn prepare(workload: Workload) -> Prepared {
 impl Prepared {
     /// Builds one diversified version.
     pub fn diversified(&self, strategy: Strategy, seed: u64) -> Image {
-        build(
-            &self.module,
-            Some(&self.profile),
-            &BuildConfig::diversified(strategy, seed),
-        )
-        .unwrap_or_else(|e| panic!("{} diversified build failed: {e}", self.workload.name))
+        self.build(&BuildConfig::diversified(strategy, seed))
+    }
+
+    /// Builds one image under an arbitrary configuration (the ablation
+    /// harnesses tweak transform fields beyond strategy × seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics on build failure.
+    pub fn build(&self, config: &BuildConfig) -> Image {
+        self.session
+            .build_with(config)
+            .unwrap_or_else(|e| panic!("{} diversified build failed: {e}", self.workload.name))
     }
 
     /// Builds a population of diversified text sections on `threads`
@@ -141,7 +159,9 @@ impl Prepared {
     /// Runs an image on the reference input, asserting it matches the
     /// baseline's behaviour, and returns its cycle count.
     pub fn ref_cycles(&self, image: &Image, expected: Option<i32>) -> u64 {
-        let (exit, stats) = run_input(image, &self.workload.reference, DEFAULT_GAS);
+        let (exit, stats) =
+            self.session
+                .run_image(image, &self.workload.reference, DEFAULT_GAS, "ref");
         let status = exit
             .status()
             .unwrap_or_else(|| panic!("{}: diversified run failed: {exit:?}", self.workload.name));
@@ -179,10 +199,20 @@ pub struct SliceMeasurement {
 
 /// Compiles and trains the bench-slice workloads (untimed setup).
 pub fn prepare_bench_slice() -> Vec<Prepared> {
+    prepare_bench_slice_with(&Cache::in_memory())
+}
+
+/// As [`prepare_bench_slice`], sharing one artifact cache across the
+/// slice — preparing and measuring twice with the same handle turns the
+/// second pass into the warm-cache measurement `pgsd bench` reports.
+pub fn prepare_bench_slice_with(cache: &Cache) -> Vec<Prepared> {
     BENCH_SLICE_WORKLOADS
         .iter()
         .map(|name| {
-            prepare(pgsd_workloads::by_name(name).unwrap_or_else(|| panic!("{name} in suite")))
+            prepare_with(
+                pgsd_workloads::by_name(name).unwrap_or_else(|| panic!("{name} in suite")),
+                cache.clone(),
+            )
         })
         .collect()
 }

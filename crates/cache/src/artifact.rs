@@ -1,0 +1,341 @@
+//! Binary codecs for the artifacts that can live on disk.
+//!
+//! Only two artifact kinds are persistable — [`Image`]s and
+//! [`Profile`]s; everything else (IR modules, baseline LIR, validation
+//! verdicts) is cheap enough to recompute that it stays in the
+//! in-memory layer. Each on-disk artifact is a self-checking envelope:
+//!
+//! ```text
+//! [8-byte magic+version tag] [payload] [8-byte FNV-1a of tag+payload, LE]
+//! ```
+//!
+//! Decoding verifies the tag and the trailing checksum before touching
+//! the payload, and every field read is bounds-checked, so a truncated,
+//! bit-flipped, or wrong-version file decodes to `Err` — which the
+//! store treats as a miss (cold rebuild), never as data.
+//!
+//! The image payload encodes *every* field of [`Image`], so
+//! `decode(encode(img)) == img` by full structural equality — the
+//! property the byte-identical cold-vs-warm guarantee rests on.
+//! Profiles reuse the line-oriented [`Profile::to_text`] format inside
+//! the same envelope.
+
+use std::sync::Arc;
+
+use pgsd_cc::emit::{DataSymbol, FuncLayout, Image};
+use pgsd_profile::Profile;
+
+use crate::hash::Fnv64;
+
+/// Tag (magic + format version) of serialized images.
+pub const IMAGE_TAG: &[u8; 8] = b"PGSDIMG1";
+/// Tag (magic + format version) of serialized profiles.
+pub const PROFILE_TAG: &[u8; 8] = b"PGSDPRF1";
+
+fn seal(mut out: Vec<u8>) -> Vec<u8> {
+    let mut h = Fnv64::new();
+    h.write(&out);
+    out.extend_from_slice(&h.finish().to_le_bytes());
+    out
+}
+
+/// Strips and verifies the envelope; returns the payload.
+fn open<'a>(tag: &[u8; 8], bytes: &'a [u8]) -> Result<&'a [u8], String> {
+    if bytes.len() < 16 {
+        return Err("artifact too short".into());
+    }
+    let (body, sum) = bytes.split_at(bytes.len() - 8);
+    let mut h = Fnv64::new();
+    h.write(body);
+    if sum != h.finish().to_le_bytes() {
+        return Err("artifact checksum mismatch".into());
+    }
+    if &body[..8] != tag {
+        return Err(format!(
+            "artifact tag mismatch: expected {:?}",
+            String::from_utf8_lossy(tag)
+        ));
+    }
+    Ok(&body[8..])
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or("artifact truncated")?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn len(&mut self) -> Result<usize, String> {
+        let n = self.u32()? as usize;
+        // A length can never exceed what is left in the buffer; this
+        // caps allocations on corrupt input.
+        if n > self.bytes.len() - self.pos {
+            return Err("artifact length field out of range".into());
+        }
+        Ok(n)
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8], String> {
+        let n = self.len()?;
+        self.take(n)
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| "artifact string not UTF-8".into())
+    }
+
+    fn bool(&mut self) -> Result<bool, String> {
+        match self.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err("artifact bool out of range".into()),
+        }
+    }
+
+    fn done(&self) -> Result<(), String> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err("trailing bytes after artifact payload".into())
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+/// Serializes an image, envelope included.
+pub fn encode_image(img: &Image) -> Vec<u8> {
+    let mut out = Vec::with_capacity(img.text.len() + img.data.len() + 256);
+    out.extend_from_slice(IMAGE_TAG);
+    put_u32(&mut out, img.base);
+    put_u32(&mut out, img.data_base);
+    put_u32(&mut out, img.main_addr);
+    put_u32(&mut out, img.exit_addr);
+    put_u32(&mut out, img.counter_base);
+    put_u32(&mut out, img.num_counters);
+    put_bytes(&mut out, &img.text);
+    put_bytes(&mut out, &img.data);
+    put_u32(&mut out, img.funcs.len() as u32);
+    for f in &img.funcs {
+        put_str(&mut out, &f.name);
+        put_u32(&mut out, f.start);
+        put_u32(&mut out, f.end);
+        out.push(u8::from(f.diversified));
+        put_u32(&mut out, f.block_addrs.len() as u32);
+        for a in &f.block_addrs {
+            put_u32(&mut out, *a);
+        }
+    }
+    put_u32(&mut out, img.globals.len() as u32);
+    for g in &img.globals {
+        put_str(&mut out, &g.name);
+        put_u32(&mut out, g.addr);
+        put_u32(&mut out, g.words);
+    }
+    seal(out)
+}
+
+/// Deserializes an image; any corruption or version mismatch is `Err`.
+pub fn decode_image(bytes: &[u8]) -> Result<Image, String> {
+    let payload = open(IMAGE_TAG, bytes)?;
+    let mut r = Reader::new(payload);
+    let base = r.u32()?;
+    let data_base = r.u32()?;
+    let main_addr = r.u32()?;
+    let exit_addr = r.u32()?;
+    let counter_base = r.u32()?;
+    let num_counters = r.u32()?;
+    let text = r.bytes()?.to_vec();
+    let data = r.bytes()?.to_vec();
+    let nfuncs = r.len()?;
+    let mut funcs = Vec::with_capacity(nfuncs);
+    for _ in 0..nfuncs {
+        let name = r.str()?;
+        let start = r.u32()?;
+        let end = r.u32()?;
+        let diversified = r.bool()?;
+        let nblocks = r.len()?;
+        let mut block_addrs = Vec::with_capacity(nblocks);
+        for _ in 0..nblocks {
+            block_addrs.push(r.u32()?);
+        }
+        funcs.push(FuncLayout {
+            name,
+            start,
+            end,
+            block_addrs,
+            diversified,
+        });
+    }
+    let nglobals = r.len()?;
+    let mut globals = Vec::with_capacity(nglobals);
+    for _ in 0..nglobals {
+        let name = r.str()?;
+        let addr = r.u32()?;
+        let words = r.u32()?;
+        globals.push(DataSymbol { name, addr, words });
+    }
+    r.done()?;
+    Ok(Image {
+        base,
+        text: Arc::new(text),
+        data_base,
+        data: Arc::new(data),
+        main_addr,
+        exit_addr,
+        funcs,
+        globals,
+        counter_base,
+        num_counters,
+    })
+}
+
+/// Serializes a profile, envelope included.
+pub fn encode_profile(profile: &Profile) -> Vec<u8> {
+    let text = profile.to_text();
+    let mut out = Vec::with_capacity(text.len() + 24);
+    out.extend_from_slice(PROFILE_TAG);
+    put_str(&mut out, &text);
+    seal(out)
+}
+
+/// Deserializes a profile; any corruption or version mismatch is `Err`.
+pub fn decode_profile(bytes: &[u8]) -> Result<Profile, String> {
+    let payload = open(PROFILE_TAG, bytes)?;
+    let mut r = Reader::new(payload);
+    let text = r.str()?;
+    r.done()?;
+    Profile::from_text(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgsd_profile::FuncProfile;
+
+    fn sample_image() -> Image {
+        Image {
+            base: 0x0804_8000,
+            text: Arc::new(vec![0x90, 0xc3, 0x31, 0xc0]),
+            data_base: 0x0810_0000,
+            data: Arc::new(vec![1, 0, 0, 0, 2, 0, 0, 0]),
+            main_addr: 0x0804_8001,
+            exit_addr: 0x0804_8000,
+            funcs: vec![FuncLayout {
+                name: "main".into(),
+                start: 0x0804_8000,
+                end: 0x0804_8004,
+                block_addrs: vec![0x0804_8000, 0x0804_8002],
+                diversified: true,
+            }],
+            globals: vec![DataSymbol {
+                name: "g".into(),
+                addr: 0x0810_0000,
+                words: 2,
+            }],
+            counter_base: 0x0810_0008,
+            num_counters: 3,
+        }
+    }
+
+    #[test]
+    fn image_round_trips_by_full_equality() {
+        let img = sample_image();
+        let decoded = decode_image(&encode_image(&img)).expect("decodes");
+        assert_eq!(decoded, img);
+    }
+
+    #[test]
+    fn image_corruption_is_rejected() {
+        let img = sample_image();
+        let good = encode_image(&img);
+        // Flip every byte position in turn: each single-bit fault must
+        // be caught by the checksum (or the tag check).
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            assert!(decode_image(&bad).is_err(), "flip at {i} was accepted");
+        }
+        // Truncations too.
+        assert!(decode_image(&good[..good.len() - 1]).is_err());
+        assert!(decode_image(&good[..4]).is_err());
+        assert!(decode_image(b"").is_err());
+    }
+
+    #[test]
+    fn image_tag_version_is_enforced() {
+        let mut bytes = encode_image(&sample_image());
+        // Pretend a future format version wrote this file: tag differs,
+        // checksum is still valid.
+        bytes[7] = b'9';
+        let len = bytes.len();
+        let mut h = Fnv64::new();
+        h.write(&bytes[..len - 8]);
+        bytes[len - 8..].copy_from_slice(&h.finish().to_le_bytes());
+        assert!(decode_image(&bytes).is_err());
+    }
+
+    #[test]
+    fn profile_round_trips() {
+        let mut p = Profile::default();
+        p.funcs.insert(
+            "main".into(),
+            FuncProfile {
+                block_counts: vec![10, 0, 7],
+                invocations: 10,
+            },
+        );
+        let decoded = decode_profile(&encode_profile(&p)).expect("decodes");
+        assert_eq!(decoded.to_text(), p.to_text());
+    }
+
+    #[test]
+    fn profile_corruption_is_rejected() {
+        let mut p = Profile::default();
+        p.funcs.insert(
+            "f".into(),
+            FuncProfile {
+                block_counts: vec![1],
+                invocations: 1,
+            },
+        );
+        let good = encode_profile(&p);
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x01;
+            assert!(decode_profile(&bad).is_err(), "flip at {i} was accepted");
+        }
+    }
+}

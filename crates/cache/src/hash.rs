@@ -1,0 +1,173 @@
+//! Content hashing for cache keys.
+//!
+//! One streaming [FNV-1a] 64-bit hasher, shared by every key derivation
+//! in the workspace (it is the same function `fuzz::corpus` uses for
+//! finding ids). FNV is not cryptographic — keys name *trusted local
+//! artifacts*, they do not authenticate anything — but it is fast,
+//! dependency-free, and stable across platforms, which is what a
+//! content-addressed store needs.
+//!
+//! Multi-field keys must be unambiguous: two different field sequences
+//! must not concatenate to the same byte stream. [`Fnv64::write_str`]
+//! and [`Fnv64::write_bytes`] therefore length-prefix their payload;
+//! use the raw [`Fnv64::write`] only for fixed-width data.
+//!
+//! [FNV-1a]: http://www.isthe.com/chongo/tech/comp/fnv/
+
+use std::fmt;
+
+const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a 64-bit hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64 {
+            state: FNV_OFFSET_BASIS,
+        }
+    }
+
+    /// Absorbs raw bytes (no framing).
+    pub fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.state ^= u64::from(*b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` as 8 little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u32` as 4 little-endian bytes.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs variable-length bytes, length-prefixed so field
+    /// boundaries cannot alias.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        self.write(bytes);
+    }
+
+    /// Absorbs a string, length-prefixed.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// The current hash value as a [`Key`].
+    pub fn key(&self) -> Key {
+        Key(self.state)
+    }
+}
+
+/// `fmt::Write` adapter: lets `write!(Fnv64, "{value:?}")` hash a
+/// `Debug` rendering without materializing the intermediate string.
+impl fmt::Write for Fnv64 {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.write(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Hashes one byte slice in a single call.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// A content-derived cache key.
+///
+/// Displayed (and stored on disk) as 16 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key(pub u64);
+
+impl Key {
+    /// The key as its canonical 16-hex-digit file-name form.
+    pub fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parses the canonical 16-hex-digit form.
+    pub fn from_hex(s: &str) -> Option<Key> {
+        if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(Key)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_fnv1a_vectors() {
+        // Classic published FNV-1a 64 test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv64(b"foobar"));
+    }
+
+    #[test]
+    fn length_prefix_prevents_field_aliasing() {
+        let mut a = Fnv64::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv64::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn key_hex_round_trips() {
+        let k = Key(0x0123_4567_89ab_cdef);
+        assert_eq!(k.hex(), "0123456789abcdef");
+        assert_eq!(Key::from_hex(&k.hex()), Some(k));
+        assert_eq!(Key::from_hex("xyz"), None);
+        assert_eq!(Key::from_hex("0123"), None);
+    }
+
+    #[test]
+    fn fmt_write_adapter_hashes_debug_renderings() {
+        use std::fmt::Write as _;
+        let mut h = Fnv64::new();
+        write!(h, "{:?}", vec![1u8, 2, 3]).unwrap();
+        assert_eq!(h.finish(), fnv64(b"[1, 2, 3]"));
+    }
+}

@@ -1,0 +1,834 @@
+//! pgsd-cache: content-addressed artifact cache for the pgsd pipeline.
+//!
+//! Variant fleets make redundant recompilation the dominant cost: the
+//! diversifying passes are cheap, but every build pays frontend +
+//! optimizer + register allocation from scratch. This crate memoizes
+//! pipeline artifacts under content-derived keys so the seed-independent
+//! prefix (source → AST → optimized IR → baseline LIR) is computed once
+//! and per-seed variants are stamped out from the cached baseline LIR.
+//!
+//! # Two levels
+//!
+//! * **Memory** — every artifact kind ([`Kind`]), held as `Arc`
+//!   snapshots in a byte-capped FIFO map. Always on (unless the cache
+//!   is [`Cache::disabled`]); shared by cloning the handle.
+//! * **Disk** — only self-contained final products (images, profiles),
+//!   as hash-named checksummed files under a cache directory (by
+//!   convention [`DEFAULT_DIR`]) plus a schema-versioned
+//!   `manifest.json`. A version mismatch, unparseable manifest, or
+//!   corrupt artifact file is *never* an error: the entry is treated as
+//!   absent and the build falls back to a cold compile.
+//!
+//! Key derivation lives with the pipeline (`pgsd_core::session`); this
+//! crate only stores blobs under [`Key`]s. Hits, misses, evictions,
+//! corruption and bytes written are reported through [`pgsd_telemetry`]
+//! counters (`cache.hits{kind=..}`, `cache.misses{kind=..}`,
+//! `cache.disk_hits{kind=..}`, `cache.evictions`, `cache.corrupt`,
+//! `cache.bytes_written{kind=..}`), so `pgsd report` surfaces cache
+//! behaviour alongside the rest of the pipeline metrics.
+//!
+//! Counters are recorded on the [`Telemetry`] handle *passed to each
+//! operation* (not one captured at construction) so parallel sections
+//! can route them into per-job child handles and keep merged metrics
+//! deterministic at any thread count.
+
+pub mod artifact;
+pub mod hash;
+
+pub use hash::{fnv64, Fnv64, Key};
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fs;
+use std::io;
+use std::mem;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use pgsd_cc::emit::Image;
+use pgsd_cc::ir::Module;
+use pgsd_cc::lir::{MFunction, MInst};
+use pgsd_profile::Profile;
+use pgsd_telemetry::json::{parse, Value};
+use pgsd_telemetry::Telemetry;
+
+/// Schema version of `manifest.json`. Bump on any layout change; old
+/// manifests are then ignored wholesale (cold rebuild), never
+/// misinterpreted.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 1;
+
+/// The `kind` tag of manifest files.
+pub const MANIFEST_KIND: &str = "pgsd-cache-manifest";
+
+/// File name of the manifest inside a cache directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// Conventional cache directory name (`pgsd --cache-dir` default).
+pub const DEFAULT_DIR: &str = ".pgsd-cache";
+
+/// Default in-memory byte cap. Generous on purpose: eviction order
+/// under parallel insertion is schedule-dependent, so the cap is a
+/// safety valve against unbounded growth, not a tuning knob.
+pub const DEFAULT_MEM_CAP: u64 = 256 * 1024 * 1024;
+
+/// What kind of artifact a key names. Keys of different kinds live in
+/// disjoint namespaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Kind {
+    /// Optimized IR module (frontend output).
+    Module,
+    /// Baseline (or per-reg-seed) LIR: lowered, allocated, framed.
+    Lir,
+    /// Emitted executable image.
+    Image,
+    /// Execution profile from a training run.
+    Profile,
+    /// Translation-validation verdict for an image.
+    Verdict,
+}
+
+impl Kind {
+    /// Stable lowercase label (telemetry `kind=` value, manifest tag).
+    pub fn label(self) -> &'static str {
+        match self {
+            Kind::Module => "module",
+            Kind::Lir => "lir",
+            Kind::Image => "image",
+            Kind::Profile => "profile",
+            Kind::Verdict => "verdict",
+        }
+    }
+
+    fn from_label(s: &str) -> Option<Kind> {
+        Some(match s {
+            "module" => Kind::Module,
+            "lir" => Kind::Lir,
+            "image" => Kind::Image,
+            "profile" => Kind::Profile,
+            "verdict" => Kind::Verdict,
+            _ => return None,
+        })
+    }
+
+    /// File name of this artifact inside the cache directory, or `None`
+    /// if the kind is memory-only.
+    fn file_name(self, key: Key) -> Option<String> {
+        match self {
+            Kind::Image => Some(format!("img-{}.bin", key.hex())),
+            Kind::Profile => Some(format!("prof-{}.bin", key.hex())),
+            _ => None,
+        }
+    }
+}
+
+/// One cached artifact (cheaply cloneable snapshot).
+#[derive(Debug, Clone)]
+enum Slot {
+    Module(Arc<Module>),
+    Lir(Arc<Vec<MFunction>>),
+    Image(Arc<Image>),
+    Profile(Arc<Profile>),
+    Verdict(bool),
+}
+
+/// Approximate retained size, for the memory cap. Estimates only —
+/// accounting needs to be monotone in content size, not exact.
+fn slot_bytes(slot: &Slot) -> u64 {
+    match slot {
+        Slot::Module(m) => {
+            let mut n = 256u64;
+            for f in &m.funcs {
+                n += 512;
+                for b in &f.blocks {
+                    n += 32 + 24 * b.instrs.len() as u64;
+                }
+            }
+            n + 64 * m.globals.len() as u64
+        }
+        Slot::Lir(funcs) => {
+            let mut n = 64u64;
+            for f in funcs.iter() {
+                n += 128 + f.name.len() as u64;
+                for b in &f.blocks {
+                    n += 48 + (mem::size_of::<MInst>() * b.instrs.len()) as u64;
+                }
+            }
+            n
+        }
+        Slot::Image(img) => {
+            let mut n = 128 + img.text.len() as u64 + img.data.len() as u64;
+            for f in &img.funcs {
+                n += 64 + f.name.len() as u64 + 4 * f.block_addrs.len() as u64;
+            }
+            n + 48 * img.globals.len() as u64
+        }
+        Slot::Profile(p) => {
+            let mut n = 64u64;
+            for (name, fp) in &p.funcs {
+                n += 48 + name.len() as u64 + 8 * fp.block_counts.len() as u64;
+            }
+            n
+        }
+        Slot::Verdict(_) => 16,
+    }
+}
+
+struct MemStore {
+    map: HashMap<(Kind, Key), Slot>,
+    /// Insertion order, for FIFO eviction.
+    order: VecDeque<(Kind, Key)>,
+    bytes: u64,
+    cap: u64,
+    evictions: u64,
+}
+
+impl MemStore {
+    fn new(cap: u64) -> MemStore {
+        MemStore {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            bytes: 0,
+            cap,
+            evictions: 0,
+        }
+    }
+
+    fn get(&self, kind: Kind, key: Key) -> Option<Slot> {
+        self.map.get(&(kind, key)).cloned()
+    }
+
+    /// Inserts, evicting oldest-first if over the cap. Returns the
+    /// number of evictions performed.
+    fn put(&mut self, kind: Kind, key: Key, slot: Slot) -> u64 {
+        let sz = slot_bytes(&slot);
+        if let Some(old) = self.map.insert((kind, key), slot) {
+            // Overwrite in place: adjust accounting, keep FIFO position.
+            self.bytes = self.bytes - slot_bytes(&old) + sz;
+            return 0;
+        }
+        self.order.push_back((kind, key));
+        self.bytes += sz;
+        let mut evicted = 0;
+        while self.bytes > self.cap && self.order.len() > 1 {
+            let oldest = self.order.pop_front().expect("len > 1");
+            if let Some(gone) = self.map.remove(&oldest) {
+                self.bytes -= slot_bytes(&gone);
+                evicted += 1;
+            }
+        }
+        self.evictions += evicted;
+        evicted
+    }
+}
+
+/// The disk layer: artifact files plus an in-memory mirror of the
+/// manifest, rewritten (atomically, via temp file + rename) on every
+/// accepted put or dropped entry.
+struct DiskStore {
+    dir: PathBuf,
+    manifest: Mutex<BTreeMap<(Kind, Key), u64>>,
+}
+
+impl DiskStore {
+    fn open(dir: &Path) -> io::Result<DiskStore> {
+        fs::create_dir_all(dir)?;
+        let manifest = load_manifest(&dir.join(MANIFEST_FILE));
+        Ok(DiskStore {
+            dir: dir.to_path_buf(),
+            manifest: Mutex::new(manifest),
+        })
+    }
+
+    /// Best-effort manifest rewrite; callers treat the disk layer as an
+    /// optimization, so IO errors degrade to "not cached".
+    fn flush_manifest(&self, entries: &BTreeMap<(Kind, Key), u64>) {
+        let rows: Vec<Value> = entries
+            .iter()
+            .map(|((kind, key), bytes)| {
+                Value::Obj(vec![
+                    ("kind".into(), Value::Str(kind.label().into())),
+                    ("key".into(), Value::Str(key.hex())),
+                    ("bytes".into(), Value::u64(*bytes)),
+                ])
+            })
+            .collect();
+        let doc = Value::Obj(vec![
+            ("schema_version".into(), Value::u64(MANIFEST_SCHEMA_VERSION)),
+            ("kind".into(), Value::Str(MANIFEST_KIND.into())),
+            ("entries".into(), Value::Arr(rows)),
+        ]);
+        let mut text = String::new();
+        doc.write(&mut text);
+        text.push('\n');
+        let tmp = self.dir.join("manifest.json.tmp");
+        if fs::write(&tmp, &text).is_ok() {
+            let _ = fs::rename(&tmp, self.dir.join(MANIFEST_FILE));
+        }
+    }
+
+    /// Reads and decodes `kind/key`, dropping the entry on any failure.
+    /// Returns `Ok(None)` when absent, `Err(())` when present but
+    /// corrupt (so the caller can count it).
+    fn get(&self, kind: Kind, key: Key) -> Result<Option<Slot>, ()> {
+        let file = match kind.file_name(key) {
+            Some(f) => f,
+            None => return Ok(None),
+        };
+        {
+            let manifest = self.manifest.lock().unwrap();
+            if !manifest.contains_key(&(kind, key)) {
+                return Ok(None);
+            }
+        }
+        let path = self.dir.join(&file);
+        let decoded = fs::read(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|bytes| {
+                Ok(match kind {
+                    Kind::Image => Slot::Image(Arc::new(artifact::decode_image(&bytes)?)),
+                    Kind::Profile => Slot::Profile(Arc::new(artifact::decode_profile(&bytes)?)),
+                    _ => unreachable!("kind has a file name"),
+                })
+            });
+        match decoded {
+            Ok(slot) => Ok(Some(slot)),
+            Err(_) => {
+                // Unreadable or corrupt: forget it so the slot can be
+                // refilled by the cold rebuild.
+                let mut manifest = self.manifest.lock().unwrap();
+                if manifest.remove(&(kind, key)).is_some() {
+                    let _ = fs::remove_file(&path);
+                    self.flush_manifest(&manifest);
+                }
+                Err(())
+            }
+        }
+    }
+
+    /// Encodes and writes `kind/key` if not already present. Returns
+    /// bytes written (0 if already present or kind is memory-only).
+    fn put(&self, kind: Kind, key: Key, slot: &Slot) -> u64 {
+        let file = match kind.file_name(key) {
+            Some(f) => f,
+            None => return 0,
+        };
+        let bytes = match slot {
+            Slot::Image(img) => artifact::encode_image(img),
+            Slot::Profile(p) => artifact::encode_profile(p),
+            _ => return 0,
+        };
+        let mut manifest = self.manifest.lock().unwrap();
+        if manifest.contains_key(&(kind, key)) {
+            return 0;
+        }
+        let path = self.dir.join(&file);
+        let tmp = self.dir.join(format!("{file}.tmp"));
+        if fs::write(&tmp, &bytes).is_err() || fs::rename(&tmp, &path).is_err() {
+            return 0;
+        }
+        let n = bytes.len() as u64;
+        manifest.insert((kind, key), n);
+        self.flush_manifest(&manifest);
+        n
+    }
+
+    fn stats(&self) -> (usize, u64) {
+        let manifest = self.manifest.lock().unwrap();
+        (manifest.len(), manifest.values().sum())
+    }
+}
+
+/// Parses a manifest file. *Any* irregularity — missing file, parse
+/// error, wrong `kind`, wrong `schema_version`, malformed entry —
+/// yields an empty manifest: the store then behaves as cold, which is
+/// always safe.
+fn load_manifest(path: &Path) -> BTreeMap<(Kind, Key), u64> {
+    let mut out = BTreeMap::new();
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => return out,
+    };
+    let doc = match parse(&text) {
+        Ok(d) => d,
+        Err(_) => return out,
+    };
+    if doc.get("schema_version").and_then(Value::as_u64) != Some(MANIFEST_SCHEMA_VERSION)
+        || doc.get("kind").and_then(Value::as_str) != Some(MANIFEST_KIND)
+    {
+        return out;
+    }
+    let entries = match doc.get("entries").and_then(Value::as_arr) {
+        Some(e) => e,
+        None => return out,
+    };
+    for row in entries {
+        let kind = row
+            .get("kind")
+            .and_then(Value::as_str)
+            .and_then(Kind::from_label);
+        let key = row
+            .get("key")
+            .and_then(Value::as_str)
+            .and_then(Key::from_hex);
+        let bytes = row.get("bytes").and_then(Value::as_u64);
+        if let (Some(kind), Some(key), Some(bytes)) = (kind, key, bytes) {
+            if kind.file_name(key).is_some() {
+                out.insert((kind, key), bytes);
+            }
+        }
+    }
+    out
+}
+
+struct Inner {
+    mem: Mutex<MemStore>,
+    disk: Option<DiskStore>,
+}
+
+/// Point-in-time cache occupancy, for `pgsd cache stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Entries in the in-memory layer.
+    pub mem_entries: usize,
+    /// Approximate bytes retained in memory.
+    pub mem_bytes: u64,
+    /// Total in-memory evictions so far.
+    pub evictions: u64,
+    /// Artifact files recorded in the on-disk manifest.
+    pub disk_entries: usize,
+    /// Bytes of artifact files recorded in the manifest.
+    pub disk_bytes: u64,
+}
+
+/// Shared handle to a two-level artifact cache.
+///
+/// Cloning is cheap and shares the store ([`Telemetry`]-style). A
+/// [`Cache::disabled`] handle stores nothing, returns nothing, and
+/// records no telemetry — one branch per operation, zero overhead.
+#[derive(Clone)]
+pub struct Cache {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Cache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("Cache(disabled)"),
+            Some(inner) => f
+                .debug_struct("Cache")
+                .field("dir", &inner.disk.as_ref().map(|d| d.dir.clone()))
+                .finish(),
+        }
+    }
+}
+
+impl Default for Cache {
+    fn default() -> Self {
+        Cache::in_memory()
+    }
+}
+
+impl Cache {
+    /// A no-op cache: every get is a miss, every put is dropped, and
+    /// nothing is counted.
+    pub fn disabled() -> Cache {
+        Cache { inner: None }
+    }
+
+    /// A memory-only cache with the default byte cap.
+    pub fn in_memory() -> Cache {
+        Cache::in_memory_capped(DEFAULT_MEM_CAP)
+    }
+
+    /// A memory-only cache with an explicit byte cap (FIFO eviction).
+    pub fn in_memory_capped(max_bytes: u64) -> Cache {
+        Cache {
+            inner: Some(Arc::new(Inner {
+                mem: Mutex::new(MemStore::new(max_bytes)),
+                disk: None,
+            })),
+        }
+    }
+
+    /// A two-level cache backed by `dir` (created if absent). The
+    /// manifest is loaded now; a version/schema mismatch or corrupt
+    /// manifest silently yields an empty (cold) store.
+    pub fn persistent(dir: &Path) -> io::Result<Cache> {
+        Ok(Cache {
+            inner: Some(Arc::new(Inner {
+                mem: Mutex::new(MemStore::new(DEFAULT_MEM_CAP)),
+                disk: Some(DiskStore::open(dir)?),
+            })),
+        })
+    }
+
+    /// Whether this handle stores anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The backing directory, if this cache has a disk layer.
+    pub fn dir(&self) -> Option<&Path> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.disk.as_ref())
+            .map(|d| d.dir.as_path())
+    }
+
+    fn get_slot(&self, kind: Kind, key: Key, tel: &Telemetry) -> Option<Slot> {
+        let inner = self.inner.as_ref()?;
+        if let Some(slot) = inner.mem.lock().unwrap().get(kind, key) {
+            tel.add_labeled("cache.hits", &[("kind", kind.label())], 1);
+            return Some(slot);
+        }
+        if let Some(disk) = &inner.disk {
+            match disk.get(kind, key) {
+                Ok(Some(slot)) => {
+                    // Promote so later gets stay in memory.
+                    let evicted = inner.mem.lock().unwrap().put(kind, key, slot.clone());
+                    if evicted > 0 {
+                        tel.add("cache.evictions", evicted);
+                    }
+                    tel.add_labeled("cache.hits", &[("kind", kind.label())], 1);
+                    tel.add_labeled("cache.disk_hits", &[("kind", kind.label())], 1);
+                    return Some(slot);
+                }
+                Ok(None) => {}
+                Err(()) => tel.add("cache.corrupt", 1),
+            }
+        }
+        tel.add_labeled("cache.misses", &[("kind", kind.label())], 1);
+        None
+    }
+
+    fn put_slot(&self, kind: Kind, key: Key, slot: Slot, tel: &Telemetry) {
+        let inner = match &self.inner {
+            Some(i) => i,
+            None => return,
+        };
+        let mut written = 0;
+        if let Some(disk) = &inner.disk {
+            written = disk.put(kind, key, &slot);
+        }
+        let evicted = inner.mem.lock().unwrap().put(kind, key, slot);
+        if evicted > 0 {
+            tel.add("cache.evictions", evicted);
+        }
+        if written > 0 {
+            tel.add_labeled("cache.bytes_written", &[("kind", kind.label())], written);
+        }
+    }
+
+    /// Looks up an optimized IR module.
+    pub fn get_module(&self, key: Key, tel: &Telemetry) -> Option<Arc<Module>> {
+        match self.get_slot(Kind::Module, key, tel)? {
+            Slot::Module(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Stores an optimized IR module.
+    pub fn put_module(&self, key: Key, module: Arc<Module>, tel: &Telemetry) {
+        self.put_slot(Kind::Module, key, Slot::Module(module), tel);
+    }
+
+    /// Looks up baseline LIR (lowered + allocated + framed functions).
+    pub fn get_lir(&self, key: Key, tel: &Telemetry) -> Option<Arc<Vec<MFunction>>> {
+        match self.get_slot(Kind::Lir, key, tel)? {
+            Slot::Lir(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Stores baseline LIR.
+    pub fn put_lir(&self, key: Key, lir: Arc<Vec<MFunction>>, tel: &Telemetry) {
+        self.put_slot(Kind::Lir, key, Slot::Lir(lir), tel);
+    }
+
+    /// Looks up an emitted image (memory first, then disk).
+    pub fn get_image(&self, key: Key, tel: &Telemetry) -> Option<Arc<Image>> {
+        match self.get_slot(Kind::Image, key, tel)? {
+            Slot::Image(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Stores an emitted image (and persists it when disk-backed).
+    pub fn put_image(&self, key: Key, image: Arc<Image>, tel: &Telemetry) {
+        self.put_slot(Kind::Image, key, Slot::Image(image), tel);
+    }
+
+    /// Looks up a training profile (memory first, then disk).
+    pub fn get_profile(&self, key: Key, tel: &Telemetry) -> Option<Arc<Profile>> {
+        match self.get_slot(Kind::Profile, key, tel)? {
+            Slot::Profile(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Stores a training profile (and persists it when disk-backed).
+    pub fn put_profile(&self, key: Key, profile: Arc<Profile>, tel: &Telemetry) {
+        self.put_slot(Kind::Profile, key, Slot::Profile(profile), tel);
+    }
+
+    /// Looks up a validation verdict.
+    pub fn get_verdict(&self, key: Key, tel: &Telemetry) -> Option<bool> {
+        match self.get_slot(Kind::Verdict, key, tel)? {
+            Slot::Verdict(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Stores a validation verdict.
+    pub fn put_verdict(&self, key: Key, ok: bool, tel: &Telemetry) {
+        self.put_slot(Kind::Verdict, key, Slot::Verdict(ok), tel);
+    }
+
+    /// Current occupancy of both levels.
+    pub fn stats(&self) -> CacheStats {
+        let inner = match &self.inner {
+            Some(i) => i,
+            None => return CacheStats::default(),
+        };
+        let mem = inner.mem.lock().unwrap();
+        let (disk_entries, disk_bytes) = inner.disk.as_ref().map(|d| d.stats()).unwrap_or((0, 0));
+        CacheStats {
+            mem_entries: mem.map.len(),
+            mem_bytes: mem.bytes,
+            evictions: mem.evictions,
+            disk_entries,
+            disk_bytes,
+        }
+    }
+
+    /// Deletes every cache-owned file in `dir` (artifact files, the
+    /// manifest, stray temp files); the directory itself is kept.
+    /// Returns the number of files removed. A missing directory counts
+    /// as already clear.
+    pub fn clear_dir(dir: &Path) -> io::Result<usize> {
+        let entries = match fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let mut removed = 0;
+        for entry in entries {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let ours = name == MANIFEST_FILE
+                || ((name.starts_with("img-") || name.starts_with("prof-"))
+                    && name.ends_with(".bin"))
+                || name.ends_with(".tmp");
+            if ours && entry.file_type()?.is_file() {
+                fs::remove_file(entry.path())?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgsd_profile::FuncProfile;
+
+    fn tdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pgsd-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_image(byte: u8) -> Arc<Image> {
+        Arc::new(Image {
+            base: 0x0804_8000,
+            text: Arc::new(vec![byte; 8]),
+            data_base: 0x0810_0000,
+            data: Arc::new(vec![]),
+            main_addr: 0x0804_8000,
+            exit_addr: 0x0804_8000,
+            funcs: vec![],
+            globals: vec![],
+            counter_base: 0x0810_0000,
+            num_counters: 0,
+        })
+    }
+
+    fn sample_profile() -> Arc<Profile> {
+        let mut p = Profile::default();
+        p.funcs.insert(
+            "main".into(),
+            FuncProfile {
+                block_counts: vec![4, 2],
+                invocations: 4,
+            },
+        );
+        Arc::new(p)
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let tel = Telemetry::enabled();
+        let c = Cache::disabled();
+        assert!(!c.is_enabled());
+        c.put_image(Key(1), sample_image(1), &tel);
+        assert!(c.get_image(Key(1), &tel).is_none());
+        assert_eq!(c.stats(), CacheStats::default());
+        let snap = tel.snapshot();
+        assert!(
+            snap.counters.is_empty(),
+            "disabled cache must not count: {:?}",
+            snap.counters
+        );
+    }
+
+    #[test]
+    fn memory_hit_miss_and_kind_namespacing() {
+        let tel = Telemetry::enabled();
+        let c = Cache::in_memory();
+        assert!(c.get_image(Key(7), &tel).is_none());
+        c.put_image(Key(7), sample_image(7), &tel);
+        assert_eq!(c.get_image(Key(7), &tel).unwrap().text[0], 7);
+        // Same key, different kind: disjoint namespace.
+        assert!(c.get_profile(Key(7), &tel).is_none());
+        let snap = tel.snapshot();
+        assert_eq!(snap.counters.get("cache.hits{kind=image}"), Some(&1));
+        assert_eq!(snap.counters.get("cache.misses{kind=image}"), Some(&1));
+        assert_eq!(snap.counters.get("cache.misses{kind=profile}"), Some(&1));
+    }
+
+    #[test]
+    fn verdicts_round_trip() {
+        let tel = Telemetry::disabled();
+        let c = Cache::in_memory();
+        c.put_verdict(Key(3), true, &tel);
+        assert_eq!(c.get_verdict(Key(3), &tel), Some(true));
+        assert_eq!(c.get_verdict(Key(4), &tel), None);
+    }
+
+    #[test]
+    fn fifo_eviction_respects_byte_cap() {
+        let tel = Telemetry::enabled();
+        let c = Cache::in_memory_capped(300);
+        for i in 0..4u64 {
+            c.put_image(Key(i), sample_image(i as u8), &tel);
+        }
+        let stats = c.stats();
+        assert!(stats.mem_bytes <= 300, "cap exceeded: {stats:?}");
+        assert!(stats.evictions > 0);
+        // Newest entry survives; oldest was evicted.
+        assert!(c.get_image(Key(3), &tel).is_some());
+        assert!(c.get_image(Key(0), &tel).is_none());
+        let snap = tel.snapshot();
+        assert!(snap.counters.get("cache.evictions").copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn persistent_cache_survives_reopen() {
+        let dir = tdir("reopen");
+        let tel = Telemetry::enabled();
+        {
+            let c = Cache::persistent(&dir).unwrap();
+            c.put_image(Key(11), sample_image(11), &tel);
+            c.put_profile(Key(12), sample_profile(), &tel);
+            assert_eq!(c.stats().disk_entries, 2);
+        }
+        let c = Cache::persistent(&dir).unwrap();
+        let tel2 = Telemetry::enabled();
+        let img = c.get_image(Key(11), &tel2).expect("disk hit");
+        assert_eq!(img.text[0], 11);
+        let p = c.get_profile(Key(12), &tel2).expect("disk hit");
+        assert_eq!(p.funcs["main"].invocations, 4);
+        let snap = tel2.snapshot();
+        assert_eq!(snap.counters.get("cache.disk_hits{kind=image}"), Some(&1));
+        assert_eq!(snap.counters.get("cache.disk_hits{kind=profile}"), Some(&1));
+        // Promoted: the second get is a pure memory hit.
+        let tel3 = Telemetry::enabled();
+        assert!(c.get_image(Key(11), &tel3).is_some());
+        assert!(!tel3
+            .snapshot()
+            .counters
+            .contains_key("cache.disk_hits{kind=image}"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_artifact_file_degrades_to_miss() {
+        let dir = tdir("corrupt");
+        let tel = Telemetry::disabled();
+        {
+            let c = Cache::persistent(&dir).unwrap();
+            c.put_image(Key(5), sample_image(5), &tel);
+        }
+        // Bit-flip the stored artifact.
+        let file = dir.join(format!("img-{}.bin", Key(5).hex()));
+        let mut bytes = fs::read(&file).unwrap();
+        bytes[20] ^= 0xff;
+        fs::write(&file, &bytes).unwrap();
+
+        let c = Cache::persistent(&dir).unwrap();
+        let tel2 = Telemetry::enabled();
+        assert!(c.get_image(Key(5), &tel2).is_none(), "corrupt entry served");
+        let snap = tel2.snapshot();
+        assert_eq!(snap.counters.get("cache.corrupt"), Some(&1));
+        assert_eq!(snap.counters.get("cache.misses{kind=image}"), Some(&1));
+        // The entry was dropped: refill works and subsequent opens are clean.
+        c.put_image(Key(5), sample_image(5), &tel);
+        assert!(c.get_image(Key(5), &Telemetry::disabled()).is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_schema_mismatch_means_cold() {
+        let dir = tdir("schema");
+        let tel = Telemetry::disabled();
+        {
+            let c = Cache::persistent(&dir).unwrap();
+            c.put_image(Key(9), sample_image(9), &tel);
+        }
+        let manifest = dir.join(MANIFEST_FILE);
+        let text = fs::read_to_string(&manifest).unwrap();
+        fs::write(
+            &manifest,
+            text.replace("\"schema_version\":1", "\"schema_version\":999"),
+        )
+        .unwrap();
+        let c = Cache::persistent(&dir).unwrap();
+        assert!(c.get_image(Key(9), &tel).is_none());
+        assert_eq!(c.stats().disk_entries, 0);
+
+        // Unparseable manifest: also cold, not an error.
+        fs::write(&manifest, "{not json").unwrap();
+        let c = Cache::persistent(&dir).unwrap();
+        assert!(c.get_image(Key(9), &tel).is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clear_dir_removes_cache_files_only() {
+        let dir = tdir("clear");
+        let tel = Telemetry::disabled();
+        {
+            let c = Cache::persistent(&dir).unwrap();
+            c.put_image(Key(1), sample_image(1), &tel);
+            c.put_profile(Key(2), sample_profile(), &tel);
+        }
+        fs::write(dir.join("unrelated.txt"), "keep me").unwrap();
+        let removed = Cache::clear_dir(&dir).unwrap();
+        assert_eq!(removed, 3, "2 artifacts + manifest");
+        assert!(dir.join("unrelated.txt").exists());
+        assert_eq!(Cache::clear_dir(&dir).unwrap(), 0);
+        // Clearing a directory that never existed is fine.
+        assert_eq!(Cache::clear_dir(&dir.join("nope")).unwrap(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_handle_shares_the_store() {
+        let tel = Telemetry::disabled();
+        let a = Cache::in_memory();
+        let b = a.clone();
+        a.put_verdict(Key(1), true, &tel);
+        assert_eq!(b.get_verdict(Key(1), &tel), Some(true));
+    }
+}

@@ -7,19 +7,58 @@
 //! source ──frontend──► IR ──┬────────────────lower──► LIR ──nop pass──► image   (measurement)
 //!                           └─instrument──► LIR ──► image ──run(train)──► profile
 //! ```
+//!
+//! # Configuring a build
+//!
+//! [`BuildConfig`] describes one build. Start from a preset —
+//! [`BuildConfig::baseline`] (no diversification),
+//! [`BuildConfig::diversified`] (NOP insertion, the paper's main
+//! configuration), or [`BuildConfig::full_diversity`] (NOPs plus all
+//! three §6 extensions: block shifting, instruction substitution,
+//! register randomization) — then refine it with the chainable
+//! modifiers: [`BuildConfig::validated`] makes the build prove the
+//! variant equivalent to its baseline with `pgsd-analysis`'s `divcheck`
+//! and fail otherwise, and [`BuildConfig::with_telemetry`] records
+//! spans and counters for every stage into a [`Telemetry`] handle.
+//! Hand the result to a [`crate::Session`]:
+//!
+//! ```
+//! use pgsd_core::{BuildConfig, Input, Session, Strategy};
+//! use pgsd_telemetry::Telemetry;
+//!
+//! let tel = Telemetry::enabled();
+//! let config = BuildConfig::full_diversity(Strategy::range(0.0, 0.5), 42)
+//!     .validated()
+//!     .with_telemetry(tel.clone());
+//! let session = Session::from_source(
+//!     "demo",
+//!     "int main(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }",
+//! )
+//! .config(config);
+//! session.train(&[Input::args(&[30])], 1_000_000)?; // range strategy needs a profile
+//! let image = session.build()?; // diversified, validated, fully traced
+//! assert!(session.run(&Input::args(&[10]), 1_000_000)?.0.status() == Some(45));
+//! # Ok::<(), pgsd_cc::error::CompileError>(())
+//! ```
+//!
+//! Parallel work goes through [`crate::Session`] too: `Session::train`
+//! and `Session::population` fan out on the session's worker count
+//! (`Session::threads`), merging per-job telemetry in job order so
+//! results and metrics are byte-identical at any thread count. (The old
+//! `population_par` free function — once the only parallel entry point
+//! — survives only as a deprecated wrapper, alongside `train_with`,
+//! `run_input_with`, and their plain variants.)
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use pgsd_analysis::divcheck::Transforms;
-use pgsd_cc::driver::{
-    emit_image, emit_image_with, frontend_with, lower_module, lower_module_seeded_with,
-};
+use pgsd_cc::driver::{emit_image, emit_image_with, lower_module, lower_module_seeded_with};
 use pgsd_cc::emit::{Image, STACK_TOP};
 use pgsd_cc::error::{CompileError, Result};
 use pgsd_cc::ir::Module;
 use pgsd_emu::{Emulator, Exit, InstClass, RunStats};
-use pgsd_profile::{instrument, reconstruct, Profile};
+use pgsd_profile::Profile;
 use pgsd_telemetry::Telemetry;
 use pgsd_x86::nop::NopTable;
 
@@ -84,7 +123,8 @@ impl BuildConfig {
     }
 
     /// Everything on: NOP insertion plus all three §6 extensions with the
-    /// same probability strategy.
+    /// same probability strategy (see the [module docs](self) for how
+    /// the presets and modifiers compose).
     pub fn full_diversity(strategy: Strategy, seed: u64) -> BuildConfig {
         BuildConfig {
             strategy: Some(strategy),
@@ -98,13 +138,15 @@ impl BuildConfig {
         }
     }
 
-    /// Returns this configuration with post-build validation enabled.
+    /// Returns this configuration with post-build validation enabled
+    /// (see the [module docs](self)).
     pub fn validated(mut self) -> BuildConfig {
         self.validate = true;
         self
     }
 
-    /// Returns this configuration recording into `tel`.
+    /// Returns this configuration recording into `tel` (see the
+    /// [module docs](self)).
     pub fn with_telemetry(mut self, tel: Telemetry) -> BuildConfig {
         self.telemetry = tel;
         self
@@ -138,17 +180,8 @@ impl Default for BuildConfig {
 pub fn build(module: &Module, profile: Option<&Profile>, config: &BuildConfig) -> Result<Image> {
     let tel = &config.telemetry;
     let _build_span = tel.span("build");
-    for s in config.strategy.iter().chain(config.substitution.iter()) {
-        if s.needs_profile() && profile.is_none() {
-            return Err(CompileError::new(format!(
-                "strategy {s} requires profile data; run training first"
-            )));
-        }
-    }
-    let diversifying = config.strategy.is_some()
-        || config.substitution.is_some()
-        || config.shift_max_pad.is_some()
-        || config.reg_randomize;
+    require_profile(config, profile)?;
+    let diversifying = is_diversifying(config);
     let reg_seed = if config.reg_randomize {
         Some(config.seed)
     } else {
@@ -156,43 +189,86 @@ pub fn build(module: &Module, profile: Option<&Profile>, config: &BuildConfig) -
     };
     let mut funcs = lower_module_seeded_with(module, reg_seed, tel)?;
     if diversifying {
-        let table = if config.with_xchg {
-            NopTable::with_xchg()
-        } else {
-            NopTable::new()
-        };
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        if let Some(max_pad) = config.shift_max_pad {
-            let _s = tel.span("shift_pass");
-            shift_blocks_with(&mut funcs, max_pad, &table, &mut rng, tel);
-        }
-        if let Some(strategy) = &config.substitution {
-            let _s = tel.span("subst_pass");
-            substitute_with(&mut funcs, strategy, profile, &mut rng, tel);
-        }
-        if let Some(strategy) = &config.strategy {
-            let _s = tel.span("nop_pass");
-            insert_nops_with(&mut funcs, strategy, profile, &table, &mut rng, tel);
-        }
+        apply_diversity(&mut funcs, profile, config);
     }
     let image = emit_image_with(&funcs, module, tel)?;
     if config.validate && diversifying {
         let _s = tel.span("validate");
         let baseline = emit_image(&lower_module(module)?, module)?;
-        match pgsd_analysis::check_images(&baseline, &image, &config.transforms()) {
-            Ok(_) => tel.add("validate.passed", 1),
-            Err(diags) => {
-                tel.add("validate.failed", 1);
-                tel.add("validate.findings", diags.len() as u64);
-                let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
-                return Err(CompileError::new(format!(
-                    "variant failed static validation:\n{}",
-                    rendered.join("\n")
-                )));
-            }
-        }
+        validate_pair(&baseline, &image, config)?;
     }
     Ok(image)
+}
+
+/// Fails if a configured strategy needs profile data and none is given.
+pub(crate) fn require_profile(config: &BuildConfig, profile: Option<&Profile>) -> Result<()> {
+    for s in config.strategy.iter().chain(config.substitution.iter()) {
+        if s.needs_profile() && profile.is_none() {
+            return Err(CompileError::new(format!(
+                "strategy {s} requires profile data; run training first"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Whether `config` applies any diversifying transform at all.
+pub(crate) fn is_diversifying(config: &BuildConfig) -> bool {
+    config.strategy.is_some()
+        || config.substitution.is_some()
+        || config.shift_max_pad.is_some()
+        || config.reg_randomize
+}
+
+/// The seed-dependent delta of a diversified build: shift, substitution
+/// and NOP passes over already-lowered functions, in pipeline order,
+/// from one RNG seeded with `config.seed`. Telemetry goes to
+/// `config.telemetry`.
+pub(crate) fn apply_diversity(
+    funcs: &mut [pgsd_cc::lir::MFunction],
+    profile: Option<&Profile>,
+    config: &BuildConfig,
+) {
+    let tel = &config.telemetry;
+    let table = if config.with_xchg {
+        NopTable::with_xchg()
+    } else {
+        NopTable::new()
+    };
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    if let Some(max_pad) = config.shift_max_pad {
+        let _s = tel.span("shift_pass");
+        shift_blocks_with(funcs, max_pad, &table, &mut rng, tel);
+    }
+    if let Some(strategy) = &config.substitution {
+        let _s = tel.span("subst_pass");
+        substitute_with(funcs, strategy, profile, &mut rng, tel);
+    }
+    if let Some(strategy) = &config.strategy {
+        let _s = tel.span("nop_pass");
+        insert_nops_with(funcs, strategy, profile, &table, &mut rng, tel);
+    }
+}
+
+/// Checks `image` against `baseline` under the transforms `config`
+/// declares, recording verdict counters; a refused proof is an error.
+pub(crate) fn validate_pair(baseline: &Image, image: &Image, config: &BuildConfig) -> Result<()> {
+    let tel = &config.telemetry;
+    match pgsd_analysis::check_images(baseline, image, &config.transforms()) {
+        Ok(_) => {
+            tel.add("validate.passed", 1);
+            Ok(())
+        }
+        Err(diags) => {
+            tel.add("validate.failed", 1);
+            tel.add("validate.findings", diags.len() as u64);
+            let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+            Err(CompileError::new(format!(
+                "variant failed static validation:\n{}",
+                rendered.join("\n")
+            )))
+        }
+    }
 }
 
 /// A training or measurement input: arguments to `main` plus optional
@@ -241,27 +317,18 @@ pub fn load(image: &Image) -> Emulator {
 /// Returns the exit reason and execution statistics (cycles, instruction
 /// count, printed output).
 pub fn run(image: &Image, args: &[i32], gas: u64) -> (Exit, RunStats) {
-    run_input(image, &Input::args(args), gas)
+    run_input_impl(
+        image,
+        &Input::args(args),
+        gas,
+        &Telemetry::disabled(),
+        "run",
+    )
 }
 
-/// Runs `image` on a full [`Input`] (arguments plus data pokes).
-///
-/// # Panics
-///
-/// Panics if a poke names a global the image does not have — a workload
-/// definition bug.
-pub fn run_input(image: &Image, input: &Input, gas: u64) -> (Exit, RunStats) {
-    run_input_with(image, input, gas, &Telemetry::disabled(), "run")
-}
-
-/// Like [`run_input`], recording an `execute` span and the run's
-/// statistics (via [`record_run`] under `label`) into `tel`.
-///
-/// # Panics
-///
-/// Panics if a poke names a global the image does not have — a workload
-/// definition bug.
-pub fn run_input_with(
+/// Shared run mechanics behind [`run`], [`crate::Session::run_image`],
+/// and the deprecated `run_input` wrappers.
+pub(crate) fn run_input_impl(
     image: &Image,
     input: &Input,
     gas: u64,
@@ -275,6 +342,35 @@ pub fn run_input_with(
     let exit = emu.run(gas);
     record_run(tel, label, &emu.stats);
     (exit, emu.stats)
+}
+
+/// Runs `image` on a full [`Input`] (arguments plus data pokes).
+///
+/// # Panics
+///
+/// Panics if a poke names a global the image does not have — a workload
+/// definition bug.
+#[deprecated(note = "use `pgsd_core::Session::run` or `Session::run_image`")]
+pub fn run_input(image: &Image, input: &Input, gas: u64) -> (Exit, RunStats) {
+    run_input_impl(image, input, gas, &Telemetry::disabled(), "run")
+}
+
+/// Like `run_input`, recording an `execute` span and the run's
+/// statistics (via [`record_run`] under `label`) into `tel`.
+///
+/// # Panics
+///
+/// Panics if a poke names a global the image does not have — a workload
+/// definition bug.
+#[deprecated(note = "use `pgsd_core::Session::run_image`")]
+pub fn run_input_with(
+    image: &Image,
+    input: &Input,
+    gas: u64,
+    tel: &Telemetry,
+    label: &str,
+) -> (Exit, RunStats) {
+    run_input_impl(image, input, gas, tel, label)
 }
 
 /// Records one run's [`RunStats`] as `emu.*` counters labeled
@@ -308,7 +404,7 @@ pub fn record_run(tel: &Telemetry, label: &str, stats: &RunStats) {
     }
 }
 
-fn apply_pokes(image: &Image, emu: &mut Emulator, input: &Input) {
+pub(crate) fn apply_pokes(image: &Image, emu: &mut Emulator, input: &Input) {
     for (name, words) in &input.pokes {
         let addr = image
             .global_addr(name)
@@ -330,78 +426,29 @@ fn apply_pokes(image: &Image, emu: &mut Emulator, input: &Input) {
 /// # Errors
 ///
 /// Fails if compilation fails or any training run does not exit cleanly.
+#[deprecated(note = "use `pgsd_core::Session::train`")]
 pub fn train(module: &Module, train_inputs: &[Input], gas: u64) -> Result<Profile> {
-    train_with(module, train_inputs, gas, &Telemetry::disabled())
+    let session = crate::Session::new(module.clone());
+    Ok((*session.train(train_inputs, gas)?).clone())
 }
 
-/// Like [`train`], recording a `train` span (instrumented build plus one
+/// Like `train`, recording a `train` span (instrumented build plus one
 /// `train_run` child per input) and profile summary counters into `tel`.
-///
-/// Training runs are independent (each gets its own emulator over the
-/// `Arc`-shared instrumented image), so they execute as parallel jobs on
-/// the default worker count; edge counters are summed in input order and
-/// `u64` addition is commutative, so the profile is identical at any
-/// thread count.
 ///
 /// # Errors
 ///
 /// Fails if compilation fails or any training run does not exit cleanly;
 /// with several failed runs, the earliest input's error wins (matching
 /// the serial loop).
+#[deprecated(note = "use `pgsd_core::Session::train`")]
 pub fn train_with(
     module: &Module,
     train_inputs: &[Input],
     gas: u64,
     tel: &Telemetry,
 ) -> Result<Profile> {
-    let _span = tel.span("train");
-    let mut instrumented = module.clone();
-    let plan = instrument(&mut instrumented);
-    let funcs = lower_module(&instrumented)?;
-    let image = emit_image(&funcs, &instrumented)?;
-
-    tel.add("train.inputs", train_inputs.len() as u64);
-    tel.add("train.counters", u64::from(plan.num_counters));
-    let runs = pgsd_exec::map_indexed(
-        pgsd_exec::default_threads(),
-        train_inputs,
-        |_, input| -> Result<(Vec<u64>, Telemetry)> {
-            let child = tel.child();
-            let _run_span = child.span("train_run");
-            let mut emu = load(&image);
-            apply_pokes(&image, &mut emu, input);
-            emu.call_entry(image.main_addr, image.exit_addr, &input.args);
-            let exit = emu.run(gas);
-            if exit.status().is_none() {
-                return Err(CompileError::new(format!(
-                    "training run with args {:?} did not exit cleanly: {exit:?}",
-                    input.args
-                )));
-            }
-            let mut run_counters = vec![0u64; plan.num_counters as usize];
-            for (i, c) in run_counters.iter_mut().enumerate() {
-                let word = emu
-                    .mem
-                    .read_u32(image.counter_addr(i as u32))
-                    .map_err(|f| CompileError::new(format!("counter readback failed: {f}")))?;
-                *c = u64::from(word);
-            }
-            drop(_run_span);
-            Ok((run_counters, child))
-        },
-    );
-    let mut counters = vec![0u64; plan.num_counters as usize];
-    for run in runs {
-        let (run_counters, child) = run?;
-        tel.merge_from(&child);
-        for (c, r) in counters.iter_mut().zip(&run_counters) {
-            *c += r;
-        }
-    }
-    let profile = reconstruct(&plan, &counters);
-    #[allow(clippy::cast_precision_loss)]
-    tel.set_gauge("train.x_max", profile.max_count() as f64);
-    Ok(profile)
+    let session = crate::Session::new(module.clone()).telemetry(tel.clone());
+    Ok((*session.train(train_inputs, gas)?).clone())
 }
 
 /// End-to-end convenience: compile `source`, train on `train_inputs` when
@@ -416,30 +463,26 @@ pub fn compile_diversified(
     config: &BuildConfig,
     train_inputs: &[Input],
 ) -> Result<Image> {
-    let tel = &config.telemetry;
-    let module = frontend_with(name, source, tel)?;
+    let session = crate::Session::from_source(name, source).config(config.clone());
     let needs = config
         .strategy
         .as_ref()
         .is_some_and(Strategy::needs_profile);
-    let profile = if needs {
-        Some(train_with(&module, train_inputs, DEFAULT_GAS, tel)?)
-    } else {
-        None
-    };
-    build(&module, profile.as_ref(), config)
+    if needs {
+        session.train(train_inputs, DEFAULT_GAS)?;
+    }
+    session.build()
 }
 
 /// Builds a population of `n` diversified versions with seeds
-/// `seed_base .. seed_base + n`, in parallel on the default worker count
-/// (`PGSD_THREADS`, else available parallelism). Each version is a pure
-/// function of its seed, so the returned images are identical at any
-/// thread count.
+/// `seed_base .. seed_base + n`. Each version is a pure function of its
+/// seed, so the returned images are identical at any thread count.
 ///
 /// # Errors
 ///
 /// Propagates failures from any build; with several failures, the one
 /// with the lowest seed wins (matching the serial loop).
+#[deprecated(note = "use `pgsd_core::Session::population`")]
 pub fn population(
     module: &Module,
     profile: Option<&Profile>,
@@ -447,6 +490,7 @@ pub fn population(
     seed_base: u64,
     n: usize,
 ) -> Result<Vec<Image>> {
+    #[allow(deprecated)]
     population_par(
         module,
         profile,
@@ -458,15 +502,14 @@ pub fn population(
     )
 }
 
-/// Like [`population`] with an explicit worker count, recording build
-/// telemetry into `tel`. Every build records into its own child handle;
-/// children are merged in seed order, so the merged metrics document is
-/// byte-identical at any thread count (see [`Telemetry::merge_from`]).
+/// Like `population` with an explicit worker count, recording build
+/// telemetry into `tel`.
 ///
 /// # Errors
 ///
 /// Propagates failures from any build; with several failures, the one
 /// with the lowest seed wins (matching the serial loop).
+#[deprecated(note = "use `pgsd_core::Session::population`")]
 pub fn population_par(
     module: &Module,
     profile: Option<&Profile>,
@@ -476,22 +519,17 @@ pub fn population_par(
     threads: usize,
     tel: &Telemetry,
 ) -> Result<Vec<Image>> {
-    let _span = tel.span("population");
-    let jobs = pgsd_exec::run_jobs(threads, n, |i| {
-        let child = tel.child();
-        let config =
-            BuildConfig::diversified(strategy, seed_base + i as u64).with_telemetry(child.clone());
-        (build(module, profile, &config), child)
-    });
-    let mut images = Vec::with_capacity(n);
-    for (result, child) in jobs {
-        tel.merge_from(&child);
-        images.push(result?);
+    let mut session = crate::Session::new(module.clone())
+        .config(BuildConfig::diversified(strategy, seed_base).with_telemetry(tel.clone()))
+        .threads(threads);
+    if let Some(p) = profile {
+        session = session.profile(p.clone());
     }
-    Ok(images)
+    session.population(n)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // intentionally exercises the deprecated wrappers too
 mod tests {
     use super::*;
     use pgsd_cc::driver::frontend;

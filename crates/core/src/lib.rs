@@ -13,22 +13,24 @@
 //! * [`driver`] — the end-to-end diversifying compiler: train → profile →
 //!   diversify → emit, plus emulator glue for running images.
 //!
+//! * [`session`] — the [`Session`] front door: one handle over module,
+//!   profile, configuration, parallelism, and the content-addressed
+//!   artifact cache ([`pgsd_cache`]).
+//!
 //! # Examples
 //!
 //! Build two diversified versions of a program and check they differ in
 //! code bytes but agree on behaviour:
 //!
 //! ```
-//! use pgsd_core::driver::{build, run, BuildConfig};
-//! use pgsd_core::Strategy;
-//! use pgsd_cc::driver::frontend;
+//! use pgsd_core::{BuildConfig, Input, Session, Strategy};
 //!
-//! let module = frontend("demo", "int main(int n) { return n * 2; }")?;
-//! let a = build(&module, None, &BuildConfig::diversified(Strategy::uniform(0.5), 1))?;
-//! let b = build(&module, None, &BuildConfig::diversified(Strategy::uniform(0.5), 2))?;
+//! let session = Session::from_source("demo", "int main(int n) { return n * 2; }");
+//! let a = session.build_with(&BuildConfig::diversified(Strategy::uniform(0.5), 1))?;
+//! let b = session.build_with(&BuildConfig::diversified(Strategy::uniform(0.5), 2))?;
 //! assert_ne!(a.text, b.text);
-//! assert_eq!(run(&a, &[21], 100_000).0.status(), Some(42));
-//! assert_eq!(run(&b, &[21], 100_000).0.status(), Some(42));
+//! assert_eq!(session.run_image(&a, &Input::args(&[21]), 100_000, "a").0.status(), Some(42));
+//! assert_eq!(session.run_image(&b, &Input::args(&[21]), 100_000, "b").0.status(), Some(42));
 //! # Ok::<(), pgsd_cc::error::CompileError>(())
 //! ```
 
@@ -38,14 +40,17 @@
 pub mod curve;
 pub mod driver;
 pub mod nop_pass;
+pub mod session;
 pub mod shift_pass;
 pub mod subst_pass;
 
 pub use curve::{Curve, Strategy};
+#[allow(deprecated)] // the deprecated wrappers stay importable from the crate root
 pub use driver::{
     build, compile_diversified, population, population_par, run, run_input, train, BuildConfig,
     Input,
 };
 pub use nop_pass::{insert_nops, NopReport};
+pub use session::Session;
 pub use shift_pass::{shift_blocks, ShiftReport};
 pub use subst_pass::{substitute, SubstReport};

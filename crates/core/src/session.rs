@@ -1,0 +1,765 @@
+//! The [`Session`] API: one handle over module, profile, configuration,
+//! parallelism and cache for the whole diversification workflow.
+//!
+//! A session replaces the old `train`/`train_with`,
+//! `run_input`/`run_input_with`, `population`/`population_par` free-
+//! function pairs with one builder:
+//!
+//! ```
+//! use pgsd_core::{BuildConfig, Input, Session, Strategy};
+//!
+//! let session = Session::from_source(
+//!     "demo",
+//!     "int main(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }",
+//! )
+//! .config(BuildConfig::diversified(Strategy::range(0.0, 0.5), 7));
+//! session.train(&[Input::args(&[30])], 1_000_000)?;
+//! let image = session.build()?;
+//! let (exit, _stats) = session.run(&Input::args(&[10]), 1_000_000)?;
+//! assert_eq!(exit.status(), Some(45));
+//! # Ok::<(), pgsd_cc::error::CompileError>(())
+//! ```
+//!
+//! # Incremental builds
+//!
+//! Every session owns a [`Cache`] (in-memory by default; pass
+//! [`Cache::persistent`] to keep artifacts across processes, or
+//! [`Cache::disabled`] to opt out). Pipeline artifacts are memoized
+//! under content-derived keys:
+//!
+//! * the **seed-independent prefix** — source → optimized IR →
+//!   baseline LIR (lowering + register allocation + frames) — is keyed
+//!   by source hash × pipeline version, so [`Session::population`]
+//!   pays frontend + optimizer + regalloc once and stamps out per-seed
+//!   variants via the diversifying passes only;
+//! * **seed-dependent products** — images, validation verdicts — are
+//!   keyed by prefix-key × build-configuration fingerprint (seed,
+//!   strategy, transforms) × profile fingerprint;
+//! * **profiles** are keyed by prefix-key × training inputs × gas.
+//!
+//! Cached and cold builds are byte-identical: a cache hit returns the
+//! same `Image` value a cold build would produce (tests/cache.rs and
+//! the CI `cache-smoke` job enforce this), and any key ingredient
+//! change — source edit, config change, pipeline version bump — misses
+//! and rebuilds. See DESIGN.md "Incremental variant production".
+//!
+//! # Determinism
+//!
+//! Parallel sections ([`Session::train`], [`Session::population`])
+//! record telemetry into per-job child handles merged in job order, and
+//! `population` pre-warms the shared baseline LIR *before* fanning out,
+//! so metrics and produced images are byte-identical at any thread
+//! count.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use pgsd_cache::{Cache, Fnv64, Key};
+use pgsd_cc::driver::{emit_image_with, frontend_with, lower_module_seeded_with};
+use pgsd_cc::emit::Image;
+use pgsd_cc::error::{CompileError, Result};
+use pgsd_cc::ir::Module;
+use pgsd_cc::lir::MFunction;
+use pgsd_emu::{Exit, RunStats};
+use pgsd_profile::{instrument, reconstruct, Profile};
+use pgsd_telemetry::Telemetry;
+
+use crate::driver::{
+    apply_diversity, apply_pokes, is_diversifying, load, require_profile, run_input_impl,
+    validate_pair, BuildConfig, Input,
+};
+
+/// Version of the pipeline as far as cache keys are concerned. Folded
+/// into every key: bump it whenever codegen, lowering, or the
+/// diversifying passes change output for the same input, and every old
+/// cache entry silently misses.
+pub const PIPELINE_VERSION: u32 = 1;
+
+fn keyer(kind: &str) -> Fnv64 {
+    let mut h = Fnv64::new();
+    h.write_u32(PIPELINE_VERSION);
+    h.write_str(kind);
+    h
+}
+
+/// Key of the optimized IR produced from `source` (the root of the
+/// seed-independent prefix).
+fn module_key_from_source(name: &str, source: &str) -> Key {
+    let mut h = keyer("module/source");
+    h.write_str(name);
+    h.write_str(source);
+    h.key()
+}
+
+/// Key of a module handed to us directly: the deterministic `Debug`
+/// rendering is the content (the IR has no hash-ordered collections).
+fn module_key_of(module: &Module) -> Key {
+    use std::fmt::Write as _;
+    let mut h = keyer("module/ir");
+    write!(h, "{module:?}").expect("infallible");
+    h.key()
+}
+
+/// Key of lowered + register-allocated + framed LIR.
+fn lir_key(module_key: Key, reg_seed: Option<u64>, instrumented: bool) -> Key {
+    let mut h = keyer("lir");
+    h.write_u64(module_key.0);
+    match reg_seed {
+        None => h.write_u64(0),
+        Some(s) => {
+            h.write_u64(1);
+            h.write_u64(s);
+        }
+    }
+    h.write_u64(u64::from(instrumented));
+    h.key()
+}
+
+/// Everything about a config that can change emitted bytes. For a
+/// non-diversifying config that is nothing at all (the seed and
+/// transform fields are dead), so every baseline build shares one key.
+fn config_fingerprint(h: &mut Fnv64, config: &BuildConfig) {
+    use std::fmt::Write as _;
+    if !is_diversifying(config) {
+        h.write_str("baseline");
+        return;
+    }
+    write!(
+        h,
+        "{:?}|{:?}|{:?}|{}|{}|{}",
+        config.strategy,
+        config.substitution,
+        config.shift_max_pad,
+        config.with_xchg,
+        config.reg_randomize,
+        config.seed
+    )
+    .expect("infallible");
+}
+
+/// Key of an emitted image. The profile fingerprint participates
+/// whenever a profile is present for a diversifying build — a coarser
+/// rule than "the strategy consults it", which can only cause extra
+/// misses, never stale hits.
+fn image_key(module_key: Key, config: &BuildConfig, profile: Option<&Profile>) -> Key {
+    let mut h = keyer("image");
+    h.write_u64(module_key.0);
+    config_fingerprint(&mut h, config);
+    match profile {
+        Some(p) if is_diversifying(config) => h.write_str(&p.to_text()),
+        _ => h.write_str(""),
+    }
+    h.key()
+}
+
+/// Key of a training profile: module × inputs × gas.
+fn profile_key(module_key: Key, inputs: &[Input], gas: u64) -> Key {
+    let mut h = keyer("profile");
+    h.write_u64(module_key.0);
+    h.write_u64(gas);
+    h.write_u64(inputs.len() as u64);
+    for input in inputs {
+        h.write_u64(input.args.len() as u64);
+        for a in &input.args {
+            h.write(&a.to_le_bytes());
+        }
+        h.write_u64(input.pokes.len() as u64);
+        for (name, words) in &input.pokes {
+            h.write_str(name);
+            h.write_u64(words.len() as u64);
+            for w in words {
+                h.write(&w.to_le_bytes());
+            }
+        }
+    }
+    h.key()
+}
+
+/// Key of a validation verdict for the image under `image_key` (the
+/// declared transforms are already part of the image key).
+fn verdict_key(image_key: Key) -> Key {
+    let mut h = keyer("verdict");
+    h.write_u64(image_key.0);
+    h.key()
+}
+
+type ModuleSlot = OnceLock<std::result::Result<(Arc<Module>, Key), CompileError>>;
+
+/// A diversification session: one module (given directly or compiled
+/// lazily from source), its active profile, a build configuration, a
+/// worker count, and a [`Cache`].
+///
+/// Construct with [`Session::new`] or [`Session::from_source`],
+/// configure with the chainable builder methods, then call the work
+/// methods ([`build`](Session::build), [`train`](Session::train),
+/// [`run`](Session::run), [`population`](Session::population)). Work
+/// methods take `&self`: a configured session can be shared across
+/// threads.
+pub struct Session {
+    name: String,
+    source: Option<String>,
+    module: ModuleSlot,
+    profile: Mutex<Option<Arc<Profile>>>,
+    config: BuildConfig,
+    threads: usize,
+    cache: Cache,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("name", &self.name)
+            .field("threads", &self.threads)
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+impl Session {
+    /// A session over an already-compiled module.
+    pub fn new(module: Module) -> Session {
+        let key = module_key_of(&module);
+        let name = module.name.clone();
+        let slot = ModuleSlot::new();
+        slot.set(Ok((Arc::new(module), key))).expect("fresh slot");
+        Session {
+            name,
+            source: None,
+            module: slot,
+            profile: Mutex::new(None),
+            config: BuildConfig::baseline(),
+            threads: pgsd_exec::default_threads(),
+            cache: Cache::in_memory(),
+        }
+    }
+
+    /// A session that compiles `source` on first use (under this
+    /// session's telemetry, consulting the cache).
+    pub fn from_source(name: &str, source: &str) -> Session {
+        Session {
+            name: name.to_owned(),
+            source: Some(source.to_owned()),
+            module: ModuleSlot::new(),
+            profile: Mutex::new(None),
+            config: BuildConfig::baseline(),
+            threads: pgsd_exec::default_threads(),
+            cache: Cache::in_memory(),
+        }
+    }
+
+    /// Sets the active profile consulted by profile-guided strategies.
+    /// ([`Session::train`] sets it automatically.)
+    pub fn profile(self, profile: impl Into<Arc<Profile>>) -> Session {
+        *self.profile.lock().unwrap() = Some(profile.into());
+        self
+    }
+
+    /// Sets the build configuration ([`BuildConfig::baseline`] if never
+    /// called).
+    pub fn config(mut self, config: BuildConfig) -> Session {
+        self.config = config;
+        self
+    }
+
+    /// Routes telemetry for every stage into `tel` (shorthand for
+    /// setting `config.telemetry`).
+    pub fn telemetry(mut self, tel: Telemetry) -> Session {
+        self.config.telemetry = tel;
+        self
+    }
+
+    /// Sets the worker count for parallel sections (defaults to
+    /// `PGSD_THREADS`, else available parallelism).
+    pub fn threads(mut self, threads: usize) -> Session {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Replaces the artifact cache (in-memory by default).
+    pub fn cache(mut self, cache: Cache) -> Session {
+        self.cache = cache;
+        self
+    }
+
+    /// The build configuration in effect.
+    pub fn build_config(&self) -> &BuildConfig {
+        &self.config
+    }
+
+    /// The cache handle (cloneable; shares the store).
+    pub fn cache_handle(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// The active profile, if trained or supplied.
+    pub fn active_profile(&self) -> Option<Arc<Profile>> {
+        self.profile.lock().unwrap().clone()
+    }
+
+    fn resolve(&self) -> Result<(&Arc<Module>, Key)> {
+        let slot = self.module.get_or_init(|| {
+            let source = self
+                .source
+                .as_deref()
+                .expect("unresolved session has source");
+            let tel = &self.config.telemetry;
+            let key = module_key_from_source(&self.name, source);
+            if let Some(module) = self.cache.get_module(key, tel) {
+                return Ok((module, key));
+            }
+            let module = Arc::new(frontend_with(&self.name, source, tel)?);
+            self.cache.put_module(key, Arc::clone(&module), tel);
+            Ok((module, key))
+        });
+        match slot {
+            Ok((module, key)) => Ok((module, *key)),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// The session's optimized IR module, compiling it first if the
+    /// session was created from source.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend errors.
+    pub fn module(&self) -> Result<&Module> {
+        Ok(self.resolve()?.0)
+    }
+
+    /// The lowered, register-allocated, framed LIR for `reg_seed`
+    /// (`None` = the deterministic baseline allocation) — the tail of
+    /// the seed-independent pipeline prefix, memoized in the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend and lowering errors.
+    pub fn lowered(&self, reg_seed: Option<u64>) -> Result<Arc<Vec<MFunction>>> {
+        let (module, mkey) = self.resolve()?;
+        lowered_cached(module, mkey, reg_seed, &self.cache, &self.config.telemetry)
+    }
+
+    /// Builds one image under the session's configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors; fails if a profile-guided
+    /// strategy is configured and no profile is set, or if validation
+    /// is enabled and fails.
+    pub fn build(&self) -> Result<Image> {
+        self.build_with(&self.config)
+    }
+
+    /// Builds one image under an alternate configuration, sharing this
+    /// session's module, profile, and cache. The configuration's own
+    /// telemetry handle is used (set one with
+    /// [`BuildConfig::with_telemetry`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::build`].
+    pub fn build_with(&self, config: &BuildConfig) -> Result<Image> {
+        let (module, mkey) = self.resolve()?;
+        let profile = self.active_profile();
+        build_cached(module, mkey, profile.as_deref(), config, &self.cache)
+    }
+
+    /// Compiles an instrumented build, runs it on each training input
+    /// (in parallel on the session's worker count), reconstructs the
+    /// profile from the accumulated edge counters (paper §3.1), sets it
+    /// as the session's active profile, and returns it.
+    ///
+    /// The profile is memoized under module × inputs × gas: a warm
+    /// cache skips the instrumented build and every training run.
+    ///
+    /// # Errors
+    ///
+    /// Fails if compilation fails or any training run does not exit
+    /// cleanly; with several failed runs, the earliest input's error
+    /// wins (matching the serial loop).
+    pub fn train(&self, train_inputs: &[Input], gas: u64) -> Result<Arc<Profile>> {
+        let (module, mkey) = self.resolve()?;
+        let tel = self.config.telemetry.clone();
+        let _span = tel.span("train");
+        let pkey = profile_key(mkey, train_inputs, gas);
+        if let Some(profile) = self.cache.get_profile(pkey, &tel) {
+            *self.profile.lock().unwrap() = Some(Arc::clone(&profile));
+            return Ok(profile);
+        }
+        let profile = Arc::new(train_cold(
+            module,
+            mkey,
+            train_inputs,
+            gas,
+            &tel,
+            self.threads,
+            &self.cache,
+        )?);
+        self.cache.put_profile(pkey, Arc::clone(&profile), &tel);
+        *self.profile.lock().unwrap() = Some(Arc::clone(&profile));
+        Ok(profile)
+    }
+
+    /// Builds under the session's configuration and runs the image on
+    /// `input` up to `gas` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a poke names a global the image does not have — a
+    /// workload definition bug.
+    pub fn run(&self, input: &Input, gas: u64) -> Result<(Exit, RunStats)> {
+        let image = self.build()?;
+        Ok(self.run_image(&image, input, gas, "run"))
+    }
+
+    /// Runs an already-built image on `input`, recording an `execute`
+    /// span and `emu.*{run=label}` counters into the session telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a poke names a global the image does not have — a
+    /// workload definition bug.
+    pub fn run_image(
+        &self,
+        image: &Image,
+        input: &Input,
+        gas: u64,
+        label: &str,
+    ) -> (Exit, RunStats) {
+        run_input_impl(image, input, gas, &self.config.telemetry, label)
+    }
+
+    /// Builds a population of `n` diversified versions with seeds
+    /// `config.seed .. config.seed + n`, in parallel on the session's
+    /// worker count.
+    ///
+    /// Unless register randomization makes the allocation
+    /// seed-dependent, the shared baseline LIR is warmed *before* the
+    /// fan-out, so a population build performs exactly one frontend +
+    /// optimize + regalloc pass regardless of `n` — and zero with a
+    /// warm cache. Each build records into a child telemetry handle;
+    /// children merge in seed order, so images and metrics are
+    /// byte-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from any build; with several failures, the
+    /// one with the lowest seed wins (matching the serial loop).
+    pub fn population(&self, n: usize) -> Result<Vec<Image>> {
+        let (module, mkey) = self.resolve()?;
+        let tel = &self.config.telemetry;
+        let _span = tel.span("population");
+        let profile = self.active_profile();
+        if !self.config.reg_randomize {
+            lowered_cached(module, mkey, None, &self.cache, tel)?;
+        }
+        let seed_base = self.config.seed;
+        let jobs = pgsd_exec::run_jobs(self.threads, n, |i| {
+            let child = tel.child();
+            let mut config = self.config.clone();
+            config.seed = seed_base + i as u64;
+            config.telemetry = child.clone();
+            (
+                build_cached(module, mkey, profile.as_deref(), &config, &self.cache),
+                child,
+            )
+        });
+        let mut images = Vec::with_capacity(n);
+        for (result, child) in jobs {
+            tel.merge_from(&child);
+            images.push(result?);
+        }
+        Ok(images)
+    }
+}
+
+/// The seed-independent prefix tail: memoized lowering.
+fn lowered_cached(
+    module: &Module,
+    mkey: Key,
+    reg_seed: Option<u64>,
+    cache: &Cache,
+    tel: &Telemetry,
+) -> Result<Arc<Vec<MFunction>>> {
+    let key = lir_key(mkey, reg_seed, false);
+    if let Some(funcs) = cache.get_lir(key, tel) {
+        return Ok(funcs);
+    }
+    let funcs = Arc::new(lower_module_seeded_with(module, reg_seed, tel)?);
+    cache.put_lir(key, Arc::clone(&funcs), tel);
+    Ok(funcs)
+}
+
+/// One cached build: image-level memoization, then the diversifying
+/// delta over the memoized baseline LIR. Produces bytes identical to
+/// [`crate::driver::build`] for the same inputs.
+fn build_cached(
+    module: &Module,
+    mkey: Key,
+    profile: Option<&Profile>,
+    config: &BuildConfig,
+    cache: &Cache,
+) -> Result<Image> {
+    let tel = &config.telemetry;
+    let _build_span = tel.span("build");
+    require_profile(config, profile)?;
+    let diversifying = is_diversifying(config);
+    let ikey = image_key(mkey, config, profile);
+    if let Some(hit) = cache.get_image(ikey, tel) {
+        let image = (*hit).clone();
+        if config.validate && diversifying {
+            ensure_validated(module, mkey, &image, ikey, config, cache)?;
+        }
+        return Ok(image);
+    }
+    let reg_seed = if config.reg_randomize {
+        Some(config.seed)
+    } else {
+        None
+    };
+    let lowered = lowered_cached(module, mkey, reg_seed, cache, tel)?;
+    let image = if diversifying {
+        let mut funcs = (*lowered).clone();
+        apply_diversity(&mut funcs, profile, config);
+        emit_image_with(&funcs, module, tel)?
+    } else {
+        emit_image_with(&lowered, module, tel)?
+    };
+    if config.validate && diversifying {
+        ensure_validated(module, mkey, &image, ikey, config, cache)?;
+    }
+    cache.put_image(ikey, Arc::new(image.clone()), tel);
+    Ok(image)
+}
+
+/// Validates `image` against the (cached) baseline, memoizing passing
+/// verdicts so a cache-hit build does not re-prove what it proved when
+/// the image was first produced.
+fn ensure_validated(
+    module: &Module,
+    mkey: Key,
+    image: &Image,
+    ikey: Key,
+    config: &BuildConfig,
+    cache: &Cache,
+) -> Result<()> {
+    let tel = &config.telemetry;
+    let vkey = verdict_key(ikey);
+    if cache.get_verdict(vkey, tel) == Some(true) {
+        tel.add("validate.passed", 1);
+        return Ok(());
+    }
+    let _span = tel.span("validate");
+    let baseline_config = BuildConfig {
+        telemetry: tel.clone(),
+        ..BuildConfig::baseline()
+    };
+    let baseline = build_cached(module, mkey, None, &baseline_config, cache)?;
+    validate_pair(&baseline, image, config)?;
+    cache.put_verdict(vkey, true, tel);
+    Ok(())
+}
+
+/// Cold training: instrumented build (LIR memoized — instrumentation is
+/// seed-independent too) plus parallel training runs.
+fn train_cold(
+    module: &Module,
+    mkey: Key,
+    train_inputs: &[Input],
+    gas: u64,
+    tel: &Telemetry,
+    threads: usize,
+    cache: &Cache,
+) -> Result<Profile> {
+    let mut instrumented = module.clone();
+    let plan = instrument(&mut instrumented);
+    let ikey = lir_key(mkey, None, true);
+    let funcs = match cache.get_lir(ikey, tel) {
+        Some(f) => f,
+        None => {
+            let f = Arc::new(lower_module_seeded_with(&instrumented, None, tel)?);
+            cache.put_lir(ikey, Arc::clone(&f), tel);
+            f
+        }
+    };
+    let image = emit_image_with(&funcs, &instrumented, tel)?;
+
+    tel.add("train.inputs", train_inputs.len() as u64);
+    tel.add("train.counters", u64::from(plan.num_counters));
+    let runs = pgsd_exec::map_indexed(
+        threads,
+        train_inputs,
+        |_, input| -> Result<(Vec<u64>, Telemetry)> {
+            let child = tel.child();
+            let _run_span = child.span("train_run");
+            let mut emu = load(&image);
+            apply_pokes(&image, &mut emu, input);
+            emu.call_entry(image.main_addr, image.exit_addr, &input.args);
+            let exit = emu.run(gas);
+            if exit.status().is_none() {
+                return Err(CompileError::new(format!(
+                    "training run with args {:?} did not exit cleanly: {exit:?}",
+                    input.args
+                )));
+            }
+            let mut run_counters = vec![0u64; plan.num_counters as usize];
+            for (i, c) in run_counters.iter_mut().enumerate() {
+                let word = emu
+                    .mem
+                    .read_u32(image.counter_addr(i as u32))
+                    .map_err(|f| CompileError::new(format!("counter readback failed: {f}")))?;
+                *c = u64::from(word);
+            }
+            drop(_run_span);
+            Ok((run_counters, child))
+        },
+    );
+    let mut counters = vec![0u64; plan.num_counters as usize];
+    for run in runs {
+        let (run_counters, child) = run?;
+        tel.merge_from(&child);
+        for (c, r) in counters.iter_mut().zip(&run_counters) {
+            *c += r;
+        }
+    }
+    let profile = reconstruct(&plan, &counters);
+    #[allow(clippy::cast_precision_loss)]
+    tel.set_gauge("train.x_max", profile.max_count() as f64);
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::Strategy;
+    use crate::driver::{build, run, DEFAULT_GAS};
+    use pgsd_cc::driver::frontend;
+
+    const SRC: &str = "int main(int n) {
+        int s = 0;
+        for (int i = 1; i <= n; i++) { s += i; }
+        return s;
+    }";
+
+    #[test]
+    fn session_build_matches_uncached_build() {
+        let module = frontend("t", SRC).unwrap();
+        for seed in 0..4 {
+            let config = BuildConfig::diversified(Strategy::uniform(0.5), seed);
+            let cold = build(&module, None, &config).unwrap();
+            let session = Session::new(module.clone()).config(config.clone());
+            let a = session.build().unwrap();
+            let b = session.build().unwrap(); // cache hit
+            assert_eq!(a, cold, "seed {seed}");
+            assert_eq!(b, cold, "seed {seed} (warm)");
+        }
+    }
+
+    #[test]
+    fn from_source_compiles_lazily_and_runs() {
+        let session = Session::from_source("t", SRC);
+        let (exit, _) = session.run(&Input::args(&[10]), 1_000_000).unwrap();
+        assert_eq!(exit, Exit::Exited(55));
+    }
+
+    #[test]
+    fn from_source_propagates_frontend_errors() {
+        let session = Session::from_source("t", "int main( {");
+        assert!(session.build().is_err());
+        // And keeps failing on reuse (the error is memoized).
+        assert!(session.module().is_err());
+    }
+
+    #[test]
+    fn train_memoizes_profiles() {
+        let tel = Telemetry::enabled();
+        let session = Session::from_source("t", SRC).telemetry(tel.clone());
+        let p1 = session.train(&[Input::args(&[100])], DEFAULT_GAS).unwrap();
+        let p2 = session.train(&[Input::args(&[100])], DEFAULT_GAS).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "second train must be a cache hit");
+        let snap = tel.snapshot();
+        assert_eq!(snap.counters.get("cache.hits{kind=profile}"), Some(&1));
+        assert_eq!(snap.counters.get("train.inputs"), Some(&1), "trained once");
+        // Different inputs are a different profile.
+        let p3 = session.train(&[Input::args(&[5])], DEFAULT_GAS).unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p3));
+    }
+
+    #[test]
+    fn profiled_strategy_requires_profile() {
+        let session = Session::from_source("t", SRC)
+            .config(BuildConfig::diversified(Strategy::range(0.1, 0.5), 1));
+        let err = session.build().unwrap_err();
+        assert!(err.message.contains("requires profile"));
+    }
+
+    #[test]
+    fn population_matches_per_seed_builds() {
+        let module = frontend("t", SRC).unwrap();
+        let session = Session::new(module.clone())
+            .config(BuildConfig::diversified(Strategy::uniform(0.5), 100));
+        let images = session.population(5).unwrap();
+        for (i, img) in images.iter().enumerate() {
+            let config = BuildConfig::diversified(Strategy::uniform(0.5), 100 + i as u64);
+            let cold = build(&module, None, &config).unwrap();
+            assert_eq!(*img, cold, "seed {}", 100 + i);
+            let (exit, _) = run(img, &[7], 1_000_000);
+            assert_eq!(exit, Exit::Exited(28));
+        }
+    }
+
+    #[test]
+    fn population_with_reg_randomize_matches_uncached() {
+        let module = frontend("t", SRC).unwrap();
+        let session = Session::new(module.clone())
+            .config(BuildConfig::full_diversity(Strategy::uniform(0.4), 9));
+        let images = session.population(3).unwrap();
+        for (i, img) in images.iter().enumerate() {
+            let config = BuildConfig::full_diversity(Strategy::uniform(0.4), 9 + i as u64);
+            assert_eq!(*img, build(&module, None, &config).unwrap());
+        }
+    }
+
+    #[test]
+    fn validated_builds_cache_verdicts() {
+        let tel = Telemetry::enabled();
+        let module = frontend("t", SRC).unwrap();
+        let config = BuildConfig::diversified(Strategy::uniform(0.5), 3)
+            .validated()
+            .with_telemetry(tel.clone());
+        let session = Session::new(module).config(config);
+        let a = session.build().unwrap();
+        let b = session.build().unwrap();
+        assert_eq!(a, b);
+        let snap = tel.snapshot();
+        assert_eq!(
+            snap.counters.get("validate.passed"),
+            Some(&2),
+            "both builds report validation"
+        );
+        assert_eq!(
+            snap.counters.get("cache.hits{kind=verdict}"),
+            Some(&1),
+            "second build reuses the verdict"
+        );
+    }
+
+    #[test]
+    fn disabled_cache_still_builds_correctly() {
+        let session = Session::from_source("t", SRC)
+            .config(BuildConfig::diversified(Strategy::uniform(0.5), 1))
+            .cache(Cache::disabled());
+        let a = session.build().unwrap();
+        let module = frontend("t", SRC).unwrap();
+        let cold = build(
+            &module,
+            None,
+            &BuildConfig::diversified(Strategy::uniform(0.5), 1),
+        )
+        .unwrap();
+        assert_eq!(a, cold);
+    }
+}

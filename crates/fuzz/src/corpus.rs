@@ -25,7 +25,9 @@ use std::path::Path;
 
 use pgsd_telemetry::json::{parse, Value};
 
-use crate::diff::{run_source_case, Outcome, TransformSet};
+use pgsd_cache::Cache;
+
+use crate::diff::{run_source_case_in, Outcome, TransformSet};
 
 /// Schema version of reproducer and report files.
 pub const SCHEMA_VERSION: u64 = 1;
@@ -128,22 +130,16 @@ pub fn finding_id(
     variant_seed: u64,
     inputs: &[Vec<i32>],
 ) -> String {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |bytes: &[u8]| {
-        for b in bytes {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
-    eat(source.as_bytes());
-    eat(tset.label().as_bytes());
-    eat(&variant_seed.to_le_bytes());
+    let mut h = pgsd_cache::Fnv64::new();
+    h.write(source.as_bytes());
+    h.write(tset.label().as_bytes());
+    h.write(&variant_seed.to_le_bytes());
     for args in inputs {
         for a in args {
-            eat(&a.to_le_bytes());
+            h.write(&a.to_le_bytes());
         }
     }
-    format!("{h:016x}")
+    h.key().hex()
 }
 
 impl Finding {
@@ -311,6 +307,9 @@ fn parse_inputs(v: &Value) -> Option<Vec<Vec<i32>>> {
 /// Returns an error for filesystem problems or malformed reproducer
 /// files; a failing replay is reported in the result, not as an error.
 pub fn replay(dir: &Path) -> Result<ReplayReport, String> {
+    // Replay is serial; one cache shares the pipeline prefix across
+    // reproducers derived from the same source.
+    let cache = Cache::in_memory();
     let mut ids: Vec<String> = Vec::new();
     let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
     for entry in entries {
@@ -352,7 +351,7 @@ pub fn replay(dir: &Path) -> Result<ReplayReport, String> {
         let source = fs::read_to_string(&src_path)
             .map_err(|e| format!("cannot read {}: {e}", src_path.display()))?;
 
-        let case = match run_source_case(&source, tset, variant_seed, &inputs, None) {
+        let case = match run_source_case_in(&cache, &source, tset, variant_seed, &inputs, None) {
             Err(e) => ReplayCase {
                 id,
                 passing: false,

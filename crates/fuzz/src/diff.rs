@@ -18,7 +18,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use pgsd_cc::driver::{emit_image, frontend, lower_module_seeded};
+use pgsd_cache::Cache;
+use pgsd_cc::driver::{emit_image, lower_module_seeded};
 use pgsd_cc::emit::Image;
 use pgsd_cc::error::Result;
 use pgsd_cc::ir::Module;
@@ -27,7 +28,7 @@ use pgsd_core::driver::{build, run, BuildConfig};
 use pgsd_core::nop_pass::insert_nops;
 use pgsd_core::shift_pass::shift_blocks;
 use pgsd_core::subst_pass::substitute;
-use pgsd_core::Strategy;
+use pgsd_core::{Session, Strategy};
 use pgsd_emu::{Exit, Fault};
 use pgsd_workloads::gen::Lcg;
 use pgsd_x86::nop::NopTable;
@@ -246,12 +247,34 @@ pub fn build_variant(
     let Some(sabotage) = sabotage else {
         return build(module, None, config);
     };
-    let reg_seed = if config.reg_randomize {
+    let funcs = lower_module_seeded(module, variant_reg_seed(config))?;
+    sabotaged_pipeline(funcs, module, config, sabotage)
+}
+
+/// [`build_variant`]'s sabotage path on a [`Session`]: the lowering
+/// comes from the session's cache (shared with the healthy builds of the
+/// same program), the sabotaged image bypasses it entirely.
+fn build_sabotaged(session: &Session, config: &BuildConfig, sabotage: Sabotage) -> Result<Image> {
+    let funcs = (*session.lowered(variant_reg_seed(config))?).clone();
+    sabotaged_pipeline(funcs, session.module()?, config, sabotage)
+}
+
+fn variant_reg_seed(config: &BuildConfig) -> Option<u64> {
+    if config.reg_randomize {
         Some(config.seed)
     } else {
         None
-    };
-    let mut funcs = lower_module_seeded(module, reg_seed)?;
+    }
+}
+
+/// The stage-for-stage mirror of the production diversifying pipeline
+/// with the sabotage injected between substitution and NOP insertion.
+fn sabotaged_pipeline(
+    mut funcs: Vec<MFunction>,
+    module: &Module,
+    config: &BuildConfig,
+    sabotage: Sabotage,
+) -> Result<Image> {
     let table = if config.with_xchg {
         NopTable::with_xchg()
     } else {
@@ -329,6 +352,25 @@ pub fn run_case(
     run_source_case(&program.emit(), tset, variant_seed, inputs, sabotage)
 }
 
+/// [`run_case`] memoizing pipeline artifacts in `cache` — the fuzz loop
+/// gives each iteration one cache, so a program's frontend, baseline
+/// build, and lowering are paid once across its (transform-set, seed)
+/// cases rather than once per case.
+///
+/// # Errors
+///
+/// Propagates frontend and build errors.
+pub fn run_case_in(
+    cache: &Cache,
+    program: &FuzzProgram,
+    tset: TransformSet,
+    variant_seed: u64,
+    inputs: &[Vec<i32>],
+    sabotage: Option<Sabotage>,
+) -> Result<CaseResult> {
+    run_source_case_in(cache, &program.emit(), tset, variant_seed, inputs, sabotage)
+}
+
 /// [`run_case`] on already-emitted MiniC source — the form corpus replay
 /// uses, since reproducers are stored as source text.
 ///
@@ -342,10 +384,39 @@ pub fn run_source_case(
     inputs: &[Vec<i32>],
     sabotage: Option<Sabotage>,
 ) -> Result<CaseResult> {
-    let module = frontend("fuzzcase", source)?;
-    let baseline = build(&module, None, &BuildConfig::baseline())?;
+    run_source_case_in(
+        &Cache::in_memory(),
+        source,
+        tset,
+        variant_seed,
+        inputs,
+        sabotage,
+    )
+}
+
+/// [`run_source_case`] with an explicit artifact cache (see
+/// [`run_case_in`]). Sabotaged variants reuse the memoized lowering but
+/// are never themselves cached — a deliberately broken image must not
+/// leak into a store a healthy build could hit.
+///
+/// # Errors
+///
+/// Propagates frontend and build errors.
+pub fn run_source_case_in(
+    cache: &Cache,
+    source: &str,
+    tset: TransformSet,
+    variant_seed: u64,
+    inputs: &[Vec<i32>],
+    sabotage: Option<Sabotage>,
+) -> Result<CaseResult> {
+    let session = Session::from_source("fuzzcase", source).cache(cache.clone());
+    let baseline = session.build_with(&BuildConfig::baseline())?;
     let config = tset.config(variant_seed);
-    let variant = build_variant(&module, &config, sabotage)?;
+    let variant = match sabotage {
+        None => session.build_with(&config)?,
+        Some(s) => build_sabotaged(&session, &config, s)?,
+    };
 
     let (static_rejected, static_findings) =
         match pgsd_analysis::check_images(&baseline, &variant, &config.transforms()) {
@@ -386,6 +457,7 @@ pub fn run_source_case(
 mod tests {
     use super::*;
     use crate::gen::{generate, GenOptions};
+    use pgsd_cc::driver::frontend;
 
     /// The sabotage-capable mirror pipeline must be byte-identical to the
     /// production driver when no sabotage is applied — otherwise the

@@ -13,7 +13,7 @@
 //!   terminating, always fully initialized);
 //! * [`diff`] — variant builder (with a test-only [`diff::Sabotage`]
 //!   hook), matched-input execution, outcome comparison;
-//! * [`shrink`] — greedy structural minimizer for failing cases;
+//! * [`mod@shrink`] — greedy structural minimizer for failing cases;
 //! * [`corpus`] — reproducer and report serialization, corpus replay;
 //! * [`fuzz`] — the top-level loop tying them together; iterations scan
 //!   and findings shrink as parallel jobs (`FuzzConfig::threads`), with
@@ -44,10 +44,11 @@ pub mod shrink;
 
 use std::path::Path;
 
+use pgsd_cache::Cache;
 use pgsd_telemetry::Telemetry;
 
 use crate::corpus::{finding_id, Finding, FuzzReport};
-use crate::diff::{inputs_for, run_case, CaseResult, Sabotage, TransformSet};
+use crate::diff::{inputs_for, run_case_in, CaseResult, Sabotage, TransformSet};
 use crate::gen::{generate, FuzzProgram, GenOptions};
 use crate::shrink::shrink;
 
@@ -170,12 +171,17 @@ pub fn fuzz(
     };
 
     // Phase 1: scan every iteration (generate, build variants, run the
-    // differential cases). One job per iteration; no shared state.
+    // differential cases). One job per iteration; no shared state. Each
+    // iteration gets its own artifact cache, so its program's frontend,
+    // baseline build, and lowering are paid once across all its
+    // (transform-set, seed) cases — and nothing is shared across jobs,
+    // keeping the report independent of the thread count.
     let iters = usize::try_from(config.iters).unwrap_or(usize::MAX);
     let scans = pgsd_exec::run_jobs(config.threads, iters, |i| {
         let program_seed = program_seed_for(config.seed, i as u64);
         let program = generate(program_seed, &config.gen);
         let inputs = inputs_for(program_seed);
+        let cache = Cache::in_memory();
         let mut scan = IterScan {
             per_tset: vec![TsetScan::default(); config.transforms.len()],
             build_errors: 0,
@@ -189,7 +195,14 @@ pub fn fuzz(
             for k in 0..config.variants_per_set {
                 let variant_seed = variant_seed_for(program_seed, ti, k);
                 scan.per_tset[ti].cases += 1;
-                let outcome = run_case(&program, tset, variant_seed, &scan.inputs, config.sabotage);
+                let outcome = run_case_in(
+                    &cache,
+                    &program,
+                    tset,
+                    variant_seed,
+                    &scan.inputs,
+                    config.sabotage,
+                );
                 let failed = match &outcome {
                     Err(_) => {
                         scan.build_errors += 1;
@@ -321,17 +334,26 @@ fn capture_finding(
     tel: &Telemetry,
 ) -> Finding {
     let _span = tel.span("shrink");
-    let still_fails =
-        &mut |p: &FuzzProgram| match run_case(p, tset, variant_seed, inputs, config.sabotage) {
-            Err(_) => true,
-            Ok(res) => !res.baseline_out_of_gas && res.is_failure(),
-        };
+    // One cache per shrink job: candidate programs mostly differ, but the
+    // final re-run and any re-visited candidates hit it.
+    let cache = Cache::in_memory();
+    let still_fails = &mut |p: &FuzzProgram| match run_case_in(
+        &cache,
+        p,
+        tset,
+        variant_seed,
+        inputs,
+        config.sabotage,
+    ) {
+        Err(_) => true,
+        Ok(res) => !res.baseline_out_of_gas && res.is_failure(),
+    };
     let (small, stats) = shrink(program, config.shrink_budget, still_fails);
     tel.add("fuzz.shrink_evals", stats.evals as u64);
 
     // Re-run the shrunk case once to capture its final verdicts.
     let (expected, actual, dynamic, rejected, static_findings) =
-        match run_case(&small, tset, variant_seed, inputs, config.sabotage) {
+        match run_case_in(&cache, &small, tset, variant_seed, inputs, config.sabotage) {
             Err(e) => (
                 Vec::new(),
                 Vec::new(),

@@ -104,14 +104,15 @@ mod tests {
 
     #[test]
     fn thresholds_are_monotone() {
-        use pgsd_core::driver::population;
-        use pgsd_core::Strategy;
+        use pgsd_core::{BuildConfig, Session, Strategy};
         let module = pgsd_cc::driver::frontend(
             "t",
             "int main(int n) { int s = 1; while (n > 1) { s *= n; n -= 1; } return s; }",
         )
         .unwrap();
-        let images = population(&module, None, Strategy::uniform(0.3), 0, 8).unwrap();
+        let session =
+            Session::new(module).config(BuildConfig::diversified(Strategy::uniform(0.3), 0));
+        let images = session.population(8).unwrap();
         let texts: Vec<Vec<u8>> = images.into_iter().map(|i| i.text.to_vec()).collect();
         let rep = population_survival(&texts, &NopTable::new(), &cfg());
         let counts = rep.thresholds(&[1, 2, 4, 8]);

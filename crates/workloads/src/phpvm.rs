@@ -873,8 +873,8 @@ pub fn interpret_reference(words: &[i32], fuel: i32) -> (i32, Vec<i32>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pgsd_cc::driver::compile;
-    use pgsd_core::driver::{run_input, DEFAULT_GAS};
+    use pgsd_core::driver::DEFAULT_GAS;
+    use pgsd_core::Session;
 
     #[test]
     fn all_seven_programs_exist_and_fit() {
@@ -897,7 +897,7 @@ mod tests {
 
     #[test]
     fn compiled_vm_matches_reference_on_every_benchmark() {
-        let image = compile("php", &php_source()).expect("interpreter compiles");
+        let session = Session::from_source("php", &php_source());
         // Debug-mode emulation is ~50× slower; a reduced step budget still
         // exercises every opcode (the fuel cap is part of the VM
         // semantics, so the oracle agrees at any budget).
@@ -908,7 +908,9 @@ mod tests {
         };
         for p in clbg_programs() {
             let (expected, _) = interpret_reference(&p.words, fuel);
-            let (exit, _) = run_input(&image, &p.input(fuel), DEFAULT_GAS);
+            let (exit, _) = session
+                .run(&p.input(fuel), DEFAULT_GAS)
+                .expect("interpreter compiles");
             assert_eq!(
                 exit.status(),
                 Some(expected),
@@ -946,7 +948,7 @@ mod tests {
 
     #[test]
     fn php_binary_is_interpreter_sized() {
-        let image = compile("php", &php_source()).unwrap();
+        let image = pgsd_cc::driver::compile("php", &php_source()).unwrap();
         assert!(
             image.text.len() > 30_000,
             "text only {} bytes",

@@ -812,8 +812,9 @@ fn xalancbmk() -> Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pgsd_cc::driver::{compile, frontend};
-    use pgsd_core::driver::{run_input, DEFAULT_GAS};
+    use pgsd_cc::driver::frontend;
+    use pgsd_core::driver::DEFAULT_GAS;
+    use pgsd_core::Session;
 
     #[test]
     fn suite_has_nineteen_unique_workloads() {
@@ -841,8 +842,8 @@ mod tests {
         // -mode `ref_runs_are_heavier_than_train` below and by the bench
         // harnesses.
         for w in spec_suite() {
-            let image = compile(w.name, &w.source).unwrap();
-            let (exit, stats) = run_input(&image, &w.train[0], DEFAULT_GAS);
+            let session = Session::from_source(w.name, &w.source);
+            let (exit, stats) = session.run(&w.train[0], DEFAULT_GAS).unwrap();
             assert!(
                 exit.status().is_some(),
                 "{} did not exit cleanly on {:?}: {exit:?}",
@@ -887,8 +888,8 @@ mod tests {
         ];
         for (name, status, instructions) in GOLDEN {
             let w = by_name(name).expect("workload exists");
-            let image = compile(w.name, &w.source).unwrap();
-            let (exit, stats) = run_input(&image, &w.reference, DEFAULT_GAS);
+            let session = Session::from_source(w.name, &w.source);
+            let (exit, stats) = session.run(&w.reference, DEFAULT_GAS).unwrap();
             assert_eq!(exit.status(), Some(*status), "{name} exit status drifted");
             assert_eq!(
                 stats.instructions, *instructions,
@@ -904,10 +905,10 @@ mod tests {
     )]
     fn ref_runs_are_heavier_than_train() {
         for w in spec_suite() {
-            let image = compile(w.name, &w.source).unwrap();
-            let (re, ref_stats) = run_input(&image, &w.reference, DEFAULT_GAS);
+            let session = Session::from_source(w.name, &w.source);
+            let (re, ref_stats) = session.run(&w.reference, DEFAULT_GAS).unwrap();
             assert!(re.status().is_some(), "{}: {re:?}", w.name);
-            let (_, train_stats) = run_input(&image, &w.train[0], DEFAULT_GAS);
+            let (_, train_stats) = session.run(&w.train[0], DEFAULT_GAS).unwrap();
             // The paper's train inputs are smaller than ref but the ratio
             // varies per benchmark (456.hmmer trains long so its x_max
             // stays the suite's largest, as in §3.1).
@@ -926,7 +927,10 @@ mod tests {
         let suite = spec_suite();
         let size = |name: &str| {
             let w = suite.iter().find(|w| w.name == name).unwrap();
-            compile(w.name, &w.source).unwrap().text.len()
+            pgsd_cc::driver::compile(w.name, &w.source)
+                .unwrap()
+                .text
+                .len()
         };
         let lbm = size("470.lbm");
         let gcc = size("403.gcc");

@@ -8,9 +8,8 @@
 //! cargo run --release --example population_study
 //! ```
 
-use pgsd::cc::driver::frontend;
-use pgsd::core::driver::{build, population, run_input, BuildConfig, DEFAULT_GAS};
-use pgsd::core::Strategy;
+use pgsd::core::driver::{BuildConfig, DEFAULT_GAS};
+use pgsd::core::{Session, Strategy};
 use pgsd::gadget::{
     check_attack, find_gadgets, population_survival, survivor, AttackTemplate, ScanConfig,
 };
@@ -19,8 +18,12 @@ use pgsd::x86::nop::NopTable;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 12;
-    let module = frontend("php", &php_source())?;
-    let baseline = build(&module, None, &BuildConfig::baseline())?;
+    // Uniform 30% — no profile needed for brevity; the bench binaries
+    // run the full profile-guided variant.
+    let strategy = Strategy::uniform(0.30);
+    let session =
+        Session::from_source("php", &php_source()).config(BuildConfig::diversified(strategy, 0));
+    let baseline = session.build_with(&BuildConfig::baseline())?;
     let cfg = ScanConfig::default();
     let table = NopTable::new();
     let base_gadgets = find_gadgets(&baseline.text, &cfg).len();
@@ -39,17 +42,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // Build the population (uniform 30% — no profile needed for brevity;
-    // the bench binaries run the full profile-guided variant).
-    let strategy = Strategy::uniform(0.30);
-    let images = population(&module, None, strategy, 0, n)?;
+    // Build the population.
+    let images = session.population(n)?;
 
     // Sanity: all versions still interpret bytecode correctly.
     let fasta = clbg_by_name("fasta").expect("fasta exists");
     let input = fasta.input(200_000);
-    let (base_exit, _) = run_input(&baseline, &input, DEFAULT_GAS);
+    let (base_exit, _) = session.run_image(&baseline, &input, DEFAULT_GAS, "baseline");
     for (i, img) in images.iter().enumerate() {
-        let (exit, _) = run_input(img, &input, DEFAULT_GAS);
+        let (exit, _) = session.run_image(img, &input, DEFAULT_GAS, "variant");
         assert_eq!(exit.status(), base_exit.status(), "version {i} diverged");
     }
     println!("\nall {n} versions agree with the baseline on the fasta benchmark");

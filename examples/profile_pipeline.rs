@@ -7,8 +7,8 @@
 //! ```
 
 use pgsd::cc::driver::{emit_image, frontend, lower_module};
-use pgsd::core::driver::{build, run, train, BuildConfig, Input, DEFAULT_GAS};
-use pgsd::core::{Curve, Strategy};
+use pgsd::core::driver::{BuildConfig, Input, DEFAULT_GAS};
+use pgsd::core::{Curve, Session, Strategy};
 use pgsd::profile::{estimate, instrument};
 
 const SOURCE: &str = r#"
@@ -61,8 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("instrumented image: {} bytes of text", image.text.len());
 
     // Stage 3: the training run reconstructs every block count from the
-    // minimal counter set by flow conservation.
-    let profile = train(&module, &[Input::args(&[2_000])], DEFAULT_GAS)?;
+    // minimal counter set by flow conservation. The session keeps the
+    // profile active for every later diversified build.
+    let session = Session::new(module.clone());
+    let profile = session.train(&[Input::args(&[2_000])], DEFAULT_GAS)?;
     let x_max = profile.max_count();
     println!(
         "\ntraining profile: x_max = {x_max}, median = {}",
@@ -94,14 +96,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Stage 4: measure what profile guidance buys on the reference input.
-    let baseline = build(&module, None, &BuildConfig::baseline())?;
-    let (exit, base_stats) = run(&baseline, &[200_000], DEFAULT_GAS);
+    let baseline = session.build()?;
+    let input = Input::args(&[200_000]);
+    let (exit, base_stats) = session.run_image(&baseline, &input, DEFAULT_GAS, "baseline");
     let expected = exit.status().expect("baseline runs");
     let report = |label: &str, strat: Strategy, profiled: bool| {
         let cfg = BuildConfig::diversified(strat, 42);
-        let p = if profiled { Some(&profile) } else { None };
-        let image = build(&module, p, &cfg).expect("builds");
-        let (e, s) = run(&image, &[200_000], DEFAULT_GAS);
+        let image = if profiled {
+            session.build_with(&cfg).expect("builds")
+        } else {
+            // A throwaway session over the same module: no profile set.
+            Session::new(module.clone())
+                .build_with(&cfg)
+                .expect("builds")
+        };
+        let (e, s) = session.run_image(&image, &input, DEFAULT_GAS, label);
         assert_eq!(e.status(), Some(expected));
         println!(
             "  {label:<22} {:>8} cycles  ({:+.2}%)",

@@ -6,9 +6,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use pgsd::cc::driver::frontend;
-use pgsd::core::driver::{build, run, train, BuildConfig, Input, DEFAULT_GAS};
-use pgsd::core::Strategy;
+use pgsd::core::driver::{BuildConfig, Input, DEFAULT_GAS};
+use pgsd::core::{Session, Strategy};
 use pgsd::gadget::{find_gadgets, survivor, ScanConfig};
 use pgsd::x86::nop::NopTable;
 
@@ -37,33 +36,28 @@ int main(int limit) {
 "#;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Frontend: parse, check, optimize.
-    let module = frontend("collatz", SOURCE)?;
+    // 1. A session owns the compiled module, the trained profile, and an
+    //    artifact cache, so the frontend and register allocator run once
+    //    no matter how many versions we stamp out.
+    let session = Session::from_source("collatz", SOURCE);
 
     // 2. Baseline build and run.
-    let baseline = build(&module, None, &BuildConfig::baseline())?;
-    let (exit, stats) = run(&baseline, &[10_000], DEFAULT_GAS);
+    let baseline = session.build()?;
+    let input = Input::args(&[10_000]);
+    let (exit, stats) = session.run_image(&baseline, &input, DEFAULT_GAS, "baseline");
     let expected = exit.status().expect("baseline exits cleanly");
     println!("baseline: result {expected}, {} cycles", stats.cycles);
 
     // 3. Profile-guided diversification: train on a smaller input, then
     //    build two versions with different seeds.
-    let profile = train(&module, &[Input::args(&[500])], DEFAULT_GAS)?;
+    session.train(&[Input::args(&[500])], DEFAULT_GAS)?;
     let strategy = Strategy::range(0.0, 0.30); // the paper's pNOP = 0-30%
-    let v1 = build(
-        &module,
-        Some(&profile),
-        &BuildConfig::diversified(strategy, 1),
-    )?;
-    let v2 = build(
-        &module,
-        Some(&profile),
-        &BuildConfig::diversified(strategy, 2),
-    )?;
+    let v1 = session.build_with(&BuildConfig::diversified(strategy, 1))?;
+    let v2 = session.build_with(&BuildConfig::diversified(strategy, 2))?;
 
     // 4. Semantics preserved, bytes diversified.
-    let (e1, s1) = run(&v1, &[10_000], DEFAULT_GAS);
-    let (e2, s2) = run(&v2, &[10_000], DEFAULT_GAS);
+    let (e1, s1) = session.run_image(&v1, &input, DEFAULT_GAS, "v1");
+    let (e2, s2) = session.run_image(&v2, &input, DEFAULT_GAS, "v2");
     assert_eq!(e1.status(), Some(expected));
     assert_eq!(e2.status(), Some(expected));
     assert_ne!(v1.text, v2.text, "two seeds must give different code");

@@ -20,7 +20,9 @@
 //!   generator, dynamic-vs-static oracle cross-check, shrinker, corpus;
 //! * [`exec`] — zero-dependency deterministic parallel job queue used by
 //!   every population / sweep / fuzz fan-out;
-//! * [`bench`] — experiment-harness plumbing shared by the `pgsd bench`
+//! * [`cache`] — content-addressed two-level artifact cache behind
+//!   [`core::Session`]'s incremental builds;
+//! * [`mod@bench`] — experiment-harness plumbing shared by the `pgsd bench`
 //!   subcommand and the table/figure binaries.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
@@ -29,12 +31,12 @@
 //! # Examples
 //!
 //! ```
-//! use pgsd::core::driver::{build, run, BuildConfig};
-//! use pgsd::core::Strategy;
+//! use pgsd::core::{BuildConfig, Input, Session, Strategy};
 //!
-//! let module = pgsd::cc::driver::frontend("demo", "int main(int n) { return n + 1; }")?;
-//! let image = build(&module, None, &BuildConfig::diversified(Strategy::uniform(0.5), 7))?;
-//! assert_eq!(run(&image, &[41], 100_000).0.status(), Some(42));
+//! let session = Session::from_source("demo", "int main(int n) { return n + 1; }")
+//!     .config(BuildConfig::diversified(Strategy::uniform(0.5), 7));
+//! let (exit, _stats) = session.run(&Input::args(&[41]), 100_000)?;
+//! assert_eq!(exit.status(), Some(42));
 //! # Ok::<(), pgsd::cc::error::CompileError>(())
 //! ```
 
@@ -42,6 +44,7 @@
 
 pub use pgsd_analysis as analysis;
 pub use pgsd_bench as bench;
+pub use pgsd_cache as cache;
 pub use pgsd_cc as cc;
 pub use pgsd_core as core;
 pub use pgsd_emu as emu;

@@ -2,8 +2,8 @@
 //! emulated execution, with and without profiling and diversification.
 
 use pgsd::cc::driver::frontend;
-use pgsd::core::driver::{build, population, run, train, BuildConfig, Input, DEFAULT_GAS};
-use pgsd::core::{Curve, Strategy};
+use pgsd::core::driver::{build, run, BuildConfig, Input, DEFAULT_GAS};
+use pgsd::core::{Curve, Session, Strategy};
 use pgsd::emu::Exit;
 
 /// A program exercising most language and backend features at once:
@@ -116,13 +116,15 @@ fn kitchen_sink_matches_rust_reference() {
 
 #[test]
 fn every_strategy_preserves_semantics() {
-    let module = frontend("sink", KITCHEN_SINK).unwrap();
-    let profile = train(&module, &[Input::args(&[12, 34])], DEFAULT_GAS).unwrap();
+    let session = Session::new(frontend("sink", KITCHEN_SINK).unwrap());
+    session
+        .train(&[Input::args(&[12, 34])], DEFAULT_GAS)
+        .unwrap();
     let (want, _) = expected_for(25, -17);
     for (label, strategy) in Strategy::paper_configs() {
         for seed in [1u64, 99] {
             let config = BuildConfig::diversified(strategy, seed);
-            let image = build(&module, Some(&profile), &config).unwrap();
+            let image = session.build_with(&config).unwrap();
             let (exit, _) = run(&image, &[25, -17], DEFAULT_GAS);
             assert_eq!(exit, Exit::Exited(want), "{label} seed {seed}");
         }
@@ -131,8 +133,10 @@ fn every_strategy_preserves_semantics() {
 
 #[test]
 fn xchg_table_and_shifting_preserve_semantics() {
-    let module = frontend("sink", KITCHEN_SINK).unwrap();
-    let profile = train(&module, &[Input::args(&[12, 34])], DEFAULT_GAS).unwrap();
+    let session = Session::new(frontend("sink", KITCHEN_SINK).unwrap());
+    session
+        .train(&[Input::args(&[12, 34])], DEFAULT_GAS)
+        .unwrap();
     let (want, _) = expected_for(29, 7);
     let config = BuildConfig {
         strategy: Some(Strategy::with_curve(0.10, 0.50, Curve::Linear)),
@@ -141,7 +145,7 @@ fn xchg_table_and_shifting_preserve_semantics() {
         ..BuildConfig::baseline()
     };
     let config = BuildConfig { seed: 5, ..config };
-    let image = build(&module, Some(&profile), &config).unwrap();
+    let image = session.build_with(&config).unwrap();
     let (exit, _) = run(&image, &[29, 7], DEFAULT_GAS);
     assert_eq!(exit, Exit::Exited(want));
 }
@@ -150,13 +154,15 @@ fn xchg_table_and_shifting_preserve_semantics() {
 fn full_diversity_stack_preserves_semantics() {
     // NOP insertion + substitution + block shifting + register
     // randomization all at once, across seeds.
-    let module = frontend("sink", KITCHEN_SINK).unwrap();
-    let profile = train(&module, &[Input::args(&[12, 34])], DEFAULT_GAS).unwrap();
+    let session = Session::new(frontend("sink", KITCHEN_SINK).unwrap());
+    session
+        .train(&[Input::args(&[12, 34])], DEFAULT_GAS)
+        .unwrap();
     let (want, _) = expected_for(17, 41);
     let mut texts = Vec::new();
     for seed in 0..6 {
         let config = BuildConfig::full_diversity(Strategy::range(0.0, 0.5), seed);
-        let image = build(&module, Some(&profile), &config).unwrap();
+        let image = session.build_with(&config).unwrap();
         let (exit, _) = run(&image, &[17, 41], DEFAULT_GAS);
         assert_eq!(exit, Exit::Exited(want), "seed {seed}");
         texts.push(image.text);
@@ -210,14 +216,15 @@ fn substitution_alone_diversifies_and_preserves() {
 
 #[test]
 fn populations_are_pairwise_distinct_and_reproducible() {
-    let module = frontend("sink", KITCHEN_SINK).unwrap();
-    let images = population(&module, None, Strategy::uniform(0.4), 7, 6).unwrap();
+    let session = Session::new(frontend("sink", KITCHEN_SINK).unwrap())
+        .config(BuildConfig::diversified(Strategy::uniform(0.4), 7));
+    let images = session.population(6).unwrap();
     for (i, a) in images.iter().enumerate() {
         for b in images.iter().skip(i + 1) {
             assert_ne!(a.text, b.text, "two versions share identical text");
         }
     }
-    let again = population(&module, None, Strategy::uniform(0.4), 7, 6).unwrap();
+    let again = session.population(6).unwrap();
     for (a, b) in images.iter().zip(&again) {
         assert_eq!(a.text, b.text, "same seeds must reproduce identical builds");
     }
@@ -276,22 +283,19 @@ fn division_traps_are_observable() {
 #[test]
 fn profiles_survive_text_round_trip_and_guide_builds() {
     let module = frontend("sink", KITCHEN_SINK).unwrap();
-    let profile = train(&module, &[Input::args(&[12, 34])], DEFAULT_GAS).unwrap();
+    let session = Session::new(module.clone());
+    let profile = session
+        .train(&[Input::args(&[12, 34])], DEFAULT_GAS)
+        .unwrap();
     let text = profile.to_text();
     let parsed = pgsd::profile::Profile::from_text(&text).unwrap();
-    assert_eq!(parsed, profile);
+    assert_eq!(parsed, *profile);
     // A build guided by the round-tripped profile is byte-identical.
-    let a = build(
-        &module,
-        Some(&profile),
-        &BuildConfig::diversified(Strategy::range(0.0, 0.3), 3),
-    )
-    .unwrap();
-    let b = build(
-        &module,
-        Some(&parsed),
-        &BuildConfig::diversified(Strategy::range(0.0, 0.3), 3),
-    )
-    .unwrap();
+    let config = BuildConfig::diversified(Strategy::range(0.0, 0.3), 3);
+    let a = session.build_with(&config).unwrap();
+    let b = Session::new(module)
+        .profile(parsed)
+        .build_with(&config)
+        .unwrap();
     assert_eq!(a.text, b.text);
 }

@@ -9,10 +9,8 @@ use std::fs;
 use std::path::PathBuf;
 
 use pgsd::cc::driver::frontend;
-use pgsd::core::driver::{
-    build, population_par, run_input, train, BuildConfig, Input, DEFAULT_GAS,
-};
-use pgsd::core::Strategy;
+use pgsd::core::driver::{BuildConfig, Input, DEFAULT_GAS};
+use pgsd::core::{Session, Strategy};
 use pgsd::fuzz::diff::{Sabotage, TransformSet};
 use pgsd::fuzz::{fuzz, FuzzConfig};
 use pgsd::gadget::{population_survival, ScanConfig};
@@ -40,8 +38,8 @@ fn scratch_dir(tag: &str) -> PathBuf {
 /// Returns the formatted CSV rows, exactly as `fig4_overhead` lays its
 /// aggregation out.
 fn mini_fig4_csv(threads: usize) -> Vec<String> {
-    let module = frontend("mini", SRC).unwrap();
-    let profile = train(&module, &[Input::args(&[20])], DEFAULT_GAS).unwrap();
+    let session = Session::new(frontend("mini", SRC).unwrap()).threads(threads);
+    session.train(&[Input::args(&[20])], DEFAULT_GAS).unwrap();
     let configs = Strategy::paper_configs();
     let seeds = 4u64;
     let jobs: Vec<(usize, u64)> = (0..configs.len())
@@ -49,8 +47,8 @@ fn mini_fig4_csv(threads: usize) -> Vec<String> {
         .collect();
     let cycles = pgsd::exec::map_indexed(threads, &jobs, |_, &(ci, seed)| {
         let config = BuildConfig::diversified(configs[ci].1, seed);
-        let image = build(&module, Some(&profile), &config).unwrap();
-        let (exit, stats) = run_input(&image, &Input::args(&[20]), DEFAULT_GAS);
+        let image = session.build_with(&config).unwrap();
+        let (exit, stats) = session.run_image(&image, &Input::args(&[20]), DEFAULT_GAS, "ref");
         assert!(exit.status().is_some(), "{exit:?}");
         stats.cycles
     });
@@ -77,10 +75,12 @@ fn fig4_style_csv_rows_are_identical_across_thread_counts() {
 /// image bytes, metrics JSON, surviving-in-at-least-k counts — must
 /// match across thread counts.
 fn mini_table3(threads: usize) -> (Vec<Vec<u8>>, String, Vec<usize>) {
-    let module = frontend("mini", SRC).unwrap();
     let tel = Telemetry::enabled();
-    let images =
-        population_par(&module, None, Strategy::uniform(0.4), 0, 8, threads, &tel).unwrap();
+    let session = Session::new(frontend("mini", SRC).unwrap())
+        .config(BuildConfig::diversified(Strategy::uniform(0.4), 0))
+        .telemetry(tel.clone())
+        .threads(threads);
+    let images = session.population(8).unwrap();
     let texts: Vec<Vec<u8>> = images.into_iter().map(|i| i.text.to_vec()).collect();
     let rep = population_survival(&texts, &NopTable::new(), &ScanConfig::default());
     let thresholds = rep.thresholds(&[1, 2, 4, 8]);

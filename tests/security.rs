@@ -3,8 +3,8 @@
 //! compiled binaries.
 
 use pgsd::cc::driver::frontend;
-use pgsd::core::driver::{build, population, BuildConfig};
-use pgsd::core::Strategy;
+use pgsd::core::driver::{build, BuildConfig};
+use pgsd::core::{Session, Strategy};
 use pgsd::gadget::{
     check_attack, find_gadgets, population_survival, survivor, AttackTemplate, ScanConfig,
 };
@@ -90,7 +90,9 @@ fn runtime_tail_is_constant_across_population() {
     let (module, image) = baseline_and_module();
     let cfg = ScanConfig::default();
     let table = NopTable::new();
-    let texts: Vec<Vec<u8>> = population(&module, None, Strategy::uniform(0.5), 0, 9)
+    let session = Session::new(module).config(BuildConfig::diversified(Strategy::uniform(0.5), 0));
+    let texts: Vec<Vec<u8>> = session
+        .population(9)
         .unwrap()
         .into_iter()
         .map(|i| i.text.to_vec())
