@@ -96,6 +96,39 @@ impl<F: Clone> BlockFacts<F> {
     }
 }
 
+/// Generic worklist driver shared by [`solve`] and the binary-level
+/// abstract interpreter ([`crate::absint`]).
+///
+/// Blocks are identified by index in `0..n`. `step(b)` recomputes block
+/// `b`'s fact and returns the indices whose input changed as a result
+/// (its dependents); the driver re-enqueues them with duplicate
+/// suppression until no block reports a change. Termination is the
+/// caller's obligation: `step` must be monotone over a lattice of finite
+/// height (or widen).
+pub fn fixpoint(
+    n: usize,
+    seed: impl IntoIterator<Item = usize>,
+    mut step: impl FnMut(usize) -> Vec<usize>,
+) {
+    let mut queued = vec![false; n];
+    let mut worklist: Vec<usize> = Vec::with_capacity(n);
+    for b in seed {
+        if b < n && !queued[b] {
+            queued[b] = true;
+            worklist.push(b);
+        }
+    }
+    while let Some(b) = worklist.pop() {
+        queued[b] = false;
+        for d in step(b) {
+            if d < n && !queued[d] {
+                queued[d] = true;
+                worklist.push(d);
+            }
+        }
+    }
+}
+
 /// Runs `a` to its least fixpoint over `func`'s CFG.
 pub fn solve<A: Analysis>(a: &A, func: &MFunction) -> BlockFacts<A::Fact> {
     let nb = func.blocks.len();
@@ -108,14 +141,12 @@ pub fn solve<A: Analysis>(a: &A, func: &MFunction) -> BlockFacts<A::Fact> {
 
     // Seed the worklist in an order that tends to converge quickly:
     // reverse block order for backward problems, block order for forward.
-    let mut worklist: Vec<usize> = match A::DIRECTION {
+    let seed: Vec<usize> = match A::DIRECTION {
         Direction::Forward => (0..nb).collect(),
         Direction::Backward => (0..nb).rev().collect(),
     };
-    let mut queued = vec![true; nb];
 
-    while let Some(b) = worklist.pop() {
-        queued[b] = false;
+    fixpoint(nb, seed, |b| {
         let block = &func.blocks[b];
         match A::DIRECTION {
             Direction::Backward => {
@@ -138,13 +169,9 @@ pub fn solve<A: Analysis>(a: &A, func: &MFunction) -> BlockFacts<A::Fact> {
                 }
                 if fact != entry[b] {
                     entry[b] = fact;
-                    for p in &preds[b] {
-                        let p = *p as usize;
-                        if !queued[p] {
-                            queued[p] = true;
-                            worklist.push(p);
-                        }
-                    }
+                    preds[b].iter().map(|p| *p as usize).collect()
+                } else {
+                    Vec::new()
                 }
             }
             Direction::Forward => {
@@ -165,16 +192,17 @@ pub fn solve<A: Analysis>(a: &A, func: &MFunction) -> BlockFacts<A::Fact> {
                 a.transfer_term(&block.term, &mut fact);
                 if fact != exit[b] {
                     exit[b] = fact;
-                    for s in block.term.successors() {
-                        let s = s as usize;
-                        if !queued[s] {
-                            queued[s] = true;
-                            worklist.push(s);
-                        }
-                    }
+                    block
+                        .term
+                        .successors()
+                        .into_iter()
+                        .map(|s| s as usize)
+                        .collect()
+                } else {
+                    Vec::new()
                 }
             }
         }
-    }
+    });
     BlockFacts { entry, exit }
 }

@@ -4,12 +4,27 @@
 //! `CompileError` (`cc/src/error.rs`), with machine-code locations —
 //! function, block, instruction index, and the instruction's address when
 //! the diagnostic refers to emitted bytes.
+//!
+//! Every finding carries a stable [`Rule`] identifier (`PGSD001`…), so
+//! downstream tooling can filter, baseline, and gate on rule IDs without
+//! parsing message text. Findings serialize to a deterministic,
+//! schema-versioned JSON shape ([`AnalysisDiag::to_json`]) modeled on
+//! SARIF result objects but small enough to hand-roll.
 
 use std::fmt;
 
-/// How serious a finding is.
+/// Version of the JSON diagnostic schema emitted by [`AnalysisDiag::to_json`]
+/// and the audit/check report documents built on it. Bump on any change to
+/// key names, key order, or value encoding.
+pub const DIAG_SCHEMA_VERSION: u32 = 1;
+
+/// How serious a finding is. Ordering is by severity: `Note < Warning <
+/// Error`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
+    /// Informational: a fact worth surfacing (e.g. an indirect jump the
+    /// analysis could not resolve) that is not by itself suspicious.
+    Note,
     /// Suspicious but not provably wrong (analysis imprecision possible).
     Warning,
     /// Provably wrong, or a validation failure.
@@ -19,9 +34,132 @@ pub enum Severity {
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
+            Severity::Note => "note",
             Severity::Warning => "warning",
             Severity::Error => "error",
         })
+    }
+}
+
+/// Stable identity of a diagnostic rule.
+///
+/// IDs are append-only: a rule keeps its `PGSDnnn` identifier forever, and
+/// retired rules are never reused. [`Rule::from_id`] round-trips the ID
+/// string, which the JSON schema tests pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// A virtual register survived register allocation (LIR lint).
+    VregSurvives,
+    /// A terminator targets a block index out of range (LIR lint).
+    BranchTargetRange,
+    /// Stack depth dips below the caller frame or `ret` fires with bytes
+    /// still pushed (LIR lint).
+    StackUnbalanced,
+    /// EFLAGS are live at function entry (LIR lint).
+    FlagsLiveAtEntry,
+    /// Baseline and variant disagree beyond the declared transforms
+    /// (translation validation).
+    ValidationMismatch,
+    /// Bytes in the image fail to decode where code was expected.
+    Undecodable,
+    /// Image-level layout mismatch between baseline and variant (function
+    /// count, bounds, data segment).
+    LayoutMismatch,
+    /// A branch in the variant does not land on the image of its baseline
+    /// target (translation validation).
+    BranchRetarget,
+    /// Recovered-CFG: code bytes that no path from an entry point reaches.
+    UnreachableCode,
+    /// Diversifier NOPs spent inside unreachable code.
+    WastedNops,
+    /// Abstract interpretation proved a path with imbalanced stack height
+    /// at `ret`.
+    StackImbalance,
+    /// Stack height could not be bounded (overwritten `esp`, unresolved
+    /// flow).
+    StackUnbounded,
+    /// A statically resolvable store writes into the executable text
+    /// segment (W^X violation).
+    WxViolation,
+    /// A store target could not be statically resolved; W^X unproven for
+    /// it.
+    UnresolvedStore,
+    /// An indirect jump or call whose targets the CFG recovery cannot
+    /// enumerate; reachability is a may-underapproximation past it.
+    UnresolvedIndirect,
+}
+
+/// Every rule, in stable ID order. Used by round-trip tests and docs.
+pub const ALL_RULES: &[Rule] = &[
+    Rule::VregSurvives,
+    Rule::BranchTargetRange,
+    Rule::StackUnbalanced,
+    Rule::FlagsLiveAtEntry,
+    Rule::ValidationMismatch,
+    Rule::Undecodable,
+    Rule::LayoutMismatch,
+    Rule::BranchRetarget,
+    Rule::UnreachableCode,
+    Rule::WastedNops,
+    Rule::StackImbalance,
+    Rule::StackUnbounded,
+    Rule::WxViolation,
+    Rule::UnresolvedStore,
+    Rule::UnresolvedIndirect,
+];
+
+impl Rule {
+    /// The stable `PGSDnnn` identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::VregSurvives => "PGSD001",
+            Rule::BranchTargetRange => "PGSD002",
+            Rule::StackUnbalanced => "PGSD003",
+            Rule::FlagsLiveAtEntry => "PGSD004",
+            Rule::ValidationMismatch => "PGSD005",
+            Rule::Undecodable => "PGSD006",
+            Rule::LayoutMismatch => "PGSD007",
+            Rule::BranchRetarget => "PGSD008",
+            Rule::UnreachableCode => "PGSD009",
+            Rule::WastedNops => "PGSD010",
+            Rule::StackImbalance => "PGSD011",
+            Rule::StackUnbounded => "PGSD012",
+            Rule::WxViolation => "PGSD013",
+            Rule::UnresolvedStore => "PGSD014",
+            Rule::UnresolvedIndirect => "PGSD015",
+        }
+    }
+
+    /// Human-readable slug, stable like the ID.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::VregSurvives => "vreg-survives",
+            Rule::BranchTargetRange => "branch-target-range",
+            Rule::StackUnbalanced => "stack-unbalanced",
+            Rule::FlagsLiveAtEntry => "flags-live-at-entry",
+            Rule::ValidationMismatch => "validation-mismatch",
+            Rule::Undecodable => "undecodable-bytes",
+            Rule::LayoutMismatch => "layout-mismatch",
+            Rule::BranchRetarget => "branch-retarget",
+            Rule::UnreachableCode => "unreachable-code",
+            Rule::WastedNops => "wasted-nops",
+            Rule::StackImbalance => "stack-imbalance",
+            Rule::StackUnbounded => "stack-unbounded",
+            Rule::WxViolation => "wx-violation",
+            Rule::UnresolvedStore => "unresolved-store",
+            Rule::UnresolvedIndirect => "unresolved-indirect",
+        }
+    }
+
+    /// Parses a `PGSDnnn` identifier back to the rule.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.id() == id)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
     }
 }
 
@@ -85,9 +223,12 @@ impl fmt::Display for Loc {
     }
 }
 
-/// One finding from a dataflow lint or from the variant validator.
+/// One finding from a dataflow lint, the variant validator, or the
+/// whole-image audit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnalysisDiag {
+    /// Stable rule identity of the finding.
+    pub rule: Rule,
     /// Severity of the finding.
     pub severity: Severity,
     /// Location, when one is known.
@@ -98,8 +239,9 @@ pub struct AnalysisDiag {
 
 impl AnalysisDiag {
     /// Creates an error finding at `loc`.
-    pub fn error(loc: Loc, message: impl Into<String>) -> AnalysisDiag {
+    pub fn error(rule: Rule, loc: Loc, message: impl Into<String>) -> AnalysisDiag {
         AnalysisDiag {
+            rule,
             severity: Severity::Error,
             loc: Some(loc),
             message: message.into(),
@@ -107,29 +249,124 @@ impl AnalysisDiag {
     }
 
     /// Creates a warning finding at `loc`.
-    pub fn warning(loc: Loc, message: impl Into<String>) -> AnalysisDiag {
+    pub fn warning(rule: Rule, loc: Loc, message: impl Into<String>) -> AnalysisDiag {
         AnalysisDiag {
+            rule,
             severity: Severity::Warning,
             loc: Some(loc),
             message: message.into(),
         }
     }
 
-    /// Creates a finding with no location (whole-image checks).
-    pub fn global(severity: Severity, message: impl Into<String>) -> AnalysisDiag {
+    /// Creates a note finding at `loc`.
+    pub fn note(rule: Rule, loc: Loc, message: impl Into<String>) -> AnalysisDiag {
         AnalysisDiag {
+            rule,
+            severity: Severity::Note,
+            loc: Some(loc),
+            message: message.into(),
+        }
+    }
+
+    /// Creates a finding with no location (whole-image checks).
+    pub fn global(rule: Rule, severity: Severity, message: impl Into<String>) -> AnalysisDiag {
+        AnalysisDiag {
+            rule,
             severity,
             loc: None,
             message: message.into(),
         }
     }
+
+    /// Renders the finding as one deterministic JSON object.
+    ///
+    /// Key order is fixed (`rule`, `name`, `severity`, `func`, `block`,
+    /// `inst`, `addr`, `message`); absent location fields serialize as
+    /// `null` so every finding has an identical shape. Schema changes bump
+    /// [`DIAG_SCHEMA_VERSION`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"rule\":\"");
+        out.push_str(self.rule.id());
+        out.push_str("\",\"name\":\"");
+        out.push_str(self.rule.name());
+        out.push_str("\",\"severity\":\"");
+        out.push_str(&self.severity.to_string());
+        out.push_str("\",\"func\":");
+        match &self.loc {
+            Some(loc) => {
+                out.push('"');
+                out.push_str(&json_escape(&loc.func));
+                out.push('"');
+                push_opt_usize(&mut out, ",\"block\":", loc.block);
+                push_opt_usize(&mut out, ",\"inst\":", loc.inst);
+                match loc.addr {
+                    Some(a) => out.push_str(&format!(",\"addr\":{a}")),
+                    None => out.push_str(",\"addr\":null"),
+                }
+            }
+            None => out.push_str("null,\"block\":null,\"inst\":null,\"addr\":null"),
+        }
+        out.push_str(",\"message\":\"");
+        out.push_str(&json_escape(&self.message));
+        out.push_str("\"}");
+        out
+    }
+}
+
+fn push_opt_usize(out: &mut String, key: &str, v: Option<usize>) {
+    match v {
+        Some(n) => {
+            out.push_str(key);
+            out.push_str(&n.to_string());
+        }
+        None => {
+            out.push_str(key);
+            out.push_str("null");
+        }
+    }
+}
+
+/// Renders a slice of findings as a deterministic JSON array, in input
+/// order. Sort before calling if a canonical order is wanted.
+pub fn findings_json(diags: &[AnalysisDiag]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&d.to_json());
+    }
+    out.push(']');
+    out
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl fmt::Display for AnalysisDiag {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.loc {
-            Some(loc) => write!(f, "{loc}: {}: {}", self.severity, self.message),
-            None => write!(f, "{}: {}", self.severity, self.message),
+            Some(loc) => write!(
+                f,
+                "{loc}: {}[{}]: {}",
+                self.severity, self.rule, self.message
+            ),
+            None => write!(f, "{}[{}]: {}", self.severity, self.rule, self.message),
         }
     }
 }
@@ -142,11 +379,75 @@ mod tests {
 
     #[test]
     fn display_matches_compiler_style() {
-        let d = AnalysisDiag::error(Loc::inst("fib", 2, 5), "stack depth negative");
-        assert_eq!(d.to_string(), "fib:.L2:5: error: stack depth negative");
-        let d = AnalysisDiag::warning(Loc::addr("main", 0x1000), "unmatched instruction");
-        assert_eq!(d.to_string(), "main@0x1000: warning: unmatched instruction");
-        let d = AnalysisDiag::global(Severity::Error, "function count differs");
-        assert_eq!(d.to_string(), "error: function count differs");
+        let d = AnalysisDiag::error(
+            Rule::StackUnbalanced,
+            Loc::inst("fib", 2, 5),
+            "stack depth negative",
+        );
+        assert_eq!(
+            d.to_string(),
+            "fib:.L2:5: error[PGSD003]: stack depth negative"
+        );
+        let d = AnalysisDiag::warning(
+            Rule::ValidationMismatch,
+            Loc::addr("main", 0x1000),
+            "unmatched instruction",
+        );
+        assert_eq!(
+            d.to_string(),
+            "main@0x1000: warning[PGSD005]: unmatched instruction"
+        );
+        let d = AnalysisDiag::global(
+            Rule::LayoutMismatch,
+            Severity::Error,
+            "function count differs",
+        );
+        assert_eq!(d.to_string(), "error[PGSD007]: function count differs");
+    }
+
+    #[test]
+    fn severity_orders_note_below_warning_below_error() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        let max = [Severity::Warning, Severity::Note, Severity::Error]
+            .into_iter()
+            .max();
+        assert_eq!(max, Some(Severity::Error));
+    }
+
+    #[test]
+    fn rule_ids_round_trip_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for &r in ALL_RULES {
+            assert!(seen.insert(r.id()), "duplicate rule id {}", r.id());
+            assert_eq!(Rule::from_id(r.id()), Some(r));
+            assert!(r.id().starts_with("PGSD"));
+            assert_eq!(r.id().len(), 7);
+        }
+        assert_eq!(Rule::from_id("PGSD999"), None);
+        assert_eq!(Rule::from_id(""), None);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let d = AnalysisDiag::error(
+            Rule::WxViolation,
+            Loc::addr("main", 0x8048000),
+            "store writes text at 0x8048010",
+        );
+        assert_eq!(
+            d.to_json(),
+            "{\"rule\":\"PGSD013\",\"name\":\"wx-violation\",\"severity\":\"error\",\
+             \"func\":\"main\",\"block\":null,\"inst\":null,\"addr\":134512640,\
+             \"message\":\"store writes text at 0x8048010\"}"
+        );
+        let d = AnalysisDiag::global(Rule::LayoutMismatch, Severity::Warning, "say \"hi\"\n");
+        assert_eq!(
+            d.to_json(),
+            "{\"rule\":\"PGSD007\",\"name\":\"layout-mismatch\",\"severity\":\"warning\",\
+             \"func\":null,\"block\":null,\"inst\":null,\"addr\":null,\
+             \"message\":\"say \\\"hi\\\"\\n\"}"
+        );
+        assert_eq!(findings_json(&[]), "[]");
     }
 }

@@ -42,7 +42,7 @@ use pgsd_cc::lir::regalloc::ALLOCATABLE;
 use pgsd_x86::nop::NopTable;
 use pgsd_x86::{decode, AluOp, Body, Inst, Reg, ShiftOp};
 
-use crate::diag::{AnalysisDiag, Loc, Severity};
+use crate::diag::{AnalysisDiag, Loc, Rule, Severity};
 
 /// Which diversifying transforms the variant build declares.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -270,6 +270,7 @@ pub fn check_images(
 
     if baseline.funcs.len() != variant.funcs.len() {
         diags.push(AnalysisDiag::global(
+            Rule::LayoutMismatch,
             Severity::Error,
             format!(
                 "function count differs: baseline {} vs variant {}",
@@ -281,18 +282,21 @@ pub fn check_images(
     }
     if baseline.base != variant.base {
         diags.push(AnalysisDiag::global(
+            Rule::LayoutMismatch,
             Severity::Error,
             "text base address differs",
         ));
     }
     if baseline.data_base != variant.data_base || baseline.data != variant.data {
         diags.push(AnalysisDiag::global(
+            Rule::LayoutMismatch,
             Severity::Error,
             "data section differs (diversity must not touch data)",
         ));
     }
     if baseline.num_counters != variant.num_counters {
         diags.push(AnalysisDiag::global(
+            Rule::LayoutMismatch,
             Severity::Error,
             "profiling counter count differs",
         ));
@@ -352,6 +356,7 @@ fn decode_stream(
                 }
                 Body::Other(o) => {
                     diags.push(AnalysisDiag::error(
+                        Rule::Undecodable,
                         Loc::addr(fname, addr),
                         format!("instruction outside the compiler's model: {o:?}"),
                     ));
@@ -360,6 +365,7 @@ fn decode_stream(
             },
             Err(e) => {
                 diags.push(AnalysisDiag::error(
+                    Rule::Undecodable,
                     Loc::addr(fname, addr),
                     format!("undecodable bytes: {e:?}"),
                 ));
@@ -384,6 +390,7 @@ fn check_function(
     let vl = &variant.funcs[k];
     if bl.name != vl.name {
         diags.push(AnalysisDiag::global(
+            Rule::LayoutMismatch,
             Severity::Error,
             format!("function {k} renamed: {} vs {}", bl.name, vl.name),
         ));
@@ -391,6 +398,7 @@ fn check_function(
     }
     if bl.diversified != vl.diversified {
         diags.push(AnalysisDiag::error(
+            Rule::LayoutMismatch,
             Loc::func(&bl.name),
             "diversified flag differs between baseline and variant",
         ));
@@ -443,6 +451,7 @@ fn check_function(
         while j < vd.len() && candidates.contains(&vd[j].inst) {
             if !ft.nops {
                 diags.push(AnalysisDiag::error(
+                    Rule::ValidationMismatch,
                     Loc::addr(&vl.name, vd[j].addr),
                     format!("inserted {:?} without declared NOP insertion", vd[j].inst),
                 ));
@@ -459,6 +468,7 @@ fn check_function(
             }
             _ => {
                 diags.push(AnalysisDiag::error(
+                    Rule::ValidationMismatch,
                     Loc::func(&vl.name),
                     "block shifting declared but entry jump over padding is missing",
                 ));
@@ -495,6 +505,7 @@ fn check_function(
             let in_pad = ft.shift && i == 0;
             if !ft.nops && !in_pad {
                 diags.push(AnalysisDiag::error(
+                    Rule::ValidationMismatch,
                     Loc::addr(&vl.name, vd[j].addr),
                     format!("inserted {:?} without declared NOP insertion", vd[j].inst),
                 ));
@@ -538,7 +549,11 @@ fn check_function(
             }
             (None, None) => unreachable!(),
         };
-        diags.push(AnalysisDiag::error(Loc::func(&bl.name), msg));
+        diags.push(AnalysisDiag::error(
+            Rule::ValidationMismatch,
+            Loc::func(&bl.name),
+            msg,
+        ));
         return;
     }
 
@@ -549,6 +564,7 @@ fn check_function(
     for (site, bt, vt) in jumps {
         if bt < bl.start || bt >= bl.end.max(bl.start + 1) {
             diags.push(AnalysisDiag::error(
+                Rule::BranchRetarget,
                 Loc::addr(&bl.name, site),
                 format!("jump target {bt:#x} leaves the function"),
             ));
@@ -557,6 +573,7 @@ fn check_function(
         match addr_map.get(&bt) {
             Some(&(lo, hi)) if lo <= vt && vt <= hi => {}
             Some(&(lo, hi)) => diags.push(AnalysisDiag::error(
+                Rule::BranchRetarget,
                 Loc::addr(&bl.name, site),
                 format!(
                     "jump retargeted incorrectly: baseline {bt:#x} maps to \
@@ -564,6 +581,7 @@ fn check_function(
                 ),
             )),
             None => diags.push(AnalysisDiag::error(
+                Rule::BranchRetarget,
                 Loc::addr(&bl.name, site),
                 format!("jump target {bt:#x} is not an instruction boundary"),
             )),
@@ -577,6 +595,7 @@ fn check_function(
                 let want = variant.funcs[idx].start;
                 if vt != want {
                     diags.push(AnalysisDiag::error(
+                        Rule::BranchRetarget,
                         Loc::addr(&bl.name, site),
                         format!(
                             "call retargeted incorrectly: baseline calls {} at {bt:#x}, \
@@ -587,6 +606,7 @@ fn check_function(
                 }
             }
             None => diags.push(AnalysisDiag::error(
+                Rule::BranchRetarget,
                 Loc::addr(&bl.name, site),
                 format!("call target {bt:#x} is not a function entry"),
             )),

@@ -18,6 +18,14 @@
 //!    randomization is a clean bijection, and every branch lands on the
 //!    image of its baseline target.
 //!
+//! 3. **A whole-image static audit** ([`mod@cfg`], [`absint`], [`audit`]):
+//!    recursive-descent CFG and call-graph recovery over emitted images
+//!    with a byte-classification map, abstract interpretation (stack
+//!    height and register value ranges) proving stack bounds and W⊕X
+//!    consistency, and reachability classification of surviving ROP
+//!    gadgets. Findings carry stable rule IDs ([`diag::Rule`]) and
+//!    export as deterministic, schema-versioned JSON.
+//!
 //! The paper argues diversified binaries are safe because each transform
 //! is semantics-preserving by construction; `divcheck` turns that
 //! argument into a machine-checked one per build, in the spirit of
@@ -43,6 +51,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absint;
+pub mod audit;
+pub mod cfg;
 pub mod dataflow;
 pub mod diag;
 pub mod divcheck;
@@ -51,6 +62,11 @@ pub mod lint;
 pub mod liveness;
 pub mod stack;
 
-pub use dataflow::{solve, Analysis, BlockFacts, Direction};
-pub use diag::{AnalysisDiag, Loc, Severity};
+pub use audit::{
+    audit_image, classify_offsets, sort_findings, ImageAudit, SurvivorAuditReport, SurvivorClass,
+    SurvivorCounts,
+};
+pub use cfg::{recover, ByteClass, ByteCounts, RecoveredCfg};
+pub use dataflow::{fixpoint, solve, Analysis, BlockFacts, Direction};
+pub use diag::{findings_json, AnalysisDiag, Loc, Rule, Severity, DIAG_SCHEMA_VERSION};
 pub use divcheck::{check_images, CheckReport, Transforms};

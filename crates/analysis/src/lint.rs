@@ -8,7 +8,7 @@
 
 use pgsd_cc::lir::{MFunction, MReg, MTerm};
 
-use crate::diag::{AnalysisDiag, Loc};
+use crate::diag::{AnalysisDiag, Loc, Rule};
 use crate::flags::FlagsLiveness;
 use crate::stack::{stack_depth, StackDepth, StackFact};
 
@@ -33,6 +33,7 @@ pub fn lint_function(func: &MFunction) -> Vec<AnalysisDiag> {
             });
             if let Some(v) = vreg {
                 out.push(AnalysisDiag::error(
+                    Rule::VregSurvives,
                     Loc::inst(&func.name, bi, ii),
                     format!("virtual register v{v} survives register allocation"),
                 ));
@@ -46,6 +47,7 @@ pub fn lint_function(func: &MFunction) -> Vec<AnalysisDiag> {
         for s in block.term.successors() {
             if s as usize >= nb {
                 out.push(AnalysisDiag::error(
+                    Rule::BranchTargetRange,
                     Loc {
                         func: func.name.clone(),
                         block: Some(bi),
@@ -71,6 +73,7 @@ pub fn lint_function(func: &MFunction) -> Vec<AnalysisDiag> {
             if let StackFact::Depth(d) = fact {
                 if *d < 0 {
                     out.push(AnalysisDiag::error(
+                        Rule::StackUnbalanced,
                         Loc::inst(&func.name, bi, ii),
                         format!("stack depth {d} dips below the caller frame"),
                     ));
@@ -80,6 +83,7 @@ pub fn lint_function(func: &MFunction) -> Vec<AnalysisDiag> {
         match (&block.term, depths.exit[bi]) {
             (MTerm::Ret, StackFact::Depth(d)) if d != 0 => {
                 out.push(AnalysisDiag::error(
+                    Rule::StackUnbalanced,
                     Loc {
                         func: func.name.clone(),
                         block: Some(bi),
@@ -91,6 +95,7 @@ pub fn lint_function(func: &MFunction) -> Vec<AnalysisDiag> {
             }
             (MTerm::Ret, StackFact::Conflict) => {
                 out.push(AnalysisDiag::warning(
+                    Rule::StackUnbalanced,
                     Loc {
                         func: func.name.clone(),
                         block: Some(bi),
@@ -109,6 +114,7 @@ pub fn lint_function(func: &MFunction) -> Vec<AnalysisDiag> {
     let flags = crate::dataflow::solve(&FlagsLiveness, func);
     if nb > 0 && flags.entry[0] {
         out.push(AnalysisDiag::warning(
+            Rule::FlagsLiveAtEntry,
             Loc::func(&func.name),
             "arithmetic flags are live at function entry (conditional branch may read \
              undefined flags)",

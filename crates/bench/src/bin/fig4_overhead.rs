@@ -90,7 +90,7 @@ fn main() {
     csv.push(csv_row.join(","));
 
     let mut header_csv = vec!["benchmark".to_string(), "base_cycles".to_string()];
-    header_csv.extend(configs.iter().map(|(l, _)| l.replace(',', ";").to_string()));
+    header_csv.extend(configs.iter().map(|(l, _)| l.replace(',', ";")));
     let path = write_csv("fig4_overhead.csv", &header_csv.join(","), &csv);
     sink.finish();
     t.done();

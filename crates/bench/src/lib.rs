@@ -144,6 +144,13 @@ impl Prepared {
             .unwrap_or_else(|e| panic!("{} diversified build failed: {e}", self.workload.name))
     }
 
+    /// Builds a population of diversified images on `threads` workers.
+    /// Seeds are `0..n`, results in seed order regardless of thread
+    /// count.
+    pub fn population_images(&self, strategy: Strategy, n: usize, threads: usize) -> Vec<Image> {
+        pgsd_exec::run_jobs(threads, n, |s| self.diversified(strategy, s as u64))
+    }
+
     /// Builds a population of diversified text sections on `threads`
     /// workers. Seeds are `0..n`, results in seed order regardless of
     /// thread count.

@@ -269,6 +269,9 @@ pub fn emit(funcs: &[MFunction], module: &ir::Module, main: &str) -> Result<Imag
     })
 }
 
+// Taking the error by value keeps `.map_err(encode_err)` call sites
+// point-free.
+#[allow(clippy::needless_pass_by_value)]
 fn encode_err(e: pgsd_x86::EncodeError) -> CompileError {
     CompileError::new(format!("encoding failed: {e}"))
 }

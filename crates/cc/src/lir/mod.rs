@@ -445,7 +445,7 @@ impl MInst {
             MInst::Cdq => {}
             MInst::Idiv { divisor } => f(divisor, Access::Use),
             MInst::IncDec { dst, .. } | MInst::Neg { dst } | MInst::Not { dst } => {
-                f(dst, Access::UseDef)
+                f(dst, Access::UseDef);
             }
             MInst::Shift { dst, .. } => f(dst, Access::UseDef),
             MInst::Push { rhs: r } => rhs(r, &mut addr, &mut f),

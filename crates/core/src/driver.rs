@@ -41,13 +41,10 @@
 //! # Ok::<(), pgsd_cc::error::CompileError>(())
 //! ```
 //!
-//! Parallel work goes through [`crate::Session`] too: `Session::train`
-//! and `Session::population` fan out on the session's worker count
-//! (`Session::threads`), merging per-job telemetry in job order so
-//! results and metrics are byte-identical at any thread count. (The old
-//! `population_par` free function — once the only parallel entry point
-//! — survives only as a deprecated wrapper, alongside `train_with`,
-//! `run_input_with`, and their plain variants.)
+//! Parallel work goes through [`crate::Session`] too: `Session::train`,
+//! `Session::population`, and `Session::audit` fan out on the session's
+//! worker count (`Session::threads`), merging per-job telemetry in job
+//! order so results and metrics are byte-identical at any thread count.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -326,8 +323,8 @@ pub fn run(image: &Image, args: &[i32], gas: u64) -> (Exit, RunStats) {
     )
 }
 
-/// Shared run mechanics behind [`run`], [`crate::Session::run_image`],
-/// and the deprecated `run_input` wrappers.
+/// Shared run mechanics behind [`run`] and
+/// [`crate::Session::run_image`].
 pub(crate) fn run_input_impl(
     image: &Image,
     input: &Input,
@@ -342,35 +339,6 @@ pub(crate) fn run_input_impl(
     let exit = emu.run(gas);
     record_run(tel, label, &emu.stats);
     (exit, emu.stats)
-}
-
-/// Runs `image` on a full [`Input`] (arguments plus data pokes).
-///
-/// # Panics
-///
-/// Panics if a poke names a global the image does not have — a workload
-/// definition bug.
-#[deprecated(note = "use `pgsd_core::Session::run` or `Session::run_image`")]
-pub fn run_input(image: &Image, input: &Input, gas: u64) -> (Exit, RunStats) {
-    run_input_impl(image, input, gas, &Telemetry::disabled(), "run")
-}
-
-/// Like `run_input`, recording an `execute` span and the run's
-/// statistics (via [`record_run`] under `label`) into `tel`.
-///
-/// # Panics
-///
-/// Panics if a poke names a global the image does not have — a workload
-/// definition bug.
-#[deprecated(note = "use `pgsd_core::Session::run_image`")]
-pub fn run_input_with(
-    image: &Image,
-    input: &Input,
-    gas: u64,
-    tel: &Telemetry,
-    label: &str,
-) -> (Exit, RunStats) {
-    run_input_impl(image, input, gas, tel, label)
 }
 
 /// Records one run's [`RunStats`] as `emu.*` counters labeled
@@ -419,38 +387,6 @@ pub(crate) fn apply_pokes(image: &Image, emu: &mut Emulator, input: &Input) {
     }
 }
 
-/// Compiles an instrumented build of `module`, runs it on each training
-/// input, and reconstructs the profile from the accumulated edge
-/// counters (paper §3.1's training run).
-///
-/// # Errors
-///
-/// Fails if compilation fails or any training run does not exit cleanly.
-#[deprecated(note = "use `pgsd_core::Session::train`")]
-pub fn train(module: &Module, train_inputs: &[Input], gas: u64) -> Result<Profile> {
-    let session = crate::Session::new(module.clone());
-    Ok((*session.train(train_inputs, gas)?).clone())
-}
-
-/// Like `train`, recording a `train` span (instrumented build plus one
-/// `train_run` child per input) and profile summary counters into `tel`.
-///
-/// # Errors
-///
-/// Fails if compilation fails or any training run does not exit cleanly;
-/// with several failed runs, the earliest input's error wins (matching
-/// the serial loop).
-#[deprecated(note = "use `pgsd_core::Session::train`")]
-pub fn train_with(
-    module: &Module,
-    train_inputs: &[Input],
-    gas: u64,
-    tel: &Telemetry,
-) -> Result<Profile> {
-    let session = crate::Session::new(module.clone()).telemetry(tel.clone());
-    Ok((*session.train(train_inputs, gas)?).clone())
-}
-
 /// End-to-end convenience: compile `source`, train on `train_inputs` when
 /// the strategy needs a profile, and return the diversified image.
 ///
@@ -474,62 +410,7 @@ pub fn compile_diversified(
     session.build()
 }
 
-/// Builds a population of `n` diversified versions with seeds
-/// `seed_base .. seed_base + n`. Each version is a pure function of its
-/// seed, so the returned images are identical at any thread count.
-///
-/// # Errors
-///
-/// Propagates failures from any build; with several failures, the one
-/// with the lowest seed wins (matching the serial loop).
-#[deprecated(note = "use `pgsd_core::Session::population`")]
-pub fn population(
-    module: &Module,
-    profile: Option<&Profile>,
-    strategy: Strategy,
-    seed_base: u64,
-    n: usize,
-) -> Result<Vec<Image>> {
-    #[allow(deprecated)]
-    population_par(
-        module,
-        profile,
-        strategy,
-        seed_base,
-        n,
-        pgsd_exec::default_threads(),
-        &Telemetry::disabled(),
-    )
-}
-
-/// Like `population` with an explicit worker count, recording build
-/// telemetry into `tel`.
-///
-/// # Errors
-///
-/// Propagates failures from any build; with several failures, the one
-/// with the lowest seed wins (matching the serial loop).
-#[deprecated(note = "use `pgsd_core::Session::population`")]
-pub fn population_par(
-    module: &Module,
-    profile: Option<&Profile>,
-    strategy: Strategy,
-    seed_base: u64,
-    n: usize,
-    threads: usize,
-    tel: &Telemetry,
-) -> Result<Vec<Image>> {
-    let mut session = crate::Session::new(module.clone())
-        .config(BuildConfig::diversified(strategy, seed_base).with_telemetry(tel.clone()))
-        .threads(threads);
-    if let Some(p) = profile {
-        session = session.profile(p.clone());
-    }
-    session.population(n)
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // intentionally exercises the deprecated wrappers too
 mod tests {
     use super::*;
     use pgsd_cc::driver::frontend;
@@ -570,7 +451,8 @@ mod tests {
     #[test]
     fn training_produces_sane_counts() {
         let module = frontend("t", SRC).unwrap();
-        let profile = train(&module, &[Input::args(&[100])], DEFAULT_GAS).unwrap();
+        let session = crate::Session::new(module);
+        let profile = session.train(&[Input::args(&[100])], DEFAULT_GAS).unwrap();
         let main = profile.func("main").expect("main profiled");
         assert_eq!(main.invocations, 1);
         // The loop body ran 100 times; x_max reflects it.
@@ -580,7 +462,9 @@ mod tests {
     #[test]
     fn profile_guided_build_runs_and_is_faster_than_uniform() {
         let module = frontend("t", SRC).unwrap();
-        let profile = train(&module, &[Input::args(&[50])], DEFAULT_GAS).unwrap();
+        let profile = crate::Session::new(module.clone())
+            .train(&[Input::args(&[50])], DEFAULT_GAS)
+            .unwrap();
 
         let base = build(&module, None, &BuildConfig::baseline()).unwrap();
         let (e0, s0) = run(&base, &[200], 10_000_000);
@@ -622,7 +506,10 @@ mod tests {
     #[test]
     fn population_versions_differ_in_text() {
         let module = frontend("t", SRC).unwrap();
-        let images = population(&module, None, Strategy::uniform(0.5), 100, 5).unwrap();
+        let images = crate::Session::new(module)
+            .config(BuildConfig::diversified(Strategy::uniform(0.5), 100))
+            .population(5)
+            .unwrap();
         for w in images.windows(2) {
             assert_ne!(w[0].text, w[1].text);
         }

@@ -45,12 +45,8 @@ pub mod shift_pass;
 pub mod subst_pass;
 
 pub use curve::{Curve, Strategy};
-#[allow(deprecated)] // the deprecated wrappers stay importable from the crate root
-pub use driver::{
-    build, compile_diversified, population, population_par, run, run_input, train, BuildConfig,
-    Input,
-};
+pub use driver::{build, compile_diversified, run, BuildConfig, Input};
 pub use nop_pass::{insert_nops, NopReport};
-pub use session::Session;
+pub use session::{AuditOutcome, Session};
 pub use shift_pass::{shift_blocks, ShiftReport};
 pub use subst_pass::{substitute, SubstReport};

@@ -45,14 +45,15 @@
 //!
 //! # Determinism
 //!
-//! Parallel sections ([`Session::train`], [`Session::population`])
-//! record telemetry into per-job child handles merged in job order, and
-//! `population` pre-warms the shared baseline LIR *before* fanning out,
-//! so metrics and produced images are byte-identical at any thread
-//! count.
+//! Parallel sections ([`Session::train`], [`Session::population`],
+//! [`Session::audit`]) record telemetry into per-job child handles
+//! merged in job order, and `population`/`audit` pre-warm the shared
+//! baseline LIR *before* fanning out, so metrics, produced images, and
+//! audit reports are byte-identical at any thread count.
 
 use std::sync::{Arc, Mutex, OnceLock};
 
+use pgsd_analysis::{audit_image, ImageAudit, Severity, SurvivorAuditReport};
 use pgsd_cache::{Cache, Fnv64, Key};
 use pgsd_cc::driver::{emit_image_with, frontend_with, lower_module_seeded_with};
 use pgsd_cc::emit::Image;
@@ -60,8 +61,10 @@ use pgsd_cc::error::{CompileError, Result};
 use pgsd_cc::ir::Module;
 use pgsd_cc::lir::MFunction;
 use pgsd_emu::{Exit, RunStats};
+use pgsd_gadget::{find_gadgets, survivor, ScanConfig};
 use pgsd_profile::{instrument, reconstruct, Profile};
 use pgsd_telemetry::Telemetry;
+use pgsd_x86::nop::NopTable;
 
 use crate::driver::{
     apply_diversity, apply_pokes, is_diversifying, load, require_profile, run_input_impl,
@@ -474,6 +477,158 @@ impl Session {
         }
         Ok(images)
     }
+
+    /// Statically audits a population of `n` diversified versions with
+    /// seeds `config.seed .. config.seed + n` (paper §5.2, hardened):
+    /// builds each variant, runs the Survivor comparison against the
+    /// shared baseline, then recovers the variant's CFG, abstractly
+    /// interprets it, and classifies every surviving gadget by
+    /// reachability. See the `pgsd-analysis` crate for the analyses.
+    ///
+    /// Like [`Session::population`], builds fan out on the session's
+    /// worker count with per-job telemetry children merged in seed
+    /// order, so the resulting [`AuditOutcome`] — including its JSON
+    /// rendering — is byte-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from the baseline or any variant build; with
+    /// several failures, the one with the lowest seed wins. Audit
+    /// *findings* are not errors — inspect
+    /// [`AuditOutcome::error_findings`] for a verdict.
+    pub fn audit(&self, n: usize) -> Result<AuditOutcome> {
+        let (module, mkey) = self.resolve()?;
+        let tel = &self.config.telemetry;
+        let _span = tel.span("audit");
+        let profile = self.active_profile();
+        let baseline_config = BuildConfig {
+            telemetry: tel.clone(),
+            ..BuildConfig::baseline()
+        };
+        let baseline = build_cached(module, mkey, None, &baseline_config, &self.cache)?;
+        let scan = ScanConfig::default();
+        let table = if self.config.with_xchg {
+            NopTable::with_xchg()
+        } else {
+            NopTable::new()
+        };
+        let baseline_gadgets = find_gadgets(&baseline.text, &scan).len();
+        if !self.config.reg_randomize {
+            lowered_cached(module, mkey, None, &self.cache, tel)?;
+        }
+        let seed_base = self.config.seed;
+        let jobs = pgsd_exec::run_jobs(self.threads, n, |i| {
+            let child = tel.child();
+            let mut config = self.config.clone();
+            config.seed = seed_base + i as u64;
+            config.telemetry = child.clone();
+            let result =
+                build_cached(module, mkey, profile.as_deref(), &config, &self.cache).map(|image| {
+                    let rep = survivor(&baseline.text, &image.text, &table, &scan);
+                    let audit = audit_image(&image, &rep.survivors);
+                    child.add("audit.variants", 1);
+                    child.add(
+                        "audit.survivors.reachable",
+                        audit.survivors.reachable as u64,
+                    );
+                    child.add(
+                        "audit.survivors.unintended",
+                        audit.survivors.unintended as u64,
+                    );
+                    child.add("audit.survivors.dead", audit.survivors.dead as u64);
+                    child.add("audit.findings", audit.findings.len() as u64);
+                    child.add("audit.wx_violations", audit.wx_violations as u64);
+                    child.add(
+                        "audit.unresolved_indirects",
+                        audit.unresolved_indirects as u64,
+                    );
+                    audit
+                });
+            (result, child)
+        });
+        let mut audits = Vec::with_capacity(n);
+        let mut survivors = SurvivorAuditReport {
+            baseline_gadgets,
+            ..SurvivorAuditReport::default()
+        };
+        for (result, child) in jobs {
+            tel.merge_from(&child);
+            let audit = result?;
+            survivors.add_variant(&audit.survivors);
+            audits.push(audit);
+        }
+        Ok(AuditOutcome {
+            name: self.name.clone(),
+            seed_base,
+            baseline_gadgets,
+            audits,
+            survivors,
+        })
+    }
+}
+
+/// Result of [`Session::audit`]: one static audit per variant plus the
+/// aggregated survivor classification across the population.
+#[derive(Debug, Clone)]
+pub struct AuditOutcome {
+    /// Module / benchmark name.
+    pub name: String,
+    /// Seed of the first variant (variant *i* used `seed_base + i`).
+    pub seed_base: u64,
+    /// Gadgets found in the undiversified baseline text.
+    pub baseline_gadgets: usize,
+    /// Per-variant audits, in seed order.
+    pub audits: Vec<ImageAudit>,
+    /// Per-class survivor totals aggregated over all variants.
+    pub survivors: SurvivorAuditReport,
+}
+
+impl AuditOutcome {
+    /// Error-severity findings summed over every variant (the CI gate:
+    /// nonzero means the audit failed).
+    pub fn error_findings(&self) -> usize {
+        self.audits
+            .iter()
+            .map(|a| a.findings_at_least(Severity::Error))
+            .sum()
+    }
+
+    /// Total findings (any severity) summed over every variant.
+    pub fn total_findings(&self) -> usize {
+        self.audits.iter().map(|a| a.findings.len()).sum()
+    }
+
+    /// Deterministic JSON document for the whole audit: schema-versioned,
+    /// fixed key order, no floats, no timestamps — byte-identical across
+    /// thread counts and repeat runs.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let c = &self.survivors.counts;
+        let mut out = format!(
+            "{{\"schema_version\":{},\"tool\":\"pgsd-audit\",\"target\":\"{}\",\
+             \"seed_base\":{},\"variants\":{},\"baseline_gadgets\":{},\
+             \"survivors\":{{\"total\":{},\"reachable\":{},\"unintended_boundary\":{},\
+             \"dead_bytes\":{}}},\"error_findings\":{},\"images\":[",
+            pgsd_analysis::DIAG_SCHEMA_VERSION,
+            pgsd_analysis::diag::json_escape(&self.name),
+            self.seed_base,
+            self.audits.len(),
+            self.baseline_gadgets,
+            c.total(),
+            c.reachable,
+            c.unintended,
+            c.dead,
+            self.error_findings(),
+        );
+        for (i, audit) in self.audits.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(out, "{}", audit.to_json()).expect("infallible");
+        }
+        out.push_str("]}");
+        out
+    }
 }
 
 /// The seed-independent prefix tail: memoized lowering.
@@ -745,6 +900,27 @@ mod tests {
             Some(&1),
             "second build reuses the verdict"
         );
+    }
+
+    #[test]
+    fn audit_is_thread_count_invariant_and_total() {
+        let module = frontend("t", SRC).unwrap();
+        let mk = |threads| {
+            Session::new(module.clone())
+                .config(BuildConfig::diversified(Strategy::uniform(0.3), 42))
+                .threads(threads)
+        };
+        let a = mk(1).audit(4).unwrap();
+        let b = mk(4).audit(4).unwrap();
+        assert_eq!(a.to_json(), b.to_json(), "audit must not depend on threads");
+        assert_eq!(a.audits.len(), 4);
+        assert_eq!(a.survivors.variants, 4);
+        // Classification is total: per-variant classes sum to the
+        // aggregate, and every survivor offset landed in some class.
+        let per_variant: usize = a.audits.iter().map(|x| x.survivors.total()).sum();
+        assert_eq!(per_variant, a.survivors.counts.total());
+        assert!(a.baseline_gadgets > 0);
+        assert_eq!(a.error_findings(), 0, "clean builds audit clean");
     }
 
     #[test]

@@ -127,8 +127,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gadget1 = find_pop_ebx_gadget(&baseline).expect("epilogue gadget exists");
     let gadget2 = baseline.exit_addr + 2; // skip `mov ebx, eax`: tail = mov eax,1; int 0x80
     println!(
-        "\nattacker's gadgets (from their own copy of the binary):\n  {:#010x}  pop ebx; pop ebp; ret\n  {:#010x}  mov eax, 1; int 0x80",
-        gadget1, gadget2
+        "\nattacker's gadgets (from their own copy of the binary):\n  {gadget1:#010x}  pop ebx; pop ebp; ret\n  {gadget2:#010x}  mov eax, 1; int 0x80"
     );
     let payload = build_payload(gadget1, gadget2);
     let owned = run_with_payload(&baseline, &payload);

@@ -3,7 +3,8 @@
 //! ```text
 //! pgsd run <file.mc> [args…]                      compile and execute
 //! pgsd diversify <file.mc> [options] [args…]      diversified build + run
-//! pgsd check <file.mc> [options]                  statically validate a variant
+//! pgsd check <file.mc> [options] [--json]         statically validate a variant
+//! pgsd audit <file.mc | --workload LIST> [opts]   whole-image static audit
 //! pgsd gadgets <file.mc> [--seed N] [--pnop SPEC] gadget / Survivor report
 //! pgsd disasm <file.mc> [--func NAME]             disassemble the image
 //! pgsd report <metrics.json>                      summarize a metrics file
@@ -32,13 +33,14 @@
 //!   --metrics FILE   write the metrics JSON (counters/gauges/histograms)
 //! ```
 //!
-//! Diagnostics go to stderr; an abnormal program exit (fault, gas
-//! exhaustion, bad syscall) exits nonzero.
+//! Diagnostics go to stderr. Exit codes are stable: `0` success, `1` the
+//! checked property failed (divcheck findings, audit error findings, fuzz
+//! divergences, abnormal program exit), `2` usage or I/O error.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use pgsd::analysis::check_images;
+use pgsd::analysis::{check_images, findings_json, sort_findings};
 use pgsd::cache::Cache;
 use pgsd::cc::emit::Image;
 use pgsd::core::driver::{BuildConfig, Input, DEFAULT_GAS};
@@ -52,13 +54,47 @@ use pgsd::x86::nop::NopTable;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let outcome = split_globals(&args).and_then(|(globals, rest)| dispatch(&globals, &rest));
+    let outcome = split_globals(&args)
+        .map_err(CliError::from)
+        .and_then(|(globals, rest)| dispatch(&globals, &rest));
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("pgsd: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("pgsd: {}", e.msg);
+            ExitCode::from(e.code)
         }
+    }
+}
+
+/// A CLI error with its exit code: `1` when the checked property failed
+/// (validation findings, audit errors, fuzz divergences, abnormal
+/// program exit), `2` for usage and I/O errors. Plain `String` errors
+/// convert to code 2, so only genuine verdict failures need
+/// [`CliError::failed`].
+struct CliError {
+    msg: String,
+    code: u8,
+}
+
+impl CliError {
+    /// The property under test failed — exit 1.
+    fn failed(msg: impl Into<String>) -> CliError {
+        CliError {
+            msg: msg.into(),
+            code: 1,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError { msg, code: 2 }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> CliError {
+        CliError::from(msg.to_owned())
     }
 }
 
@@ -123,16 +159,16 @@ fn split_globals(args: &[String]) -> Result<(Globals, Vec<String>), String> {
     Ok((globals, rest))
 }
 
-fn dispatch(globals: &Globals, args: &[String]) -> Result<(), String> {
+fn dispatch(globals: &Globals, args: &[String]) -> Result<(), CliError> {
     let Some(cmd) = args.first() else {
         return Err(
-            "usage: pgsd <run|diversify|check|gadgets|disasm|report|fuzz|bench|cache> <file> …  \
-             (see --help)"
+            "usage: pgsd <run|diversify|check|audit|gadgets|disasm|report|fuzz|bench|cache> \
+             <file> …  (see --help)"
                 .into(),
         );
     };
     if cmd == "--help" || cmd == "-h" || cmd == "help" {
-        print!("{}", HELP);
+        print!("{HELP}");
         return Ok(());
     }
     let rest = &args[1..];
@@ -140,13 +176,14 @@ fn dispatch(globals: &Globals, args: &[String]) -> Result<(), String> {
         "run" => cmd_run(rest, globals),
         "diversify" => cmd_diversify(rest, globals),
         "check" => cmd_check(rest, globals),
-        "gadgets" => cmd_gadgets(rest, globals),
-        "disasm" => cmd_disasm(rest, globals),
-        "report" => cmd_report(rest),
+        "audit" => cmd_audit(rest, globals),
+        "gadgets" => Ok(cmd_gadgets(rest, globals)?),
+        "disasm" => Ok(cmd_disasm(rest, globals)?),
+        "report" => Ok(cmd_report(rest)?),
         "fuzz" => cmd_fuzz(rest, globals),
         "bench" => cmd_bench(rest, globals),
-        "cache" => cmd_cache(rest, globals),
-        other => Err(format!("unknown command `{other}` (try --help)")),
+        "cache" => Ok(cmd_cache(rest, globals)?),
+        other => Err(format!("unknown command `{other}` (try --help)").into()),
     }
 }
 
@@ -158,8 +195,11 @@ pgsd — profile-guided software diversity toolchain (CGO 2013 reproduction)
                            [--shift] [--subst] [--regrand] [--validate]
                            [--trace FILE] [--metrics FILE] [args…]
   pgsd check <file.mc> [--pnop SPEC] [--seed N] [--train LIST]
-                       [--shift] [--subst] [--regrand]
+                       [--shift] [--subst] [--regrand] [--json]
                        [--trace FILE] [--metrics FILE]
+  pgsd audit <file.mc | --workload LIST> [--versions N] [--pnop SPEC]
+             [--seed N] [--train LIST] [--shift] [--subst] [--regrand]
+             [--out FILE] [--trace FILE] [--metrics FILE]
   pgsd gadgets <file.mc> [--pnop SPEC] [--seed N] [--train LIST]
   pgsd disasm <file.mc> [--func NAME]
   pgsd report <metrics.json>
@@ -187,6 +227,23 @@ the two equivalent modulo the declared transforms (translation validation:
 inserted bytes are NOP-table identities, substitutions stay in the known
 equivalence classes, shifts are a jump over dead padding, register
 randomization is a clean bijection, branches land on mapped targets).
+With `--json` the verdict and findings print as one deterministic,
+schema-versioned JSON document instead of prose. Exit codes: 0 pass,
+1 validation findings, 2 usage or I/O error.
+
+`audit` builds a population of `--versions` diversified variants (default
+16, seeds `--seed`..`--seed`+N) of one `.mc` file or of each named
+workload (`--workload` is a comma list, e.g. `470.lbm,401.bzip2`), then
+statically audits every variant: recursive-descent CFG and call-graph
+recovery with a byte classification map (reachable / unreachable /
+padding / data), abstract interpretation proving per-function stack
+bounds and W⊕X consistency of resolvable stores, and reachability
+classification of every Survivor gadget hit — reachable (on an intended
+instruction boundary), unintended-boundary (inside reachable code, off
+the boundaries), or dead-bytes (unreachable code, padding or data).
+`--out` writes the aggregate report as deterministic JSON, byte-identical
+at any `--threads` value. Exit codes: 0 clean, 1 error-severity findings,
+2 usage or I/O error.
 
 `--trace` writes Chrome trace_event JSON (open in Perfetto or
 chrome://tracing) spanning every pipeline phase; `--metrics` writes a flat
@@ -223,22 +280,37 @@ comparison is reproducible regardless of `--cache-dir`.
 /// (`--cache-dir`, `--threads`) are extracted before dispatch and are
 /// deliberately absent here.
 const FLAGS: &[(&str, bool, &[&str])] = &[
-    ("--pnop", true, &["diversify", "check", "gadgets"]),
-    ("--seed", true, &["diversify", "check", "gadgets", "fuzz"]),
-    ("--train", true, &["diversify", "check", "gadgets"]),
-    ("--shift", false, &["diversify", "check"]),
-    ("--subst", false, &["diversify", "check"]),
-    ("--regrand", false, &["diversify", "check"]),
+    ("--pnop", true, &["diversify", "check", "gadgets", "audit"]),
+    (
+        "--seed",
+        true,
+        &["diversify", "check", "gadgets", "fuzz", "audit"],
+    ),
+    ("--train", true, &["diversify", "check", "gadgets", "audit"]),
+    ("--shift", false, &["diversify", "check", "audit"]),
+    ("--subst", false, &["diversify", "check", "audit"]),
+    ("--regrand", false, &["diversify", "check", "audit"]),
     ("--validate", false, &["diversify"]),
-    ("--trace", true, &["run", "diversify", "check", "fuzz"]),
-    ("--metrics", true, &["run", "diversify", "check", "fuzz"]),
+    ("--json", false, &["check"]),
+    (
+        "--trace",
+        true,
+        &["run", "diversify", "check", "fuzz", "audit"],
+    ),
+    (
+        "--metrics",
+        true,
+        &["run", "diversify", "check", "fuzz", "audit"],
+    ),
     ("--func", true, &["disasm"]),
     ("--iters", true, &["fuzz"]),
     ("--transforms", true, &["fuzz"]),
     ("--corpus", true, &["fuzz"]),
     ("--variants", true, &["fuzz"]),
     ("--replay", true, &["fuzz"]),
-    ("--out", true, &["bench"]),
+    ("--out", true, &["bench", "audit"]),
+    ("--workload", true, &["audit"]),
+    ("--versions", true, &["audit"]),
 ];
 
 fn allowed_flags(cmd: &str) -> Vec<&'static str> {
@@ -306,6 +378,10 @@ struct Parsed {
     subst: bool,
     regrand: bool,
     validate: bool,
+    json: bool,
+    workloads: Vec<String>,
+    versions: usize,
+    out: Option<String>,
     func: Option<String>,
     trace: Option<String>,
     metrics: Option<String>,
@@ -313,12 +389,22 @@ struct Parsed {
 
 fn parse(cmd: &str, rest: &[String]) -> Result<Parsed, String> {
     let allowed = allowed_flags(cmd);
-    let Some(path) = rest.first() else {
+    // Every command here takes a source file, except `audit`, which may
+    // instead name workloads via `--workload`.
+    let has_file = rest.first().is_some_and(|a| !a.starts_with("--"));
+    if !has_file && cmd != "audit" {
         return Err("missing source file".into());
+    }
+    let (source_name, source, flags) = if has_file {
+        let path = rest[0].clone();
+        let source =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        (path, source, &rest[1..])
+    } else {
+        (String::new(), String::new(), rest)
     };
-    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let mut parsed = Parsed {
-        source_name: path.clone(),
+        source_name,
         source,
         run_args: Vec::new(),
         pnop: Strategy::range(0.0, 0.30),
@@ -328,11 +414,15 @@ fn parse(cmd: &str, rest: &[String]) -> Result<Parsed, String> {
         subst: false,
         regrand: false,
         validate: false,
+        json: false,
+        workloads: Vec::new(),
+        versions: 16,
+        out: None,
         func: None,
         trace: None,
         metrics: None,
     };
-    let mut it = rest[1..].iter();
+    let mut it = flags.iter();
     while let Some(arg) = it.next() {
         let a = arg.as_str();
         if a.starts_with("--") && !allowed.contains(&a) {
@@ -354,6 +444,28 @@ fn parse(cmd: &str, rest: &[String]) -> Result<Parsed, String> {
                 let list = it.next().ok_or("--train needs a value")?;
                 parsed.train_args = Some(parse_ints(list)?);
             }
+            "--workload" => {
+                let list = it.next().ok_or("--workload needs a value")?;
+                parsed.workloads = list
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| s.trim().to_owned())
+                    .collect();
+                if parsed.workloads.is_empty() {
+                    return Err("--workload needs at least one name".into());
+                }
+            }
+            "--versions" => {
+                parsed.versions = it
+                    .next()
+                    .ok_or("--versions needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad versions: {e}"))?;
+                if parsed.versions == 0 {
+                    return Err("--versions must be at least 1".into());
+                }
+            }
+            "--out" => parsed.out = Some(it.next().ok_or("--out needs a value")?.clone()),
             "--func" => parsed.func = Some(it.next().ok_or("--func needs a value")?.clone()),
             "--trace" => parsed.trace = Some(it.next().ok_or("--trace needs a value")?.clone()),
             "--metrics" => {
@@ -363,6 +475,7 @@ fn parse(cmd: &str, rest: &[String]) -> Result<Parsed, String> {
             "--subst" => parsed.subst = true,
             "--regrand" => parsed.regrand = true,
             "--validate" => parsed.validate = true,
+            "--json" => parsed.json = true,
             other => {
                 let v: i32 = other
                     .parse()
@@ -461,7 +574,12 @@ fn record_cache_gauges(session: &Session, tel: &Telemetry) {
 /// reports the status and returns the cycle count; an abnormal exit
 /// (fault, gas, bad syscall) is an error — the caller routes it to
 /// stderr and the process exits nonzero.
-fn report_run(session: &Session, image: &Image, args: &[i32], label: &str) -> Result<u64, String> {
+fn report_run(
+    session: &Session,
+    image: &Image,
+    args: &[i32],
+    label: &str,
+) -> Result<u64, CliError> {
     let (exit, stats) = session.run_image(image, &Input::args(args), DEFAULT_GAS, label);
     for v in &stats.output {
         println!("{v}");
@@ -474,15 +592,15 @@ fn report_run(session: &Session, image: &Image, args: &[i32], label: &str) -> Re
             );
             Ok(stats.cycles)
         }
-        None => Err(format!("abnormal exit: {exit:?}")),
+        None => Err(CliError::failed(format!("abnormal exit: {exit:?}"))),
     }
 }
 
-fn cmd_run(rest: &[String], g: &Globals) -> Result<(), String> {
+fn cmd_run(rest: &[String], g: &Globals) -> Result<(), CliError> {
     let p = parse("run", rest)?;
     let tel = telemetry_for(&p);
     let session = session_for(&p, g, &tel)?;
-    let result = (|| {
+    let result = (|| -> Result<(), CliError> {
         let image = session.build().map_err(|e| e.to_string())?;
         println!(
             "compiled `{}`: {} bytes of text, {} functions",
@@ -525,11 +643,11 @@ fn build_diversified(p: &Parsed, session: &Session, tel: &Telemetry) -> Result<I
         .map_err(|e| e.to_string())
 }
 
-fn cmd_diversify(rest: &[String], g: &Globals) -> Result<(), String> {
+fn cmd_diversify(rest: &[String], g: &Globals) -> Result<(), CliError> {
     let p = parse("diversify", rest)?;
     let tel = telemetry_for(&p);
     let session = session_for(&p, g, &tel)?;
-    let result = (|| {
+    let result = (|| -> Result<(), CliError> {
         let baseline = session.build().map_err(|e| e.to_string())?;
         let image = build_diversified(&p, &session, &tel)?;
         println!(
@@ -556,13 +674,13 @@ fn cmd_diversify(rest: &[String], g: &Globals) -> Result<(), String> {
     result
 }
 
-fn cmd_check(rest: &[String], g: &Globals) -> Result<(), String> {
+fn cmd_check(rest: &[String], g: &Globals) -> Result<(), CliError> {
     let mut p = parse("check", rest)?;
     // The checker runs here with its report printed, not inside `build`.
     p.validate = false;
     let tel = telemetry_for(&p);
     let session = session_for(&p, g, &tel)?;
-    let result = (|| {
+    let result = (|| -> Result<(), CliError> {
         let baseline = session.build().map_err(|e| e.to_string())?;
         let variant = build_diversified(&p, &session, &tel)?;
         let transforms = config_of(&p, &tel).transforms();
@@ -570,32 +688,178 @@ fn cmd_check(rest: &[String], g: &Globals) -> Result<(), String> {
         match check_images(&baseline, &variant, &transforms) {
             Ok(report) => {
                 tel.add("validate.passed", 1);
-                println!(
-                    "`{}` seed {}: OK — {} functions, {} instructions matched, \
-                     {} inserted NOPs, {} substitutions, {} shift jumps verified",
-                    p.source_name,
-                    p.seed,
-                    report.functions,
-                    report.matched,
-                    report.inserted_nops,
-                    report.substitutions,
-                    report.shift_jumps
-                );
+                if p.json {
+                    println!("{}", check_verdict_json("pass", Some(&report), &[]));
+                } else {
+                    println!(
+                        "`{}` seed {}: OK — {} functions, {} instructions matched, \
+                         {} inserted NOPs, {} substitutions, {} shift jumps verified",
+                        p.source_name,
+                        p.seed,
+                        report.functions,
+                        report.matched,
+                        report.inserted_nops,
+                        report.substitutions,
+                        report.shift_jumps
+                    );
+                }
                 Ok(())
             }
-            Err(diags) => {
+            Err(mut diags) => {
                 tel.add("validate.failed", 1);
                 tel.add("validate.findings", diags.len() as u64);
-                for d in &diags {
-                    eprintln!("{d}");
+                sort_findings(&mut diags);
+                if p.json {
+                    println!("{}", check_verdict_json("fail", None, &diags));
+                } else {
+                    for d in &diags {
+                        eprintln!("{d}");
+                    }
                 }
-                Err(format!("validation failed with {} finding(s)", diags.len()))
+                Err(CliError::failed(format!(
+                    "validation failed with {} finding(s)",
+                    diags.len()
+                )))
             }
         }
     })();
     record_cache_gauges(&session, &tel);
     write_telemetry(&p, &tel)?;
     result
+}
+
+/// The `pgsd check --json` verdict document: schema-versioned, fixed key
+/// order, findings in canonical order — deterministic for golden tests.
+fn check_verdict_json(
+    verdict: &str,
+    report: Option<&pgsd::analysis::CheckReport>,
+    findings: &[pgsd::analysis::AnalysisDiag],
+) -> String {
+    let report_json = report.map_or_else(
+        || "null".to_owned(),
+        |r| {
+            format!(
+                "{{\"functions\":{},\"matched\":{},\"inserted_nops\":{},\
+                 \"substitutions\":{},\"shift_jumps\":{}}}",
+                r.functions, r.matched, r.inserted_nops, r.substitutions, r.shift_jumps
+            )
+        },
+    );
+    format!(
+        "{{\"schema_version\":{},\"tool\":\"pgsd-check\",\"verdict\":\"{verdict}\",\
+         \"report\":{report_json},\"findings\":{}}}",
+        pgsd::analysis::DIAG_SCHEMA_VERSION,
+        findings_json(findings)
+    )
+}
+
+/// `pgsd audit` — build a diversified population per target and run the
+/// whole-image static audit (CFG recovery, abstract interpretation,
+/// gadget reachability) over every variant.
+fn cmd_audit(rest: &[String], g: &Globals) -> Result<(), CliError> {
+    let p = parse("audit", rest)?;
+    if !p.run_args.is_empty() {
+        return Err("`pgsd audit` takes no program arguments".into());
+    }
+    if p.source.is_empty() && p.workloads.is_empty() {
+        return Err("`pgsd audit` needs a source file or `--workload LIST`".into());
+    }
+    // Targets: (name, source, training inputs). An explicit `--train`
+    // list overrides a workload's own train set.
+    let mut targets: Vec<(String, String, Vec<Input>)> = Vec::new();
+    if !p.source_name.is_empty() {
+        let train = p
+            .train_args
+            .as_deref()
+            .map(|a| vec![Input::args(a)])
+            .unwrap_or_default();
+        targets.push((p.source_name.clone(), p.source.clone(), train));
+    }
+    for name in &p.workloads {
+        let w = pgsd::workloads::by_name(name)
+            .ok_or_else(|| format!("unknown workload `{name}` (e.g. 470.lbm, 401.bzip2)"))?;
+        let train = p
+            .train_args
+            .as_deref()
+            .map_or_else(|| w.train.clone(), |a| vec![Input::args(a)]);
+        targets.push((w.name.to_owned(), w.source, train));
+    }
+
+    let tel = telemetry_for(&p);
+    let mut outcomes = Vec::with_capacity(targets.len());
+    let result = (|| -> Result<(), CliError> {
+        for (name, source, train) in &targets {
+            let mut session = Session::from_source(name, source)
+                .telemetry(tel.clone())
+                .cache(g.open_cache()?)
+                .config(config_of(&p, &tel));
+            if let Some(threads) = g.threads {
+                session = session.threads(threads);
+            }
+            if p.pnop.needs_profile() || p.subst {
+                if train.is_empty() {
+                    return Err(format!(
+                        "strategy {} needs a profile: pass `--train LIST` for `{name}`",
+                        p.pnop
+                    )
+                    .into());
+                }
+                session
+                    .train(train, DEFAULT_GAS)
+                    .map_err(|e| format!("training `{name}` failed: {e}"))?;
+            }
+            let outcome = session.audit(p.versions).map_err(|e| e.to_string())?;
+            let c = &outcome.survivors.counts;
+            println!(
+                "`{name}`: {} variants (seeds {}..{}), baseline {} gadgets",
+                outcome.audits.len(),
+                outcome.seed_base,
+                outcome.seed_base + outcome.audits.len() as u64,
+                outcome.baseline_gadgets,
+            );
+            println!(
+                "  survivors: {} — {} reachable, {} unintended-boundary, {} dead-bytes \
+                 (avg {:.2}/variant, {:.2} reachable)",
+                c.total(),
+                c.reachable,
+                c.unintended,
+                c.dead,
+                outcome.survivors.avg_survivors(),
+                outcome.survivors.avg_reachable(),
+            );
+            let indirects: usize = outcome.audits.iter().map(|a| a.unresolved_indirects).sum();
+            println!(
+                "  findings: {} error(s), {} total; unresolved indirect branches: {}",
+                outcome.error_findings(),
+                outcome.total_findings(),
+                indirects,
+            );
+            outcomes.push(outcome);
+        }
+        Ok(())
+    })();
+    write_telemetry(&p, &tel)?;
+    result?;
+
+    if let Some(out) = &p.out {
+        let body: Vec<String> = outcomes.iter().map(|o| o.to_json()).collect();
+        let doc = format!(
+            "{{\"schema_version\":{},\"tool\":\"pgsd-audit\",\"targets\":[{}]}}\n",
+            pgsd::analysis::DIAG_SCHEMA_VERSION,
+            body.join(",")
+        );
+        std::fs::write(out, doc).map_err(|e| format!("cannot write report `{out}`: {e}"))?;
+        eprintln!("audit report written to {out}");
+    }
+
+    let errors: usize = outcomes.iter().map(|o| o.error_findings()).sum();
+    if errors > 0 {
+        return Err(CliError::failed(format!(
+            "audit failed: {errors} error finding(s) across {} target(s)",
+            outcomes.len()
+        )));
+    }
+    Ok(())
 }
 
 fn cmd_gadgets(rest: &[String], g: &Globals) -> Result<(), String> {
@@ -709,7 +973,7 @@ fn cmd_cache(rest: &[String], g: &Globals) -> Result<(), String> {
     }
 }
 
-fn cmd_fuzz(rest: &[String], g: &Globals) -> Result<(), String> {
+fn cmd_fuzz(rest: &[String], g: &Globals) -> Result<(), CliError> {
     let allowed = allowed_flags("fuzz");
     let mut config = FuzzConfig::default();
     if let Some(threads) = g.threads {
@@ -725,10 +989,11 @@ fn cmd_fuzz(rest: &[String], g: &Globals) -> Result<(), String> {
         if !a.starts_with("--") {
             return Err(format!(
                 "unexpected argument `{a}` — `pgsd fuzz` takes no positional arguments"
-            ));
+            )
+            .into());
         }
         if !allowed.contains(&a) {
-            return Err(flag_error("fuzz", a, &allowed));
+            return Err(flag_error("fuzz", a, &allowed).into());
         }
         let mut value = |flag: &str| -> Result<String, String> {
             it.next()
@@ -787,10 +1052,10 @@ fn cmd_fuzz(rest: &[String], g: &Globals) -> Result<(), String> {
         return if report.all_passing() {
             Ok(())
         } else {
-            Err(format!(
+            Err(CliError::failed(format!(
                 "{} reproducer(s) still failing",
                 report.cases.len() - report.passing()
-            ))
+            )))
         };
     }
 
@@ -845,14 +1110,14 @@ fn cmd_fuzz(rest: &[String], g: &Globals) -> Result<(), String> {
                 f.id
             );
         }
-        Err(format!(
+        Err(CliError::failed(format!(
             "{} divergence(s), {} static rejection(s), {} build error(s)",
             report.divergences, report.static_rejections, report.build_errors
-        ))
+        )))
     }
 }
 
-fn cmd_bench(rest: &[String], g: &Globals) -> Result<(), String> {
+fn cmd_bench(rest: &[String], g: &Globals) -> Result<(), CliError> {
     let allowed = allowed_flags("bench");
     let mut out = String::from("BENCH_pgsd.json");
     let mut it = rest.iter();
@@ -861,10 +1126,11 @@ fn cmd_bench(rest: &[String], g: &Globals) -> Result<(), String> {
         if !a.starts_with("--") {
             return Err(format!(
                 "unexpected argument `{a}` — `pgsd bench` takes no positional arguments"
-            ));
+            )
+            .into());
         }
         if !allowed.contains(&a) {
-            return Err(flag_error("bench", a, &allowed));
+            return Err(flag_error("bench", a, &allowed).into());
         }
         match a {
             "--out" => {
@@ -895,11 +1161,11 @@ fn cmd_bench(rest: &[String], g: &Globals) -> Result<(), String> {
     let warm = pgsd::bench::measure_bench_slice(&warm_prep, threads);
     for (label, pass) in [("parallel", &parallel), ("warm-cache", &warm)] {
         if pass.cycles != serial.cycles {
-            return Err(format!(
+            return Err(CliError::failed(format!(
                 "cycle totals diverged: {} at 1 thread vs {} in the {label} pass — \
                  builds and runs are supposed to be deterministic",
                 serial.cycles, pass.cycles
-            ));
+            )));
         }
     }
     let speedup = serial.wall_ms / parallel.wall_ms;

@@ -1,0 +1,209 @@
+//! CLI-level tests of the whole-image static audit (`pgsd audit`) and
+//! the shared diagnostic plumbing: the golden audit report, thread-count
+//! invariance of the JSON output, total classification of survivor
+//! offsets, `pgsd check --json`, and the stable exit-code contract
+//! (0 pass, 1 verdict failure, 2 usage / I/O error).
+//!
+//! Regenerate the golden file after an intentional report change with:
+//! `PGSD_BLESS=1 cargo test --test audit_cli`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn pgsd(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pgsd"))
+        .args(args)
+        .current_dir(repo_root())
+        .output()
+        .expect("pgsd binary runs")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("pgsd-audit-cli");
+    fs::create_dir_all(&dir).expect("can create scratch dir");
+    dir.join(name)
+}
+
+/// The fixed audit invocation shared by the golden test and CI's
+/// `audit-smoke` job — any change here must be mirrored there.
+fn audit_fixed(threads: usize, out: &Path) -> Output {
+    pgsd(&[
+        "audit",
+        "--workload",
+        "470.lbm,401.bzip2",
+        "--versions",
+        "16",
+        "--seed",
+        "1",
+        "--pnop",
+        "0.0-0.3",
+        "--shift",
+        "--threads",
+        &threads.to_string(),
+        "--out",
+        &out.display().to_string(),
+    ])
+}
+
+/// Pulls every occurrence of `"key":<number>` out of a JSON string —
+/// enough structure awareness for these fixed-shape documents.
+fn all_u64_fields(json: &str, key: &str) -> Vec<u64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find(&needle) {
+        rest = &rest[i + needle.len()..];
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        if !digits.is_empty() {
+            out.push(digits.parse().expect("numeric field"));
+        }
+    }
+    out
+}
+
+#[test]
+fn audit_report_matches_golden_file() {
+    let out_path = scratch("golden.audit.json");
+    let out = audit_fixed(2, &out_path);
+    assert!(out.status.success(), "audit failed: {out:?}");
+    let actual = fs::read_to_string(&out_path).unwrap();
+    let golden_path = repo_root().join("tests/golden/audit.json");
+    if std::env::var("PGSD_BLESS").is_ok() {
+        fs::write(&golden_path, &actual).expect("can bless golden file");
+        return;
+    }
+    let golden = fs::read_to_string(&golden_path)
+        .expect("golden file exists (regenerate with PGSD_BLESS=1)");
+    assert_eq!(
+        actual, golden,
+        "audit report drifted from tests/golden/audit.json; if the change \
+         is intentional, regenerate with PGSD_BLESS=1"
+    );
+}
+
+#[test]
+fn audit_report_is_thread_count_invariant() {
+    let a = scratch("threads1.audit.json");
+    let b = scratch("threads4.audit.json");
+    assert!(audit_fixed(1, &a).status.success());
+    assert!(audit_fixed(4, &b).status.success());
+    assert_eq!(
+        fs::read(&a).unwrap(),
+        fs::read(&b).unwrap(),
+        "audit report differs between --threads 1 and --threads 4"
+    );
+}
+
+#[test]
+fn audit_classifies_every_survivor_offset() {
+    let out_path = scratch("totality.audit.json");
+    let out = audit_fixed(2, &out_path);
+    assert!(out.status.success(), "audit failed: {out:?}");
+    let json = fs::read_to_string(&out_path).unwrap();
+    // Every `survivors` object (aggregate and per-image) must partition
+    // its total into the three classes.
+    let totals = all_u64_fields(&json, "total");
+    let reach = all_u64_fields(&json, "reachable");
+    let unint = all_u64_fields(&json, "unintended_boundary");
+    let dead = all_u64_fields(&json, "dead_bytes");
+    // 2 targets × (1 aggregate + 16 images) survivor objects; `total`
+    // and `reachable` also appear under "funcs"/"bytes", so compare via
+    // the unambiguous unintended/dead keys.
+    assert_eq!(unint.len(), dead.len());
+    assert_eq!(
+        unint.len(),
+        2 * 17,
+        "one survivors object per image + aggregate"
+    );
+    assert!(totals.iter().sum::<u64>() > 0, "no survivors at all?");
+    // The aggregate for each target equals the sum over its images.
+    for target in json.split("\"target\":").skip(1) {
+        let t = all_u64_fields(target, "dead_bytes");
+        assert_eq!(
+            t[0],
+            t[1..].iter().sum::<u64>(),
+            "aggregate dead-bytes must sum the per-image counts"
+        );
+    }
+    let _ = (reach, unint);
+}
+
+#[test]
+fn audit_summary_names_all_three_classes() {
+    let out_path = scratch("summary.audit.json");
+    let out = audit_fixed(2, &out_path);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for needle in ["reachable", "unintended-boundary", "dead-bytes", "findings"] {
+        assert!(
+            stdout.contains(needle),
+            "summary lacks `{needle}`: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn check_json_emits_verdict_document() {
+    let out = pgsd(&[
+        "check",
+        "examples/sum.mc",
+        "--pnop",
+        "0.5",
+        "--seed",
+        "3",
+        "--json",
+    ]);
+    assert!(out.status.success(), "check failed: {out:?}");
+    let stdout = String::from_utf8(out.stdout.clone()).unwrap();
+    assert!(
+        stdout.starts_with("{\"schema_version\":1,\"tool\":\"pgsd-check\",\"verdict\":\"pass\""),
+        "unexpected verdict document: {stdout}"
+    );
+    assert!(stdout.contains("\"findings\":[]"), "pass has no findings");
+    // Deterministic: a second run prints the identical document.
+    let again = pgsd(&[
+        "check",
+        "examples/sum.mc",
+        "--pnop",
+        "0.5",
+        "--seed",
+        "3",
+        "--json",
+    ]);
+    assert_eq!(out.stdout, again.stdout);
+}
+
+#[test]
+fn exit_codes_distinguish_usage_from_verdict_failures() {
+    // Usage error: unknown workload → 2.
+    let out = pgsd(&["audit", "--workload", "no.such.benchmark"]);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2: {out:?}");
+    // I/O error: unreadable source file → 2.
+    let out = pgsd(&["check", "does-not-exist.mc", "--json"]);
+    assert_eq!(out.status.code(), Some(2), "I/O errors exit 2: {out:?}");
+    // Missing target entirely → 2.
+    let out = pgsd(&["audit"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "missing target exits 2: {out:?}"
+    );
+    // Verdict failure: a crashing program under `pgsd run` → 1.
+    let crash = scratch("crash.mc");
+    fs::write(
+        &crash,
+        "int f(int n) { return f(n + 1); }\nint main() { return f(0); }\n",
+    )
+    .unwrap();
+    let out = pgsd(&["run", &crash.display().to_string()]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "abnormal program exit is a verdict failure: {out:?}"
+    );
+}

@@ -196,7 +196,7 @@ fn corrupt_artifact_falls_back_to_cold_build() {
 
     let tel = Telemetry::enabled();
     let rebuilt = session_on(&dir, &tel)
-        .build_with(&config.clone().with_telemetry(tel.clone()))
+        .build_with(&config.with_telemetry(tel.clone()))
         .unwrap()
         .text;
     let doc = tel.snapshot();
