@@ -1,0 +1,403 @@
+//! Invertible baseline↔variant address maps.
+//!
+//! `divcheck`'s structural walk proves each variant instruction
+//! corresponds to a baseline instruction — and, as a byproduct, computes
+//! exactly the mapping a fleet crash reporter needs: for every baseline
+//! instruction address, the half-open range of variant addresses that
+//! "belong" to it (the instruction itself plus any run of inserted NOPs
+//! that falls through into it). This module turns that byproduct into a
+//! persistent artifact: an [`AddrMap`] that answers both
+//! [`baseline_to_variant`](AddrMap::baseline_to_variant) and
+//! [`variant_to_baseline`](AddrMap::variant_to_baseline) lookups and
+//! serializes to a compact delta/run-length binary encoding
+//! ([`AddrMap::encode`] / [`AddrMap::decode`]).
+//!
+//! The encoding exploits two invariants of the validation walk: within a
+//! function, baseline addresses and variant addresses both increase
+//! strictly monotonically, so consecutive pairs are stored as small
+//! deltas, and runs of identical deltas (straight-line code with no
+//! diversification between two points) collapse into one run-length
+//! group. Undiversified, byte-identical functions (the runtime library —
+//! the common case, which `divcheck` never even decodes) are stored as a
+//! single *linear* entry: `variant = baseline + constant`.
+//!
+//! Decoding is defensive: a checksum trailer detects truncation and
+//! corruption, and every read is bounds-checked, so a damaged artifact
+//! yields an error — never a panic, and never a silently wrong map.
+
+/// Magic prefix of the binary encoding ("PGSD AddrMap v1").
+pub const ADDRMAP_MAGIC: &[u8; 8] = b"PGSDAMP1";
+
+/// One function's slice of the map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncEntry {
+    /// Function name (shared between baseline and variant).
+    pub name: String,
+    /// First baseline address of the function.
+    pub base_start: u32,
+    /// One past the last baseline address.
+    pub base_end: u32,
+    /// First variant address of the function.
+    pub var_start: u32,
+    /// One past the last variant address.
+    pub var_end: u32,
+    /// Byte-identical function: `variant = baseline + (var_start -
+    /// base_start)` and `pairs` is empty.
+    pub linear: bool,
+    /// `(baseline, lo, hi)` per baseline instruction, sorted by
+    /// `baseline`: the matching variant instruction starts at `hi`, and
+    /// `lo ≤ hi` extends down through the run of inserted NOPs that
+    /// falls through into it.
+    pub pairs: Vec<(u32, u32, u32)>,
+}
+
+impl FuncEntry {
+    /// Builds a linear (byte-identical) entry.
+    pub fn linear(name: &str, base_start: u32, base_end: u32, var_start: u32) -> FuncEntry {
+        FuncEntry {
+            name: name.to_string(),
+            base_start,
+            base_end,
+            var_start,
+            var_end: var_start + (base_end - base_start),
+            linear: true,
+            pairs: Vec::new(),
+        }
+    }
+}
+
+/// A symbolicated location: the baseline image of a variant address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineLoc {
+    /// Name of the containing function.
+    pub function: String,
+    /// Baseline address of the instruction the variant address maps to.
+    pub addr: u32,
+}
+
+/// An invertible baseline↔variant address map for one (baseline,
+/// variant) image pair, produced by
+/// [`check_images_mapped`](crate::divcheck::check_images_mapped).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AddrMap {
+    /// Per-function entries, in image layout order.
+    pub funcs: Vec<FuncEntry>,
+}
+
+impl AddrMap {
+    /// Maps a baseline instruction address to its variant address range
+    /// `(lo, hi)`: the matched instruction starts at `hi`, and any
+    /// address in `[lo, hi]` falls through to it. Returns `None` when
+    /// the address is outside every function or not on an instruction
+    /// boundary.
+    pub fn baseline_to_variant(&self, addr: u32) -> Option<(u32, u32)> {
+        let f = self
+            .funcs
+            .iter()
+            .find(|f| f.base_start <= addr && addr < f.base_end)?;
+        if f.linear {
+            return Some((
+                addr - f.base_start + f.var_start,
+                addr - f.base_start + f.var_start,
+            ));
+        }
+        let i = f.pairs.partition_point(|&(b, _, _)| b <= addr);
+        match f.pairs.get(i.checked_sub(1)?) {
+            Some(&(b, lo, hi)) if b == addr => Some((lo, hi)),
+            _ => None,
+        }
+    }
+
+    /// Maps a variant address back to the baseline instruction it
+    /// belongs to. Addresses inside an inserted NOP run, mid-pattern in
+    /// a substitution, or in a shift prologue resolve to the baseline
+    /// instruction they execute on behalf of (the next matched one).
+    /// Returns `None` when the address is outside every function.
+    pub fn variant_to_baseline(&self, addr: u32) -> Option<BaselineLoc> {
+        let f = self
+            .funcs
+            .iter()
+            .find(|f| f.var_start <= addr && addr < f.var_end)?;
+        let base = if f.linear {
+            addr - f.var_start + f.base_start
+        } else {
+            // Last pair whose span starts at or before `addr`. A span
+            // covers the matched instruction at `hi`, the NOP run `[lo,
+            // hi)` that falls through into it, and any trailing
+            // substitution-pattern bytes before the next span — all of
+            // which execute on behalf of the same baseline instruction.
+            // Shift-prologue bytes before the first span bind to the
+            // function entry (the prologue jumps there).
+            let i = f.pairs.partition_point(|&(_, lo, _)| lo <= addr);
+            match f.pairs.get(i.saturating_sub(1)) {
+                Some(&(b, _, _)) => b,
+                // A diversified function with no matched instructions
+                // (empty body) — nothing to bind to.
+                None => return None,
+            }
+        };
+        Some(BaselineLoc {
+            function: f.name.clone(),
+            addr: base,
+        })
+    }
+
+    /// Serializes to the delta/run-length binary form. Inverse of
+    /// [`AddrMap::decode`].
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.funcs.len() * 32);
+        out.extend_from_slice(ADDRMAP_MAGIC);
+        push_varint(&mut out, self.funcs.len() as u32);
+        for f in &self.funcs {
+            push_varint(&mut out, f.name.len() as u32);
+            out.extend_from_slice(f.name.as_bytes());
+            out.extend_from_slice(&f.base_start.to_le_bytes());
+            out.extend_from_slice(&f.base_end.to_le_bytes());
+            out.extend_from_slice(&f.var_start.to_le_bytes());
+            out.extend_from_slice(&f.var_end.to_le_bytes());
+            out.push(u8::from(f.linear));
+            if f.linear {
+                continue;
+            }
+            push_varint(&mut out, f.pairs.len() as u32);
+            // Delta-encode against the previous pair (function bounds for
+            // the first), run-length collapsing identical delta groups.
+            let mut prev = (f.base_start, f.var_start);
+            let mut i = 0usize;
+            while i < f.pairs.len() {
+                let group = delta_of(f.pairs[i], prev);
+                let mut n = 1usize;
+                let mut p = step(prev, f.pairs[i]);
+                while i + n < f.pairs.len() && delta_of(f.pairs[i + n], p) == group {
+                    p = step(p, f.pairs[i + n]);
+                    n += 1;
+                }
+                push_varint(&mut out, n as u32);
+                push_varint(&mut out, group.0);
+                push_varint(&mut out, group.1);
+                push_varint(&mut out, group.2);
+                prev = p;
+                i += n;
+            }
+        }
+        let sum = fnv64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Decodes the binary form produced by [`AddrMap::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Any irregularity — truncation, bad magic, checksum mismatch,
+    /// malformed varints or UTF-8 — is an error, never a panic.
+    pub fn decode(bytes: &[u8]) -> Result<AddrMap, String> {
+        if bytes.len() < ADDRMAP_MAGIC.len() + 8 {
+            return Err("addr map truncated".into());
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 8);
+        let sum = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+        if fnv64(body) != sum {
+            return Err("addr map checksum mismatch".into());
+        }
+        if &body[..ADDRMAP_MAGIC.len()] != ADDRMAP_MAGIC {
+            return Err("addr map bad magic".into());
+        }
+        let mut pos = ADDRMAP_MAGIC.len();
+        let nfuncs = read_varint(body, &mut pos)?;
+        let mut funcs = Vec::new();
+        for _ in 0..nfuncs {
+            let nlen = read_varint(body, &mut pos)? as usize;
+            let name_bytes = body
+                .get(pos..pos.checked_add(nlen).ok_or("name length overflow")?)
+                .ok_or("addr map truncated in name")?;
+            let name =
+                String::from_utf8(name_bytes.to_vec()).map_err(|_| "name not UTF-8".to_string())?;
+            pos += nlen;
+            let base_start = read_u32(body, &mut pos)?;
+            let base_end = read_u32(body, &mut pos)?;
+            let var_start = read_u32(body, &mut pos)?;
+            let var_end = read_u32(body, &mut pos)?;
+            let linear = match body.get(pos) {
+                Some(0) => false,
+                Some(1) => true,
+                _ => return Err("addr map bad linear flag".into()),
+            };
+            pos += 1;
+            let mut pairs = Vec::new();
+            if !linear {
+                let npairs = read_varint(body, &mut pos)? as usize;
+                let mut prev = (base_start, var_start);
+                while pairs.len() < npairs {
+                    let n = read_varint(body, &mut pos)?;
+                    let db = read_varint(body, &mut pos)?;
+                    let dh = read_varint(body, &mut pos)?;
+                    let pad = read_varint(body, &mut pos)?;
+                    if n == 0 || pairs.len() + n as usize > npairs {
+                        return Err("addr map bad run length".into());
+                    }
+                    for _ in 0..n {
+                        let b = prev.0.checked_add(db).ok_or("pair overflow")?;
+                        let hi = prev.1.checked_add(dh).ok_or("pair overflow")?;
+                        let lo = hi.checked_sub(pad).ok_or("pair underflow")?;
+                        pairs.push((b, lo, hi));
+                        prev = (b, hi);
+                    }
+                }
+            }
+            funcs.push(FuncEntry {
+                name,
+                base_start,
+                base_end,
+                var_start,
+                var_end,
+                linear,
+                pairs,
+            });
+        }
+        if pos != body.len() {
+            return Err("addr map trailing bytes".into());
+        }
+        Ok(AddrMap { funcs })
+    }
+}
+
+/// Delta of `pair` against the previous `(base, hi)` position:
+/// `(d_base, d_hi, pad)` with `pad = hi - lo`.
+fn delta_of(pair: (u32, u32, u32), prev: (u32, u32)) -> (u32, u32, u32) {
+    let (b, lo, hi) = pair;
+    (
+        b.wrapping_sub(prev.0),
+        hi.wrapping_sub(prev.1),
+        hi.wrapping_sub(lo),
+    )
+}
+
+/// Advances the previous-position cursor past `pair`.
+fn step(_prev: (u32, u32), pair: (u32, u32, u32)) -> (u32, u32) {
+    (pair.0, pair.2)
+}
+
+fn push_varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let mut v: u32 = 0;
+    for shift in (0..35).step_by(7) {
+        let b = *bytes.get(*pos).ok_or("addr map truncated in varint")?;
+        *pos += 1;
+        let low = u32::from(b & 0x7f);
+        if shift == 28 && low > 0xf {
+            return Err("varint overflows u32".into());
+        }
+        v |= low << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err("varint too long".into())
+}
+
+fn read_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let s = bytes
+        .get(*pos..*pos + 4)
+        .ok_or("addr map truncated in u32")?;
+    *pos += 4;
+    Ok(u32::from_le_bytes(s.try_into().expect("4 bytes")))
+}
+
+/// Local FNV-1a 64 (the artifact must not depend on `pgsd-cache`).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AddrMap {
+        AddrMap {
+            funcs: vec![
+                FuncEntry::linear("memset", 0x1000, 0x1010, 0x1000),
+                FuncEntry {
+                    name: "main".into(),
+                    base_start: 0x1010,
+                    base_end: 0x1020,
+                    var_start: 0x1010,
+                    var_end: 0x1030,
+                    linear: false,
+                    pairs: vec![
+                        (0x1010, 0x1012, 0x1014), // shift prologue before it
+                        (0x1012, 0x1016, 0x1016),
+                        (0x1015, 0x1019, 0x101b), // NOP run [0x1019, 0x101b)
+                        (0x101a, 0x1020, 0x1020),
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_the_binary_encoding() {
+        let m = sample();
+        let enc = m.encode();
+        let dec = AddrMap::decode(&enc).expect("decodes");
+        assert_eq!(dec, m);
+        assert_eq!(dec.encode(), enc, "encode∘decode∘encode is identity");
+    }
+
+    #[test]
+    fn forward_lookup_hits_instruction_boundaries_only() {
+        let m = sample();
+        assert_eq!(m.baseline_to_variant(0x1012), Some((0x1016, 0x1016)));
+        assert_eq!(m.baseline_to_variant(0x1015), Some((0x1019, 0x101b)));
+        assert_eq!(m.baseline_to_variant(0x1013), None, "mid-instruction");
+        assert_eq!(m.baseline_to_variant(0x2000), None, "outside any function");
+        // Linear functions map every byte.
+        assert_eq!(m.baseline_to_variant(0x1007), Some((0x1007, 0x1007)));
+    }
+
+    #[test]
+    fn reverse_lookup_binds_padding_to_the_following_instruction() {
+        let m = sample();
+        // Exact instruction start.
+        assert_eq!(m.variant_to_baseline(0x1016).unwrap().addr, 0x1012);
+        // Inside the NOP run [0x1019, 0x101b) that falls through into
+        // baseline 0x1015's instruction: binds to that instruction.
+        assert_eq!(m.variant_to_baseline(0x101a).unwrap().addr, 0x1015);
+        // Trailing bytes after a span (mid-substitution-pattern) bind
+        // down to the instruction that owns the span.
+        assert_eq!(m.variant_to_baseline(0x1017).unwrap().addr, 0x1012);
+        // Shift prologue bytes before the first matched instruction.
+        assert_eq!(m.variant_to_baseline(0x1010).unwrap().addr, 0x1010);
+        assert_eq!(m.variant_to_baseline(0x1010).unwrap().function, "main");
+        assert_eq!(m.variant_to_baseline(0x5000), None);
+    }
+
+    #[test]
+    fn corrupt_inputs_error_and_never_panic() {
+        let enc = sample().encode();
+        assert!(AddrMap::decode(&[]).is_err());
+        assert!(AddrMap::decode(&enc[..enc.len() - 1]).is_err(), "truncated");
+        let mut flipped = enc.clone();
+        flipped[10] ^= 0xff;
+        assert!(AddrMap::decode(&flipped).is_err(), "checksum catches flip");
+        let mut bad_magic = enc;
+        bad_magic[0] ^= 0xff;
+        assert!(AddrMap::decode(&bad_magic).is_err());
+    }
+}

@@ -42,6 +42,7 @@ use pgsd_cc::lir::regalloc::ALLOCATABLE;
 use pgsd_x86::nop::NopTable;
 use pgsd_x86::{decode, AluOp, Body, Inst, Reg, ShiftOp};
 
+use crate::addrmap::{AddrMap, FuncEntry};
 use crate::diag::{AnalysisDiag, Loc, Rule, Severity};
 
 /// Which diversifying transforms the variant build declares.
@@ -265,6 +266,33 @@ pub fn check_images(
     variant: &Image,
     t: &Transforms,
 ) -> Result<CheckReport, Vec<AnalysisDiag>> {
+    check_images_impl(baseline, variant, t, None)
+}
+
+/// Like [`check_images`], but also returns the baseline↔variant
+/// [`AddrMap`] the structural walk computes as a byproduct — the
+/// artifact the provenance ledger persists for crash symbolication.
+///
+/// # Errors
+///
+/// Same contract as [`check_images`]; no map is produced for a variant
+/// that fails validation.
+pub fn check_images_mapped(
+    baseline: &Image,
+    variant: &Image,
+    t: &Transforms,
+) -> Result<(CheckReport, AddrMap), Vec<AnalysisDiag>> {
+    let mut map = AddrMap::default();
+    let report = check_images_impl(baseline, variant, t, Some(&mut map))?;
+    Ok((report, map))
+}
+
+fn check_images_impl(
+    baseline: &Image,
+    variant: &Image,
+    t: &Transforms,
+    mut map: Option<&mut AddrMap>,
+) -> Result<CheckReport, Vec<AnalysisDiag>> {
     let mut diags = Vec::new();
     let mut report = CheckReport::default();
 
@@ -318,6 +346,7 @@ pub fn check_images(
             &candidates,
             &mut report,
             &mut diags,
+            map.as_mut().map(|m| &mut m.funcs),
         );
     }
 
@@ -385,6 +414,7 @@ fn check_function(
     candidates: &[Inst],
     report: &mut CheckReport,
     diags: &mut Vec<AnalysisDiag>,
+    map_out: Option<&mut Vec<FuncEntry>>,
 ) {
     let bl = &baseline.funcs[k];
     let vl = &variant.funcs[k];
@@ -420,6 +450,11 @@ fn check_function(
         }
     };
     if !bl.diversified && bb == vb {
+        // Byte-identical: the address map is the identity shifted by the
+        // layout delta, recorded as a single linear entry.
+        if let Some(m) = map_out {
+            m.push(FuncEntry::linear(&bl.name, bl.start, bl.end, vl.start));
+        }
         report.functions += 1;
         return;
     }
@@ -613,6 +648,17 @@ fn check_function(
         }
     }
 
+    if let Some(m) = map_out {
+        m.push(FuncEntry {
+            name: bl.name.clone(),
+            base_start: bl.start,
+            base_end: bl.end,
+            var_start: vl.start,
+            var_end: vl.end,
+            linear: false,
+            pairs: addr_map.iter().map(|(&b, &(lo, hi))| (b, lo, hi)).collect(),
+        });
+    }
     report.functions += 1;
 }
 

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod absint;
+pub mod addrmap;
 pub mod audit;
 pub mod cfg;
 pub mod dataflow;
@@ -62,6 +63,7 @@ pub mod lint;
 pub mod liveness;
 pub mod stack;
 
+pub use addrmap::{AddrMap, BaselineLoc, FuncEntry, ADDRMAP_MAGIC};
 pub use audit::{
     audit_image, classify_offsets, sort_findings, ImageAudit, SurvivorAuditReport, SurvivorClass,
     SurvivorCounts,
@@ -69,4 +71,4 @@ pub use audit::{
 pub use cfg::{recover, ByteClass, ByteCounts, RecoveredCfg};
 pub use dataflow::{fixpoint, solve, Analysis, BlockFacts, Direction};
 pub use diag::{findings_json, AnalysisDiag, Loc, Rule, Severity, DIAG_SCHEMA_VERSION};
-pub use divcheck::{check_images, CheckReport, Transforms};
+pub use divcheck::{check_images, check_images_mapped, CheckReport, Transforms};

@@ -14,8 +14,10 @@
 //! | `php_casestudy` | §5.2 concrete-attack experiment |
 //! | `ablation_curves` | §3.1 linear-vs-log heuristic comparison |
 //! | `ablation_shift` | §6 basic-block shifting extension |
+//! | `table_fleet` | fleet crash-symbolication campaign ([`fleet`]) |
 //!
 //! Environment knobs: `PGSD_VERSIONS` (population size, default 25),
+//! `PGSD_FLEET_VERSIONS` (fleet variants per configuration, default 250),
 //! `PGSD_SEEDS` (performance seeds per configuration, default 5),
 //! `PGSD_BENCH` (comma-separated benchmark substring filter),
 //! `PGSD_THREADS` / `--threads N` (worker threads; default = available
@@ -37,6 +39,8 @@ use pgsd_profile::Profile;
 use pgsd_telemetry::Telemetry;
 use pgsd_workloads::Workload;
 
+pub mod fleet;
+
 /// Number of diversified versions per population (paper: 25).
 pub fn versions() -> usize {
     env_usize("PGSD_VERSIONS", 25)
@@ -48,7 +52,7 @@ pub fn perf_seeds() -> u64 {
     env_usize("PGSD_SEEDS", 5) as u64
 }
 
-fn env_usize(name: &str, default: usize) -> usize {
+pub(crate) fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
         .ok()
         .and_then(|v| v.parse().ok())

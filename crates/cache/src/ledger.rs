@@ -1,0 +1,249 @@
+//! Variant provenance ledger: who is this binary, and how do I read
+//! its crashes?
+//!
+//! A fleet of diversified variants is unsupportable unless every crash
+//! can be mapped back to the baseline build (the paper's massive-scale
+//! distribution scenario; ΔBreakpad's diversified crash reporting). The
+//! ledger records, per variant — keyed by a content hash of its text
+//! segment — the provenance needed to do that: the diversification seed,
+//! the transform set, the module/config/profile keys that produced it,
+//! and the compressed baseline↔variant address map computed by the
+//! translation validator.
+//!
+//! Storage follows the artifact manifest's rules exactly: a single
+//! schema-versioned `ledger.json` in the cache directory, rewritten
+//! atomically (temp file + rename), where *any* irregularity on load —
+//! missing file, parse error, wrong `kind` or `schema_version`,
+//! malformed record — yields an empty ledger. Cold is always safe: the
+//! records regenerate on the next population build. Records live in a
+//! `BTreeMap` keyed by variant id, so the serialized form is
+//! byte-identical no matter how many threads raced to insert.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use pgsd_telemetry::json::{parse, Value};
+
+/// Schema version of `ledger.json`. Bump on any layout change; old
+/// ledgers are then ignored wholesale (cold rebuild), never
+/// misinterpreted.
+pub const LEDGER_SCHEMA_VERSION: u64 = 1;
+
+/// The `kind` tag of ledger files.
+pub const LEDGER_KIND: &str = "pgsd-variant-ledger";
+
+/// File name of the ledger inside a cache directory.
+pub const LEDGER_FILE: &str = "ledger.json";
+
+/// Provenance of one diversified variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerRecord {
+    /// Content hash of the variant's text segment (hex) — the fleet-wide
+    /// identity a crash report carries.
+    pub variant_id: String,
+    /// Diversification seed the variant was built with.
+    pub seed: u64,
+    /// Declared transform set, e.g. `"nop+subst+shift+regrand"`.
+    pub transforms: String,
+    /// Module key (source content hash, hex).
+    pub module_key: String,
+    /// Build-config fingerprint (hex).
+    pub config: String,
+    /// Profile key (hex), or empty when the build was unprofiled.
+    pub profile: String,
+    /// Encoded address-map artifact (`pgsd_analysis::AddrMap::encode`),
+    /// stored hex-armored in JSON. The ledger treats it as an opaque
+    /// blob: decoding (and decode-failure handling) belongs to the
+    /// symbolication layer.
+    pub addr_map: Vec<u8>,
+}
+
+/// In-memory ledger state: records plus a dirty flag so flushes are
+/// skipped when nothing changed.
+#[derive(Debug, Default)]
+pub(crate) struct LedgerStore {
+    pub(crate) records: BTreeMap<String, LedgerRecord>,
+    pub(crate) dirty: bool,
+}
+
+impl LedgerStore {
+    /// Total hex-armored payload bytes (the `addr_map` columns) — the
+    /// quantity the `ledger.bytes` counter tracks.
+    pub(crate) fn bytes(&self) -> u64 {
+        self.records.values().map(|r| r.addr_map.len() as u64).sum()
+    }
+}
+
+/// Serializes the ledger document (deterministic: `BTreeMap` order,
+/// fixed field order per record).
+pub(crate) fn ledger_json(records: &BTreeMap<String, LedgerRecord>) -> String {
+    let rows: Vec<Value> = records
+        .values()
+        .map(|r| {
+            Value::Obj(vec![
+                ("variant_id".into(), Value::Str(r.variant_id.clone())),
+                ("seed".into(), Value::u64(r.seed)),
+                ("transforms".into(), Value::Str(r.transforms.clone())),
+                ("module_key".into(), Value::Str(r.module_key.clone())),
+                ("config".into(), Value::Str(r.config.clone())),
+                ("profile".into(), Value::Str(r.profile.clone())),
+                ("addr_map".into(), Value::Str(hex_encode(&r.addr_map))),
+            ])
+        })
+        .collect();
+    let doc = Value::Obj(vec![
+        ("schema_version".into(), Value::u64(LEDGER_SCHEMA_VERSION)),
+        ("kind".into(), Value::Str(LEDGER_KIND.into())),
+        ("records".into(), Value::Arr(rows)),
+    ]);
+    let mut text = String::new();
+    doc.write(&mut text);
+    text.push('\n');
+    text
+}
+
+/// Parses a ledger file. *Any* irregularity — missing file, parse
+/// error, wrong `kind`, wrong `schema_version`, malformed record —
+/// yields an empty ledger, mirroring the artifact manifest's
+/// fall-back-cold contract.
+pub(crate) fn load_ledger(path: &Path) -> BTreeMap<String, LedgerRecord> {
+    let mut out = BTreeMap::new();
+    let Ok(text) = fs::read_to_string(path) else {
+        return out;
+    };
+    let Ok(doc) = parse(&text) else {
+        return out;
+    };
+    if doc.get("schema_version").and_then(Value::as_u64) != Some(LEDGER_SCHEMA_VERSION)
+        || doc.get("kind").and_then(Value::as_str) != Some(LEDGER_KIND)
+    {
+        return out;
+    }
+    let Some(rows) = doc.get("records").and_then(Value::as_arr) else {
+        return out;
+    };
+    for row in rows {
+        let Some(rec) = record_of(row) else {
+            // One malformed record poisons the whole file: a partially
+            // loaded ledger could silently mis-symbolicate.
+            return BTreeMap::new();
+        };
+        out.insert(rec.variant_id.clone(), rec);
+    }
+    out
+}
+
+fn record_of(row: &Value) -> Option<LedgerRecord> {
+    let field = |name: &str| row.get(name).and_then(Value::as_str).map(str::to_string);
+    Some(LedgerRecord {
+        variant_id: field("variant_id")?,
+        seed: row.get("seed").and_then(Value::as_u64)?,
+        transforms: field("transforms")?,
+        module_key: field("module_key")?,
+        config: field("config")?,
+        profile: field("profile")?,
+        addr_map: hex_decode(&field("addr_map")?)?,
+    })
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        write!(s, "{b:02x}").expect("infallible");
+    }
+    s
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    s.as_bytes()
+        .chunks(2)
+        .map(|pair| {
+            let hi = (pair[0] as char).to_digit(16)?;
+            let lo = (pair[1] as char).to_digit(16)?;
+            Some((hi * 16 + lo) as u8)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_record(id: &str, seed: u64) -> LedgerRecord {
+        LedgerRecord {
+            variant_id: id.to_string(),
+            seed,
+            transforms: "nop+subst".into(),
+            module_key: "00000000deadbeef".into(),
+            config: "0000000012345678".into(),
+            profile: String::new(),
+            addr_map: vec![0x50, 0x47, 0x53, 0x44, 0x00, 0xff],
+        }
+    }
+
+    #[test]
+    fn ledger_json_round_trips_and_is_deterministic() {
+        let dir = std::env::temp_dir().join(format!("pgsd-ledger-rt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let mut records = BTreeMap::new();
+        for (id, seed) in [("bb", 2), ("aa", 1), ("cc", 3)] {
+            records.insert(id.to_string(), sample_record(id, seed));
+        }
+        let text = ledger_json(&records);
+        // Insertion order does not leak: records serialize sorted by id.
+        assert!(text.find("\"aa\"").unwrap() < text.find("\"bb\"").unwrap());
+        let path = dir.join(LEDGER_FILE);
+        fs::write(&path, &text).unwrap();
+        let loaded = load_ledger(&path);
+        assert_eq!(loaded, records);
+        assert_eq!(ledger_json(&loaded), text);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn irregular_ledgers_load_empty_never_panic() {
+        let dir = std::env::temp_dir().join(format!("pgsd-ledger-bad-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(LEDGER_FILE);
+        // Missing file.
+        assert!(load_ledger(&path).is_empty());
+        // Unparseable.
+        fs::write(&path, "{not json at all").unwrap();
+        assert!(load_ledger(&path).is_empty());
+        // Truncated mid-document.
+        let mut records = BTreeMap::new();
+        records.insert("aa".into(), sample_record("aa", 1));
+        let text = ledger_json(&records);
+        fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(load_ledger(&path).is_empty());
+        // Wrong schema version.
+        fs::write(
+            &path,
+            text.replace("\"schema_version\":1", "\"schema_version\":999"),
+        )
+        .unwrap();
+        assert!(load_ledger(&path).is_empty());
+        // Wrong kind tag.
+        fs::write(&path, text.replace(LEDGER_KIND, "some-other-kind")).unwrap();
+        assert!(load_ledger(&path).is_empty());
+        // Malformed record (bad hex) poisons the file.
+        fs::write(&path, text.replace(&hex_encode(&[0x50]), "zz")).unwrap();
+        assert!(load_ledger(&path).is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hex_codec_round_trips() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(hex_decode(&hex_encode(&bytes)).unwrap(), bytes);
+        assert!(hex_decode("0").is_none(), "odd length");
+        assert!(hex_decode("zz").is_none(), "non-hex");
+    }
+}

@@ -31,11 +31,25 @@
 //! operation* (not one captured at construction) so parallel sections
 //! can route them into per-job child handles and keep merged metrics
 //! deterministic at any thread count.
+//!
+//! # Provenance ledger
+//!
+//! Alongside the artifact store, a disk-backed cache carries a variant
+//! provenance [`ledger`] (`ledger.json`): per content-hash variant id,
+//! the seed, transform set, pipeline keys, and compressed
+//! baseline↔variant address map needed to symbolicate fleet crashes.
+//! It follows the manifest's robustness contract (schema-versioned,
+//! atomic rewrite, any corruption → empty) and reports through the
+//! `ledger.records` / `ledger.bytes` counters.
 
 pub mod artifact;
 pub mod hash;
+pub mod ledger;
 
 pub use hash::{fnv64, Fnv64, Key};
+pub use ledger::{LedgerRecord, LEDGER_FILE, LEDGER_KIND, LEDGER_SCHEMA_VERSION};
+
+use ledger::LedgerStore;
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fs;
@@ -382,6 +396,7 @@ fn load_manifest(path: &Path) -> BTreeMap<(Kind, Key), u64> {
 struct Inner {
     mem: Mutex<MemStore>,
     disk: Option<DiskStore>,
+    ledger: Mutex<LedgerStore>,
 }
 
 /// Point-in-time cache occupancy, for `pgsd cache stats`.
@@ -397,6 +412,10 @@ pub struct CacheStats {
     pub disk_entries: usize,
     /// Bytes of artifact files recorded in the manifest.
     pub disk_bytes: u64,
+    /// Variant records in the provenance ledger.
+    pub ledger_records: usize,
+    /// Address-map payload bytes held by the ledger.
+    pub ledger_bytes: u64,
 }
 
 /// Shared handle to a two-level artifact cache.
@@ -445,6 +464,7 @@ impl Cache {
             inner: Some(Arc::new(Inner {
                 mem: Mutex::new(MemStore::new(max_bytes)),
                 disk: None,
+                ledger: Mutex::new(LedgerStore::default()),
             })),
         }
     }
@@ -453,10 +473,16 @@ impl Cache {
     /// manifest is loaded now; a version/schema mismatch or corrupt
     /// manifest silently yields an empty (cold) store.
     pub fn persistent(dir: &Path) -> io::Result<Cache> {
+        let disk = DiskStore::open(dir)?;
+        let records = ledger::load_ledger(&disk.dir.join(LEDGER_FILE));
         Ok(Cache {
             inner: Some(Arc::new(Inner {
                 mem: Mutex::new(MemStore::new(DEFAULT_MEM_CAP)),
-                disk: Some(DiskStore::open(dir)?),
+                disk: Some(disk),
+                ledger: Mutex::new(LedgerStore {
+                    records,
+                    dirty: false,
+                }),
             })),
         })
     }
@@ -583,6 +609,50 @@ impl Cache {
         self.put_slot(Kind::Verdict, key, Slot::Verdict(ok), tel);
     }
 
+    /// Records one variant in the provenance ledger. First insertion of
+    /// an id counts `ledger.records` and `ledger.bytes`; re-recording
+    /// the same variant (a cache hit rebuilding the same image) is a
+    /// no-op, so counters stay deterministic across warm and cold runs.
+    pub fn ledger_put(&self, record: LedgerRecord, tel: &Telemetry) {
+        let inner = match &self.inner {
+            Some(i) => i,
+            None => return,
+        };
+        let mut ledger = inner.ledger.lock().unwrap();
+        if ledger.records.contains_key(&record.variant_id) {
+            return;
+        }
+        tel.add("ledger.records", 1);
+        tel.add("ledger.bytes", record.addr_map.len() as u64);
+        ledger.records.insert(record.variant_id.clone(), record);
+        ledger.dirty = true;
+    }
+
+    /// Looks up one variant's provenance by id.
+    pub fn ledger_get(&self, variant_id: &str) -> Option<LedgerRecord> {
+        let inner = self.inner.as_ref()?;
+        let ledger = inner.ledger.lock().unwrap();
+        ledger.records.get(variant_id).cloned()
+    }
+
+    /// Writes `ledger.json` if this cache is disk-backed and the ledger
+    /// changed since the last flush. Atomic (temp file + rename) and
+    /// best-effort, like the manifest: an IO failure degrades to "not
+    /// persisted", never an error.
+    pub fn flush_ledger(&self) {
+        let Some(inner) = &self.inner else { return };
+        let Some(disk) = &inner.disk else { return };
+        let mut ledger = inner.ledger.lock().unwrap();
+        if !ledger.dirty {
+            return;
+        }
+        let text = ledger::ledger_json(&ledger.records);
+        let tmp = disk.dir.join(format!("{LEDGER_FILE}.tmp"));
+        if fs::write(&tmp, &text).is_ok() && fs::rename(&tmp, disk.dir.join(LEDGER_FILE)).is_ok() {
+            ledger.dirty = false;
+        }
+    }
+
     /// Current occupancy of both levels.
     pub fn stats(&self) -> CacheStats {
         let inner = match &self.inner {
@@ -591,12 +661,15 @@ impl Cache {
         };
         let mem = inner.mem.lock().unwrap();
         let (disk_entries, disk_bytes) = inner.disk.as_ref().map(|d| d.stats()).unwrap_or((0, 0));
+        let ledger = inner.ledger.lock().unwrap();
         CacheStats {
             mem_entries: mem.map.len(),
             mem_bytes: mem.bytes,
             evictions: mem.evictions,
             disk_entries,
             disk_bytes,
+            ledger_records: ledger.records.len(),
+            ledger_bytes: ledger.bytes(),
         }
     }
 
@@ -616,6 +689,7 @@ impl Cache {
             let name = entry.file_name();
             let name = name.to_string_lossy();
             let ours = name == MANIFEST_FILE
+                || name == LEDGER_FILE
                 || ((name.starts_with("img-") || name.starts_with("prof-"))
                     && name.ends_with(".bin"))
                 || name.ends_with(".tmp");
@@ -820,6 +894,101 @@ mod tests {
         assert_eq!(Cache::clear_dir(&dir).unwrap(), 0);
         // Clearing a directory that never existed is fine.
         assert_eq!(Cache::clear_dir(&dir.join("nope")).unwrap(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn sample_record(id: &str, seed: u64) -> LedgerRecord {
+        LedgerRecord {
+            variant_id: id.to_string(),
+            seed,
+            transforms: "nop".into(),
+            module_key: "00000000deadbeef".into(),
+            config: "0000000012345678".into(),
+            profile: String::new(),
+            addr_map: vec![1, 2, 3, 4],
+        }
+    }
+
+    #[test]
+    fn ledger_survives_reopen_and_counts_once() {
+        let dir = tdir("ledger");
+        let tel = Telemetry::enabled();
+        {
+            let c = Cache::persistent(&dir).unwrap();
+            c.ledger_put(sample_record("aa", 7), &tel);
+            c.ledger_put(sample_record("aa", 7), &tel); // duplicate: no-op
+            c.ledger_put(sample_record("bb", 8), &tel);
+            c.flush_ledger();
+            c.flush_ledger(); // clean: skipped
+        }
+        let snap = tel.snapshot();
+        assert_eq!(snap.counters.get("ledger.records"), Some(&2));
+        assert_eq!(snap.counters.get("ledger.bytes"), Some(&8));
+        let c = Cache::persistent(&dir).unwrap();
+        assert_eq!(c.ledger_get("aa").unwrap().seed, 7);
+        assert_eq!(c.ledger_get("bb").unwrap().seed, 8);
+        assert_eq!(c.ledger_get("cc"), None, "unknown id is a clean miss");
+        let stats = c.stats();
+        assert_eq!(stats.ledger_records, 2);
+        assert_eq!(stats.ledger_bytes, 8);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_ledger_falls_back_cold() {
+        let dir = tdir("ledger-corrupt");
+        let tel = Telemetry::disabled();
+        {
+            let c = Cache::persistent(&dir).unwrap();
+            c.ledger_put(sample_record("aa", 1), &tel);
+            c.flush_ledger();
+        }
+        let path = dir.join(LEDGER_FILE);
+        let text = fs::read_to_string(&path).unwrap();
+        for bad in [
+            "{truncated".to_string(),
+            text[..text.len() / 2].to_string(),
+            text.replace("\"schema_version\":1", "\"schema_version\":42"),
+            text.replace(LEDGER_KIND, "wrong-kind"),
+        ] {
+            fs::write(&path, &bad).unwrap();
+            let c = Cache::persistent(&dir).unwrap();
+            assert_eq!(c.ledger_get("aa"), None, "must load cold, not serve junk");
+            assert_eq!(c.stats().ledger_records, 0);
+            // And the cold ledger can be refilled + reflushed.
+            c.ledger_put(sample_record("aa", 1), &tel);
+            c.flush_ledger();
+        }
+        let c = Cache::persistent(&dir).unwrap();
+        assert_eq!(c.ledger_get("aa").unwrap().seed, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memory_only_ledger_works_without_a_disk_layer() {
+        let tel = Telemetry::disabled();
+        let c = Cache::in_memory();
+        c.ledger_put(sample_record("aa", 3), &tel);
+        c.flush_ledger(); // no disk: no-op, no panic
+        assert_eq!(c.ledger_get("aa").unwrap().seed, 3);
+        let d = Cache::disabled();
+        d.ledger_put(sample_record("aa", 3), &tel);
+        assert_eq!(d.ledger_get("aa"), None);
+    }
+
+    #[test]
+    fn clear_dir_removes_the_ledger_too() {
+        let dir = tdir("ledger-clear");
+        let tel = Telemetry::disabled();
+        {
+            let c = Cache::persistent(&dir).unwrap();
+            c.ledger_put(sample_record("aa", 1), &tel);
+            c.flush_ledger();
+        }
+        assert!(dir.join(LEDGER_FILE).exists());
+        // Only ledger.json: no artifact was stored, so no manifest.
+        assert_eq!(Cache::clear_dir(&dir).unwrap(), 1);
+        assert!(!dir.join(LEDGER_FILE).exists());
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -332,13 +332,33 @@ pub(crate) fn run_input_impl(
     tel: &Telemetry,
     label: &str,
 ) -> (Exit, RunStats) {
+    let (exit, stats, _) = run_reported(image, input, gas, tel, label);
+    (exit, stats)
+}
+
+/// Runs `image` like [`run`], additionally capturing the deterministic
+/// [`pgsd_emu::CrashReport`] — fault class, faulting pc, register file,
+/// frame-pointer backtrace — when the exit is abnormal (`None` for
+/// clean exits and gas exhaustion). Every abnormal exit also counts a
+/// `crash.reports{class=…}` telemetry event.
+pub fn run_reported(
+    image: &Image,
+    input: &Input,
+    gas: u64,
+    tel: &Telemetry,
+    label: &str,
+) -> (Exit, RunStats, Option<pgsd_emu::CrashReport>) {
     let _span = tel.span("execute");
     let mut emu = load(image);
     apply_pokes(image, &mut emu, input);
     emu.call_entry(image.main_addr, image.exit_addr, &input.args);
     let exit = emu.run(gas);
     record_run(tel, label, &emu.stats);
-    (exit, emu.stats)
+    let report = emu.crash_report(&exit);
+    if let Some(r) = &report {
+        tel.add_labeled("crash.reports", &[("class", r.class.label())], 1);
+    }
+    (exit, emu.stats, report)
 }
 
 /// Records one run's [`RunStats`] as `emu.*` counters labeled

@@ -45,8 +45,8 @@ pub mod shift_pass;
 pub mod subst_pass;
 
 pub use curve::{Curve, Strategy};
-pub use driver::{build, compile_diversified, run, BuildConfig, Input};
+pub use driver::{build, compile_diversified, run, run_reported, BuildConfig, Input};
 pub use nop_pass::{insert_nops, NopReport};
-pub use session::{AuditOutcome, Session};
+pub use session::{variant_id, AuditOutcome, Session, Symbolicated};
 pub use shift_pass::{shift_blocks, ShiftReport};
 pub use subst_pass::{substitute, SubstReport};

@@ -53,8 +53,11 @@
 
 use std::sync::{Arc, Mutex, OnceLock};
 
-use pgsd_analysis::{audit_image, ImageAudit, Severity, SurvivorAuditReport};
-use pgsd_cache::{Cache, Fnv64, Key};
+use pgsd_analysis::{
+    audit_image, check_images_mapped, AddrMap, ImageAudit, Severity, SurvivorAuditReport,
+    Transforms,
+};
+use pgsd_cache::{fnv64, Cache, Fnv64, Key, LedgerRecord};
 use pgsd_cc::driver::{emit_image_with, frontend_with, lower_module_seeded_with};
 use pgsd_cc::emit::Image;
 use pgsd_cc::error::{CompileError, Result};
@@ -205,6 +208,7 @@ pub struct Session {
     config: BuildConfig,
     threads: usize,
     cache: Cache,
+    ledger: bool,
 }
 
 impl std::fmt::Debug for Session {
@@ -232,6 +236,7 @@ impl Session {
             config: BuildConfig::baseline(),
             threads: pgsd_exec::default_threads(),
             cache: Cache::in_memory(),
+            ledger: false,
         }
     }
 
@@ -246,6 +251,7 @@ impl Session {
             config: BuildConfig::baseline(),
             threads: pgsd_exec::default_threads(),
             cache: Cache::in_memory(),
+            ledger: false,
         }
     }
 
@@ -280,6 +286,17 @@ impl Session {
     /// Replaces the artifact cache (in-memory by default).
     pub fn cache(mut self, cache: Cache) -> Session {
         self.cache = cache;
+        self
+    }
+
+    /// Enables the variant provenance ledger (off by default): every
+    /// diversified image produced by [`Session::build`] or
+    /// [`Session::population`] is recorded in the session cache's
+    /// ledger — seed, transform set, pipeline keys, and the compressed
+    /// baseline↔variant address map — making its crashes
+    /// symbolicatable via [`Session::symbolicate`].
+    pub fn ledger(mut self, enabled: bool) -> Session {
+        self.ledger = enabled;
         self
     }
 
@@ -363,7 +380,20 @@ impl Session {
     pub fn build_with(&self, config: &BuildConfig) -> Result<Image> {
         let (module, mkey) = self.resolve()?;
         let profile = self.active_profile();
-        build_cached(module, mkey, profile.as_deref(), config, &self.cache)
+        let image = build_cached(module, mkey, profile.as_deref(), config, &self.cache)?;
+        if self.ledger && is_diversifying(config) {
+            record_ledger(
+                module,
+                mkey,
+                profile.as_deref(),
+                config,
+                &image,
+                &self.cache,
+                &config.telemetry,
+            )?;
+            self.cache.flush_ledger();
+        }
+        Ok(image)
     }
 
     /// Compiles an instrumented build, runs it on each training input
@@ -435,6 +465,25 @@ impl Session {
         run_input_impl(image, input, gas, &self.config.telemetry, label)
     }
 
+    /// Like [`Session::run_image`], additionally capturing the
+    /// deterministic [`pgsd_emu::CrashReport`] for abnormal exits —
+    /// fault class, faulting pc, register snapshot, and frame-pointer
+    /// backtrace — ready to feed to [`Session::symbolicate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a poke names a global the image does not have — a
+    /// workload definition bug.
+    pub fn run_image_reported(
+        &self,
+        image: &Image,
+        input: &Input,
+        gas: u64,
+        label: &str,
+    ) -> (Exit, RunStats, Option<pgsd_emu::CrashReport>) {
+        crate::driver::run_reported(image, input, gas, &self.config.telemetry, label)
+    }
+
     /// Builds a population of `n` diversified versions with seeds
     /// `config.seed .. config.seed + n`, in parallel on the session's
     /// worker count.
@@ -459,23 +508,109 @@ impl Session {
         if !self.config.reg_randomize {
             lowered_cached(module, mkey, None, &self.cache, tel)?;
         }
+        let record = self.ledger && is_diversifying(&self.config);
+        if record {
+            // Pre-warm the shared baseline image so per-job ledger
+            // recording hits the cache identically regardless of which
+            // job would otherwise have built it first.
+            let baseline_config = BuildConfig {
+                telemetry: tel.clone(),
+                ..BuildConfig::baseline()
+            };
+            build_cached(module, mkey, None, &baseline_config, &self.cache)?;
+        }
         let seed_base = self.config.seed;
         let jobs = pgsd_exec::run_jobs(self.threads, n, |i| {
             let child = tel.child();
             let mut config = self.config.clone();
             config.seed = seed_base + i as u64;
             config.telemetry = child.clone();
-            (
-                build_cached(module, mkey, profile.as_deref(), &config, &self.cache),
-                child,
-            )
+            let result = build_cached(module, mkey, profile.as_deref(), &config, &self.cache)
+                .and_then(|image| {
+                    if record {
+                        record_ledger(
+                            module,
+                            mkey,
+                            profile.as_deref(),
+                            &config,
+                            &image,
+                            &self.cache,
+                            &child,
+                        )?;
+                    }
+                    Ok(image)
+                });
+            (result, child)
         });
         let mut images = Vec::with_capacity(n);
         for (result, child) in jobs {
             tel.merge_from(&child);
             images.push(result?);
         }
+        if record {
+            self.cache.flush_ledger();
+        }
         Ok(images)
+    }
+
+    /// Remaps a variant-space crash address to the baseline: looks up
+    /// `variant_id` in the session cache's provenance ledger, decodes
+    /// the stored address map, resolves `fault_addr` to the baseline
+    /// instruction and function, and renders the instruction.
+    ///
+    /// Returns `Ok(None)` — counting `symbolicate.misses` — when the
+    /// variant id is unknown, was ledgered for a different module, its
+    /// stored map is corrupt, or the address falls outside every mapped
+    /// function. A successful remap counts `symbolicate.hits`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates baseline build failures only.
+    pub fn symbolicate(&self, variant_id: &str, fault_addr: u32) -> Result<Option<Symbolicated>> {
+        let (module, mkey) = self.resolve()?;
+        let tel = &self.config.telemetry;
+        let miss = |tel: &Telemetry| {
+            tel.add("symbolicate.misses", 1);
+            Ok(None)
+        };
+        let Some(record) = self.cache.ledger_get(variant_id) else {
+            return miss(tel);
+        };
+        if record.module_key != mkey.hex() {
+            return miss(tel);
+        }
+        let Ok(map) = AddrMap::decode(&record.addr_map) else {
+            return miss(tel);
+        };
+        let Some(loc) = map.variant_to_baseline(fault_addr) else {
+            return miss(tel);
+        };
+        let baseline_config = BuildConfig {
+            telemetry: tel.clone(),
+            ..BuildConfig::baseline()
+        };
+        let baseline = build_cached(module, mkey, None, &baseline_config, &self.cache)?;
+        let inst = match baseline.text.get((loc.addr - baseline.base) as usize..) {
+            Some(window) => match pgsd_x86::decode(window) {
+                Ok(d) => match d.body {
+                    pgsd_x86::Body::Known(i) => format!("{i:?}"),
+                    pgsd_x86::Body::Other(o) => o.name.to_string(),
+                },
+                Err(_) => "<undecodable>".to_string(),
+            },
+            None => "<outside text>".to_string(),
+        };
+        tel.add("symbolicate.hits", 1);
+        Ok(Some(Symbolicated {
+            variant_id: variant_id.to_string(),
+            variant_addr: fault_addr,
+            baseline_addr: loc.addr,
+            function: loc.function,
+            line: None,
+            inst,
+            seed: record.seed,
+            transforms: record.transforms,
+        }))
     }
 
     /// Statically audits a population of `n` diversified versions with
@@ -629,6 +764,141 @@ impl AuditOutcome {
         out.push_str("]}");
         out
     }
+}
+
+/// A variant-space crash address remapped to the baseline build by
+/// [`Session::symbolicate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbolicated {
+    /// The variant's ledger identity (content hash of its text).
+    pub variant_id: String,
+    /// The crash address, in variant address space.
+    pub variant_addr: u32,
+    /// The baseline instruction the crash address maps to.
+    pub baseline_addr: u32,
+    /// Name of the containing function.
+    pub function: String,
+    /// Baseline source line, when the toolchain records one. The MiniC
+    /// pipeline keeps no line table yet, so this is currently always
+    /// `None` — the field pins the schema for when it does.
+    pub line: Option<u32>,
+    /// Rendering of the baseline instruction at `baseline_addr`.
+    pub inst: String,
+    /// Diversification seed the variant was built with.
+    pub seed: u64,
+    /// Transform set the variant was built with.
+    pub transforms: String,
+}
+
+impl Symbolicated {
+    /// Deterministic JSON rendering: fixed field order, hex addresses,
+    /// no floats or timestamps.
+    pub fn to_json(&self) -> String {
+        let line = match self.line {
+            Some(l) => l.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"variant_id\":\"{}\",\"variant_addr\":\"{:#010x}\",\
+             \"baseline_addr\":\"{:#010x}\",\"function\":\"{}\",\"line\":{},\
+             \"inst\":\"{}\",\"seed\":{},\"transforms\":\"{}\"}}",
+            pgsd_analysis::diag::json_escape(&self.variant_id),
+            self.variant_addr,
+            self.baseline_addr,
+            pgsd_analysis::diag::json_escape(&self.function),
+            line,
+            pgsd_analysis::diag::json_escape(&self.inst),
+            self.seed,
+            pgsd_analysis::diag::json_escape(&self.transforms),
+        )
+    }
+}
+
+/// The fleet-wide identity of an image: a content hash of its text
+/// segment, as recorded in the provenance ledger and carried by crash
+/// reports.
+pub fn variant_id(image: &Image) -> String {
+    format!("{:016x}", fnv64(&image.text))
+}
+
+/// Stable `+`-joined label for a transform set, e.g.
+/// `"nop+subst+shift+regrand"`; `"none"` when empty.
+fn transforms_label(t: &Transforms) -> String {
+    let mut parts = Vec::new();
+    if t.nops {
+        parts.push("nop");
+    }
+    if t.subst {
+        parts.push("subst");
+    }
+    if t.shift {
+        parts.push("shift");
+    }
+    if t.regrand {
+        parts.push("regrand");
+    }
+    if t.with_xchg {
+        parts.push("xchg");
+    }
+    if parts.is_empty() {
+        "none".to_string()
+    } else {
+        parts.join("+")
+    }
+}
+
+/// Records one diversified image in the cache's provenance ledger:
+/// builds (or fetches) the shared baseline, reruns the translation
+/// validator to recover the baseline↔variant address map, and stores
+/// the record under the image's content-hash id. A variant that fails
+/// map recovery is a hard error — an unvalidatable variant must not
+/// ship to a fleet that cannot symbolicate it.
+fn record_ledger(
+    module: &Module,
+    mkey: Key,
+    profile: Option<&Profile>,
+    config: &BuildConfig,
+    image: &Image,
+    cache: &Cache,
+    tel: &Telemetry,
+) -> Result<()> {
+    let baseline_config = BuildConfig {
+        telemetry: tel.clone(),
+        ..BuildConfig::baseline()
+    };
+    let baseline = build_cached(module, mkey, None, &baseline_config, cache)?;
+    let t = config.transforms();
+    let map = check_images_mapped(&baseline, image, &t).map_err(|diags| {
+        CompileError::new(format!(
+            "ledger map recovery failed for seed {}: {} finding(s), first: {}",
+            config.seed,
+            diags.len(),
+            diags.first().map_or(String::new(), |d| d.message.clone()),
+        ))
+    })?;
+    let mut pkey = keyer("profile/content");
+    let profile_hex = match profile {
+        Some(p) if is_diversifying(config) => {
+            pkey.write_str(&p.to_text());
+            pkey.key().hex()
+        }
+        _ => String::new(),
+    };
+    let mut ckey = keyer("config");
+    config_fingerprint(&mut ckey, config);
+    cache.ledger_put(
+        LedgerRecord {
+            variant_id: variant_id(image),
+            seed: config.seed,
+            transforms: transforms_label(&t),
+            module_key: mkey.hex(),
+            config: ckey.key().hex(),
+            profile: profile_hex,
+            addr_map: map.1.encode(),
+        },
+        tel,
+    );
+    Ok(())
 }
 
 /// The seed-independent prefix tail: memoized lowering.
@@ -921,6 +1191,101 @@ mod tests {
         assert_eq!(per_variant, a.survivors.counts.total());
         assert!(a.baseline_gadgets > 0);
         assert_eq!(a.error_findings(), 0, "clean builds audit clean");
+    }
+
+    const SRC_DIV: &str = "int main(int n) { return 7 / n; }";
+
+    #[test]
+    fn ledger_symbolicates_variant_crashes_to_the_baseline_instruction() {
+        let tel = Telemetry::enabled();
+        let session = Session::from_source("t", SRC_DIV)
+            .config(
+                BuildConfig::full_diversity(Strategy::uniform(0.5), 5).with_telemetry(tel.clone()),
+            )
+            .ledger(true);
+        let images = session.population(3).unwrap();
+        let baseline = session.build_with(&BuildConfig::baseline()).unwrap();
+        let (bexit, _) = session.run_image(&baseline, &Input::args(&[0]), 1_000_000, "base");
+        let Exit::DivideError { addr: baseline_pc } = bexit else {
+            panic!("baseline should divide by zero: {bexit:?}");
+        };
+        for img in &images {
+            let (exit, _) = session.run_image(img, &Input::args(&[0]), 1_000_000, "var");
+            let Exit::DivideError { addr: pc } = exit else {
+                panic!("variant should divide by zero: {exit:?}");
+            };
+            let sym = session
+                .symbolicate(&variant_id(img), pc)
+                .unwrap()
+                .expect("ledgered variant symbolicates");
+            assert_eq!(sym.baseline_addr, baseline_pc, "remap hits the exact idiv");
+            assert_eq!(sym.function, "main");
+            assert!(sym.inst.contains("Idiv"), "inst was {}", sym.inst);
+            assert_eq!(sym.transforms, "nop+subst+shift+regrand");
+            assert!(sym.to_json().starts_with("{\"variant_id\":\""));
+        }
+        // Unknown variant id: a clean miss, not an error.
+        assert!(session
+            .symbolicate("ffffffffffffffff", 0x1000)
+            .unwrap()
+            .is_none());
+        let snap = tel.snapshot();
+        assert_eq!(snap.counters.get("ledger.records"), Some(&3));
+        assert_eq!(snap.counters.get("symbolicate.hits"), Some(&3));
+        assert_eq!(snap.counters.get("symbolicate.misses"), Some(&1));
+        assert_eq!(
+            snap.counters.get("crash.reports{class=divide_error}"),
+            Some(&4),
+            "baseline + 3 variants all crashed"
+        );
+    }
+
+    #[test]
+    fn corrupt_ledger_map_degrades_to_a_symbolicate_miss() {
+        let session = Session::from_source("t", SRC_DIV)
+            .config(BuildConfig::diversified(Strategy::uniform(0.5), 1))
+            .ledger(true);
+        let image = session.build().unwrap();
+        let id = variant_id(&image);
+        // Overwrite the stored record with a garbage address map.
+        let mut rec = session.cache_handle().ledger_get(&id).unwrap();
+        rec.addr_map = vec![0xde, 0xad];
+        rec.variant_id = "0000000000000bad".into();
+        session
+            .cache_handle()
+            .ledger_put(rec, &Telemetry::disabled());
+        assert!(
+            session
+                .symbolicate("0000000000000bad", image.main_addr)
+                .unwrap()
+                .is_none(),
+            "corrupt map must miss, not panic"
+        );
+        // The intact record still works.
+        assert!(session.symbolicate(&id, image.main_addr).unwrap().is_some());
+    }
+
+    #[test]
+    fn ledger_json_is_thread_count_invariant() {
+        let mk = |threads: usize, tag: &str| {
+            let dir = std::env::temp_dir()
+                .join(format!("pgsd-session-ledger-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let session = Session::from_source("t", SRC_DIV)
+                .config(BuildConfig::diversified(Strategy::uniform(0.5), 40))
+                .cache(Cache::persistent(&dir).unwrap())
+                .ledger(true)
+                .threads(threads);
+            session.population(6).unwrap();
+            let text = std::fs::read_to_string(dir.join(pgsd_cache::LEDGER_FILE)).unwrap();
+            std::fs::remove_dir_all(&dir).unwrap();
+            text
+        };
+        assert_eq!(
+            mk(1, "t1"),
+            mk(4, "t4"),
+            "ledger.json must be byte-identical at any thread count"
+        );
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Crash context capture: a deterministic [`CrashReport`] for every
+//! abnormal exit.
+//!
+//! Fleet operations (ΔBreakpad-style diversified crash reporting) need
+//! more than an [`Exit`] discriminant: to remap a
+//! variant-space crash back to the baseline, the reporter wants the
+//! faulting program counter, the register file at fault time, and a
+//! return-address backtrace. All of that is available in the emulator at
+//! the moment execution stops, and — because the emulator is
+//! deterministic — the whole report is reproducible bit-for-bit, which
+//! lets the fault tests pin exact register values.
+//!
+//! The backtrace walks the frame-pointer chain the compiler always
+//! emits (`push ebp; mov ebp, esp` — see `pgsd-cc`'s frame lowering):
+//! `[ebp]` holds the caller's `ebp` and `[ebp + 4]` the return address.
+//! The walk stops at the first frame whose return address leaves the
+//! text segment, whose saved `ebp` does not grow upward, or whose slots
+//! are unreadable — and is capped at [`MAX_BACKTRACE_FRAMES`] so a
+//! stack-exhaustion crash (tens of thousands of live frames) yields a
+//! bounded report.
+
+use pgsd_x86::Reg;
+
+use crate::exec::{Emulator, Exit};
+use crate::mem::Fault;
+
+/// Upper bound on captured backtrace frames.
+pub const MAX_BACKTRACE_FRAMES: usize = 32;
+
+/// Classification of an abnormal exit, for crash triage and the
+/// `crash.reports{class=…}` telemetry counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CrashClass {
+    /// Access to an address no segment maps.
+    Unmapped,
+    /// Write into the read-only text segment.
+    WriteProtected,
+    /// Instruction fetch from non-executable memory (W⊕X).
+    NotExecutable,
+    /// Bytes that do not decode.
+    InvalidInstruction,
+    /// A decodable instruction outside the emulated subset.
+    Unsupported,
+    /// `idiv` by zero or overflowing quotient.
+    DivideError,
+    /// `int` with an unknown vector or syscall number.
+    BadSyscall,
+    /// `hlt` executed.
+    Halted,
+}
+
+impl CrashClass {
+    /// Every class, in a stable order (report and metrics enumeration).
+    pub const ALL: [CrashClass; 8] = [
+        CrashClass::Unmapped,
+        CrashClass::WriteProtected,
+        CrashClass::NotExecutable,
+        CrashClass::InvalidInstruction,
+        CrashClass::Unsupported,
+        CrashClass::DivideError,
+        CrashClass::BadSyscall,
+        CrashClass::Halted,
+    ];
+
+    /// Stable lowercase label (metrics `class=` value, JSON field).
+    pub fn label(self) -> &'static str {
+        match self {
+            CrashClass::Unmapped => "unmapped",
+            CrashClass::WriteProtected => "write_protected",
+            CrashClass::NotExecutable => "not_executable",
+            CrashClass::InvalidInstruction => "invalid_instruction",
+            CrashClass::Unsupported => "unsupported",
+            CrashClass::DivideError => "divide_error",
+            CrashClass::BadSyscall => "bad_syscall",
+            CrashClass::Halted => "halted",
+        }
+    }
+
+    /// The class of an exit, or `None` for non-crash exits
+    /// (clean exit, out of gas).
+    pub fn of(exit: &Exit) -> Option<CrashClass> {
+        Some(match exit {
+            Exit::Exited(_) | Exit::OutOfGas => return None,
+            Exit::Fault { fault, .. } => match fault {
+                Fault::Unmapped { .. } => CrashClass::Unmapped,
+                Fault::WriteProtected { .. } => CrashClass::WriteProtected,
+                Fault::NotExecutable { .. } => CrashClass::NotExecutable,
+            },
+            Exit::InvalidInstruction { .. } => CrashClass::InvalidInstruction,
+            Exit::Unsupported { .. } => CrashClass::Unsupported,
+            Exit::DivideError { .. } => CrashClass::DivideError,
+            Exit::BadSyscall { .. } => CrashClass::BadSyscall,
+            Exit::Halted { .. } => CrashClass::Halted,
+        })
+    }
+}
+
+impl std::fmt::Display for CrashClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Deterministic crash context for one abnormal exit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashReport {
+    /// What went wrong.
+    pub class: CrashClass,
+    /// Address of the faulting instruction (`eip` at fault time; for a
+    /// fetch fault, the unfetchable address itself).
+    pub pc: u32,
+    /// The offending *data* address for memory faults, `None` otherwise.
+    pub addr: Option<u32>,
+    /// The full register file at fault time, indexed by hardware
+    /// register number ([`Reg::number`]).
+    pub regs: [u32; 8],
+    /// Return addresses recovered from the frame-pointer chain,
+    /// innermost caller first, capped at [`MAX_BACKTRACE_FRAMES`].
+    pub backtrace: Vec<u32>,
+}
+
+impl CrashReport {
+    /// Deterministic JSON rendering: fixed field order, hex addresses,
+    /// no floats or timestamps — byte-identical across runs.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "{{\"class\":\"{}\",\"pc\":\"{:#010x}\",",
+            self.class.label(),
+            self.pc
+        );
+        match self.addr {
+            Some(a) => write!(out, "\"addr\":\"{a:#010x}\",").expect("infallible"),
+            None => out.push_str("\"addr\":null,"),
+        }
+        out.push_str("\"regs\":{");
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(out, "\"{}\":\"{:#010x}\"", r.name(), self.regs[i]).expect("infallible");
+        }
+        out.push_str("},\"backtrace\":[");
+        for (i, ret) in self.backtrace.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(out, "\"{ret:#010x}\"").expect("infallible");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl Emulator {
+    /// Captures a [`CrashReport`] for an abnormal `exit`, or `None` for
+    /// clean exits and gas exhaustion. Pure observation: reads CPU and
+    /// memory state without modifying either, so it can be called any
+    /// time after [`Emulator::run`] returns.
+    pub fn crash_report(&self, exit: &Exit) -> Option<CrashReport> {
+        let class = CrashClass::of(exit)?;
+        let (pc, addr) = match *exit {
+            Exit::Fault { pc, fault } => {
+                let (Fault::Unmapped { addr }
+                | Fault::WriteProtected { addr }
+                | Fault::NotExecutable { addr }) = fault;
+                (pc, Some(addr))
+            }
+            Exit::InvalidInstruction { addr }
+            | Exit::Unsupported { addr, .. }
+            | Exit::DivideError { addr }
+            | Exit::Halted { addr }
+            | Exit::BadSyscall { addr, .. } => (addr, None),
+            Exit::Exited(_) | Exit::OutOfGas => unreachable!("classified as a crash"),
+        };
+        let mut regs = [0u32; 8];
+        for r in Reg::ALL {
+            regs[r.number() as usize] = self.cpu.get(r);
+        }
+        Some(CrashReport {
+            class,
+            pc,
+            addr,
+            regs,
+            backtrace: self.backtrace(),
+        })
+    }
+
+    /// Walks the `ebp` frame chain collecting return addresses,
+    /// innermost caller first. See the module docs for the termination
+    /// rules that keep the walk bounded and deterministic.
+    pub fn backtrace(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut ebp = self.cpu.get(Reg::Ebp);
+        while out.len() < MAX_BACKTRACE_FRAMES {
+            let Ok(ret) = self.mem.read_u32(ebp.wrapping_add(4)) else {
+                break;
+            };
+            if !self.in_text(ret) {
+                break;
+            }
+            out.push(ret);
+            let Ok(next) = self.mem.read_u32(ebp) else {
+                break;
+            };
+            if next <= ebp {
+                break;
+            }
+            ebp = next;
+        }
+        out
+    }
+}

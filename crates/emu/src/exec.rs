@@ -31,7 +31,14 @@ pub enum Exit {
     /// The program exited via the exit syscall.
     Exited(i32),
     /// A memory access or W⊕X fault.
-    Fault(Fault),
+    Fault {
+        /// Address of the faulting instruction. For a fetch fault
+        /// (jumping outside executable memory) this is the unfetchable
+        /// address itself — `eip` at fault time in every case.
+        pc: u32,
+        /// The memory-level fault, carrying the offending data address.
+        fault: Fault,
+    },
     /// Bytes at `addr` do not decode to a valid instruction.
     InvalidInstruction {
         /// Faulting instruction address.
@@ -310,6 +317,12 @@ impl Emulator {
         self.cpu.eip = entry;
     }
 
+    /// Whether `addr` lies inside the text segment (the decode cache
+    /// covers exactly the text bytes).
+    pub(crate) fn in_text(&self, addr: u32) -> bool {
+        (addr.wrapping_sub(self.text_base) as usize) < self.decode_cache.len()
+    }
+
     /// Pushes a 32-bit value.
     ///
     /// # Errors
@@ -357,7 +370,7 @@ impl Emulator {
             None => {
                 let bytes = match self.mem.fetch(addr, 16) {
                     Ok(b) => b,
-                    Err(f) => return Some(Exit::Fault(f)),
+                    Err(f) => return Some(Exit::Fault { pc: addr, fault: f }),
                 };
                 match decode(bytes) {
                     Ok(d) => match d.body {
@@ -394,7 +407,7 @@ impl Emulator {
         match self.exec(addr, &inst) {
             Ok(None) => None,
             Ok(Some(exit)) => Some(exit),
-            Err(f) => Some(Exit::Fault(f)),
+            Err(f) => Some(Exit::Fault { pc: addr, fault: f }),
         }
     }
 
@@ -928,9 +941,12 @@ mod tests {
         e.mem.write_bytes(sp, &[0x90, 0xC3]).unwrap();
         e.cpu.eip = sp;
         let exit = e.run(10);
-        assert!(
-            matches!(exit, Exit::Fault(Fault::NotExecutable { .. })),
-            "{exit:?}"
+        assert_eq!(
+            exit,
+            Exit::Fault {
+                pc: sp,
+                fault: Fault::NotExecutable { addr: sp },
+            }
         );
     }
 

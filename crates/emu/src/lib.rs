@@ -30,10 +30,12 @@
 
 pub mod cost;
 pub mod cpu;
+pub mod crash;
 pub mod exec;
 pub mod mem;
 
 pub use cost::CostModel;
 pub use cpu::{Cpu, Flags};
+pub use crash::{CrashClass, CrashReport, MAX_BACKTRACE_FRAMES};
 pub use exec::{Emulator, Exit, InstClass, RunStats};
 pub use mem::{Fault, Memory};

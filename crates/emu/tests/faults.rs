@@ -5,7 +5,7 @@
 //! executing the same abstract operation — would show up as a spurious
 //! divergence.
 
-use pgsd_emu::{Emulator, Exit, Fault};
+use pgsd_emu::{CrashClass, Emulator, Exit, Fault, MAX_BACKTRACE_FRAMES};
 use pgsd_x86::{assemble, Inst, Mem, Reg};
 
 const TEXT_BASE: u32 = 0x1000;
@@ -86,7 +86,13 @@ fn store_past_the_data_segment_faults_unmapped_at_the_exact_address() {
         0x5555_5555,
     )];
     let exit = run_deterministic(&insts);
-    assert_eq!(exit, Exit::Fault(Fault::Unmapped { addr: oob }));
+    assert_eq!(
+        exit,
+        Exit::Fault {
+            pc: addr_of(&insts, 0),
+            fault: Fault::Unmapped { addr: oob },
+        }
+    );
 }
 
 #[test]
@@ -100,7 +106,13 @@ fn store_into_the_text_segment_is_write_protected() {
         0,
     )];
     let exit = run_deterministic(&insts);
-    assert_eq!(exit, Exit::Fault(Fault::WriteProtected { addr: TEXT_BASE }));
+    assert_eq!(
+        exit,
+        Exit::Fault {
+            pc: addr_of(&insts, 0),
+            fault: Fault::WriteProtected { addr: TEXT_BASE },
+        }
+    );
 }
 
 #[test]
@@ -110,7 +122,15 @@ fn jumping_into_the_data_segment_violates_w_xor_x() {
         Inst::JmpR(Reg::Ecx),
     ];
     let exit = run_deterministic(&insts);
-    assert_eq!(exit, Exit::Fault(Fault::NotExecutable { addr: DATA_BASE }));
+    // A fetch fault's pc is the unfetchable address itself: eip already
+    // left the text segment when the fault is raised.
+    assert_eq!(
+        exit,
+        Exit::Fault {
+            pc: DATA_BASE,
+            fault: Fault::NotExecutable { addr: DATA_BASE },
+        }
+    );
 }
 
 #[test]
@@ -124,10 +144,151 @@ fn unbounded_recursion_exhausts_the_stack_deterministically() {
     let exit = run_deterministic(&[Inst::CallRel(-5)]);
     assert_eq!(
         exit,
-        Exit::Fault(Fault::Unmapped {
-            addr: stack_base - 4
-        })
+        Exit::Fault {
+            pc: TEXT_BASE,
+            fault: Fault::Unmapped {
+                addr: stack_base - 4
+            },
+        }
     );
+}
+
+/// A two-frame program — `main` sets up an `ebp` frame and calls `f`,
+/// which sets up its own frame and stores out of bounds — so the crash
+/// report has a frame chain to walk.
+fn two_frame_oob_store() -> (Vec<Inst>, u32) {
+    let oob = DATA_BASE + DATA_LEN as u32;
+    let insts = vec![
+        // main:
+        Inst::PushR(Reg::Ebp),
+        Inst::MovRR(Reg::Ebp, Reg::Esp),
+        Inst::CallRel(1), // f is directly after the (never-reached) hlt
+        Inst::Hlt,
+        // f:
+        Inst::PushR(Reg::Ebp),
+        Inst::MovRR(Reg::Ebp, Reg::Esp),
+        Inst::MovMI(
+            Mem {
+                base: None,
+                index: None,
+                disp: oob as i32,
+            },
+            0x5555_5555,
+        ),
+    ];
+    (insts, oob)
+}
+
+#[test]
+fn crash_report_pins_class_pc_registers_and_backtrace() {
+    let (insts, oob) = two_frame_oob_store();
+    let text = assemble(&insts).expect("assembles");
+    let mut emu = Emulator::new(TEXT_BASE, text, DATA_BASE, vec![0; DATA_LEN], STACK_TOP);
+    emu.cpu.eip = TEXT_BASE;
+    let exit = emu.run(GAS);
+    let fault_pc = addr_of(&insts, 6);
+    assert_eq!(
+        exit,
+        Exit::Fault {
+            pc: fault_pc,
+            fault: Fault::Unmapped { addr: oob },
+        }
+    );
+    let report = emu.crash_report(&exit).expect("abnormal exit");
+    assert_eq!(report.class, CrashClass::Unmapped);
+    assert_eq!(report.pc, fault_pc);
+    assert_eq!(report.addr, Some(oob));
+    // Frame chain: f's frame links to main's; main's saved ebp is the
+    // initial zero, which ends the walk. The one recovered return
+    // address is the instruction after `call f`.
+    assert_eq!(report.backtrace, vec![addr_of(&insts, 3)]);
+    // Full register snapshot, every value architecturally forced:
+    // esp == ebp == f's frame (three pushes below the start).
+    let frame = STACK_TOP - 12;
+    assert_eq!(
+        report.regs,
+        [0, 0, 0, 0, frame, frame, 0, 0],
+        "eax ecx edx ebx esp ebp esi edi"
+    );
+    // The JSON rendering is deterministic.
+    assert_eq!(report.to_json(), emu.crash_report(&exit).unwrap().to_json());
+    assert!(report.to_json().starts_with("{\"class\":\"unmapped\""));
+}
+
+#[test]
+fn crash_report_backtrace_is_capped_on_stack_exhaustion() {
+    // Build an actual frame-pushing infinite recursion so the chain is
+    // tens of thousands of frames deep: the report must cap the walk.
+    let insts = [
+        // f: push ebp; mov ebp, esp; call f
+        Inst::PushR(Reg::Ebp),
+        Inst::MovRR(Reg::Ebp, Reg::Esp),
+        Inst::CallRel(-8), // back to f
+        // Never reached, but keeps the call's return address inside the
+        // text segment so the frame walk accepts it.
+        Inst::Hlt,
+    ];
+    let text = assemble(&insts).expect("assembles");
+    let mut emu = Emulator::new(TEXT_BASE, text, DATA_BASE, vec![0; DATA_LEN], STACK_TOP);
+    emu.cpu.eip = TEXT_BASE;
+    let exit = emu.run(GAS);
+    assert!(
+        matches!(
+            exit,
+            Exit::Fault {
+                fault: Fault::Unmapped { .. },
+                ..
+            }
+        ),
+        "{exit:?}"
+    );
+    let report = emu.crash_report(&exit).expect("abnormal exit");
+    assert_eq!(report.backtrace.len(), MAX_BACKTRACE_FRAMES);
+    // Every recovered return address is the instruction after the call.
+    let ret = addr_of(&insts, 2) + 5;
+    assert!(report.backtrace.iter().all(|&r| r == ret));
+}
+
+#[test]
+fn crash_report_is_none_for_clean_and_gas_exits() {
+    let text = assemble(&[
+        Inst::MovRI(Reg::Ebx, 0),
+        Inst::MovRI(Reg::Eax, 1),
+        Inst::Int(0x80),
+    ])
+    .expect("assembles");
+    let mut emu = Emulator::new(TEXT_BASE, text, DATA_BASE, vec![0; DATA_LEN], STACK_TOP);
+    emu.cpu.eip = TEXT_BASE;
+    let exit = emu.run(GAS);
+    assert_eq!(exit, Exit::Exited(0));
+    assert!(emu.crash_report(&exit).is_none());
+    assert!(emu.crash_report(&Exit::OutOfGas).is_none());
+}
+
+#[test]
+fn every_fault_class_carries_the_faulting_instruction_address() {
+    // The audit this test pins: all three memory-fault classes (and the
+    // non-memory classes, checked in the tests above) surface the pc of
+    // the instruction that faulted, not just the offending data address.
+    let oob = DATA_BASE + DATA_LEN as u32;
+    let store_oob = [
+        Inst::Nop(pgsd_x86::nop::NopKind::Nop), // shift the pc off TEXT_BASE
+        Inst::MovMI(
+            Mem {
+                base: None,
+                index: None,
+                disp: oob as i32,
+            },
+            1,
+        ),
+    ];
+    match run_deterministic(&store_oob) {
+        Exit::Fault { pc, fault } => {
+            assert_eq!(pc, addr_of(&store_oob, 1));
+            assert_eq!(fault, Fault::Unmapped { addr: oob });
+        }
+        other => panic!("expected fault, got {other:?}"),
+    }
 }
 
 #[test]

@@ -146,15 +146,24 @@ pub fn classify(exit: &Exit, output: &[i32]) -> Outcome {
             status: *status,
             output: out,
         },
-        Exit::Fault(Fault::Unmapped { .. }) => Outcome::Fault {
+        Exit::Fault {
+            fault: Fault::Unmapped { .. },
+            ..
+        } => Outcome::Fault {
             class: "unmapped",
             output: out,
         },
-        Exit::Fault(Fault::WriteProtected { .. }) => Outcome::Fault {
+        Exit::Fault {
+            fault: Fault::WriteProtected { .. },
+            ..
+        } => Outcome::Fault {
             class: "write-protected",
             output: out,
         },
-        Exit::Fault(Fault::NotExecutable { .. }) => Outcome::Fault {
+        Exit::Fault {
+            fault: Fault::NotExecutable { .. },
+            ..
+        } => Outcome::Fault {
             class: "not-executable",
             output: out,
         },

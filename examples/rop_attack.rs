@@ -119,7 +119,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let injected = emu.run(100);
     println!("code injection attempt:   {injected:?}  (W⊕X stops it)");
     assert!(
-        matches!(injected, Exit::Fault(_)),
+        matches!(injected, Exit::Fault { .. }),
         "stack must not be executable"
     );
 

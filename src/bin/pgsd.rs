@@ -5,12 +5,13 @@
 //! pgsd diversify <file.mc> [options] [args…]      diversified build + run
 //! pgsd check <file.mc> [options] [--json]         statically validate a variant
 //! pgsd audit <file.mc | --workload LIST> [opts]   whole-image static audit
+//! pgsd symbolicate <file.mc> <id> <addr>          remap a variant crash address
 //! pgsd gadgets <file.mc> [--seed N] [--pnop SPEC] gadget / Survivor report
 //! pgsd disasm <file.mc> [--func NAME]             disassemble the image
 //! pgsd report <metrics.json>                      summarize a metrics file
 //! pgsd fuzz [options]                             differential variant fuzzing
 //! pgsd bench [--out FILE]                         timed slice → BENCH_pgsd.json
-//! pgsd cache <stats|clear>                        inspect / empty the cache
+//! pgsd cache <stats|clear> [--json]               inspect / empty the cache
 //!
 //! global flags (valid anywhere on the command line):
 //!   --cache-dir DIR  persist compiled artifacts under DIR and reuse them
@@ -162,8 +163,8 @@ fn split_globals(args: &[String]) -> Result<(Globals, Vec<String>), String> {
 fn dispatch(globals: &Globals, args: &[String]) -> Result<(), CliError> {
     let Some(cmd) = args.first() else {
         return Err(
-            "usage: pgsd <run|diversify|check|audit|gadgets|disasm|report|fuzz|bench|cache> \
-             <file> …  (see --help)"
+            "usage: pgsd <run|diversify|check|audit|symbolicate|gadgets|disasm|report|fuzz|\
+             bench|cache> <file> …  (see --help)"
                 .into(),
         );
     };
@@ -177,6 +178,7 @@ fn dispatch(globals: &Globals, args: &[String]) -> Result<(), CliError> {
         "diversify" => cmd_diversify(rest, globals),
         "check" => cmd_check(rest, globals),
         "audit" => cmd_audit(rest, globals),
+        "symbolicate" => cmd_symbolicate(rest, globals),
         "gadgets" => Ok(cmd_gadgets(rest, globals)?),
         "disasm" => Ok(cmd_disasm(rest, globals)?),
         "report" => Ok(cmd_report(rest)?),
@@ -200,13 +202,14 @@ pgsd — profile-guided software diversity toolchain (CGO 2013 reproduction)
   pgsd audit <file.mc | --workload LIST> [--versions N] [--pnop SPEC]
              [--seed N] [--train LIST] [--shift] [--subst] [--regrand]
              [--out FILE] [--trace FILE] [--metrics FILE]
+  pgsd symbolicate <file.mc> <variant-id> <fault-addr>
   pgsd gadgets <file.mc> [--pnop SPEC] [--seed N] [--train LIST]
   pgsd disasm <file.mc> [--func NAME]
   pgsd report <metrics.json>
   pgsd fuzz [--iters N] [--seed N] [--transforms LIST] [--corpus DIR]
             [--variants K] [--replay DIR] [--trace FILE] [--metrics FILE]
   pgsd bench [--out FILE]
-  pgsd cache <stats|clear>
+  pgsd cache <stats|clear> [--json]
 
 Global flags, valid anywhere on the command line (before or after the
 subcommand):
@@ -245,6 +248,16 @@ the boundaries), or dead-bytes (unreachable code, padding or data).
 at any `--threads` value. Exit codes: 0 clean, 1 error-severity findings,
 2 usage or I/O error.
 
+`diversify` also records the variant in the cache's provenance ledger —
+its content-hash identity (printed as `variant id:`), seed, transform
+set, and the baseline↔variant address map recovered by the validator.
+With `--cache-dir` the ledger persists, so a later `pgsd symbolicate
+<file.mc> <variant-id> <fault-addr>` remaps a crash address from that
+variant's address space back to the baseline instruction and prints one
+deterministic JSON document. `<fault-addr>` is hex (`0x8048123`) or
+decimal. Exit codes: 0 symbolicated, 1 unknown variant or unmapped
+address, 2 usage or I/O error.
+
 `--trace` writes Chrome trace_event JSON (open in Perfetto or
 chrome://tracing) spanning every pipeline phase; `--metrics` writes a flat
 JSON document of counters, gauges and histograms (`pgsd report` renders
@@ -270,9 +283,11 @@ schema-versioned metrics document (default `BENCH_pgsd.json` at the repo
 root). The bench passes use private in-memory caches so the cold/warm
 comparison is reproducible regardless of `--cache-dir`.
 
-`cache stats` prints the occupancy of the persistent store and
-`cache clear` empties it (default directory `.pgsd-cache`, or the
-`--cache-dir` value).
+`cache stats` prints the occupancy of the persistent store — artifacts,
+bytes on disk, and provenance-ledger records — and `cache clear` empties
+it (default directory `.pgsd-cache`, or the `--cache-dir` value). With
+`--json`, `cache stats` prints one schema-versioned JSON document with a
+fixed field order instead of prose.
 ";
 
 /// Every subcommand flag the parser understands: name, whether it takes
@@ -646,7 +661,10 @@ fn build_diversified(p: &Parsed, session: &Session, tel: &Telemetry) -> Result<I
 fn cmd_diversify(rest: &[String], g: &Globals) -> Result<(), CliError> {
     let p = parse("diversify", rest)?;
     let tel = telemetry_for(&p);
-    let session = session_for(&p, g, &tel)?;
+    // Every diversified build is recorded in the cache's provenance
+    // ledger, so crashes from the shipped variant stay symbolicatable
+    // (`pgsd symbolicate`); with `--cache-dir` the record persists.
+    let session = session_for(&p, g, &tel)?.ledger(true);
     let result = (|| -> Result<(), CliError> {
         let baseline = session.build().map_err(|e| e.to_string())?;
         let image = build_diversified(&p, &session, &tel)?;
@@ -658,6 +676,7 @@ fn cmd_diversify(rest: &[String], g: &Globals) -> Result<(), CliError> {
             baseline.text.len(),
             image.text.len()
         );
+        println!("variant id: {}", pgsd::core::variant_id(&image));
         println!("— baseline:");
         let base_cycles = report_run(&session, &baseline, &p.run_args, "baseline")?;
         println!("— diversified:");
@@ -751,6 +770,56 @@ fn check_verdict_json(
         pgsd::analysis::DIAG_SCHEMA_VERSION,
         findings_json(findings)
     )
+}
+
+/// `pgsd symbolicate` — remap a variant-space crash address back to the
+/// baseline instruction through the cache's provenance ledger. Prints
+/// one deterministic JSON document; exit 0 on a hit, 1 when the variant
+/// is unknown or the address unmapped, 2 on usage or I/O errors.
+fn cmd_symbolicate(rest: &[String], g: &Globals) -> Result<(), CliError> {
+    let [file, vid, addr] = rest else {
+        return Err(
+            "usage: pgsd symbolicate <file.mc> <variant-id> <fault-addr> \
+                    [--cache-dir DIR]"
+                .into(),
+        );
+    };
+    let source = std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    let fault_addr = parse_addr(addr)?;
+    let session = Session::from_source(file, &source).cache(g.open_cache()?);
+    let sym = session
+        .symbolicate(vid, fault_addr)
+        .map_err(|e| e.to_string())?;
+    match sym {
+        Some(s) => {
+            println!(
+                "{{\"schema_version\":1,\"tool\":\"pgsd-symbolicate\",\"verdict\":\"hit\",\
+                 \"crash\":{}}}",
+                s.to_json()
+            );
+            Ok(())
+        }
+        None => {
+            println!(
+                "{{\"schema_version\":1,\"tool\":\"pgsd-symbolicate\",\"verdict\":\"miss\",\
+                 \"variant_id\":\"{}\",\"fault_addr\":\"{fault_addr:#010x}\"}}",
+                pgsd::analysis::diag::json_escape(vid)
+            );
+            Err(CliError::failed(format!(
+                "no ledger record maps variant `{vid}` address {fault_addr:#010x} — \
+                 unknown variant, corrupt map, or address outside every function"
+            )))
+        }
+    }
+}
+
+/// Parses a crash address: `0x`-prefixed hex or plain decimal.
+fn parse_addr(s: &str) -> Result<u32, String> {
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u32::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|e| format!("bad address `{s}`: {e}"))
 }
 
 /// `pgsd audit` — build a diversified population per target and run the
@@ -938,27 +1007,56 @@ fn cmd_cache(rest: &[String], g: &Globals) -> Result<(), String> {
         .cache_dir
         .clone()
         .unwrap_or_else(|| PathBuf::from(".pgsd-cache"));
-    let action = rest
-        .first()
-        .ok_or("usage: pgsd cache <stats|clear> [--cache-dir DIR]")?;
-    if let Some(extra) = rest.get(1) {
-        return Err(format!("unexpected argument `{extra}`"));
+    let usage = "usage: pgsd cache <stats|clear> [--json] [--cache-dir DIR]";
+    let mut json = false;
+    let mut action: Option<&str> = None;
+    for arg in rest {
+        match arg.as_str() {
+            "--json" => json = true,
+            a if action.is_none() && !a.starts_with("--") => action = Some(a),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
     }
-    match action.as_str() {
+    let action = action.ok_or(usage)?;
+    if json && action != "stats" {
+        return Err("--json only applies to `pgsd cache stats`".into());
+    }
+    match action {
         "stats" => {
-            if !dir.is_dir() {
+            // A missing directory is an empty cache, not an error — the
+            // JSON schema stays identical either way.
+            let stats = if dir.is_dir() {
+                Cache::persistent(&dir)
+                    .map_err(|e| format!("cannot open cache `{}`: {e}", dir.display()))?
+                    .stats()
+            } else {
+                pgsd::cache::CacheStats::default()
+            };
+            if json {
+                // Schema-versioned, fixed field order — golden-test safe.
+                println!(
+                    "{{\"schema_version\":1,\"tool\":\"pgsd-cache\",\"dir\":\"{}\",\
+                     \"disk_entries\":{},\"disk_bytes\":{},\
+                     \"ledger_records\":{},\"ledger_bytes\":{}}}",
+                    pgsd::analysis::diag::json_escape(&dir.display().to_string()),
+                    stats.disk_entries,
+                    stats.disk_bytes,
+                    stats.ledger_records,
+                    stats.ledger_bytes
+                );
+            } else if !dir.is_dir() {
                 println!("cache at {}: empty (no cache directory)", dir.display());
-                return Ok(());
+            } else {
+                println!(
+                    "cache at {}: {} artifact(s), {} bytes on disk, \
+                     {} ledgered variant(s) ({} map bytes)",
+                    dir.display(),
+                    stats.disk_entries,
+                    stats.disk_bytes,
+                    stats.ledger_records,
+                    stats.ledger_bytes
+                );
             }
-            let cache = Cache::persistent(&dir)
-                .map_err(|e| format!("cannot open cache `{}`: {e}", dir.display()))?;
-            let stats = cache.stats();
-            println!(
-                "cache at {}: {} artifact(s), {} bytes on disk",
-                dir.display(),
-                stats.disk_entries,
-                stats.disk_bytes
-            );
             Ok(())
         }
         "clear" => {
@@ -1171,6 +1269,19 @@ fn cmd_bench(rest: &[String], g: &Globals) -> Result<(), CliError> {
     let speedup = serial.wall_ms / parallel.wall_ms;
     let warm_speedup = parallel.wall_ms / warm.wall_ms;
 
+    // Observability throughput: a small ledgered fleet campaign (see
+    // `pgsd_bench::fleet`) — populations built with provenance
+    // recording, every crash symbolicated back to the baseline.
+    eprintln!("fleet slice: 4 configs × 6 ledgered variants, full fault taxonomy");
+    let campaign = pgsd::bench::fleet::run_campaign(6, threads, &Telemetry::enabled());
+    if !campaign.failures.is_empty() {
+        return Err(CliError::failed(format!(
+            "fleet campaign failed to remap {} crash(es), first: {}",
+            campaign.failures.len(),
+            campaign.failures[0]
+        )));
+    }
+
     let sink = pgsd::bench::MetricsSink::new("bench");
     sink.gauge("bench.threads", threads as f64);
     // The speedup only means something relative to the cores actually
@@ -1199,6 +1310,18 @@ fn cmd_bench(rest: &[String], g: &Globals) -> Result<(), CliError> {
     sink.gauge("bench.emulated_mcycles", parallel.cycles as f64 / 1e6);
     sink.count("bench.builds", parallel.builds);
     sink.count("bench.runs", parallel.runs);
+    sink.gauge(
+        "bench.ledger_variants_per_sec",
+        campaign.variants() as f64 / campaign.ledger_secs.max(1e-9),
+    );
+    sink.gauge(
+        "bench.symbolicate_per_sec",
+        campaign.symbolicate_calls as f64 / campaign.symbolicate_secs.max(1e-9),
+    );
+    sink.gauge(
+        "bench.fleet_remap_accuracy_pct",
+        campaign.accuracy_pct() as f64,
+    );
     let path = sink.finish_to(Path::new(&out));
 
     println!(
@@ -1209,6 +1332,15 @@ fn cmd_bench(rest: &[String], g: &Globals) -> Result<(), CliError> {
         parallel.wall_ms,
         warm.wall_ms,
         parallel.cycles as f64 / 1e6
+    );
+    println!(
+        "fleet slice: {}/{} crashes remapped ({}%), {:.0} ledgered variants/s, \
+         {:.0} symbolications/s",
+        campaign.remapped(),
+        campaign.crashes(),
+        campaign.accuracy_pct(),
+        campaign.variants() as f64 / campaign.ledger_secs.max(1e-9),
+        campaign.symbolicate_calls as f64 / campaign.symbolicate_secs.max(1e-9),
     );
     println!("results written to {}", path.display());
     Ok(())

@@ -261,7 +261,7 @@ fn deep_recursion_and_stack_discipline() {
     assert_eq!(exit, Exit::Exited(5000));
     // Blowing the 1 MiB stack faults instead of corrupting memory.
     let (exit, _) = run(&image, &[10_000_000], DEFAULT_GAS);
-    assert!(matches!(exit, Exit::Fault(_)), "{exit:?}");
+    assert!(matches!(exit, Exit::Fault { .. }), "{exit:?}");
 }
 
 #[test]
