@@ -75,11 +75,11 @@ fn main() {
     for w in selected_suite() {
         let name = w.name;
         let p = prepare(w);
-        let (exit, stats) =
-            p.session
-                .run_image(&p.baseline, &p.workload.reference, DEFAULT_GAS, "baseline");
-        let expected = exit.status().expect("baseline runs");
-        let base = stats.cycles as f64;
+        let out = p
+            .session
+            .run(&p.baseline, &p.workload.reference, DEFAULT_GAS, "baseline");
+        let expected = out.status().expect("baseline runs");
+        let base = out.stats.cycles as f64;
         // One job per (curve, seed); the per-curve means below accumulate
         // in the serial (curve, seed) order, so output bytes match the
         // single-threaded run.

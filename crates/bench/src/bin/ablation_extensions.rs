@@ -66,11 +66,11 @@ fn main() {
     for w in selected_suite() {
         let name = w.name;
         let p = prepare(w);
-        let (exit, stats) =
-            p.session
-                .run_image(&p.baseline, &p.workload.reference, DEFAULT_GAS, "baseline");
-        let expected = exit.status().expect("baseline runs");
-        let base_cycles = stats.cycles as f64;
+        let out = p
+            .session
+            .run(&p.baseline, &p.workload.reference, DEFAULT_GAS, "baseline");
+        let expected = out.status().expect("baseline runs");
+        let base_cycles = out.stats.cycles as f64;
         let mut cells = vec![name.to_string()];
         let mut csv_row = vec![name.to_string()];
         // One job per (variant, seed); per-variant means accumulate in

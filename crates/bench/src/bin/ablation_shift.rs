@@ -67,11 +67,11 @@ fn main() {
                 .collect::<Vec<_>>(),
         );
 
-        let (exit, stats) =
-            p.session
-                .run_image(&p.baseline, &p.workload.reference, DEFAULT_GAS, "baseline");
-        let expected = exit.status().expect("baseline runs");
-        let base_cycles = stats.cycles as f64;
+        let out = p
+            .session
+            .run(&p.baseline, &p.workload.reference, DEFAULT_GAS, "baseline");
+        let expected = out.status().expect("baseline runs");
+        let base_cycles = out.stats.cycles as f64;
 
         // One job per (variant, seed), averaged in serial order below so
         // the CSV is identical at any thread count.

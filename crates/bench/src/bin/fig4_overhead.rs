@@ -36,13 +36,13 @@ fn main() {
     for w in selected_suite() {
         let name = w.name;
         let p = prepare(w);
-        let (exit, stats) =
-            p.session
-                .run_image(&p.baseline, &p.workload.reference, DEFAULT_GAS, "baseline");
-        let expected = exit
+        let out = p
+            .session
+            .run(&p.baseline, &p.workload.reference, DEFAULT_GAS, "baseline");
+        let expected = out
             .status()
-            .unwrap_or_else(|| panic!("{name} baseline failed: {exit:?}"));
-        let base_cycles = stats.cycles as f64;
+            .unwrap_or_else(|| panic!("{name} baseline failed: {:?}", out.exit));
+        let base_cycles = out.stats.cycles as f64;
         sink.count("fig4.benchmarks", 1);
         sink.gauge_labeled("fig4.base_cycles", &[("benchmark", name)], base_cycles);
 

@@ -532,12 +532,9 @@ pub fn run_campaign(versions_per_config: usize, threads: usize, tel: &Telemetry)
                     Some(bytes) => patch_main_entry(image, bytes),
                     None => image.clone(),
                 };
-                let (_, _, report) = session.run_image_reported(
-                    &run_image,
-                    &Input::args(&inj.args),
-                    FLEET_GAS,
-                    "fleet",
-                );
+                let report = session
+                    .run(&run_image, &Input::args(&inj.args), FLEET_GAS, "fleet")
+                    .crash;
                 let Some(report) = report else {
                     fail(
                         &mut campaign.failures,

@@ -40,6 +40,7 @@ use pgsd_telemetry::Telemetry;
 use pgsd_workloads::Workload;
 
 pub mod fleet;
+pub mod serve_load;
 
 /// Number of diversified versions per population (paper: 25).
 pub fn versions() -> usize {
@@ -170,12 +171,15 @@ impl Prepared {
     /// Runs an image on the reference input, asserting it matches the
     /// baseline's behaviour, and returns its cycle count.
     pub fn ref_cycles(&self, image: &Image, expected: Option<i32>) -> u64 {
-        let (exit, stats) =
-            self.session
-                .run_image(image, &self.workload.reference, DEFAULT_GAS, "ref");
-        let status = exit
-            .status()
-            .unwrap_or_else(|| panic!("{}: diversified run failed: {exit:?}", self.workload.name));
+        let outcome = self
+            .session
+            .run(image, &self.workload.reference, DEFAULT_GAS, "ref");
+        let status = outcome.status().unwrap_or_else(|| {
+            panic!(
+                "{}: diversified run failed: {:?}",
+                self.workload.name, outcome.exit
+            )
+        });
         if let Some(e) = expected {
             assert_eq!(
                 status, e,
@@ -183,7 +187,7 @@ impl Prepared {
                 self.workload.name
             );
         }
-        stats.cycles
+        outcome.stats.cycles
     }
 }
 

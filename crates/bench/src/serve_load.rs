@@ -1,0 +1,145 @@
+//! Load generator for the `pgsd serve` daemon: N concurrent clients
+//! fetch pinned-seed variants over the framed protocol, every served
+//! artifact is `cmp`'d byte-for-byte against an offline
+//! [`Session::build_with`] of the same configuration, and the
+//! throughput lands in `BENCH_pgsd.json` as
+//! `bench.serve_variants_per_sec{clients=N}`.
+
+use std::thread;
+use std::time::Instant;
+
+use pgsd_cache::artifact::encode_image;
+use pgsd_core::driver::BuildConfig;
+use pgsd_core::{Session, Strategy};
+use pgsd_proto::{DiversifyRequest, Target};
+use pgsd_serve::{client, serve, ServeConfig};
+use pgsd_telemetry::Telemetry;
+
+/// One measured load run against a fresh in-process daemon.
+pub struct LoadResult {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Total variants fetched (all clients).
+    pub variants: usize,
+    /// Wall-clock seconds for the whole fetch phase.
+    pub secs: f64,
+    /// Artifact bytes that crossed the wire.
+    pub bytes_served: u64,
+}
+
+impl LoadResult {
+    /// Variants served per second of wall clock.
+    pub fn variants_per_sec(&self) -> f64 {
+        self.variants as f64 / self.secs.max(1e-9)
+    }
+}
+
+/// Starts a daemon, hammers it with `clients` threads fetching
+/// `per_client` pinned-seed variants of `workload` each, verifies every
+/// served artifact byte-identical to the offline build of the same
+/// seed, and returns the measured throughput.
+///
+/// # Errors
+///
+/// A message when the workload is unknown, the daemon cannot start, a
+/// fetch fails, or any served artifact deviates from the offline bytes.
+pub fn run_load(workload: &str, clients: usize, per_client: usize) -> Result<LoadResult, String> {
+    let w = pgsd_workloads::by_name(workload)
+        .ok_or_else(|| format!("unknown workload `{workload}`"))?;
+    // Seeds are pinned and disjoint per client, offset away from the
+    // server's own assignment sequence.
+    let seed_of = |client: usize, i: usize| 10_000 + (client * per_client + i) as u64;
+    let strategy = Strategy::uniform(0.5);
+
+    // Offline goldens first, outside the timed window: the exact
+    // artifact bytes `Session::build_with` + `encode_image` produce for
+    // each (strategy, seed) the clients will request.
+    let offline = Session::from_source(w.name, &w.source);
+    let mut golden = Vec::with_capacity(clients * per_client);
+    for c in 0..clients {
+        for i in 0..per_client {
+            let config = BuildConfig::diversified(strategy, seed_of(c, i));
+            let image = offline
+                .build_with(&config)
+                .map_err(|e| format!("offline build failed: {e}"))?;
+            golden.push(encode_image(&image));
+        }
+    }
+
+    let handle = serve(
+        "127.0.0.1:0",
+        ServeConfig {
+            telemetry: Telemetry::disabled(),
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| format!("cannot start daemon: {e}"))?;
+    let addr = handle.addr().to_string();
+
+    let started = Instant::now();
+    type ClientPayloads = Result<Vec<(usize, Vec<u8>)>, String>;
+    let fetched: Vec<ClientPayloads> = thread::scope(|scope| {
+        let mut joins = Vec::with_capacity(clients);
+        for c in 0..clients {
+            let addr = &addr;
+            joins.push(scope.spawn(move || {
+                let mut out = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let req = DiversifyRequest {
+                        pnop: Some("0.5".into()),
+                        seed: Some(seed_of(c, i)),
+                        ..DiversifyRequest::new(Target::Workload(w.name.to_owned()))
+                    };
+                    let got = client::fetch(addr, &req)
+                        .map_err(|e| format!("client {c} request {i}: {e}"))?;
+                    out.push((c * per_client + i, got.payload));
+                }
+                Ok(out)
+            }));
+        }
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("client thread panicked"))
+            .collect()
+    });
+    let secs = started.elapsed().as_secs_f64();
+
+    client::shutdown(&addr).map_err(|e| format!("shutdown failed: {e}"))?;
+    handle.join();
+
+    let mut bytes_served = 0u64;
+    let mut variants = 0usize;
+    for per_client_results in fetched {
+        for (idx, payload) in per_client_results? {
+            if payload != golden[idx] {
+                return Err(format!(
+                    "served artifact {idx} deviates from the offline build \
+                     ({} vs {} bytes)",
+                    payload.len(),
+                    golden[idx].len()
+                ));
+            }
+            bytes_served += payload.len() as u64;
+            variants += 1;
+        }
+    }
+    Ok(LoadResult {
+        clients,
+        variants,
+        secs,
+        bytes_served,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_clients_serve_byte_identical_variants() {
+        let r = run_load("470.lbm", 2, 2).unwrap();
+        assert_eq!(r.variants, 4);
+        assert!(r.bytes_served > 0);
+        assert!(r.secs > 0.0);
+    }
+}

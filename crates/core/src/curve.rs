@@ -100,6 +100,37 @@ impl Strategy {
         }
     }
 
+    /// Parses a command-line / wire spec: a single probability
+    /// (`"0.5"` → uniform) or a `min-max` range (`"0.0-0.3"` → the
+    /// profile-guided log curve). Shared by the `pgsd` CLI and the
+    /// serve daemon so both sides accept identical specs.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for unparsable numbers, probabilities
+    /// outside `[0, 1]`, or an inverted range.
+    pub fn parse(spec: &str) -> Result<Strategy, String> {
+        let parse_p = |s: &str| -> Result<f64, String> {
+            let v: f64 = s
+                .parse()
+                .map_err(|e| format!("bad probability `{s}`: {e}"))?;
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("probability {v} outside [0, 1]"));
+            }
+            Ok(v)
+        };
+        match spec.split_once('-') {
+            Some((lo, hi)) => {
+                let (lo, hi) = (parse_p(lo)?, parse_p(hi)?);
+                if lo > hi {
+                    return Err(format!("range {lo}-{hi} is inverted"));
+                }
+                Ok(Strategy::range(lo, hi))
+            }
+            None => Ok(Strategy::uniform(parse_p(spec)?)),
+        }
+    }
+
     /// The five configurations evaluated in the paper's Figure 4 and
     /// Tables 2–3, in presentation order: `50%`, `25–50%`, `10–50%`,
     /// `30%`, `0–30%`.

@@ -37,7 +37,7 @@
 //! .config(config);
 //! session.train(&[Input::args(&[30])], 1_000_000)?; // range strategy needs a profile
 //! let image = session.build()?; // diversified, validated, fully traced
-//! assert!(session.run(&Input::args(&[10]), 1_000_000)?.0.status() == Some(45));
+//! assert!(session.run(&image, &Input::args(&[10]), 1_000_000, "run").status() == Some(45));
 //! # Ok::<(), pgsd_cc::error::CompileError>(())
 //! ```
 //!
@@ -324,7 +324,7 @@ pub fn run(image: &Image, args: &[i32], gas: u64) -> (Exit, RunStats) {
 }
 
 /// Shared run mechanics behind [`run`] and
-/// [`crate::Session::run_image`].
+/// [`crate::Session::run`].
 pub(crate) fn run_input_impl(
     image: &Image,
     input: &Input,

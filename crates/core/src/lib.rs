@@ -29,8 +29,8 @@
 //! let a = session.build_with(&BuildConfig::diversified(Strategy::uniform(0.5), 1))?;
 //! let b = session.build_with(&BuildConfig::diversified(Strategy::uniform(0.5), 2))?;
 //! assert_ne!(a.text, b.text);
-//! assert_eq!(session.run_image(&a, &Input::args(&[21]), 100_000, "a").0.status(), Some(42));
-//! assert_eq!(session.run_image(&b, &Input::args(&[21]), 100_000, "b").0.status(), Some(42));
+//! assert_eq!(session.run(&a, &Input::args(&[21]), 100_000, "a").status(), Some(42));
+//! assert_eq!(session.run(&b, &Input::args(&[21]), 100_000, "b").status(), Some(42));
 //! # Ok::<(), pgsd_cc::error::CompileError>(())
 //! ```
 
@@ -47,6 +47,6 @@ pub mod subst_pass;
 pub use curve::{Curve, Strategy};
 pub use driver::{build, compile_diversified, run, run_reported, BuildConfig, Input};
 pub use nop_pass::{insert_nops, NopReport};
-pub use session::{variant_id, AuditOutcome, Session, Symbolicated};
+pub use session::{variant_id, AuditOutcome, RunOutcome, Session, Symbolicated};
 pub use shift_pass::{shift_blocks, ShiftReport};
 pub use subst_pass::{substitute, SubstReport};

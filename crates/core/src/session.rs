@@ -15,8 +15,8 @@
 //! .config(BuildConfig::diversified(Strategy::range(0.0, 0.5), 7));
 //! session.train(&[Input::args(&[30])], 1_000_000)?;
 //! let image = session.build()?;
-//! let (exit, _stats) = session.run(&Input::args(&[10]), 1_000_000)?;
-//! assert_eq!(exit.status(), Some(45));
+//! let outcome = session.run(&image, &Input::args(&[10]), 1_000_000, "run");
+//! assert_eq!(outcome.status(), Some(45));
 //! # Ok::<(), pgsd_cc::error::CompileError>(())
 //! ```
 //!
@@ -70,8 +70,8 @@ use pgsd_telemetry::Telemetry;
 use pgsd_x86::nop::NopTable;
 
 use crate::driver::{
-    apply_diversity, apply_pokes, is_diversifying, load, require_profile, run_input_impl,
-    validate_pair, BuildConfig, Input,
+    apply_diversity, apply_pokes, is_diversifying, load, require_profile, validate_pair,
+    BuildConfig, Input,
 };
 
 /// Version of the pipeline as far as cache keys are concerned. Folded
@@ -186,6 +186,30 @@ fn verdict_key(image_key: Key) -> Key {
     let mut h = keyer("verdict");
     h.write_u64(image_key.0);
     h.key()
+}
+
+/// Everything one emulator run produces: the exit, the execution
+/// statistics, and — for abnormal exits — the deterministic crash
+/// report ready for [`Session::symbolicate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Why execution stopped.
+    pub exit: Exit,
+    /// Instruction and cycle statistics.
+    pub stats: RunStats,
+    /// Crash context when the exit was abnormal, `None` on a clean
+    /// [`Exit::Exited`].
+    pub crash: Option<pgsd_emu::CrashReport>,
+}
+
+impl RunOutcome {
+    /// The program's exit status when it terminated normally.
+    pub fn status(&self) -> Option<i32> {
+        match self.exit {
+            Exit::Exited(code) => Some(code),
+            _ => None,
+        }
+    }
 }
 
 type ModuleSlot = OnceLock<std::result::Result<(Arc<Module>, Key), CompileError>>;
@@ -443,18 +467,32 @@ impl Session {
     ///
     /// Panics if a poke names a global the image does not have — a
     /// workload definition bug.
-    pub fn run(&self, input: &Input, gas: u64) -> Result<(Exit, RunStats)> {
+    pub fn build_and_run(&self, input: &Input, gas: u64) -> Result<RunOutcome> {
         let image = self.build()?;
-        Ok(self.run_image(&image, input, gas, "run"))
+        Ok(self.run(&image, input, gas, "run"))
     }
 
     /// Runs an already-built image on `input`, recording an `execute`
     /// span and `emu.*{run=label}` counters into the session telemetry.
     ///
+    /// The returned [`RunOutcome`] carries everything a run can
+    /// produce: the exit, the statistics, and — for abnormal exits —
+    /// the deterministic [`pgsd_emu::CrashReport`] (fault class,
+    /// faulting pc, register snapshot, frame-pointer backtrace) ready
+    /// to feed to [`Session::symbolicate`].
+    ///
     /// # Panics
     ///
     /// Panics if a poke names a global the image does not have — a
     /// workload definition bug.
+    pub fn run(&self, image: &Image, input: &Input, gas: u64, label: &str) -> RunOutcome {
+        let (exit, stats, crash) =
+            crate::driver::run_reported(image, input, gas, &self.config.telemetry, label);
+        RunOutcome { exit, stats, crash }
+    }
+
+    /// Runs an already-built image, returning only exit and stats.
+    #[deprecated(since = "0.1.0", note = "use Session::run, which returns a RunOutcome")]
     pub fn run_image(
         &self,
         image: &Image,
@@ -462,18 +500,13 @@ impl Session {
         gas: u64,
         label: &str,
     ) -> (Exit, RunStats) {
-        run_input_impl(image, input, gas, &self.config.telemetry, label)
+        let outcome = self.run(image, input, gas, label);
+        (outcome.exit, outcome.stats)
     }
 
-    /// Like [`Session::run_image`], additionally capturing the
-    /// deterministic [`pgsd_emu::CrashReport`] for abnormal exits —
-    /// fault class, faulting pc, register snapshot, and frame-pointer
-    /// backtrace — ready to feed to [`Session::symbolicate`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if a poke names a global the image does not have — a
-    /// workload definition bug.
+    /// Runs an already-built image, returning exit, stats and crash
+    /// report as a tuple.
+    #[deprecated(since = "0.1.0", note = "use Session::run, which returns a RunOutcome")]
     pub fn run_image_reported(
         &self,
         image: &Image,
@@ -481,7 +514,8 @@ impl Session {
         gas: u64,
         label: &str,
     ) -> (Exit, RunStats, Option<pgsd_emu::CrashReport>) {
-        crate::driver::run_reported(image, input, gas, &self.config.telemetry, label)
+        let outcome = self.run(image, input, gas, label);
+        (outcome.exit, outcome.stats, outcome.crash)
     }
 
     /// Builds a population of `n` diversified versions with seeds
@@ -1086,8 +1120,11 @@ mod tests {
     #[test]
     fn from_source_compiles_lazily_and_runs() {
         let session = Session::from_source("t", SRC);
-        let (exit, _) = session.run(&Input::args(&[10]), 1_000_000).unwrap();
-        assert_eq!(exit, Exit::Exited(55));
+        let outcome = session
+            .build_and_run(&Input::args(&[10]), 1_000_000)
+            .unwrap();
+        assert_eq!(outcome.exit, Exit::Exited(55));
+        assert_eq!(outcome.crash, None);
     }
 
     #[test]
@@ -1205,14 +1242,15 @@ mod tests {
             .ledger(true);
         let images = session.population(3).unwrap();
         let baseline = session.build_with(&BuildConfig::baseline()).unwrap();
-        let (bexit, _) = session.run_image(&baseline, &Input::args(&[0]), 1_000_000, "base");
-        let Exit::DivideError { addr: baseline_pc } = bexit else {
-            panic!("baseline should divide by zero: {bexit:?}");
+        let base = session.run(&baseline, &Input::args(&[0]), 1_000_000, "base");
+        let Exit::DivideError { addr: baseline_pc } = base.exit else {
+            panic!("baseline should divide by zero: {:?}", base.exit);
         };
+        assert!(base.crash.is_some(), "abnormal exit carries a report");
         for img in &images {
-            let (exit, _) = session.run_image(img, &Input::args(&[0]), 1_000_000, "var");
-            let Exit::DivideError { addr: pc } = exit else {
-                panic!("variant should divide by zero: {exit:?}");
+            let outcome = session.run(img, &Input::args(&[0]), 1_000_000, "var");
+            let Exit::DivideError { addr: pc } = outcome.exit else {
+                panic!("variant should divide by zero: {:?}", outcome.exit);
             };
             let sym = session
                 .symbolicate(&variant_id(img), pc)

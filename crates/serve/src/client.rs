@@ -1,0 +1,199 @@
+//! Client helpers for the `pgsd serve` protocol: one connection per
+//! request, typed errors, artifact decoding. Used by the `pgsd fetch`
+//! subcommand, the serve bench, and the integration tests.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use pgsd_cache::artifact::decode_image;
+use pgsd_cc::emit::Image;
+use pgsd_proto::frame::read_frame;
+use pgsd_proto::{
+    write_frame, DiversifyRequest, FrameError, FrameKind, ProtoError, Request, Response,
+    VariantInfo,
+};
+
+/// How long a client waits on any single socket operation.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// What can go wrong talking to the daemon.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting or socket I/O failed.
+    Io(std::io::Error),
+    /// The server's bytes did not frame correctly.
+    Frame(FrameError),
+    /// The response document was malformed, or the server answered
+    /// with an `error`/`busy` response.
+    Proto(ProtoError),
+    /// The image artifact in the binary frame failed its self-check.
+    Decode(String),
+    /// The server refused the request with typed backpressure.
+    Busy {
+        /// Connections queued when the request was refused.
+        queue_depth: u64,
+        /// The server's queue capacity.
+        capacity: u64,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Frame(e) => write!(f, "framing error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Decode(e) => write!(f, "artifact decode error: {e}"),
+            ClientError::Busy {
+                queue_depth,
+                capacity,
+            } => write!(
+                f,
+                "server busy: {queue_depth} queued, capacity {capacity} — retry later"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> ClientError {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> ClientError {
+        ClientError::Proto(e)
+    }
+}
+
+/// A fetched variant: the server's metadata plus the decoded image and
+/// the exact payload bytes as they crossed the wire (for byte-identity
+/// checks and `--out` files).
+#[derive(Debug)]
+pub struct Fetched {
+    /// The server's `variant` response.
+    pub info: VariantInfo,
+    /// The decoded, self-checked image.
+    pub image: Image,
+    /// The raw artifact bytes from the binary frame.
+    pub payload: Vec<u8>,
+}
+
+/// Sends one request over a fresh connection and returns the response,
+/// plus the binary payload when one follows.
+///
+/// # Errors
+///
+/// Typed [`ClientError`] on connection, framing, or protocol failures.
+pub fn request(addr: &str, req: &Request) -> Result<(Response, Option<Vec<u8>>), ClientError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    write_frame(&mut stream, FrameKind::Json, req.to_json().as_bytes())?;
+    stream.flush()?;
+    let frame = read_frame(&mut stream)?;
+    if frame.kind != FrameKind::Json {
+        return Err(ProtoError::bad_request("expected a JSON response frame").into());
+    }
+    let text = String::from_utf8(frame.payload)
+        .map_err(|e| ClientError::Proto(ProtoError::bad_request(e.to_string())))?;
+    let response = Response::from_json(&text)?;
+    let payload = match &response {
+        Response::Variant(info) => {
+            let bin = read_frame(&mut stream)?;
+            if bin.kind != FrameKind::Bin {
+                return Err(ProtoError::bad_request("expected a binary payload frame").into());
+            }
+            if bin.payload.len() as u64 != info.payload_bytes {
+                return Err(ClientError::Decode(format!(
+                    "payload length {} does not match announced {}",
+                    bin.payload.len(),
+                    info.payload_bytes
+                )));
+            }
+            Some(bin.payload)
+        }
+        _ => None,
+    };
+    Ok((response, payload))
+}
+
+/// Fetches one variant, decoding and self-checking the image artifact.
+///
+/// # Errors
+///
+/// Typed [`ClientError`]: `busy` responses become
+/// [`ClientError::Busy`], `error` responses become
+/// [`ClientError::Proto`] with the server's code and message.
+pub fn fetch(addr: &str, req: &DiversifyRequest) -> Result<Fetched, ClientError> {
+    match request(addr, &Request::Diversify(req.clone()))? {
+        (Response::Variant(info), Some(payload)) => {
+            let image = decode_image(&payload).map_err(ClientError::Decode)?;
+            Ok(Fetched {
+                info,
+                image,
+                payload,
+            })
+        }
+        (
+            Response::Busy {
+                queue_depth,
+                capacity,
+            },
+            _,
+        ) => Err(ClientError::Busy {
+            queue_depth,
+            capacity,
+        }),
+        (Response::Error { code, message }, _) => Err(ProtoError::new(code, message).into()),
+        (other, _) => {
+            Err(ProtoError::bad_request(format!("unexpected response: {}", other.to_json())).into())
+        }
+    }
+}
+
+/// Asks the server to drain and stop.
+///
+/// # Errors
+///
+/// Typed [`ClientError`] when the connection fails or the server
+/// answers anything but `ok`.
+pub fn shutdown(addr: &str) -> Result<(), ClientError> {
+    match request(addr, &Request::Shutdown)? {
+        (Response::Ok, _) => Ok(()),
+        (other, _) => {
+            Err(ProtoError::bad_request(format!("unexpected response: {}", other.to_json())).into())
+        }
+    }
+}
+
+/// Probes liveness, returning `(queue_depth, workers)`.
+///
+/// # Errors
+///
+/// Typed [`ClientError`] when the connection fails or the server
+/// answers anything but `health`.
+pub fn health(addr: &str) -> Result<(u64, u64), ClientError> {
+    match request(addr, &Request::Health)? {
+        (
+            Response::Health {
+                queue_depth,
+                workers,
+            },
+            _,
+        ) => Ok((queue_depth, workers)),
+        (other, _) => {
+            Err(ProtoError::bad_request(format!("unexpected response: {}", other.to_json())).into())
+        }
+    }
+}

@@ -908,11 +908,11 @@ mod tests {
         };
         for p in clbg_programs() {
             let (expected, _) = interpret_reference(&p.words, fuel);
-            let (exit, _) = session
-                .run(&p.input(fuel), DEFAULT_GAS)
+            let outcome = session
+                .build_and_run(&p.input(fuel), DEFAULT_GAS)
                 .expect("interpreter compiles");
             assert_eq!(
-                exit.status(),
+                outcome.status(),
                 Some(expected),
                 "VM disagrees with reference on {}",
                 p.name

@@ -843,14 +843,15 @@ mod tests {
         // harnesses.
         for w in spec_suite() {
             let session = Session::from_source(w.name, &w.source);
-            let (exit, stats) = session.run(&w.train[0], DEFAULT_GAS).unwrap();
+            let out = session.build_and_run(&w.train[0], DEFAULT_GAS).unwrap();
             assert!(
-                exit.status().is_some(),
-                "{} did not exit cleanly on {:?}: {exit:?}",
+                out.status().is_some(),
+                "{} did not exit cleanly on {:?}: {:?}",
                 w.name,
-                w.train[0].args
+                w.train[0].args,
+                out.exit
             );
-            assert!(stats.instructions > 1_000, "{} trivially short", w.name);
+            assert!(out.stats.instructions > 1_000, "{} trivially short", w.name);
         }
     }
 
@@ -889,10 +890,10 @@ mod tests {
         for (name, status, instructions) in GOLDEN {
             let w = by_name(name).expect("workload exists");
             let session = Session::from_source(w.name, &w.source);
-            let (exit, stats) = session.run(&w.reference, DEFAULT_GAS).unwrap();
-            assert_eq!(exit.status(), Some(*status), "{name} exit status drifted");
+            let out = session.build_and_run(&w.reference, DEFAULT_GAS).unwrap();
+            assert_eq!(out.status(), Some(*status), "{name} exit status drifted");
             assert_eq!(
-                stats.instructions, *instructions,
+                out.stats.instructions, *instructions,
                 "{name} instruction count drifted"
             );
         }
@@ -906,9 +907,13 @@ mod tests {
     fn ref_runs_are_heavier_than_train() {
         for w in spec_suite() {
             let session = Session::from_source(w.name, &w.source);
-            let (re, ref_stats) = session.run(&w.reference, DEFAULT_GAS).unwrap();
+            let reference = session.build_and_run(&w.reference, DEFAULT_GAS).unwrap();
+            let (re, ref_stats) = (reference.exit, reference.stats);
             assert!(re.status().is_some(), "{}: {re:?}", w.name);
-            let (_, train_stats) = session.run(&w.train[0], DEFAULT_GAS).unwrap();
+            let train_stats = session
+                .build_and_run(&w.train[0], DEFAULT_GAS)
+                .unwrap()
+                .stats;
             // The paper's train inputs are smaller than ref but the ratio
             // varies per benchmark (456.hmmer trains long so its x_max
             // stays the suite's largest, as in §3.1).

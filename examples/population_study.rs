@@ -48,10 +48,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Sanity: all versions still interpret bytecode correctly.
     let fasta = clbg_by_name("fasta").expect("fasta exists");
     let input = fasta.input(200_000);
-    let (base_exit, _) = session.run_image(&baseline, &input, DEFAULT_GAS, "baseline");
+    let base_status = session
+        .run(&baseline, &input, DEFAULT_GAS, "baseline")
+        .status();
     for (i, img) in images.iter().enumerate() {
-        let (exit, _) = session.run_image(img, &input, DEFAULT_GAS, "variant");
-        assert_eq!(exit.status(), base_exit.status(), "version {i} diverged");
+        let outcome = session.run(img, &input, DEFAULT_GAS, "variant");
+        assert_eq!(outcome.status(), base_status, "version {i} diverged");
     }
     println!("\nall {n} versions agree with the baseline on the fasta benchmark");
 

@@ -98,8 +98,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Stage 4: measure what profile guidance buys on the reference input.
     let baseline = session.build()?;
     let input = Input::args(&[200_000]);
-    let (exit, base_stats) = session.run_image(&baseline, &input, DEFAULT_GAS, "baseline");
-    let expected = exit.status().expect("baseline runs");
+    let base = session.run(&baseline, &input, DEFAULT_GAS, "baseline");
+    let (expected, base_stats) = (base.status().expect("baseline runs"), base.stats);
     let report = |label: &str, strat: Strategy, profiled: bool| {
         let cfg = BuildConfig::diversified(strat, 42);
         let image = if profiled {
@@ -110,12 +110,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .build_with(&cfg)
                 .expect("builds")
         };
-        let (e, s) = session.run_image(&image, &input, DEFAULT_GAS, label);
-        assert_eq!(e.status(), Some(expected));
+        let out = session.run(&image, &input, DEFAULT_GAS, label);
+        assert_eq!(out.status(), Some(expected));
         println!(
             "  {label:<22} {:>8} cycles  ({:+.2}%)",
-            s.cycles,
-            (s.cycles as f64 / base_stats.cycles as f64 - 1.0) * 100.0
+            out.stats.cycles,
+            (out.stats.cycles as f64 / base_stats.cycles as f64 - 1.0) * 100.0
         );
     };
     println!(

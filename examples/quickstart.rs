@@ -44,9 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Baseline build and run.
     let baseline = session.build()?;
     let input = Input::args(&[10_000]);
-    let (exit, stats) = session.run_image(&baseline, &input, DEFAULT_GAS, "baseline");
-    let expected = exit.status().expect("baseline exits cleanly");
-    println!("baseline: result {expected}, {} cycles", stats.cycles);
+    let base = session.run(&baseline, &input, DEFAULT_GAS, "baseline");
+    let expected = base.status().expect("baseline exits cleanly");
+    println!("baseline: result {expected}, {} cycles", base.stats.cycles);
 
     // 3. Profile-guided diversification: train on a smaller input, then
     //    build two versions with different seeds.
@@ -56,15 +56,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let v2 = session.build_with(&BuildConfig::diversified(strategy, 2))?;
 
     // 4. Semantics preserved, bytes diversified.
-    let (e1, s1) = session.run_image(&v1, &input, DEFAULT_GAS, "v1");
-    let (e2, s2) = session.run_image(&v2, &input, DEFAULT_GAS, "v2");
-    assert_eq!(e1.status(), Some(expected));
-    assert_eq!(e2.status(), Some(expected));
+    let o1 = session.run(&v1, &input, DEFAULT_GAS, "v1");
+    let o2 = session.run(&v2, &input, DEFAULT_GAS, "v2");
+    assert_eq!(o1.status(), Some(expected));
+    assert_eq!(o2.status(), Some(expected));
     assert_ne!(v1.text, v2.text, "two seeds must give different code");
     println!(
         "diversified: both versions return {expected}; overheads {:+.2}% and {:+.2}%",
-        (s1.cycles as f64 / stats.cycles as f64 - 1.0) * 100.0,
-        (s2.cycles as f64 / stats.cycles as f64 - 1.0) * 100.0,
+        (o1.stats.cycles as f64 / base.stats.cycles as f64 - 1.0) * 100.0,
+        (o2.stats.cycles as f64 / base.stats.cycles as f64 - 1.0) * 100.0,
     );
 
     // 5. Security: how many ROP gadgets survive at their original offsets?

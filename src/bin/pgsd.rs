@@ -12,6 +12,8 @@
 //! pgsd fuzz [options]                             differential variant fuzzing
 //! pgsd bench [--out FILE]                         timed slice → BENCH_pgsd.json
 //! pgsd cache <stats|clear> [--json]               inspect / empty the cache
+//! pgsd serve [--addr HOST:PORT] [--queue N]       variant-distribution daemon
+//! pgsd fetch <file.mc | --workload NAME> --addr … fetch a variant from a daemon
 //!
 //! global flags (valid anywhere on the command line):
 //!   --cache-dir DIR  persist compiled artifacts under DIR and reuse them
@@ -36,7 +38,11 @@
 //!
 //! Diagnostics go to stderr. Exit codes are stable: `0` success, `1` the
 //! checked property failed (divcheck findings, audit error findings, fuzz
-//! divergences, abnormal program exit), `2` usage or I/O error.
+//! divergences, abnormal program exit, a `busy`/failed serve response),
+//! `2` usage or I/O error. With `--json`, the commands that support it
+//! (`run`, `diversify`, `check`, `fuzz`, `fetch`) print exactly one
+//! schema-versioned envelope document on stdout and nothing else, so
+//! `pgsd … --json | python -m json.tool` always parses.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -49,6 +55,9 @@ use pgsd::core::{Session, Strategy};
 use pgsd::fuzz::diff::TransformSet;
 use pgsd::fuzz::{fuzz, replay, FuzzConfig};
 use pgsd::gadget::{find_gadgets, survivor, ScanConfig};
+use pgsd::proto::{DiversifyRequest, Envelope, ErrorCode, Response, Target, VariantInfo};
+use pgsd::serve::client::ClientError;
+use pgsd::serve::{install_signal_handlers, serve, ServeConfig};
 use pgsd::telemetry::{MetricsDoc, Telemetry};
 use pgsd::x86::decode;
 use pgsd::x86::nop::NopTable;
@@ -164,7 +173,7 @@ fn dispatch(globals: &Globals, args: &[String]) -> Result<(), CliError> {
     let Some(cmd) = args.first() else {
         return Err(
             "usage: pgsd <run|diversify|check|audit|symbolicate|gadgets|disasm|report|fuzz|\
-             bench|cache> <file> …  (see --help)"
+             bench|cache|serve|fetch> <file> …  (see --help)"
                 .into(),
         );
     };
@@ -185,6 +194,8 @@ fn dispatch(globals: &Globals, args: &[String]) -> Result<(), CliError> {
         "fuzz" => cmd_fuzz(rest, globals),
         "bench" => cmd_bench(rest, globals),
         "cache" => Ok(cmd_cache(rest, globals)?),
+        "serve" => cmd_serve(rest, globals),
+        "fetch" => cmd_fetch(rest, globals),
         other => Err(format!("unknown command `{other}` (try --help)").into()),
     }
 }
@@ -192,9 +203,10 @@ fn dispatch(globals: &Globals, args: &[String]) -> Result<(), CliError> {
 const HELP: &str = "\
 pgsd — profile-guided software diversity toolchain (CGO 2013 reproduction)
 
-  pgsd run <file.mc> [--trace FILE] [--metrics FILE] [args…]
+  pgsd run <file.mc> [--json] [--trace FILE] [--metrics FILE] [args…]
   pgsd diversify <file.mc> [--pnop SPEC] [--seed N] [--train LIST]
                            [--shift] [--subst] [--regrand] [--validate]
+                           [--json] [--out FILE]
                            [--trace FILE] [--metrics FILE] [args…]
   pgsd check <file.mc> [--pnop SPEC] [--seed N] [--train LIST]
                        [--shift] [--subst] [--regrand] [--json]
@@ -207,9 +219,14 @@ pgsd — profile-guided software diversity toolchain (CGO 2013 reproduction)
   pgsd disasm <file.mc> [--func NAME]
   pgsd report <metrics.json>
   pgsd fuzz [--iters N] [--seed N] [--transforms LIST] [--corpus DIR]
-            [--variants K] [--replay DIR] [--trace FILE] [--metrics FILE]
+            [--variants K] [--replay DIR] [--json]
+            [--trace FILE] [--metrics FILE]
   pgsd bench [--out FILE]
   pgsd cache <stats|clear> [--json]
+  pgsd serve [--addr HOST:PORT] [--queue N] [--seed-start N]
+  pgsd fetch <file.mc | --workload NAME> --addr HOST:PORT
+             [--pnop SPEC] [--seed N] [--train LIST] [--shift] [--subst]
+             [--regrand] [--validate] [--json] [--out FILE]
 
 Global flags, valid anywhere on the command line (before or after the
 subcommand):
@@ -288,6 +305,33 @@ bytes on disk, and provenance-ledger records — and `cache clear` empties
 it (default directory `.pgsd-cache`, or the `--cache-dir` value). With
 `--json`, `cache stats` prints one schema-versioned JSON document with a
 fixed field order instead of prose.
+
+`serve` runs a variant-distribution daemon: it binds `--addr` (default
+127.0.0.1:7340), prints the bound address, and answers framed protocol
+requests — each diversify request compiles (or serves from the shared
+warm cache) one variant, ledgers its provenance, and streams back the
+image artifact. Seeds not pinned by the client are assigned from a
+fresh sequence starting at `--seed-start` (default 1). The request
+queue is bounded at `--queue` connections (default 32); beyond it
+clients get a typed `busy` response instead of a hang. A plain HTTP GET
+of `/healthz` or `/metrics` on the same port answers liveness and live
+telemetry. SIGINT/SIGTERM (or a protocol `shutdown` request) drains the
+queue and exits 0. `--cache-dir` and `--threads` apply.
+
+`fetch` is the matching client: it sends one diversify request for a
+source file or a `--workload` name to a running daemon at `--addr`,
+verifies the returned artifact's self-check, and prints the variant's
+identity and provenance (the server's envelope verbatim with `--json`).
+`--out FILE` writes the image artifact bytes for later `cmp`-style
+byte-identity checks. Exit codes: 0 variant fetched, 1 the server
+refused (busy) or failed the request, 2 usage, connection or framing
+errors.
+
+JSON envelopes and exit codes, uniformly: every `--json` output and
+every serve response is a single schema-versioned document that starts
+`{\"schema_version\":1,\"tool\":\"pgsd-<cmd>\",\"verdict\":…}` and is printed
+to stdout with no other stdout output around it. Exit codes everywhere:
+0 success, 1 the checked property failed, 2 usage or I/O error.
 ";
 
 /// Every subcommand flag the parser understands: name, whether it takes
@@ -295,18 +339,34 @@ fixed field order instead of prose.
 /// (`--cache-dir`, `--threads`) are extracted before dispatch and are
 /// deliberately absent here.
 const FLAGS: &[(&str, bool, &[&str])] = &[
-    ("--pnop", true, &["diversify", "check", "gadgets", "audit"]),
+    (
+        "--pnop",
+        true,
+        &["diversify", "check", "gadgets", "audit", "fetch"],
+    ),
     (
         "--seed",
         true,
-        &["diversify", "check", "gadgets", "fuzz", "audit"],
+        &["diversify", "check", "gadgets", "fuzz", "audit", "fetch"],
     ),
-    ("--train", true, &["diversify", "check", "gadgets", "audit"]),
-    ("--shift", false, &["diversify", "check", "audit"]),
-    ("--subst", false, &["diversify", "check", "audit"]),
-    ("--regrand", false, &["diversify", "check", "audit"]),
-    ("--validate", false, &["diversify"]),
-    ("--json", false, &["check"]),
+    (
+        "--train",
+        true,
+        &["diversify", "check", "gadgets", "audit", "fetch"],
+    ),
+    ("--shift", false, &["diversify", "check", "audit", "fetch"]),
+    ("--subst", false, &["diversify", "check", "audit", "fetch"]),
+    (
+        "--regrand",
+        false,
+        &["diversify", "check", "audit", "fetch"],
+    ),
+    ("--validate", false, &["diversify", "fetch"]),
+    (
+        "--json",
+        false,
+        &["run", "diversify", "check", "fuzz", "fetch"],
+    ),
     (
         "--trace",
         true,
@@ -323,9 +383,12 @@ const FLAGS: &[(&str, bool, &[&str])] = &[
     ("--corpus", true, &["fuzz"]),
     ("--variants", true, &["fuzz"]),
     ("--replay", true, &["fuzz"]),
-    ("--out", true, &["bench", "audit"]),
-    ("--workload", true, &["audit"]),
+    ("--out", true, &["bench", "audit", "diversify", "fetch"]),
+    ("--workload", true, &["audit", "fetch"]),
     ("--versions", true, &["audit"]),
+    ("--addr", true, &["serve", "fetch"]),
+    ("--queue", true, &["serve"]),
+    ("--seed-start", true, &["serve"]),
 ];
 
 fn allowed_flags(cmd: &str) -> Vec<&'static str> {
@@ -387,7 +450,12 @@ struct Parsed {
     source: String,
     run_args: Vec<i32>,
     pnop: Strategy,
+    /// The raw `--pnop` spec, for passing through to a serve daemon.
+    pnop_spec: Option<String>,
     seed: u64,
+    /// `Some` only when `--seed` was given (fetch: pin vs. let the
+    /// server assign).
+    seed_opt: Option<u64>,
     train_args: Option<Vec<i32>>,
     shift: bool,
     subst: bool,
@@ -400,14 +468,18 @@ struct Parsed {
     func: Option<String>,
     trace: Option<String>,
     metrics: Option<String>,
+    addr: Option<String>,
+    queue: Option<usize>,
+    seed_start: Option<u64>,
 }
 
 fn parse(cmd: &str, rest: &[String]) -> Result<Parsed, String> {
     let allowed = allowed_flags(cmd);
-    // Every command here takes a source file, except `audit`, which may
-    // instead name workloads via `--workload`.
+    // Every command here takes a source file, except `audit` and
+    // `fetch`, which may instead name workloads via `--workload`, and
+    // `serve`, which takes none.
     let has_file = rest.first().is_some_and(|a| !a.starts_with("--"));
-    if !has_file && cmd != "audit" {
+    if !has_file && !matches!(cmd, "audit" | "fetch" | "serve") {
         return Err("missing source file".into());
     }
     let (source_name, source, flags) = if has_file {
@@ -423,7 +495,9 @@ fn parse(cmd: &str, rest: &[String]) -> Result<Parsed, String> {
         source,
         run_args: Vec::new(),
         pnop: Strategy::range(0.0, 0.30),
+        pnop_spec: None,
         seed: 1,
+        seed_opt: None,
         train_args: None,
         shift: false,
         subst: false,
@@ -436,6 +510,9 @@ fn parse(cmd: &str, rest: &[String]) -> Result<Parsed, String> {
         func: None,
         trace: None,
         metrics: None,
+        addr: None,
+        queue: None,
+        seed_start: None,
     };
     let mut it = flags.iter();
     while let Some(arg) = it.next() {
@@ -447,6 +524,7 @@ fn parse(cmd: &str, rest: &[String]) -> Result<Parsed, String> {
             "--pnop" => {
                 let spec = it.next().ok_or("--pnop needs a value")?;
                 parsed.pnop = parse_strategy(spec)?;
+                parsed.pnop_spec = Some(spec.clone());
             }
             "--seed" => {
                 parsed.seed = it
@@ -454,6 +532,7 @@ fn parse(cmd: &str, rest: &[String]) -> Result<Parsed, String> {
                     .ok_or("--seed needs a value")?
                     .parse()
                     .map_err(|e| format!("bad seed: {e}"))?;
+                parsed.seed_opt = Some(parsed.seed);
             }
             "--train" => {
                 let list = it.next().ok_or("--train needs a value")?;
@@ -481,6 +560,23 @@ fn parse(cmd: &str, rest: &[String]) -> Result<Parsed, String> {
                 }
             }
             "--out" => parsed.out = Some(it.next().ok_or("--out needs a value")?.clone()),
+            "--addr" => parsed.addr = Some(it.next().ok_or("--addr needs a value")?.clone()),
+            "--queue" => {
+                parsed.queue = Some(
+                    it.next()
+                        .ok_or("--queue needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad queue capacity: {e}"))?,
+                );
+            }
+            "--seed-start" => {
+                parsed.seed_start = Some(
+                    it.next()
+                        .ok_or("--seed-start needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad seed-start: {e}"))?,
+                );
+            }
             "--func" => parsed.func = Some(it.next().ok_or("--func needs a value")?.clone()),
             "--trace" => parsed.trace = Some(it.next().ok_or("--trace needs a value")?.clone()),
             "--metrics" => {
@@ -503,25 +599,7 @@ fn parse(cmd: &str, rest: &[String]) -> Result<Parsed, String> {
 }
 
 fn parse_strategy(spec: &str) -> Result<Strategy, String> {
-    let parse_p = |s: &str| -> Result<f64, String> {
-        let v: f64 = s
-            .parse()
-            .map_err(|e| format!("bad probability `{s}`: {e}"))?;
-        if !(0.0..=1.0).contains(&v) {
-            return Err(format!("probability {v} outside [0, 1]"));
-        }
-        Ok(v)
-    };
-    match spec.split_once('-') {
-        Some((lo, hi)) => {
-            let (lo, hi) = (parse_p(lo)?, parse_p(hi)?);
-            if lo > hi {
-                return Err(format!("range {lo}-{hi} is inverted"));
-            }
-            Ok(Strategy::range(lo, hi))
-        }
-        None => Ok(Strategy::uniform(parse_p(spec)?)),
-    }
+    Strategy::parse(spec)
 }
 
 fn parse_ints(list: &str) -> Result<Vec<i32>, String> {
@@ -595,11 +673,12 @@ fn report_run(
     args: &[i32],
     label: &str,
 ) -> Result<u64, CliError> {
-    let (exit, stats) = session.run_image(image, &Input::args(args), DEFAULT_GAS, label);
+    let outcome = session.run(image, &Input::args(args), DEFAULT_GAS, label);
+    let stats = &outcome.stats;
     for v in &stats.output {
         println!("{v}");
     }
-    match exit.status() {
+    match outcome.status() {
         Some(s) => {
             println!(
                 "exit {s}   ({} instructions, {} cycles, {} d-cache misses)",
@@ -607,8 +686,30 @@ fn report_run(
             );
             Ok(stats.cycles)
         }
-        None => Err(CliError::failed(format!("abnormal exit: {exit:?}"))),
+        None => Err(CliError::failed(format!(
+            "abnormal exit: {:?}",
+            outcome.exit
+        ))),
     }
+}
+
+/// The `pgsd run --json` / `pgsd diversify --json` per-run fragment:
+/// the exit verdict plus the counters the human output reports.
+fn run_json(outcome: &pgsd::core::RunOutcome) -> String {
+    let stats = &outcome.stats;
+    let output: Vec<String> = stats.output.iter().map(ToString::to_string).collect();
+    let exit = match outcome.status() {
+        Some(s) => s.to_string(),
+        None => pgsd::proto::json_string(&format!("{:?}", outcome.exit)),
+    };
+    format!(
+        "{{\"exit\":{exit},\"instructions\":{},\"cycles\":{},\
+         \"dcache_misses\":{},\"output\":[{}]}}",
+        stats.instructions,
+        stats.cycles,
+        stats.dcache_misses,
+        output.join(",")
+    )
 }
 
 fn cmd_run(rest: &[String], g: &Globals) -> Result<(), CliError> {
@@ -617,6 +718,27 @@ fn cmd_run(rest: &[String], g: &Globals) -> Result<(), CliError> {
     let session = session_for(&p, g, &tel)?;
     let result = (|| -> Result<(), CliError> {
         let image = session.build().map_err(|e| e.to_string())?;
+        if p.json {
+            let outcome = session.run(&image, &Input::args(&p.run_args), DEFAULT_GAS, "run");
+            let ok = outcome.status().is_some();
+            println!(
+                "{}",
+                Envelope::new("pgsd-run", if ok { "ok" } else { "abnormal" })
+                    .str("source", &p.source_name)
+                    .u64("text_bytes", image.text.len() as u64)
+                    .u64("functions", image.funcs.len() as u64)
+                    .raw("run", run_json(&outcome))
+                    .to_json()
+            );
+            return if ok {
+                Ok(())
+            } else {
+                Err(CliError::failed(format!(
+                    "abnormal exit: {:?}",
+                    outcome.exit
+                )))
+            };
+        }
         println!(
             "compiled `{}`: {} bytes of text, {} functions",
             p.source_name,
@@ -668,6 +790,48 @@ fn cmd_diversify(rest: &[String], g: &Globals) -> Result<(), CliError> {
     let result = (|| -> Result<(), CliError> {
         let baseline = session.build().map_err(|e| e.to_string())?;
         let image = build_diversified(&p, &session, &tel)?;
+        if let Some(out) = &p.out {
+            let artifact = pgsd::cache::artifact::encode_image(&image);
+            std::fs::write(out, &artifact)
+                .map_err(|e| format!("cannot write artifact `{out}`: {e}"))?;
+            eprintln!("image artifact written to {out} ({} bytes)", artifact.len());
+        }
+        if p.json {
+            let base = session.run(
+                &baseline,
+                &Input::args(&p.run_args),
+                DEFAULT_GAS,
+                "baseline",
+            );
+            let div = session.run(
+                &image,
+                &Input::args(&p.run_args),
+                DEFAULT_GAS,
+                "diversified",
+            );
+            let ok = base.status().is_some() && div.status().is_some();
+            let mut env = Envelope::new("pgsd-diversify", if ok { "ok" } else { "abnormal" })
+                .str("source", &p.source_name)
+                .str("variant_id", &pgsd::core::variant_id(&image))
+                .u64("seed", p.seed)
+                .str("strategy", &p.pnop.to_string())
+                .str("transforms", &transform_label(&p))
+                .u64("baseline_text_bytes", baseline.text.len() as u64)
+                .u64("text_bytes", image.text.len() as u64)
+                .raw("baseline", run_json(&base))
+                .raw("diversified", run_json(&div));
+            if ok && base.stats.cycles > 0 {
+                let overhead = (div.stats.cycles as f64 / base.stats.cycles as f64 - 1.0) * 100.0;
+                tel.set_gauge("run.overhead_pct", overhead);
+                env = env.raw("overhead_pct", format!("{overhead:.2}"));
+            }
+            println!("{}", env.to_json());
+            return if ok {
+                Ok(())
+            } else {
+                Err(CliError::failed("abnormal exit (see JSON envelope)"))
+            };
+        }
         println!(
             "diversified `{}` with {} (seed {}): text {} → {} bytes",
             p.source_name,
@@ -691,6 +855,22 @@ fn cmd_diversify(rest: &[String], g: &Globals) -> Result<(), CliError> {
     record_cache_gauges(&session, &tel);
     write_telemetry(&p, &tel)?;
     result
+}
+
+/// Stable `+`-joined transform-set label for the parsed flags, matching
+/// the provenance ledger's labels (NOP insertion is always on).
+fn transform_label(p: &Parsed) -> String {
+    let mut parts = vec!["nop"];
+    if p.subst {
+        parts.push("subst");
+    }
+    if p.shift {
+        parts.push("shift");
+    }
+    if p.regrand {
+        parts.push("regrand");
+    }
+    parts.join("+")
 }
 
 fn cmd_check(rest: &[String], g: &Globals) -> Result<(), CliError> {
@@ -747,8 +927,9 @@ fn cmd_check(rest: &[String], g: &Globals) -> Result<(), CliError> {
     result
 }
 
-/// The `pgsd check --json` verdict document: schema-versioned, fixed key
-/// order, findings in canonical order — deterministic for golden tests.
+/// The `pgsd check --json` verdict document: the shared envelope with
+/// fixed key order and findings in canonical order — deterministic for
+/// golden tests (byte-identical to the pre-envelope format).
 fn check_verdict_json(
     verdict: &str,
     report: Option<&pgsd::analysis::CheckReport>,
@@ -764,12 +945,10 @@ fn check_verdict_json(
             )
         },
     );
-    format!(
-        "{{\"schema_version\":{},\"tool\":\"pgsd-check\",\"verdict\":\"{verdict}\",\
-         \"report\":{report_json},\"findings\":{}}}",
-        pgsd::analysis::DIAG_SCHEMA_VERSION,
-        findings_json(findings)
-    )
+    Envelope::new("pgsd-check", verdict)
+        .raw("report", report_json)
+        .raw("findings", findings_json(findings))
+        .to_json()
 }
 
 /// `pgsd symbolicate` — remap a variant-space crash address back to the
@@ -793,17 +972,20 @@ fn cmd_symbolicate(rest: &[String], g: &Globals) -> Result<(), CliError> {
     match sym {
         Some(s) => {
             println!(
-                "{{\"schema_version\":1,\"tool\":\"pgsd-symbolicate\",\"verdict\":\"hit\",\
-                 \"crash\":{}}}",
-                s.to_json()
+                "{}",
+                Envelope::new("pgsd-symbolicate", "hit")
+                    .raw("crash", s.to_json())
+                    .to_json()
             );
             Ok(())
         }
         None => {
             println!(
-                "{{\"schema_version\":1,\"tool\":\"pgsd-symbolicate\",\"verdict\":\"miss\",\
-                 \"variant_id\":\"{}\",\"fault_addr\":\"{fault_addr:#010x}\"}}",
-                pgsd::analysis::diag::json_escape(vid)
+                "{}",
+                Envelope::new("pgsd-symbolicate", "miss")
+                    .str("variant_id", vid)
+                    .str("fault_addr", &format!("{fault_addr:#010x}"))
+                    .to_json()
             );
             Err(CliError::failed(format!(
                 "no ledger record maps variant `{vid}` address {fault_addr:#010x} — \
@@ -1081,6 +1263,7 @@ fn cmd_fuzz(rest: &[String], g: &Globals) -> Result<(), CliError> {
     let mut replay_dir: Option<String> = None;
     let mut trace: Option<String> = None;
     let mut metrics: Option<String> = None;
+    let mut json = false;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         let a = arg.as_str();
@@ -1129,24 +1312,39 @@ fn cmd_fuzz(rest: &[String], g: &Globals) -> Result<(), CliError> {
             "--replay" => replay_dir = Some(value(a)?),
             "--trace" => trace = Some(value(a)?),
             "--metrics" => metrics = Some(value(a)?),
+            "--json" => json = true,
             _ => unreachable!("flag table and match arms out of sync"),
         }
     }
 
     if let Some(dir) = replay_dir {
         let report = replay(Path::new(&dir))?;
-        for case in &report.cases {
-            if case.passing {
-                println!("replay {}: ok", case.id);
-            } else {
-                eprintln!("replay {}: {}", case.id, case.detail);
+        if json {
+            println!(
+                "{}",
+                Envelope::new(
+                    "pgsd-fuzz",
+                    if report.all_passing() { "pass" } else { "fail" }
+                )
+                .str("mode", "replay")
+                .u64("cases", report.cases.len() as u64)
+                .u64("passing", report.passing() as u64)
+                .to_json()
+            );
+        } else {
+            for case in &report.cases {
+                if case.passing {
+                    println!("replay {}: ok", case.id);
+                } else {
+                    eprintln!("replay {}: {}", case.id, case.detail);
+                }
             }
+            println!(
+                "replayed {} reproducer(s): {} passing",
+                report.cases.len(),
+                report.passing()
+            );
         }
-        println!(
-            "replayed {} reproducer(s): {} passing",
-            report.cases.len(),
-            report.passing()
-        );
         return if report.all_passing() {
             Ok(())
         } else {
@@ -1174,24 +1372,42 @@ fn cmd_fuzz(rest: &[String], g: &Globals) -> Result<(), CliError> {
         eprintln!("metrics written to {path}");
     }
     let report = result?;
-    println!(
-        "fuzzed {} programs ({} cases, transforms {}, {} variants each): \
-         {} divergences, {} static rejections, {} build errors, {} skipped (gas)",
-        report.programs,
-        report.cases,
-        report.transforms.join(","),
-        report.variants_per_set,
-        report.divergences,
-        report.static_rejections,
-        report.build_errors,
-        report.skipped_out_of_gas
-    );
-    println!("report written to {corpus}/report.json");
-    if report.findings.is_empty()
+    let clean = report.findings.is_empty()
         && report.divergences == 0
         && report.static_rejections == 0
-        && report.build_errors == 0
-    {
+        && report.build_errors == 0;
+    if json {
+        println!(
+            "{}",
+            Envelope::new("pgsd-fuzz", if clean { "pass" } else { "fail" })
+                .str("mode", "fuzz")
+                .u64("programs", report.programs as u64)
+                .u64("cases", report.cases as u64)
+                .str("transforms", &report.transforms.join(","))
+                .u64("variants_per_set", report.variants_per_set as u64)
+                .u64("divergences", report.divergences as u64)
+                .u64("static_rejections", report.static_rejections as u64)
+                .u64("build_errors", report.build_errors as u64)
+                .u64("skipped_out_of_gas", report.skipped_out_of_gas as u64)
+                .u64("findings", report.findings.len() as u64)
+                .to_json()
+        );
+    } else {
+        println!(
+            "fuzzed {} programs ({} cases, transforms {}, {} variants each): \
+             {} divergences, {} static rejections, {} build errors, {} skipped (gas)",
+            report.programs,
+            report.cases,
+            report.transforms.join(","),
+            report.variants_per_set,
+            report.divergences,
+            report.static_rejections,
+            report.build_errors,
+            report.skipped_out_of_gas
+        );
+        println!("report written to {corpus}/report.json");
+    }
+    if clean {
         Ok(())
     } else {
         for f in &report.findings {
@@ -1282,6 +1498,18 @@ fn cmd_bench(rest: &[String], g: &Globals) -> Result<(), CliError> {
         )));
     }
 
+    // Serve throughput: an in-process daemon under concurrent client
+    // load, every served artifact cmp'd byte-identical against the
+    // offline build of the same seed.
+    let serve_levels = [2usize, 8];
+    let mut serve_results = Vec::with_capacity(serve_levels.len());
+    for &clients in &serve_levels {
+        eprintln!("serve slice: {clients} concurrent clients × 2 variants each");
+        let r =
+            pgsd::bench::serve_load::run_load("470.lbm", clients, 2).map_err(CliError::failed)?;
+        serve_results.push(r);
+    }
+
     let sink = pgsd::bench::MetricsSink::new("bench");
     sink.gauge("bench.threads", threads as f64);
     // The speedup only means something relative to the cores actually
@@ -1322,6 +1550,19 @@ fn cmd_bench(rest: &[String], g: &Globals) -> Result<(), CliError> {
         "bench.fleet_remap_accuracy_pct",
         campaign.accuracy_pct() as f64,
     );
+    for r in &serve_results {
+        let clients = r.clients.to_string();
+        sink.gauge_labeled(
+            "bench.serve_variants_per_sec",
+            &[("clients", &clients)],
+            r.variants_per_sec(),
+        );
+        sink.gauge_labeled(
+            "bench.serve_bytes_served",
+            &[("clients", &clients)],
+            r.bytes_served as f64,
+        );
+    }
     let path = sink.finish_to(Path::new(&out));
 
     println!(
@@ -1342,7 +1583,135 @@ fn cmd_bench(rest: &[String], g: &Globals) -> Result<(), CliError> {
         campaign.variants() as f64 / campaign.ledger_secs.max(1e-9),
         campaign.symbolicate_calls as f64 / campaign.symbolicate_secs.max(1e-9),
     );
+    for r in &serve_results {
+        println!(
+            "serve slice: {} clients — {:.1} variants/s ({} variants, {} KiB served, \
+             all byte-identical to offline builds)",
+            r.clients,
+            r.variants_per_sec(),
+            r.variants,
+            r.bytes_served / 1024,
+        );
+    }
     println!("results written to {}", path.display());
+    Ok(())
+}
+
+/// `pgsd serve` — run the variant-distribution daemon until a signal or
+/// a protocol `shutdown` request drains it.
+fn cmd_serve(rest: &[String], g: &Globals) -> Result<(), CliError> {
+    let p = parse("serve", rest)?;
+    if !p.run_args.is_empty() {
+        return Err("`pgsd serve` takes no positional arguments".into());
+    }
+    let addr = p.addr.clone().unwrap_or_else(|| "127.0.0.1:7340".into());
+    let mut config = ServeConfig {
+        workers: g.threads,
+        cache: g.open_cache()?,
+        ..ServeConfig::default()
+    };
+    if let Some(queue) = p.queue {
+        config.queue_capacity = queue;
+    }
+    if let Some(start) = p.seed_start {
+        config.seed_start = start;
+    }
+    let workers = pgsd::exec::resolve_threads(config.workers);
+    let handle = serve(&addr, config).map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+    println!(
+        "pgsd serve: listening on {} ({} workers, queue {}, seeds from {})",
+        handle.addr(),
+        workers,
+        p.queue.unwrap_or(32),
+        p.seed_start.unwrap_or(1),
+    );
+    install_signal_handlers(&handle);
+    handle.join();
+    eprintln!("pgsd serve: drained, exiting");
+    Ok(())
+}
+
+/// `pgsd fetch` — request one variant from a running daemon.
+fn cmd_fetch(rest: &[String], _g: &Globals) -> Result<(), CliError> {
+    let p = parse("fetch", rest)?;
+    if !p.run_args.is_empty() {
+        return Err("`pgsd fetch` takes no positional arguments".into());
+    }
+    let Some(addr) = p.addr.clone() else {
+        return Err("`pgsd fetch` needs `--addr HOST:PORT` (a running `pgsd serve`)".into());
+    };
+    let target = match (p.source_name.is_empty(), p.workloads.as_slice()) {
+        (false, []) => Target::Source {
+            name: p.source_name.clone(),
+            text: p.source.clone(),
+        },
+        (true, [w]) => Target::Workload(w.clone()),
+        (true, []) => {
+            return Err("`pgsd fetch` needs a source file or `--workload NAME`".into());
+        }
+        (false, _) => {
+            return Err("`pgsd fetch` takes a source file or `--workload`, not both".into());
+        }
+        (true, _) => {
+            return Err("`pgsd fetch` takes exactly one `--workload` name".into());
+        }
+    };
+    let req = DiversifyRequest {
+        target,
+        pnop: p.pnop_spec.clone(),
+        seed: p.seed_opt,
+        shift: p.shift,
+        subst: p.subst,
+        regrand: p.regrand,
+        train: p.train_args.clone(),
+        validate: p.validate,
+    };
+    let fetched = pgsd::serve::client::fetch(&addr, &req).map_err(|e| match e {
+        // The server refused or failed the request: the property under
+        // test failed — exit 1. Transport problems are exit 2.
+        ClientError::Busy { .. } => CliError::failed(e.to_string()),
+        ClientError::Proto(ref p)
+            if !matches!(p.code, ErrorCode::BadRequest | ErrorCode::UnknownWorkload) =>
+        {
+            CliError::failed(e.to_string())
+        }
+        other => CliError::from(other.to_string()),
+    })?;
+    if let Some(out) = &p.out {
+        std::fs::write(out, &fetched.payload)
+            .map_err(|e| format!("cannot write artifact `{out}`: {e}"))?;
+        eprintln!(
+            "image artifact written to {out} ({} bytes)",
+            fetched.payload.len()
+        );
+    }
+    let info: &VariantInfo = &fetched.info;
+    if p.json {
+        // The server's envelope, re-rendered verbatim: one shared
+        // schema for the wire and the CLI.
+        println!("{}", Response::Variant(info.clone()).to_json());
+    } else {
+        println!(
+            "fetched variant {} from {addr}: seed {} ({}), {}, {}",
+            info.variant_id,
+            info.seed,
+            if info.seed_pinned {
+                "pinned"
+            } else {
+                "server-assigned"
+            },
+            info.strategy,
+            info.transforms,
+        );
+        println!(
+            "  text {} bytes, artifact {} bytes, module {}, config {}, addr map {} bytes",
+            info.text_bytes,
+            info.payload_bytes,
+            info.module_key,
+            info.config_key,
+            info.addr_map_bytes,
+        );
+    }
     Ok(())
 }
 

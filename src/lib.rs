@@ -23,7 +23,13 @@
 //! * [`cache`] — content-addressed two-level artifact cache behind
 //!   [`core::Session`]'s incremental builds;
 //! * [`mod@bench`] — experiment-harness plumbing shared by the `pgsd bench`
-//!   subcommand and the table/figure binaries.
+//!   subcommand and the table/figure binaries;
+//! * [`proto`] — the schema-versioned request/response envelope and the
+//!   framed wire protocol shared by the daemon, `pgsd fetch`, and every
+//!   CLI `--json` document;
+//! * [`serve`] — the `pgsd serve` variant-distribution daemon: bounded
+//!   request queue, worker pool, HTTP health/metrics shim, ledgered seed
+//!   sequence, graceful drain.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for paper-vs-measured results.
@@ -35,8 +41,8 @@
 //!
 //! let session = Session::from_source("demo", "int main(int n) { return n + 1; }")
 //!     .config(BuildConfig::diversified(Strategy::uniform(0.5), 7));
-//! let (exit, _stats) = session.run(&Input::args(&[41]), 100_000)?;
-//! assert_eq!(exit.status(), Some(42));
+//! let outcome = session.build_and_run(&Input::args(&[41]), 100_000)?;
+//! assert_eq!(outcome.status(), Some(42));
 //! # Ok::<(), pgsd::cc::error::CompileError>(())
 //! ```
 
@@ -52,6 +58,8 @@ pub use pgsd_exec as exec;
 pub use pgsd_fuzz as fuzz;
 pub use pgsd_gadget as gadget;
 pub use pgsd_profile as profile;
+pub use pgsd_proto as proto;
+pub use pgsd_serve as serve;
 pub use pgsd_telemetry as telemetry;
 pub use pgsd_workloads as workloads;
 pub use pgsd_x86 as x86;

@@ -48,9 +48,9 @@ fn mini_fig4_csv(threads: usize) -> Vec<String> {
     let cycles = pgsd::exec::map_indexed(threads, &jobs, |_, &(ci, seed)| {
         let config = BuildConfig::diversified(configs[ci].1, seed);
         let image = session.build_with(&config).unwrap();
-        let (exit, stats) = session.run_image(&image, &Input::args(&[20]), DEFAULT_GAS, "ref");
-        assert!(exit.status().is_some(), "{exit:?}");
-        stats.cycles
+        let outcome = session.run(&image, &Input::args(&[20]), DEFAULT_GAS, "ref");
+        assert!(outcome.status().is_some(), "{:?}", outcome.exit);
+        outcome.stats.cycles
     });
     // Aggregate in the serial (config, seed) nested order, like the
     // real harness, so float formatting cannot differ.
